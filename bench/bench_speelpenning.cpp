@@ -1,0 +1,83 @@
+// Claim C3 / ablation: the forward/backward Speelpenning gradient costs
+// 3k-6 multiplications against the naive k(k-2); google-benchmark
+// microbenchmarks measure the real effect on this host in double and
+// double-double, and the op-count table verifies the closed forms.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "ad/speelpenning.hpp"
+#include "benchutil/table.hpp"
+#include "cplx/complex.hpp"
+#include "prec/double_double.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+template <class S>
+std::vector<cplx::Complex<S>> random_factors(std::size_t k) {
+  cplx::UniformComplex<S> gen(2012);
+  std::vector<cplx::Complex<S>> v(k);
+  for (auto& z : v) z = gen();
+  return v;
+}
+
+template <class S>
+void BM_SpeelpenningForwardBackward(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto v = random_factors<S>(k);
+  std::vector<cplx::Complex<S>> g(k);
+  for (auto _ : state) {
+    (void)ad::speelpenning_gradient(std::span<const cplx::Complex<S>>(v),
+                                    std::span<cplx::Complex<S>>(g));
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+
+template <class S>
+void BM_SpeelpenningNaive(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto v = random_factors<S>(k);
+  std::vector<cplx::Complex<S>> g(k);
+  for (auto _ : state) {
+    (void)ad::speelpenning_gradient_naive(std::span<const cplx::Complex<S>>(v),
+                                          std::span<cplx::Complex<S>>(g));
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+
+BENCHMARK(BM_SpeelpenningForwardBackward<double>)->Arg(4)->Arg(9)->Arg(16)->Arg(32);
+BENCHMARK(BM_SpeelpenningNaive<double>)->Arg(4)->Arg(9)->Arg(16)->Arg(32);
+BENCHMARK(BM_SpeelpenningForwardBackward<prec::DoubleDouble>)->Arg(9)->Arg(16);
+BENCHMARK(BM_SpeelpenningNaive<prec::DoubleDouble>)->Arg(9)->Arg(16);
+
+void print_op_table() {
+  std::cout << "=== Speelpenning multiplication counts (claim C3) ===\n";
+  benchutil::Table table(
+      {"k", "fwd/bwd (3k-6)", "naive (k(k-2))", "kernel-2 total (5k-4)"});
+  for (const unsigned k : {3u, 4u, 9u, 16u, 24u, 32u}) {
+    std::vector<cplx::Complex<double>> v(k, cplx::Complex<double>(1.0)), g(k);
+    const auto fast = ad::speelpenning_gradient(
+        std::span<const cplx::Complex<double>>(v), std::span<cplx::Complex<double>>(g));
+    const auto naive = ad::speelpenning_gradient_naive(
+        std::span<const cplx::Complex<double>>(v), std::span<cplx::Complex<double>>(g));
+    table.add_row({std::to_string(k), std::to_string(fast), std::to_string(naive),
+                   std::to_string(ad::formulas::kernel2_mults(k))});
+  }
+  std::cout << table.to_string() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_op_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Parse a system from its text form, then refine a root with the
+// adaptive-precision Newton ladder: the tool a path tracker reaches for
+// when one hard step needs more digits than hardware doubles carry.
+
+#include <iostream>
+
+#include "newton/adaptive.hpp"
+#include "newton/newton.hpp"
+#include "poly/io.hpp"
+
+int main() {
+  using namespace polyeval;
+  using Cd = cplx::Complex<double>;
+
+  // The intersection of a circle and a hyperbola; the positive real
+  // solution is the golden ratio pair (phi, 1/phi) -- irrational, so
+  // every precision level leaves a measurable residual.
+  const auto system = poly::parse_system(
+      "x0^2 + x1^2 - 3;"
+      "x0*x1 - 1;");
+
+  std::cout << "system:\n" << poly::format(system) << "\n";
+
+  const std::vector<Cd> x0 = {{1.6, 0.0}, {0.6, 0.0}};
+
+  for (const double target : {1e-10, 1e-24, 1e-50}) {
+    newton::AdaptiveOptions options;
+    options.target_residual = target;
+    const auto result = newton::adaptive_refine(system, x0, options);
+
+    std::cout << "target " << target << ": reached "
+              << newton::to_string(result.level_reached) << ", residual "
+              << result.final_residual << ", converged "
+              << (result.converged ? "yes" : "no") << "\n";
+  }
+
+  // On tiny systems double-double can represent a residual of exactly
+  // zero (the unevaluated-sum format has variable precision), so the
+  // escalation may stop early, as seen above.  To display the digits
+  // quad-double carries, pin the final rung explicitly.
+  newton::AdaptiveOptions options;
+  options.target_residual = 1e-24;
+  const auto dd_result = newton::adaptive_refine(system, x0, options);
+
+  ad::CpuEvaluator<prec::QuadDouble> eval_qd(system);
+  newton::NewtonOptions qd_opts;
+  qd_opts.max_iterations = 3;
+  qd_opts.residual_tolerance = 0.0;
+  const auto qd_result = newton::refine<prec::QuadDouble>(
+      eval_qd, std::span<const cplx::Complex<prec::QuadDouble>>(dd_result.solution),
+      qd_opts);
+
+  std::cout << "\nx0 = " << prec::to_string(qd_result.solution[0].re(), 55) << "\n"
+            << "     (the golden ratio is\n"
+            << "     1.618033988749894848204586834365638117720309179805762862...)\n";
+  return 0;
+}

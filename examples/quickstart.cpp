@@ -1,0 +1,77 @@
+// Quickstart: build a small uniform polynomial system, evaluate it and
+// its Jacobian on the simulated GPU with the paper's three-kernel
+// pipeline, cross-check against the naive evaluator, and inspect what
+// the device did.
+//
+//   f0 = (1+2i) x0^2 x1 + 3 x1 x2
+//   f1 = -x0 x2^2 + (0.5-i) x0 x1
+//   f2 = 2 x1^2 x2 + x0 x2
+//
+// (every polynomial has m = 2 monomials with k = 2 variables, exponents
+// at most d = 2 -- the regularity the pipeline requires).
+
+#include <iostream>
+
+#include "core/gpu_evaluator.hpp"
+#include "poly/system.hpp"
+
+int main() {
+  using namespace polyeval;
+  using Cd = cplx::Complex<double>;
+
+  // --- build the system --------------------------------------------------
+  const auto mono = [](Cd c, std::vector<poly::VarPower> f) {
+    return poly::Monomial(c, std::move(f));
+  };
+  std::vector<poly::Polynomial> polys;
+  polys.emplace_back(3, std::vector<poly::Monomial>{
+                            mono({1.0, 2.0}, {{0, 2}, {1, 1}}),
+                            mono({3.0, 0.0}, {{1, 1}, {2, 1}}),
+                        });
+  polys.emplace_back(3, std::vector<poly::Monomial>{
+                            mono({-1.0, 0.0}, {{0, 1}, {2, 2}}),
+                            mono({0.5, -1.0}, {{0, 1}, {1, 1}}),
+                        });
+  polys.emplace_back(3, std::vector<poly::Monomial>{
+                            mono({2.0, 0.0}, {{1, 2}, {2, 1}}),
+                            mono({1.0, 0.0}, {{0, 1}, {2, 1}}),
+                        });
+  const poly::PolynomialSystem system(std::move(polys));
+
+  const auto structure = system.uniform_structure();
+  std::cout << "uniform structure: n=" << structure->n << " m=" << structure->m
+            << " k=" << structure->k << " d=" << structure->d << "\n\n";
+
+  // --- evaluate on the simulated Tesla C2050 -----------------------------
+  simt::Device device;  // 14 SMs x 32 cores, 64 KB constant, 48 KB shared
+  core::GpuEvaluator<double> gpu(device, system);
+
+  const std::vector<Cd> x = {{0.5, 0.5}, {1.0, -1.0}, {-0.5, 0.25}};
+  const auto result = gpu.evaluate(std::span<const Cd>(x));
+
+  std::cout << "f(x):\n";
+  for (unsigned p = 0; p < 3; ++p)
+    std::cout << "  f" << p << " = " << result.values[p] << "\n";
+  std::cout << "Jacobian:\n";
+  for (unsigned p = 0; p < 3; ++p) {
+    std::cout << " ";
+    for (unsigned v = 0; v < 3; ++v) std::cout << " " << result.jac(p, v);
+    std::cout << "\n";
+  }
+
+  // --- cross-check against the naive oracle ------------------------------
+  poly::EvalResult<double> naive(3);
+  system.evaluate_naive<double>(x, naive.values, naive.jacobian);
+  std::cout << "\nmax |gpu - naive| = " << poly::max_abs_diff(result, naive) << "\n\n";
+
+  // --- what the device did ------------------------------------------------
+  std::cout << "kernel launches:\n";
+  for (const auto& k : gpu.last_log().kernels) {
+    std::cout << "  " << k.kernel << ": " << k.blocks << " block(s), "
+              << k.complex_mul_total << " complex mults, " << k.complex_add_total
+              << " adds, " << k.global_load_transactions << " load tx, "
+              << k.global_store_transactions << " store tx\n";
+  }
+  std::cout << "constant memory used: " << device.constant_bytes_used() << " bytes\n";
+  return 0;
+}

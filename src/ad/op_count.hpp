@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file op_count.hpp
+/// Operation accounting for the evaluation pipeline, plus the paper's
+/// closed-form multiplication counts (sections 3.1-3.2), which the tests
+/// verify against the instrumented implementations.
+
+#include <cstdint>
+
+namespace polyeval::ad {
+
+/// Complex-arithmetic operation tallies.  The paper's cost model counts
+/// "complex double multiplications"; additions are tracked for the
+/// summation kernel.
+struct OpCounts {
+  std::uint64_t complex_mul = 0;
+  std::uint64_t complex_add = 0;
+
+  OpCounts& operator+=(const OpCounts& o) noexcept {
+    complex_mul += o.complex_mul;
+    complex_add += o.complex_add;
+    return *this;
+  }
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) noexcept { return a += b; }
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+namespace formulas {
+
+/// Multiplications to form all k partial derivatives of a Speelpenning
+/// product x_{i1}...x_{ik} with the forward/backward scheme: 3k-6 for
+/// k >= 3 (section 3.2); k <= 2 needs none (derivatives are copies).
+[[nodiscard]] constexpr std::uint64_t speelpenning_mults(unsigned k) noexcept {
+  return k >= 3 ? 3ull * k - 6ull : 0ull;
+}
+
+/// Multiplications per monomial thread in the second kernel: derivatives
+/// (3k-6), k common-factor products, 1 for the monomial value, k+1
+/// coefficient products = 5k-4 for k >= 2 (section 3.2).  For k == 1 the
+/// derivative is the common factor itself: 1 value product + 2
+/// coefficient products.
+[[nodiscard]] constexpr std::uint64_t kernel2_mults(unsigned k) noexcept {
+  return k >= 2 ? 5ull * k - 4ull : 3ull;
+}
+
+/// Multiplications per monomial in the first kernel's second stage: a
+/// common factor is a product of k precomputed powers.
+[[nodiscard]] constexpr std::uint64_t common_factor_mults(unsigned k) noexcept {
+  return k >= 1 ? k - 1ull : 0ull;
+}
+
+/// Multiplications to tabulate powers 2..d-1 of one variable (stage one
+/// of the first kernel): d-2 when d >= 3, otherwise none.
+[[nodiscard]] constexpr std::uint64_t power_table_mults(unsigned d) noexcept {
+  return d >= 3 ? d - 2ull : 0ull;
+}
+
+/// Total multiplications for one full evaluation of a uniform system
+/// (n, m, k, d) and its Jacobian, powers tabulated once (CPU reference).
+[[nodiscard]] constexpr std::uint64_t evaluation_mults(unsigned n, unsigned m, unsigned k,
+                                                       unsigned d) noexcept {
+  const std::uint64_t monomials = static_cast<std::uint64_t>(n) * m;
+  return n * power_table_mults(d) + monomials * common_factor_mults(k) +
+         monomials * kernel2_mults(k);
+}
+
+/// Additions for the summation stage when zero terms are skipped (CPU):
+/// each monomial contributes one addition to its polynomial and k
+/// additions to Jacobian entries.
+[[nodiscard]] constexpr std::uint64_t evaluation_adds_cpu(unsigned n, unsigned m,
+                                                          unsigned k) noexcept {
+  return static_cast<std::uint64_t>(n) * m * (k + 1ull);
+}
+
+/// Additions in the third kernel (GPU): every one of the n^2+n output
+/// polynomials sums exactly m terms, zeros included (section 3.3) --
+/// m-1 complex additions once the first term seeds the accumulator.
+[[nodiscard]] constexpr std::uint64_t evaluation_adds_gpu(unsigned n, unsigned m) noexcept {
+  return (static_cast<std::uint64_t>(n) * n + n) * (m - 1ull);
+}
+
+}  // namespace formulas
+}  // namespace polyeval::ad

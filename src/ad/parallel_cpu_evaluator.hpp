@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file parallel_cpu_evaluator.hpp
+/// Multicore evaluation on the host: the paper's own predecessor system
+/// (Verschelde & Yoffe, PASCO 2010: "quality up" on multicore
+/// workstations, reference [40]) distributed polynomials over worker
+/// threads.  Each polynomial's value and Jacobian row are owned by
+/// exactly one worker, so no synchronization is needed beyond the
+/// parallel-for barrier, and results are deterministic.
+
+#include "ad/cpu_evaluator.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace polyeval::ad {
+
+template <prec::RealScalar S>
+class ParallelCpuEvaluator {
+  using C = cplx::Complex<S>;
+
+ public:
+  /// workers == 0 selects the hardware concurrency.
+  explicit ParallelCpuEvaluator(const poly::PolynomialSystem& system,
+                                unsigned workers = 0)
+      : n_(system.dimension()), pool_(workers) {
+    polys_.reserve(n_);
+    for (unsigned p = 0; p < n_; ++p) {
+      PackedPolynomial pp;
+      for (const auto& mono : system.polynomial(p).monomials()) {
+        PackedMonomial pm;
+        pm.coeff = C::from_double(mono.coefficient());
+        for (const auto& f : mono.factors()) {
+          pm.vars.push_back(f.var);
+          pm.exps.push_back(f.exp);
+          pm.deriv_coeffs.push_back(
+              C::from_double(mono.coefficient()) *
+              prec::ScalarTraits<S>::from_double(static_cast<double>(f.exp)));
+          max_exp_ = std::max(max_exp_, f.exp);
+        }
+        pp.monomials.push_back(std::move(pm));
+      }
+      polys_.push_back(std::move(pp));
+    }
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] unsigned workers() const noexcept { return pool_.worker_count(); }
+
+  void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
+    out.resize(n_);
+
+    // Shared read-only powers table (row e holds x^e), built once.
+    const unsigned d = std::max(max_exp_, 1u);
+    powers_.assign(std::size_t{d} * n_, C(S(1.0)));
+    if (d >= 2) {
+      for (unsigned v = 0; v < n_; ++v) powers_[n_ + v] = x[v];
+      for (unsigned e = 2; e < d; ++e)
+        for (unsigned v = 0; v < n_; ++v)
+          powers_[std::size_t{e} * n_ + v] = powers_[std::size_t{e - 1} * n_ + v] * x[v];
+    }
+
+    // One worker per polynomial: disjoint output rows.
+    pool_.parallel_for(n_, [&](std::size_t p) { evaluate_polynomial(p, x, out); });
+  }
+
+  [[nodiscard]] poly::EvalResult<S> evaluate(std::span<const C> x) {
+    poly::EvalResult<S> out(n_);
+    evaluate(x, out);
+    return out;
+  }
+
+ private:
+  struct PackedMonomial {
+    C coeff;
+    std::vector<unsigned> vars;
+    std::vector<unsigned> exps;
+    std::vector<C> deriv_coeffs;
+  };
+  struct PackedPolynomial {
+    std::vector<PackedMonomial> monomials;
+  };
+
+  void evaluate_polynomial(std::size_t p, std::span<const C> x,
+                           poly::EvalResult<S>& out) const {
+    std::vector<C> gathered, derivs;
+    for (const auto& pm : polys_[p].monomials) {
+      const std::size_t k = pm.vars.size();
+      if (k == 0) {
+        out.values[p] += pm.coeff;
+        continue;
+      }
+      C cf = powers_[std::size_t{pm.exps[0] - 1} * n_ + pm.vars[0]];
+      for (std::size_t j = 1; j < k; ++j)
+        cf = cf * powers_[std::size_t{pm.exps[j] - 1} * n_ + pm.vars[j]];
+
+      gathered.resize(k);
+      derivs.resize(k);
+      for (std::size_t j = 0; j < k; ++j) gathered[j] = x[pm.vars[j]];
+      (void)speelpenning_gradient(std::span<const C>(gathered), std::span<C>(derivs));
+
+      if (k == 1) {
+        derivs[0] = cf;
+      } else {
+        for (std::size_t j = 0; j < k; ++j) derivs[j] = derivs[j] * cf;
+      }
+      const C value = derivs[k - 1] * gathered[k - 1];
+
+      out.values[p] += value * pm.coeff;
+      for (std::size_t j = 0; j < k; ++j)
+        out.jacobian[p * n_ + pm.vars[j]] += derivs[j] * pm.deriv_coeffs[j];
+    }
+  }
+
+  unsigned n_;
+  unsigned max_exp_ = 1;
+  std::vector<PackedPolynomial> polys_;
+  std::vector<C> powers_;
+  simt::ThreadPool pool_;
+};
+
+}  // namespace polyeval::ad

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file speelpenning.hpp
+/// The example of Speelpenning (Griewank & Walther): evaluate the product
+/// P = v_0 v_1 ... v_{k-1} together with ALL partial derivatives
+/// dP/dv_j = prod_{l != j} v_l in 3k-6 multiplications (k >= 3) by one
+/// forward sweep of prefix products and one backward sweep of suffix
+/// products.  This is the heart of the paper's second kernel.
+
+#include <span>
+
+#include "ad/op_count.hpp"
+
+namespace polyeval::ad {
+
+/// Computes derivs[j] = prod_{l != j} v[l] for all j.
+///
+/// Works over any ring value type (Complex<double>, Complex<DoubleDouble>,
+/// ...).  Requires derivs.size() == v.size() >= 1.  Returns the number of
+/// multiplications performed, which tests pin to formulas::speelpenning_mults.
+template <class C>
+std::uint64_t speelpenning_gradient(std::span<const C> v, std::span<C> derivs) {
+  const std::size_t k = v.size();
+  if (k == 1) {
+    derivs[0] = C(1.0);
+    return 0;
+  }
+  if (k == 2) {
+    derivs[0] = v[1];
+    derivs[1] = v[0];
+    return 0;
+  }
+
+  // Forward sweep: derivs[r] = v[0] * ... * v[r-1] for r = 1..k-1
+  // (k-2 multiplications; derivs[k-1] is already dP/dv_{k-1}).
+  derivs[1] = v[0];
+  for (std::size_t r = 2; r < k; ++r) derivs[r] = derivs[r - 1] * v[r - 1];
+
+  // Backward sweep: Q accumulates the suffix product v[k-1] ... v[j+1],
+  // turning each stored prefix into the full all-but-one product.
+  C q = v[k - 1];
+  derivs[k - 2] = derivs[k - 2] * q;  // 1 multiplication
+  for (std::size_t r = 1; r + 2 < k; ++r) {  // k-3 steps of 2 multiplications
+    q = q * v[k - 1 - r];
+    derivs[k - 2 - r] = derivs[k - 2 - r] * q;
+  }
+  derivs[0] = q * v[1];  // 1 multiplication
+
+  return formulas::speelpenning_mults(static_cast<unsigned>(k));
+}
+
+/// Reference implementation: k separate all-but-one products, k(k-2)+...
+/// multiplications.  Exists purely as an independent oracle for tests and
+/// the ablation benchmark.
+template <class C>
+std::uint64_t speelpenning_gradient_naive(std::span<const C> v, std::span<C> derivs) {
+  const std::size_t k = v.size();
+  std::uint64_t mults = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    C p(1.0);
+    bool first = true;
+    for (std::size_t l = 0; l < k; ++l) {
+      if (l == j) continue;
+      if (first) {
+        p = v[l];
+        first = false;
+      } else {
+        p = p * v[l];
+        ++mults;
+      }
+    }
+    derivs[j] = p;
+  }
+  return mults;
+}
+
+}  // namespace polyeval::ad

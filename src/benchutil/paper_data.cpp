@@ -1,0 +1,34 @@
+#include "benchutil/paper_data.hpp"
+
+namespace polyeval::benchutil {
+
+PaperWorkload paper_table1() {
+  PaperWorkload w;
+  w.variables_per_monomial = 9;
+  w.max_exponent = 2;
+  // "Wall clock times and speedups for 100,000 evaluations of a
+  //  polynomial system and its Jacobian matrix of dimension 32.  Each
+  //  monomial has 9 variables occurring with nonzero power of at most 2."
+  w.rows = {
+      {704, 14.514, 110.9, 7.60},
+      {1024, 15.265, 159.3, 10.44},
+      {1536, 17.000, 238.7, 14.04},
+  };
+  return w;
+}
+
+PaperWorkload paper_table2() {
+  PaperWorkload w;
+  w.variables_per_monomial = 16;
+  w.max_exponent = 10;
+  // "Each monomial has 16 variables occurring with nonzero power of at
+  //  most 10."
+  w.rows = {
+      {704, 19.068, 196.9, 10.33},
+      {1024, 20.800, 283.3, 13.62},
+      {1536, 21.763, 425.8, 19.56},
+  };
+  return w;
+}
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file paper_data.hpp
+/// The published numbers of the paper's evaluation section, kept in one
+/// place so benchmarks and EXPERIMENTS.md compare against the same data.
+
+#include <cstdint>
+#include <vector>
+
+namespace polyeval::benchutil {
+
+/// One row of Table 1 or Table 2: 100,000 evaluations of a dimension-32
+/// system and its Jacobian.
+struct PaperRow {
+  unsigned total_monomials;  ///< #monomials (n * m)
+  double gpu_seconds;        ///< Tesla C2050
+  double cpu_seconds;        ///< 1 CPU core
+  double speedup;
+};
+
+/// Workload parameters shared by both tables.
+struct PaperWorkload {
+  unsigned dimension = 32;       ///< n
+  unsigned block_size = 32;      ///< threads per block
+  unsigned variables_per_monomial;  ///< k
+  unsigned max_exponent;            ///< d
+  std::uint64_t evaluations = 100000;
+  std::vector<PaperRow> rows;
+};
+
+/// Table 1: k = 9 variables per monomial, exponents at most 2.
+[[nodiscard]] PaperWorkload paper_table1();
+
+/// Table 2: k = 16 variables per monomial, exponents at most 10.
+[[nodiscard]] PaperWorkload paper_table2();
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,55 @@
+#include "benchutil/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace polyeval::benchutil {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_seconds_paper_style(double seconds) {
+  if (seconds < 60.0) return format_fixed(seconds, 3) + " sec";
+  const int minutes = static_cast<int>(seconds / 60.0);
+  const double rest = seconds - 60.0 * minutes;
+  return std::to_string(minutes) + "min " + format_fixed(rest, 1) + " sec";
+}
+
+std::string format_speedup(double speedup) { return format_fixed(speedup, 2); }
+
+}  // namespace polyeval::benchutil

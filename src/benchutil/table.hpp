@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table rendering for the benchmark harnesses: aligned columns,
+/// a header rule, and helpers for formatting times the way the paper
+/// prints them (e.g. "2min 39.3sec").
+
+#include <string>
+#include <vector>
+
+namespace polyeval::benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with every column padded to its widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-decimal formatting ("14.514").
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Seconds in the paper's style: "14.514 sec" or "2min 39.3 sec".
+[[nodiscard]] std::string format_seconds_paper_style(double seconds);
+
+/// Speedup with two decimals ("10.44").
+[[nodiscard]] std::string format_speedup(double speedup);
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,111 @@
+#include "benchutil/table_repro.hpp"
+
+#include <iostream>
+
+#include "ad/cpu_evaluator.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace polyeval::benchutil {
+
+TableRepro reproduce_table(const PaperWorkload& workload) {
+  using C = cplx::Complex<double>;
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+  const double evals = static_cast<double>(workload.evaluations);
+
+  TableRepro out;
+  out.workload = workload;
+
+  for (const auto& paper_row : workload.rows) {
+    TableReproRow row;
+    row.monomials = paper_row.total_monomials;
+    row.paper_gpu_s = paper_row.gpu_seconds;
+    row.paper_cpu_s = paper_row.cpu_seconds;
+    row.paper_speedup = paper_row.speedup;
+
+    poly::SystemSpec spec;
+    spec.dimension = workload.dimension;
+    spec.monomials_per_polynomial = paper_row.total_monomials / workload.dimension;
+    spec.variables_per_monomial = workload.variables_per_monomial;
+    spec.max_exponent = workload.max_exponent;
+    spec.seed = 20120102 + paper_row.total_monomials;
+    const auto system = poly::make_random_system(spec);
+    const auto x = poly::make_random_point<double>(spec.dimension, 31);
+
+    // --- instrumented pipeline run + timing model ---
+    simt::Device device;
+    core::GpuEvaluator<double>::Options opts;
+    opts.block_size = workload.block_size;
+    core::GpuEvaluator<double> gpu(device, system, opts);
+    poly::EvalResult<double> result(spec.dimension);
+    gpu.evaluate(std::span<const C>(x), result);
+    row.model_gpu_s =
+        simt::estimate_log_us(gpu.last_log(), dspec, gmodel) * evals * 1e-6;
+
+    ad::CpuEvaluator<double> cpu(system);
+    cpu.evaluate(std::span<const C>(x), result);
+    const auto& ops = cpu.last_op_counts();
+    row.model_cpu_s =
+        simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel) * evals * 1e-6;
+    row.model_speedup = row.model_cpu_s / row.model_gpu_s;
+
+    // --- host measurements (real computations, scaled) ---
+    row.host_cpu_s =
+        time_per_call([&] { cpu.evaluate(std::span<const C>(x), result); }, 0.2) * evals;
+    row.host_sim_s =
+        time_per_call([&] { gpu.evaluate(std::span<const C>(x), result); }, 0.2) * evals;
+
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+void print_table_repro(const TableRepro& repro, std::string_view title) {
+  std::cout << title << "\n"
+            << "100,000 evaluations of a system and its Jacobian, dimension "
+            << repro.workload.dimension << ", " << repro.workload.variables_per_monomial
+            << " variables per monomial, exponents at most "
+            << repro.workload.max_exponent << ", block size "
+            << repro.workload.block_size << ".\n\n";
+
+  Table table({"#monomials", "paper GPU", "paper CPU", "paper sp", "model GPU",
+               "model CPU", "model sp", "host CPU (meas.)", "host sim (meas.)"});
+  for (const auto& r : repro.rows) {
+    table.add_row({std::to_string(r.monomials),
+                   format_seconds_paper_style(r.paper_gpu_s),
+                   format_seconds_paper_style(r.paper_cpu_s),
+                   format_speedup(r.paper_speedup),
+                   format_seconds_paper_style(r.model_gpu_s),
+                   format_seconds_paper_style(r.model_cpu_s),
+                   format_speedup(r.model_speedup),
+                   format_seconds_paper_style(r.host_cpu_s),
+                   format_seconds_paper_style(r.host_sim_s)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout
+      << "model: analytic Tesla C2050 / Xeon X5690 cost model fed by simulator\n"
+      << "       statistics (see src/simt/timing.cpp for the constants);\n"
+      << "host CPU: the sequential reference evaluator measured on this machine;\n"
+      << "host sim: the *functional simulator* measured on this machine -- it\n"
+      << "          executes and instruments every thread, so it is NOT a GPU\n"
+      << "          time; it scales with total work, not with parallelism.\n\n";
+
+  // Shape checks the reproduction must satisfy (also asserted in tests).
+  const auto& first = repro.rows.front();
+  const auto& last = repro.rows.back();
+  std::cout << "shape check: model GPU growth " << format_fixed(last.model_gpu_s / first.model_gpu_s, 2)
+            << "x for " << format_fixed(double(last.monomials) / first.monomials, 2)
+            << "x monomials (paper: "
+            << format_fixed(last.paper_gpu_s / first.paper_gpu_s, 2) << "x); "
+            << "speedup rises " << format_speedup(first.model_speedup) << " -> "
+            << format_speedup(last.model_speedup) << " (paper: "
+            << format_speedup(first.paper_speedup) << " -> "
+            << format_speedup(last.paper_speedup) << ")\n";
+}
+
+}  // namespace polyeval::benchutil

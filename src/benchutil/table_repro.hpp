@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table_repro.hpp
+/// The harness that regenerates the paper's Tables 1 and 2: for each
+/// row it builds the workload, runs the instrumented pipeline once on
+/// the simulator, prices it with the timing model (Tesla C2050 + Xeon
+/// X5690 constants), and also *measures* the real computation on this
+/// host (CPU reference evaluator wall clock, simulator wall clock),
+/// scaled to the paper's 100,000 evaluations.
+
+#include <string_view>
+
+#include "benchutil/paper_data.hpp"
+
+namespace polyeval::benchutil {
+
+struct TableReproRow {
+  unsigned monomials = 0;
+  // published
+  double paper_gpu_s = 0, paper_cpu_s = 0, paper_speedup = 0;
+  // timing model for the paper's hardware
+  double model_gpu_s = 0, model_cpu_s = 0, model_speedup = 0;
+  // measured on this host (scaled to the full evaluation count)
+  double host_cpu_s = 0;  ///< sequential reference evaluator
+  double host_sim_s = 0;  ///< functional simulator (NOT a GPU: for scale only)
+};
+
+struct TableRepro {
+  PaperWorkload workload;
+  std::vector<TableReproRow> rows;
+};
+
+/// Run the full reproduction of one paper table.
+[[nodiscard]] TableRepro reproduce_table(const PaperWorkload& workload);
+
+/// Print in the paper's format plus the reproduction columns.
+void print_table_repro(const TableRepro& repro, std::string_view title);
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock measurement helpers for the benchmark harnesses.
+
+#include <chrono>
+
+namespace polyeval::benchutil {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run fn repeatedly until at least min_seconds elapsed (at least once);
+/// returns the average seconds per call.
+template <class Fn>
+[[nodiscard]] double time_per_call(Fn&& fn, double min_seconds = 0.05) {
+  Timer total;
+  std::size_t calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (total.seconds() < min_seconds);
+  return total.seconds() / static_cast<double>(calls);
+}
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,50 @@
+#include "core/encoding.hpp"
+
+#include <stdexcept>
+
+namespace polyeval::core {
+
+std::uint64_t encoded_exponent_bytes(ExponentEncoding enc, std::uint64_t entries) {
+  return enc == ExponentEncoding::kChar ? entries : (entries + 1) / 2;
+}
+
+std::uint64_t constant_bytes_required(ExponentEncoding enc,
+                                      std::uint64_t total_monomials, unsigned k) {
+  const std::uint64_t entries = total_monomials * k;
+  return entries /* positions */ + encoded_exponent_bytes(enc, entries);
+}
+
+std::uint64_t max_monomials_for_budget(ExponentEncoding enc, std::uint64_t budget_bytes,
+                                       unsigned k) {
+  // positions: k bytes per monomial; exponents: k or k/2 bytes.
+  // Solve per-monomial cost conservatively via direct search on the exact
+  // formula (handles the odd-entry rounding of the packed encoding).
+  std::uint64_t lo = 0, hi = budget_bytes;  // cost >= 1 byte per monomial
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi + 1) / 2;
+    if (constant_bytes_required(enc, mid, k) <= budget_bytes)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::vector<unsigned char> encode_exponents(
+    ExponentEncoding enc, const std::vector<unsigned char>& exponents_minus_one) {
+  if (enc == ExponentEncoding::kChar) return exponents_minus_one;
+  std::vector<unsigned char> packed((exponents_minus_one.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < exponents_minus_one.size(); ++i) {
+    const unsigned char e = exponents_minus_one[i];
+    if (e > 0x0F)
+      throw std::invalid_argument(
+          "encode_exponents: 4-bit packing requires exponents <= 16");
+    if (i % 2 == 0)
+      packed[i / 2] = static_cast<unsigned char>(packed[i / 2] | e);
+    else
+      packed[i / 2] = static_cast<unsigned char>(packed[i / 2] | (e << 4));
+  }
+  return packed;
+}
+
+}  // namespace polyeval::core

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file encoding.hpp
+/// Constant-memory encodings of the Positions/Exponents arrays.
+///
+/// kChar is the paper's preliminary implementation: one unsigned char per
+/// position and per exponent, 2*M*k bytes, which caps the experiments at
+/// 1536 monomials (2048 no longer fit, section 4).  kPacked4Bit is the
+/// "more compact encoding" the paper announces as future work: exponents
+/// of at most 16 are packed two per byte, cutting the footprint to
+/// 1.5*M*k bytes at the price of decode arithmetic in the kernels.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hpp"
+
+namespace polyeval::core {
+
+enum class ExponentEncoding {
+  kChar,       ///< paper's encoding: 8-bit exponent-minus-one (d <= 256)
+  kPacked4Bit  ///< future-work encoding: 4-bit exponent-minus-one (d <= 16)
+};
+
+/// Bytes of constant memory the encoding needs for M monomials with k
+/// variables each (positions + exponents).
+[[nodiscard]] std::uint64_t constant_bytes_required(ExponentEncoding enc,
+                                                    std::uint64_t total_monomials,
+                                                    unsigned k);
+
+/// Largest monomial count M that fits a given constant-memory budget.
+[[nodiscard]] std::uint64_t max_monomials_for_budget(ExponentEncoding enc,
+                                                     std::uint64_t budget_bytes,
+                                                     unsigned k);
+
+/// Encode the exponents array (entries are exponent-minus-one).
+/// For kChar this is the identity; for kPacked4Bit two entries share a
+/// byte (low nibble first).  Throws std::invalid_argument if an exponent
+/// exceeds the encoding's range.
+[[nodiscard]] std::vector<unsigned char> encode_exponents(
+    ExponentEncoding enc, const std::vector<unsigned char>& exponents_minus_one);
+
+/// Decode one exponent-minus-one from an encoded array.  Device kernels
+/// use the same arithmetic on constant-buffer bytes.
+[[nodiscard]] inline unsigned decode_exponent(ExponentEncoding enc,
+                                              const unsigned char* data,
+                                              std::uint64_t index) noexcept {
+  if (enc == ExponentEncoding::kChar) return data[index];
+  const unsigned char byte = data[index / 2];
+  return (index % 2 == 0) ? (byte & 0x0Fu) : (byte >> 4);
+}
+
+/// Number of bytes the encoded exponent array occupies.
+[[nodiscard]] std::uint64_t encoded_exponent_bytes(ExponentEncoding enc,
+                                                   std::uint64_t entries);
+
+}  // namespace polyeval::core

@@ -1,0 +1,222 @@
+#pragma once
+
+/// \file gpu_evaluator.hpp
+/// Host-side orchestration of the three-kernel pipeline: packs the
+/// system, holds the device-resident state for the lifetime of a path
+/// tracking run (coefficients, encodings and the zero padding of Mons are
+/// uploaded exactly once), and per evaluation uploads the point, launches
+/// the kernels and downloads values + Jacobian.
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "poly/eval_result.hpp"
+
+namespace polyeval::core {
+
+template <prec::RealScalar S>
+class GpuEvaluator {
+  using C = cplx::Complex<S>;
+
+ public:
+  /// Section 3.1's design alternative for the powers table.
+  enum class PowersStrategy {
+    /// The paper's choice: every block recomputes the powers into its
+    /// shared memory inside the common-factor kernel.
+    kPerBlockShared,
+    /// The rejected alternative: a dedicated kernel tabulates the powers
+    /// once into global memory; the common-factor kernel reads them back
+    /// (one extra launch, scattered global reads).
+    kSeparateKernel,
+  };
+
+  struct Options {
+    unsigned block_size = 32;  ///< the paper uses the warp size
+    ExponentEncoding encoding = ExponentEncoding::kChar;
+    MonsLayout mons_layout = MonsLayout::kTransposed;
+    PowersStrategy powers = PowersStrategy::kPerBlockShared;
+  };
+
+  /// Packs and uploads the system.  Throws std::invalid_argument for
+  /// non-uniform systems and simt::ConstantMemoryOverflow when the
+  /// encoded supports exceed the 64 KB budget (the paper's 2048-monomial
+  /// failure).
+  GpuEvaluator(simt::Device& device, const poly::PolynomialSystem& system,
+               Options options = {})
+      : device_(device),
+        options_(options),
+        packed_(pack_system(system)),
+        layout_(packed_.structure, options.mons_layout) {
+    const auto s = packed_.structure;
+    if (options_.block_size == 0)
+      throw std::invalid_argument("GpuEvaluator: block size must be positive");
+
+    const auto encoded = encode_exponents(options_.encoding, packed_.exponents);
+
+    bufs_.positions =
+        device_.alloc_constant<unsigned char>(packed_.positions.size(), "Positions");
+    bufs_.exponents = device_.alloc_constant<unsigned char>(encoded.size(), "Exponents");
+    device_.upload_constant(bufs_.positions,
+                            std::span<const unsigned char>(packed_.positions));
+    device_.upload_constant(bufs_.exponents, std::span<const unsigned char>(encoded));
+
+    bufs_.x = device_.alloc_global<C>(s.n, "X");
+    bufs_.coeffs = device_.alloc_global<C>(layout_.coeffs_size(), "Coeffs");
+    bufs_.common_factors =
+        device_.alloc_global<C>(layout_.total_monomials(), "CommonFactors");
+    bufs_.mons = device_.alloc_global<C>(layout_.mons_size(), "Mons");
+    bufs_.outputs = device_.alloc_global<C>(layout_.num_outputs(), "Outputs");
+
+    // Coefficients widen to the working precision once, then live in
+    // global memory for the whole run.  The derivative portions fold the
+    // exponent factors IN the working precision (folding in double first
+    // would cap extended-precision Jacobian accuracy at ~1e-16).
+    std::vector<C> coeffs(packed_.coeffs.size());
+    for (std::uint64_t t = 0; t < layout_.total_monomials(); ++t) {
+      const auto raw = C::from_double(packed_.coeffs[layout_.coeff_index(s.k, t)]);
+      for (unsigned j = 0; j < s.k; ++j) {
+        const double a = packed_.exponents[layout_.support_index(t, j)] + 1.0;
+        coeffs[layout_.coeff_index(j, t)] =
+            raw * prec::ScalarTraits<S>::from_double(a);
+      }
+      coeffs[layout_.coeff_index(s.k, t)] = raw;
+    }
+    device_.upload(bufs_.coeffs, std::span<const C>(coeffs));
+
+    // The structural zeros of Mons are set once and never written again.
+    device_.fill(bufs_.mons, C{});
+
+    const auto blocks_for = [&](std::uint64_t work) {
+      return static_cast<unsigned>((work + options_.block_size - 1) / options_.block_size);
+    };
+
+    if (options_.powers == PowersStrategy::kSeparateKernel) {
+      bufs_.powers = device_.alloc_global<C>(std::size_t{s.n} * s.d, "Powers");
+      kernel0_ = make_powers_kernel<S>(bufs_, layout_);
+      cfg0_ = {blocks_for(s.n), options_.block_size, 0};
+      kernel1_ = make_common_factor_from_global_kernel<S>(bufs_, layout_,
+                                                          options_.encoding);
+      cfg1_ = {blocks_for(layout_.total_monomials()), options_.block_size, 0};
+    } else {
+      kernel1_ = make_common_factor_kernel<S>(bufs_, layout_, options_.encoding);
+      cfg1_ = {blocks_for(layout_.total_monomials()), options_.block_size,
+               std::size_t{s.n} * s.d * sizeof(C)};
+    }
+    kernel2_ = make_speelpenning_kernel<S>(bufs_, layout_, options_.encoding);
+    kernel3_ = make_summation_kernel<S>(bufs_, layout_);
+    values_kernel_ = make_values_kernel<S>(bufs_, layout_);
+    values_sum_kernel_ = make_values_summation_kernel<S>(bufs_, layout_);
+
+    cfg2_ = {blocks_for(layout_.total_monomials()), options_.block_size,
+             (std::size_t{s.n} + std::size_t{options_.block_size} * (s.k + 1)) * sizeof(C)};
+    cfg3_ = {blocks_for(layout_.num_outputs()), options_.block_size, 0};
+    cfg_values_ = {blocks_for(layout_.total_monomials()), options_.block_size,
+                   std::size_t{s.n} * sizeof(C)};
+    cfg_values_sum_ = {blocks_for(s.n), options_.block_size, 0};
+
+    host_outputs_.resize(layout_.num_outputs());
+  }
+
+  [[nodiscard]] const SystemLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const PackedSystem& packed() const noexcept { return packed_; }
+  [[nodiscard]] unsigned dimension() const noexcept { return packed_.structure.n; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Evaluate values and Jacobian at x (x.size() == dimension()).
+  void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
+    if (x.size() != packed_.structure.n)
+      throw std::invalid_argument("GpuEvaluator: point has wrong dimension");
+
+    const std::size_t kernels_before = device_.log().kernels.size();
+    const simt::TransferStats transfers_before = device_.log().transfers;
+
+    device_.upload(bufs_.x, x);
+    if (options_.powers == PowersStrategy::kSeparateKernel)
+      (void)device_.launch(kernel0_, cfg0_);
+    (void)device_.launch(kernel1_, cfg1_);
+    (void)device_.launch(kernel2_, cfg2_);
+    (void)device_.launch(kernel3_, cfg3_);
+    device_.download(bufs_.outputs, std::span<C>(host_outputs_));
+
+    const unsigned n = packed_.structure.n;
+    out.resize(n);
+    for (unsigned p = 0; p < n; ++p)
+      out.values[p] = host_outputs_[layout_.output_value_index(p)];
+    for (unsigned p = 0; p < n; ++p)
+      for (unsigned v = 0; v < n; ++v)
+        out.jacobian[std::size_t{p} * n + v] =
+            host_outputs_[layout_.output_deriv_index(p, v)];
+
+    snapshot_log(kernels_before, transfers_before);
+  }
+
+  [[nodiscard]] poly::EvalResult<S> evaluate(std::span<const C> x) {
+    poly::EvalResult<S> out(dimension());
+    evaluate(x, out);
+    return out;
+  }
+
+  /// Values-only evaluation f(x) (no Jacobian): the common-factor kernel,
+  /// a k+1-multiplication product kernel and an n-output summation --
+  /// for residual probes that do not need derivatives.
+  void evaluate_values(std::span<const C> x, std::span<C> values) {
+    if (x.size() != packed_.structure.n || values.size() != packed_.structure.n)
+      throw std::invalid_argument("GpuEvaluator: wrong dimension");
+
+    const std::size_t kernels_before = device_.log().kernels.size();
+    const simt::TransferStats transfers_before = device_.log().transfers;
+
+    device_.upload(bufs_.x, x);
+    if (options_.powers == PowersStrategy::kSeparateKernel)
+      (void)device_.launch(kernel0_, cfg0_);
+    (void)device_.launch(kernel1_, cfg1_);
+    (void)device_.launch(values_kernel_, cfg_values_);
+    (void)device_.launch(values_sum_kernel_, cfg_values_sum_);
+    device_.download(bufs_.outputs, values);  // only the first n entries
+    snapshot_log(kernels_before, transfers_before);
+  }
+
+  /// Kernel statistics and transfer volumes of the last evaluate() call,
+  /// the input of simt::estimate_log_us.
+  [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
+
+  /// Direct read of the device-side Mons array (tests use this to verify
+  /// the zero slots and the transposed ordering).
+  [[nodiscard]] std::vector<C> debug_mons() const {
+    std::vector<C> host(layout_.mons_size());
+    std::copy_n(bufs_.mons.raw(), host.size(), host.begin());
+    return host;
+  }
+
+ private:
+  /// Record this call's slice of the device log for the timing model.
+  void snapshot_log(std::size_t kernels_before, const simt::TransferStats& before) {
+    const auto& log = device_.log();
+    last_log_.kernels.assign(
+        log.kernels.begin() + static_cast<std::ptrdiff_t>(kernels_before),
+        log.kernels.end());
+    last_log_.transfers.bytes_to_device =
+        log.transfers.bytes_to_device - before.bytes_to_device;
+    last_log_.transfers.bytes_from_device =
+        log.transfers.bytes_from_device - before.bytes_from_device;
+    last_log_.transfers.transfers_to_device =
+        log.transfers.transfers_to_device - before.transfers_to_device;
+    last_log_.transfers.transfers_from_device =
+        log.transfers.transfers_from_device - before.transfers_from_device;
+  }
+
+  simt::Device& device_;
+  Options options_;
+  PackedSystem packed_;
+  SystemLayout layout_;
+  DeviceBuffers<S> bufs_;
+  simt::Kernel kernel0_, kernel1_, kernel2_, kernel3_;
+  simt::Kernel values_kernel_, values_sum_kernel_;
+  simt::LaunchConfig cfg0_, cfg1_, cfg2_, cfg3_, cfg_values_, cfg_values_sum_;
+  std::vector<C> host_outputs_;
+  simt::LaunchLog last_log_;
+};
+
+}  // namespace polyeval::core

@@ -1,0 +1,422 @@
+#pragma once
+
+/// \file kernels.hpp
+/// The paper's three kernels, expressed for the SIMT simulator.
+///
+/// Kernel 1 (section 3.1) -- common factors.  Phase one: the block's
+/// threads tabulate powers x_v^0 .. x_v^{d-1} of every variable into the
+/// shared Powers array ((e, v) indexing so warp writes spread over
+/// banks).  Phase two: one thread per monomial multiplies k precomputed
+/// powers into the common factor x_{i1}^{a1-1}...x_{ik}^{ak-1}, writing
+/// coalesced to global memory.  Every block recomputes the powers -- the
+/// paper argues this beats a separate powers kernel round-tripping
+/// through global memory.
+///
+/// Kernel 2 (section 3.2) -- one thread per monomial evaluates the
+/// Speelpenning product's k derivatives in 3k-6 multiplications
+/// (forward prefix products in shared locations L, backward suffix
+/// product in register Q), multiplies by the common factor (k), recovers
+/// the monomial value (1), folds in the coefficients (k+1): 5k-4 total.
+/// Writes land scattered in the transposed Mons array -- the price of
+/// kernel 3's coalesced reads.
+///
+/// Kernel 3 (section 3.3) -- one thread per output polynomial (n^2+n of
+/// them) adds exactly m terms, structural zeros included, keeping every
+/// warp lane on the same path; reads coalesce by construction.
+
+#include <array>
+
+#include "core/encoding.hpp"
+#include "core/layout.hpp"
+#include "simt/device.hpp"
+
+namespace polyeval::core {
+
+/// Device-resident state of a packed system.
+template <prec::RealScalar S>
+struct DeviceBuffers {
+  using C = cplx::Complex<S>;
+  simt::GlobalBuffer<C> x;               ///< the evaluation point (n)
+  simt::GlobalBuffer<C> coeffs;          ///< portion-major Coeffs ((k+1)nm)
+  simt::GlobalBuffer<C> common_factors;  ///< kernel 1 -> kernel 2 (nm)
+  simt::GlobalBuffer<C> mons;            ///< kernel 2 -> kernel 3 ((n^2+n)m)
+  simt::GlobalBuffer<C> outputs;         ///< kernel 3 results (n^2+n)
+  simt::GlobalBuffer<C> powers;          ///< global powers table (n*d), only
+                                         ///< for the separate-kernel ablation
+  simt::ConstantBuffer<unsigned char> positions;
+  simt::ConstantBuffer<unsigned char> exponents;  ///< encoded, see encoding.hpp
+};
+
+namespace detail {
+
+/// Exponent-minus-one of support entry `index`, via the constant cache.
+template <prec::RealScalar S>
+[[nodiscard]] inline unsigned load_exponent(simt::ThreadContext& ctx,
+                                            const DeviceBuffers<S>& bufs,
+                                            ExponentEncoding enc, std::uint64_t index) {
+  if (enc == ExponentEncoding::kChar) return ctx.load_constant(bufs.exponents, index);
+  const unsigned char byte = ctx.load_constant(bufs.exponents, index / 2);
+  return index % 2 == 0 ? (byte & 0x0Fu) : (byte >> 4u);
+}
+
+}  // namespace detail
+
+/// Kernel 1: powers table + common factors.
+/// Shared memory: Powers[d rows][n vars] of Complex<S>, row e holding
+/// x^e (row 0 is ones so exponent-one factors keep the warp uniform).
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_common_factor_kernel(const DeviceBuffers<S>& bufs,
+                                                     const SystemLayout& layout,
+                                                     ExponentEncoding enc) {
+  using C = cplx::Complex<S>;
+  const auto s = layout.structure();
+  const unsigned n = s.n, d = s.d, k = s.k;
+  const std::uint64_t monomials = layout.total_monomials();
+
+  simt::Kernel kernel;
+  kernel.name = "common_factors";
+
+  // Phase one: tabulate powers (strided over variables when n exceeds
+  // the block size).
+  kernel.phases.push_back([bufs, n, d](simt::ThreadContext& ctx) {
+    auto powers = ctx.template shared_array<C>(0, std::size_t{n} * d);
+    bool worked = false;
+    for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
+      worked = true;
+      powers.set(v, C(S(1.0)));  // row 0: x^0
+      if (d >= 2) {
+        const C xv = ctx.load(bufs.x, v);
+        powers.set(std::size_t{n} + v, xv);
+        for (unsigned e = 2; e < d; ++e) {
+          const C next = powers.get(std::size_t{e - 1} * n + v) * xv;
+          ctx.op_cmul();
+          powers.set(std::size_t{e} * n + v, next);
+        }
+      }
+    }
+    if (!worked) ctx.mark_inactive();
+  });
+
+  // Phase two: one common factor per thread, k-1 multiplications.
+  kernel.phases.push_back([bufs, layout, enc, n, d, k, monomials](simt::ThreadContext& ctx) {
+    const std::uint64_t g = ctx.global_thread_index();
+    if (g >= monomials) {
+      ctx.mark_inactive();
+      return;
+    }
+    auto powers = ctx.template shared_array<C>(0, std::size_t{n} * d);
+    C cf(S(1.0));
+    for (unsigned j = 0; j < k; ++j) {
+      const auto idx = layout.support_index(g, j);
+      const unsigned pos = ctx.load_constant(bufs.positions, idx);
+      const unsigned em1 = detail::load_exponent(ctx, bufs, enc, idx);
+      const C val = powers.get(std::size_t{em1} * n + pos);
+      if (j == 0) {
+        cf = val;
+      } else {
+        cf = cf * val;
+        ctx.op_cmul();
+      }
+    }
+    ctx.store(bufs.common_factors, g, cf);  // coalesced: thread g -> slot g
+  });
+
+  return kernel;
+}
+
+/// Ablation of section 3.1's design discussion: instead of every block
+/// recomputing the powers in shared memory, tabulate them ONCE in a
+/// dedicated kernel that writes global memory...
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_powers_kernel(const DeviceBuffers<S>& bufs,
+                                              const SystemLayout& layout) {
+  using C = cplx::Complex<S>;
+  const auto s = layout.structure();
+  const unsigned n = s.n, d = s.d;
+
+  simt::Kernel kernel;
+  kernel.name = "powers_global";
+  kernel.phases.push_back([bufs, n, d](simt::ThreadContext& ctx) {
+    bool worked = false;
+    for (std::size_t v = ctx.global_thread_index(); v < n;
+         v += std::size_t{ctx.grid_dim()} * ctx.block_dim()) {
+      worked = true;
+      ctx.store(bufs.powers, v, C(S(1.0)));  // row 0: x^0, coalesced
+      if (d >= 2) {
+        const C xv = ctx.load(bufs.x, v);
+        ctx.store(bufs.powers, std::size_t{n} + v, xv);
+        C cur = xv;
+        for (unsigned e = 2; e < d; ++e) {
+          cur = cur * xv;
+          ctx.op_cmul();
+          ctx.store(bufs.powers, std::size_t{e} * n + v, cur);
+        }
+      }
+    }
+    if (!worked) ctx.mark_inactive();
+  });
+  return kernel;
+}
+
+/// ...and have the common-factor kernel read the powers back from global
+/// memory (scattered within each warp, since lanes index different
+/// variables and exponents).  The extra kernel launch plus this traffic
+/// is exactly the cost the paper's argument weighs against the per-block
+/// recomputation.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_common_factor_from_global_kernel(
+    const DeviceBuffers<S>& bufs, const SystemLayout& layout, ExponentEncoding enc) {
+  using C = cplx::Complex<S>;
+  const auto s = layout.structure();
+  const unsigned n = s.n, k = s.k;
+  const std::uint64_t monomials = layout.total_monomials();
+
+  simt::Kernel kernel;
+  kernel.name = "common_factors_global";
+  kernel.phases.push_back([bufs, layout, enc, n, k, monomials](simt::ThreadContext& ctx) {
+    const std::uint64_t g = ctx.global_thread_index();
+    if (g >= monomials) {
+      ctx.mark_inactive();
+      return;
+    }
+    C cf(S(1.0));
+    for (unsigned j = 0; j < k; ++j) {
+      const auto idx = layout.support_index(g, j);
+      const unsigned pos = ctx.load_constant(bufs.positions, idx);
+      const unsigned em1 = detail::load_exponent(ctx, bufs, enc, idx);
+      const C val = ctx.load(bufs.powers, std::size_t{em1} * n + pos);
+      if (j == 0) {
+        cf = val;
+      } else {
+        cf = cf * val;
+        ctx.op_cmul();
+      }
+    }
+    ctx.store(bufs.common_factors, g, cf);
+  });
+  return kernel;
+}
+
+/// Kernel 2: Speelpenning evaluation + differentiation + coefficients.
+/// Shared memory: the n variable values, then B*(k+1) locations
+/// L_1..L_{k+1} (one strip per thread).
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_speelpenning_kernel(const DeviceBuffers<S>& bufs,
+                                                    const SystemLayout& layout,
+                                                    ExponentEncoding enc) {
+  using C = cplx::Complex<S>;
+  const auto s = layout.structure();
+  const unsigned n = s.n, k = s.k;
+  const std::uint64_t monomials = layout.total_monomials();
+
+  simt::Kernel kernel;
+  kernel.name = "speelpenning";
+
+  // Phase one: cooperative coalesced load of the point into shared
+  // memory ("we would need to access global memory only once by all
+  // threads of a block simultaneously", section 3.2).
+  kernel.phases.push_back([bufs, n](simt::ThreadContext& ctx) {
+    auto svars = ctx.template shared_array<C>(0, n);
+    bool worked = false;
+    for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
+      worked = true;
+      svars.set(v, ctx.load(bufs.x, v));
+    }
+    if (!worked) ctx.mark_inactive();
+  });
+
+  // Phase two: one monomial per thread, 5k-4 multiplications.
+  kernel.phases.push_back([bufs, layout, enc, n, k, monomials](simt::ThreadContext& ctx) {
+    const std::uint64_t g = ctx.global_thread_index();
+    if (g >= monomials) {
+      ctx.mark_inactive();
+      return;
+    }
+    auto svars = ctx.template shared_array<C>(0, n);
+    auto ell = ctx.template shared_array<C>(std::size_t{n} * sizeof(C),
+                                            std::size_t{ctx.block_dim()} * (k + 1));
+    const std::size_t base = std::size_t{ctx.thread_index()} * (k + 1);
+
+    // Cache the k variable positions in registers; one constant read each.
+    std::array<unsigned, 256> pos{};
+    for (unsigned j = 0; j < k; ++j)
+      pos[j] = ctx.load_constant(bufs.positions, layout.support_index(g, j));
+    const auto var = [&](unsigned j) { return svars.get(pos[j]); };
+
+    // Derivatives of the Speelpenning product into L_1..L_k (slots
+    // base+0 .. base+k-1): 3k-6 multiplications for k >= 3.
+    if (k == 2) {
+      ell.set(base + 0, var(1));
+      ell.set(base + 1, var(0));
+    } else if (k >= 3) {
+      // forward prefix products: L_{r+1} = L_r * v_r
+      ell.set(base + 1, var(0));
+      for (unsigned r = 2; r < k; ++r) {
+        const C fwd = ell.get(base + r - 1) * var(r - 1);
+        ctx.op_cmul();
+        ell.set(base + r, fwd);
+      }
+      // backward suffix product in the register Q
+      C q = var(k - 1);
+      {
+        const C v2 = ell.get(base + k - 2) * q;
+        ctx.op_cmul();
+        ell.set(base + k - 2, v2);
+      }
+      for (unsigned r = 1; r + 2 < k; ++r) {
+        q = q * var(k - 1 - r);
+        ctx.op_cmul();
+        const C v2 = ell.get(base + k - 2 - r) * q;
+        ctx.op_cmul();
+        ell.set(base + k - 2 - r, v2);
+      }
+      const C first = q * var(1);
+      ctx.op_cmul();
+      ell.set(base + 0, first);
+    }
+
+    // Monomial derivatives: common factor times product derivatives
+    // (k multiplications; for k == 1 the derivative IS the factor).
+    const C cf = ctx.load(bufs.common_factors, g);
+    if (k == 1) {
+      ell.set(base + 0, cf);
+    } else {
+      for (unsigned j = 0; j < k; ++j) {
+        const C v2 = ell.get(base + j) * cf;
+        ctx.op_cmul();
+        ell.set(base + j, v2);
+      }
+    }
+
+    // Monomial value from its last derivative (1 multiplication).
+    {
+      const C value = ell.get(base + k - 1) * var(k - 1);
+      ctx.op_cmul();
+      ell.set(base + k, value);
+    }
+
+    // Coefficient products (k+1 multiplications); derivative portions
+    // carry the folded exponent factors.
+    for (unsigned j = 0; j <= k; ++j) {
+      const C c = ctx.load(bufs.coeffs, layout.coeff_index(j, g));
+      const C v2 = ell.get(base + j) * c;
+      ctx.op_cmul();
+      ell.set(base + j, v2);
+    }
+
+    // Output: scattered writes into the transposed Mons array (the
+    // paper's accepted tradeoff; coalesced under kOutputMajor ablation
+    // only for the value row).
+    ctx.store(bufs.mons, layout.mons_value_index(g), ell.get(base + k));
+    for (unsigned j = 0; j < k; ++j)
+      ctx.store(bufs.mons, layout.mons_deriv_index(g, pos[j]), ell.get(base + j));
+  });
+
+  return kernel;
+}
+
+/// Values-only variant of kernel 2: when a tracker only needs h(x, t)
+/// (step-acceptance residuals, bisection probes), the Jacobian work can
+/// be skipped.  One thread per monomial computes
+/// coeff * common_factor * x_{i1}...x_{ik} in k+1 multiplications and
+/// writes the value slot of Mons; the derivative slots keep whatever the
+/// last full evaluation left there, so this kernel pairs with the
+/// values-only summation below, which reads only the value rows.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_values_kernel(const DeviceBuffers<S>& bufs,
+                                              const SystemLayout& layout) {
+  using C = cplx::Complex<S>;
+  const auto s = layout.structure();
+  const unsigned n = s.n, k = s.k;
+  const std::uint64_t monomials = layout.total_monomials();
+
+  simt::Kernel kernel;
+  kernel.name = "values_only";
+  kernel.phases.push_back([bufs, n](simt::ThreadContext& ctx) {
+    auto svars = ctx.template shared_array<C>(0, n);
+    bool worked = false;
+    for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
+      worked = true;
+      svars.set(v, ctx.load(bufs.x, v));
+    }
+    if (!worked) ctx.mark_inactive();
+  });
+  kernel.phases.push_back([bufs, layout, n, k, monomials](simt::ThreadContext& ctx) {
+    const std::uint64_t g = ctx.global_thread_index();
+    if (g >= monomials) {
+      ctx.mark_inactive();
+      return;
+    }
+    auto svars = ctx.template shared_array<C>(0, n);
+    // Speelpenning product (no derivatives): k-1 multiplications.
+    C product = svars.get(ctx.load_constant(bufs.positions, layout.support_index(g, 0)));
+    for (unsigned j = 1; j < k; ++j) {
+      product =
+          product *
+          svars.get(ctx.load_constant(bufs.positions, layout.support_index(g, j)));
+      ctx.op_cmul();
+    }
+    // times the common factor and the value coefficient: 2 more.
+    product = product * ctx.load(bufs.common_factors, g);
+    ctx.op_cmul();
+    product = product * ctx.load(bufs.coeffs, layout.coeff_index(k, g));
+    ctx.op_cmul();
+    ctx.store(bufs.mons, layout.mons_value_index(g), product);
+  });
+  return kernel;
+}
+
+/// Values-only summation: only the n system polynomials (not the n^2
+/// Jacobian rows) are accumulated.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_values_summation_kernel(const DeviceBuffers<S>& bufs,
+                                                        const SystemLayout& layout) {
+  using C = cplx::Complex<S>;
+  const unsigned m = layout.structure().m;
+  const unsigned n = layout.structure().n;
+
+  simt::Kernel kernel;
+  kernel.name = "values_summation";
+  kernel.phases.push_back([bufs, layout, m, n](simt::ThreadContext& ctx) {
+    const std::uint64_t out = ctx.global_thread_index();
+    if (out >= n) {
+      ctx.mark_inactive();
+      return;
+    }
+    C sum = ctx.load(bufs.mons, layout.mons_index(out, 0));
+    for (unsigned j = 1; j < m; ++j) {
+      sum += ctx.load(bufs.mons, layout.mons_index(out, j));
+      ctx.op_cadd();
+    }
+    ctx.store(bufs.outputs, out, sum);
+  });
+  return kernel;
+}
+
+/// Kernel 3: one thread per output polynomial sums exactly m terms.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel make_summation_kernel(const DeviceBuffers<S>& bufs,
+                                                 const SystemLayout& layout) {
+  using C = cplx::Complex<S>;
+  const unsigned m = layout.structure().m;
+  const std::uint64_t outputs = layout.num_outputs();
+
+  simt::Kernel kernel;
+  kernel.name = "summation";
+  kernel.phases.push_back([bufs, layout, m, outputs](simt::ThreadContext& ctx) {
+    const std::uint64_t out = ctx.global_thread_index();
+    if (out >= outputs) {
+      ctx.mark_inactive();
+      return;
+    }
+    C sum = ctx.load(bufs.mons, layout.mons_index(out, 0));
+    for (unsigned j = 1; j < m; ++j) {
+      sum += ctx.load(bufs.mons, layout.mons_index(out, j));
+      ctx.op_cadd();
+    }
+    ctx.store(bufs.outputs, out, sum);
+  });
+  return kernel;
+}
+
+}  // namespace polyeval::core

@@ -1,0 +1,46 @@
+#include "core/layout.hpp"
+
+#include <stdexcept>
+
+namespace polyeval::core {
+
+PackedSystem pack_system(const poly::PolynomialSystem& system) {
+  const auto structure = system.uniform_structure();
+  if (!structure)
+    throw std::invalid_argument(
+        "pack_system: the massively parallel pipeline requires the uniform "
+        "(n, m, k, d) structure of section 2");
+  const auto s = *structure;
+  if (s.n > 256)
+    throw std::invalid_argument("pack_system: unsigned char positions require n <= 256");
+  if (s.d > 256)
+    throw std::invalid_argument("pack_system: unsigned char exponents require d <= 256");
+
+  SystemLayout layout(s);
+  PackedSystem packed;
+  packed.structure = s;
+  packed.positions.resize(layout.total_monomials() * s.k);
+  packed.exponents.resize(layout.total_monomials() * s.k);
+  packed.coeffs.resize(layout.coeffs_size());
+
+  for (unsigned p = 0; p < s.n; ++p) {
+    const auto& monos = system.polynomial(p).monomials();
+    for (unsigned j = 0; j < s.m; ++j) {
+      const auto t = layout.sm_index(p, j);
+      const auto& mono = monos[j];
+      const auto& factors = mono.factors();
+      for (unsigned v = 0; v < s.k; ++v) {
+        packed.positions[layout.support_index(t, v)] =
+            static_cast<unsigned char>(factors[v].var);
+        packed.exponents[layout.support_index(t, v)] =
+            static_cast<unsigned char>(factors[v].exp - 1);
+        packed.coeffs[layout.coeff_index(v, t)] =
+            mono.coefficient() * static_cast<double>(factors[v].exp);
+      }
+      packed.coeffs[layout.coeff_index(s.k, t)] = mono.coefficient();
+    }
+  }
+  return packed;
+}
+
+}  // namespace polyeval::core

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file layout.hpp
+/// The device data layouts of the paper (section 3.3):
+///
+/// * the monomial sequence Sm: monomial t = p*m + j is the j-th monomial
+///   of polynomial p;
+/// * Positions/Exponents: per monomial, k variable indices and k
+///   exponents-minus-one, stored monomial-major in constant memory;
+/// * Coeffs: (k+1) portions of n*m coefficients each -- portion j < k
+///   holds the derivative coefficients c * a_j (exponent factors folded
+///   in at pack time), portion k holds the value coefficients c; inside a
+///   portion, Sm order, so warp reads coalesce;
+/// * Mons: the second kernel's output, transposed and zero-padded so the
+///   third kernel's reads coalesce: term slot j occupies a contiguous
+///   group of n^2+n entries (n monomial values, then n entries per
+///   variable of derivative values).
+
+#include <cstdint>
+#include <vector>
+
+#include "cplx/complex.hpp"
+#include "poly/system.hpp"
+
+namespace polyeval::core {
+
+/// How the second kernel's output array is arranged -- the explicit
+/// tradeoff of section 3.3.
+enum class MonsLayout {
+  /// The paper's choice: kernel 3 reads coalesce, kernel 2 writes do not.
+  kTransposed,
+  /// The rejected alternative (ablation): output-major storage, kernel 2
+  /// value writes mostly coalesce, kernel 3 reads stride by m.
+  kOutputMajor,
+};
+
+/// Index algebra for a uniform system (n, m, k, d) on the device.
+/// All functions are pure; tests verify them in both directions.
+class SystemLayout {
+ public:
+  SystemLayout(poly::UniformStructure s, MonsLayout mons = MonsLayout::kTransposed)
+      : s_(s), mons_(mons) {}
+
+  [[nodiscard]] const poly::UniformStructure& structure() const noexcept { return s_; }
+  [[nodiscard]] MonsLayout mons_layout() const noexcept { return mons_; }
+
+  /// Total monomials in the system: |Sm| = n*m.
+  [[nodiscard]] std::uint64_t total_monomials() const noexcept {
+    return std::uint64_t{s_.n} * s_.m;
+  }
+  /// Monomials plus all their derivatives: n*m*(k+1) (size of Coeffs).
+  [[nodiscard]] std::uint64_t coeffs_size() const noexcept {
+    return total_monomials() * (s_.k + 1);
+  }
+  /// Output polynomials of system + Jacobian: n^2 + n.
+  [[nodiscard]] std::uint64_t num_outputs() const noexcept {
+    return std::uint64_t{s_.n} * s_.n + s_.n;
+  }
+  /// Size of the zero-padded Mons array: (n^2+n)*m.
+  [[nodiscard]] std::uint64_t mons_size() const noexcept {
+    return num_outputs() * s_.m;
+  }
+  /// Entries of Mons that are structural zeros (never written).
+  [[nodiscard]] std::uint64_t mons_zero_slots() const noexcept {
+    return mons_size() - total_monomials() * (s_.k + 1);
+  }
+
+  // -- Sm order ---------------------------------------------------------
+  [[nodiscard]] unsigned monomial_poly(std::uint64_t t) const noexcept {
+    return static_cast<unsigned>(t / s_.m);
+  }
+  [[nodiscard]] unsigned monomial_slot(std::uint64_t t) const noexcept {
+    return static_cast<unsigned>(t % s_.m);
+  }
+  [[nodiscard]] std::uint64_t sm_index(unsigned poly, unsigned slot) const noexcept {
+    return std::uint64_t{poly} * s_.m + slot;
+  }
+
+  // -- Positions / Exponents (monomial-major) ---------------------------
+  [[nodiscard]] std::uint64_t support_index(std::uint64_t t, unsigned j) const noexcept {
+    return t * s_.k + j;
+  }
+
+  // -- Coeffs (portion-major) -------------------------------------------
+  /// portion j in [0, k): coefficient of the derivative with respect to
+  /// the monomial's j-th variable; portion k: the value coefficient.
+  [[nodiscard]] std::uint64_t coeff_index(unsigned portion, std::uint64_t t) const noexcept {
+    return std::uint64_t{portion} * total_monomials() + t;
+  }
+
+  // -- output vector (kernel 3 results) ----------------------------------
+  /// Output index of the value of polynomial p.
+  [[nodiscard]] std::uint64_t output_value_index(unsigned poly) const noexcept {
+    return poly;
+  }
+  /// Output index of d f_poly / d x_var.
+  [[nodiscard]] std::uint64_t output_deriv_index(unsigned poly, unsigned var) const noexcept {
+    return std::uint64_t{s_.n} + std::uint64_t{var} * s_.n + poly;
+  }
+
+  // -- Mons -------------------------------------------------------------
+  /// Mons entry of term slot j of output `out`.
+  [[nodiscard]] std::uint64_t mons_index(std::uint64_t out, unsigned slot) const noexcept {
+    return mons_ == MonsLayout::kTransposed
+               ? std::uint64_t{slot} * num_outputs() + out
+               : out * s_.m + slot;
+  }
+  /// Mons entry the second kernel writes the *value* of monomial t into.
+  [[nodiscard]] std::uint64_t mons_value_index(std::uint64_t t) const noexcept {
+    return mons_index(output_value_index(monomial_poly(t)), monomial_slot(t));
+  }
+  /// Mons entry for the derivative of monomial t with respect to x_var.
+  [[nodiscard]] std::uint64_t mons_deriv_index(std::uint64_t t, unsigned var) const noexcept {
+    return mons_index(output_deriv_index(monomial_poly(t), var), monomial_slot(t));
+  }
+
+ private:
+  poly::UniformStructure s_;
+  MonsLayout mons_;
+};
+
+/// Host-side packed form of a uniform system: the byte arrays destined
+/// for constant memory and the coefficient array destined for global
+/// memory (as hardware doubles; widened per scalar type on upload).
+struct PackedSystem {
+  poly::UniformStructure structure;
+  /// Variable index of the j-th variable of monomial t at t*k+j.
+  std::vector<unsigned char> positions;
+  /// Exponent minus one of the j-th variable of monomial t at t*k+j
+  /// ("giving us opportunity to work with variables appearing in degrees
+  /// up to 255", section 3.1).
+  std::vector<unsigned char> exponents;
+  /// Portion-major coefficients, derivative portions pre-multiplied by
+  /// the exponents.
+  std::vector<cplx::Complex<double>> coeffs;
+};
+
+/// Pack a uniform system; throws std::invalid_argument if the system is
+/// not uniform or exceeds the unsigned-char encoding ranges (n <= 256,
+/// d <= 256).
+[[nodiscard]] PackedSystem pack_system(const poly::PolynomialSystem& system);
+
+}  // namespace polyeval::core

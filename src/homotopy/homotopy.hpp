@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file homotopy.hpp
+/// The gamma-trick linear homotopy h(x, t) = gamma (1-t) g(x) + t f(x):
+/// for random complex gamma the paths from the start roots of g to the
+/// solutions of f are smooth with probability one.  At fixed t the
+/// homotopy is itself an Evaluator, so Newton's method serves directly
+/// as the corrector.
+
+#include <random>
+#include <span>
+
+#include "newton/newton.hpp"
+
+namespace polyeval::homotopy {
+
+/// A random unit-modulus gamma (seeded for reproducibility).
+[[nodiscard]] inline cplx::Complex<double> random_gamma(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+  const double a = angle(rng);
+  return {std::cos(a), std::sin(a)};
+}
+
+template <prec::RealScalar S, class EvalF, class EvalG>
+  requires newton::Evaluator<EvalF, S> && newton::Evaluator<EvalG, S>
+class Homotopy {
+  using C = cplx::Complex<S>;
+
+ public:
+  Homotopy(EvalF& f, EvalG& g, cplx::Complex<double> gamma)
+      : f_(f), g_(g), gamma_(C::from_double(gamma)),
+        f_eval_(f.dimension()), g_eval_(g.dimension()) {
+    if (f.dimension() != g.dimension())
+      throw std::invalid_argument("Homotopy: dimension mismatch");
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return f_.dimension(); }
+
+  void set_t(const S& t) noexcept { t_ = t; }
+  [[nodiscard]] const S& t() const noexcept { return t_; }
+
+  /// h(x, t) and its Jacobian in x at the current t.
+  void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
+    f_.evaluate(x, f_eval_);
+    g_.evaluate(x, g_eval_);
+    const C a = gamma_ * C(S(1.0) - t_);  // gamma (1-t)
+    const C b = C(t_);
+    const unsigned n = dimension();
+    out.resize(n);
+    for (unsigned i = 0; i < n; ++i)
+      out.values[i] = a * g_eval_.values[i] + b * f_eval_.values[i];
+    for (std::size_t i = 0; i < out.jacobian.size(); ++i)
+      out.jacobian[i] = a * g_eval_.jacobian[i] + b * f_eval_.jacobian[i];
+  }
+
+  /// dh/dt = f(x) - gamma g(x), using the f and g values of the most
+  /// recent evaluate() call (predictor step follows the corrector state).
+  [[nodiscard]] std::vector<C> dt_from_last() const {
+    const unsigned n = dimension();
+    std::vector<C> out(n);
+    for (unsigned i = 0; i < n; ++i)
+      out[i] = f_eval_.values[i] - gamma_ * g_eval_.values[i];
+    return out;
+  }
+
+ private:
+  EvalF& f_;
+  EvalG& g_;
+  C gamma_;
+  S t_{0.0};
+  poly::EvalResult<S> f_eval_;
+  poly::EvalResult<S> g_eval_;
+};
+
+}  // namespace polyeval::homotopy

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file solver.hpp
+/// All-paths total-degree solver: the manager/worker loop the paper's
+/// introduction describes (path-tracking jobs distributed over workers).
+/// Each worker owns private evaluators, mirroring the per-process state
+/// of the MPI implementations the paper cites.
+
+#include <algorithm>
+#include <cmath>
+
+#include "ad/cpu_evaluator.hpp"
+#include "homotopy/start_system.hpp"
+#include "homotopy/tracker.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace polyeval::homotopy {
+
+struct SolveOptions {
+  TrackOptions track;
+  std::uint64_t gamma_seed = 20120102;
+  unsigned workers = 1;          ///< worker threads for path jobs
+  std::uint64_t max_paths = 0;   ///< 0 = all Bezout paths
+};
+
+template <prec::RealScalar S>
+struct SolveSummary {
+  std::vector<TrackResult<S>> paths;
+  std::uint64_t attempted = 0;
+  std::uint64_t successes = 0;
+
+  /// Distinct solutions among the successful endpoints (max-norm
+  /// tolerance matching).
+  [[nodiscard]] std::vector<std::vector<cplx::Complex<S>>> distinct_solutions(
+      double tolerance = 1e-6) const {
+    std::vector<std::vector<cplx::Complex<S>>> found;
+    for (const auto& p : paths) {
+      if (!p.success) continue;
+      const bool seen = std::any_of(found.begin(), found.end(), [&](const auto& q) {
+        double worst = 0.0;
+        for (std::size_t i = 0; i < q.size(); ++i)
+          worst = std::max(worst, cplx::max_abs_diff(q[i], p.solution[i]));
+        return worst < tolerance;
+      });
+      if (!seen) found.push_back(p.solution);
+    }
+    return found;
+  }
+};
+
+/// Track every total-degree path of the target system in precision S.
+template <prec::RealScalar S>
+SolveSummary<S> solve_total_degree(const poly::PolynomialSystem& target,
+                                   const SolveOptions& options = {}) {
+  using C = cplx::Complex<S>;
+  const TotalDegreeStart start(target);
+  const auto gamma = random_gamma(options.gamma_seed);
+
+  std::uint64_t paths = start.num_paths();
+  if (options.max_paths > 0) paths = std::min(paths, options.max_paths);
+
+  SolveSummary<S> summary;
+  summary.attempted = paths;
+  summary.paths.resize(paths);
+
+  simt::ThreadPool pool(options.workers);
+  pool.parallel_for(paths, [&](std::size_t path) {
+    // Worker-private evaluators: no shared mutable state between jobs.
+    ad::CpuEvaluator<S> f(target);
+    ad::CpuEvaluator<S> g(start.system());
+    Homotopy<S, ad::CpuEvaluator<S>, ad::CpuEvaluator<S>> h(f, g, gamma);
+    PathTracker<S, ad::CpuEvaluator<S>, ad::CpuEvaluator<S>> tracker(h, options.track);
+
+    const auto root_d = start.start_root(path);
+    std::vector<C> root;
+    root.reserve(root_d.size());
+    for (const auto& z : root_d) root.push_back(C::from_double(z));
+    summary.paths[path] = tracker.track(std::span<const C>(root));
+  });
+
+  for (const auto& p : summary.paths)
+    if (p.success) ++summary.successes;
+  return summary;
+}
+
+}  // namespace polyeval::homotopy

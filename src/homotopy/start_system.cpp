@@ -1,0 +1,50 @@
+#include "homotopy/start_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace polyeval::homotopy {
+
+namespace {
+
+poly::PolynomialSystem build_start(const std::vector<unsigned>& degrees) {
+  const unsigned n = static_cast<unsigned>(degrees.size());
+  std::vector<poly::Polynomial> polys;
+  polys.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    std::vector<poly::Monomial> monos;
+    monos.emplace_back(cplx::Complex<double>{1.0, 0.0},
+                       std::vector<poly::VarPower>{{i, degrees[i]}});
+    monos.emplace_back(cplx::Complex<double>{-1.0, 0.0}, std::vector<poly::VarPower>{});
+    polys.emplace_back(n, std::move(monos));
+  }
+  return poly::PolynomialSystem(std::move(polys));
+}
+
+}  // namespace
+
+TotalDegreeStart::TotalDegreeStart(const poly::PolynomialSystem& target)
+    : degrees_(target.degrees()), num_paths_(1), system_(build_start(degrees_)) {
+  for (const unsigned d : degrees_) {
+    if (d == 0)
+      throw std::invalid_argument("TotalDegreeStart: zero-degree polynomial in target");
+    num_paths_ *= d;
+  }
+}
+
+std::vector<cplx::Complex<double>> TotalDegreeStart::start_root(
+    std::uint64_t path) const {
+  if (path >= num_paths_) throw std::out_of_range("TotalDegreeStart: path index");
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  std::vector<cplx::Complex<double>> root;
+  root.reserve(degrees_.size());
+  for (const unsigned d : degrees_) {
+    const auto digit = static_cast<double>(path % d);
+    path /= d;
+    const double angle = kTwoPi * digit / static_cast<double>(d);
+    root.push_back({std::cos(angle), std::sin(angle)});
+  }
+  return root;
+}
+
+}  // namespace polyeval::homotopy

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file start_system.hpp
+/// Total-degree start systems g_i(x) = x_i^{d_i} - 1 whose Prod d_i
+/// roots (tuples of roots of unity) start the homotopy paths.
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/system.hpp"
+
+namespace polyeval::homotopy {
+
+class TotalDegreeStart {
+ public:
+  /// Start system matching the degrees of the target system f.
+  explicit TotalDegreeStart(const poly::PolynomialSystem& target);
+
+  [[nodiscard]] const poly::PolynomialSystem& system() const noexcept { return system_; }
+  [[nodiscard]] const std::vector<unsigned>& degrees() const noexcept { return degrees_; }
+
+  /// Bezout number: the number of homotopy paths.
+  [[nodiscard]] std::uint64_t num_paths() const noexcept { return num_paths_; }
+
+  /// The path-th start root: x_i = exp(2 pi i j_i / d_i) with (j_1..j_n)
+  /// the mixed-radix digits of `path`.
+  [[nodiscard]] std::vector<cplx::Complex<double>> start_root(std::uint64_t path) const;
+
+ private:
+  std::vector<unsigned> degrees_;
+  std::uint64_t num_paths_;
+  poly::PolynomialSystem system_;
+};
+
+}  // namespace polyeval::homotopy

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file tracker.hpp
+/// Adaptive predictor-corrector path tracking along the homotopy from
+/// t = 0 to t = 1: Euler predictor on the Davidenko equation
+/// J_h dx/dt = -dh/dt, Newton corrector at the advanced t, step halving
+/// on corrector failure and growth after consecutive successes.
+
+#include "homotopy/homotopy.hpp"
+
+namespace polyeval::homotopy {
+
+struct TrackOptions {
+  double initial_step = 0.05;
+  double min_step = 1e-8;
+  double max_step = 0.2;
+  double step_growth = 1.5;
+  double step_shrink = 0.5;
+  unsigned growth_after = 3;           ///< consecutive successes before growing
+  unsigned corrector_iterations = 4;   ///< Newton steps per corrector call
+  double corrector_tolerance = 1e-9;   ///< residual target during tracking
+  unsigned max_steps = 10000;
+  double end_tolerance = 1e-12;        ///< residual target of the final refine
+  unsigned end_iterations = 10;        ///< Newton steps at t = 1
+};
+
+template <prec::RealScalar S>
+struct TrackResult {
+  bool success = false;
+  std::vector<cplx::Complex<S>> solution;
+  unsigned steps = 0;        ///< accepted predictor-corrector steps
+  unsigned rejections = 0;   ///< halved steps
+  double final_residual = 0.0;
+  double t_reached = 0.0;
+};
+
+template <prec::RealScalar S, class EvalF, class EvalG>
+class PathTracker {
+  using C = cplx::Complex<S>;
+
+ public:
+  PathTracker(Homotopy<S, EvalF, EvalG>& homotopy, TrackOptions options = {})
+      : h_(homotopy), options_(options) {}
+
+  /// Track one path from a start root of g (where h(x, 0) = 0).
+  [[nodiscard]] TrackResult<S> track(std::span<const C> start) {
+    const unsigned n = h_.dimension();
+    TrackResult<S> result;
+    result.solution.assign(start.begin(), start.end());
+
+    double t = 0.0;
+    double step = options_.initial_step;
+    unsigned streak = 0;
+    poly::EvalResult<S> eval(n);
+
+    while (t < 1.0 && result.steps + result.rejections < options_.max_steps) {
+      const double dt = std::min(step, 1.0 - t);
+
+      // Predictor: Euler step along the Davidenko flow at (x, t).
+      h_.set_t(S(t));
+      h_.evaluate(std::span<const C>(result.solution), eval);
+      auto jac = linalg::Matrix<S>::from_row_major(n, n, eval.jacobian);
+      const auto rhs = h_.dt_from_last();
+      auto flow = linalg::lu_solve(std::move(jac), std::span<const C>(rhs));
+      std::vector<C> predicted = result.solution;
+      if (flow) {
+        const S h_dt(dt);
+        for (unsigned i = 0; i < n; ++i) predicted[i] -= (*flow)[i] * h_dt;
+      }
+      // A singular Jacobian mid-path leaves the predictor at the current
+      // point; the corrector then decides whether the step is viable.
+
+      // Corrector: Newton at t + dt.
+      h_.set_t(S(t + dt));
+      newton::NewtonOptions copts;
+      copts.max_iterations = options_.corrector_iterations;
+      copts.residual_tolerance = options_.corrector_tolerance;
+      auto corrected = newton::refine<S>(h_, std::span<const C>(predicted), copts);
+
+      if (corrected.converged) {
+        result.solution = std::move(corrected.solution);
+        t += dt;
+        ++result.steps;
+        if (++streak >= options_.growth_after) {
+          step = std::min(step * options_.step_growth, options_.max_step);
+          streak = 0;
+        }
+      } else {
+        ++result.rejections;
+        streak = 0;
+        step *= options_.step_shrink;
+        if (step < options_.min_step) break;
+      }
+    }
+    result.t_reached = t;
+
+    if (t >= 1.0) {
+      // Endgame: polish the root of f itself (t = 1).
+      h_.set_t(S(1.0));
+      newton::NewtonOptions eopts;
+      eopts.max_iterations = options_.end_iterations;
+      eopts.residual_tolerance = options_.end_tolerance;
+      auto polished =
+          newton::refine<S>(h_, std::span<const C>(result.solution), eopts);
+      result.solution = std::move(polished.solution);
+      result.final_residual = polished.final_residual;
+      result.success = polished.converged;
+    }
+    return result;
+  }
+
+ private:
+  Homotopy<S, EvalF, EvalG>& h_;
+  TrackOptions options_;
+};
+
+}  // namespace polyeval::homotopy

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU decomposition with partial pivoting over complex multiprecision
+/// scalars -- the linear-algebra stage of Newton's method (which the
+/// paper observes is dominated by evaluation cost for large systems).
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace polyeval::linalg {
+
+/// In-place LU factorization P A = L U with partial pivoting on the
+/// 1-norm of candidate pivots (no square roots needed).
+template <prec::RealScalar T>
+class LuFactorization {
+  using C = cplx::Complex<T>;
+
+ public:
+  /// Factor a square matrix; returns nullopt if a pivot column is
+  /// exactly zero (singular to working precision).
+  static std::optional<LuFactorization> factor(Matrix<T> a) {
+    const unsigned n = a.rows();
+    if (n != a.cols()) throw std::invalid_argument("LU: matrix must be square");
+    std::vector<unsigned> perm(n);
+    for (unsigned i = 0; i < n; ++i) perm[i] = i;
+
+    for (unsigned col = 0; col < n; ++col) {
+      // pivot search
+      unsigned pivot = col;
+      T best = cplx::norm1(a(col, col));
+      for (unsigned r = col + 1; r < n; ++r) {
+        const T cand = cplx::norm1(a(r, col));
+        if (cand > best) {
+          best = cand;
+          pivot = r;
+        }
+      }
+      if (!(best > T(0.0))) return std::nullopt;
+      if (pivot != col) {
+        for (unsigned c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+        std::swap(perm[col], perm[pivot]);
+      }
+      // elimination
+      const C inv_pivot = C(T(1.0)) / a(col, col);
+      for (unsigned r = col + 1; r < n; ++r) {
+        const C factor = a(r, col) * inv_pivot;
+        a(r, col) = factor;
+        for (unsigned c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      }
+    }
+    return LuFactorization(std::move(a), std::move(perm));
+  }
+
+  /// Solve A x = b.
+  [[nodiscard]] std::vector<C> solve(std::span<const C> b) const {
+    const unsigned n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("LU::solve: size mismatch");
+    std::vector<C> x(n);
+    // forward substitution on the permuted right-hand side
+    for (unsigned r = 0; r < n; ++r) {
+      C sum = b[perm_[r]];
+      for (unsigned c = 0; c < r; ++c) sum -= lu_(r, c) * x[c];
+      x[r] = sum;
+    }
+    // back substitution
+    for (unsigned ri = n; ri-- > 0;) {
+      C sum = x[ri];
+      for (unsigned c = ri + 1; c < n; ++c) sum -= lu_(ri, c) * x[c];
+      x[ri] = sum / lu_(ri, ri);
+    }
+    return x;
+  }
+
+ private:
+  LuFactorization(Matrix<T> lu, std::vector<unsigned> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+
+  Matrix<T> lu_;
+  std::vector<unsigned> perm_;
+};
+
+/// One-shot solve of A x = b; nullopt when singular.
+template <prec::RealScalar T>
+[[nodiscard]] std::optional<std::vector<cplx::Complex<T>>> lu_solve(
+    Matrix<T> a, std::span<const cplx::Complex<T>> b) {
+  auto f = LuFactorization<T>::factor(std::move(a));
+  if (!f) return std::nullopt;
+  return f->solve(b);
+}
+
+}  // namespace polyeval::linalg

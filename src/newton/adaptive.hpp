@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Adaptive-precision Newton refinement: the quality-up mechanism made
+/// automatic.  Runs Newton in hardware doubles until the residual either
+/// meets the target or stagnates at the precision's noise floor, then
+/// escalates double -> double-double -> quad-double, exactly the ladder
+/// the paper buys GPU cycles for ("a couple or perhaps just one solution
+/// path may require extended multiprecision arithmetic").
+
+#include <limits>
+#include <string_view>
+
+#include "ad/cpu_evaluator.hpp"
+#include "newton/newton.hpp"
+
+namespace polyeval::newton {
+
+enum class PrecisionLevel { kDouble, kDoubleDouble, kQuadDouble };
+
+[[nodiscard]] constexpr std::string_view to_string(PrecisionLevel level) noexcept {
+  switch (level) {
+    case PrecisionLevel::kDouble:
+      return "double";
+    case PrecisionLevel::kDoubleDouble:
+      return "double-double";
+    case PrecisionLevel::kQuadDouble:
+      return "quad-double";
+  }
+  return "?";
+}
+
+struct AdaptiveOptions {
+  /// Stop escalating once the residual max-norm is below this.
+  double target_residual = 1e-24;
+  /// Newton iterations allowed at each precision level.
+  unsigned iterations_per_level = 12;
+  /// A step counts as stagnant when the residual shrinks by less than
+  /// this factor; two stagnant steps end the level.
+  double stagnation_factor = 0.5;
+  /// Highest precision to try.
+  PrecisionLevel max_level = PrecisionLevel::kQuadDouble;
+};
+
+struct AdaptiveResult {
+  bool converged = false;
+  PrecisionLevel level_reached = PrecisionLevel::kDouble;
+  double final_residual = 0.0;
+  /// Solution in the highest precision reached, stored as quad-double
+  /// (lossless for the lower levels).
+  std::vector<cplx::Complex<prec::QuadDouble>> solution;
+  /// Residual after each level, in escalation order.
+  std::vector<double> residual_per_level;
+};
+
+namespace detail {
+
+/// Newton with stagnation detection at one precision level.
+template <prec::RealScalar S, class Eval>
+NewtonResult<S> refine_until_floor(Eval& evaluator,
+                                   std::span<const cplx::Complex<S>> x0,
+                                   const AdaptiveOptions& options) {
+  using C = cplx::Complex<S>;
+  NewtonResult<S> best;
+  best.solution.assign(x0.begin(), x0.end());
+
+  poly::EvalResult<S> eval(evaluator.dimension());
+  unsigned stagnant = 0;
+  double last_residual = std::numeric_limits<double>::infinity();
+  for (unsigned it = 0; it < options.iterations_per_level; ++it) {
+    evaluator.evaluate(std::span<const C>(best.solution), eval);
+    best.final_residual = linalg::max_norm_d<S>(eval.values);
+    best.residual_history.push_back(best.final_residual);
+    if (best.final_residual <= options.target_residual) {
+      best.converged = true;
+      return best;
+    }
+    if (best.final_residual > last_residual * options.stagnation_factor) {
+      if (++stagnant >= 2) return best;  // at the level's noise floor
+    } else {
+      stagnant = 0;
+    }
+    last_residual = best.final_residual;
+
+    auto jac = linalg::Matrix<S>::from_row_major(evaluator.dimension(),
+                                                 evaluator.dimension(), eval.jacobian);
+    auto delta = linalg::lu_solve(std::move(jac), std::span<const C>(eval.values));
+    if (!delta) {
+      best.singular = true;
+      return best;
+    }
+    for (std::size_t i = 0; i < best.solution.size(); ++i)
+      best.solution[i] -= (*delta)[i];
+    ++best.iterations;
+  }
+  evaluator.evaluate(std::span<const C>(best.solution), eval);
+  best.final_residual = linalg::max_norm_d<S>(eval.values);
+  best.residual_history.push_back(best.final_residual);
+  best.converged = best.final_residual <= options.target_residual;
+  return best;
+}
+
+}  // namespace detail
+
+/// Refine x0 toward a root of the system, escalating precision as needed.
+[[nodiscard]] inline AdaptiveResult adaptive_refine(
+    const poly::PolynomialSystem& system,
+    std::span<const cplx::Complex<double>> x0, const AdaptiveOptions& options = {}) {
+  using prec::DoubleDouble;
+  using prec::QuadDouble;
+  AdaptiveResult result;
+
+  // Level 1: hardware doubles.
+  ad::CpuEvaluator<double> eval_d(system);
+  const auto r_d = detail::refine_until_floor<double>(eval_d, x0, options);
+  result.level_reached = PrecisionLevel::kDouble;
+  result.final_residual = r_d.final_residual;
+  result.residual_per_level.push_back(r_d.final_residual);
+  result.solution.clear();
+  for (const auto& z : r_d.solution)
+    result.solution.emplace_back(QuadDouble(z.re()), QuadDouble(z.im()));
+  if (r_d.converged || options.max_level == PrecisionLevel::kDouble) {
+    result.converged = r_d.converged;
+    return result;
+  }
+
+  // Level 2: double-double.
+  ad::CpuEvaluator<DoubleDouble> eval_dd(system);
+  std::vector<cplx::Complex<DoubleDouble>> x_dd;
+  for (const auto& z : r_d.solution)
+    x_dd.emplace_back(DoubleDouble(z.re()), DoubleDouble(z.im()));
+  const auto r_dd = detail::refine_until_floor<DoubleDouble>(
+      eval_dd, std::span<const cplx::Complex<DoubleDouble>>(x_dd), options);
+  result.level_reached = PrecisionLevel::kDoubleDouble;
+  result.final_residual = r_dd.final_residual;
+  result.residual_per_level.push_back(r_dd.final_residual);
+  result.solution.clear();
+  for (const auto& z : r_dd.solution)
+    result.solution.emplace_back(QuadDouble(z.re()), QuadDouble(z.im()));
+  if (r_dd.converged || options.max_level == PrecisionLevel::kDoubleDouble) {
+    result.converged = r_dd.converged;
+    return result;
+  }
+
+  // Level 3: quad-double.
+  ad::CpuEvaluator<QuadDouble> eval_qd(system);
+  std::vector<cplx::Complex<QuadDouble>> x_qd;
+  for (const auto& z : r_dd.solution)
+    x_qd.emplace_back(QuadDouble(z.re()), QuadDouble(z.im()));
+  const auto r_qd = detail::refine_until_floor<QuadDouble>(
+      eval_qd, std::span<const cplx::Complex<QuadDouble>>(x_qd), options);
+  result.level_reached = PrecisionLevel::kQuadDouble;
+  result.final_residual = r_qd.final_residual;
+  result.residual_per_level.push_back(r_qd.final_residual);
+  result.solution = r_qd.solution;
+  result.converged = r_qd.converged;
+  return result;
+}
+
+}  // namespace polyeval::newton

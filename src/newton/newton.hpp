@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file newton.hpp
+/// Newton's method over any evaluator (CPU reference or the GPU
+/// pipeline) and any precision -- the corrector the paper accelerates,
+/// and the vehicle of its "quality up" question: with enough parallel
+/// cores, extended precision costs no extra wall-clock time.
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "poly/eval_result.hpp"
+
+namespace polyeval::newton {
+
+/// Anything that can evaluate a system and its Jacobian at a point.
+template <class E, class S>
+concept Evaluator = requires(E e, std::span<const cplx::Complex<S>> x,
+                             poly::EvalResult<S>& out) {
+  e.evaluate(x, out);
+  { e.dimension() } -> std::convertible_to<unsigned>;
+};
+
+struct NewtonOptions {
+  unsigned max_iterations = 20;
+  /// Stop when the residual max-norm falls below this.
+  double residual_tolerance = 1e-12;
+  /// Stop when the update max-norm falls below this.
+  double update_tolerance = 0.0;
+};
+
+template <prec::RealScalar S>
+struct NewtonResult {
+  bool converged = false;
+  bool singular = false;  ///< Jacobian became singular
+  unsigned iterations = 0;
+  double final_residual = 0.0;
+  double final_update = 0.0;
+  std::vector<cplx::Complex<S>> solution;
+  std::vector<double> residual_history;  ///< per-iteration residual norms
+  std::vector<double> update_history;    ///< per-iteration |dx| norms
+};
+
+/// Run Newton iterations from x0.
+template <prec::RealScalar S, class Eval>
+  requires Evaluator<Eval, S>
+NewtonResult<S> refine(Eval& evaluator, std::span<const cplx::Complex<S>> x0,
+                       const NewtonOptions& options = {}) {
+  using C = cplx::Complex<S>;
+  const unsigned n = evaluator.dimension();
+
+  NewtonResult<S> result;
+  result.solution.assign(x0.begin(), x0.end());
+  poly::EvalResult<S> eval(n);
+
+  for (unsigned it = 0; it < options.max_iterations; ++it) {
+    evaluator.evaluate(std::span<const C>(result.solution), eval);
+    result.final_residual = linalg::max_norm_d<S>(eval.values);
+    result.residual_history.push_back(result.final_residual);
+    if (result.final_residual <= options.residual_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    auto jac = linalg::Matrix<S>::from_row_major(n, n, eval.jacobian);
+    auto delta = linalg::lu_solve(std::move(jac), std::span<const C>(eval.values));
+    if (!delta) {
+      result.singular = true;
+      return result;
+    }
+    for (unsigned i = 0; i < n; ++i) result.solution[i] -= (*delta)[i];
+    ++result.iterations;
+
+    result.final_update = linalg::max_norm_d<S>(*delta);
+    result.update_history.push_back(result.final_update);
+    if (options.update_tolerance > 0.0 && result.final_update <= options.update_tolerance) {
+      // Converged in the update sense; recompute the residual for the
+      // caller before returning.
+      evaluator.evaluate(std::span<const C>(result.solution), eval);
+      result.final_residual = linalg::max_norm_d<S>(eval.values);
+      result.residual_history.push_back(result.final_residual);
+      result.converged = true;
+      return result;
+    }
+  }
+
+  // Report the state after the final iteration.
+  evaluator.evaluate(std::span<const C>(result.solution), eval);
+  result.final_residual = linalg::max_norm_d<S>(eval.values);
+  result.residual_history.push_back(result.final_residual);
+  result.converged = result.final_residual <= options.residual_tolerance;
+  return result;
+}
+
+/// Widen a point to a higher precision (double -> double-double -> ...),
+/// the first step of a quality-up refinement.
+template <prec::RealScalar To, prec::RealScalar From>
+[[nodiscard]] std::vector<cplx::Complex<To>> widen_point(
+    std::span<const cplx::Complex<From>> x) {
+  std::vector<cplx::Complex<To>> out;
+  out.reserve(x.size());
+  for (const auto& z : x)
+    out.push_back(cplx::Complex<To>::from_double(z.to_double()));
+  return out;
+}
+
+}  // namespace polyeval::newton

@@ -1,0 +1,90 @@
+#include "poly/families.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace polyeval::poly {
+
+PolynomialSystem cyclic(unsigned n) {
+  if (n < 2) throw std::invalid_argument("cyclic: need n >= 2");
+  std::vector<Polynomial> polys;
+  polys.reserve(n);
+  for (unsigned l = 0; l + 1 < n; ++l) {
+    PolynomialBuilder b(n);
+    for (unsigned i = 0; i < n; ++i) {
+      std::vector<unsigned> exps(n, 0);
+      for (unsigned j = 0; j <= l; ++j) ++exps[(i + j) % n];
+      b.add_term({1.0, 0.0}, exps);
+    }
+    polys.push_back(b.build());
+  }
+  PolynomialBuilder last(n);
+  last.add_term({1.0, 0.0}, std::vector<unsigned>(n, 1));
+  last.add_constant({-1.0, 0.0});
+  polys.push_back(last.build());
+  return PolynomialSystem(std::move(polys));
+}
+
+PolynomialSystem katsura(unsigned n) {
+  if (n < 1) throw std::invalid_argument("katsura: need n >= 1");
+  const unsigned dim = n + 1;  // variables u_0 .. u_n
+  const auto clamp = [n](int l) -> unsigned {
+    const unsigned a = static_cast<unsigned>(std::abs(l));
+    return a > n ? n : a;  // indices |l| <= n by construction
+  };
+  std::vector<Polynomial> polys;
+  polys.reserve(dim);
+  for (unsigned m = 0; m < n; ++m) {
+    PolynomialBuilder b(dim);
+    for (int l = -static_cast<int>(n); l <= static_cast<int>(n); ++l) {
+      const unsigned u = clamp(l);
+      const unsigned v = clamp(static_cast<int>(m) - l);
+      std::vector<unsigned> exps(dim, 0);
+      ++exps[u];
+      ++exps[v];
+      b.add_term({1.0, 0.0}, exps);
+    }
+    std::vector<unsigned> lin(dim, 0);
+    lin[m] = 1;
+    b.add_term({-1.0, 0.0}, lin);
+    polys.push_back(b.build());
+  }
+  PolynomialBuilder norm(dim);
+  {
+    std::vector<unsigned> lin(dim, 0);
+    lin[0] = 1;
+    norm.add_term({1.0, 0.0}, lin);
+  }
+  for (unsigned l = 1; l <= n; ++l) {
+    std::vector<unsigned> lin(dim, 0);
+    lin[l] = 1;
+    norm.add_term({2.0, 0.0}, lin);
+  }
+  norm.add_constant({-1.0, 0.0});
+  polys.push_back(norm.build());
+  return PolynomialSystem(std::move(polys));
+}
+
+PolynomialSystem noon(unsigned n) {
+  if (n < 2) throw std::invalid_argument("noon: need n >= 2");
+  std::vector<Polynomial> polys;
+  polys.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    PolynomialBuilder b(n);
+    for (unsigned j = 0; j < n; ++j) {
+      if (j == i) continue;
+      std::vector<unsigned> exps(n, 0);
+      exps[i] = 1;
+      exps[j] = 2;
+      b.add_term({1.0, 0.0}, exps);
+    }
+    std::vector<unsigned> lin(n, 0);
+    lin[i] = 1;
+    b.add_term({-1.1, 0.0}, lin);
+    b.add_constant({1.0, 0.0});
+    polys.push_back(b.build());
+  }
+  return PolynomialSystem(std::move(polys));
+}
+
+}  // namespace polyeval::poly

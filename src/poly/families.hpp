@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file families.hpp
+/// Classic polynomial-system benchmark families from the homotopy
+/// continuation literature (the application domain motivating the paper).
+/// These systems are *not* uniform in the (n, m, k, d) sense, so they
+/// exercise the general CPU evaluators and the path tracker.
+
+#include "poly/system.hpp"
+
+namespace polyeval::poly {
+
+/// cyclic n-roots: f_l = sum_i prod_{j=i..i+l} x_{j mod n} for l = 0..n-2,
+/// and f_{n-1} = x_0 x_1 ... x_{n-1} - 1.
+[[nodiscard]] PolynomialSystem cyclic(unsigned n);
+
+/// Katsura-n (magnetism): n+1 variables u_0..u_n.
+/// For m = 0..n-1: sum_{l=-n..n} u_{|l|} u_{|m-l|} = u_m  (indices clamped
+/// to [0, n]), plus the normalization u_0 + 2 sum_{l=1..n} u_l = 1.
+[[nodiscard]] PolynomialSystem katsura(unsigned n);
+
+/// Noonburg neural-network system:
+/// f_i = x_i * sum_{j != i} x_j^2 - 1.1 x_i + 1.
+[[nodiscard]] PolynomialSystem noon(unsigned n);
+
+}  // namespace polyeval::poly

@@ -1,0 +1,77 @@
+#include "poly/horner.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace polyeval::poly {
+
+HornerPolynomial::HornerPolynomial(const Polynomial& polynomial)
+    : num_vars_(polynomial.num_vars()) {
+  std::vector<FlatMonomial> flat;
+  flat.reserve(polynomial.monomials().size());
+  for (const auto& mono : polynomial.monomials())
+    flat.push_back({mono.coefficient(), mono.factors()});
+  if (flat.empty()) flat.push_back({{0.0, 0.0}, {}});
+  root_ = build(std::move(flat));
+
+  // Count the value-evaluation multiplications once: walk the tree.
+  // Each interior node with terms e1 > e2 > ... > eL costs
+  // sum of gap powers (gap multiplications each... a gap g costs g
+  // multiplications: one to apply, g-1 to form the power) plus L-1
+  // Horner additions (not counted) plus the tail power.
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.leaf) continue;
+    for (std::size_t i = 1; i < node.terms.size(); ++i)
+      mults_ += node.terms[i - 1].exp - node.terms[i].exp;  // gap power apply
+    mults_ += node.terms.back().exp;                        // tail power
+    for (const auto& term : node.terms) stack.push_back(term.child);
+  }
+}
+
+HornerPolynomial::NodeId HornerPolynomial::build(std::vector<FlatMonomial> monomials) {
+  // constant node?
+  const bool all_constant = std::all_of(
+      monomials.begin(), monomials.end(),
+      [](const FlatMonomial& m) { return m.factors.empty(); });
+  if (all_constant) {
+    Node node;
+    node.leaf = true;
+    node.constants.reserve(monomials.size());
+    for (const auto& m : monomials) node.constants.push_back(m.coeff);
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  // split on the largest variable present
+  unsigned top = 0;
+  for (const auto& m : monomials)
+    for (const auto& f : m.factors) top = std::max(top, f.var);
+
+  std::map<unsigned, std::vector<FlatMonomial>, std::greater<>> groups;
+  for (auto& m : monomials) {
+    unsigned exp = 0;
+    auto& factors = m.factors;
+    const auto it =
+        std::find_if(factors.begin(), factors.end(),
+                     [top](const VarPower& f) { return f.var == top; });
+    if (it != factors.end()) {
+      exp = it->exp;
+      factors.erase(it);
+    }
+    groups[exp].push_back(std::move(m));
+  }
+
+  Node node;
+  node.leaf = false;
+  node.var = top;
+  node.terms.reserve(groups.size());
+  for (auto& [exp, group] : groups)
+    node.terms.push_back({exp, build(std::move(group))});
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+}  // namespace polyeval::poly

@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file horner.hpp
+/// Nested multivariate Horner forms -- the evaluation scheme the paper
+/// recommends for DENSE polynomials (section 2, citing Kojima 2008) in
+/// contrast to its own sparse pipeline.
+///
+/// A polynomial is rewritten recursively in its topmost variable,
+///   p = sum_e q_e(x_0..x_{v-1}) * x_v^e,
+/// and evaluated by Horner's rule with gap powers for missing exponents:
+///   p = ((q_{e1} x^{e1-e2} + q_{e2}) x^{e2-e3} + ...) x^{e_last}.
+/// For a dense univariate polynomial this is the classic d-multiplication
+/// optimum; for very sparse high-degree polynomials the paper's
+/// common-factor + Speelpenning pipeline wins -- the crossover is
+/// measured in bench_horner.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "poly/eval_result.hpp"
+#include "poly/system.hpp"
+
+namespace polyeval::poly {
+
+class HornerPolynomial {
+ public:
+  /// Build the nested form; ties are recursively split on the largest
+  /// variable index present.
+  explicit HornerPolynomial(const Polynomial& polynomial);
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+
+  /// Multiplications one evaluation performs (value only) -- compared by
+  /// the benches against the sparse pipeline's (k+1)m + powers cost.
+  [[nodiscard]] std::uint64_t value_multiplications() const noexcept { return mults_; }
+
+  /// Evaluate the value.
+  template <prec::RealScalar S>
+  [[nodiscard]] cplx::Complex<S> evaluate(std::span<const cplx::Complex<S>> x) const {
+    return eval_node<S>(root_, x);
+  }
+
+  /// Evaluate the partial derivative with respect to x_var (by the
+  /// recursive differentiation rule; a reference implementation, not the
+  /// paper's AD scheme).
+  template <prec::RealScalar S>
+  [[nodiscard]] cplx::Complex<S> evaluate_derivative(
+      std::span<const cplx::Complex<S>> x, unsigned var) const {
+    return eval_derivative<S>(root_, x, var);
+  }
+
+ private:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNone = 0xffffffffu;
+
+  struct Term {
+    unsigned exp;   ///< exponent of the node's variable (descending)
+    NodeId child;   ///< coefficient polynomial in lower variables
+  };
+  struct Node {
+    bool leaf = true;
+    /// Leaf coefficients are kept unsummed: merging them in hardware
+    /// doubles would perturb the polynomial below the extended
+    /// precisions, so the sum happens in the working scalar at
+    /// evaluation time.
+    std::vector<cplx::Complex<double>> constants;
+    unsigned var = 0;         ///< for interior nodes
+    std::vector<Term> terms;  ///< exponents strictly descending
+  };
+
+  /// Working form during construction: coefficient + sparse support.
+  struct FlatMonomial {
+    cplx::Complex<double> coeff;
+    std::vector<VarPower> factors;
+  };
+
+  NodeId build(std::vector<FlatMonomial> monomials);
+
+  template <prec::RealScalar S>
+  cplx::Complex<S> power(const cplx::Complex<S>& base, unsigned e) const {
+    auto r = base;
+    for (unsigned i = 1; i < e; ++i) r *= base;
+    return r;
+  }
+
+  template <prec::RealScalar S>
+  cplx::Complex<S> eval_node(NodeId id, std::span<const cplx::Complex<S>> x) const {
+    const Node& node = nodes_[id];
+    if (node.leaf) {
+      cplx::Complex<S> sum{};
+      for (const auto& c : node.constants) sum += cplx::Complex<S>::from_double(c);
+      return sum;
+    }
+    const auto& xv = x[node.var];
+    auto acc = eval_node<S>(node.terms.front().child, x);
+    for (std::size_t i = 1; i < node.terms.size(); ++i) {
+      const unsigned gap = node.terms[i - 1].exp - node.terms[i].exp;
+      acc = acc * power(xv, gap) + eval_node<S>(node.terms[i].child, x);
+    }
+    if (const unsigned tail = node.terms.back().exp; tail > 0)
+      acc = acc * power(xv, tail);
+    return acc;
+  }
+
+  template <prec::RealScalar S>
+  cplx::Complex<S> eval_derivative(NodeId id, std::span<const cplx::Complex<S>> x,
+                                   unsigned var) const {
+    const Node& node = nodes_[id];
+    if (node.leaf) return {};
+    const auto& xv = x[node.var];
+    if (node.var == var) {
+      // d/dx_v sum_e q_e x_v^e = sum_e e q_e x_v^{e-1}
+      cplx::Complex<S> sum{};
+      for (const auto& term : node.terms) {
+        if (term.exp == 0) continue;
+        auto piece = eval_node<S>(term.child, x) *
+                     cplx::Complex<S>(prec::ScalarTraits<S>::from_double(
+                         static_cast<double>(term.exp)));
+        if (term.exp > 1) piece *= power(xv, term.exp - 1);
+        sum += piece;
+      }
+      return sum;
+    }
+    if (node.var < var) return {};  // var does not occur below this node
+    cplx::Complex<S> sum{};
+    for (const auto& term : node.terms) {
+      auto piece = eval_derivative<S>(term.child, x, var);
+      if (term.exp > 0) piece *= power(xv, term.exp);
+      sum += piece;
+    }
+    return sum;
+  }
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+  NodeId root_ = kNone;
+  std::uint64_t mults_ = 0;
+};
+
+/// Horner forms for a whole system; the dense-evaluation baseline.
+class HornerSystem {
+ public:
+  explicit HornerSystem(const PolynomialSystem& system) : n_(system.dimension()) {
+    polys_.reserve(n_);
+    for (const auto& p : system.polynomials()) polys_.emplace_back(p);
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+
+  [[nodiscard]] std::uint64_t value_multiplications() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& p : polys_) total += p.value_multiplications();
+    return total;
+  }
+
+  template <prec::RealScalar S>
+  void evaluate(std::span<const cplx::Complex<S>> x, EvalResult<S>& out) const {
+    out.resize(n_);
+    for (unsigned p = 0; p < n_; ++p) {
+      out.values[p] = polys_[p].evaluate<S>(x);
+      for (unsigned v = 0; v < n_; ++v)
+        out.jacobian[std::size_t{p} * n_ + v] = polys_[p].evaluate_derivative<S>(x, v);
+    }
+  }
+
+ private:
+  unsigned n_;
+  std::vector<HornerPolynomial> polys_;
+};
+
+}  // namespace polyeval::poly

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file io.hpp
+/// Human-readable text form for polynomials and systems, in the spirit
+/// of PHCpack input files:
+///
+///   (1.5,-2)*x0^2*x1 + 3*x2 - x0*x1;
+///   x1^3 - 1;
+///
+/// One polynomial per ';'.  Coefficients are real literals or complex
+/// "(re,im)" pairs; variables are x0..x{n-1}; '^' takes a positive
+/// integer exponent; '*' separates factors.  A square system's dimension
+/// is the number of polynomials.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "poly/system.hpp"
+
+namespace polyeval::poly {
+
+/// Syntax errors carry a byte offset into the input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Render a monomial ("(re,im)*x0^2*x3"; pure-real coefficients print
+/// without the tuple).
+[[nodiscard]] std::string format(const Monomial& monomial);
+
+/// Render a polynomial ("a*x0 + b*x1^2 - ...").
+[[nodiscard]] std::string format(const Polynomial& polynomial);
+
+/// Render a system, one polynomial per line, ';'-terminated.
+[[nodiscard]] std::string format(const PolynomialSystem& system);
+
+/// Parse one polynomial over num_vars variables (no trailing ';').
+[[nodiscard]] Polynomial parse_polynomial(std::string_view text, unsigned num_vars);
+
+/// Parse a square system: one polynomial per ';', dimension = number of
+/// polynomials, every variable index below the dimension.
+[[nodiscard]] PolynomialSystem parse_system(std::string_view text);
+
+}  // namespace polyeval::poly

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file polynomial.hpp
+/// Sparse polynomials in n variables as sums of monomials, plus a builder
+/// that merges duplicate supports.
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "poly/monomial.hpp"
+
+namespace polyeval::poly {
+
+class Polynomial {
+ public:
+  Polynomial(unsigned num_vars, std::vector<Monomial> monomials);
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] const std::vector<Monomial>& monomials() const noexcept {
+    return monomials_;
+  }
+  [[nodiscard]] unsigned num_monomials() const noexcept {
+    return static_cast<unsigned>(monomials_.size());
+  }
+  /// Total degree of the polynomial (max over monomials).
+  [[nodiscard]] unsigned degree() const noexcept;
+
+  /// Naive evaluation (test oracle).
+  template <prec::RealScalar T>
+  [[nodiscard]] cplx::Complex<T> evaluate(std::span<const cplx::Complex<T>> x) const {
+    cplx::Complex<T> sum{};
+    for (const auto& mono : monomials_) sum += mono.evaluate(x);
+    return sum;
+  }
+
+  /// Naive partial derivative (test oracle).
+  template <prec::RealScalar T>
+  [[nodiscard]] cplx::Complex<T> evaluate_derivative(std::span<const cplx::Complex<T>> x,
+                                                     unsigned var) const {
+    cplx::Complex<T> sum{};
+    for (const auto& mono : monomials_) sum += mono.evaluate_derivative(x, var);
+    return sum;
+  }
+
+ private:
+  unsigned num_vars_;
+  std::vector<Monomial> monomials_;
+};
+
+/// Accumulates terms keyed by their exponent vector, merging coefficients
+/// of equal supports; used by the classic system families.
+class PolynomialBuilder {
+ public:
+  explicit PolynomialBuilder(unsigned num_vars) : num_vars_(num_vars) {}
+
+  /// Add c * prod x_i^{exps[i]}; exps has one entry per variable.
+  PolynomialBuilder& add_term(cplx::Complex<double> c, const std::vector<unsigned>& exps);
+
+  /// Add a constant term.
+  PolynomialBuilder& add_constant(cplx::Complex<double> c);
+
+  [[nodiscard]] Polynomial build() const;
+
+ private:
+  unsigned num_vars_;
+  std::map<std::vector<unsigned>, cplx::Complex<double>> terms_;
+};
+
+}  // namespace polyeval::poly

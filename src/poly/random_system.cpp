@@ -1,0 +1,90 @@
+#include "poly/random_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace polyeval::poly {
+
+PolynomialSystem make_random_system(const SystemSpec& spec) {
+  const unsigned n = spec.dimension;
+  const unsigned m = spec.monomials_per_polynomial;
+  const unsigned k = spec.variables_per_monomial;
+  const unsigned d = spec.max_exponent;
+  if (n == 0 || m == 0 || k == 0 || d == 0)
+    throw std::invalid_argument("SystemSpec: all parameters must be positive");
+  if (k > n)
+    throw std::invalid_argument("SystemSpec: more variables per monomial than dimension");
+
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+  std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+  std::uniform_int_distribution<unsigned> expo(1, d);
+
+  std::vector<unsigned> all_vars(n);
+  std::iota(all_vars.begin(), all_vars.end(), 0u);
+
+  std::vector<Polynomial> polys;
+  polys.reserve(n);
+  for (unsigned p = 0; p < n; ++p) {
+    std::vector<Monomial> monos;
+    monos.reserve(m);
+    bool realized_d = false;
+    for (unsigned j = 0; j < m; ++j) {
+      // Sample k distinct variables: partial Fisher-Yates on all_vars.
+      for (unsigned i = 0; i < k; ++i) {
+        std::uniform_int_distribution<unsigned> pick(i, n - 1);
+        std::swap(all_vars[i], all_vars[pick(rng)]);
+      }
+      std::vector<VarPower> factors;
+      factors.reserve(k);
+      for (unsigned i = 0; i < k; ++i) {
+        unsigned e = expo(rng);
+        // Force the last monomial to realize the maximal exponent so the
+        // generated system's uniform_structure() reports exactly d.
+        if (!realized_d && j + 1 == m && i + 1 == k) e = d;
+        if (e == d) realized_d = true;
+        factors.push_back({all_vars[i], e});
+      }
+      cplx::Complex<double> c;
+      if (spec.unit_coefficients) {
+        const double a = angle(rng);
+        c = {std::cos(a), std::sin(a)};
+      } else {
+        c = {coeff(rng), coeff(rng)};
+        if (c == cplx::Complex<double>{}) c = {1.0, 0.0};
+      }
+      monos.emplace_back(c, std::move(factors));
+    }
+    polys.emplace_back(n, std::move(monos));
+  }
+  return PolynomialSystem(std::move(polys));
+}
+
+RootedSystem make_random_system_with_root(const SystemSpec& spec) {
+  if (spec.monomials_per_polynomial < 2)
+    throw std::invalid_argument(
+        "make_random_system_with_root: need at least 2 monomials per polynomial");
+  const auto base = make_random_system(spec);
+  auto root =
+      make_random_point<double>(spec.dimension, spec.seed ^ 0xd1b54a32d192ed03ull);
+  const std::span<const cplx::Complex<double>> root_view(root);
+
+  std::vector<Polynomial> polys;
+  polys.reserve(spec.dimension);
+  for (const auto& p : base.polynomials()) {
+    std::vector<Monomial> monos = p.monomials();
+    cplx::Complex<double> partial{};
+    for (unsigned j = 0; j + 1 < monos.size(); ++j)
+      partial += monos[j].evaluate(root_view);
+    // bare value of the last monomial (coefficient divided out)
+    const auto& last = monos.back();
+    const auto bare = last.evaluate(root_view) / last.coefficient();
+    monos.back() = Monomial(-partial / bare, last.factors());
+    polys.emplace_back(spec.dimension, std::move(monos));
+  }
+  return {PolynomialSystem(std::move(polys)), std::move(root)};
+}
+
+}  // namespace polyeval::poly

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file random_system.hpp
+/// Seeded generator for the paper's benchmark workloads: random sparse
+/// systems with the uniform structure (n, m, k, d) of section 2
+/// ("randomly generated polynomial systems of dimension 32", section 5).
+
+#include <cstdint>
+#include <random>
+
+#include "poly/system.hpp"
+
+namespace polyeval::poly {
+
+/// Workload description, mirroring the paper's benchmark parameters.
+struct SystemSpec {
+  unsigned dimension = 32;               ///< n
+  unsigned monomials_per_polynomial = 32;  ///< m
+  unsigned variables_per_monomial = 9;   ///< k
+  unsigned max_exponent = 2;             ///< d
+  std::uint64_t seed = 20120102;         ///< deterministic workloads
+  bool unit_coefficients = false;        ///< |c| = 1 (homotopy convention)
+
+  [[nodiscard]] UniformStructure structure() const noexcept {
+    return {dimension, monomials_per_polynomial, variables_per_monomial, max_exponent};
+  }
+};
+
+/// Build a random system obeying the spec exactly: every monomial gets k
+/// distinct variables (uniform without replacement) with exponents uniform
+/// in [1, d]; at least one variable per polynomial receives exponent d so
+/// the realized structure matches the requested d.
+[[nodiscard]] PolynomialSystem make_random_system(const SystemSpec& spec);
+
+/// A uniform random system together with a point that solves it: the
+/// last monomial coefficient of every polynomial is chosen so the
+/// polynomial vanishes at the (randomly drawn) root.  The root is
+/// generically regular and well conditioned, which makes these systems
+/// the right fixture for Newton / quality-up experiments.
+struct RootedSystem {
+  PolynomialSystem system;
+  std::vector<cplx::Complex<double>> root;
+};
+
+/// Requires monomials_per_polynomial >= 2 (one coefficient per
+/// polynomial is determined by the root).
+[[nodiscard]] RootedSystem make_random_system_with_root(const SystemSpec& spec);
+
+/// Random evaluation point with coordinates near the unit circle, the
+/// regime path trackers operate in.
+template <prec::RealScalar T>
+[[nodiscard]] std::vector<cplx::Complex<T>> make_random_point(unsigned dimension,
+                                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+  std::uniform_real_distribution<double> radius(0.7, 1.3);
+  std::vector<cplx::Complex<T>> x;
+  x.reserve(dimension);
+  for (unsigned i = 0; i < dimension; ++i) {
+    const double r = radius(rng);
+    const double a = angle(rng);
+    x.push_back(cplx::Complex<T>::from_double({r * std::cos(a), r * std::sin(a)}));
+  }
+  return x;
+}
+
+}  // namespace polyeval::poly

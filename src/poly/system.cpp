@@ -1,0 +1,49 @@
+#include "poly/system.hpp"
+
+#include <stdexcept>
+
+namespace polyeval::poly {
+
+PolynomialSystem::PolynomialSystem(std::vector<Polynomial> polynomials)
+    : polynomials_(std::move(polynomials)) {
+  if (polynomials_.empty())
+    throw std::invalid_argument("PolynomialSystem: empty system");
+  const unsigned n = dimension();
+  for (const auto& p : polynomials_) {
+    if (p.num_vars() != n)
+      throw std::invalid_argument(
+          "PolynomialSystem: square systems need num_vars == num_polynomials");
+  }
+}
+
+std::optional<UniformStructure> PolynomialSystem::uniform_structure() const noexcept {
+  UniformStructure s;
+  s.n = dimension();
+  s.m = polynomials_.front().num_monomials();
+  s.k = 0;
+  s.d = 0;
+  bool first = true;
+  for (const auto& p : polynomials_) {
+    if (p.num_monomials() != s.m) return std::nullopt;
+    for (const auto& mono : p.monomials()) {
+      if (first) {
+        s.k = mono.support_size();
+        first = false;
+      } else if (mono.support_size() != s.k) {
+        return std::nullopt;
+      }
+      for (const auto& f : mono.factors()) s.d = std::max(s.d, f.exp);
+    }
+  }
+  if (s.m == 0 || s.k == 0) return std::nullopt;
+  return s;
+}
+
+std::vector<unsigned> PolynomialSystem::degrees() const {
+  std::vector<unsigned> d;
+  d.reserve(polynomials_.size());
+  for (const auto& p : polynomials_) d.push_back(p.degree());
+  return d;
+}
+
+}  // namespace polyeval::poly

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file system.hpp
+/// Square polynomial systems f : C^n -> C^n and the *uniform structure*
+/// (n, m, k, d) the paper's massively parallel pipeline requires: every
+/// polynomial has exactly m monomials, every monomial exactly k distinct
+/// variables, each with exponent in [1, d].
+
+#include <optional>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace polyeval::poly {
+
+/// The regularity assumptions of the paper's section 2.
+struct UniformStructure {
+  unsigned n = 0;  ///< dimension: number of variables == number of polynomials
+  unsigned m = 0;  ///< monomials per polynomial
+  unsigned k = 0;  ///< distinct variables per monomial
+  unsigned d = 0;  ///< maximal exponent of any variable
+
+  /// Total number of monomials in the system (the tables' #monomials).
+  [[nodiscard]] unsigned total_monomials() const noexcept { return n * m; }
+  friend bool operator==(const UniformStructure&, const UniformStructure&) = default;
+};
+
+class PolynomialSystem {
+ public:
+  /// Square system: one polynomial per variable.
+  explicit PolynomialSystem(std::vector<Polynomial> polynomials);
+
+  [[nodiscard]] unsigned dimension() const noexcept {
+    return static_cast<unsigned>(polynomials_.size());
+  }
+  [[nodiscard]] const std::vector<Polynomial>& polynomials() const noexcept {
+    return polynomials_;
+  }
+  [[nodiscard]] const Polynomial& polynomial(unsigned i) const {
+    return polynomials_.at(i);
+  }
+
+  /// Detect the paper's uniform structure; nullopt if the system is
+  /// irregular (then only the CPU evaluators apply).
+  [[nodiscard]] std::optional<UniformStructure> uniform_structure() const noexcept;
+
+  /// Total degrees of the polynomials (Bezout bound factors).
+  [[nodiscard]] std::vector<unsigned> degrees() const;
+
+  /// Naive full evaluation: values and Jacobian by per-monomial powering.
+  /// Independent oracle for every other evaluator in the repository.
+  template <prec::RealScalar T>
+  void evaluate_naive(std::span<const cplx::Complex<T>> x,
+                      std::span<cplx::Complex<T>> values,
+                      std::span<cplx::Complex<T>> jacobian_row_major) const {
+    const unsigned n = dimension();
+    for (unsigned p = 0; p < n; ++p) {
+      values[p] = polynomials_[p].evaluate(x);
+      for (unsigned v = 0; v < n; ++v)
+        jacobian_row_major[p * n + v] = polynomials_[p].evaluate_derivative(x, v);
+    }
+  }
+
+ private:
+  std::vector<Polynomial> polynomials_;
+};
+
+}  // namespace polyeval::poly

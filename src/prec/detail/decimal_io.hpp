@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file decimal_io.hpp
+/// Shared decimal rendering / parsing for multi-component reals
+/// (DoubleDouble, QuadDouble).  Works for any type supporting the usual
+/// arithmetic with double, comparisons, and to_double().
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+namespace polyeval::prec::detail {
+
+/// Render \p value with \p digits significant decimal digits in scientific
+/// notation ("-d.dddddde[+-]XX").  Digit-by-digit extraction: scale into
+/// [1, 10), then repeatedly peel the leading digit.
+template <class Real>
+std::string render_decimal(Real value, int digits) {
+  const double lead = value.to_double();
+  if (std::isnan(lead)) return "nan";
+  if (std::isinf(lead)) return lead > 0 ? "inf" : "-inf";
+
+  std::string out;
+  if (value.is_negative()) {
+    out += '-';
+    value = -value;
+  }
+  if (value.is_zero()) {
+    out += "0.";
+    out.append(static_cast<std::size_t>(digits > 1 ? digits - 1 : 1), '0');
+    out += "e+00";
+    return out;
+  }
+
+  int exp10 = static_cast<int>(std::floor(std::log10(std::fabs(value.to_double()))));
+  // Scale value into [1, 10) by exact-as-possible decade steps.
+  if (exp10 > 0) {
+    for (int i = 0; i < exp10; ++i) value /= 10.0;
+  } else {
+    for (int i = 0; i < -exp10; ++i) value *= 10.0;
+  }
+  // log10 estimate can be off by one near decade boundaries.
+  if (value >= Real(10.0)) {
+    value /= 10.0;
+    ++exp10;
+  } else if (value < Real(1.0)) {
+    value *= 10.0;
+    --exp10;
+  }
+
+  std::string raw;
+  raw.reserve(static_cast<std::size_t>(digits) + 2);
+  for (int i = 0; i <= digits; ++i) {  // one extra digit for rounding
+    int d = static_cast<int>(value.to_double());
+    if (d < 0) d = 0;
+    if (d > 9) d = 9;
+    raw += static_cast<char>('0' + d);
+    value = (value - static_cast<double>(d)) * 10.0;
+  }
+
+  // Round on the extra digit, propagating carries.
+  if (raw.back() >= '5') {
+    int i = static_cast<int>(raw.size()) - 2;
+    for (; i >= 0; --i) {
+      if (raw[static_cast<std::size_t>(i)] != '9') {
+        ++raw[static_cast<std::size_t>(i)];
+        break;
+      }
+      raw[static_cast<std::size_t>(i)] = '0';
+    }
+    if (i < 0) {  // 9.99... rolled over to 10.0...
+      raw.insert(raw.begin(), '1');
+      ++exp10;
+    }
+  }
+  raw.resize(static_cast<std::size_t>(digits));
+
+  out += raw[0];
+  out += '.';
+  out += raw.substr(1);
+  out += 'e';
+  out += exp10 < 0 ? '-' : '+';
+  const int ae = exp10 < 0 ? -exp10 : exp10;
+  if (ae < 10) out += '0';
+  out += std::to_string(ae);
+  return out;
+}
+
+/// Parse a decimal literal into \p out.  Accepts [-+]?d*[.d*][eE[-+]?d+].
+/// Returns false if no digits are present or trailing garbage remains.
+template <class Real>
+bool parse_decimal(const std::string& s, Real& out) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  bool negative = false;
+  if (i < n && (s[i] == '+' || s[i] == '-')) negative = (s[i++] == '-');
+
+  Real acc(0.0);
+  int frac_digits = 0;
+  bool any_digit = false;
+  bool seen_point = false;
+  for (; i < n; ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      acc = acc * 10.0 + static_cast<double>(c - '0');
+      any_digit = true;
+      if (seen_point) ++frac_digits;
+    } else if (c == '.' && !seen_point) {
+      seen_point = true;
+    } else {
+      break;
+    }
+  }
+  if (!any_digit) return false;
+
+  int exp10 = -frac_digits;
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    bool eneg = false;
+    if (i < n && (s[i] == '+' || s[i] == '-')) eneg = (s[i++] == '-');
+    int e = 0;
+    bool any_e = false;
+    for (; i < n && std::isdigit(static_cast<unsigned char>(s[i])); ++i) {
+      e = e * 10 + (s[i] - '0');
+      any_e = true;
+    }
+    if (!any_e) return false;
+    exp10 += eneg ? -e : e;
+  }
+  if (i != n) return false;
+
+  if (exp10 > 0) {
+    for (int j = 0; j < exp10; ++j) acc *= 10.0;
+  } else {
+    for (int j = 0; j < -exp10; ++j) acc /= 10.0;
+  }
+  out = negative ? -acc : acc;
+  return true;
+}
+
+}  // namespace polyeval::prec::detail

@@ -1,0 +1,56 @@
+#include "prec/double_double.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "prec/detail/decimal_io.hpp"
+
+namespace polyeval::prec {
+
+DoubleDouble sqrt(const DoubleDouble& a) noexcept {
+  if (a.is_zero()) return {};
+  if (a.is_negative()) return {std::nan(""), std::nan("")};
+  // Karp's trick: with x ~ 1/sqrt(a) accurate to double precision,
+  // sqrt(a) ~ a*x + (a - (a*x)^2) * x / 2, and a*x, (a*x)^2 need only be
+  // computed to double / double-double precision respectively.
+  const double x = 1.0 / std::sqrt(a.hi());
+  const double ax = a.hi() * x;
+  return DoubleDouble::from_sum(ax, (a - sqr(DoubleDouble(ax))).hi() * (x * 0.5));
+}
+
+DoubleDouble floor(const DoubleDouble& a) noexcept {
+  double hi = std::floor(a.hi());
+  double lo = 0.0;
+  if (hi == a.hi()) {  // high word already integral: floor the low word
+    lo = std::floor(a.lo());
+    hi = quick_two_sum(hi, lo, lo);
+  }
+  return {hi, lo};
+}
+
+DoubleDouble npwr(const DoubleDouble& a, int n) noexcept {
+  if (n == 0) return {1.0};
+  DoubleDouble r = a;
+  DoubleDouble s{1.0};
+  int m = n < 0 ? -n : n;
+  while (m > 0) {
+    if (m % 2 == 1) s *= r;
+    m /= 2;
+    if (m > 0) r = sqr(r);
+  }
+  return n < 0 ? DoubleDouble(1.0) / s : s;
+}
+
+std::string to_string(const DoubleDouble& a, int digits) {
+  return detail::render_decimal(a, digits);
+}
+
+bool from_string(const std::string& s, DoubleDouble& out) {
+  return detail::parse_decimal(s, out);
+}
+
+std::ostream& operator<<(std::ostream& os, const DoubleDouble& a) {
+  return os << to_string(a);
+}
+
+}  // namespace polyeval::prec

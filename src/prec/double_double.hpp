@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file double_double.hpp
+/// Double-double arithmetic: an unevaluated sum of two IEEE doubles giving
+/// roughly 32 significant decimal digits (eps ~ 2^-104).
+///
+/// This is the in-repo replacement for the QD 2.3.9 library (Hida, Li,
+/// Bailey) that the paper selects for multiprecision path tracking.  The
+/// algorithms are the "accurate" (IEEE-style) variants of QD.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "prec/eft.hpp"
+
+namespace polyeval::prec {
+
+/// A double-double number: value == hi + lo, with |lo| <= ulp(hi)/2.
+class DoubleDouble {
+ public:
+  constexpr DoubleDouble() noexcept = default;
+  constexpr DoubleDouble(double h) noexcept : hi_(h) {}  // NOLINT(google-explicit-constructor)
+  constexpr DoubleDouble(double h, double l) noexcept : hi_(h), lo_(l) {}
+
+  /// Leading component (also the closest double to the value).
+  [[nodiscard]] constexpr double hi() const noexcept { return hi_; }
+  /// Trailing component.
+  [[nodiscard]] constexpr double lo() const noexcept { return lo_; }
+
+  [[nodiscard]] constexpr double to_double() const noexcept { return hi_; }
+  [[nodiscard]] int to_int() const noexcept { return static_cast<int>(hi_); }
+
+  /// Normalizing constructor from an unordered pair: a + b exactly.
+  [[nodiscard]] static DoubleDouble from_sum(double a, double b) noexcept {
+    double e;
+    const double s = two_sum(a, b, e);
+    return {s, e};
+  }
+
+  /// Exact product of two doubles as a double-double.
+  [[nodiscard]] static DoubleDouble from_prod(double a, double b) noexcept {
+    double e;
+    const double p = two_prod(a, b, e);
+    return {p, e};
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept { return hi_ == 0.0; }
+  [[nodiscard]] bool is_negative() const noexcept { return hi_ < 0.0; }
+  [[nodiscard]] bool is_finite() const noexcept { return std::isfinite(hi_); }
+  [[nodiscard]] bool is_nan() const noexcept { return std::isnan(hi_) || std::isnan(lo_); }
+
+  DoubleDouble& operator+=(const DoubleDouble& b) noexcept { return *this = *this + b; }
+  DoubleDouble& operator-=(const DoubleDouble& b) noexcept { return *this = *this - b; }
+  DoubleDouble& operator*=(const DoubleDouble& b) noexcept { return *this = *this * b; }
+  DoubleDouble& operator/=(const DoubleDouble& b) noexcept { return *this = *this / b; }
+
+  friend DoubleDouble operator-(const DoubleDouble& a) noexcept { return {-a.hi_, -a.lo_}; }
+
+  /// Accurate (IEEE) addition: two two_sums plus double renormalization.
+  friend DoubleDouble operator+(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+    double s1, s2, t1, t2;
+    s1 = two_sum(a.hi_, b.hi_, s2);
+    t1 = two_sum(a.lo_, b.lo_, t2);
+    s2 += t1;
+    s1 = quick_two_sum(s1, s2, s2);
+    s2 += t2;
+    s1 = quick_two_sum(s1, s2, s2);
+    return {s1, s2};
+  }
+
+  friend DoubleDouble operator-(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+    return a + (-b);
+  }
+
+  friend DoubleDouble operator*(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+    double p1, p2;
+    p1 = two_prod(a.hi_, b.hi_, p2);
+    p2 += a.hi_ * b.lo_;
+    p2 += a.lo_ * b.hi_;
+    p1 = quick_two_sum(p1, p2, p2);
+    return {p1, p2};
+  }
+
+  /// Accurate division: three steps of long division in double-double.
+  friend DoubleDouble operator/(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+    double q1 = a.hi_ / b.hi_;
+    DoubleDouble r = a - q1 * b;
+    double q2 = r.hi_ / b.hi_;
+    r -= q2 * b;
+    const double q3 = r.hi_ / b.hi_;
+    q1 = quick_two_sum(q1, q2, q2);
+    return DoubleDouble(q1, q2) + q3;
+  }
+
+  friend DoubleDouble operator+(const DoubleDouble& a, double b) noexcept {
+    double s1, s2;
+    s1 = two_sum(a.hi_, b, s2);
+    s2 += a.lo_;
+    s1 = quick_two_sum(s1, s2, s2);
+    return {s1, s2};
+  }
+  friend DoubleDouble operator+(double a, const DoubleDouble& b) noexcept { return b + a; }
+  friend DoubleDouble operator-(const DoubleDouble& a, double b) noexcept { return a + (-b); }
+  friend DoubleDouble operator-(double a, const DoubleDouble& b) noexcept { return (-b) + a; }
+
+  friend DoubleDouble operator*(const DoubleDouble& a, double b) noexcept {
+    double p1, p2;
+    p1 = two_prod(a.hi_, b, p2);
+    p2 += a.lo_ * b;
+    p1 = quick_two_sum(p1, p2, p2);
+    return {p1, p2};
+  }
+  friend DoubleDouble operator*(double a, const DoubleDouble& b) noexcept { return b * a; }
+  friend DoubleDouble operator/(const DoubleDouble& a, double b) noexcept {
+    return a / DoubleDouble(b);
+  }
+  friend DoubleDouble operator/(double a, const DoubleDouble& b) noexcept {
+    return DoubleDouble(a) / b;
+  }
+
+  friend bool operator==(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+    return a.hi_ == b.hi_ && a.lo_ == b.lo_;
+  }
+  friend std::partial_ordering operator<=>(const DoubleDouble& a,
+                                           const DoubleDouble& b) noexcept {
+    if (const auto c = a.hi_ <=> b.hi_; c != std::partial_ordering::equivalent) return c;
+    return a.lo_ <=> b.lo_;
+  }
+
+ private:
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+};
+
+[[nodiscard]] inline DoubleDouble abs(const DoubleDouble& a) noexcept {
+  return a.is_negative() ? -a : a;
+}
+
+/// Multiply by an exact power of two (error-free).
+[[nodiscard]] inline DoubleDouble mul_pwr2(const DoubleDouble& a, double p2) noexcept {
+  return {a.hi() * p2, a.lo() * p2};
+}
+
+/// Scale by 2^n (error-free).
+[[nodiscard]] inline DoubleDouble ldexp(const DoubleDouble& a, int n) noexcept {
+  return {std::ldexp(a.hi(), n), std::ldexp(a.lo(), n)};
+}
+
+/// Square with one fewer cross product than the general multiply.
+[[nodiscard]] inline DoubleDouble sqr(const DoubleDouble& a) noexcept {
+  double p1, p2;
+  p1 = two_sqr(a.hi(), p2);
+  p2 += 2.0 * a.hi() * a.lo();
+  p2 += a.lo() * a.lo();
+  p1 = quick_two_sum(p1, p2, p2);
+  return {p1, p2};
+}
+
+/// Square root by Karp's method: one double rsqrt estimate plus one
+/// double-double Newton correction.
+[[nodiscard]] DoubleDouble sqrt(const DoubleDouble& a) noexcept;
+
+/// Largest integer not exceeding a.
+[[nodiscard]] DoubleDouble floor(const DoubleDouble& a) noexcept;
+
+/// Integer power by binary exponentiation (n may be negative).
+[[nodiscard]] DoubleDouble npwr(const DoubleDouble& a, int n) noexcept;
+
+/// Decimal rendering with \p digits significant digits (default: full
+/// double-double precision, 32 digits).
+[[nodiscard]] std::string to_string(const DoubleDouble& a, int digits = 32);
+
+/// Parse a decimal string ([-+]?digits[.digits][eE[-+]exp]).
+/// Returns false on malformed input.
+bool from_string(const std::string& s, DoubleDouble& out);
+
+std::ostream& operator<<(std::ostream& os, const DoubleDouble& a);
+
+}  // namespace polyeval::prec

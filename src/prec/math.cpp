@@ -1,0 +1,126 @@
+#include "prec/math.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace polyeval::prec {
+
+// Constants from QD 2.3.9 (componentwise exact limbs).
+DoubleDouble dd_log2() noexcept {
+  return {6.931471805599452862e-01, 2.3190468138462995584e-17};
+}
+DoubleDouble dd_e() noexcept {
+  return {2.718281828459045091e+00, 1.445646891729250158e-16};
+}
+QuadDouble qd_log2() noexcept {
+  return {6.931471805599452862e-01, 2.319046813846299558e-17,
+          5.707708438416212066e-34, -3.582432210601811423e-50};
+}
+QuadDouble qd_e() noexcept {
+  return {2.718281828459045091e+00, 1.445646891729250158e-16,
+          -2.127717108038176765e-33, 1.515630159841218954e-49};
+}
+
+namespace {
+
+/// 1/i! tables, computed once in the working precision.  The tail terms
+/// of the Taylor series are small, so the O(eps) error of the runtime
+/// division is harmless.
+template <class Real>
+const Real* inv_factorials() {
+  static const auto table = [] {
+    std::array<Real, 18> t{};
+    Real fact(2.0);
+    for (int i = 0; i < 18; ++i) {
+      fact *= static_cast<double>(i + 3);
+      t[static_cast<std::size_t>(i)] = Real(1.0) / fact;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+/// Shared exp skeleton: a = m log2 + r; exp(r/512) by Taylor; nine
+/// squarings; scale by 2^m.
+template <class Real>
+Real exp_impl(const Real& a, const Real& log2_const, double eps, int taylor_terms) {
+  constexpr double kInvK = 1.0 / 512.0;
+  const double lead = a.to_double();
+  if (lead <= -709.0) return Real(0.0);
+  if (lead >= 709.0) return Real(std::numeric_limits<double>::infinity());
+  if (a.is_zero()) return Real(1.0);
+
+  const double m = std::floor(lead / 0.6931471805599453 + 0.5);
+  const Real r = mul_pwr2(a - log2_const * m, kInvK);
+
+  // exp(r) - 1 = r + r^2/2 + r^3/3! + ...
+  Real p = sqr(r);
+  Real s = r + mul_pwr2(p, 0.5);
+  p *= r;
+  const Real* inv_fact = inv_factorials<Real>();
+  Real t = p * inv_fact[0];
+  int i = 0;
+  do {
+    s += t;
+    p *= r;
+    ++i;
+    t = p * inv_fact[i];
+  } while (std::fabs(t.to_double()) > kInvK * eps && i < taylor_terms);
+  s += t;
+
+  // undo the /512 scaling: (1+s)^2 - 1 = 2s + s^2, nine times
+  for (int j = 0; j < 9; ++j) s = mul_pwr2(s, 2.0) + sqr(s);
+  s += 1.0;
+
+  // scale by 2^m componentwise (exact)
+  const int mi = static_cast<int>(m);
+  if constexpr (std::is_same_v<Real, DoubleDouble>) {
+    return ldexp(s, mi);
+  } else {
+    return {std::ldexp(s[0], mi), std::ldexp(s[1], mi), std::ldexp(s[2], mi),
+            std::ldexp(s[3], mi)};
+  }
+}
+
+/// log by Newton iteration on x -> x + a exp(-x) - 1, starting from the
+/// double-precision logarithm; each pass doubles the correct digits.
+template <class Real>
+Real log_impl(const Real& a, int iterations, const Real& log2_const, double eps,
+              int taylor_terms) {
+  if (a.is_negative() || a.is_zero())
+    return Real(std::numeric_limits<double>::quiet_NaN());
+  Real x(std::log(a.to_double()));
+  for (int i = 0; i < iterations; ++i)
+    x = x + a * exp_impl(-x, log2_const, eps, taylor_terms) - 1.0;
+  return x;
+}
+
+}  // namespace
+
+DoubleDouble exp(const DoubleDouble& a) noexcept {
+  return exp_impl(a, dd_log2(), 0x1p-105, 5);
+}
+
+QuadDouble exp(const QuadDouble& a) noexcept {
+  return exp_impl(a, qd_log2(), 0x1p-209, 15);
+}
+
+DoubleDouble log(const DoubleDouble& a) noexcept {
+  return log_impl(a, 2, dd_log2(), 0x1p-105, 5);
+}
+
+QuadDouble log(const QuadDouble& a) noexcept {
+  return log_impl(a, 3, qd_log2(), 0x1p-209, 15);
+}
+
+DoubleDouble pow(const DoubleDouble& a, const DoubleDouble& b) noexcept {
+  return exp(b * log(a));
+}
+
+QuadDouble pow(const QuadDouble& a, const QuadDouble& b) noexcept {
+  return exp(b * log(a));
+}
+
+}  // namespace polyeval::prec

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file math.hpp
+/// Transcendental functions for the extended precisions, following the
+/// QD 2.3.9 algorithms: exp by argument reduction (x = m log2 + r,
+/// r scaled by 1/512, Taylor series, nine squarings), log by Newton
+/// iteration on exp, pow via exp(b log a).
+
+#include "prec/double_double.hpp"
+#include "prec/quad_double.hpp"
+
+namespace polyeval::prec {
+
+/// log(2) to double-double precision (QD constant).
+[[nodiscard]] DoubleDouble dd_log2() noexcept;
+/// e to double-double precision.
+[[nodiscard]] DoubleDouble dd_e() noexcept;
+/// log(2) to quad-double precision (QD constant).
+[[nodiscard]] QuadDouble qd_log2() noexcept;
+/// e to quad-double precision.
+[[nodiscard]] QuadDouble qd_e() noexcept;
+
+[[nodiscard]] DoubleDouble exp(const DoubleDouble& a) noexcept;
+[[nodiscard]] QuadDouble exp(const QuadDouble& a) noexcept;
+
+/// Natural logarithm; NaN for non-positive arguments.
+[[nodiscard]] DoubleDouble log(const DoubleDouble& a) noexcept;
+[[nodiscard]] QuadDouble log(const QuadDouble& a) noexcept;
+
+/// a^b = exp(b log a); requires a > 0.
+[[nodiscard]] DoubleDouble pow(const DoubleDouble& a, const DoubleDouble& b) noexcept;
+[[nodiscard]] QuadDouble pow(const QuadDouble& a, const QuadDouble& b) noexcept;
+
+}  // namespace polyeval::prec

@@ -1,0 +1,232 @@
+#include "prec/quad_double.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "prec/detail/decimal_io.hpp"
+
+namespace polyeval::prec {
+
+QuadDouble QuadDouble::renormed(double c0, double c1, double c2,
+                                double c3) noexcept {
+  double s0, s1, s2 = 0.0, s3 = 0.0;
+  if (std::isinf(c0)) return {c0, c1, c2, c3};
+
+  s0 = quick_two_sum(c2, c3, c3);
+  s0 = quick_two_sum(c1, s0, c2);
+  c0 = quick_two_sum(c0, s0, c1);
+
+  s0 = c0;
+  s1 = c1;
+  if (s1 != 0.0) {
+    s1 = quick_two_sum(s1, c2, s2);
+    if (s2 != 0.0)
+      s2 = quick_two_sum(s2, c3, s3);
+    else
+      s1 = quick_two_sum(s1, c3, s2);
+  } else {
+    s0 = quick_two_sum(s0, c2, s1);
+    if (s1 != 0.0)
+      s1 = quick_two_sum(s1, c3, s2);
+    else
+      s0 = quick_two_sum(s0, c3, s1);
+  }
+  return {s0, s1, s2, s3};
+}
+
+QuadDouble QuadDouble::renormed(double c0, double c1, double c2, double c3,
+                                double c4) noexcept {
+  double s0, s1, s2 = 0.0, s3 = 0.0;
+  if (std::isinf(c0)) return {c0, c1, c2, c3};
+
+  s0 = quick_two_sum(c3, c4, c4);
+  s0 = quick_two_sum(c2, s0, c3);
+  s0 = quick_two_sum(c1, s0, c2);
+  c0 = quick_two_sum(c0, s0, c1);
+
+  s0 = c0;
+  s1 = c1;
+  if (s1 != 0.0) {
+    s1 = quick_two_sum(s1, c2, s2);
+    if (s2 != 0.0) {
+      s2 = quick_two_sum(s2, c3, s3);
+      if (s3 != 0.0)
+        s3 += c4;
+      else
+        s2 = quick_two_sum(s2, c4, s3);
+    } else {
+      s1 = quick_two_sum(s1, c3, s2);
+      if (s2 != 0.0)
+        s2 = quick_two_sum(s2, c4, s3);
+      else
+        s1 = quick_two_sum(s1, c4, s2);
+    }
+  } else {
+    s0 = quick_two_sum(s0, c2, s1);
+    if (s1 != 0.0) {
+      s1 = quick_two_sum(s1, c3, s2);
+      if (s2 != 0.0)
+        s2 = quick_two_sum(s2, c4, s3);
+      else
+        s1 = quick_two_sum(s1, c4, s2);
+    } else {
+      s0 = quick_two_sum(s0, c3, s1);
+      if (s1 != 0.0)
+        s1 = quick_two_sum(s1, c4, s2);
+      else
+        s0 = quick_two_sum(s0, c4, s1);
+    }
+  }
+  return {s0, s1, s2, s3};
+}
+
+QuadDouble operator+(const QuadDouble& a, const QuadDouble& b) noexcept {
+  double s0, s1, s2, s3;
+  double t0, t1, t2, t3;
+
+  s0 = two_sum(a[0], b[0], t0);
+  s1 = two_sum(a[1], b[1], t1);
+  s2 = two_sum(a[2], b[2], t2);
+  s3 = two_sum(a[3], b[3], t3);
+
+  s1 = two_sum(s1, t0, t0);
+  three_sum(s2, t0, t1);
+  three_sum2(s3, t0, t2);
+  t0 = t0 + t1 + t3;
+
+  return QuadDouble::renormed(s0, s1, s2, s3, t0);
+}
+
+QuadDouble operator+(const QuadDouble& a, double b) noexcept {
+  double c0, c1, c2, c3, e;
+  c0 = two_sum(a[0], b, e);
+  c1 = two_sum(a[1], e, e);
+  c2 = two_sum(a[2], e, e);
+  c3 = two_sum(a[3], e, e);
+  return QuadDouble::renormed(c0, c1, c2, c3, e);
+}
+
+QuadDouble operator*(const QuadDouble& a, double b) noexcept {
+  double p0, p1, p2, p3;
+  double q0, q1, q2;
+  double s0, s1, s2, s3, s4;
+
+  p0 = two_prod(a[0], b, q0);
+  p1 = two_prod(a[1], b, q1);
+  p2 = two_prod(a[2], b, q2);
+  p3 = a[3] * b;
+
+  s0 = p0;
+  s1 = two_sum(q0, p1, s2);
+
+  three_sum(s2, q1, p2);
+  three_sum2(q1, q2, p3);
+  s3 = q1;
+  s4 = q2 + p2;
+
+  return QuadDouble::renormed(s0, s1, s2, s3, s4);
+}
+
+QuadDouble operator*(const QuadDouble& a, const QuadDouble& b) noexcept {
+  // O(eps^0..2) partial products exactly, O(eps^3) terms in plain double.
+  double p0, p1, p2, p3, p4, p5;
+  double q0, q1, q2, q3, q4, q5;
+  double t0, t1;
+  double s0, s1, s2;
+
+  p0 = two_prod(a[0], b[0], q0);
+  p1 = two_prod(a[0], b[1], q1);
+  p2 = two_prod(a[1], b[0], q2);
+  p3 = two_prod(a[0], b[2], q3);
+  p4 = two_prod(a[1], b[1], q4);
+  p5 = two_prod(a[2], b[0], q5);
+
+  three_sum(p1, p2, q0);
+
+  // six-three sum of (p2, q1, q2) and (p3, p4, p5)
+  three_sum(p2, q1, q2);
+  three_sum(p3, p4, p5);
+  s0 = two_sum(p2, p3, t0);
+  s1 = two_sum(q1, p4, t1);
+  s2 = q2 + p5;
+  s1 = two_sum(s1, t0, t0);
+  s2 += (t0 + t1);
+
+  s1 += a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + q0 + q3 + q4 + q5;
+  return QuadDouble::renormed(p0, p1, s0, s1, s2);
+}
+
+QuadDouble sqr(const QuadDouble& a) noexcept { return a * a; }
+
+QuadDouble operator/(const QuadDouble& a, const QuadDouble& b) noexcept {
+  // Long division: four quotient digits in double precision, then renorm.
+  double q0, q1, q2, q3;
+  QuadDouble r;
+
+  q0 = a[0] / b[0];
+  r = a - (b * q0);
+
+  q1 = r[0] / b[0];
+  r -= (b * q1);
+
+  q2 = r[0] / b[0];
+  r -= (b * q2);
+
+  q3 = r[0] / b[0];
+  return QuadDouble::renormed(q0, q1, q2, q3);
+}
+
+QuadDouble sqrt(const QuadDouble& a) noexcept {
+  if (a.is_zero()) return {};
+  if (a.is_negative()) return {std::nan(""), 0.0, 0.0, 0.0};
+  // Newton iteration on x -> x + x(1 - a x^2)/2, converging to 1/sqrt(a);
+  // each iteration doubles the number of correct digits (3 needed from a
+  // double seed), then multiply by a.
+  QuadDouble r(1.0 / std::sqrt(a[0]));
+  const QuadDouble h = mul_pwr2(a, 0.5);
+  r += ((0.5 - h * sqr(r)) * r);
+  r += ((0.5 - h * sqr(r)) * r);
+  r += ((0.5 - h * sqr(r)) * r);
+  r *= a;
+  return r;
+}
+
+QuadDouble floor(const QuadDouble& a) noexcept {
+  double c0 = std::floor(a[0]);
+  double c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  if (c0 == a[0]) {
+    c1 = std::floor(a[1]);
+    if (c1 == a[1]) {
+      c2 = std::floor(a[2]);
+      if (c2 == a[2]) c3 = std::floor(a[3]);
+    }
+  }
+  return QuadDouble::renormed(c0, c1, c2, c3);
+}
+
+QuadDouble npwr(const QuadDouble& a, int n) noexcept {
+  if (n == 0) return {1.0};
+  QuadDouble r = a;
+  QuadDouble s{1.0};
+  int m = n < 0 ? -n : n;
+  while (m > 0) {
+    if (m % 2 == 1) s *= r;
+    m /= 2;
+    if (m > 0) r = sqr(r);
+  }
+  return n < 0 ? QuadDouble(1.0) / s : s;
+}
+
+std::string to_string(const QuadDouble& a, int digits) {
+  return detail::render_decimal(a, digits);
+}
+
+bool from_string(const std::string& s, QuadDouble& out) {
+  return detail::parse_decimal(s, out);
+}
+
+std::ostream& operator<<(std::ostream& os, const QuadDouble& a) {
+  return os << to_string(a);
+}
+
+}  // namespace polyeval::prec

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file quad_double.hpp
+/// Quad-double arithmetic: an unevaluated sum of four IEEE doubles giving
+/// roughly 64 significant decimal digits (eps ~ 2^-209).  Port of the
+/// QD 2.3.9 algorithms (Hida, Li, Bailey 2001) cited by the paper.
+
+#include <array>
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "prec/double_double.hpp"
+#include "prec/eft.hpp"
+
+namespace polyeval::prec {
+
+/// A quad-double number: value == c0 + c1 + c2 + c3 with strictly
+/// decreasing magnitudes (each component at most half an ulp of the
+/// previous one after renormalization).
+class QuadDouble {
+ public:
+  constexpr QuadDouble() noexcept = default;
+  constexpr QuadDouble(double c0) noexcept : c_{c0, 0.0, 0.0, 0.0} {}  // NOLINT(google-explicit-constructor)
+  constexpr QuadDouble(double c0, double c1, double c2, double c3) noexcept
+      : c_{c0, c1, c2, c3} {}
+  QuadDouble(const DoubleDouble& dd) noexcept : c_{dd.hi(), dd.lo(), 0.0, 0.0} {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr double operator[](int i) const noexcept {
+    return c_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] constexpr double to_double() const noexcept { return c_[0]; }
+  [[nodiscard]] DoubleDouble to_double_double() const noexcept {
+    return DoubleDouble::from_sum(c_[0], c_[1]);
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept { return c_[0] == 0.0; }
+  [[nodiscard]] bool is_negative() const noexcept { return c_[0] < 0.0; }
+  [[nodiscard]] bool is_nan() const noexcept {
+    return std::isnan(c_[0]) || std::isnan(c_[1]) || std::isnan(c_[2]) || std::isnan(c_[3]);
+  }
+
+  /// Renormalize five components into canonical four-component form.
+  static QuadDouble renormed(double c0, double c1, double c2, double c3,
+                             double c4) noexcept;
+  /// Renormalize four components into canonical form.
+  static QuadDouble renormed(double c0, double c1, double c2, double c3) noexcept;
+
+  QuadDouble& operator+=(const QuadDouble& b) noexcept { return *this = *this + b; }
+  QuadDouble& operator-=(const QuadDouble& b) noexcept { return *this = *this - b; }
+  QuadDouble& operator*=(const QuadDouble& b) noexcept { return *this = *this * b; }
+  QuadDouble& operator/=(const QuadDouble& b) noexcept { return *this = *this / b; }
+
+  friend QuadDouble operator-(const QuadDouble& a) noexcept {
+    return {-a.c_[0], -a.c_[1], -a.c_[2], -a.c_[3]};
+  }
+
+  friend QuadDouble operator+(const QuadDouble& a, const QuadDouble& b) noexcept;
+  friend QuadDouble operator-(const QuadDouble& a, const QuadDouble& b) noexcept {
+    return a + (-b);
+  }
+  friend QuadDouble operator*(const QuadDouble& a, const QuadDouble& b) noexcept;
+  friend QuadDouble operator/(const QuadDouble& a, const QuadDouble& b) noexcept;
+
+  friend QuadDouble operator+(const QuadDouble& a, double b) noexcept;
+  friend QuadDouble operator+(double a, const QuadDouble& b) noexcept { return b + a; }
+  friend QuadDouble operator-(const QuadDouble& a, double b) noexcept { return a + (-b); }
+  friend QuadDouble operator-(double a, const QuadDouble& b) noexcept { return (-b) + a; }
+  friend QuadDouble operator*(const QuadDouble& a, double b) noexcept;
+  friend QuadDouble operator*(double a, const QuadDouble& b) noexcept { return b * a; }
+  friend QuadDouble operator/(const QuadDouble& a, double b) noexcept {
+    return a / QuadDouble(b);
+  }
+  friend QuadDouble operator/(double a, const QuadDouble& b) noexcept {
+    return QuadDouble(a) / b;
+  }
+
+  friend bool operator==(const QuadDouble& a, const QuadDouble& b) noexcept {
+    return a.c_ == b.c_;
+  }
+  friend std::partial_ordering operator<=>(const QuadDouble& a,
+                                           const QuadDouble& b) noexcept {
+    for (int i = 0; i < 4; ++i) {
+      if (const auto c = a.c_[static_cast<std::size_t>(i)] <=>
+                         b.c_[static_cast<std::size_t>(i)];
+          c != std::partial_ordering::equivalent)
+        return c;
+    }
+    return std::partial_ordering::equivalent;
+  }
+
+ private:
+  std::array<double, 4> c_{0.0, 0.0, 0.0, 0.0};
+};
+
+[[nodiscard]] inline QuadDouble abs(const QuadDouble& a) noexcept {
+  return a.is_negative() ? -a : a;
+}
+
+/// Multiply by an exact power of two (error-free).
+[[nodiscard]] inline QuadDouble mul_pwr2(const QuadDouble& a, double p2) noexcept {
+  return {a[0] * p2, a[1] * p2, a[2] * p2, a[3] * p2};
+}
+
+[[nodiscard]] QuadDouble sqr(const QuadDouble& a) noexcept;
+[[nodiscard]] QuadDouble sqrt(const QuadDouble& a) noexcept;
+[[nodiscard]] QuadDouble floor(const QuadDouble& a) noexcept;
+[[nodiscard]] QuadDouble npwr(const QuadDouble& a, int n) noexcept;
+
+/// Decimal rendering (default: full quad-double precision, 64 digits).
+[[nodiscard]] std::string to_string(const QuadDouble& a, int digits = 64);
+bool from_string(const std::string& s, QuadDouble& out);
+std::ostream& operator<<(std::ostream& os, const QuadDouble& a);
+
+}  // namespace polyeval::prec

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file random.hpp
+/// Seeded random scalar generation for tests and property sweeps.  For the
+/// extended types the trailing components are filled as well, so random
+/// values genuinely exercise all limbs.
+
+#include <random>
+
+#include "prec/scalar_traits.hpp"
+
+namespace polyeval::prec {
+
+/// Uniform random scalars in [-1, 1] with full-precision significands.
+template <RealScalar T>
+class UniformScalar {
+ public:
+  explicit UniformScalar(std::uint64_t seed) : rng_(seed) {}
+
+  T operator()() {
+    if constexpr (std::is_same_v<T, double>) {
+      return dist_(rng_);
+    } else if constexpr (std::is_same_v<T, DoubleDouble>) {
+      return DoubleDouble(dist_(rng_)) + dist_(rng_) * 0x1p-53;
+    } else {
+      QuadDouble q(dist_(rng_));
+      q += dist_(rng_) * 0x1p-53;
+      q += dist_(rng_) * 0x1p-106;
+      q += dist_(rng_) * 0x1p-159;
+      return q;
+    }
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{-1.0, 1.0};
+};
+
+}  // namespace polyeval::prec

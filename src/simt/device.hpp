@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file device.hpp
+/// The simulated GPU: owns the memory spaces, the host worker pool, and
+/// the launch log.  Mirrors the slice of the CUDA runtime the paper's
+/// implementation uses (cudaMalloc, __constant__ uploads, cudaMemcpy,
+/// kernel launches).
+
+#include <span>
+
+#include "simt/kernel.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace polyeval::simt {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::tesla_c2050(), unsigned host_workers = 0)
+      : spec_(std::move(spec)),
+        global_(spec_.global_memory_bytes),
+        constant_(spec_.constant_memory_bytes - spec_.constant_reserved_bytes),
+        pool_(host_workers) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  // -- allocation -------------------------------------------------------
+  template <class T>
+  [[nodiscard]] GlobalBuffer<T> alloc_global(std::size_t count, std::string name) {
+    return global_.allocate<T>(count, std::move(name));
+  }
+  template <class T>
+  [[nodiscard]] ConstantBuffer<T> alloc_constant(std::size_t count, std::string name) {
+    return constant_.allocate<T>(count, std::move(name));
+  }
+
+  [[nodiscard]] std::size_t constant_bytes_used() const noexcept {
+    return constant_.used();
+  }
+  [[nodiscard]] std::size_t constant_bytes_remaining() const noexcept {
+    return constant_.remaining();
+  }
+  [[nodiscard]] std::size_t global_bytes_used() const noexcept { return global_.used(); }
+
+  /// Release all device allocations (between experiments).
+  void reset_memory() {
+    global_.reset();
+    constant_.reset();
+  }
+
+  // -- host <-> device transfers (tracked as PCIe traffic) --------------
+  template <class T>
+  void upload(const GlobalBuffer<T>& buf, std::span<const T> host) {
+    std::copy(host.begin(), host.end(), buf.raw());
+    log_.transfers.bytes_to_device += host.size_bytes();
+    ++log_.transfers.transfers_to_device;
+  }
+
+  template <class T>
+  void download(const GlobalBuffer<T>& buf, std::span<T> host) {
+    std::copy_n(buf.raw(), host.size(), host.begin());
+    log_.transfers.bytes_from_device += host.size_bytes();
+    ++log_.transfers.transfers_from_device;
+  }
+
+  /// Fill a buffer device-side (cudaMemset analogue; not PCIe traffic).
+  template <class T>
+  void fill(const GlobalBuffer<T>& buf, const T& value) {
+    std::fill_n(buf.raw(), buf.size(), value);
+  }
+
+  template <class T>
+  void upload_constant(const ConstantBuffer<T>& buf, std::span<const T> host) {
+    std::copy(host.begin(), host.end(), buf.raw());
+    log_.transfers.bytes_to_device += host.size_bytes();
+    ++log_.transfers.transfers_to_device;
+  }
+
+  // -- execution --------------------------------------------------------
+  KernelStats launch(const Kernel& kernel, const LaunchConfig& cfg) {
+    KernelStats stats = run_kernel(kernel, cfg, spec_, pool_);
+    log_.kernels.push_back(stats);
+    return stats;
+  }
+
+  [[nodiscard]] const LaunchLog& log() const noexcept { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  DeviceSpec spec_;
+  GlobalMemory global_;
+  ConstantMemory constant_;
+  ThreadPool pool_;
+  LaunchLog log_;
+};
+
+}  // namespace polyeval::simt

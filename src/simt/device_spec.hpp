@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file device_spec.hpp
+/// Hardware descriptions for the simulated device and the baseline CPU.
+/// The defaults describe the paper's testbed: an NVIDIA Tesla C2050
+/// (Fermi) and one core of an Intel Xeon X5690.
+
+#include <cstddef>
+#include <string>
+
+namespace polyeval::simt {
+
+/// Static properties of the simulated CUDA device.
+struct DeviceSpec {
+  std::string name = "NVIDIA Tesla C2050 (simulated)";
+  unsigned multiprocessors = 14;        ///< streaming multiprocessors
+  unsigned cores_per_sm = 32;           ///< CUDA cores per SM
+  unsigned warp_size = 32;
+  unsigned max_threads_per_block = 1024;
+  unsigned max_blocks_per_sm = 8;       ///< Fermi concurrent-block limit
+  unsigned max_threads_per_sm = 1536;   ///< Fermi resident-thread limit
+  std::size_t shared_memory_per_block = 49152;  ///< 48 KB
+  std::size_t constant_memory_bytes = 65536;    ///< 64 KB (the paper's cap)
+  /// Constant memory the toolchain keeps for kernel parameters and
+  /// compiler-generated constants; user data gets the rest.  This is why
+  /// 2048 monomials at k=16 (exactly 65536 bytes of positions+exponents)
+  /// did NOT fit in section 4.
+  std::size_t constant_reserved_bytes = 1024;
+  std::size_t global_memory_bytes = std::size_t(3) << 30;  ///< 3 GB
+  unsigned shared_banks = 32;
+  unsigned shared_bank_width_bytes = 4;
+  unsigned global_transaction_bytes = 128;  ///< coalesced segment size
+  double core_clock_mhz = 1147.0;
+
+  [[nodiscard]] unsigned total_cores() const noexcept {
+    return multiprocessors * cores_per_sm;
+  }
+  [[nodiscard]] double clock_hz() const noexcept { return core_clock_mhz * 1.0e6; }
+
+  /// The paper's card.
+  [[nodiscard]] static DeviceSpec tesla_c2050() { return {}; }
+};
+
+/// Static properties of the sequential baseline processor.
+struct CpuSpec {
+  std::string name = "Intel Xeon X5690 (one core, modeled)";
+  double clock_ghz = 3.47;
+
+  [[nodiscard]] static CpuSpec xeon_x5690() { return {}; }
+};
+
+}  // namespace polyeval::simt

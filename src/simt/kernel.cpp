@@ -1,0 +1,214 @@
+#include "simt/kernel.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "simt/thread_pool.hpp"
+
+namespace polyeval::simt {
+
+namespace detail {
+
+bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_write) {
+  auto [it, inserted] = words.try_emplace(word, WordState{thread, is_write, false});
+  if (inserted) return false;
+  auto& state = it->second;
+  if (state.thread != thread) {
+    state.multi_thread = true;
+    const bool hazard = is_write || state.written;
+    state.written = state.written || is_write;
+    return hazard;
+  }
+  // same thread touching a word other threads already read: hazardous
+  // only if this is a write and someone else was involved
+  const bool hazard = is_write && state.multi_thread;
+  state.written = state.written || is_write;
+  return hazard;
+}
+
+bool GlobalRaceJournal::record_write(std::uint64_t address, std::uint64_t global_thread) {
+  const std::lock_guard lock(mutex);
+  auto [it, inserted] = writers.try_emplace(address, global_thread);
+  return !inserted && it->second != global_thread;
+}
+
+void WarpCollector::record_global(bool is_store, std::size_t ordinal,
+                                  std::uint64_t address, std::size_t bytes,
+                                  unsigned segment_bytes) {
+  auto& groups = is_store ? stores : loads;
+  if (groups.size() <= ordinal) groups.resize(ordinal + 1);
+  auto& segs = groups[ordinal].segments;
+  const std::uint64_t first = address / segment_bytes;
+  const std::uint64_t last = (address + bytes - 1) / segment_bytes;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    if (std::find(segs.begin(), segs.end(), s) == segs.end()) segs.push_back(s);
+  }
+}
+
+void WarpCollector::record_shared(std::size_t ordinal, std::uint32_t first_word,
+                                  std::size_t words) {
+  if (shared.size() <= ordinal) shared.resize(ordinal + 1);
+  auto& w = shared[ordinal].words;
+  for (std::size_t i = 0; i < words; ++i) w.push_back(first_word + static_cast<std::uint32_t>(i));
+}
+
+void BlockAccum::fold(const WarpCollector& col, const DeviceSpec& spec) {
+  for (const auto& g : col.loads) {
+    ++load_requests;
+    load_transactions += g.segments.size();
+  }
+  for (const auto& g : col.stores) {
+    ++store_requests;
+    store_transactions += g.segments.size();
+  }
+  for (const auto& g : col.shared) {
+    ++shared_requests;
+    // Fermi rule: lanes reading the *same* word broadcast; distinct words
+    // mapping to the same bank serialize.  Cost = max distinct words per
+    // bank.
+    std::vector<std::uint32_t> distinct(g.words);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    std::vector<std::uint32_t> per_bank(spec.shared_banks, 0);
+    std::uint32_t worst = 1;
+    for (const auto word : distinct) {
+      const auto bank = word % spec.shared_banks;
+      worst = std::max(worst, ++per_bank[bank]);
+    }
+    shared_cycles += worst;
+  }
+}
+
+}  // namespace detail
+
+/// Runs the blocks of one launch; also the ThreadContext befriender.
+struct BlockRunner {
+  const Kernel& kernel;
+  const LaunchConfig& cfg;
+  const DeviceSpec& spec;
+
+  detail::BlockAccum totals;
+  std::mutex merge_mutex;
+  detail::GlobalRaceJournal global_races;
+
+  void run_block(unsigned block_index) {
+    SharedSpace shared(cfg.shared_bytes);
+    detail::BlockAccum accum;
+    detail::SharedRaceJournal shared_races;
+    std::vector<std::uint64_t> cmul_per_thread(cfg.block_threads, 0);
+    std::vector<std::uint64_t> cadd_per_thread(cfg.block_threads, 0);
+
+    for (const auto& phase : kernel.phases) {
+      shared_races.clear();  // phases are barriers: accesses across them order
+      for (unsigned warp_start = 0; warp_start < cfg.block_threads;
+           warp_start += spec.warp_size) {
+        detail::WarpCollector collector;
+        const unsigned warp_end =
+            std::min(warp_start + spec.warp_size, cfg.block_threads);
+        for (unsigned t = warp_start; t < warp_end; ++t) {
+          ThreadContext ctx(block_index, t, cfg, spec, shared, collector,
+                            cfg.detect_races ? &shared_races : nullptr,
+                            cfg.detect_races ? &global_races : nullptr);
+          phase(ctx);
+          cmul_per_thread[t] += ctx.cmul_;
+          cadd_per_thread[t] += ctx.cadd_;
+          accum.cmul += ctx.cmul_;
+          accum.cadd += ctx.cadd_;
+          accum.constant_reads += ctx.const_reads_;
+          accum.inactive_lane_phases += ctx.inactive_;
+          accum.load_bytes += ctx.load_bytes_;
+          accum.store_bytes += ctx.store_bytes_;
+          accum.race_hazards += ctx.race_hazards_;
+        }
+        accum.fold(collector, spec);
+      }
+    }
+    for (unsigned t = 0; t < cfg.block_threads; ++t) {
+      accum.cmul_thread_max = std::max(accum.cmul_thread_max, cmul_per_thread[t]);
+      accum.cadd_thread_max = std::max(accum.cadd_thread_max, cadd_per_thread[t]);
+    }
+
+    const std::lock_guard lock(merge_mutex);
+    totals.cmul += accum.cmul;
+    totals.cadd += accum.cadd;
+    totals.cmul_thread_max = std::max(totals.cmul_thread_max, accum.cmul_thread_max);
+    totals.cadd_thread_max = std::max(totals.cadd_thread_max, accum.cadd_thread_max);
+    totals.load_requests += accum.load_requests;
+    totals.load_transactions += accum.load_transactions;
+    totals.load_bytes += accum.load_bytes;
+    totals.store_requests += accum.store_requests;
+    totals.store_transactions += accum.store_transactions;
+    totals.store_bytes += accum.store_bytes;
+    totals.shared_requests += accum.shared_requests;
+    totals.shared_cycles += accum.shared_cycles;
+    totals.constant_reads += accum.constant_reads;
+    totals.inactive_lane_phases += accum.inactive_lane_phases;
+    totals.race_hazards += accum.race_hazards;
+  }
+};
+
+KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                       const DeviceSpec& spec, ThreadPool& pool) {
+  if (cfg.grid_blocks == 0) throw LaunchError(kernel.name + ": empty grid");
+  if (cfg.block_threads == 0 || cfg.block_threads > spec.max_threads_per_block)
+    throw LaunchError(kernel.name + ": invalid block size " +
+                      std::to_string(cfg.block_threads));
+  if (cfg.shared_bytes > spec.shared_memory_per_block)
+    throw LaunchError(kernel.name + ": block requests " +
+                      std::to_string(cfg.shared_bytes) + " bytes of shared memory, " +
+                      std::to_string(spec.shared_memory_per_block) + " available");
+
+  BlockRunner runner{kernel, cfg, spec, {}, {}, {}};
+  pool.parallel_for(cfg.grid_blocks,
+                    [&](std::size_t b) { runner.run_block(static_cast<unsigned>(b)); });
+
+  if (cfg.detect_races && runner.totals.race_hazards > 0)
+    throw LaunchError(kernel.name + ": " +
+                      std::to_string(runner.totals.race_hazards) +
+                      " race hazard(s): unordered same-phase accesses to a "
+                      "shared word or double-writes to a global address");
+
+  const auto& t = runner.totals;
+  KernelStats stats;
+  stats.kernel = kernel.name;
+  stats.blocks = cfg.grid_blocks;
+  stats.threads = static_cast<std::uint64_t>(cfg.grid_blocks) * cfg.block_threads;
+  stats.warps_per_block = (cfg.block_threads + spec.warp_size - 1) / spec.warp_size;
+  stats.warps = static_cast<std::uint64_t>(stats.warps_per_block) * cfg.grid_blocks;
+
+  stats.complex_mul_total = t.cmul;
+  stats.complex_add_total = t.cadd;
+  stats.complex_mul_per_thread_max = t.cmul_thread_max;
+  stats.complex_add_per_thread_max = t.cadd_thread_max;
+  stats.global_load_requests = t.load_requests;
+  stats.global_load_transactions = t.load_transactions;
+  stats.global_store_requests = t.store_requests;
+  stats.global_store_transactions = t.store_transactions;
+  stats.global_bytes_loaded = t.load_bytes;
+  stats.global_bytes_stored = t.store_bytes;
+  stats.shared_requests = t.shared_requests;
+  stats.shared_cycles = t.shared_cycles;
+  stats.constant_reads = t.constant_reads;
+  stats.inactive_lane_phases = t.inactive_lane_phases;
+  stats.race_hazards = t.race_hazards;
+  stats.shared_bytes_per_block = cfg.shared_bytes;
+
+  // Occupancy: how many blocks fit on one SM at once (Fermi limits).
+  unsigned resident = spec.max_blocks_per_sm;
+  resident = std::min(resident, std::max(1u, spec.max_threads_per_sm / cfg.block_threads));
+  if (cfg.shared_bytes > 0)
+    resident = std::min(
+        resident, std::max(1u, static_cast<unsigned>(spec.shared_memory_per_block /
+                                                     cfg.shared_bytes)));
+  stats.concurrent_blocks_per_sm = resident;
+  const std::uint64_t per_wave =
+      static_cast<std::uint64_t>(spec.multiprocessors) * resident;
+  stats.waves =
+      static_cast<unsigned>((cfg.grid_blocks + per_wave - 1) / per_wave);
+  stats.warps_on_busiest_sm =
+      static_cast<std::uint64_t>(stats.warps_per_block) *
+      ((cfg.grid_blocks + spec.multiprocessors - 1) / spec.multiprocessors);
+  return stats;
+}
+
+}  // namespace polyeval::simt

@@ -1,0 +1,247 @@
+#pragma once
+
+/// \file kernel.hpp
+/// The SIMT execution model of the simulator.
+///
+/// A Kernel is a named sequence of *phases*; a phase is a function run by
+/// every thread of every block, and consecutive phases are separated by an
+/// implicit block-wide barrier (__syncthreads).  Within a warp the lanes
+/// execute a phase in lockstep order, and the engine groups the i-th
+/// global/shared memory access of each lane into one warp-level request --
+/// reproducing how coalescing and bank conflicts form on the real device.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/device_spec.hpp"
+#include "simt/memory.hpp"
+#include "simt/shared_memory.hpp"
+#include "simt/stats.hpp"
+
+namespace polyeval::simt {
+
+class ThreadPool;
+class ThreadContext;
+
+/// Grid/block geometry plus the block's shared-memory allocation.
+struct LaunchConfig {
+  unsigned grid_blocks = 1;
+  unsigned block_threads = 32;
+  std::size_t shared_bytes = 0;
+  /// Race checking (the cuda-memcheck racecheck analogue): within one
+  /// phase, a shared word or global address touched by two different
+  /// threads with at least one write is a hazard -- phases are the only
+  /// barriers, so such accesses are unordered on real hardware.  Hazards
+  /// throw LaunchError when enabled.
+  bool detect_races = true;
+};
+
+using Phase = std::function<void(ThreadContext&)>;
+
+struct Kernel {
+  std::string name;
+  std::vector<Phase> phases;
+};
+
+namespace detail {
+
+/// Per-block-phase shared-memory access journal for race detection:
+/// every shared word keeps the first accessor and whether anyone wrote.
+struct SharedRaceJournal {
+  struct WordState {
+    unsigned thread = 0;
+    bool written = false;
+    bool multi_thread = false;
+  };
+  std::unordered_map<std::uint32_t, WordState> words;
+
+  /// Record an access; returns true when it completes a hazard
+  /// (two distinct threads, at least one write).
+  bool record(std::uint32_t word, unsigned thread, bool is_write);
+  void clear() { words.clear(); }
+};
+
+/// Launch-wide global-memory write journal: double-writes to one address
+/// by different threads (any blocks) within one kernel are hazards.
+struct GlobalRaceJournal {
+  std::unordered_map<std::uint64_t, std::uint64_t> writers;  // address -> thread
+  std::mutex mutex;
+
+  bool record_write(std::uint64_t address, std::uint64_t global_thread);
+};
+
+/// Warp-level grouping of the accesses issued during one phase: the i-th
+/// access of each lane forms request i.
+struct WarpCollector {
+  struct GlobalGroup {
+    std::vector<std::uint64_t> segments;  // distinct 128B segments touched
+  };
+  struct SharedGroup {
+    std::vector<std::uint32_t> words;  // 4-byte shared words touched
+  };
+
+  std::vector<GlobalGroup> loads;
+  std::vector<GlobalGroup> stores;
+  std::vector<SharedGroup> shared;
+
+  void record_global(bool is_store, std::size_t ordinal, std::uint64_t address,
+                     std::size_t bytes, unsigned segment_bytes);
+  void record_shared(std::size_t ordinal, std::uint32_t first_word, std::size_t words);
+};
+
+/// Per-block tallies, merged into the launch totals when the block retires.
+struct BlockAccum {
+  std::uint64_t cmul = 0, cadd = 0;
+  std::uint64_t cmul_thread_max = 0, cadd_thread_max = 0;
+  std::uint64_t load_requests = 0, load_transactions = 0, load_bytes = 0;
+  std::uint64_t store_requests = 0, store_transactions = 0, store_bytes = 0;
+  std::uint64_t shared_requests = 0, shared_cycles = 0;
+  std::uint64_t constant_reads = 0;
+  std::uint64_t inactive_lane_phases = 0;
+  std::uint64_t race_hazards = 0;
+
+  /// Fold a retired warp-phase collector into the block tallies,
+  /// computing transactions and bank-conflict cycles.
+  void fold(const WarpCollector& col, const DeviceSpec& spec);
+};
+
+}  // namespace detail
+
+/// Everything a simulated thread sees: its identity, the memory spaces,
+/// and the instrumentation hooks.  Only valid during the phase call.
+class ThreadContext {
+ public:
+  // -- identity ---------------------------------------------------------
+  [[nodiscard]] unsigned block_index() const noexcept { return block_; }
+  [[nodiscard]] unsigned thread_index() const noexcept { return thread_; }
+  [[nodiscard]] unsigned block_dim() const noexcept { return cfg_->block_threads; }
+  [[nodiscard]] unsigned grid_dim() const noexcept { return cfg_->grid_blocks; }
+  [[nodiscard]] unsigned lane() const noexcept { return thread_ % spec_->warp_size; }
+  [[nodiscard]] unsigned warp() const noexcept { return thread_ / spec_->warp_size; }
+  [[nodiscard]] std::size_t global_thread_index() const noexcept {
+    return static_cast<std::size_t>(block_) * cfg_->block_threads + thread_;
+  }
+
+  // -- work accounting (the paper's complex-multiplication cost model) --
+  void op_cmul(std::uint64_t n = 1) noexcept { cmul_ += n; }
+  void op_cadd(std::uint64_t n = 1) noexcept { cadd_ += n; }
+
+  /// A lane that has no work in this phase (e.g. threads beyond the first
+  /// n in stage one of kernel one) calls this: it is the simulator's
+  /// measure of SIMT divergence / idle lanes.
+  void mark_inactive() noexcept { ++inactive_; }
+
+  // -- global memory ----------------------------------------------------
+  template <class T>
+  [[nodiscard]] T load(const GlobalBuffer<T>& buf, std::size_t i) {
+    collector_->record_global(false, load_ord_++,
+                              buf.device_address() + i * sizeof(T), sizeof(T),
+                              spec_->global_transaction_bytes);
+    load_bytes_ += sizeof(T);
+    return buf.raw()[i];
+  }
+
+  template <class T>
+  void store(const GlobalBuffer<T>& buf, std::size_t i, const T& v) {
+    const std::uint64_t address = buf.device_address() + i * sizeof(T);
+    collector_->record_global(true, store_ord_++, address, sizeof(T),
+                              spec_->global_transaction_bytes);
+    store_bytes_ += sizeof(T);
+    if (global_races_ != nullptr &&
+        global_races_->record_write(address, global_thread_index()))
+      ++race_hazards_;
+    buf.raw()[i] = v;
+  }
+
+  // -- constant memory (broadcast through the constant cache) -----------
+  template <class T>
+  [[nodiscard]] T load_constant(const ConstantBuffer<T>& buf, std::size_t i) {
+    ++const_reads_;
+    return buf.raw()[i];
+  }
+
+  // -- shared memory ----------------------------------------------------
+  template <class T>
+  class SharedView {
+   public:
+    [[nodiscard]] T get(std::size_t i) const {
+      ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T), false);
+      return base_[i];
+    }
+    void set(std::size_t i, const T& v) const {
+      ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T), true);
+      base_[i] = v;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+   private:
+    friend class ThreadContext;
+    SharedView(ThreadContext* ctx, T* base, std::size_t count, std::size_t byte_offset)
+        : ctx_(ctx), base_(base), count_(count), byte_offset_(byte_offset) {}
+    ThreadContext* ctx_;
+    T* base_;
+    std::size_t count_;
+    std::size_t byte_offset_;
+  };
+
+  /// Carve a typed view out of the block's shared allocation.
+  template <class T>
+  [[nodiscard]] SharedView<T> shared_array(std::size_t byte_offset, std::size_t count) {
+    return SharedView<T>(this, shared_->typed<T>(byte_offset, count), count, byte_offset);
+  }
+
+ private:
+  friend struct BlockRunner;
+
+  ThreadContext(unsigned block, unsigned thread, const LaunchConfig& cfg,
+                const DeviceSpec& spec, SharedSpace& shared,
+                detail::WarpCollector& collector,
+                detail::SharedRaceJournal* shared_races,
+                detail::GlobalRaceJournal* global_races) noexcept
+      : block_(block), thread_(thread), cfg_(&cfg), spec_(&spec), shared_(&shared),
+        collector_(&collector), shared_races_(shared_races),
+        global_races_(global_races) {}
+
+  void record_shared_access(std::size_t byte_offset, std::size_t bytes, bool is_write) {
+    const auto first_word = static_cast<std::uint32_t>(byte_offset / spec_->shared_bank_width_bytes);
+    const std::size_t words =
+        (byte_offset % spec_->shared_bank_width_bytes + bytes +
+         spec_->shared_bank_width_bytes - 1) /
+        spec_->shared_bank_width_bytes;
+    collector_->record_shared(shared_ord_++, first_word, words);
+    if (shared_races_ != nullptr) {
+      for (std::size_t w = 0; w < words; ++w) {
+        if (shared_races_->record(first_word + static_cast<std::uint32_t>(w), thread_,
+                                  is_write))
+          ++race_hazards_;
+      }
+    }
+  }
+
+  unsigned block_;
+  unsigned thread_;
+  const LaunchConfig* cfg_;
+  const DeviceSpec* spec_;
+  SharedSpace* shared_;
+  detail::WarpCollector* collector_;
+  detail::SharedRaceJournal* shared_races_;
+  detail::GlobalRaceJournal* global_races_;
+
+  std::size_t load_ord_ = 0, store_ord_ = 0, shared_ord_ = 0;
+  std::uint64_t cmul_ = 0, cadd_ = 0;
+  std::uint64_t const_reads_ = 0, inactive_ = 0;
+  std::uint64_t load_bytes_ = 0, store_bytes_ = 0;
+  std::uint64_t race_hazards_ = 0;
+};
+
+/// Execute a kernel on the simulated device, distributing blocks over the
+/// host pool, and return its statistics.  Validates the launch against the
+/// device limits (throws LaunchError).
+[[nodiscard]] KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                                     const DeviceSpec& spec, ThreadPool& pool);
+
+}  // namespace polyeval::simt

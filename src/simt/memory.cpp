@@ -1,0 +1,38 @@
+#include "simt/memory.hpp"
+
+namespace polyeval::simt {
+
+detail::Allocation* GlobalMemory::allocate_raw(std::size_t bytes, std::string name) {
+  const std::size_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  if (used_ + padded > capacity_)
+    throw OutOfMemory("global memory exhausted: " + name + " needs " +
+                      std::to_string(bytes) + " bytes, " +
+                      std::to_string(capacity_ - used_) + " available");
+  auto alloc = std::make_unique<detail::Allocation>();
+  alloc->name = std::move(name);
+  alloc->address = next_address_;
+  alloc->bytes = bytes;
+  alloc->storage = std::make_unique<std::byte[]>(bytes == 0 ? 1 : bytes);
+  next_address_ += padded;
+  used_ += padded;
+  allocations_.push_back(std::move(alloc));
+  return allocations_.back().get();
+}
+
+detail::Allocation* ConstantMemory::allocate_raw(std::size_t bytes, std::string name) {
+  if (used_ + bytes > capacity_)
+    throw ConstantMemoryOverflow(
+        "constant memory exhausted: " + name + " needs " + std::to_string(bytes) +
+        " bytes, " + std::to_string(capacity_ - used_) + " of " +
+        std::to_string(capacity_) + " available");
+  auto alloc = std::make_unique<detail::Allocation>();
+  alloc->name = std::move(name);
+  alloc->address = used_;
+  alloc->bytes = bytes;
+  alloc->storage = std::make_unique<std::byte[]>(bytes == 0 ? 1 : bytes);
+  used_ += bytes;
+  allocations_.push_back(std::move(alloc));
+  return allocations_.back().get();
+}
+
+}  // namespace polyeval::simt

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file shared_memory.hpp
+/// Per-block shared memory: a bounds-checked byte arena created for each
+/// thread block at launch, carved into typed views by the kernels (the
+/// Powers array of kernel one; the L_1..L_{k+1} locations of kernel two).
+
+#include <cstddef>
+#include <vector>
+
+#include "simt/memory.hpp"
+
+namespace polyeval::simt {
+
+class SharedSpace {
+ public:
+  explicit SharedSpace(std::size_t bytes) : storage_(bytes) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::byte* data() noexcept { return storage_.data(); }
+
+  /// Typed pointer at byte_offset covering count elements; throws
+  /// LaunchError if the view exceeds the block's allocation (kernel bug).
+  template <class T>
+  [[nodiscard]] T* typed(std::size_t byte_offset, std::size_t count) {
+    if (byte_offset % alignof(T) != 0)
+      throw LaunchError("shared memory view misaligned");
+    if (byte_offset + count * sizeof(T) > storage_.size())
+      throw LaunchError("shared memory view out of bounds: offset " +
+                        std::to_string(byte_offset) + " + " +
+                        std::to_string(count * sizeof(T)) + " bytes > " +
+                        std::to_string(storage_.size()));
+    return reinterpret_cast<T*>(storage_.data() + byte_offset);
+  }
+
+ private:
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace polyeval::simt

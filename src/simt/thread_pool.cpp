@@ -1,0 +1,76 @@
+#include "simt/thread_pool.hpp"
+
+namespace polyeval::simt {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  std::size_t i;
+  while ((i = job.next.fetch_add(1)) < job.count) {
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(1);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = job;
+  }
+  cv_job_.notify_all();
+
+  drain(*job);
+
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return job->done.load() >= job->count; });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_job_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_->next.load() < job_->count);
+      });
+      if (stop_) return;
+      job = job_;
+    }
+    drain(*job);
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace polyeval::simt

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Host-side worker pool the simulator schedules thread blocks onto.
+/// Work is handed out by an atomic counter, so block execution order is
+/// nondeterministic across workers while the per-block results stay
+/// deterministic (blocks never share mutable state except through
+/// explicitly synchronized stats merging).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polyeval::simt {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for i in [0, count), distributing indices over the
+  /// workers; blocks until every index completed.  The calling thread
+  /// participates.  Exceptions from fn are captured and the first one
+  /// rethrown on the caller.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void drain(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;  ///< shared so workers can outlive the wait
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace polyeval::simt

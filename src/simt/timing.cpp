@@ -1,0 +1,84 @@
+#include "simt/timing.hpp"
+
+#include <algorithm>
+
+namespace polyeval::simt {
+
+// Calibration notes
+// -----------------
+// * launch_overhead_us = 40: CUDA 4.0 kernel launch + cudaDeviceSynchronize
+//   round trips were 20-60 us on Fermi/PCIe-gen2 systems.  Three kernels
+//   per evaluation yield the ~120 us floor that makes the paper's GPU
+//   column almost flat in the monomial count.
+// * issue_cycles_cmul = 16: a complex double multiplication is 4 DP
+//   multiplies + 2 DP adds; Fermi issues DP at half rate (one warp DP
+//   instruction per 2 cycles), giving 12 cycles, plus shared-memory and
+//   address instructions.
+// * latency_cycles = 400: Fermi global-memory latency 400-800 cycles,
+//   arithmetic pipeline ~22; one resident warp sees the full latency,
+//   w resident warps hide it proportionally (the paper: "several warps
+//   would work on each multiprocessor simultaneously to hide long
+//   latency operations").
+// * CPU 30 ns per complex multiplication: ~100 cycles at 3.47 GHz for
+//   4 mul + 2 add + 8 loads/stores of non-vectorized 2012 scalar code on
+//   cache-resident data, consistent with the paper's measured 1.58 us per
+//   monomial (49 multiplications) in Table 1.
+
+double estimate_kernel_compute_us(const KernelStats& k, const DeviceSpec& spec,
+                                  const GpuCostModel& model) {
+  // Serialization depth: total warp work lands on the busiest SM.
+  const double busiest = static_cast<double>(std::max<std::uint64_t>(k.warps_on_busiest_sm, 1));
+  // Latency hiding: warps actually resident on that SM.
+  const double resident_cap =
+      static_cast<double>(k.concurrent_blocks_per_sm) * k.warps_per_block;
+  const double hiding = std::max(1.0, std::min(busiest, resident_cap));
+
+  const double cycles_mul =
+      model.issue_cycles_cmul * model.scalar_cost_factor + model.latency_cycles / hiding;
+  const double cycles_add =
+      model.issue_cycles_cadd * model.scalar_cost_factor + model.latency_cycles / hiding;
+
+  const double sm_cycles =
+      busiest * (static_cast<double>(k.complex_mul_per_thread_max) * cycles_mul +
+                 static_cast<double>(k.complex_add_per_thread_max) * cycles_add);
+
+  // Device-wide DRAM traffic at effective bandwidth.
+  const double traffic_bytes = static_cast<double>(
+      (k.global_load_transactions + k.global_store_transactions) *
+      spec.global_transaction_bytes);
+  const double mem_cycles = traffic_bytes / model.global_bytes_per_cycle;
+
+  // Bank-conflict serialization beyond the conflict-free baseline,
+  // spread over the SMs.
+  const double conflict_cycles =
+      static_cast<double>(k.bank_conflict_cycles()) / spec.multiprocessors;
+
+  return (std::max(sm_cycles, mem_cycles) + conflict_cycles) / spec.core_clock_mhz;
+}
+
+double estimate_kernel_us(const KernelStats& k, const DeviceSpec& spec,
+                          const GpuCostModel& model) {
+  return model.launch_overhead_us + estimate_kernel_compute_us(k, spec, model);
+}
+
+double estimate_transfer_us(const TransferStats& t, const GpuCostModel& model) {
+  const double calls = static_cast<double>(t.transfers_to_device + t.transfers_from_device);
+  const double bytes = static_cast<double>(t.bytes_to_device + t.bytes_from_device);
+  return calls * model.transfer_latency_us + bytes / model.pcie_bytes_per_us;
+}
+
+double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,
+                       const GpuCostModel& model) {
+  double us = estimate_transfer_us(log.transfers, model);
+  for (const auto& k : log.kernels) us += estimate_kernel_us(k, spec, model);
+  return us;
+}
+
+double estimate_cpu_us(std::uint64_t complex_mul, std::uint64_t complex_add,
+                       const CpuCostModel& model) {
+  return (static_cast<double>(complex_mul) * model.ns_per_cmul +
+          static_cast<double>(complex_add) * model.ns_per_cadd) *
+         model.scalar_cost_factor / 1000.0;
+}
+
+}  // namespace polyeval::simt

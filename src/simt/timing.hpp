@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file timing.hpp
+/// Analytic timing model mapping simulator statistics to wall-clock
+/// estimates for the paper's hardware (Tesla C2050 + one Xeon X5690
+/// core).  The absolute constants are calibrated from Fermi-era
+/// microbenchmark figures (see timing.cpp); the *shape* of the tables --
+/// near-flat GPU times, linear CPU times, speedups growing with the
+/// monomial count and with k -- emerges from the structure of the model,
+/// not from per-row fitting.
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device_spec.hpp"
+#include "simt/stats.hpp"
+
+namespace polyeval::simt {
+
+/// Cost constants for the device.  All "cycles" are SM issue cycles at
+/// the shader clock.
+struct GpuCostModel {
+  /// Driver + runtime cost of one kernel launch with synchronization,
+  /// Fermi era (tens of microseconds).
+  double launch_overhead_us = 40.0;
+  /// Fixed cost of one cudaMemcpy call.
+  double transfer_latency_us = 8.0;
+  /// Effective PCIe gen2 x16 payload rate (bytes per microsecond).
+  double pcie_bytes_per_us = 5500.0;
+  /// Issue cycles per complex multiplication per warp (4 DP mul + 2 DP
+  /// add at half-rate DP issue, plus address arithmetic).
+  double issue_cycles_cmul = 16.0;
+  /// Issue cycles per complex addition per warp.
+  double issue_cycles_cadd = 8.0;
+  /// Average exposed memory/pipeline latency per arithmetic step; divided
+  /// by the number of warps available to hide it.
+  double latency_cycles = 400.0;
+  /// Effective global-memory bandwidth (bytes per SM clock cycle);
+  /// 144 GB/s peak, ~70% achievable.
+  double global_bytes_per_cycle = 88.0;
+  /// Software-arithmetic multiplier (1 double, ~8 double-double, ~60
+  /// quad-double); scales issue cycles, not latency.
+  double scalar_cost_factor = 1.0;
+};
+
+/// Cost constants for the sequential baseline.
+struct CpuCostModel {
+  /// Nanoseconds per complex multiplication of 2012-era scalar x87/SSE
+  /// code including loads/stores (calibrated against the paper's CPU
+  /// column; see timing.cpp).
+  double ns_per_cmul = 30.0;
+  /// Nanoseconds per complex addition.
+  double ns_per_cadd = 10.0;
+  /// Software-arithmetic multiplier, as above.
+  double scalar_cost_factor = 1.0;
+};
+
+/// Estimated execution time of one kernel launch, excluding the fixed
+/// launch overhead (microseconds).
+[[nodiscard]] double estimate_kernel_compute_us(const KernelStats& k,
+                                                const DeviceSpec& spec,
+                                                const GpuCostModel& model);
+
+/// Estimated time of one kernel launch including launch overhead.
+[[nodiscard]] double estimate_kernel_us(const KernelStats& k, const DeviceSpec& spec,
+                                        const GpuCostModel& model);
+
+/// Estimated host<->device transfer time (microseconds).
+[[nodiscard]] double estimate_transfer_us(const TransferStats& t,
+                                          const GpuCostModel& model);
+
+/// Estimated time for a whole launch log (one instrumented region, e.g.
+/// one evaluation): kernels plus transfers.
+[[nodiscard]] double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,
+                                     const GpuCostModel& model);
+
+/// Estimated single-core CPU time for the given operation tallies
+/// (microseconds).
+[[nodiscard]] double estimate_cpu_us(std::uint64_t complex_mul, std::uint64_t complex_add,
+                                     const CpuCostModel& model);
+
+}  // namespace polyeval::simt

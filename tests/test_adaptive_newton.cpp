@@ -1,0 +1,118 @@
+// Adaptive-precision Newton: escalation stops as soon as the target is
+// met, stagnation at a precision's noise floor triggers the next level,
+// and the ladder reaches quad-double when asked for ~60 digits.
+
+#include <gtest/gtest.h>
+
+#include "newton/adaptive.hpp"
+#include "poly/io.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using newton::PrecisionLevel;
+using Cd = cplx::Complex<double>;
+
+// irrational regular root (the golden ratio pair)
+poly::PolynomialSystem golden() {
+  return poly::parse_system("x0^2 + x1^2 - 3; x0*x1 - 1;");
+}
+
+TEST(AdaptiveNewton, StopsAtDoubleWhenSufficient) {
+  const auto sys = golden();
+  const std::vector<Cd> x0 = {{1.6, 0.0}, {0.62, 0.0}};
+  newton::AdaptiveOptions opts;
+  opts.target_residual = 1e-10;
+  const auto r = newton::adaptive_refine(sys, x0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.level_reached, PrecisionLevel::kDouble);
+  EXPECT_LT(r.final_residual, 1e-10);
+  EXPECT_EQ(r.residual_per_level.size(), 1u);
+}
+
+TEST(AdaptiveNewton, EscalatesToDoubleDouble) {
+  const auto sys = golden();
+  const std::vector<Cd> x0 = {{1.6, 0.0}, {0.62, 0.0}};
+  newton::AdaptiveOptions opts;
+  opts.target_residual = 1e-24;  // beyond double, within dd
+  const auto r = newton::adaptive_refine(sys, x0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.level_reached, PrecisionLevel::kDoubleDouble);
+  EXPECT_LT(r.final_residual, 1e-24);
+  EXPECT_EQ(r.residual_per_level.size(), 2u);
+  // level residuals are the ladder
+  EXPECT_GT(r.residual_per_level[0], r.residual_per_level[1]);
+}
+
+// A small tiny-dimension system in double-double can land residuals far
+// below its epsilon by lucky cancellation (the unevaluated-sum format
+// has variable precision), so the qd-escalation tests use a 16-dim
+// workload whose 16 values each sum 10 rounded terms: the dd floor is
+// then reliably ~1e-28..1e-31, well above 1e-45.
+poly::RootedSystem planted16() {
+  poly::SystemSpec spec;
+  spec.dimension = 16;
+  spec.monomials_per_polynomial = 10;
+  spec.variables_per_monomial = 6;
+  spec.max_exponent = 2;
+  return poly::make_random_system_with_root(spec);
+}
+
+TEST(AdaptiveNewton, EscalatesToQuadDouble) {
+  const auto [sys, root] = planted16();
+  std::vector<Cd> x0 = root;
+  for (auto& z : x0) z += Cd(1e-5, -1e-5);
+  newton::AdaptiveOptions opts;
+  opts.target_residual = 1e-45;
+  const auto r = newton::adaptive_refine(sys, x0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.level_reached, PrecisionLevel::kQuadDouble);
+  EXPECT_LT(r.final_residual, 1e-45);
+  ASSERT_EQ(r.residual_per_level.size(), 3u);
+  EXPECT_GT(r.residual_per_level[0], r.residual_per_level[1]);
+  EXPECT_GT(r.residual_per_level[1], r.residual_per_level[2]);
+}
+
+TEST(AdaptiveNewton, RespectsMaxLevel) {
+  const auto [sys, root] = planted16();
+  std::vector<Cd> x0 = root;
+  for (auto& z : x0) z += Cd(1e-5, -1e-5);
+  newton::AdaptiveOptions opts;
+  opts.target_residual = 1e-45;  // unreachable within dd on this workload
+  opts.max_level = PrecisionLevel::kDoubleDouble;
+  const auto r = newton::adaptive_refine(sys, x0, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.level_reached, PrecisionLevel::kDoubleDouble);
+  EXPECT_LT(r.final_residual, 1e-24);  // still made it to the dd floor
+}
+
+TEST(AdaptiveNewton, PaperWorkloadWithPlantedRoot) {
+  poly::SystemSpec spec;
+  spec.dimension = 16;
+  spec.monomials_per_polynomial = 10;
+  spec.variables_per_monomial = 6;
+  spec.max_exponent = 2;
+  const auto [sys, root] = poly::make_random_system_with_root(spec);
+  std::vector<Cd> x0 = root;
+  for (auto& z : x0) z += Cd(1e-5, 1e-5);
+
+  newton::AdaptiveOptions opts;
+  opts.target_residual = 1e-26;
+  const auto r = newton::adaptive_refine(sys, x0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.level_reached, PrecisionLevel::kDoubleDouble);
+  // endpoint stays near the planted root
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_NEAR(r.solution[i].re().to_double(), root[i].re(), 1e-6);
+    EXPECT_NEAR(r.solution[i].im().to_double(), root[i].im(), 1e-6);
+  }
+}
+
+TEST(AdaptiveNewton, LevelNames) {
+  EXPECT_EQ(newton::to_string(PrecisionLevel::kDouble), "double");
+  EXPECT_EQ(newton::to_string(PrecisionLevel::kDoubleDouble), "double-double");
+  EXPECT_EQ(newton::to_string(PrecisionLevel::kQuadDouble), "quad-double");
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// The batched evaluator: exact agreement with per-point evaluation,
+// launch accounting (one upload, three launches, one download per
+// batch), argument validation, and the amortization property the
+// extension exists for.
+
+#include <gtest/gtest.h>
+
+#include "core/batch_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+using Cdd = cplx::Complex<prec::DoubleDouble>;
+
+poly::PolynomialSystem make(unsigned n, unsigned m, unsigned k, unsigned d) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = 97;
+  return poly::make_random_system(spec);
+}
+
+TEST(BatchEvaluator, MatchesPerPointEvaluationExactly) {
+  const auto sys = make(8, 6, 4, 3);
+  simt::Device d1, d2;
+  core::GpuEvaluator<double> single(d1, sys);
+  core::BatchGpuEvaluator<double> batch(d2, sys, 5);
+
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < 5; ++p)
+    points.push_back(poly::make_random_point<double>(8, 200 + p));
+
+  std::vector<poly::EvalResult<double>> batched;
+  batch.evaluate(points, batched);
+  ASSERT_EQ(batched.size(), 5u);
+
+  for (unsigned p = 0; p < 5; ++p) {
+    const auto want = single.evaluate(std::span<const Cd>(points[p]));
+    EXPECT_EQ(poly::max_abs_diff(want, batched[p]), 0.0) << "point " << p;
+  }
+}
+
+TEST(BatchEvaluator, WorksInDoubleDouble) {
+  const auto sys = make(6, 4, 3, 2);
+  simt::Device d1, d2;
+  core::GpuEvaluator<prec::DoubleDouble> single(d1, sys);
+  core::BatchGpuEvaluator<prec::DoubleDouble> batch(d2, sys, 3);
+
+  std::vector<std::vector<Cdd>> points;
+  for (unsigned p = 0; p < 3; ++p)
+    points.push_back(poly::make_random_point<prec::DoubleDouble>(6, 300 + p));
+
+  std::vector<poly::EvalResult<prec::DoubleDouble>> batched;
+  batch.evaluate(points, batched);
+  for (unsigned p = 0; p < 3; ++p) {
+    const auto want = single.evaluate(std::span<const Cdd>(points[p]));
+    EXPECT_EQ(poly::max_abs_diff(want, batched[p]), 0.0) << "point " << p;
+  }
+}
+
+TEST(BatchEvaluator, OneUploadThreeLaunchesOneDownload) {
+  const auto sys = make(8, 6, 4, 3);
+  simt::Device device;
+  core::BatchGpuEvaluator<double> batch(device, sys, 16);
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < 16; ++p)
+    points.push_back(poly::make_random_point<double>(8, 400 + p));
+  std::vector<poly::EvalResult<double>> results;
+  batch.evaluate(points, results);
+
+  const auto& log = batch.last_log();
+  EXPECT_EQ(log.kernels.size(), 3u);
+  EXPECT_EQ(log.transfers.transfers_to_device, 1u);
+  EXPECT_EQ(log.transfers.transfers_from_device, 1u);
+  EXPECT_EQ(log.transfers.bytes_to_device, 16u * 8u * sizeof(Cd));
+  EXPECT_EQ(log.transfers.bytes_from_device, 16u * (8u * 8u + 8u) * sizeof(Cd));
+}
+
+TEST(BatchEvaluator, GridScalesWithBatch) {
+  const auto sys = make(8, 8, 4, 2);  // 64 monomials: 2 blocks of 32
+  simt::Device device;
+  core::BatchGpuEvaluator<double> batch(device, sys, 4);
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < 4; ++p)
+    points.push_back(poly::make_random_point<double>(8, 500 + p));
+  std::vector<poly::EvalResult<double>> results;
+  batch.evaluate(points, results);
+
+  EXPECT_EQ(batch.last_log().kernels[0].blocks, 4u * 2u);
+  EXPECT_EQ(batch.last_log().kernels[1].blocks, 4u * 2u);
+}
+
+TEST(BatchEvaluator, PartialBatchAllowed) {
+  const auto sys = make(6, 4, 3, 2);
+  simt::Device device;
+  core::BatchGpuEvaluator<double> batch(device, sys, 8);
+  std::vector<std::vector<Cd>> points = {poly::make_random_point<double>(6, 600),
+                                         poly::make_random_point<double>(6, 601)};
+  std::vector<poly::EvalResult<double>> results;
+  EXPECT_NO_THROW(batch.evaluate(points, results));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(BatchEvaluator, ValidatesArguments) {
+  const auto sys = make(6, 4, 3, 2);
+  simt::Device device;
+  EXPECT_THROW(core::BatchGpuEvaluator<double>(device, sys, 0), std::invalid_argument);
+
+  core::BatchGpuEvaluator<double> batch(device, sys, 2);
+  std::vector<poly::EvalResult<double>> results;
+  std::vector<std::vector<Cd>> none;
+  EXPECT_THROW(batch.evaluate(none, results), std::invalid_argument);
+  std::vector<std::vector<Cd>> too_many(3, poly::make_random_point<double>(6, 1));
+  EXPECT_THROW(batch.evaluate(too_many, results), std::invalid_argument);
+  std::vector<std::vector<Cd>> wrong_dim = {std::vector<Cd>(5)};
+  EXPECT_THROW(batch.evaluate(wrong_dim, results), std::invalid_argument);
+}
+
+TEST(BatchEvaluator, AmortizesTheLaunchFloor) {
+  const auto sys = make(32, 22, 9, 2);  // Table 1, 704 monomials
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+
+  const auto per_eval_us = [&](unsigned batch_size) {
+    simt::Device device;
+    core::BatchGpuEvaluator<double> batch(device, sys, batch_size);
+    std::vector<std::vector<Cd>> points;
+    for (unsigned p = 0; p < batch_size; ++p)
+      points.push_back(poly::make_random_point<double>(32, 700 + p));
+    std::vector<poly::EvalResult<double>> results;
+    batch.evaluate(points, results);
+    return simt::estimate_log_us(batch.last_log(), dspec, gmodel) / batch_size;
+  };
+
+  const double t1 = per_eval_us(1);
+  const double t16 = per_eval_us(16);
+  EXPECT_LT(t16, 0.5 * t1);  // the fixed floor dominates t1
+}
+
+TEST(BatchEvaluator, BatchOfOneMatchesSingleEvaluator) {
+  const auto sys = make(8, 6, 4, 3);
+  simt::Device d1, d2;
+  core::GpuEvaluator<double> single(d1, sys);
+  core::BatchGpuEvaluator<double> batch(d2, sys, 1);
+  const auto x = poly::make_random_point<double>(8, 800);
+  std::vector<poly::EvalResult<double>> results;
+  batch.evaluate({x}, results);
+  const auto want = single.evaluate(std::span<const Cd>(x));
+  EXPECT_EQ(poly::max_abs_diff(want, results[0]), 0.0);
+}
+
+}  // namespace

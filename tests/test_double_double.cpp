@@ -1,0 +1,228 @@
+// Double-double arithmetic: exactness on representable cases, accuracy
+// bounds near 2^-104 on random cases, algebraic identities, ordering,
+// and decimal round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "prec/double_double.hpp"
+#include "prec/random.hpp"
+#include "prec/scalar_traits.hpp"
+
+namespace {
+
+using polyeval::prec::DoubleDouble;
+using polyeval::prec::ScalarTraits;
+
+constexpr double kEps = ScalarTraits<DoubleDouble>::epsilon;  // 2^-105
+
+double rel_err(const DoubleDouble& actual, const DoubleDouble& expected) {
+  const DoubleDouble diff = abs(actual - expected);
+  const DoubleDouble mag = abs(expected);
+  if (mag.is_zero()) return diff.to_double();
+  return (diff / mag).to_double();
+}
+
+TEST(DoubleDouble, StoresTinyTailExactly) {
+  const DoubleDouble a = DoubleDouble(1.0) + DoubleDouble(0x1p-80);
+  EXPECT_EQ(a.hi(), 1.0);
+  EXPECT_EQ(a.lo(), 0x1p-80);
+  const DoubleDouble back = a - 1.0;
+  EXPECT_EQ(back.hi(), 0x1p-80);
+  EXPECT_EQ(back.lo(), 0.0);
+}
+
+TEST(DoubleDouble, AdditionIsExactWithinTwoLimbs) {
+  // 1 + 2^-100 is exactly representable as hi=1, lo=2^-100.
+  const DoubleDouble a(1.0);
+  const DoubleDouble sum = a + 0x1p-100;
+  EXPECT_EQ(((sum - 1.0) - DoubleDouble(0x1p-100)).to_double(), 0.0);
+}
+
+TEST(DoubleDouble, FromProdIsExact) {
+  // pi-ish doubles: hi*lo product error must be captured exactly.
+  const double a = 3.14159265358979323846;
+  const double b = 2.71828182845904523536;
+  const DoubleDouble p = DoubleDouble::from_prod(a, b);
+  // two_prod exactness: p.hi + p.lo == a*b exactly; verify via fma.
+  EXPECT_EQ(p.lo(), std::fma(a, b, -p.hi()));
+}
+
+TEST(DoubleDouble, MulAgainstExactSquares) {
+  // (1 + 2^-52)^2 = 1 + 2^-51 + 2^-104: fits exactly in double-double.
+  const DoubleDouble a(1.0 + 0x1p-52);
+  const DoubleDouble sq = a * a;
+  const DoubleDouble expected = DoubleDouble(1.0 + 0x1p-51) + 0x1p-104;
+  EXPECT_EQ(sq, expected);
+}
+
+TEST(DoubleDouble, DivisionRoundTrip) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int i = 0; i < 2000; ++i) {
+    const DoubleDouble a = DoubleDouble(dist(rng)) + dist(rng) * 0x1p-55;
+    DoubleDouble b = DoubleDouble(dist(rng)) + dist(rng) * 0x1p-55;
+    if (std::fabs(b.to_double()) < 1e-3) b += 1.0;
+    const DoubleDouble q = a / b;
+    EXPECT_LT(rel_err(q * b, a), 8 * kEps) << "iteration " << i;
+  }
+}
+
+TEST(DoubleDouble, AdditionAssociativityDefect) {
+  // (1 + 2^-70) - 1 must recover 2^-70 exactly -- the core property plain
+  // doubles lack.
+  const DoubleDouble r = (DoubleDouble(1.0) + 0x1p-70) - DoubleDouble(1.0);
+  EXPECT_EQ(r.to_double(), 0x1p-70);
+}
+
+TEST(DoubleDouble, SqrtSquares) {
+  std::mt19937_64 rng(12);
+  std::uniform_real_distribution<double> dist(1e-6, 1e6);
+  for (int i = 0; i < 2000; ++i) {
+    const DoubleDouble a = DoubleDouble(dist(rng)) + dist(rng) * 1e-20;
+    const DoubleDouble r = sqrt(a);
+    EXPECT_LT(rel_err(r * r, a), 8 * kEps);
+  }
+}
+
+TEST(DoubleDouble, SqrtOfZeroAndNegative) {
+  EXPECT_TRUE(sqrt(DoubleDouble(0.0)).is_zero());
+  EXPECT_TRUE(sqrt(DoubleDouble(-1.0)).is_nan());
+}
+
+TEST(DoubleDouble, NpwrMatchesRepeatedMultiplication) {
+  const DoubleDouble x = DoubleDouble(1.0) + 0x1p-60;
+  DoubleDouble by_mult(1.0);
+  for (int i = 0; i < 13; ++i) by_mult *= x;
+  EXPECT_LT(rel_err(npwr(x, 13), by_mult), 8 * kEps);
+}
+
+TEST(DoubleDouble, NpwrNegativeExponent) {
+  const DoubleDouble x(3.0);
+  EXPECT_LT(rel_err(npwr(x, -2) * 9.0, DoubleDouble(1.0)), 8 * kEps);
+}
+
+TEST(DoubleDouble, NpwrZeroExponentIsOne) {
+  EXPECT_EQ(npwr(DoubleDouble(42.0), 0), DoubleDouble(1.0));
+}
+
+TEST(DoubleDouble, FloorBehaviour) {
+  EXPECT_EQ(floor(DoubleDouble(2.5)), DoubleDouble(2.0));
+  EXPECT_EQ(floor(DoubleDouble(-2.5)), DoubleDouble(-3.0));
+  // high word integral, low word fractional
+  const DoubleDouble x = DoubleDouble(0x1p60) + 0.5;
+  EXPECT_EQ(floor(x), DoubleDouble(0x1p60));
+}
+
+TEST(DoubleDouble, ComparisonsAreLexicographic) {
+  const DoubleDouble one(1.0);
+  const DoubleDouble one_plus = one + 0x1p-80;
+  EXPECT_LT(one, one_plus);
+  EXPECT_GT(one_plus, one);
+  EXPECT_LE(one, one);
+  EXPECT_NE(one, one_plus);
+  EXPECT_LT(-one_plus, -one);
+}
+
+TEST(DoubleDouble, LdexpScalesExactly) {
+  const DoubleDouble x = DoubleDouble(1.5) + 0x1p-70;
+  const DoubleDouble y = ldexp(x, 10);
+  EXPECT_EQ(y.hi(), 1536.0);
+  EXPECT_EQ(y.lo(), 0x1p-60);
+}
+
+TEST(DoubleDouble, MulPwr2IsExact) {
+  const DoubleDouble x = DoubleDouble(3.0) + 0x1p-60;
+  EXPECT_EQ(mul_pwr2(x, 0.5), DoubleDouble(1.5) + 0x1p-61);
+}
+
+TEST(DoubleDouble, ToStringRoundTrips) {
+  const DoubleDouble values[] = {
+      DoubleDouble(1.0) / 3.0,
+      DoubleDouble(2.0).is_zero() ? DoubleDouble(0.0) : sqrt(DoubleDouble(2.0)),
+      DoubleDouble(-12345.6789) + 1e-20,
+      DoubleDouble(1e-30) + 1e-47,
+  };
+  for (const auto& v : values) {
+    DoubleDouble parsed;
+    ASSERT_TRUE(from_string(to_string(v), parsed)) << to_string(v);
+    EXPECT_LT(rel_err(parsed, v), 1e-30) << to_string(v);
+  }
+}
+
+TEST(DoubleDouble, ToStringKnownDigits) {
+  // 1/3 to 32 digits.
+  EXPECT_EQ(to_string(DoubleDouble(1.0) / 3.0, 10), "3.333333333e-01");
+  EXPECT_EQ(to_string(DoubleDouble(0.0)), "0.0000000000000000000000000000000e+00");
+  EXPECT_EQ(to_string(DoubleDouble(-2.0), 4), "-2.000e+00");
+}
+
+TEST(DoubleDouble, FromStringRejectsGarbage) {
+  DoubleDouble out;
+  EXPECT_FALSE(from_string("", out));
+  EXPECT_FALSE(from_string("abc", out));
+  EXPECT_FALSE(from_string("1.5x", out));
+  EXPECT_FALSE(from_string("1e", out));
+  EXPECT_TRUE(from_string("-1.25e2", out));
+  EXPECT_EQ(out, DoubleDouble(-125.0));
+}
+
+TEST(DoubleDouble, ParseTenthHasTinyError) {
+  DoubleDouble tenth;
+  ASSERT_TRUE(from_string("0.1", tenth));
+  // 0.1 is not binary-representable; ten tenths must differ from 1 by
+  // less than a few dd ulps but generally not exactly.
+  DoubleDouble sum(0.0);
+  for (int i = 0; i < 10; ++i) sum += tenth;
+  EXPECT_LT(abs(sum - 1.0).to_double(), 1e-30);
+}
+
+TEST(DoubleDouble, DecimalRoundTripFuzz) {
+  // render -> parse must preserve ~30 digits across magnitudes
+  std::mt19937_64 rng(31337);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  std::uniform_int_distribution<int> expo(-40, 40);
+  for (int i = 0; i < 300; ++i) {
+    DoubleDouble v =
+        (DoubleDouble(mant(rng)) + mant(rng) * 0x1p-53) * std::pow(10.0, expo(rng));
+    if (v.is_zero()) continue;
+    DoubleDouble parsed;
+    ASSERT_TRUE(from_string(to_string(v), parsed)) << to_string(v);
+    const double rel = (abs(parsed - v) / abs(v)).to_double();
+    EXPECT_LT(rel, 1e-29) << to_string(v);
+  }
+}
+
+TEST(DoubleDouble, RandomGeneratorFillsLowLimb) {
+  polyeval::prec::UniformScalar<DoubleDouble> gen(99);
+  bool some_low = false;
+  for (int i = 0; i < 32; ++i) {
+    const DoubleDouble v = gen();
+    EXPECT_LE(std::fabs(v.to_double()), 1.0 + 0x1p-50);
+    if (v.lo() != 0.0) some_low = true;
+  }
+  EXPECT_TRUE(some_low);
+}
+
+// Precision ladder: the dd error of a dot-product-like computation should
+// be ~2^-104, far below double's 2^-53.
+TEST(DoubleDouble, PrecisionBeatsDoubleOnCancellation) {
+  // sum of (x + eps) - x over many random x recovers n*eps in dd.
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(1.0, 2.0);
+  const double eps = 0x1p-70;
+  DoubleDouble acc(0.0);
+  double acc_d = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist(rng);
+    acc += (DoubleDouble(x) + eps) - x;
+    acc_d += (x + eps) - x;
+  }
+  EXPECT_LT(std::fabs((acc / (n * eps)).to_double() - 1.0), 1e-25);
+  EXPECT_EQ(acc_d, 0.0);  // double lost every contribution
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Constant-memory encodings: round trips, capacity arithmetic, and the
+// paper's section-4 capacity story (1536 fits, 2048 does not; the
+// future-work packing lifts the cap).
+
+#include <gtest/gtest.h>
+
+#include "core/encoding.hpp"
+#include "simt/device_spec.hpp"
+
+namespace {
+
+using namespace polyeval;
+using core::ExponentEncoding;
+
+TEST(Encoding, CharIsIdentity) {
+  const std::vector<unsigned char> exps = {0, 1, 9, 255};
+  EXPECT_EQ(core::encode_exponents(ExponentEncoding::kChar, exps), exps);
+}
+
+TEST(Encoding, Packed4BitRoundTrips) {
+  const std::vector<unsigned char> exps = {0, 1, 9, 15, 7, 3, 2};  // odd count
+  const auto packed = core::encode_exponents(ExponentEncoding::kPacked4Bit, exps);
+  EXPECT_EQ(packed.size(), 4u);
+  for (std::size_t i = 0; i < exps.size(); ++i)
+    EXPECT_EQ(core::decode_exponent(ExponentEncoding::kPacked4Bit, packed.data(), i),
+              exps[i])
+        << i;
+}
+
+TEST(Encoding, Packed4BitRejectsLargeExponents) {
+  EXPECT_THROW(
+      (void)core::encode_exponents(ExponentEncoding::kPacked4Bit, {16}),
+      std::invalid_argument);
+}
+
+TEST(Encoding, CharDecodeMatches) {
+  const std::vector<unsigned char> exps = {4, 200};
+  EXPECT_EQ(core::decode_exponent(ExponentEncoding::kChar, exps.data(), 1), 200u);
+}
+
+TEST(Encoding, BytesRequired) {
+  EXPECT_EQ(core::constant_bytes_required(ExponentEncoding::kChar, 1024, 16),
+            2u * 1024 * 16);
+  EXPECT_EQ(core::constant_bytes_required(ExponentEncoding::kPacked4Bit, 1024, 16),
+            1024 * 16 + 1024 * 8);
+}
+
+TEST(Encoding, PaperCapacityStory) {
+  // The usable budget on the simulated C2050: 64 KB minus the toolchain
+  // reservation.
+  const simt::DeviceSpec spec;
+  const std::uint64_t budget = spec.constant_memory_bytes - spec.constant_reserved_bytes;
+
+  // Table 2 workload (k = 16): 1536 monomials fit, 2048 do not
+  // ("the capacity of the constant memory was not sufficient to hold the
+  //  exponents and positions of all 2,048 monomials").
+  EXPECT_LE(core::constant_bytes_required(ExponentEncoding::kChar, 1536, 16), budget);
+  EXPECT_GT(core::constant_bytes_required(ExponentEncoding::kChar, 2048, 16), budget);
+
+  // The compact encoding the paper plans ("a better compression strategy")
+  // makes 2048 fit.
+  EXPECT_LE(core::constant_bytes_required(ExponentEncoding::kPacked4Bit, 2048, 16),
+            budget);
+}
+
+TEST(Encoding, MaxMonomialsForBudget) {
+  const simt::DeviceSpec spec;
+  const std::uint64_t budget = spec.constant_memory_bytes - spec.constant_reserved_bytes;
+  const auto max_char =
+      core::max_monomials_for_budget(ExponentEncoding::kChar, budget, 16);
+  const auto max_packed =
+      core::max_monomials_for_budget(ExponentEncoding::kPacked4Bit, budget, 16);
+  EXPECT_GE(max_char, 1536u);
+  EXPECT_LT(max_char, 2048u);
+  EXPECT_GE(max_packed, 2048u);
+  // consistency: the bound is tight
+  EXPECT_LE(core::constant_bytes_required(ExponentEncoding::kChar, max_char, 16), budget);
+  EXPECT_GT(core::constant_bytes_required(ExponentEncoding::kChar, max_char + 1, 16),
+            budget);
+}
+
+TEST(Encoding, WorkingDimensionsOfSection31) {
+  // "for dimension 30 we would have 900 monomials, with a need of
+  //  900 x 2 x 15 <= 30,000 bytes; for dimension 40 we would have 1,600
+  //  monomials, with a need of 1,600 x 2 x 20 = 64,000 bytes" -- i.e.
+  //  the paper's working dimensions 30..40 fit the char encoding.
+  const simt::DeviceSpec spec;
+  const std::uint64_t budget = spec.constant_memory_bytes - spec.constant_reserved_bytes;
+  EXPECT_LE(core::constant_bytes_required(ExponentEncoding::kChar, 900, 15), budget);
+  EXPECT_LE(core::constant_bytes_required(ExponentEncoding::kChar, 1600, 20), budget);
+  // dimension 48 with m = n, k = n/2 would not fit anymore
+  EXPECT_GT(core::constant_bytes_required(ExponentEncoding::kChar, 48 * 48, 24), budget);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Classic benchmark families: structural checks and known root
+// verification (cyclic-3 has closed-form roots; noon admits symmetric
+// solutions on the real line).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/families.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+TEST(Cyclic, StructureOfCyclic4) {
+  const auto sys = poly::cyclic(4);
+  EXPECT_EQ(sys.dimension(), 4u);
+  // f0 = x0+x1+x2+x3 (degree 1), f1 degree 2, f2 degree 3, f3 = x0x1x2x3 - 1
+  EXPECT_EQ(sys.degrees(), (std::vector<unsigned>{1, 2, 3, 4}));
+  EXPECT_EQ(sys.polynomial(0).num_monomials(), 4u);
+  EXPECT_EQ(sys.polynomial(3).num_monomials(), 2u);
+}
+
+TEST(Cyclic, KnownRootOfCyclic3) {
+  // (1, w, w^2) with w a primitive cube root of unity solves cyclic-3:
+  // sums of powers vanish and the product is w^3 = 1.
+  const double c = std::cos(2.0 * M_PI / 3.0), s = std::sin(2.0 * M_PI / 3.0);
+  const std::vector<Cd> x = {{1.0, 0.0}, {c, s}, {c, -s}};
+  const auto sys = poly::cyclic(3);
+  std::vector<Cd> values(3), jac(9);
+  sys.evaluate_naive<double>(x, values, jac);
+  for (const auto& v : values) {
+    EXPECT_NEAR(v.re(), 0.0, 1e-12);
+    EXPECT_NEAR(v.im(), 0.0, 1e-12);
+  }
+}
+
+TEST(Cyclic, RejectsTiny) { EXPECT_THROW(poly::cyclic(1), std::invalid_argument); }
+
+TEST(Katsura, StructureOfKatsura3) {
+  const auto sys = poly::katsura(3);
+  EXPECT_EQ(sys.dimension(), 4u);  // u0..u3
+  // quadratic equations plus one linear normalization
+  const auto degs = sys.degrees();
+  EXPECT_EQ(degs.back(), 1u);
+  for (unsigned i = 0; i + 1 < degs.size(); ++i) EXPECT_EQ(degs[i], 2u);
+}
+
+TEST(Katsura, NormalizationRowSumsToOne) {
+  // u = (1/2, 1/4, ...) style check: evaluate the last equation at
+  // u0 = 1, rest 0: u0 + 2*sum(u_l) - 1 = 0.
+  const auto sys = poly::katsura(3);
+  const std::vector<Cd> x = {{1.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  std::vector<Cd> values(4), jac(16);
+  sys.evaluate_naive<double>(x, values, jac);
+  EXPECT_NEAR(values[3].re(), 0.0, 1e-14);
+  // and the first equation: sum u_|l| u_|m-l| - u_0 at this point is
+  // u0^2 - u0 = 0.
+  EXPECT_NEAR(values[0].re(), 0.0, 1e-14);
+}
+
+TEST(Noon, StructureAndSymmetricEvaluation) {
+  const auto sys = poly::noon(3);
+  EXPECT_EQ(sys.dimension(), 3u);
+  EXPECT_EQ(sys.degrees(), (std::vector<unsigned>{3, 3, 3}));
+  // at the symmetric point x_i = s the equations read
+  // s*(2 s^2) - 1.1 s + 1; check the evaluator agrees with the formula.
+  const double s = 0.4;
+  const std::vector<Cd> x(3, Cd{s, 0.0});
+  std::vector<Cd> values(3), jac(9);
+  sys.evaluate_naive<double>(x, values, jac);
+  const double expected = s * (2.0 * s * s) - 1.1 * s + 1.0;
+  for (const auto& v : values) EXPECT_NEAR(v.re(), expected, 1e-13);
+}
+
+TEST(Noon, JacobianMatchesHandDerivative) {
+  // f0 = x0(x1^2 + x2^2) - 1.1 x0 + 1
+  // df0/dx0 = x1^2 + x2^2 - 1.1, df0/dx1 = 2 x0 x1
+  const auto sys = poly::noon(3);
+  const std::vector<Cd> x = {{2.0, 0.0}, {3.0, 0.0}, {5.0, 0.0}};
+  std::vector<Cd> values(3), jac(9);
+  sys.evaluate_naive<double>(x, values, jac);
+  EXPECT_NEAR(jac[0].re(), 9.0 + 25.0 - 1.1, 1e-12);
+  EXPECT_NEAR(jac[1].re(), 2.0 * 2.0 * 3.0, 1e-12);
+  EXPECT_NEAR(jac[2].re(), 2.0 * 2.0 * 5.0, 1e-12);
+}
+
+TEST(Families, NoneAreUniform) {
+  // The classic families violate the (n, m, k, d) regularity and thus
+  // exercise only the general CPU paths.
+  EXPECT_FALSE(poly::cyclic(4).uniform_structure().has_value());
+  EXPECT_FALSE(poly::katsura(3).uniform_structure().has_value());
+  EXPECT_FALSE(poly::noon(3).uniform_structure().has_value());
+}
+
+}  // namespace

@@ -1,0 +1,495 @@
+// The three-kernel pipeline end to end: functional agreement with the
+// naive oracle over a parameter sweep and all precisions, the paper's
+// per-thread multiplication counts, memory-behaviour assertions
+// (coalescing, zero padding), the constant-memory failure at 2048
+// monomials, and both encodings / Mons layouts.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ad/cpu_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using core::ExponentEncoding;
+using core::GpuEvaluator;
+using core::MonsLayout;
+using prec::DoubleDouble;
+using prec::QuadDouble;
+
+poly::PolynomialSystem make(unsigned n, unsigned m, unsigned k, unsigned d,
+                            std::uint64_t seed = 7) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+struct SweepParam {
+  unsigned n, m, k, d, block;
+};
+
+class GpuSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GpuSweep, MatchesNaiveOracle) {
+  const auto [n, m, k, d, block] = GetParam();
+  const auto sys = make(n, m, k, d, 11 + n + m);
+  const auto x = poly::make_random_point<double>(n, 23);
+
+  poly::EvalResult<double> naive(n);
+  sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+
+  simt::Device device;
+  GpuEvaluator<double>::Options opts;
+  opts.block_size = block;
+  GpuEvaluator<double> gpu(device, sys, opts);
+  const auto got = gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  EXPECT_LT(poly::max_abs_diff(naive, got), 1e-9);
+}
+
+TEST_P(GpuSweep, ThreadWorkMatchesPaperCounts) {
+  const auto [n, m, k, d, block] = GetParam();
+  const auto sys = make(n, m, k, d, 13 + k + d);
+  const auto x = poly::make_random_point<double>(n, 29);
+
+  simt::Device device;
+  GpuEvaluator<double>::Options opts;
+  opts.block_size = block;
+  GpuEvaluator<double> gpu(device, sys, opts);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  const auto& kernels = gpu.last_log().kernels;
+  ASSERT_EQ(kernels.size(), 3u);
+  const auto& k1 = kernels[0];
+  const auto& k2 = kernels[1];
+  const auto& k3 = kernels[2];
+
+  // Kernel 2: every monomial thread performs exactly 5k-4 complex
+  // multiplications (3 for k = 1), and nothing else multiplies.
+  EXPECT_EQ(k2.complex_mul_per_thread_max, ad::formulas::kernel2_mults(k));
+  EXPECT_EQ(k2.complex_mul_total,
+            std::uint64_t{n} * m * ad::formulas::kernel2_mults(k));
+
+  // Kernel 1 phase 2: k-1 multiplications per monomial; phase 1 adds the
+  // power table (d-2 per variable per block when d >= 3).
+  const std::uint64_t blocks1 = k1.blocks;
+  EXPECT_EQ(k1.complex_mul_total,
+            std::uint64_t{n} * m * ad::formulas::common_factor_mults(k) +
+                blocks1 * n * ad::formulas::power_table_mults(d));
+
+  // Kernel 3: n^2+n threads, m-1 additions each, no multiplications.
+  EXPECT_EQ(k3.complex_mul_total, 0u);
+  EXPECT_EQ(k3.complex_add_per_thread_max, std::uint64_t{m} - 1);
+  EXPECT_EQ(k3.complex_add_total, ad::formulas::evaluation_adds_gpu(n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GpuSweep,
+    ::testing::Values(SweepParam{2, 1, 1, 1, 32}, SweepParam{3, 2, 2, 2, 32},
+                      SweepParam{4, 3, 2, 5, 32}, SweepParam{6, 4, 3, 3, 32},
+                      SweepParam{8, 8, 4, 2, 32}, SweepParam{10, 6, 5, 7, 16},
+                      SweepParam{16, 12, 8, 2, 64}, SweepParam{16, 5, 16, 4, 32},
+                      SweepParam{32, 8, 9, 2, 32}, SweepParam{32, 8, 16, 10, 32},
+                      SweepParam{40, 10, 20, 6, 32}, SweepParam{7, 5, 3, 2, 8}),
+    [](const auto& info) {
+      const auto p = info.param;
+      return "n" + std::to_string(p.n) + "m" + std::to_string(p.m) + "k" +
+             std::to_string(p.k) + "d" + std::to_string(p.d) + "B" +
+             std::to_string(p.block);
+    });
+
+// Fuzz: random workload shapes derived from the seed, GPU vs naive.
+class GpuSeedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GpuSeedFuzz, AgreesWithNaiveOracle) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  poly::SystemSpec spec;
+  spec.dimension = 2 + static_cast<unsigned>(rng() % 30);          // 2..31
+  spec.monomials_per_polynomial = 1 + static_cast<unsigned>(rng() % 12);
+  spec.variables_per_monomial =
+      1 + static_cast<unsigned>(rng() % spec.dimension);
+  spec.max_exponent = 1 + static_cast<unsigned>(rng() % 9);
+  spec.seed = seed;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(spec.dimension, seed ^ 0xabcddcba);
+
+  poly::EvalResult<double> naive(spec.dimension);
+  sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+
+  simt::Device device;
+  GpuEvaluator<double>::Options opts;
+  opts.block_size = 8u << (rng() % 4);  // 8, 16, 32, 64
+  GpuEvaluator<double> gpu(device, sys, opts);
+  const auto got = gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  // tolerance scales with the workload's term magnitudes
+  double scale = 1.0;
+  for (const auto& v : naive.values)
+    scale = std::max(scale, std::abs(v.re()) + std::abs(v.im()));
+  EXPECT_LT(poly::max_abs_diff(naive, got), 1e-11 * scale)
+      << "n=" << spec.dimension << " m=" << spec.monomials_per_polynomial
+      << " k=" << spec.variables_per_monomial << " d=" << spec.max_exponent;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuSeedFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1024));
+
+TEST(GpuEvaluator, DoubleDoubleMatchesCpuBitForBit) {
+  // Same algorithm, same order of operations: GPU (simulated) and CPU
+  // reference agree exactly in double-double as well.
+  const auto sys = make(8, 6, 4, 3);
+  const auto x = poly::make_random_point<DoubleDouble>(8, 31);
+
+  ad::CpuEvaluator<DoubleDouble> cpu(sys);
+  const auto want = cpu.evaluate(std::span<const cplx::Complex<DoubleDouble>>(x));
+
+  simt::Device device;
+  GpuEvaluator<DoubleDouble> gpu(device, sys);
+  const auto got = gpu.evaluate(std::span<const cplx::Complex<DoubleDouble>>(x));
+
+  EXPECT_LT(poly::max_abs_diff(want, got), 1e-30);
+}
+
+TEST(GpuEvaluator, QuadDoubleAgainstNaive) {
+  const auto sys = make(4, 4, 2, 3);
+  const auto x = poly::make_random_point<QuadDouble>(4, 37);
+
+  poly::EvalResult<QuadDouble> naive(4);
+  sys.evaluate_naive<QuadDouble>(x, naive.values, naive.jacobian);
+
+  simt::Device device;
+  GpuEvaluator<QuadDouble> gpu(device, sys);
+  const auto got = gpu.evaluate(std::span<const cplx::Complex<QuadDouble>>(x));
+  EXPECT_LT(poly::max_abs_diff(naive, got), 1e-55);
+}
+
+TEST(GpuEvaluator, MonsZeroSlotsStayZero) {
+  const auto sys = make(6, 4, 3, 2);
+  const auto x = poly::make_random_point<double>(6, 41);
+
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));  // twice: "kept zero"
+
+  const auto mons = gpu.debug_mons();
+  const auto& layout = gpu.layout();
+  const auto& packed = gpu.packed();
+
+  std::vector<bool> written(mons.size(), false);
+  for (std::uint64_t t = 0; t < layout.total_monomials(); ++t) {
+    written[layout.mons_value_index(t)] = true;
+    for (unsigned j = 0; j < packed.structure.k; ++j)
+      written[layout.mons_deriv_index(
+          t, packed.positions[layout.support_index(t, j)])] = true;
+  }
+  std::uint64_t zeros = 0;
+  for (std::size_t i = 0; i < mons.size(); ++i) {
+    if (!written[i]) {
+      EXPECT_EQ(mons[i], cplx::Complex<double>{}) << "slot " << i;
+      ++zeros;
+    }
+  }
+  EXPECT_EQ(zeros, layout.mons_zero_slots());
+}
+
+TEST(GpuEvaluator, CoalescingContractOfThePaper) {
+  // n = 32, block 32, m multiple of block: uniform warps.
+  const auto sys = make(32, 32, 9, 2);
+  const auto x = poly::make_random_point<double>(32, 43);
+
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto& kernels = gpu.last_log().kernels;
+  const auto& k1 = kernels[0];
+  const auto& k2 = kernels[1];
+  const auto& k3 = kernels[2];
+
+  // Complex<double> is 16 bytes: a perfectly coalesced 32-lane request
+  // spans 512 bytes = 4 segments of 128.
+  const double ideal = 1.0 / 4.0;
+
+  // Kernel 1: loads (x into shared) and stores (common factors) coalesce.
+  EXPECT_GE(k1.load_coalescing_ratio(), ideal);
+  EXPECT_GE(k1.store_coalescing_ratio(), ideal);
+
+  // Kernel 3: reads are coalesced by the transposed layout -- the design
+  // goal of section 3.3.
+  EXPECT_GE(k3.load_coalescing_ratio(), ideal);
+  EXPECT_GE(k3.store_coalescing_ratio(), ideal);
+
+  // Kernel 2: loads (x, common factors, Coeffs portions) coalesce, but
+  // the Mons writes are scattered -- the accepted price.  Scattered means
+  // about one transaction per lane: ratio near 1/32.
+  EXPECT_GE(k2.load_coalescing_ratio(), ideal);
+  EXPECT_LT(k2.store_coalescing_ratio(), 0.08);
+}
+
+TEST(GpuEvaluator, NoDivergenceOnUniformWorkload) {
+  // M divisible by the block size and n == block: every lane active in
+  // every phase ("each thread of the second kernel will go through the
+  // same path of execution").
+  const auto sys = make(32, 32, 9, 2);
+  const auto x = poly::make_random_point<double>(32, 47);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  for (const auto& k : gpu.last_log().kernels)
+    EXPECT_EQ(k.inactive_lane_phases, 0u) << k.kernel;
+}
+
+TEST(GpuEvaluator, TailLanesGoInactiveWhenNotDivisible) {
+  const auto sys = make(6, 5, 3, 2);  // 30 monomials, block 32
+  const auto x = poly::make_random_point<double>(6, 53);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto& k1 = gpu.last_log().kernels[0];
+  EXPECT_GT(k1.inactive_lane_phases, 0u);
+}
+
+TEST(GpuEvaluator, ConstantMemoryOverflowAt2048Monomials) {
+  // Section 4: "Increasing the number of monomials to 2,048 ... the
+  // capacity of the constant memory was not sufficient."
+  const auto sys = make(32, 64, 16, 10);  // 2048 monomials
+  simt::Device device;
+  EXPECT_THROW((void)GpuEvaluator<double>(device, sys),
+               simt::ConstantMemoryOverflow);
+}
+
+TEST(GpuEvaluator, PackedEncodingLifts2048Cap) {
+  const auto sys = make(32, 64, 16, 10);
+  const auto x = poly::make_random_point<double>(32, 59);
+
+  simt::Device device;
+  GpuEvaluator<double>::Options opts;
+  opts.encoding = ExponentEncoding::kPacked4Bit;
+  GpuEvaluator<double> gpu(device, sys, opts);
+  const auto got = gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  poly::EvalResult<double> naive(32);
+  sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+  EXPECT_LT(poly::max_abs_diff(naive, got), 1e-8);
+}
+
+TEST(GpuEvaluator, PackedEncodingMatchesCharEncoding) {
+  const auto sys = make(8, 6, 4, 5);
+  const auto x = poly::make_random_point<double>(8, 61);
+
+  simt::Device d1, d2;
+  GpuEvaluator<double> gpu_char(d1, sys);
+  GpuEvaluator<double>::Options opts;
+  opts.encoding = ExponentEncoding::kPacked4Bit;
+  GpuEvaluator<double> gpu_packed(d2, sys, opts);
+
+  const auto a = gpu_char.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto b = gpu_packed.evaluate(std::span<const cplx::Complex<double>>(x));
+  EXPECT_EQ(poly::max_abs_diff(a, b), 0.0);  // same arithmetic, same order
+}
+
+TEST(GpuEvaluator, OutputMajorLayoutMatchesFunctionally) {
+  const auto sys = make(8, 6, 4, 3);
+  const auto x = poly::make_random_point<double>(8, 67);
+
+  simt::Device d1, d2;
+  GpuEvaluator<double> transposed(d1, sys);
+  GpuEvaluator<double>::Options opts;
+  opts.mons_layout = MonsLayout::kOutputMajor;
+  GpuEvaluator<double> output_major(d2, sys, opts);
+
+  const auto a = transposed.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto b = output_major.evaluate(std::span<const cplx::Complex<double>>(x));
+  EXPECT_EQ(poly::max_abs_diff(a, b), 0.0);
+}
+
+TEST(GpuEvaluator, OutputMajorTradesReadCoalescingForWrites) {
+  const auto sys = make(32, 32, 9, 2);
+  const auto x = poly::make_random_point<double>(32, 71);
+
+  simt::Device d1, d2;
+  GpuEvaluator<double> transposed(d1, sys);
+  GpuEvaluator<double>::Options opts;
+  opts.mons_layout = MonsLayout::kOutputMajor;
+  GpuEvaluator<double> output_major(d2, sys, opts);
+
+  (void)transposed.evaluate(std::span<const cplx::Complex<double>>(x));
+  (void)output_major.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  // The paper's tradeoff, quantified: the transposed layout pays in
+  // kernel-2 store transactions and wins them back (more) in kernel-3
+  // load transactions.
+  const auto& t2 = transposed.last_log().kernels[1];
+  const auto& t3 = transposed.last_log().kernels[2];
+  const auto& o2 = output_major.last_log().kernels[1];
+  const auto& o3 = output_major.last_log().kernels[2];
+  EXPECT_LT(t3.global_load_transactions, o3.global_load_transactions);
+  EXPECT_GE(t2.global_store_transactions, o2.global_store_transactions);
+}
+
+TEST(GpuEvaluator, RepeatedEvaluationUploadsOnlyThePoint) {
+  const auto sys = make(8, 6, 4, 3);
+  const auto x = poly::make_random_point<double>(8, 73);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto& t = gpu.last_log().transfers;
+  // one upload (the point: n * 16 bytes), one download (outputs)
+  EXPECT_EQ(t.transfers_to_device, 1u);
+  EXPECT_EQ(t.transfers_from_device, 1u);
+  EXPECT_EQ(t.bytes_to_device, 8u * sizeof(cplx::Complex<double>));
+  EXPECT_EQ(t.bytes_from_device, (8u * 8u + 8u) * sizeof(cplx::Complex<double>));
+}
+
+TEST(GpuEvaluator, RejectsWrongPointDimension) {
+  const auto sys = make(6, 4, 3, 2);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+  std::vector<cplx::Complex<double>> x(5);
+  poly::EvalResult<double> out;
+  EXPECT_THROW(gpu.evaluate(std::span<const cplx::Complex<double>>(x), out),
+               std::invalid_argument);
+}
+
+TEST(GpuEvaluator, ValuesOnlyMatchesFullEvaluation) {
+  const auto sys = make(8, 6, 4, 3);
+  const auto x = poly::make_random_point<double>(8, 87);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+
+  const auto full = gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  std::vector<cplx::Complex<double>> values(8);
+  gpu.evaluate_values(std::span<const cplx::Complex<double>>(x),
+                      std::span<cplx::Complex<double>>(values));
+  for (unsigned p = 0; p < 8; ++p) {
+    // same powers/common factors, different multiplication order for the
+    // product itself -> equal to roundoff
+    EXPECT_LT(cplx::max_abs_diff(values[p], full.values[p]), 1e-12) << p;
+  }
+}
+
+TEST(GpuEvaluator, ValuesOnlyIsCheaper) {
+  const auto sys = make(32, 32, 9, 2);
+  const auto x = poly::make_random_point<double>(32, 88);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  std::uint64_t full_mults = 0;
+  for (const auto& k : gpu.last_log().kernels) full_mults += k.complex_mul_total;
+  const auto full_down = gpu.last_log().transfers.bytes_from_device;
+
+  std::vector<cplx::Complex<double>> values(32);
+  gpu.evaluate_values(std::span<const cplx::Complex<double>>(x),
+                      std::span<cplx::Complex<double>>(values));
+  std::uint64_t value_mults = 0;
+  for (const auto& k : gpu.last_log().kernels) value_mults += k.complex_mul_total;
+
+  // values-only: (k-1) + 2 mults per monomial in its main kernel vs 5k-4
+  EXPECT_LT(value_mults, full_mults / 2);
+  // and only n values come back instead of n^2+n
+  EXPECT_EQ(gpu.last_log().transfers.bytes_from_device, full_down / 33);
+}
+
+TEST(GpuEvaluator, ValuesOnlyDoesNotCorruptNextFullEvaluation) {
+  const auto sys = make(6, 5, 3, 2);
+  const auto x1 = poly::make_random_point<double>(6, 90);
+  const auto x2 = poly::make_random_point<double>(6, 91);
+  simt::Device device;
+  GpuEvaluator<double> gpu(device, sys);
+
+  const auto before = gpu.evaluate(std::span<const cplx::Complex<double>>(x2));
+  std::vector<cplx::Complex<double>> values(6);
+  gpu.evaluate_values(std::span<const cplx::Complex<double>>(x1),
+                      std::span<cplx::Complex<double>>(values));
+  const auto after = gpu.evaluate(std::span<const cplx::Complex<double>>(x2));
+  EXPECT_EQ(poly::max_abs_diff(before, after), 0.0);
+}
+
+TEST(GpuEvaluator, SeparatePowersKernelMatches) {
+  // The section-3.1 ablation: a dedicated powers kernel writing global
+  // memory must produce identical results, with one extra launch and
+  // extra global traffic in the common-factor stage.
+  const auto sys = make(8, 6, 4, 5);
+  const auto x = poly::make_random_point<double>(8, 89);
+
+  simt::Device d1, d2;
+  GpuEvaluator<double> fused(d1, sys);
+  GpuEvaluator<double>::Options opts;
+  opts.powers = GpuEvaluator<double>::PowersStrategy::kSeparateKernel;
+  GpuEvaluator<double> separate(d2, sys, opts);
+
+  const auto a = fused.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto b = separate.evaluate(std::span<const cplx::Complex<double>>(x));
+  EXPECT_EQ(poly::max_abs_diff(a, b), 0.0);
+
+  ASSERT_EQ(fused.last_log().kernels.size(), 3u);
+  ASSERT_EQ(separate.last_log().kernels.size(), 4u);
+  EXPECT_EQ(separate.last_log().kernels[0].kernel, "powers_global");
+
+  // The fused variant touches global memory only for x and the common
+  // factors in the CF stage; the separate variant also round-trips the
+  // powers table.
+  const auto traffic = [](const simt::KernelStats& k) {
+    return k.global_load_transactions + k.global_store_transactions;
+  };
+  const auto fused_cf = traffic(fused.last_log().kernels[0]);
+  const auto separate_cf =
+      traffic(separate.last_log().kernels[0]) + traffic(separate.last_log().kernels[1]);
+  EXPECT_GT(separate_cf, fused_cf);
+}
+
+TEST(GpuEvaluator, SeparatePowersRepeatedMultiplicationsDiffer) {
+  // Fused: every block recomputes the powers (blocks * n * (d-2) mults);
+  // separate: the powers are computed once (n * (d-2)).
+  const auto sys = make(16, 8, 4, 10);  // 128 monomials -> 4 blocks
+  const auto x = poly::make_random_point<double>(16, 91);
+
+  simt::Device d1, d2;
+  GpuEvaluator<double> fused(d1, sys);
+  GpuEvaluator<double>::Options opts;
+  opts.powers = GpuEvaluator<double>::PowersStrategy::kSeparateKernel;
+  GpuEvaluator<double> separate(d2, sys, opts);
+  (void)fused.evaluate(std::span<const cplx::Complex<double>>(x));
+  (void)separate.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  const std::uint64_t per_table = 16u * ad::formulas::power_table_mults(10);
+  const std::uint64_t blocks = fused.last_log().kernels[0].blocks;
+  const std::uint64_t cf = 128u * ad::formulas::common_factor_mults(4);
+  EXPECT_EQ(fused.last_log().kernels[0].complex_mul_total, blocks * per_table + cf);
+  EXPECT_EQ(separate.last_log().kernels[0].complex_mul_total, per_table);
+  EXPECT_EQ(separate.last_log().kernels[1].complex_mul_total, cf);
+}
+
+TEST(GpuEvaluator, SharedMemoryBudgetOfSection32) {
+  // "we could increase precision ... and still work with dimensions up
+  //  to 70, as long as k <= n/2": dd complex, n = 70, k = 35, B = 32
+  //  needs 32*36*32 + 70*32 bytes < 48 KB.
+  const auto sys = make(70, 4, 35, 3);
+  const auto x = poly::make_random_point<DoubleDouble>(70, 79);
+  simt::Device device;
+  GpuEvaluator<DoubleDouble> gpu(device, sys);
+  EXPECT_NO_THROW((void)gpu.evaluate(std::span<const cplx::Complex<DoubleDouble>>(x)));
+
+  // but k = n at dimension 70 blows the budget
+  const auto big = make(70, 4, 70, 2);
+  simt::Device device2;
+  EXPECT_THROW(
+      {
+        GpuEvaluator<DoubleDouble> gpu2(device2, big);
+        const auto y = poly::make_random_point<DoubleDouble>(70, 83);
+        (void)gpu2.evaluate(std::span<const cplx::Complex<DoubleDouble>>(y));
+      },
+      simt::LaunchError);
+}
+
+}  // namespace

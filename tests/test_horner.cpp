@@ -1,0 +1,131 @@
+// Nested Horner forms: agreement with the naive oracle on sparse and
+// dense systems, classic univariate optimality (d multiplications),
+// derivatives, and all precisions.
+
+#include <gtest/gtest.h>
+
+#include "poly/horner.hpp"
+#include "poly/families.hpp"
+#include "poly/io.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+TEST(Horner, UnivariateDenseIsOptimal) {
+  // p = 3x^4 + 2x^3 - x^2 + 5x - 7: Horner must use exactly 4 mults.
+  const auto p = poly::parse_polynomial("3*x0^4 + 2*x0^3 - x0^2 + 5*x0 - 7", 1);
+  const poly::HornerPolynomial h(p);
+  EXPECT_EQ(h.value_multiplications(), 4u);
+  const std::vector<Cd> x = {{2.0, 0.0}};
+  // 48 + 16 - 4 + 10 - 7 = 63
+  EXPECT_DOUBLE_EQ(h.evaluate<double>(x).re(), 63.0);
+  // p' = 12x^3 + 6x^2 - 2x + 5 at 2: 96 + 24 - 4 + 5 = 121
+  EXPECT_DOUBLE_EQ(h.evaluate_derivative<double>(x, 0).re(), 121.0);
+}
+
+TEST(Horner, SparseGapsCollapse) {
+  // x^9 + 1 needs 9 multiplications via the tail/gap powers, not 9 terms.
+  const auto p = poly::parse_polynomial("x0^9 + 1", 1);
+  const poly::HornerPolynomial h(p);
+  EXPECT_EQ(h.value_multiplications(), 9u);
+  const std::vector<Cd> x = {{2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(h.evaluate<double>(x).re(), 513.0);
+}
+
+TEST(Horner, MultivariateKnownValue) {
+  // p = x0 x1^2 + 2 x0^2 + x1 at (2, 3): 18 + 8 + 3 = 29
+  const auto p = poly::parse_polynomial("x0*x1^2 + 2*x0^2 + x1", 2);
+  const poly::HornerPolynomial h(p);
+  const std::vector<Cd> x = {{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_DOUBLE_EQ(h.evaluate<double>(x).re(), 29.0);
+  // dp/dx0 = x1^2 + 4 x0 = 17; dp/dx1 = 2 x0 x1 + 1 = 13
+  EXPECT_DOUBLE_EQ(h.evaluate_derivative<double>(x, 0).re(), 17.0);
+  EXPECT_DOUBLE_EQ(h.evaluate_derivative<double>(x, 1).re(), 13.0);
+}
+
+TEST(Horner, MatchesNaiveOnRandomSystems) {
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 10;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 5;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(8, 3);
+
+  poly::EvalResult<double> naive(8), horner(8);
+  sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+  const poly::HornerSystem hs(sys);
+  hs.evaluate<double>(x, horner);
+  EXPECT_LT(poly::max_abs_diff(naive, horner), 1e-9);
+}
+
+TEST(Horner, MatchesNaiveOnFamilies) {
+  for (const auto& sys : {poly::cyclic(5), poly::katsura(4), poly::noon(4)}) {
+    const auto x = poly::make_random_point<double>(sys.dimension(), 7);
+    poly::EvalResult<double> naive(sys.dimension()), horner(sys.dimension());
+    sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+    const poly::HornerSystem hs(sys);
+    hs.evaluate<double>(x, horner);
+    EXPECT_LT(poly::max_abs_diff(naive, horner), 1e-10);
+  }
+}
+
+TEST(Horner, DoubleDoublePrecision) {
+  poly::SystemSpec spec;
+  spec.dimension = 5;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 3;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+  using Cdd = cplx::Complex<prec::DoubleDouble>;
+  const auto x = poly::make_random_point<prec::DoubleDouble>(5, 11);
+
+  poly::EvalResult<prec::DoubleDouble> naive(5), horner(5);
+  sys.evaluate_naive<prec::DoubleDouble>(std::span<const Cdd>(x), naive.values,
+                                         naive.jacobian);
+  const poly::HornerSystem hs(sys);
+  hs.evaluate<prec::DoubleDouble>(std::span<const Cdd>(x), horner);
+  EXPECT_LT(poly::max_abs_diff(naive, horner), 1e-28);
+}
+
+TEST(Horner, FewerMultiplicationsThanNaiveOnDense) {
+  // a dense-ish polynomial in 3 variables, all exponent combos <= 2
+  poly::PolynomialBuilder b(3);
+  for (unsigned e0 = 0; e0 <= 2; ++e0)
+    for (unsigned e1 = 0; e1 <= 2; ++e1)
+      for (unsigned e2 = 0; e2 <= 2; ++e2)
+        b.add_term({1.0 + e0 + 2.0 * e1 + 3.0 * e2, 0.0}, {e0, e1, e2});
+  const auto p = b.build();
+  const poly::HornerPolynomial h(p);
+
+  // naive: every monomial multiplies coefficient and repeated variables:
+  // sum over monomials of total_degree (value only, coefficient product
+  // excluded on both sides for fairness)
+  std::uint64_t naive = 0;
+  for (const auto& mono : p.monomials()) naive += mono.total_degree();
+  EXPECT_LT(h.value_multiplications(), naive / 2);
+
+  // and the value still matches
+  const std::vector<Cd> x = {{1.1, 0.2}, {0.8, -0.3}, {1.05, 0.15}};
+  EXPECT_LT(cplx::max_abs_diff(h.evaluate<double>(x), p.evaluate<double>(x)), 1e-12);
+}
+
+TEST(Horner, EmptyPolynomialIsZero) {
+  const poly::Polynomial zero(3, {});
+  const poly::HornerPolynomial h(zero);
+  const std::vector<Cd> x(3, Cd{2.0, 1.0});
+  EXPECT_EQ(h.evaluate<double>(x), Cd{});
+  EXPECT_EQ(h.evaluate_derivative<double>(x, 1), Cd{});
+}
+
+TEST(Horner, DerivativeOfAbsentVariableIsZero) {
+  const auto p = poly::parse_polynomial("x0^2 + 1", 3);
+  const poly::HornerPolynomial h(p);
+  const std::vector<Cd> x(3, Cd{2.0, 0.0});
+  EXPECT_EQ(h.evaluate_derivative<double>(x, 2), Cd{});
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Cross-module integration: the GPU pipeline inside Newton inside a
+// path tracker, the quality-up scenario end to end on the paper's
+// workload shape, and consistency of all four evaluation routes.
+
+#include <gtest/gtest.h>
+
+#include "ad/cpu_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "homotopy/solver.hpp"
+#include "newton/newton.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace {
+
+using namespace polyeval;
+using prec::DoubleDouble;
+
+template <class T>
+using C = cplx::Complex<T>;
+
+TEST(Integration, FourEvaluationRoutesAgree) {
+  // naive, CPU reference, GPU char encoding, GPU packed encoding
+  poly::SystemSpec spec;
+  spec.dimension = 16;
+  spec.monomials_per_polynomial = 10;
+  spec.variables_per_monomial = 6;
+  spec.max_exponent = 4;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(16, 3);
+
+  poly::EvalResult<double> naive(16);
+  sys.evaluate_naive<double>(x, naive.values, naive.jacobian);
+
+  ad::CpuEvaluator<double> cpu(sys);
+  const auto r_cpu = cpu.evaluate(std::span<const C<double>>(x));
+
+  simt::Device d1, d2;
+  core::GpuEvaluator<double> gpu1(d1, sys);
+  core::GpuEvaluator<double>::Options opts;
+  opts.encoding = core::ExponentEncoding::kPacked4Bit;
+  core::GpuEvaluator<double> gpu2(d2, sys, opts);
+  const auto r_g1 = gpu1.evaluate(std::span<const C<double>>(x));
+  const auto r_g2 = gpu2.evaluate(std::span<const C<double>>(x));
+
+  EXPECT_LT(poly::max_abs_diff(naive, r_cpu), 1e-9);
+  EXPECT_LT(poly::max_abs_diff(naive, r_g1), 1e-9);
+  EXPECT_EQ(poly::max_abs_diff(r_cpu, r_g1), 0.0);  // same algorithm
+  EXPECT_EQ(poly::max_abs_diff(r_g1, r_g2), 0.0);
+}
+
+TEST(Integration, GpuCorrectorTracksPath) {
+  // Uniform random target system, GPU evaluator as the f-evaluator of
+  // the homotopy corrector; start system evaluated on CPU.
+  poly::SystemSpec spec;
+  spec.dimension = 4;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.unit_coefficients = true;
+  const auto sys = poly::make_random_system(spec);
+
+  const homotopy::TotalDegreeStart start(sys);
+  simt::Device device;
+  core::GpuEvaluator<double> f(device, sys);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::Homotopy<double, core::GpuEvaluator<double>, ad::CpuEvaluator<double>> h(
+      f, g, homotopy::random_gamma(11));
+  homotopy::PathTracker<double, core::GpuEvaluator<double>, ad::CpuEvaluator<double>>
+      tracker(h);
+
+  unsigned successes = 0;
+  const auto paths = std::min<std::uint64_t>(start.num_paths(), 6);
+  for (std::uint64_t p = 0; p < paths; ++p) {
+    const auto root = start.start_root(p);
+    std::vector<C<double>> x0;
+    for (const auto& z : root) x0.push_back({z.re(), z.im()});
+    const auto r = tracker.track(std::span<const C<double>>(x0));
+    if (r.success) {
+      ++successes;
+      // endpoint solves the target (checked with the naive oracle)
+      std::vector<C<double>> values(4), jac(16);
+      sys.evaluate_naive<double>(r.solution, values, jac);
+      for (const auto& v : values)
+        EXPECT_LT(std::abs(v.re()) + std::abs(v.im()), 1e-8);
+    }
+  }
+  // Sparse targets have fewer finite roots than the Bezout count, so
+  // some total-degree paths legitimately diverge; at least one must land.
+  EXPECT_GE(successes, 1u);
+}
+
+TEST(Integration, QualityUpOnPaperWorkload) {
+  // Dimension-32 Table-1 workload with a planted regular root: double
+  // Newton stalls at ~1e-14 residual, the dd refinement (the arithmetic
+  // the GPU is bought for) reaches ~1e-27.
+  poly::SystemSpec spec;
+  spec.dimension = 32;
+  spec.monomials_per_polynomial = 22;
+  spec.variables_per_monomial = 9;
+  spec.max_exponent = 2;
+  const auto [sys, planted_root] = poly::make_random_system_with_root(spec);
+
+  // Start near the planted root, converge in double first.
+  std::vector<C<double>> x0 = planted_root;
+  for (auto& z : x0) z += C<double>(1e-4, -1e-4);
+  ad::CpuEvaluator<double> cpu_d(sys);
+  newton::NewtonOptions opts;
+  opts.max_iterations = 20;
+  opts.residual_tolerance = 1e-13;
+  const auto rd = newton::refine<double>(cpu_d, std::span<const C<double>>(x0), opts);
+  ASSERT_TRUE(rd.converged) << rd.final_residual;
+
+  simt::Device device;
+  core::GpuEvaluator<DoubleDouble> gpu_dd(device, sys);
+  const auto x_dd = newton::widen_point<DoubleDouble, double>(rd.solution);
+  newton::NewtonOptions opts_dd;
+  opts_dd.max_iterations = 4;
+  opts_dd.residual_tolerance = 1e-27;
+  const auto rdd =
+      newton::refine<DoubleDouble>(gpu_dd, std::span<const C<DoubleDouble>>(x_dd), opts_dd);
+  EXPECT_TRUE(rdd.converged);
+  EXPECT_LT(rdd.final_residual, 1e-27);
+}
+
+TEST(Integration, TimingModelOnBothTableWorkloads) {
+  // One evaluation of each table's largest workload: the modeled speedup
+  // lands in the paper's double-digit band.
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+
+  for (const auto& [k, d] : {std::pair{9u, 2u}, std::pair{16u, 10u}}) {
+    poly::SystemSpec spec;
+    spec.dimension = 32;
+    spec.monomials_per_polynomial = 48;  // 1536 monomials
+    spec.variables_per_monomial = k;
+    spec.max_exponent = d;
+    const auto sys = poly::make_random_system(spec);
+    const auto x = poly::make_random_point<double>(32, 17);
+
+    simt::Device device;
+    core::GpuEvaluator<double> gpu(device, sys);
+    (void)gpu.evaluate(std::span<const C<double>>(x));
+    const double gpu_us = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+
+    ad::CpuEvaluator<double> cpu(sys);
+    (void)cpu.evaluate(std::span<const C<double>>(x));
+    const auto& ops = cpu.last_op_counts();
+    const double cpu_us = simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel);
+
+    const double speedup = cpu_us / gpu_us;
+    EXPECT_GT(speedup, 8.0) << "k=" << k;
+    EXPECT_LT(speedup, 40.0) << "k=" << k;
+  }
+}
+
+TEST(Integration, RepeatedEvaluationsAreStateless) {
+  // 50 evaluations at 50 points: each must match a fresh evaluator's
+  // answer (no state leaks across calls through Mons or the logs).
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+
+  simt::Device device;
+  core::GpuEvaluator<double> persistent(device, sys);
+  for (unsigned i = 0; i < 50; ++i) {
+    const auto x = poly::make_random_point<double>(8, 100 + i);
+    const auto a = persistent.evaluate(std::span<const C<double>>(x));
+    simt::Device fresh_device;
+    core::GpuEvaluator<double> fresh(fresh_device, sys);
+    const auto b = fresh.evaluate(std::span<const C<double>>(x));
+    ASSERT_EQ(poly::max_abs_diff(a, b), 0.0) << "evaluation " << i;
+  }
+}
+
+}  // namespace

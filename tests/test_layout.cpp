@@ -1,0 +1,171 @@
+// The device data layouts of section 3.3: index algebra in both
+// directions, portion-major Coeffs with folded exponents, transposed
+// zero-padded Mons, and the packing of positions/exponents.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/encoding.hpp"
+#include "core/layout.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using core::MonsLayout;
+using core::SystemLayout;
+
+TEST(SystemLayout, SizesMatchPaperFormulas) {
+  // dim 32, m = 32, k = 16: 1024 monomials, Coeffs has nm(k+1) entries,
+  // Mons has (n^2+n)m entries with (n^2+n)m - nm(k+1) zeros.
+  const SystemLayout layout({32, 32, 16, 10});
+  EXPECT_EQ(layout.total_monomials(), 1024u);
+  EXPECT_EQ(layout.coeffs_size(), 1024u * 17u);
+  EXPECT_EQ(layout.num_outputs(), 1056u);
+  EXPECT_EQ(layout.mons_size(), 1056u * 32u);
+  EXPECT_EQ(layout.mons_zero_slots(), 1056u * 32u - 1024u * 17u);
+}
+
+TEST(SystemLayout, SmOrderRoundTrips) {
+  const SystemLayout layout({5, 7, 2, 3});
+  for (unsigned p = 0; p < 5; ++p) {
+    for (unsigned j = 0; j < 7; ++j) {
+      const auto t = layout.sm_index(p, j);
+      EXPECT_EQ(layout.monomial_poly(t), p);
+      EXPECT_EQ(layout.monomial_slot(t), j);
+    }
+  }
+  // first m entries belong to polynomial 0 (the paper's ordering)
+  EXPECT_EQ(layout.monomial_poly(0), 0u);
+  EXPECT_EQ(layout.monomial_poly(6), 0u);
+  EXPECT_EQ(layout.monomial_poly(7), 1u);
+}
+
+TEST(SystemLayout, CoeffsPortionsArePaperOrder) {
+  // "The first element of Coeffs is the coefficient of the derivative of
+  //  the first monomial in Sm with respect to its first variable; ...
+  //  the last (k+1)th portion contains the coefficients of the system."
+  const SystemLayout layout({4, 3, 2, 2});
+  const auto nm = layout.total_monomials();
+  for (unsigned j = 0; j < 2; ++j)
+    for (std::uint64_t t = 0; t < nm; ++t)
+      EXPECT_EQ(layout.coeff_index(j, t), j * nm + t);
+  EXPECT_EQ(layout.coeff_index(2, 0), 2 * nm);           // value portion
+  EXPECT_EQ(layout.coeff_index(2, nm - 1), 3 * nm - 1);  // last entry overall
+}
+
+TEST(SystemLayout, MonsTransposedIndexing) {
+  // "The first n^2+n elements of the array represent the first terms in
+  //  each of n^2+n summations: the first n elements are the first
+  //  monomials of the polynomials, the second n elements are the
+  //  derivatives of the first monomials with respect to x1, ..."
+  const unsigned n = 4, m = 3;
+  const SystemLayout layout({n, m, 2, 2});
+  const auto outputs = layout.num_outputs();
+
+  // value of monomial j of polynomial p sits at j*(n^2+n) + p
+  for (unsigned p = 0; p < n; ++p)
+    for (unsigned j = 0; j < m; ++j)
+      EXPECT_EQ(layout.mons_value_index(layout.sm_index(p, j)),
+                std::uint64_t{j} * outputs + p);
+
+  // derivative with respect to x_v sits at j*(n^2+n) + (v+1)*n + p
+  for (unsigned p = 0; p < n; ++p)
+    for (unsigned v = 0; v < n; ++v)
+      for (unsigned j = 0; j < m; ++j)
+        EXPECT_EQ(layout.mons_deriv_index(layout.sm_index(p, j), v),
+                  std::uint64_t{j} * outputs + (v + 1u) * n + p);
+}
+
+TEST(SystemLayout, Kernel3ThreadReadsItsColumn) {
+  // thread t sums Mons[t + j*(n^2+n)]: mons_index(out, j) must be exactly
+  // that for the transposed layout.
+  const SystemLayout layout({6, 5, 3, 2});
+  const auto outputs = layout.num_outputs();
+  for (std::uint64_t out = 0; out < outputs; ++out)
+    for (unsigned j = 0; j < 5; ++j)
+      EXPECT_EQ(layout.mons_index(out, j), out + j * outputs);
+}
+
+TEST(SystemLayout, OutputMajorAblationIndexing) {
+  const SystemLayout layout({6, 5, 3, 2}, MonsLayout::kOutputMajor);
+  for (std::uint64_t out = 0; out < layout.num_outputs(); ++out)
+    for (unsigned j = 0; j < 5; ++j)
+      EXPECT_EQ(layout.mons_index(out, j), out * 5 + j);
+}
+
+TEST(SystemLayout, MonsSlotsAreDisjointAcrossMonomials) {
+  // No two (value/derivative) writes may collide: collect every index the
+  // second kernel would write and assert uniqueness.
+  poly::SystemSpec spec;
+  spec.dimension = 6;
+  spec.monomials_per_polynomial = 4;
+  spec.variables_per_monomial = 3;
+  spec.max_exponent = 2;
+  const auto sys = poly::make_random_system(spec);
+  const auto packed = core::pack_system(sys);
+  const SystemLayout layout(packed.structure);
+
+  std::set<std::uint64_t> used;
+  for (std::uint64_t t = 0; t < layout.total_monomials(); ++t) {
+    ASSERT_TRUE(used.insert(layout.mons_value_index(t)).second) << "value " << t;
+    for (unsigned j = 0; j < packed.structure.k; ++j) {
+      const unsigned var = packed.positions[layout.support_index(t, j)];
+      ASSERT_TRUE(used.insert(layout.mons_deriv_index(t, var)).second)
+          << "deriv " << t << " var " << var;
+    }
+  }
+  EXPECT_EQ(used.size(), layout.total_monomials() * (packed.structure.k + 1));
+  for (const auto idx : used) EXPECT_LT(idx, layout.mons_size());
+}
+
+TEST(PackSystem, PositionsExponentsAndFoldedCoefficients) {
+  poly::SystemSpec spec;
+  spec.dimension = 5;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 4;
+  const auto sys = poly::make_random_system(spec);
+  const auto packed = core::pack_system(sys);
+  const SystemLayout layout(packed.structure);
+
+  for (unsigned p = 0; p < spec.dimension; ++p) {
+    for (unsigned j = 0; j < spec.monomials_per_polynomial; ++j) {
+      const auto t = layout.sm_index(p, j);
+      const auto& mono = sys.polynomial(p).monomials()[j];
+      for (unsigned v = 0; v < spec.variables_per_monomial; ++v) {
+        const auto& f = mono.factors()[v];
+        EXPECT_EQ(packed.positions[layout.support_index(t, v)], f.var);
+        EXPECT_EQ(packed.exponents[layout.support_index(t, v)] + 1u, f.exp);
+        // derivative coefficient = c * a (the exponent factor)
+        const auto dc = packed.coeffs[layout.coeff_index(v, t)];
+        const auto expect = mono.coefficient() * static_cast<double>(f.exp);
+        EXPECT_LT(cplx::max_abs_diff(dc, expect), 1e-15);
+      }
+      EXPECT_EQ(packed.coeffs[layout.coeff_index(spec.variables_per_monomial, t)],
+                mono.coefficient());
+    }
+  }
+}
+
+TEST(PackSystem, RejectsNonUniform) {
+  // cyclic systems are irregular
+  poly::PolynomialBuilder b0(2), b1(2);
+  b0.add_term({1.0, 0.0}, {1, 1});
+  b1.add_term({1.0, 0.0}, {2, 0});
+  b1.add_term({1.0, 0.0}, {0, 1});
+  EXPECT_THROW((void)core::pack_system(poly::PolynomialSystem({b0.build(), b1.build()})),
+               std::invalid_argument);
+}
+
+TEST(PackSystem, ConstantMemoryFootprintFormula) {
+  // dimension 30 example from section 3.1: 900 monomials, k = 15:
+  // 900*2*15 = 27000 bytes; dimension 40: 1600*2*20 = 64000 bytes.
+  EXPECT_EQ(core::constant_bytes_required(core::ExponentEncoding::kChar, 900, 15),
+            27000u);
+  EXPECT_EQ(core::constant_bytes_required(core::ExponentEncoding::kChar, 1600, 20),
+            64000u);
+}
+
+}  // namespace

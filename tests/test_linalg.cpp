@@ -1,0 +1,174 @@
+// Dense complex LU with partial pivoting over all three precisions:
+// known systems, random round trips, pivoting necessity, singularity
+// detection, and the residual ladder that motivates multiprecision.
+
+#include <gtest/gtest.h>
+
+#include "cplx/complex.hpp"
+#include "linalg/lu.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using linalg::Matrix;
+using prec::DoubleDouble;
+using prec::QuadDouble;
+
+template <class T>
+using C = cplx::Complex<T>;
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = {1.0, 0.0};
+  a(0, 1) = {2.0, 0.0};
+  a(1, 0) = {3.0, 0.0};
+  a(1, 1) = {4.0, 0.0};
+  const std::vector<C<double>> x = {{1.0, 0.0}, {1.0, 0.0}};
+  const auto y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0].re(), 3.0);
+  EXPECT_DOUBLE_EQ(y[1].re(), 7.0);
+}
+
+TEST(Matrix, FromRowMajorValidatesSize) {
+  std::vector<C<double>> data(3);
+  EXPECT_THROW((void)Matrix<double>::from_row_major(2, 2, data), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownRealSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = (4/5, 7/5)
+  Matrix<double> a(2, 2);
+  a(0, 0) = {2.0, 0.0};
+  a(0, 1) = {1.0, 0.0};
+  a(1, 0) = {1.0, 0.0};
+  a(1, 1) = {3.0, 0.0};
+  const std::vector<C<double>> b = {{3.0, 0.0}, {5.0, 0.0}};
+  const auto x = linalg::lu_solve(a, std::span<const C<double>>(b));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0].re(), 0.8, 1e-14);
+  EXPECT_NEAR((*x)[1].re(), 1.4, 1e-14);
+}
+
+TEST(Lu, SolvesComplexSystem) {
+  // i * x = 1  ->  x = -i
+  Matrix<double> a(1, 1);
+  a(0, 0) = {0.0, 1.0};
+  const std::vector<C<double>> b = {{1.0, 0.0}};
+  const auto x = linalg::lu_solve(a, std::span<const C<double>>(b));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0].re(), 0.0, 1e-15);
+  EXPECT_NEAR((*x)[0].im(), -1.0, 1e-15);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // zero top-left pivot: fails without row exchange
+  Matrix<double> a(2, 2);
+  a(0, 0) = {0.0, 0.0};
+  a(0, 1) = {1.0, 0.0};
+  a(1, 0) = {1.0, 0.0};
+  a(1, 1) = {1.0, 0.0};
+  const std::vector<C<double>> b = {{2.0, 0.0}, {3.0, 0.0}};
+  const auto x = linalg::lu_solve(a, std::span<const C<double>>(b));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0].re(), 1.0, 1e-14);
+  EXPECT_NEAR((*x)[1].re(), 2.0, 1e-14);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = {1.0, 0.0};
+  a(0, 1) = {2.0, 0.0};
+  a(1, 0) = {2.0, 0.0};
+  a(1, 1) = {4.0, 0.0};  // rank 1
+  const std::vector<C<double>> b = {{1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(linalg::lu_solve(a, std::span<const C<double>>(b)).has_value());
+}
+
+template <class T>
+void random_round_trip(unsigned n, double tol, std::uint64_t seed) {
+  cplx::UniformComplex<T> gen(seed);
+  Matrix<T> a(n, n);
+  std::vector<C<T>> x_true(n);
+  for (unsigned r = 0; r < n; ++r) {
+    x_true[r] = gen();
+    for (unsigned c = 0; c < n; ++c) a(r, c) = gen();
+  }
+  const auto b = a.multiply(x_true);
+  const auto x = linalg::lu_solve(a, std::span<const C<T>>(b));
+  ASSERT_TRUE(x.has_value());
+  double worst = 0.0;
+  for (unsigned i = 0; i < n; ++i)
+    worst = std::max(worst, cplx::max_abs_diff((*x)[i], x_true[i]));
+  EXPECT_LT(worst, tol);
+}
+
+TEST(Lu, RandomRoundTripDouble) { random_round_trip<double>(20, 1e-10, 101); }
+TEST(Lu, RandomRoundTripDoubleDouble) {
+  random_round_trip<DoubleDouble>(12, 1e-26, 102);
+}
+TEST(Lu, RandomRoundTripQuadDouble) { random_round_trip<QuadDouble>(6, 1e-55, 103); }
+
+TEST(Lu, FactorizationReusableForMultipleRhs) {
+  cplx::UniformComplex<double> gen(104);
+  Matrix<double> a(8, 8);
+  for (unsigned r = 0; r < 8; ++r)
+    for (unsigned c = 0; c < 8; ++c) a(r, c) = gen();
+  const Matrix<double> a_copy = a;
+  auto f = linalg::LuFactorization<double>::factor(std::move(a));
+  ASSERT_TRUE(f.has_value());
+  for (int rhs = 0; rhs < 3; ++rhs) {
+    std::vector<C<double>> b(8);
+    for (auto& z : b) z = gen();
+    const auto x = f->solve(b);
+    const auto back = a_copy.multiply(x);
+    for (unsigned i = 0; i < 8; ++i)
+      EXPECT_LT(cplx::max_abs_diff(back[i], b[i]), 1e-10);
+  }
+}
+
+TEST(Lu, ResidualLadderAcrossPrecisions) {
+  // Identical ill-conditioned system; the solve residual drops by ~16
+  // orders from double to double-double: the numeric core of quality up.
+  const unsigned n = 10;
+  const auto build = [&](auto tag) {
+    using T = decltype(tag);
+    Matrix<T> a(n, n);
+    for (unsigned r = 0; r < n; ++r)
+      for (unsigned c = 0; c < n; ++c)
+        a(r, c) = C<T>(T(1.0) / T(static_cast<double>(r + c + 1)));  // Hilbert
+    return a;
+  };
+  const std::vector<C<double>> ones_d(n, C<double>(1.0));
+
+  // double
+  Matrix<double> ad = build(double{});
+  const auto xd = linalg::lu_solve(ad, std::span<const C<double>>(ones_d));
+  ASSERT_TRUE(xd.has_value());
+  // solution error vs dd solution is what matters; compute dd version
+  Matrix<DoubleDouble> add = build(DoubleDouble{});
+  std::vector<C<DoubleDouble>> ones_dd(n, C<DoubleDouble>(DoubleDouble(1.0)));
+  const auto xdd = linalg::lu_solve(add, std::span<const C<DoubleDouble>>(ones_dd));
+  ASSERT_TRUE(xdd.has_value());
+
+  // Hilbert 10x10 has condition ~1e13: double keeps ~3 digits, dd ~19.
+  double disagreement = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    const auto dd_as_d = (*xdd)[i].to_double();
+    disagreement = std::max(disagreement, cplx::max_abs_diff((*xd)[i], dd_as_d));
+  }
+  EXPECT_GT(disagreement, 1e-8);  // double visibly corrupted
+  // dd self-consistency: residual in dd arithmetic is tiny relative to
+  // the ~1e4-magnitude solution entries.
+  std::vector<C<DoubleDouble>> back = add.multiply(*xdd);
+  double res_dd = 0.0;
+  for (unsigned i = 0; i < n; ++i)
+    res_dd = std::max(res_dd, cplx::max_abs_diff(back[i], ones_dd[i]));
+  EXPECT_LT(res_dd, 1e-18);
+}
+
+TEST(MaxNorm, ComplexVectors) {
+  const std::vector<C<double>> v = {{1.0, -2.0}, {0.5, 0.5}, {-3.0, 0.0}};
+  EXPECT_DOUBLE_EQ(linalg::max_norm_d<double>(v), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Reproduction guard: the timing model's output must stay inside a band
+// around the paper's published Tables 1 and 2.  This is the regression
+// test for the calibration constants in src/simt/timing.cpp -- any
+// change that breaks the tables' SHAPE (flat GPU column, linear CPU
+// column, rising speedups, k-ordering) or drifts far from the absolute
+// numbers fails here.
+
+#include <gtest/gtest.h>
+
+#include "ad/cpu_evaluator.hpp"
+#include "benchutil/paper_data.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+struct ModeledRow {
+  double gpu_s = 0, cpu_s = 0, speedup = 0;
+};
+
+ModeledRow model_row(const benchutil::PaperWorkload& workload, unsigned monomials) {
+  poly::SystemSpec spec;
+  spec.dimension = workload.dimension;
+  spec.monomials_per_polynomial = monomials / workload.dimension;
+  spec.variables_per_monomial = workload.variables_per_monomial;
+  spec.max_exponent = workload.max_exponent;
+  spec.seed = 20120102 + monomials;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(spec.dimension, 31);
+
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+  const double evals = static_cast<double>(workload.evaluations);
+
+  simt::Device device;
+  core::GpuEvaluator<double> gpu(device, sys);
+  poly::EvalResult<double> r(spec.dimension);
+  gpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+
+  ad::CpuEvaluator<double> cpu(sys);
+  cpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+  const auto& ops = cpu.last_op_counts();
+
+  ModeledRow row;
+  row.gpu_s = simt::estimate_log_us(gpu.last_log(), dspec, gmodel) * evals * 1e-6;
+  row.cpu_s =
+      simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel) * evals * 1e-6;
+  row.speedup = row.cpu_s / row.gpu_s;
+  return row;
+}
+
+class PaperBand : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperBand, EveryRowWithinBand) {
+  const auto workload =
+      GetParam() == 1 ? benchutil::paper_table1() : benchutil::paper_table2();
+  for (const auto& paper : workload.rows) {
+    const auto modeled = model_row(workload, paper.total_monomials);
+    // absolute bands: GPU within 35%, CPU within 20%, speedup within 40%
+    EXPECT_NEAR(modeled.gpu_s / paper.gpu_seconds, 1.0, 0.35)
+        << "GPU, " << paper.total_monomials << " monomials";
+    EXPECT_NEAR(modeled.cpu_s / paper.cpu_seconds, 1.0, 0.20)
+        << "CPU, " << paper.total_monomials << " monomials";
+    EXPECT_NEAR(modeled.speedup / paper.speedup, 1.0, 0.40)
+        << "speedup, " << paper.total_monomials << " monomials";
+  }
+}
+
+TEST_P(PaperBand, ShapeProperties) {
+  const auto workload =
+      GetParam() == 1 ? benchutil::paper_table1() : benchutil::paper_table2();
+  const auto first = model_row(workload, workload.rows.front().total_monomials);
+  const auto last = model_row(workload, workload.rows.back().total_monomials);
+  const double mono_growth = double(workload.rows.back().total_monomials) /
+                             workload.rows.front().total_monomials;
+
+  // GPU sublinear (near-flat), CPU near-linear, speedup strictly rising
+  EXPECT_LT(last.gpu_s / first.gpu_s, 0.6 * mono_growth);
+  EXPECT_NEAR(last.cpu_s / first.cpu_s, mono_growth, 0.15 * mono_growth);
+  EXPECT_GT(last.speedup, first.speedup);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, PaperBand, ::testing::Values(1, 2),
+                         [](const auto& info) {
+                           return "Table" + std::to_string(info.param);
+                         });
+
+TEST(PaperBands, KOrderingAtEqualMonomialCount) {
+  // Table 2's k = 16 beats Table 1's k = 9 at every monomial count.
+  for (const unsigned monomials : {704u, 1024u, 1536u}) {
+    const auto t1 = model_row(benchutil::paper_table1(), monomials);
+    const auto t2 = model_row(benchutil::paper_table2(), monomials);
+    EXPECT_GT(t2.speedup, t1.speedup) << monomials;
+  }
+}
+
+TEST(PaperBands, PublishedDataSelfConsistent) {
+  // The transcribed table data: speedup column == cpu/gpu, up to the
+  // paper's own rounding (CPU times are printed to 0.1 s).
+  for (const auto& workload : {benchutil::paper_table1(), benchutil::paper_table2()}) {
+    for (const auto& row : workload.rows) {
+      EXPECT_NEAR(row.cpu_seconds / row.gpu_seconds, row.speedup, 0.06)
+          << row.total_monomials;
+    }
+  }
+}
+
+}  // namespace

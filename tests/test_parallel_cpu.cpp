@@ -1,0 +1,87 @@
+// The multicore host evaluator (the paper's PASCO-2010 predecessor):
+// exact agreement with the sequential reference, determinism across
+// worker counts, and all precisions.
+
+#include <gtest/gtest.h>
+
+#include "ad/parallel_cpu_evaluator.hpp"
+#include "poly/families.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using prec::DoubleDouble;
+
+template <class S>
+void expect_matches_sequential(const poly::PolynomialSystem& sys, unsigned workers,
+                               std::uint64_t seed) {
+  using C = cplx::Complex<S>;
+  const auto x = poly::make_random_point<S>(sys.dimension(), seed);
+
+  ad::CpuEvaluator<S> sequential(sys);
+  const auto want = sequential.evaluate(std::span<const C>(x));
+
+  ad::ParallelCpuEvaluator<S> parallel(sys, workers);
+  const auto got = parallel.evaluate(std::span<const C>(x));
+
+  // identical per-polynomial accumulation order -> bit-identical results
+  EXPECT_EQ(poly::max_abs_diff(want, got), 0.0);
+}
+
+TEST(ParallelCpu, MatchesSequentialUniform) {
+  poly::SystemSpec spec;
+  spec.dimension = 16;
+  spec.monomials_per_polynomial = 10;
+  spec.variables_per_monomial = 6;
+  spec.max_exponent = 4;
+  const auto sys = poly::make_random_system(spec);
+  for (const unsigned workers : {1u, 2u, 4u, 7u})
+    expect_matches_sequential<double>(sys, workers, 11);
+}
+
+TEST(ParallelCpu, MatchesSequentialIrregular) {
+  expect_matches_sequential<double>(poly::cyclic(6), 3, 13);
+  expect_matches_sequential<double>(poly::katsura(5), 3, 17);
+  expect_matches_sequential<double>(poly::noon(5), 3, 19);
+}
+
+TEST(ParallelCpu, MatchesSequentialDoubleDouble) {
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+  expect_matches_sequential<DoubleDouble>(sys, 4, 23);
+}
+
+TEST(ParallelCpu, DeterministicAcrossRepeats) {
+  poly::SystemSpec spec;
+  spec.dimension = 12;
+  spec.monomials_per_polynomial = 8;
+  spec.variables_per_monomial = 5;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(12, 29);
+
+  ad::ParallelCpuEvaluator<double> eval(sys, 4);
+  const auto first = eval.evaluate(std::span<const cplx::Complex<double>>(x));
+  for (int i = 0; i < 10; ++i) {
+    const auto again = eval.evaluate(std::span<const cplx::Complex<double>>(x));
+    ASSERT_EQ(poly::max_abs_diff(first, again), 0.0) << "repeat " << i;
+  }
+}
+
+TEST(ParallelCpu, ReportsWorkerCount) {
+  poly::SystemSpec spec;
+  spec.dimension = 4;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  const auto sys = poly::make_random_system(spec);
+  ad::ParallelCpuEvaluator<double> eval(sys, 3);
+  EXPECT_EQ(eval.workers(), 3u);
+}
+
+}  // namespace

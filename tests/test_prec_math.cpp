@@ -1,0 +1,155 @@
+// Transcendentals in extended precision: identities exp(log x) == x,
+// log(exp x) == x, functional equations, agreement with hardware double
+// in the leading digits, and precision floors near dd/qd epsilon.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "prec/math.hpp"
+
+namespace {
+
+using polyeval::prec::DoubleDouble;
+using polyeval::prec::QuadDouble;
+
+double dd_err(const DoubleDouble& a, const DoubleDouble& b) {
+  const DoubleDouble d = abs(a - b);
+  const DoubleDouble m = abs(b);
+  return m.is_zero() ? d.to_double() : (d / m).to_double();
+}
+double qd_err(const QuadDouble& a, const QuadDouble& b) {
+  const QuadDouble d = abs(a - b);
+  const QuadDouble m = abs(b);
+  return m.is_zero() ? d.to_double() : (d / m).to_double();
+}
+
+TEST(DoubleDoubleMath, ExpOfZeroOneAndLog2) {
+  EXPECT_EQ(exp(DoubleDouble(0.0)), DoubleDouble(1.0));
+  EXPECT_LT(dd_err(exp(DoubleDouble(1.0)), polyeval::prec::dd_e()), 1e-31);
+  EXPECT_LT(dd_err(exp(polyeval::prec::dd_log2()), DoubleDouble(2.0)), 1e-31);
+}
+
+TEST(DoubleDoubleMath, ExpMatchesDoubleLeadingDigits) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(-20.0, 20.0);
+  for (int i = 0; i < 200; ++i) {
+    const double x = dist(rng);
+    const double lead = exp(DoubleDouble(x)).to_double();
+    EXPECT_NEAR(lead / std::exp(x), 1.0, 1e-14) << x;
+  }
+}
+
+TEST(DoubleDoubleMath, ExpAdditionTheorem) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  for (int i = 0; i < 100; ++i) {
+    const DoubleDouble a(dist(rng)), b(dist(rng));
+    EXPECT_LT(dd_err(exp(a + b), exp(a) * exp(b)), 1e-29);
+  }
+}
+
+TEST(DoubleDoubleMath, LogInvertsExp) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(-30.0, 30.0);
+  for (int i = 0; i < 100; ++i) {
+    const DoubleDouble x(dist(rng));
+    EXPECT_LT(dd_err(log(exp(x)), x), 1e-29);
+  }
+}
+
+TEST(DoubleDoubleMath, ExpInvertsLog) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> dist(1e-6, 1e6);
+  for (int i = 0; i < 100; ++i) {
+    const DoubleDouble x(dist(rng));
+    EXPECT_LT(dd_err(exp(log(x)), x), 1e-29);
+  }
+}
+
+TEST(DoubleDoubleMath, LogRejectsNonPositive) {
+  EXPECT_TRUE(log(DoubleDouble(0.0)).is_nan());
+  EXPECT_TRUE(log(DoubleDouble(-1.0)).is_nan());
+}
+
+TEST(DoubleDoubleMath, ExpSaturates) {
+  EXPECT_TRUE(exp(DoubleDouble(-800.0)).is_zero());
+  EXPECT_TRUE(std::isinf(exp(DoubleDouble(800.0)).to_double()));
+}
+
+TEST(DoubleDoubleMath, PowAgreesWithNpwr) {
+  const DoubleDouble base = DoubleDouble(1.5) + 0x1p-60;
+  for (const int e : {2, 3, 7, 11}) {
+    EXPECT_LT(dd_err(pow(base, DoubleDouble(static_cast<double>(e))), npwr(base, e)),
+              1e-29)
+        << e;
+  }
+}
+
+TEST(DoubleDoubleMath, PowHalfIsSqrt) {
+  const DoubleDouble x(7.25);
+  EXPECT_LT(dd_err(pow(x, DoubleDouble(0.5)), sqrt(x)), 1e-29);
+}
+
+TEST(QuadDoubleMath, ExpOfZeroOneAndLog2) {
+  EXPECT_EQ(exp(QuadDouble(0.0)), QuadDouble(1.0));
+  EXPECT_LT(qd_err(exp(QuadDouble(1.0)), polyeval::prec::qd_e()), 1e-60);
+  EXPECT_LT(qd_err(exp(polyeval::prec::qd_log2()), QuadDouble(2.0)), 1e-60);
+}
+
+TEST(QuadDoubleMath, ExpAdditionTheorem) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  for (int i = 0; i < 50; ++i) {
+    const QuadDouble a(dist(rng)), b(dist(rng));
+    EXPECT_LT(qd_err(exp(a + b), exp(a) * exp(b)), 1e-57);
+  }
+}
+
+TEST(QuadDoubleMath, LogInvertsExp) {
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> dist(-30.0, 30.0);
+  for (int i = 0; i < 50; ++i) {
+    const QuadDouble x(dist(rng));
+    EXPECT_LT(qd_err(log(exp(x)), x), 1e-57);
+  }
+}
+
+TEST(QuadDoubleMath, ExpInvertsLog) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 1e6);
+  for (int i = 0; i < 50; ++i) {
+    const QuadDouble x(dist(rng));
+    EXPECT_LT(qd_err(exp(log(x)), x), 1e-57);
+  }
+}
+
+TEST(QuadDoubleMath, DeepLimbsParticipate) {
+  // exp at 1 + 2^-150: the perturbation is invisible to dd but must
+  // shift the qd result by e * 2^-150.
+  QuadDouble x(1.0);
+  x += 0x1p-150;
+  const QuadDouble shifted = exp(x);
+  const QuadDouble base = exp(QuadDouble(1.0));
+  const QuadDouble diff = shifted - base;
+  // diff ~ e * 2^-150 ~ 1.9e-45
+  EXPECT_GT(diff.to_double(), 1e-46);
+  EXPECT_LT(diff.to_double(), 1e-44);
+}
+
+TEST(QuadDoubleMath, PowGoldenRatioIdentity) {
+  // phi^2 = phi + 1
+  const QuadDouble phi = (QuadDouble(1.0) + sqrt(QuadDouble(5.0))) / 2.0;
+  EXPECT_LT(qd_err(pow(phi, QuadDouble(2.0)), phi + 1.0), 1e-57);
+}
+
+TEST(PrecMath, ConstantsAreSelfConsistent) {
+  // the dd constants are the qd constants truncated
+  EXPECT_EQ(polyeval::prec::dd_log2().hi(), polyeval::prec::qd_log2()[0]);
+  EXPECT_EQ(polyeval::prec::dd_e().hi(), polyeval::prec::qd_e()[0]);
+  EXPECT_NEAR(polyeval::prec::dd_log2().to_double(), std::log(2.0), 1e-16);
+  EXPECT_NEAR(polyeval::prec::dd_e().to_double(), std::exp(1.0), 1e-15);
+}
+
+}  // namespace

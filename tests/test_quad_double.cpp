@@ -1,0 +1,210 @@
+// Quad-double arithmetic: renormalization invariants, ~2^-209 accuracy
+// on algebraic identities, and interaction with double-double.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "prec/quad_double.hpp"
+#include "prec/random.hpp"
+#include "prec/scalar_traits.hpp"
+
+namespace {
+
+using polyeval::prec::DoubleDouble;
+using polyeval::prec::QuadDouble;
+using polyeval::prec::ScalarTraits;
+
+double rel_err(const QuadDouble& actual, const QuadDouble& expected) {
+  const QuadDouble diff = abs(actual - expected);
+  const QuadDouble mag = abs(expected);
+  if (mag.is_zero()) return diff.to_double();
+  return (diff / mag).to_double();
+}
+
+QuadDouble random_qd(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  QuadDouble q(dist(rng));
+  q += dist(rng) * 0x1p-53;
+  q += dist(rng) * 0x1p-106;
+  q += dist(rng) * 0x1p-159;
+  return q;
+}
+
+TEST(QuadDouble, StoresFourLimbs) {
+  QuadDouble q(1.0);
+  q += 0x1p-60;
+  q += 0x1p-120;
+  q += 0x1p-180;
+  EXPECT_EQ(q[0], 1.0);
+  EXPECT_EQ(q[1], 0x1p-60);
+  EXPECT_EQ(q[2], 0x1p-120);
+  EXPECT_EQ(q[3], 0x1p-180);
+}
+
+TEST(QuadDouble, RenormalizationMergesOverlappingLimbs) {
+  // renorm requires roughly-decreasing inputs (quick_two_sum
+  // preconditions); overlapping components must merge into the minimal
+  // representation.
+  const QuadDouble q = QuadDouble::renormed(1.0, 0.5, 0.25, 0.125);
+  EXPECT_EQ(q[0], 1.875);
+  EXPECT_EQ(q[1], 0.0);
+  EXPECT_EQ(q[2], 0.0);
+  EXPECT_EQ(q[3], 0.0);
+
+  const QuadDouble r = QuadDouble::renormed(1.0, 0x1p-60, 0x1p-120, 0x1p-180);
+  EXPECT_EQ(r[0], 1.0);
+  EXPECT_EQ(r[1], 0x1p-60);
+  EXPECT_EQ(r[2], 0x1p-120);
+  EXPECT_EQ(r[3], 0x1p-180);
+}
+
+TEST(QuadDouble, CancellationAcrossAllLimbs) {
+  QuadDouble q(1.0);
+  q += 0x1p-200;
+  const QuadDouble r = q - 1.0;
+  EXPECT_EQ(r[0], 0x1p-200);
+  EXPECT_EQ(r[1], 0.0);
+}
+
+TEST(QuadDouble, AdditionAccuracy) {
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const QuadDouble a = random_qd(rng);
+    const QuadDouble b = random_qd(rng);
+    // (a + b) - b == a to qd accuracy
+    EXPECT_LT(rel_err((a + b) - b, a), 1e-58);
+  }
+}
+
+TEST(QuadDouble, MultiplicationDivisionRoundTrip) {
+  std::mt19937_64 rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    const QuadDouble a = random_qd(rng);
+    QuadDouble b = random_qd(rng);
+    if (std::fabs(b.to_double()) < 1e-3) b += 1.0;
+    EXPECT_LT(rel_err((a * b) / b, a), 1e-57);
+  }
+}
+
+TEST(QuadDouble, MulByDoubleMatchesFullMul) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    const QuadDouble a = random_qd(rng);
+    const double b = dist(rng);
+    EXPECT_LT(rel_err(a * b, a * QuadDouble(b)), 1e-60);
+  }
+}
+
+TEST(QuadDouble, SqrtSquares) {
+  std::mt19937_64 rng(24);
+  std::uniform_real_distribution<double> dist(1e-3, 1e3);
+  for (int i = 0; i < 500; ++i) {
+    QuadDouble a(dist(rng));
+    a += dist(rng) * 0x1p-55;
+    const QuadDouble r = sqrt(a);
+    EXPECT_LT(rel_err(r * r, a), 1e-60);
+  }
+}
+
+TEST(QuadDouble, SqrtTwoSquaredMinusTwo) {
+  const QuadDouble r = sqrt(QuadDouble(2.0));
+  const QuadDouble err = abs(r * r - 2.0);
+  EXPECT_LT(err.to_double(), 1e-62);
+  EXPECT_GT(err.to_double(), 0.0);  // irrational: some residue remains
+}
+
+TEST(QuadDouble, NpwrBinaryExponentiation) {
+  const QuadDouble x = QuadDouble(1.0) + 0x1p-100;
+  QuadDouble by_mult(1.0);
+  for (int i = 0; i < 11; ++i) by_mult *= x;
+  EXPECT_LT(rel_err(npwr(x, 11), by_mult), 1e-58);
+  EXPECT_EQ(npwr(x, 0), QuadDouble(1.0));
+  EXPECT_LT(rel_err(npwr(x, -3) * npwr(x, 3), QuadDouble(1.0)), 1e-58);
+}
+
+TEST(QuadDouble, FloorDeepLimbs) {
+  EXPECT_EQ(floor(QuadDouble(3.7)), QuadDouble(3.0));
+  EXPECT_EQ(floor(QuadDouble(-3.7)), QuadDouble(-4.0));
+  QuadDouble x(0x1p80);
+  x += 0.25;
+  EXPECT_EQ(floor(x), QuadDouble(0x1p80));
+}
+
+TEST(QuadDouble, ComparisonLadder) {
+  QuadDouble a(1.0);
+  QuadDouble b = a + 0x1p-180;
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, QuadDouble(1.0));
+  EXPECT_LT(-b, -a);
+}
+
+TEST(QuadDouble, ToDoubleDoubleTruncates) {
+  QuadDouble q(1.0);
+  q += 0x1p-60;
+  q += 0x1p-120;
+  const DoubleDouble dd = q.to_double_double();
+  EXPECT_EQ(dd.hi(), 1.0);
+  EXPECT_EQ(dd.lo(), 0x1p-60);
+}
+
+TEST(QuadDouble, FromDoubleDoubleWidens) {
+  const DoubleDouble dd = DoubleDouble(1.0) + 0x1p-70;
+  const QuadDouble q(dd);
+  EXPECT_EQ(q[0], 1.0);
+  EXPECT_EQ(q[1], 0x1p-70);
+  EXPECT_EQ(q[2], 0.0);
+}
+
+TEST(QuadDouble, StringRoundTrip) {
+  std::mt19937_64 rng(25);
+  for (int i = 0; i < 20; ++i) {
+    const QuadDouble v = random_qd(rng);
+    QuadDouble parsed;
+    ASSERT_TRUE(from_string(to_string(v), parsed));
+    EXPECT_LT(rel_err(parsed, v), 1e-60);
+  }
+}
+
+TEST(QuadDouble, ParseThirdTimesThree) {
+  QuadDouble third;
+  ASSERT_TRUE(from_string(
+      "0.33333333333333333333333333333333333333333333333333333333333333333",
+      third));
+  EXPECT_LT(abs(third * 3.0 - 1.0).to_double(), 1e-62);
+}
+
+TEST(QuadDouble, PrecisionLadderAgainstDoubleDouble) {
+  // A double-double holds 1 + 2^-150 exactly (its low limb is an
+  // arbitrary double), but 1 + 2^-60 + 2^-150 needs three limbs: the
+  // 2^-150 term falls off dd's second limb while qd keeps it.
+  QuadDouble q(1.0);
+  q += 0x1p-60;
+  q += 0x1p-150;
+  EXPECT_EQ(((q - 1.0) - 0x1p-60).to_double(), 0x1p-150);
+
+  DoubleDouble d(1.0);
+  d += 0x1p-60;
+  d += 0x1p-150;
+  EXPECT_EQ(((d - 1.0) - 0x1p-60).to_double(), 0.0);
+}
+
+TEST(QuadDouble, EpsilonOrdering) {
+  EXPECT_LT(ScalarTraits<QuadDouble>::epsilon, ScalarTraits<DoubleDouble>::epsilon);
+  EXPECT_LT(ScalarTraits<DoubleDouble>::epsilon, ScalarTraits<double>::epsilon);
+}
+
+TEST(QuadDouble, RandomGeneratorFillsDeepLimbs) {
+  polyeval::prec::UniformScalar<QuadDouble> gen(77);
+  bool deep = false;
+  for (int i = 0; i < 32; ++i) {
+    const QuadDouble v = gen();
+    if (v[2] != 0.0 || v[3] != 0.0) deep = true;
+  }
+  EXPECT_TRUE(deep);
+}
+
+}  // namespace

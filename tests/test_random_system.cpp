@@ -1,0 +1,128 @@
+// The workload generator: specs are realized exactly, deterministically,
+// and across the paper's parameter grid.
+
+#include <gtest/gtest.h>
+
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using poly::SystemSpec;
+
+TEST(RandomSystem, RealizesSpecExactly) {
+  SystemSpec spec;
+  spec.dimension = 12;
+  spec.monomials_per_polynomial = 7;
+  spec.variables_per_monomial = 5;
+  spec.max_exponent = 4;
+  const auto sys = poly::make_random_system(spec);
+  const auto s = sys.uniform_structure();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, spec.structure());
+}
+
+TEST(RandomSystem, DeterministicForSameSeed) {
+  SystemSpec spec;
+  spec.dimension = 6;
+  spec.monomials_per_polynomial = 4;
+  spec.variables_per_monomial = 3;
+  spec.max_exponent = 2;
+  spec.seed = 12345;
+  const auto a = poly::make_random_system(spec);
+  const auto b = poly::make_random_system(spec);
+  for (unsigned p = 0; p < spec.dimension; ++p) {
+    ASSERT_EQ(a.polynomial(p).monomials(), b.polynomial(p).monomials());
+  }
+}
+
+TEST(RandomSystem, DifferentSeedsDiffer) {
+  SystemSpec spec;
+  spec.dimension = 6;
+  spec.monomials_per_polynomial = 4;
+  spec.variables_per_monomial = 3;
+  spec.max_exponent = 2;
+  spec.seed = 1;
+  const auto a = poly::make_random_system(spec);
+  spec.seed = 2;
+  const auto b = poly::make_random_system(spec);
+  bool any_diff = false;
+  for (unsigned p = 0; p < spec.dimension && !any_diff; ++p)
+    any_diff = !(a.polynomial(p).monomials() == b.polynomial(p).monomials());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomSystem, DistinctVariablesWithinMonomial) {
+  SystemSpec spec;
+  spec.dimension = 10;
+  spec.monomials_per_polynomial = 20;
+  spec.variables_per_monomial = 9;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+  for (const auto& p : sys.polynomials()) {
+    for (const auto& mono : p.monomials()) {
+      const auto& f = mono.factors();
+      for (std::size_t i = 1; i < f.size(); ++i) EXPECT_LT(f[i - 1].var, f[i].var);
+      for (const auto& vp : f) {
+        EXPECT_GE(vp.exp, 1u);
+        EXPECT_LE(vp.exp, spec.max_exponent);
+        EXPECT_LT(vp.var, spec.dimension);
+      }
+    }
+  }
+}
+
+TEST(RandomSystem, UnitCoefficientsOnCircle) {
+  SystemSpec spec;
+  spec.dimension = 4;
+  spec.monomials_per_polynomial = 5;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.unit_coefficients = true;
+  const auto sys = poly::make_random_system(spec);
+  for (const auto& p : sys.polynomials())
+    for (const auto& mono : p.monomials())
+      EXPECT_NEAR(cplx::norm_sqr(mono.coefficient()), 1.0, 1e-12);
+}
+
+TEST(RandomSystem, PaperWorkloadsRealizable) {
+  // Table 1 and 2 shapes, including the largest (1536 monomials).
+  for (const unsigned m : {22u, 32u, 48u}) {
+    for (const auto& [k, d] : {std::pair{9u, 2u}, std::pair{16u, 10u}}) {
+      SystemSpec spec;
+      spec.dimension = 32;
+      spec.monomials_per_polynomial = m;
+      spec.variables_per_monomial = k;
+      spec.max_exponent = d;
+      const auto sys = poly::make_random_system(spec);
+      const auto s = sys.uniform_structure();
+      ASSERT_TRUE(s.has_value());
+      EXPECT_EQ(s->total_monomials(), 32 * m);
+      EXPECT_EQ(s->k, k);
+      EXPECT_EQ(s->d, d);
+    }
+  }
+}
+
+TEST(RandomSystem, RejectsInvalidSpecs) {
+  SystemSpec spec;
+  spec.dimension = 4;
+  spec.variables_per_monomial = 5;  // k > n
+  EXPECT_THROW(poly::make_random_system(spec), std::invalid_argument);
+  spec.variables_per_monomial = 0;
+  EXPECT_THROW(poly::make_random_system(spec), std::invalid_argument);
+}
+
+TEST(RandomPoint, DeterministicAndNearUnitCircle) {
+  const auto a = poly::make_random_point<double>(8, 5);
+  const auto b = poly::make_random_point<double>(8, 5);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    const double r2 = cplx::norm_sqr(a[i]);
+    EXPECT_GT(r2, 0.7 * 0.7 - 1e-12);
+    EXPECT_LT(r2, 1.3 * 1.3 + 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,381 @@
+// The SIMT engine: launch geometry, phase barriers, coalescing analysis,
+// shared-memory bank conflicts, divergence accounting and occupancy.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace polyeval::simt;
+
+TEST(Launch, ValidatesConfiguration) {
+  Device device;
+  Kernel noop{"noop", {[](ThreadContext&) {}}};
+  EXPECT_THROW((void)device.launch(noop, {0, 32, 0}), LaunchError);
+  EXPECT_THROW((void)device.launch(noop, {1, 0, 0}), LaunchError);
+  EXPECT_THROW((void)device.launch(noop, {1, 2048, 0}), LaunchError);  // > 1024
+  EXPECT_THROW((void)device.launch(noop, {1, 32, 50000}), LaunchError);  // > 48K shared
+  EXPECT_NO_THROW((void)device.launch(noop, {1, 32, 49152}));
+}
+
+TEST(Launch, ThreadIdentitiesCoverTheGrid) {
+  Device device;
+  auto buf = device.alloc_global<int>(4 * 64, "ids");
+  device.fill(buf, -1);
+  Kernel kernel{"ids",
+                {[buf](ThreadContext& ctx) {
+                  ctx.store(buf, ctx.global_thread_index(),
+                            static_cast<int>(ctx.block_index() * 1000 + ctx.thread_index()));
+                }}};
+  (void)device.launch(kernel, {4, 64, 0});
+  std::vector<int> host(4 * 64);
+  device.download(buf, std::span<int>(host));
+  for (unsigned b = 0; b < 4; ++b)
+    for (unsigned t = 0; t < 64; ++t)
+      EXPECT_EQ(host[b * 64 + t], static_cast<int>(b * 1000 + t));
+}
+
+TEST(Launch, LaneAndWarpDerivedFromThread) {
+  Device device;
+  auto lanes = device.alloc_global<unsigned>(64, "lanes");
+  auto warps = device.alloc_global<unsigned>(64, "warps");
+  Kernel kernel{"lanes",
+                {[lanes, warps](ThreadContext& ctx) {
+                  ctx.store(lanes, ctx.thread_index(), ctx.lane());
+                  ctx.store(warps, ctx.thread_index(), ctx.warp());
+                }}};
+  (void)device.launch(kernel, {1, 64, 0});
+  for (unsigned t = 0; t < 64; ++t) {
+    EXPECT_EQ(lanes.raw()[t], t % 32);
+    EXPECT_EQ(warps.raw()[t], t / 32);
+  }
+}
+
+TEST(Launch, PhasesActAsBarriers) {
+  // Phase 1 writes shared; phase 2 reads a *different* thread's slot.
+  // Without a barrier between phases this would read garbage.
+  Device device;
+  const unsigned b = 32;
+  auto out = device.alloc_global<int>(b, "out");
+  Kernel kernel{"barrier",
+                {
+                    [](ThreadContext& ctx) {
+                      auto sh = ctx.shared_array<int>(0, 32);
+                      sh.set(ctx.thread_index(), static_cast<int>(ctx.thread_index()) + 100);
+                    },
+                    [out](ThreadContext& ctx) {
+                      auto sh = ctx.shared_array<int>(0, 32);
+                      const unsigned other = 31 - ctx.thread_index();
+                      ctx.store(out, ctx.thread_index(), sh.get(other));
+                    },
+                }};
+  (void)device.launch(kernel, {1, b, 32 * sizeof(int)});
+  for (unsigned t = 0; t < b; ++t) EXPECT_EQ(out.raw()[t], static_cast<int>(131 - t));
+}
+
+TEST(Launch, SharedMemoryIsPerBlock) {
+  // Each block writes its block index into shared and reads it back;
+  // blocks must not see each other's values.
+  Device device;
+  auto out = device.alloc_global<int>(8 * 32, "out");
+  Kernel kernel{"per_block",
+                {
+                    [](ThreadContext& ctx) {
+                      auto sh = ctx.shared_array<int>(0, 1);
+                      if (ctx.thread_index() == 0)
+                        sh.set(0, static_cast<int>(ctx.block_index()));
+                    },
+                    [out](ThreadContext& ctx) {
+                      auto sh = ctx.shared_array<int>(0, 1);
+                      ctx.store(out, ctx.global_thread_index(), sh.get(0));
+                    },
+                }};
+  (void)device.launch(kernel, {8, 32, sizeof(int)});
+  for (unsigned b = 0; b < 8; ++b)
+    for (unsigned t = 0; t < 32; ++t)
+      EXPECT_EQ(out.raw()[b * 32 + t], static_cast<int>(b));
+}
+
+TEST(Stats, OpCountsAndPerThreadMax) {
+  Device device;
+  Kernel kernel{"ops", {[](ThreadContext& ctx) {
+                  ctx.op_cmul(ctx.thread_index() + 1);  // thread t: t+1 muls
+                  ctx.op_cadd(2);
+                }}};
+  const auto stats = device.launch(kernel, {1, 4, 0});
+  EXPECT_EQ(stats.complex_mul_total, 1u + 2 + 3 + 4);
+  EXPECT_EQ(stats.complex_add_total, 8u);
+  EXPECT_EQ(stats.complex_mul_per_thread_max, 4u);
+  EXPECT_EQ(stats.complex_add_per_thread_max, 2u);
+}
+
+TEST(Coalescing, ConsecutiveDoublesAreMinimal) {
+  // 32 lanes x 8 bytes consecutive = 256 bytes = 2 segments of 128.
+  Device device;
+  auto buf = device.alloc_global<double>(32, "data");
+  Kernel kernel{"coalesced", {[buf](ThreadContext& ctx) {
+                  (void)ctx.load(buf, ctx.thread_index());
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 0});
+  EXPECT_EQ(stats.global_load_requests, 1u);
+  EXPECT_EQ(stats.global_load_transactions, 2u);
+  EXPECT_EQ(stats.global_bytes_loaded, 256u);
+}
+
+TEST(Coalescing, StridedAccessExplodes) {
+  // stride of 128 bytes: every lane touches its own segment.
+  Device device;
+  auto buf = device.alloc_global<double>(32 * 16, "data");
+  Kernel kernel{"strided", {[buf](ThreadContext& ctx) {
+                  (void)ctx.load(buf, std::size_t{ctx.thread_index()} * 16);
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 0});
+  EXPECT_EQ(stats.global_load_requests, 1u);
+  EXPECT_EQ(stats.global_load_transactions, 32u);
+  EXPECT_LT(stats.load_coalescing_ratio(), 0.04);
+}
+
+TEST(Coalescing, BroadcastIsOneTransaction) {
+  Device device;
+  auto buf = device.alloc_global<double>(4, "data");
+  Kernel kernel{"broadcast",
+                {[buf](ThreadContext& ctx) { (void)ctx.load(buf, 0); }}};
+  const auto stats = device.launch(kernel, {1, 32, 0});
+  EXPECT_EQ(stats.global_load_transactions, 1u);
+}
+
+TEST(Coalescing, StoresTrackedSeparately) {
+  Device device;
+  auto buf = device.alloc_global<double>(64, "data");
+  Kernel kernel{"stores", {[buf](ThreadContext& ctx) {
+                  ctx.store(buf, ctx.thread_index(), 1.0);
+                  ctx.store(buf, 32 + ctx.thread_index(), 2.0);
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 0});
+  EXPECT_EQ(stats.global_store_requests, 2u);
+  EXPECT_EQ(stats.global_store_transactions, 4u);  // 2 coalesced stores
+  EXPECT_EQ(stats.global_load_requests, 0u);
+}
+
+TEST(Coalescing, OrdinalGroupingSeparatesInstructions) {
+  // Two loads per lane at very different addresses: must form TWO
+  // requests (grouped by ordinal), each coalesced -- not one scattered
+  // request.
+  Device device;
+  auto buf = device.alloc_global<double>(1024, "data");
+  Kernel kernel{"two_loads", {[buf](ThreadContext& ctx) {
+                  (void)ctx.load(buf, ctx.thread_index());
+                  (void)ctx.load(buf, 512 + ctx.thread_index());
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 0});
+  EXPECT_EQ(stats.global_load_requests, 2u);
+  EXPECT_EQ(stats.global_load_transactions, 4u);
+}
+
+TEST(BankConflicts, ConflictFreeUnitStride) {
+  // lane i accesses word i: all 32 banks hit once.
+  Device device;
+  Kernel kernel{"unit", {[](ThreadContext& ctx) {
+                  auto sh = ctx.shared_array<float>(0, 32);
+                  sh.set(ctx.thread_index(), 1.0f);
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 32 * sizeof(float)});
+  EXPECT_EQ(stats.shared_requests, 1u);
+  EXPECT_EQ(stats.shared_cycles, 1u);
+  EXPECT_EQ(stats.bank_conflict_cycles(), 0u);
+}
+
+TEST(BankConflicts, Stride32IsWorstCase) {
+  // lane i accesses word 32*i: all lanes in bank 0 -> 32-way conflict.
+  Device device;
+  Kernel kernel{"worst", {[](ThreadContext& ctx) {
+                  auto sh = ctx.shared_array<float>(0, 32 * 32);
+                  sh.set(std::size_t{ctx.thread_index()} * 32, 1.0f);
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 32 * 32 * sizeof(float)});
+  EXPECT_EQ(stats.shared_requests, 1u);
+  EXPECT_EQ(stats.shared_cycles, 32u);
+  EXPECT_EQ(stats.bank_conflict_cycles(), 31u);
+}
+
+TEST(BankConflicts, SameWordBroadcasts) {
+  Device device;
+  Kernel kernel{"bcast", {[](ThreadContext& ctx) {
+                  auto sh = ctx.shared_array<float>(0, 32);
+                  (void)ctx.thread_index();
+                  (void)sh.get(7);
+                }}};
+  const auto stats = device.launch(kernel, {1, 32, 32 * sizeof(float)});
+  EXPECT_EQ(stats.shared_cycles, 1u);  // broadcast, no serialization
+}
+
+TEST(Divergence, InactiveLanesAreCounted) {
+  Device device;
+  Kernel kernel{"tail", {[](ThreadContext& ctx) {
+                  if (ctx.global_thread_index() >= 40) ctx.mark_inactive();
+                }}};
+  const auto stats = device.launch(kernel, {2, 32, 0});  // 64 threads, 40 active
+  EXPECT_EQ(stats.inactive_lane_phases, 24u);
+}
+
+TEST(Occupancy, SharedMemoryLimitsResidency) {
+  Device device;
+  Kernel noop{"noop", {[](ThreadContext&) {}}};
+  // 20 KB per block: only 2 blocks fit in 48 KB.
+  auto stats = device.launch(noop, {28, 32, 20 * 1024});
+  EXPECT_EQ(stats.concurrent_blocks_per_sm, 2u);
+  EXPECT_EQ(stats.waves, 1u);  // 28 blocks <= 14 SMs * 2
+  // tiny blocks: the Fermi max of 8 applies
+  stats = device.launch(noop, {1000, 32, 0});
+  EXPECT_EQ(stats.concurrent_blocks_per_sm, 8u);
+  EXPECT_EQ(stats.waves, 9u);  // ceil(1000 / 112)
+}
+
+TEST(Occupancy, ThreadLimitCapsResidency) {
+  Device device;
+  Kernel noop{"noop", {[](ThreadContext&) {}}};
+  // 1024-thread blocks: 1536/1024 -> 1 resident block per SM.
+  const auto stats = device.launch(noop, {14, 1024, 0});
+  EXPECT_EQ(stats.concurrent_blocks_per_sm, 1u);
+  EXPECT_EQ(stats.warps_per_block, 32u);
+}
+
+TEST(Occupancy, BusiestSmSerialization) {
+  Device device;
+  Kernel noop{"noop", {[](ThreadContext&) {}}};
+  // 22 blocks of one warp each over 14 SMs: busiest SM has 2 warps.
+  const auto stats = device.launch(noop, {22, 32, 0});
+  EXPECT_EQ(stats.warps_on_busiest_sm, 2u);
+}
+
+TEST(Launch, DeterministicAcrossRuns) {
+  // Blocks run on a pool: results and stats must not depend on timing.
+  Device device;
+  auto buf = device.alloc_global<double>(256, "acc");
+  Kernel kernel{"work", {[buf](ThreadContext& ctx) {
+                  const auto i = ctx.global_thread_index();
+                  ctx.store(buf, i, static_cast<double>(i) * 1.5);
+                  ctx.op_cmul(3);
+                }}};
+  const auto s1 = device.launch(kernel, {8, 32, 0});
+  std::vector<double> first(256);
+  device.download(buf, std::span<double>(first));
+  const auto s2 = device.launch(kernel, {8, 32, 0});
+  std::vector<double> second(256);
+  device.download(buf, std::span<double>(second));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(s1.complex_mul_total, s2.complex_mul_total);
+  EXPECT_EQ(s1.global_store_transactions, s2.global_store_transactions);
+}
+
+TEST(Launch, LogAccumulatesKernels) {
+  Device device;
+  Kernel noop{"first", {[](ThreadContext&) {}}};
+  Kernel noop2{"second", {[](ThreadContext&) {}}};
+  (void)device.launch(noop, {1, 32, 0});
+  (void)device.launch(noop2, {1, 32, 0});
+  ASSERT_EQ(device.log().kernels.size(), 2u);
+  EXPECT_EQ(device.log().kernels[0].kernel, "first");
+  EXPECT_EQ(device.log().kernels[1].kernel, "second");
+  device.clear_log();
+  EXPECT_TRUE(device.log().kernels.empty());
+}
+
+TEST(RaceDetection, SharedWriteWriteHazardThrows) {
+  // every thread writes shared word 0 in the same phase
+  Device device;
+  Kernel racy{"racy_shared", {[](ThreadContext& ctx) {
+                auto sh = ctx.shared_array<int>(0, 1);
+                sh.set(0, static_cast<int>(ctx.thread_index()));
+              }}};
+  EXPECT_THROW((void)device.launch(racy, {1, 32, sizeof(int)}), LaunchError);
+}
+
+TEST(RaceDetection, SharedReadWriteHazardThrows) {
+  // thread 0 writes the word every other thread reads, no barrier between
+  Device device;
+  Kernel racy{"racy_rw", {[](ThreadContext& ctx) {
+                auto sh = ctx.shared_array<int>(0, 1);
+                if (ctx.thread_index() == 0)
+                  sh.set(0, 7);
+                else
+                  (void)sh.get(0);
+              }}};
+  EXPECT_THROW((void)device.launch(racy, {1, 32, sizeof(int)}), LaunchError);
+}
+
+TEST(RaceDetection, BarrierSeparatedAccessesAreClean) {
+  // the same pattern split across phases is the CORRECT idiom
+  Device device;
+  Kernel clean{"clean",
+               {
+                   [](ThreadContext& ctx) {
+                     auto sh = ctx.shared_array<int>(0, 1);
+                     if (ctx.thread_index() == 0) sh.set(0, 7);
+                   },
+                   [](ThreadContext& ctx) {
+                     auto sh = ctx.shared_array<int>(0, 1);
+                     (void)sh.get(0);
+                   },
+               }};
+  EXPECT_NO_THROW((void)device.launch(clean, {1, 32, sizeof(int)}));
+}
+
+TEST(RaceDetection, GlobalDoubleWriteThrows) {
+  Device device;
+  auto buf = device.alloc_global<int>(4, "shared_slot");
+  Kernel racy{"racy_global", {[buf](ThreadContext& ctx) {
+                ctx.store(buf, 0, static_cast<int>(ctx.global_thread_index()));
+              }}};
+  EXPECT_THROW((void)device.launch(racy, {2, 32, 0}), LaunchError);
+}
+
+TEST(RaceDetection, GlobalDoubleWriteAcrossBlocksDetected) {
+  // blocks write overlapping ranges: thread t of each block writes t
+  Device device;
+  auto buf = device.alloc_global<int>(32, "overlap");
+  Kernel racy{"racy_blocks", {[buf](ThreadContext& ctx) {
+                ctx.store(buf, ctx.thread_index(), 1);
+              }}};
+  EXPECT_THROW((void)device.launch(racy, {2, 32, 0}), LaunchError);
+  // the same kernel with one block is fine
+  EXPECT_NO_THROW((void)device.launch(racy, {1, 32, 0}));
+}
+
+TEST(RaceDetection, OptOutRecordsInsteadOfThrowing) {
+  Device device;
+  Kernel racy{"racy_shared", {[](ThreadContext& ctx) {
+                auto sh = ctx.shared_array<int>(0, 1);
+                sh.set(0, static_cast<int>(ctx.thread_index()));
+              }}};
+  LaunchConfig cfg{1, 32, sizeof(int)};
+  cfg.detect_races = false;
+  EXPECT_NO_THROW((void)device.launch(racy, cfg));
+}
+
+TEST(RaceDetection, SameThreadRepeatedWritesAreClean) {
+  Device device;
+  Kernel clean{"accumulate", {[](ThreadContext& ctx) {
+                 auto sh = ctx.shared_array<int>(0, 32);
+                 for (int i = 0; i < 4; ++i) sh.set(ctx.thread_index(), i);
+               }}};
+  EXPECT_NO_THROW((void)device.launch(clean, {1, 32, 32 * sizeof(int)}));
+}
+
+TEST(Launch, PartialLastWarpStillGrouped) {
+  // 40 threads = one full warp + one 8-lane warp; accesses still coalesce
+  // within each warp.
+  Device device;
+  auto buf = device.alloc_global<double>(64, "data");
+  Kernel kernel{"partial", {[buf](ThreadContext& ctx) {
+                  (void)ctx.load(buf, ctx.thread_index());
+                }}};
+  const auto stats = device.launch(kernel, {1, 40, 0});
+  EXPECT_EQ(stats.global_load_requests, 2u);   // two warps
+  EXPECT_EQ(stats.global_load_transactions, 3u);  // 2 + 1 segments
+}
+
+}  // namespace

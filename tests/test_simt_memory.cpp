@@ -1,0 +1,148 @@
+// Simulator memory spaces: allocation accounting, the 64 KB constant
+// budget (with the toolchain reservation), alignment, and transfer
+// tracking.
+
+#include <gtest/gtest.h>
+
+#include "simt/device.hpp"
+
+namespace {
+
+using namespace polyeval::simt;
+
+TEST(GlobalMemory, AllocatesAndTracksUsage) {
+  GlobalMemory mem(1 << 20);
+  EXPECT_EQ(mem.used(), 0u);
+  auto buf = mem.allocate<double>(100, "test");
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_GE(mem.used(), 800u);
+  EXPECT_EQ(buf.name(), "test");
+}
+
+TEST(GlobalMemory, AddressesAre256Aligned) {
+  GlobalMemory mem(1 << 20);
+  auto a = mem.allocate<char>(3, "a");
+  auto b = mem.allocate<char>(5, "b");
+  EXPECT_EQ(a.device_address() % 256, 0u);
+  EXPECT_EQ(b.device_address() % 256, 0u);
+  EXPECT_NE(a.device_address(), b.device_address());
+}
+
+TEST(GlobalMemory, ThrowsWhenExhausted) {
+  GlobalMemory mem(1024);
+  (void)mem.allocate<double>(64, "fits");  // 512 bytes
+  EXPECT_THROW((void)mem.allocate<double>(512, "too big"), OutOfMemory);
+}
+
+TEST(GlobalMemory, ResetReclaimsEverything) {
+  GlobalMemory mem(1024);
+  (void)mem.allocate<double>(64, "x");
+  mem.reset();
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_NO_THROW((void)mem.allocate<double>(64, "again"));
+}
+
+TEST(ConstantMemory, EnforcesBudgetExactly) {
+  ConstantMemory cmem(100);
+  (void)cmem.allocate<unsigned char>(60, "a");
+  EXPECT_EQ(cmem.remaining(), 40u);
+  EXPECT_THROW((void)cmem.allocate<unsigned char>(41, "b"), ConstantMemoryOverflow);
+  EXPECT_NO_THROW((void)cmem.allocate<unsigned char>(40, "c"));
+  EXPECT_EQ(cmem.remaining(), 0u);
+}
+
+TEST(ConstantMemory, OverflowMessageNamesTheBuffer) {
+  ConstantMemory cmem(10);
+  try {
+    (void)cmem.allocate<unsigned char>(11, "Positions");
+    FAIL() << "expected overflow";
+  } catch (const ConstantMemoryOverflow& e) {
+    EXPECT_NE(std::string(e.what()).find("Positions"), std::string::npos);
+  }
+}
+
+TEST(Device, ConstantCapacityIsSpecMinusReserved) {
+  Device device;  // Tesla C2050 defaults
+  const auto& spec = device.spec();
+  EXPECT_EQ(spec.constant_memory_bytes, 65536u);
+  EXPECT_EQ(device.constant_bytes_remaining(),
+            spec.constant_memory_bytes - spec.constant_reserved_bytes);
+}
+
+TEST(Device, TeslaC2050Defaults) {
+  const auto spec = DeviceSpec::tesla_c2050();
+  EXPECT_EQ(spec.multiprocessors, 14u);
+  EXPECT_EQ(spec.cores_per_sm, 32u);
+  EXPECT_EQ(spec.total_cores(), 448u);
+  EXPECT_EQ(spec.warp_size, 32u);
+  EXPECT_EQ(spec.shared_memory_per_block, 49152u);
+  EXPECT_DOUBLE_EQ(spec.core_clock_mhz, 1147.0);
+}
+
+TEST(Device, UploadDownloadRoundTripAndAccounting) {
+  Device device;
+  auto buf = device.alloc_global<double>(8, "data");
+  const std::vector<double> host = {1, 2, 3, 4, 5, 6, 7, 8};
+  device.upload(buf, std::span<const double>(host));
+  std::vector<double> back(8);
+  device.download(buf, std::span<double>(back));
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(device.log().transfers.bytes_to_device, 64u);
+  EXPECT_EQ(device.log().transfers.bytes_from_device, 64u);
+  EXPECT_EQ(device.log().transfers.transfers_to_device, 1u);
+  EXPECT_EQ(device.log().transfers.transfers_from_device, 1u);
+}
+
+TEST(Device, FillIsNotPcieTraffic) {
+  Device device;
+  auto buf = device.alloc_global<int>(16, "zeros");
+  device.fill(buf, 7);
+  std::vector<int> back(16);
+  device.download(buf, std::span<int>(back));
+  for (const int v : back) EXPECT_EQ(v, 7);
+  EXPECT_EQ(device.log().transfers.bytes_to_device, 0u);
+}
+
+TEST(Device, ConstantUploadRoundTrip) {
+  Device device;
+  auto buf = device.alloc_constant<unsigned char>(4, "enc");
+  const std::vector<unsigned char> host = {9, 8, 7, 6};
+  device.upload_constant(buf, std::span<const unsigned char>(host));
+  EXPECT_EQ(buf.raw()[0], 9);
+  EXPECT_EQ(buf.raw()[3], 6);
+}
+
+TEST(SharedSpace, BoundsAndAlignmentChecks) {
+  SharedSpace shared(64);
+  EXPECT_NO_THROW((void)shared.typed<double>(0, 8));
+  EXPECT_THROW((void)shared.typed<double>(0, 9), LaunchError);
+  EXPECT_THROW((void)shared.typed<double>(4, 1), LaunchError);  // misaligned
+  EXPECT_NO_THROW((void)shared.typed<double>(56, 1));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // pool still usable afterwards
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for(0, [&](std::size_t) { FAIL(); }));
+}
+
+}  // namespace

@@ -1,0 +1,41 @@
+// End-to-end smoke test: the GPU pipeline agrees with the naive oracle
+// and the CPU reference on a small random uniform system.
+
+#include <gtest/gtest.h>
+
+#include "ad/cpu_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+TEST(Smoke, GpuMatchesNaiveAndCpu) {
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  spec.seed = 42;
+  const auto system = poly::make_random_system(spec);
+  ASSERT_TRUE(system.uniform_structure().has_value());
+
+  const auto x = poly::make_random_point<double>(spec.dimension, 7);
+
+  poly::EvalResult<double> naive(spec.dimension);
+  system.evaluate_naive<double>(x, naive.values, naive.jacobian);
+
+  ad::CpuEvaluator<double> cpu(system);
+  const auto cpu_result = cpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  simt::Device device;
+  core::GpuEvaluator<double> gpu(device, system);
+  const auto gpu_result = gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+
+  EXPECT_LT(poly::max_abs_diff(naive, cpu_result), 1e-10);
+  EXPECT_LT(poly::max_abs_diff(naive, gpu_result), 1e-10);
+  EXPECT_EQ(gpu.last_log().kernels.size(), 3u);
+}
+
+}  // namespace

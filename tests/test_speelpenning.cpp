@@ -1,0 +1,106 @@
+// The example of Speelpenning: the forward/backward gradient equals the
+// naive all-but-one products for every k, at the paper's advertised
+// multiplication count 3k-6.
+
+#include <gtest/gtest.h>
+
+#include "ad/op_count.hpp"
+#include "ad/speelpenning.hpp"
+#include "cplx/complex.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+using Cdd = cplx::Complex<prec::DoubleDouble>;
+
+class SpeelpenningSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SpeelpenningSweep, MatchesNaiveGradient) {
+  const unsigned k = GetParam();
+  cplx::UniformComplex<double> gen(1000 + k);
+  std::vector<Cd> v(k);
+  for (auto& z : v) z = gen();
+
+  std::vector<Cd> fast(k), naive(k);
+  const auto fast_mults = ad::speelpenning_gradient(std::span<const Cd>(v), std::span<Cd>(fast));
+  (void)ad::speelpenning_gradient_naive(std::span<const Cd>(v), std::span<Cd>(naive));
+
+  for (unsigned j = 0; j < k; ++j)
+    EXPECT_LT(cplx::max_abs_diff(fast[j], naive[j]), 1e-12) << "k=" << k << " j=" << j;
+  EXPECT_EQ(fast_mults, ad::formulas::speelpenning_mults(k));
+}
+
+TEST_P(SpeelpenningSweep, MultiplicationCountsAreTight) {
+  const unsigned k = GetParam();
+  // the closed forms of the paper
+  if (k >= 3) {
+    EXPECT_EQ(ad::formulas::speelpenning_mults(k), 3u * k - 6u);
+    EXPECT_EQ(ad::formulas::kernel2_mults(k), 5u * k - 4u);
+  }
+  // naive costs k*(k-2) multiplications for k >= 2: strictly worse for k > 4
+  if (k > 4) {
+    std::vector<Cd> v(k, Cd{1.0, 0.0}), out(k);
+    const auto naive =
+        ad::speelpenning_gradient_naive(std::span<const Cd>(v), std::span<Cd>(out));
+    EXPECT_GT(naive, ad::formulas::speelpenning_mults(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, SpeelpenningSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 12u,
+                                           16u, 24u, 33u));
+
+TEST(Speelpenning, GradientOfKnownProduct) {
+  // v = (2, 3, 5): product 30; gradient (15, 10, 6).
+  const std::vector<Cd> v = {{2.0, 0.0}, {3.0, 0.0}, {5.0, 0.0}};
+  std::vector<Cd> g(3);
+  (void)ad::speelpenning_gradient(std::span<const Cd>(v), std::span<Cd>(g));
+  EXPECT_DOUBLE_EQ(g[0].re(), 15.0);
+  EXPECT_DOUBLE_EQ(g[1].re(), 10.0);
+  EXPECT_DOUBLE_EQ(g[2].re(), 6.0);
+}
+
+TEST(Speelpenning, SingleFactorGradientIsOne) {
+  const std::vector<Cd> v = {{7.0, 0.0}};
+  std::vector<Cd> g(1);
+  EXPECT_EQ(ad::speelpenning_gradient(std::span<const Cd>(v), std::span<Cd>(g)), 0u);
+  EXPECT_DOUBLE_EQ(g[0].re(), 1.0);
+}
+
+TEST(Speelpenning, TwoFactorsSwap) {
+  const std::vector<Cd> v = {{2.0, 1.0}, {-3.0, 4.0}};
+  std::vector<Cd> g(2);
+  EXPECT_EQ(ad::speelpenning_gradient(std::span<const Cd>(v), std::span<Cd>(g)), 0u);
+  EXPECT_EQ(g[0], v[1]);
+  EXPECT_EQ(g[1], v[0]);
+}
+
+TEST(Speelpenning, WorksInDoubleDouble) {
+  // values 1 + tiny: gradient entries are products of k-1 factors whose
+  // tiny parts only double-double can hold.
+  const unsigned k = 6;
+  std::vector<Cdd> v(k), g(k), naive(k);
+  for (unsigned i = 0; i < k; ++i)
+    v[i] = Cdd(prec::DoubleDouble(1.0) + (i + 1) * 0x1p-70, prec::DoubleDouble(0.0));
+  (void)ad::speelpenning_gradient(std::span<const Cdd>(v), std::span<Cdd>(g));
+  (void)ad::speelpenning_gradient_naive(std::span<const Cdd>(v), std::span<Cdd>(naive));
+  for (unsigned j = 0; j < k; ++j)
+    EXPECT_LT(cplx::max_abs_diff(g[j], naive[j]), 1e-30);
+  // and the perturbations really survived
+  EXPECT_GT((g[0].re() - 1.0).to_double(), 0x1p-70);
+}
+
+TEST(OpCountFormulas, EvaluationTotals) {
+  using namespace ad::formulas;
+  // n=32, m=32, k=9, d=2 (Table 1, 1024 monomials):
+  // powers: d=2 -> none; per monomial: (k-1) + (5k-4) = 8 + 41.
+  EXPECT_EQ(evaluation_mults(32, 32, 9, 2), 1024u * 49u);
+  // Table 2: k=16, d=10: powers 32*8, per monomial 15 + 76.
+  EXPECT_EQ(evaluation_mults(32, 32, 16, 10), 32u * 8u + 1024u * 91u);
+  // CPU adds skip zeros; GPU adds cover all n^2+n outputs.
+  EXPECT_EQ(evaluation_adds_cpu(32, 32, 9), 1024u * 10u);
+  EXPECT_EQ(evaluation_adds_gpu(32, 32), (32u * 32u + 32u) * 31u);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// The analytic timing model: structural properties that make the paper's
+// tables come out right -- near-flat GPU times dominated by launch
+// overhead, linear CPU times, speedups growing with monomial count and
+// with k, and sane behaviour of every term.
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_evaluator.hpp"
+#include "ad/cpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/timing.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+simt::LaunchLog eval_log(unsigned n, unsigned m, unsigned k, unsigned d) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(n, 3);
+  simt::Device device;
+  core::GpuEvaluator<double> gpu(device, sys);
+  (void)gpu.evaluate(std::span<const cplx::Complex<double>>(x));
+  return gpu.last_log();
+}
+
+ad::OpCounts cpu_ops(unsigned n, unsigned m, unsigned k, unsigned d) {
+  return {ad::formulas::evaluation_mults(n, m, k, d),
+          ad::formulas::evaluation_adds_cpu(n, m, k)};
+}
+
+TEST(TimingModel, LaunchOverheadDominatesSmallGrids) {
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel model;
+  const auto log = eval_log(32, 22, 9, 2);
+  const double total = simt::estimate_log_us(log, spec, model);
+  // three launches at 40 us each: at least 120 of the total
+  EXPECT_GE(total, 3 * model.launch_overhead_us);
+  EXPECT_LT(total, 3 * model.launch_overhead_us + 150.0);
+}
+
+TEST(TimingModel, GpuTimeNearlyFlatInMonomialCount) {
+  // Table shape: doubling monomials must grow GPU time by far less than 2x.
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel model;
+  const double t704 = simt::estimate_log_us(eval_log(32, 22, 9, 2), spec, model);
+  const double t1536 = simt::estimate_log_us(eval_log(32, 48, 9, 2), spec, model);
+  EXPECT_GT(t1536, t704);
+  EXPECT_LT(t1536 / t704, 1.5);
+}
+
+TEST(TimingModel, CpuTimeLinearInMonomialCount) {
+  const simt::CpuCostModel model;
+  const auto t704 = simt::estimate_cpu_us(cpu_ops(32, 22, 9, 2).complex_mul,
+                                          cpu_ops(32, 22, 9, 2).complex_add, model);
+  const auto t1408 = simt::estimate_cpu_us(cpu_ops(32, 44, 9, 2).complex_mul,
+                                           cpu_ops(32, 44, 9, 2).complex_add, model);
+  EXPECT_NEAR(t1408 / t704, 2.0, 0.01);
+}
+
+TEST(TimingModel, SpeedupGrowsWithMonomialCount) {
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+  double last = 0.0;
+  for (const unsigned m : {22u, 32u, 48u}) {
+    const double gpu = simt::estimate_log_us(eval_log(32, m, 9, 2), spec, gmodel);
+    const auto ops = cpu_ops(32, m, 9, 2);
+    const double cpu = simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel);
+    const double speedup = cpu / gpu;
+    EXPECT_GT(speedup, last);
+    last = speedup;
+  }
+  EXPECT_GT(last, 5.0);   // double-digit territory at 1536 monomials
+  EXPECT_LT(last, 40.0);  // but not absurd
+}
+
+TEST(TimingModel, LargerKGivesLargerSpeedup) {
+  // Table 2 vs Table 1 at equal monomial count.
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel gmodel;
+  const simt::CpuCostModel cmodel;
+  const auto speedup = [&](unsigned k, unsigned d) {
+    const double gpu = simt::estimate_log_us(eval_log(32, 32, k, d), spec, gmodel);
+    const auto ops = cpu_ops(32, 32, k, d);
+    return simt::estimate_cpu_us(ops.complex_mul, ops.complex_add, cmodel) / gpu;
+  };
+  EXPECT_GT(speedup(16, 10), speedup(9, 2));
+}
+
+TEST(TimingModel, ScalarCostFactorScalesCpuLinearly) {
+  simt::CpuCostModel dd;
+  dd.scalar_cost_factor = 8.0;  // the paper's double-double factor
+  const simt::CpuCostModel d;
+  EXPECT_DOUBLE_EQ(simt::estimate_cpu_us(1000, 100, dd),
+                   8.0 * simt::estimate_cpu_us(1000, 100, d));
+}
+
+TEST(TimingModel, ScalarCostFactorDoesNotScaleLaunchOverhead) {
+  // GPU quality-up: the dd factor applies to issue cycles, not to the
+  // fixed overheads, so the GPU's dd penalty is *less* than 8x.
+  const simt::DeviceSpec spec;
+  simt::GpuCostModel dd;
+  dd.scalar_cost_factor = 8.0;
+  const simt::GpuCostModel d;
+  const auto log = eval_log(32, 32, 9, 2);
+  const double t_dd = simt::estimate_log_us(log, spec, dd);
+  const double t_d = simt::estimate_log_us(log, spec, d);
+  EXPECT_GT(t_dd, t_d);
+  EXPECT_LT(t_dd / t_d, 8.0);
+}
+
+TEST(TimingModel, TransferTermCountsCallsAndBytes) {
+  simt::TransferStats t;
+  t.transfers_to_device = 2;
+  t.transfers_from_device = 1;
+  t.bytes_to_device = 5500;
+  t.bytes_from_device = 0;
+  const simt::GpuCostModel model;
+  EXPECT_DOUBLE_EQ(simt::estimate_transfer_us(t, model),
+                   3 * model.transfer_latency_us + 1.0);
+}
+
+TEST(TimingModel, MoreResidentWarpsHideLatency) {
+  simt::KernelStats few;
+  few.complex_mul_per_thread_max = 100;
+  few.warps_per_block = 1;
+  few.concurrent_blocks_per_sm = 1;
+  few.warps_on_busiest_sm = 1;
+
+  simt::KernelStats many = few;
+  many.concurrent_blocks_per_sm = 8;
+  many.warps_on_busiest_sm = 8;
+
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel model;
+  const double t_few = simt::estimate_kernel_compute_us(few, spec, model);
+  const double t_many = simt::estimate_kernel_compute_us(many, spec, model);
+  // 8 warps do 8x the work in less than 8x the time of one warp's work.
+  EXPECT_LT(t_many, 8.0 * t_few);
+  EXPECT_GT(t_many, t_few);
+}
+
+TEST(TimingModel, BandwidthBoundKernelsChargedByTraffic) {
+  simt::KernelStats k;
+  k.warps_per_block = 1;
+  k.concurrent_blocks_per_sm = 8;
+  k.warps_on_busiest_sm = 1;
+  k.complex_mul_per_thread_max = 0;  // no arithmetic at all
+  k.global_load_transactions = 1000000;
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel model;
+  const double t = simt::estimate_kernel_compute_us(k, spec, model);
+  const double expected_cycles = 1000000.0 * 128.0 / model.global_bytes_per_cycle;
+  EXPECT_NEAR(t, expected_cycles / spec.core_clock_mhz, 1e-9);
+}
+
+TEST(TimingModel, MoreMultiprocessorsShortenComputeBoundKernels) {
+  simt::KernelStats k;
+  k.warps_per_block = 1;
+  k.concurrent_blocks_per_sm = 8;
+  k.complex_mul_per_thread_max = 100;
+  const simt::GpuCostModel model;
+
+  simt::DeviceSpec small;        // 14 SMs
+  simt::DeviceSpec big = small;  // double the SMs: busiest SM halves
+  big.multiprocessors = 28;
+
+  // 56 one-warp blocks: 4 per SM on the small device, 2 on the big one.
+  k.warps_on_busiest_sm = 4;
+  const double t_small = simt::estimate_kernel_compute_us(k, small, model);
+  k.warps_on_busiest_sm = 2;
+  const double t_big = simt::estimate_kernel_compute_us(k, big, model);
+  EXPECT_LT(t_big, t_small);
+}
+
+TEST(TimingModel, ClockScalesComputeInversely) {
+  simt::KernelStats k;
+  k.warps_per_block = 1;
+  k.concurrent_blocks_per_sm = 1;
+  k.warps_on_busiest_sm = 1;
+  k.complex_mul_per_thread_max = 1000;
+  const simt::GpuCostModel model;
+  simt::DeviceSpec base;
+  simt::DeviceSpec fast = base;
+  fast.core_clock_mhz = 2.0 * base.core_clock_mhz;
+  EXPECT_NEAR(simt::estimate_kernel_compute_us(k, base, model) /
+                  simt::estimate_kernel_compute_us(k, fast, model),
+              2.0, 1e-9);
+}
+
+TEST(TimingModel, ValuesOnlyEvaluationIsModeledCheaper) {
+  // The values-only pipeline launches 3 cheaper kernels and downloads n
+  // instead of n^2+n entries.
+  poly::SystemSpec spec;
+  spec.dimension = 32;
+  spec.monomials_per_polynomial = 32;
+  spec.variables_per_monomial = 9;
+  spec.max_exponent = 2;
+  const auto sys = poly::make_random_system(spec);
+  const auto x = poly::make_random_point<double>(32, 3);
+  simt::Device device;
+  core::GpuEvaluator<double> gpu(device, sys);
+  poly::EvalResult<double> full(32);
+  gpu.evaluate(std::span<const cplx::Complex<double>>(x), full);
+  const simt::DeviceSpec dspec;
+  const simt::GpuCostModel gmodel;
+  const double t_full = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+
+  std::vector<cplx::Complex<double>> values(32);
+  gpu.evaluate_values(std::span<const cplx::Complex<double>>(x),
+                      std::span<cplx::Complex<double>>(values));
+  const double t_values = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
+  EXPECT_LT(t_values, t_full);
+}
+
+TEST(TimingModel, BankConflictsAddCycles) {
+  simt::KernelStats k;
+  k.warps_per_block = 1;
+  k.concurrent_blocks_per_sm = 1;
+  k.warps_on_busiest_sm = 1;
+  k.shared_requests = 1000;
+  k.shared_cycles = 33000;  // 32-way conflicts
+  const simt::DeviceSpec spec;
+  const simt::GpuCostModel model;
+  simt::KernelStats clean = k;
+  clean.shared_cycles = 1000;
+  EXPECT_GT(simt::estimate_kernel_compute_us(k, spec, model),
+            simt::estimate_kernel_compute_us(clean, spec, model));
+}
+
+}  // namespace
