@@ -1,11 +1,16 @@
 // Where the modeled evaluation time goes: per-kernel compute, launch
 // overhead and transfers, for both table workloads across the monomial
 // counts.  Shows why the GPU column of the tables is nearly flat: the
-// fixed costs dominate until the grids grow.
+// fixed costs dominate until the grids grow.  Also records the host
+// wall-clock the simulator itself spends per evaluation, and emits
+// BENCH_kernel_breakdown.json for cross-PR tracking.
 
+#include <cstring>
 #include <iostream>
 
+#include "benchutil/json.hpp"
 #include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
 #include "core/gpu_evaluator.hpp"
 #include "poly/random_system.hpp"
 #include "simt/timing.hpp"
@@ -14,10 +19,17 @@ namespace {
 
 using namespace polyeval;
 
-void breakdown(unsigned k, unsigned d, const char* label) {
+void breakdown(unsigned k, unsigned d, const char* label, double min_seconds,
+               benchutil::JsonWriter& json) {
   std::cout << label << ":\n";
   benchutil::Table table({"#monomials", "K1 us", "K2 us", "K3 us", "launches us",
-                          "PCIe us", "total us/eval", "fixed share"});
+                          "PCIe us", "total us/eval", "fixed share", "host wall us"});
+  json.begin_object();
+  json.field("label", label);
+  json.field("variables_per_monomial", k);
+  json.field("max_exponent", d);
+  json.key("rows");
+  json.begin_array();
   for (const unsigned m : {22u, 32u, 48u}) {
     poly::SystemSpec spec;
     spec.dimension = 32;
@@ -31,6 +43,10 @@ void breakdown(unsigned k, unsigned d, const char* label) {
     core::GpuEvaluator<double> gpu(device, sys);
     poly::EvalResult<double> r(32);
     gpu.evaluate(std::span<const cplx::Complex<double>>(x), r);
+    const double wall_us =
+        1e6 * benchutil::time_per_call(
+                  [&] { gpu.evaluate(std::span<const cplx::Complex<double>>(x), r); },
+                  min_seconds);
 
     const simt::DeviceSpec dspec;
     const simt::GpuCostModel gmodel;
@@ -46,17 +62,51 @@ void breakdown(unsigned k, unsigned d, const char* label) {
                    benchutil::format_fixed(launches, 1),
                    benchutil::format_fixed(pcie, 2),
                    benchutil::format_fixed(total, 1),
-                   benchutil::format_fixed(100.0 * (launches + pcie) / total, 1) + "%"});
+                   benchutil::format_fixed(100.0 * (launches + pcie) / total, 1) + "%",
+                   benchutil::format_fixed(wall_us, 1)});
+    json.begin_object()
+        .field("monomials", 32u * m)
+        .field("k1_us", k1)
+        .field("k2_us", k2)
+        .field("k3_us", k3)
+        .field("launch_us", launches)
+        .field("pcie_us", pcie)
+        .field("modeled_total_us", total)
+        .field("host_wall_us", wall_us)
+        .end_object();
   }
+  json.end_array();
+  json.end_object();
   std::cout << table.to_string() << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const double min_seconds = quick ? 0.02 : 0.2;
+
+  benchutil::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "kernel_breakdown");
+  json.field("quick", quick);
+  json.key("workloads");
+  json.begin_array();
+
   std::cout << "=== Modeled per-kernel breakdown of one evaluation ===\n\n";
-  breakdown(9, 2, "Table 1 workload (k = 9, d <= 2)");
-  breakdown(16, 10, "Table 2 workload (k = 16, d <= 10)");
+  breakdown(9, 2, "Table 1 workload (k = 9, d <= 2)", min_seconds, json);
+  breakdown(16, 10, "Table 2 workload (k = 16, d <= 10)", min_seconds, json);
+
+  json.end_array();
+  json.end_object();
+  const char* out_path = "BENCH_kernel_breakdown.json";
+  if (json.write_file(out_path))
+    std::cout << "wrote " << out_path << "\n\n";
+  else
+    std::cout << "WARNING: could not write " << out_path << "\n\n";
+
   std::cout << "The three kernel launches plus the point upload / Jacobian\n"
                "readback form a fixed floor per evaluation; the near-flat GPU\n"
                "column of the paper's tables is this floor.  Kernel 2 (the\n"

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal streaming JSON writer for the benchmark harnesses: benches
+/// emit machine-readable BENCH_*.json files next to their tables so the
+/// perf trajectory can be tracked across PRs without parsing prose.
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polyeval::benchutil {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ << '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    stack_.pop_back();
+    mark_value();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_ << '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    stack_.pop_back();
+    mark_value();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    write_string(k);
+    out_ << ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    write_string(v);
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v) {
+    separate();
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    out_ << tmp.str();
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    out_ << v;
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(unsigned v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+    mark_value();
+    return *this;
+  }
+
+  template <class V>
+  JsonWriter& field(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+  /// Write the document to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << out_.str() << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!stack_.empty() && stack_.back()) out_ << ',';
+  }
+  void mark_value() {
+    if (!stack_.empty()) stack_.back() = true;
+  }
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> stack_;  ///< per nesting level: "a value was emitted"
+  bool after_key_ = false;
+};
+
+}  // namespace polyeval::benchutil

@@ -25,6 +25,9 @@ class BatchGpuEvaluator {
   struct Options {
     unsigned block_size = 32;
     ExponentEncoding encoding = ExponentEncoding::kChar;
+    /// Element layout of the CommonFactors/Mons interchange buffers;
+    /// results are bitwise identical under either (see layout.hpp).
+    InterchangeLayout interchange = InterchangeLayout::kAoS;
   };
 
   /// Packs the system and sizes the device arrays for `batch_capacity`
@@ -50,10 +53,11 @@ class BatchGpuEvaluator {
 
     x_ = device_.alloc_global<C>(std::size_t{capacity_} * s.n, "X[batch]");
     coeffs_ = device_.alloc_global<C>(layout_.coeffs_size(), "Coeffs");
-    common_factors_ = device_.alloc_global<C>(
-        std::size_t{capacity_} * layout_.total_monomials(), "CommonFactors[batch]");
-    mons_ = device_.alloc_global<C>(std::size_t{capacity_} * layout_.mons_size(),
-                                    "Mons[batch]");
+    common_factors_.allocate(device_,
+                             std::size_t{capacity_} * layout_.total_monomials(),
+                             "CommonFactors[batch]", options_.interchange);
+    mons_.allocate(device_, std::size_t{capacity_} * layout_.mons_size(),
+                   "Mons[batch]", options_.interchange);
     outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * layout_.num_outputs(),
                                        "Outputs[batch]");
 
@@ -68,7 +72,12 @@ class BatchGpuEvaluator {
       coeffs[layout_.coeff_index(s.k, t)] = raw;
     }
     device_.upload(coeffs_, std::span<const C>(coeffs));
-    device_.fill(mons_, C{});
+    mons_.fill_zero(device_);
+
+    // Persistent host-side scratch: steady-state evaluate() calls reuse
+    // these and perform zero heap allocations.
+    flat_.reserve(std::size_t{capacity_} * s.n);
+    host_outputs_.reserve(std::size_t{capacity_} * layout_.num_outputs());
 
     blocks_per_point_ = static_cast<unsigned>(
         (layout_.total_monomials() + options_.block_size - 1) / options_.block_size);
@@ -96,10 +105,10 @@ class BatchGpuEvaluator {
     const std::size_t kernels_before = device_.log().kernels.size();
     const simt::TransferStats transfers_before = device_.log().transfers;
 
-    std::vector<C> flat(std::size_t{batch} * s_n);
+    flat_.resize(std::size_t{batch} * s_n);
     for (unsigned p = 0; p < batch; ++p)
-      std::copy(points[p].begin(), points[p].end(), flat.begin() + std::size_t{p} * s_n);
-    device_.upload(x_, std::span<const C>(flat));
+      std::copy(points[p].begin(), points[p].end(), flat_.begin() + std::size_t{p} * s_n);
+    device_.upload(x_, std::span<const C>(flat_));
 
     (void)device_.launch(kernel1_,
                          {batch * blocks_per_point_, options_.block_size, shared1_});
@@ -166,7 +175,10 @@ class BatchGpuEvaluator {
       return index % 2 == 0 ? (byte & 0x0Fu) : (byte >> 4u);
     };
 
-    kernel1_.name = "batch_common_factors";
+    // Kernel names stay <= 15 chars: KernelStats copies them per launch
+    // and SSO-sized strings keep those copies off the allocator (the
+    // zero-alloc steady-state guarantee).
+    kernel1_.name = "batch_cfactors";
     kernel1_.phases = {
         [x, n, d, bpp](simt::ThreadContext& ctx) {
           const std::size_t point = ctx.block_index() / bpp;
@@ -211,11 +223,11 @@ class BatchGpuEvaluator {
               ctx.op_cmul();
             }
           }
-          ctx.store(cf_buf, point * monomials + g, cf);
+          cf_buf.store(ctx, point * monomials + g, cf);
         },
     };
 
-    kernel2_.name = "batch_speelpenning";
+    kernel2_.name = "batch_speel";
     kernel2_.phases = {
         [x, n, bpp](simt::ThreadContext& ctx) {
           const std::size_t point = ctx.block_index() / bpp;
@@ -276,7 +288,7 @@ class BatchGpuEvaluator {
             ell.set(base + 0, first);
           }
 
-          const C cf = ctx.load(cf_buf, point * monomials + g);
+          const C cf = cf_buf.load(ctx, point * monomials + g);
           if (k == 1) {
             ell.set(base + 0, cf);
           } else {
@@ -298,14 +310,14 @@ class BatchGpuEvaluator {
             ell.set(base + j, v2);
           }
 
-          ctx.store(mons, mons_base + layout.mons_value_index(g), ell.get(base + k));
+          mons.store(ctx, mons_base + layout.mons_value_index(g), ell.get(base + k));
           for (unsigned j = 0; j < k; ++j)
-            ctx.store(mons, mons_base + layout.mons_deriv_index(g, pos[j]),
-                      ell.get(base + j));
+            mons.store(ctx, mons_base + layout.mons_deriv_index(g, pos[j]),
+                       ell.get(base + j));
         },
     };
 
-    kernel3_.name = "batch_summation";
+    kernel3_.name = "batch_sum";
     const unsigned m = s.m;
     const std::uint64_t outs = layout_.num_outputs();
     kernel3_.phases = {
@@ -319,9 +331,9 @@ class BatchGpuEvaluator {
             return;
           }
           const std::size_t mons_base = point * layout.mons_size();
-          C sum = ctx.load(mons, mons_base + layout.mons_index(out, 0));
+          C sum = mons.load(ctx, mons_base + layout.mons_index(out, 0));
           for (unsigned j = 1; j < m; ++j) {
-            sum += ctx.load(mons, mons_base + layout.mons_index(out, j));
+            sum += mons.load(ctx, mons_base + layout.mons_index(out, j));
             ctx.op_cadd();
           }
           ctx.store(outputs_buf, point * outs + out, sum);
@@ -335,12 +347,14 @@ class BatchGpuEvaluator {
   PackedSystem packed_;
   SystemLayout layout_;
 
-  simt::GlobalBuffer<C> x_, coeffs_, common_factors_, mons_, outputs_;
+  simt::GlobalBuffer<C> x_, coeffs_, outputs_;
+  InterchangeBuffer<S> common_factors_, mons_;
   simt::ConstantBuffer<unsigned char> positions_, exponents_;
   simt::Kernel kernel1_, kernel2_, kernel3_;
   std::size_t shared1_ = 0, shared2_ = 0;
   unsigned blocks_per_point_ = 0, out_blocks_per_point_ = 0;
-  std::vector<C> host_outputs_;
+  std::vector<C> flat_;          ///< packed upload staging, reused
+  std::vector<C> host_outputs_;  ///< download staging, reused
   simt::LaunchLog last_log_;
 };
 

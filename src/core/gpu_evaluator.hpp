@@ -37,6 +37,9 @@ class GpuEvaluator {
     ExponentEncoding encoding = ExponentEncoding::kChar;
     MonsLayout mons_layout = MonsLayout::kTransposed;
     PowersStrategy powers = PowersStrategy::kPerBlockShared;
+    /// Element layout of the CommonFactors/Mons interchange buffers;
+    /// results are bitwise identical under either (see layout.hpp).
+    InterchangeLayout interchange = InterchangeLayout::kAoS;
   };
 
   /// Packs and uploads the system.  Throws std::invalid_argument for
@@ -64,9 +67,9 @@ class GpuEvaluator {
 
     bufs_.x = device_.alloc_global<C>(s.n, "X");
     bufs_.coeffs = device_.alloc_global<C>(layout_.coeffs_size(), "Coeffs");
-    bufs_.common_factors =
-        device_.alloc_global<C>(layout_.total_monomials(), "CommonFactors");
-    bufs_.mons = device_.alloc_global<C>(layout_.mons_size(), "Mons");
+    bufs_.common_factors.allocate(device_, layout_.total_monomials(), "CommonFactors",
+                                  options_.interchange);
+    bufs_.mons.allocate(device_, layout_.mons_size(), "Mons", options_.interchange);
     bufs_.outputs = device_.alloc_global<C>(layout_.num_outputs(), "Outputs");
 
     // Coefficients widen to the working precision once, then live in
@@ -86,7 +89,7 @@ class GpuEvaluator {
     device_.upload(bufs_.coeffs, std::span<const C>(coeffs));
 
     // The structural zeros of Mons are set once and never written again.
-    device_.fill(bufs_.mons, C{});
+    bufs_.mons.fill_zero(device_);
 
     const auto blocks_for = [&](std::uint64_t work) {
       return static_cast<unsigned>((work + options_.block_size - 1) / options_.block_size);
@@ -186,7 +189,7 @@ class GpuEvaluator {
   /// the zero slots and the transposed ordering).
   [[nodiscard]] std::vector<C> debug_mons() const {
     std::vector<C> host(layout_.mons_size());
-    std::copy_n(bufs_.mons.raw(), host.size(), host.begin());
+    for (std::size_t i = 0; i < host.size(); ++i) host[i] = bufs_.mons.host_read(i);
     return host;
   }
 

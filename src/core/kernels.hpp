@@ -32,14 +32,71 @@
 
 namespace polyeval::core {
 
+/// A kernel-to-kernel interchange buffer that can live in either the
+/// paper's AoS layout (Complex<S> elements) or the vectorization-friendly
+/// SoA layout (a re plane followed by an im plane), selected at
+/// allocation time by the layout.hpp-level InterchangeLayout switch.
+/// Device-side access goes through load/store so the engine's coalescing
+/// instrumentation sees the actual per-layout memory instructions.
+template <prec::RealScalar S>
+struct InterchangeBuffer {
+  using C = cplx::Complex<S>;
+
+  InterchangeLayout layout = InterchangeLayout::kAoS;
+  std::size_t count = 0;
+  simt::GlobalBuffer<C> aos;
+  simt::GlobalBuffer<S> planes;  ///< 2*count scalars when layout == kSoA
+
+  void allocate(simt::Device& device, std::size_t n, std::string name,
+                InterchangeLayout lay) {
+    layout = lay;
+    count = n;
+    if (lay == InterchangeLayout::kAoS)
+      aos = device.alloc_global<C>(n, std::move(name));
+    else
+      planes = device.alloc_global<S>(2 * n, std::move(name));
+  }
+
+  /// Device-side fill (cudaMemset analogue); used for the structural
+  /// zeros of Mons.
+  void fill_zero(simt::Device& device) const {
+    if (layout == InterchangeLayout::kAoS)
+      device.fill(aos, C{});
+    else
+      device.fill(planes, S(0.0));
+  }
+
+  [[nodiscard]] C load(simt::ThreadContext& ctx, std::size_t i) const {
+    if (layout == InterchangeLayout::kAoS) return ctx.load(aos, i);
+    const S re = ctx.load(planes, i);
+    const S im = ctx.load(planes, count + i);
+    return C(re, im);
+  }
+
+  void store(simt::ThreadContext& ctx, std::size_t i, const C& v) const {
+    if (layout == InterchangeLayout::kAoS) {
+      ctx.store(aos, i, v);
+      return;
+    }
+    ctx.store(planes, i, v.re());
+    ctx.store(planes, count + i, v.im());
+  }
+
+  /// Host-side read bypassing instrumentation (tests, debug dumps).
+  [[nodiscard]] C host_read(std::size_t i) const {
+    if (layout == InterchangeLayout::kAoS) return aos.raw()[i];
+    return C(planes.raw()[i], planes.raw()[count + i]);
+  }
+};
+
 /// Device-resident state of a packed system.
 template <prec::RealScalar S>
 struct DeviceBuffers {
   using C = cplx::Complex<S>;
   simt::GlobalBuffer<C> x;               ///< the evaluation point (n)
   simt::GlobalBuffer<C> coeffs;          ///< portion-major Coeffs ((k+1)nm)
-  simt::GlobalBuffer<C> common_factors;  ///< kernel 1 -> kernel 2 (nm)
-  simt::GlobalBuffer<C> mons;            ///< kernel 2 -> kernel 3 ((n^2+n)m)
+  InterchangeBuffer<S> common_factors;   ///< kernel 1 -> kernel 2 (nm)
+  InterchangeBuffer<S> mons;             ///< kernel 2 -> kernel 3 ((n^2+n)m)
   simt::GlobalBuffer<C> outputs;         ///< kernel 3 results (n^2+n)
   simt::GlobalBuffer<C> powers;          ///< global powers table (n*d), only
                                          ///< for the separate-kernel ablation
@@ -118,7 +175,7 @@ template <prec::RealScalar S>
         ctx.op_cmul();
       }
     }
-    ctx.store(bufs.common_factors, g, cf);  // coalesced: thread g -> slot g
+    bufs.common_factors.store(ctx, g, cf);  // coalesced: thread g -> slot g
   });
 
   return kernel;
@@ -192,7 +249,7 @@ template <prec::RealScalar S>
         ctx.op_cmul();
       }
     }
-    ctx.store(bufs.common_factors, g, cf);
+    bufs.common_factors.store(ctx, g, cf);
   });
   return kernel;
 }
@@ -277,7 +334,7 @@ template <prec::RealScalar S>
 
     // Monomial derivatives: common factor times product derivatives
     // (k multiplications; for k == 1 the derivative IS the factor).
-    const C cf = ctx.load(bufs.common_factors, g);
+    const C cf = bufs.common_factors.load(ctx, g);
     if (k == 1) {
       ell.set(base + 0, cf);
     } else {
@@ -307,9 +364,9 @@ template <prec::RealScalar S>
     // Output: scattered writes into the transposed Mons array (the
     // paper's accepted tradeoff; coalesced under kOutputMajor ablation
     // only for the value row).
-    ctx.store(bufs.mons, layout.mons_value_index(g), ell.get(base + k));
+    bufs.mons.store(ctx, layout.mons_value_index(g), ell.get(base + k));
     for (unsigned j = 0; j < k; ++j)
-      ctx.store(bufs.mons, layout.mons_deriv_index(g, pos[j]), ell.get(base + j));
+      bufs.mons.store(ctx, layout.mons_deriv_index(g, pos[j]), ell.get(base + j));
   });
 
   return kernel;
@@ -357,11 +414,11 @@ template <prec::RealScalar S>
       ctx.op_cmul();
     }
     // times the common factor and the value coefficient: 2 more.
-    product = product * ctx.load(bufs.common_factors, g);
+    product = product * bufs.common_factors.load(ctx, g);
     ctx.op_cmul();
     product = product * ctx.load(bufs.coeffs, layout.coeff_index(k, g));
     ctx.op_cmul();
-    ctx.store(bufs.mons, layout.mons_value_index(g), product);
+    bufs.mons.store(ctx, layout.mons_value_index(g), product);
   });
   return kernel;
 }
@@ -383,9 +440,9 @@ template <prec::RealScalar S>
       ctx.mark_inactive();
       return;
     }
-    C sum = ctx.load(bufs.mons, layout.mons_index(out, 0));
+    C sum = bufs.mons.load(ctx, layout.mons_index(out, 0));
     for (unsigned j = 1; j < m; ++j) {
-      sum += ctx.load(bufs.mons, layout.mons_index(out, j));
+      sum += bufs.mons.load(ctx, layout.mons_index(out, j));
       ctx.op_cadd();
     }
     ctx.store(bufs.outputs, out, sum);
@@ -409,9 +466,9 @@ template <prec::RealScalar S>
       ctx.mark_inactive();
       return;
     }
-    C sum = ctx.load(bufs.mons, layout.mons_index(out, 0));
+    C sum = bufs.mons.load(ctx, layout.mons_index(out, 0));
     for (unsigned j = 1; j < m; ++j) {
-      sum += ctx.load(bufs.mons, layout.mons_index(out, j));
+      sum += bufs.mons.load(ctx, layout.mons_index(out, j));
       ctx.op_cadd();
     }
     ctx.store(bufs.outputs, out, sum);

@@ -34,6 +34,18 @@ enum class MonsLayout {
   kOutputMajor,
 };
 
+/// Element layout of the kernel-to-kernel interchange buffers
+/// (CommonFactors, Mons).  The paper stores complex numbers as re/im
+/// pairs (AoS); splitting them into two scalar planes (SoA) lets the
+/// real and imaginary accumulations of the inner Speelpenning and
+/// summation loops vectorize independently, and turns each warp-level
+/// complex access into two narrower unit-stride scalar accesses.
+/// Numerical results are bitwise identical under either layout.
+enum class InterchangeLayout {
+  kAoS,  ///< Complex<S> elements, the paper's layout
+  kSoA,  ///< two S planes: re at [0, count), im at [count, 2*count)
+};
+
 /// Index algebra for a uniform system (n, m, k, d) on the device.
 /// All functions are pure; tests verify them in both directions.
 class SystemLayout {

@@ -17,7 +17,12 @@ std::string format_real(double v) {
 
 std::string format_coefficient(const cplx::Complex<double>& c) {
   if (c.im() == 0.0) return format_real(c.re());
-  return "(" + format_real(c.re()) + "," + format_real(c.im()) + ")";
+  std::string out = "(";
+  out += format_real(c.re());
+  out += ',';
+  out += format_real(c.im());
+  out += ')';
+  return out;
 }
 
 /// Minimal recursive-descent parser over a string_view.
@@ -204,8 +209,12 @@ class Parser {
 std::string format(const Monomial& monomial) {
   std::string out = format_coefficient(monomial.coefficient());
   for (const auto& f : monomial.factors()) {
-    out += "*x" + std::to_string(f.var);
-    if (f.exp > 1) out += "^" + std::to_string(f.exp);
+    out += "*x";
+    out += std::to_string(f.var);
+    if (f.exp > 1) {
+      out += '^';
+      out += std::to_string(f.exp);
+    }
   }
   return out;
 }

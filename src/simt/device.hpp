@@ -19,7 +19,9 @@ class Device {
       : spec_(std::move(spec)),
         global_(spec_.global_memory_bytes),
         constant_(spec_.constant_memory_bytes - spec_.constant_reserved_bytes),
-        pool_(host_workers) {}
+        pool_(host_workers) {
+    log_.kernels.reserve(64);
+  }
 
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
 
@@ -76,8 +78,10 @@ class Device {
   }
 
   // -- execution --------------------------------------------------------
+  /// Launch through the device-owned engine scratch: after warm-up,
+  /// repeated launches of same-shaped kernels do not allocate.
   KernelStats launch(const Kernel& kernel, const LaunchConfig& cfg) {
-    KernelStats stats = run_kernel(kernel, cfg, spec_, pool_);
+    KernelStats stats = run_kernel(kernel, cfg, spec_, pool_, scratch_);
     log_.kernels.push_back(stats);
     return stats;
   }
@@ -90,6 +94,7 @@ class Device {
   GlobalMemory global_;
   ConstantMemory constant_;
   ThreadPool pool_;
+  EngineScratch scratch_;
   LaunchLog log_;
 };
 

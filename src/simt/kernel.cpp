@@ -1,7 +1,7 @@
 #include "simt/kernel.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <bit>
 
 #include "simt/thread_pool.hpp"
 
@@ -10,9 +10,14 @@ namespace polyeval::simt {
 namespace detail {
 
 bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_write) {
-  auto [it, inserted] = words.try_emplace(word, WordState{thread, is_write, false});
-  if (inserted) return false;
-  auto& state = it->second;
+  auto& state = words[word];
+  if (state.epoch != epoch) {
+    state.epoch = epoch;
+    state.thread = thread;
+    state.written = is_write;
+    state.multi_thread = false;
+    return false;
+  }
   if (state.thread != thread) {
     state.multi_thread = true;
     const bool hazard = is_write || state.written;
@@ -26,20 +31,85 @@ bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_writ
   return hazard;
 }
 
+void GlobalRaceJournal::begin_launch() {
+  const std::lock_guard lock(mutex);
+  ++epoch;
+  filled = 0;
+  if (slots.empty()) slots.resize(1024);
+}
+
+void GlobalRaceJournal::grow() {
+  std::vector<Slot> old;
+  old.swap(slots);
+  slots.resize(old.size() * 2);
+  for (const auto& slot : old) {
+    if (slot.epoch != epoch) continue;
+    std::size_t i = probe_start(slot.address);
+    while (slots[i].epoch == epoch) i = (i + 1) & (slots.size() - 1);
+    slots[i] = slot;
+  }
+}
+
 bool GlobalRaceJournal::record_write(std::uint64_t address, std::uint64_t global_thread) {
   const std::lock_guard lock(mutex);
-  auto [it, inserted] = writers.try_emplace(address, global_thread);
-  return !inserted && it->second != global_thread;
+  // Keep the load factor below 1/2 so probes stay short.
+  if ((filled + 1) * 2 > slots.size()) grow();
+  std::size_t i = probe_start(address);
+  for (;;) {
+    Slot& slot = slots[i];
+    if (slot.epoch != epoch) {
+      slot.epoch = epoch;
+      slot.address = address;
+      slot.thread = global_thread;
+      ++filled;
+      return false;
+    }
+    if (slot.address == address) return slot.thread != global_thread;
+    i = (i + 1) & (slots.size() - 1);
+  }
+}
+
+void WarpCollector::warm(const Shape& shape) {
+  if (loads.size() < shape.loads) loads.resize(shape.loads);
+  if (stores.size() < shape.stores) stores.resize(shape.stores);
+  if (shared.size() < shape.shared) shared.resize(shape.shared);
+  // A warp group holds at most one entry per lane (runs) or two segments
+  // per lane (a 128-byte-straddling access); reserving those bounds once
+  // keeps the incremental push_back growth off the steady-state path.
+  for (auto& g : loads)
+    if (g.segments.capacity() < 64) g.segments.reserve(64);
+  for (auto& g : stores)
+    if (g.segments.capacity() < 64) g.segments.reserve(64);
+  for (auto& g : shared)
+    if (g.runs.capacity() < 32) g.runs.reserve(32);
+}
+
+void WarpCollector::reset() {
+  for (std::size_t i = 0; i < loads_used; ++i) loads[i].segments.clear();
+  for (std::size_t i = 0; i < stores_used; ++i) stores[i].segments.clear();
+  for (std::size_t i = 0; i < shared_used; ++i) shared[i].runs.clear();
+  loads_used = stores_used = shared_used = 0;
 }
 
 void WarpCollector::record_global(bool is_store, std::size_t ordinal,
                                   std::uint64_t address, std::size_t bytes,
                                   unsigned segment_bytes) {
   auto& groups = is_store ? stores : loads;
+  auto& used = is_store ? stores_used : loads_used;
   if (groups.size() <= ordinal) groups.resize(ordinal + 1);
+  used = std::max(used, ordinal + 1);
   auto& segs = groups[ordinal].segments;
-  const std::uint64_t first = address / segment_bytes;
-  const std::uint64_t last = (address + bytes - 1) / segment_bytes;
+  // Segment sizes are powers of two on every real device; a shift keeps
+  // this per-access path off the integer divider.
+  std::uint64_t first, last;
+  if (std::has_single_bit(segment_bytes)) {
+    const unsigned shift = static_cast<unsigned>(std::countr_zero(segment_bytes));
+    first = address >> shift;
+    last = (address + bytes - 1) >> shift;
+  } else {
+    first = address / segment_bytes;
+    last = (address + bytes - 1) / segment_bytes;
+  }
   for (std::uint64_t s = first; s <= last; ++s) {
     if (std::find(segs.begin(), segs.end(), s) == segs.end()) segs.push_back(s);
   }
@@ -48,70 +118,101 @@ void WarpCollector::record_global(bool is_store, std::size_t ordinal,
 void WarpCollector::record_shared(std::size_t ordinal, std::uint32_t first_word,
                                   std::size_t words) {
   if (shared.size() <= ordinal) shared.resize(ordinal + 1);
-  auto& w = shared[ordinal].words;
-  for (std::size_t i = 0; i < words; ++i) w.push_back(first_word + static_cast<std::uint32_t>(i));
-}
-
-void BlockAccum::fold(const WarpCollector& col, const DeviceSpec& spec) {
-  for (const auto& g : col.loads) {
-    ++load_requests;
-    load_transactions += g.segments.size();
-  }
-  for (const auto& g : col.stores) {
-    ++store_requests;
-    store_transactions += g.segments.size();
-  }
-  for (const auto& g : col.shared) {
-    ++shared_requests;
-    // Fermi rule: lanes reading the *same* word broadcast; distinct words
-    // mapping to the same bank serialize.  Cost = max distinct words per
-    // bank.
-    std::vector<std::uint32_t> distinct(g.words);
-    std::sort(distinct.begin(), distinct.end());
-    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
-    std::vector<std::uint32_t> per_bank(spec.shared_banks, 0);
-    std::uint32_t worst = 1;
-    for (const auto word : distinct) {
-      const auto bank = word % spec.shared_banks;
-      worst = std::max(worst, ++per_bank[bank]);
-    }
-    shared_cycles += worst;
-  }
+  shared_used = std::max(shared_used, ordinal + 1);
+  shared[ordinal].runs.push_back({first_word, static_cast<std::uint32_t>(words)});
 }
 
 }  // namespace detail
+
+void BlockScratch::fold(const detail::WarpCollector& col, const DeviceSpec& spec,
+                        detail::BlockAccum& accum) {
+  for (std::size_t i = 0; i < col.loads_used; ++i) {
+    ++accum.load_requests;
+    accum.load_transactions += col.loads[i].segments.size();
+  }
+  for (std::size_t i = 0; i < col.stores_used; ++i) {
+    ++accum.store_requests;
+    accum.store_transactions += col.stores[i].segments.size();
+  }
+  // fold_bank_epoch/fold_per_bank were sized by BlockScratch::warm,
+  // which run_kernel applies to every participant before any block runs.
+  const bool banks_pow2 = (spec.shared_banks & (spec.shared_banks - 1)) == 0;
+  const std::uint32_t bank_mask = spec.shared_banks - 1;
+  for (std::size_t i = 0; i < col.shared_used; ++i) {
+    const auto& g = col.shared[i];
+    ++accum.shared_requests;
+    // Fermi rule: lanes reading the *same* word broadcast; distinct words
+    // mapping to the same bank serialize.  Cost = max distinct words per
+    // bank.  Words are deduped against the epoch-stamped seen-table, so
+    // a request costs O(words touched), not a sort; the per-bank counts
+    // are epoch-stamped too, so nothing is cleared between requests.
+    ++fold_epoch;
+    std::uint32_t worst = 1;
+    for (const auto& run : g.runs) {
+      for (std::uint32_t w = run.first_word; w < run.first_word + run.words; ++w) {
+        if (fold_seen[w] == fold_epoch) continue;  // broadcast: same word
+        fold_seen[w] = fold_epoch;
+        const std::uint32_t bank = banks_pow2 ? (w & bank_mask) : (w % spec.shared_banks);
+        const std::uint32_t in_bank =
+            fold_bank_epoch[bank] == fold_epoch ? ++fold_per_bank[bank]
+                                                : (fold_per_bank[bank] = 1);
+        fold_bank_epoch[bank] = fold_epoch;
+        worst = std::max(worst, in_bank);
+      }
+    }
+    accum.shared_cycles += worst;
+  }
+}
+
+void BlockScratch::warm(const LaunchConfig& cfg, const DeviceSpec& spec,
+                        const detail::WarpCollector::Shape& shape) {
+  shared.reset(cfg.shared_bytes);
+  const std::size_t shared_words =
+      cfg.shared_bytes / spec.shared_bank_width_bytes + 2;
+  shared_races.prepare(shared_words);
+  if (fold_seen.size() < shared_words) fold_seen.resize(shared_words);
+  if (fold_bank_epoch.size() < spec.shared_banks) {
+    fold_bank_epoch.resize(spec.shared_banks, 0);
+    fold_per_bank.resize(spec.shared_banks, 0);
+  }
+  if (cmul_per_thread.size() < cfg.block_threads) {
+    cmul_per_thread.resize(cfg.block_threads, 0);
+    cadd_per_thread.resize(cfg.block_threads, 0);
+  }
+  collector.warm(shape);
+}
 
 /// Runs the blocks of one launch; also the ThreadContext befriender.
 struct BlockRunner {
   const Kernel& kernel;
   const LaunchConfig& cfg;
   const DeviceSpec& spec;
+  detail::GlobalRaceJournal* global_races;
 
   detail::BlockAccum totals;
   std::mutex merge_mutex;
-  detail::GlobalRaceJournal global_races;
 
-  void run_block(unsigned block_index) {
-    SharedSpace shared(cfg.shared_bytes);
-    detail::BlockAccum accum;
-    detail::SharedRaceJournal shared_races;
-    std::vector<std::uint64_t> cmul_per_thread(cfg.block_threads, 0);
-    std::vector<std::uint64_t> cadd_per_thread(cfg.block_threads, 0);
+  void run_block(unsigned block_index, BlockScratch& scratch,
+                 detail::BlockAccum& accum) {
+    scratch.shared.reset(cfg.shared_bytes);
+    scratch.cmul_per_thread.assign(cfg.block_threads, 0);
+    scratch.cadd_per_thread.assign(cfg.block_threads, 0);
 
     for (const auto& phase : kernel.phases) {
-      shared_races.clear();  // phases are barriers: accesses across them order
+      scratch.shared_races.clear();  // phases are barriers: accesses across them order
       for (unsigned warp_start = 0; warp_start < cfg.block_threads;
            warp_start += spec.warp_size) {
-        detail::WarpCollector collector;
+        scratch.collector.reset();
         const unsigned warp_end =
             std::min(warp_start + spec.warp_size, cfg.block_threads);
         for (unsigned t = warp_start; t < warp_end; ++t) {
-          ThreadContext ctx(block_index, t, cfg, spec, shared, collector,
-                            cfg.detect_races ? &shared_races : nullptr,
-                            cfg.detect_races ? &global_races : nullptr);
+          ThreadContext ctx(block_index, t, cfg, spec, scratch.shared,
+                            scratch.collector,
+                            cfg.detect_races ? &scratch.shared_races : nullptr,
+                            cfg.detect_races ? global_races : nullptr);
           phase(ctx);
-          cmul_per_thread[t] += ctx.cmul_;
-          cadd_per_thread[t] += ctx.cadd_;
+          scratch.cmul_per_thread[t] += ctx.cmul_;
+          scratch.cadd_per_thread[t] += ctx.cadd_;
           accum.cmul += ctx.cmul_;
           accum.cadd += ctx.cadd_;
           accum.constant_reads += ctx.const_reads_;
@@ -120,13 +221,21 @@ struct BlockRunner {
           accum.store_bytes += ctx.store_bytes_;
           accum.race_hazards += ctx.race_hazards_;
         }
-        accum.fold(collector, spec);
+        scratch.fold(scratch.collector, spec, accum);
       }
     }
     for (unsigned t = 0; t < cfg.block_threads; ++t) {
-      accum.cmul_thread_max = std::max(accum.cmul_thread_max, cmul_per_thread[t]);
-      accum.cadd_thread_max = std::max(accum.cadd_thread_max, cadd_per_thread[t]);
+      accum.cmul_thread_max = std::max(accum.cmul_thread_max, scratch.cmul_per_thread[t]);
+      accum.cadd_thread_max = std::max(accum.cadd_thread_max, scratch.cadd_per_thread[t]);
     }
+  }
+
+  /// Run a contiguous range of blocks on one participant's scratch and
+  /// merge the tallies once for the whole range.
+  void run_range(BlockScratch& scratch, std::size_t begin, std::size_t end) {
+    detail::BlockAccum accum;
+    for (std::size_t b = begin; b < end; ++b)
+      run_block(static_cast<unsigned>(b), scratch, accum);
 
     const std::lock_guard lock(merge_mutex);
     totals.cmul += accum.cmul;
@@ -148,7 +257,8 @@ struct BlockRunner {
 };
 
 KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
-                       const DeviceSpec& spec, ThreadPool& pool) {
+                       const DeviceSpec& spec, ThreadPool& pool,
+                       EngineScratch& scratch) {
   if (cfg.grid_blocks == 0) throw LaunchError(kernel.name + ": empty grid");
   if (cfg.block_threads == 0 || cfg.block_threads > spec.max_threads_per_block)
     throw LaunchError(kernel.name + ": invalid block size " +
@@ -158,9 +268,21 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
                       std::to_string(cfg.shared_bytes) + " bytes of shared memory, " +
                       std::to_string(spec.shared_memory_per_block) + " available");
 
-  BlockRunner runner{kernel, cfg, spec, {}, {}, {}};
-  pool.parallel_for(cfg.grid_blocks,
-                    [&](std::size_t b) { runner.run_block(static_cast<unsigned>(b)); });
+  scratch.prepare(pool.participant_count());
+  // Pre-size every participant's scratch for this launch shape: a
+  // participant that sat out earlier launches must not allocate when a
+  // chunk lands on it later (the zero-alloc steady-state guarantee).
+  for (auto& bs : scratch.per_participant)
+    bs.warm(cfg, spec, scratch.observed_shape);
+  scratch.global_races.begin_launch();
+  BlockRunner runner{kernel, cfg, spec, &scratch.global_races, {}, {}};
+  pool.parallel_for_ranges(
+      cfg.grid_blocks, pool.default_chunk(cfg.grid_blocks),
+      [&](unsigned participant, std::size_t begin, std::size_t end) {
+        runner.run_range(scratch.per_participant[participant], begin, end);
+      });
+  for (const auto& bs : scratch.per_participant)
+    scratch.observed_shape.merge(bs.collector);
 
   if (cfg.detect_races && runner.totals.race_hazards > 0)
     throw LaunchError(kernel.name + ": " +
@@ -209,6 +331,12 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
       static_cast<std::uint64_t>(stats.warps_per_block) *
       ((cfg.grid_blocks + spec.multiprocessors - 1) / spec.multiprocessors);
   return stats;
+}
+
+KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                       const DeviceSpec& spec, ThreadPool& pool) {
+  EngineScratch scratch;
+  return run_kernel(kernel, cfg, spec, pool, scratch);
 }
 
 }  // namespace polyeval::simt

@@ -9,12 +9,19 @@
 /// execute a phase in lockstep order, and the engine groups the i-th
 /// global/shared memory access of each lane into one warp-level request --
 /// reproducing how coalescing and bank conflicts form on the real device.
+///
+/// The engine keeps per-worker scratch (shared-memory arena, access
+/// collectors, race journals) alive across launches, so steady-state
+/// launches perform no heap allocation.  The one piece of unbounded
+/// state is the Device launch log, which appends one KernelStats per
+/// launch: long-running users must call Device::clear_log()
+/// periodically (it keeps capacity) for the hot path to stay
+/// allocation-free end to end.
 
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "simt/device_spec.hpp"
@@ -51,43 +58,96 @@ namespace detail {
 
 /// Per-block-phase shared-memory access journal for race detection:
 /// every shared word keeps the first accessor and whether anyone wrote.
+/// Backed by a flat word-indexed table with epoch stamping, so clearing
+/// between phases is O(1) and steady-state use never allocates.
 struct SharedRaceJournal {
   struct WordState {
+    std::uint64_t epoch = 0;
     unsigned thread = 0;
     bool written = false;
     bool multi_thread = false;
   };
-  std::unordered_map<std::uint32_t, WordState> words;
+  std::vector<WordState> words;
+  std::uint64_t epoch = 0;
+
+  /// Size the table for a block touching words [0, word_count).
+  void prepare(std::size_t word_count) {
+    if (words.size() < word_count) words.resize(word_count);
+  }
 
   /// Record an access; returns true when it completes a hazard
   /// (two distinct threads, at least one write).
   bool record(std::uint32_t word, unsigned thread, bool is_write);
-  void clear() { words.clear(); }
+  void clear() { ++epoch; }
 };
 
 /// Launch-wide global-memory write journal: double-writes to one address
 /// by different threads (any blocks) within one kernel are hazards.
+/// Open-addressing table with epoch stamping; the table persists across
+/// launches and only grows while a launch writes more distinct addresses
+/// than any launch before it.
 struct GlobalRaceJournal {
-  std::unordered_map<std::uint64_t, std::uint64_t> writers;  // address -> thread
+  struct Slot {
+    std::uint64_t epoch = 0;
+    std::uint64_t address = 0;
+    std::uint64_t thread = 0;
+  };
+  std::vector<Slot> slots;
+  std::size_t filled = 0;  ///< slots claimed in the current epoch
+  std::uint64_t epoch = 0;
   std::mutex mutex;
 
+  /// Start a new launch: previous entries expire in O(1).
+  void begin_launch();
   bool record_write(std::uint64_t address, std::uint64_t global_thread);
+
+ private:
+  [[nodiscard]] std::size_t probe_start(std::uint64_t address) const noexcept {
+    return static_cast<std::size_t>((address * 0x9E3779B97F4A7C15ull) >> 32) &
+           (slots.size() - 1);
+  }
+  void grow();
 };
 
 /// Warp-level grouping of the accesses issued during one phase: the i-th
-/// access of each lane forms request i.
+/// access of each lane forms request i.  Reused across warps and phases;
+/// reset() keeps every vector's capacity.
 struct WarpCollector {
   struct GlobalGroup {
     std::vector<std::uint64_t> segments;  // distinct 128B segments touched
   };
+  /// One lane access = one contiguous run of 4-byte shared words; the
+  /// fold pass expands runs against an epoch-stamped seen-table, which
+  /// is much cheaper than materializing every word here.
   struct SharedGroup {
-    std::vector<std::uint32_t> words;  // 4-byte shared words touched
+    struct Run {
+      std::uint32_t first_word;
+      std::uint32_t words;
+    };
+    std::vector<Run> runs;
   };
 
   std::vector<GlobalGroup> loads;
   std::vector<GlobalGroup> stores;
   std::vector<SharedGroup> shared;
+  std::size_t loads_used = 0;
+  std::size_t stores_used = 0;
+  std::size_t shared_used = 0;
 
+  /// Group counts another collector reached; used to pre-size cold
+  /// collectors so every engine participant is warm after launch one.
+  struct Shape {
+    std::size_t loads = 0, stores = 0, shared = 0;
+
+    void merge(const WarpCollector& col) {
+      loads = std::max(loads, col.loads.size());
+      stores = std::max(stores, col.stores.size());
+      shared = std::max(shared, col.shared.size());
+    }
+  };
+
+  void reset();
+  void warm(const Shape& shape);
   void record_global(bool is_store, std::size_t ordinal, std::uint64_t address,
                      std::size_t bytes, unsigned segment_bytes);
   void record_shared(std::size_t ordinal, std::uint32_t first_word, std::size_t words);
@@ -103,13 +163,49 @@ struct BlockAccum {
   std::uint64_t constant_reads = 0;
   std::uint64_t inactive_lane_phases = 0;
   std::uint64_t race_hazards = 0;
-
-  /// Fold a retired warp-phase collector into the block tallies,
-  /// computing transactions and bank-conflict cycles.
-  void fold(const WarpCollector& col, const DeviceSpec& spec);
 };
 
 }  // namespace detail
+
+/// Everything one engine participant (pool worker or the caller) reuses
+/// across the blocks it executes: the simulated shared-memory arena, the
+/// warp access collector, the shared race journal and the fold scratch.
+struct BlockScratch {
+  SharedSpace shared{0};
+  detail::SharedRaceJournal shared_races;
+  detail::WarpCollector collector;
+  std::vector<std::uint64_t> cmul_per_thread;
+  std::vector<std::uint64_t> cadd_per_thread;
+  std::vector<std::uint64_t> fold_seen;  ///< epoch-stamped word dedupe table
+  std::uint64_t fold_epoch = 0;
+  std::vector<std::uint64_t> fold_bank_epoch;  ///< epoch-stamped bank counts
+  std::vector<std::uint32_t> fold_per_bank;
+
+  /// Fold a retired warp-phase collector into `accum`, computing
+  /// transactions and bank-conflict cycles.
+  void fold(const detail::WarpCollector& col, const DeviceSpec& spec,
+            detail::BlockAccum& accum);
+
+  /// Deterministically size everything this launch shape needs, so a
+  /// participant that sat out earlier launches does not allocate when a
+  /// chunk finally lands on it mid-run.
+  void warm(const LaunchConfig& cfg, const DeviceSpec& spec,
+            const detail::WarpCollector::Shape& shape);
+};
+
+/// Launch-lifetime engine state a Device keeps alive between launches so
+/// the steady-state hot path is allocation-free.
+struct EngineScratch {
+  std::vector<BlockScratch> per_participant;
+  detail::GlobalRaceJournal global_races;
+  /// Largest collector shape any participant has reached; replayed onto
+  /// every participant at launch start (see BlockScratch::warm).
+  detail::WarpCollector::Shape observed_shape;
+
+  void prepare(unsigned participants) {
+    if (per_participant.size() < participants) per_participant.resize(participants);
+  }
+};
 
 /// Everything a simulated thread sees: its identity, the memory spaces,
 /// and the instrumentation hooks.  Only valid during the phase call.
@@ -238,9 +334,17 @@ class ThreadContext {
   std::uint64_t race_hazards_ = 0;
 };
 
-/// Execute a kernel on the simulated device, distributing blocks over the
-/// host pool, and return its statistics.  Validates the launch against the
-/// device limits (throws LaunchError).
+/// Execute a kernel on the simulated device, distributing contiguous
+/// chunks of blocks over the host pool, and return its statistics.
+/// Validates the launch against the device limits (throws LaunchError).
+/// `scratch` carries the reusable engine state; launches through a
+/// Device share one EngineScratch, which is what makes the steady-state
+/// path allocation-free.
+[[nodiscard]] KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
+                                     const DeviceSpec& spec, ThreadPool& pool,
+                                     EngineScratch& scratch);
+
+/// Convenience overload with throwaway scratch (tests, one-shot launches).
 [[nodiscard]] KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
                                      const DeviceSpec& spec, ThreadPool& pool);
 

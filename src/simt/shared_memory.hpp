@@ -19,6 +19,10 @@ class SharedSpace {
   [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
   [[nodiscard]] std::byte* data() noexcept { return storage_.data(); }
 
+  /// Re-arm the arena for the next block: size it to `bytes` and zero it,
+  /// reusing the existing capacity (steady-state use never allocates).
+  void reset(std::size_t bytes) { storage_.assign(bytes, std::byte{}); }
+
   /// Typed pointer at byte_offset covering count elements; throws
   /// LaunchError if the view exceeds the block's allocation (kernel bug).
   template <class T>

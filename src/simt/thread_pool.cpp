@@ -1,5 +1,7 @@
 #include "simt/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace polyeval::simt {
 
 ThreadPool::ThreadPool(unsigned workers) {
@@ -9,7 +11,7 @@ ThreadPool::ThreadPool(unsigned workers) {
   }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,55 +23,68 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::drain(Job& job) {
-  std::size_t i;
-  while ((i = job.next.fetch_add(1)) < job.count) {
-    try {
-      (*job.fn)(i);
-    } catch (...) {
-      std::lock_guard lock(job.error_mutex);
-      if (!job.error) job.error = std::current_exception();
+void ThreadPool::drain(unsigned participant) {
+  for (;;) {
+    std::size_t begin, end;
+    {
+      std::lock_guard lock(mutex_);
+      if (job_.next >= job_.count) return;
+      begin = job_.next;
+      end = std::min(begin + job_.chunk, job_.count);
+      job_.next = end;
     }
-    job.done.fetch_add(1);
+    // invoke/ctx are stable while any chunk is outstanding: the caller
+    // cannot set up a new job before done reaches count.
+    std::exception_ptr error;
+    try {
+      job_.invoke(job_.ctx, participant, begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    bool complete;
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !job_.error) job_.error = error;
+      job_.done += end - begin;
+      complete = job_.done >= job_.count;
+    }
+    if (complete) cv_done_.notify_all();
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_job(std::size_t count, std::size_t chunk, RangeFn invoke,
+                         void* ctx) {
   if (count == 0) return;
-
-  auto job = std::make_shared<Job>();
-  job->fn = &fn;
-  job->count = count;
+  const std::lock_guard submit(submit_mutex_);
   {
     std::lock_guard lock(mutex_);
-    job_ = job;
+    job_.invoke = invoke;
+    job_.ctx = ctx;
+    job_.count = count;
+    job_.chunk = chunk == 0 ? 1 : chunk;
+    job_.next = 0;
+    job_.done = 0;
+    job_.error = nullptr;
   }
   cv_job_.notify_all();
 
-  drain(*job);
+  drain(0);
 
   {
     std::unique_lock lock(mutex_);
-    cv_done_.wait(lock, [&] { return job->done.load() >= job->count; });
-    job_.reset();
+    cv_done_.wait(lock, [&] { return job_.done >= job_.count; });
   }
-  if (job->error) std::rethrow_exception(job->error);
+  if (job_.error) std::rethrow_exception(job_.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned participant) {
   for (;;) {
-    std::shared_ptr<Job> job;
     {
       std::unique_lock lock(mutex_);
-      cv_job_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_->next.load() < job_->count);
-      });
+      cv_job_.wait(lock, [&] { return stop_ || job_.next < job_.count; });
       if (stop_) return;
-      job = job_;
     }
-    drain(*job);
-    cv_done_.notify_all();
+    drain(participant);
   }
 }
 

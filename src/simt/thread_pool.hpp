@@ -2,19 +2,27 @@
 
 /// \file thread_pool.hpp
 /// Host-side worker pool the simulator schedules thread blocks onto.
-/// Work is handed out by an atomic counter, so block execution order is
-/// nondeterministic across workers while the per-block results stay
-/// deterministic (blocks never share mutable state except through
-/// explicitly synchronized stats merging).
+///
+/// Work is handed out as contiguous *chunks* of the index space through a
+/// shared cursor, so a simulated grid of 10k blocks costs a few dozen
+/// chunk claims instead of 10k type-erased per-index dispatches.  The
+/// callable is a template parameter: inside a chunk every call is a
+/// direct (inlinable) invocation; type erasure happens once per job via a
+/// captureless function pointer, never through std::function.
+///
+/// Chunk execution order is nondeterministic across workers while the
+/// per-index results stay deterministic (indices never share mutable
+/// state except through explicitly synchronized merging).  One job runs
+/// at a time; concurrent callers serialize on the submission lock.
+/// parallel_for must not be called from inside one of its own callbacks.
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace polyeval::simt {
@@ -28,33 +36,89 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Runs fn(i) for i in [0, count), distributing indices over the
-  /// workers; blocks until every index completed.  The calling thread
-  /// participates.  Exceptions from fn are captured and the first one
-  /// rethrown on the caller.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Runs fn(i) for i in [0, count), distributing chunks of indices over
+  /// the workers; blocks until every index completed.  The calling thread
+  /// participates.  Exceptions from fn abort the rest of that chunk and
+  /// the first one is rethrown on the caller.  Steady-state calls perform
+  /// no heap allocation.
+  template <class F>
+  void parallel_for(std::size_t count, F fn) {
+    parallel_for_chunked(count, default_chunk(count), std::move(fn));
+  }
+
+  /// parallel_for with an explicit chunk size: workers claim contiguous
+  /// ranges of `chunk` indices from a shared cursor and run fn(i) for
+  /// each index of the claimed range.
+  template <class F>
+  void parallel_for_chunked(std::size_t count, std::size_t chunk, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(
+        count, chunk,
+        [](void* ctx, unsigned, std::size_t begin, std::size_t end) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          for (std::size_t i = begin; i < end; ++i) f(i);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+
+  /// Chunk-granular form for callers that manage per-participant scratch:
+  /// fn(participant, begin, end) is invoked once per claimed range, with
+  /// `participant` in [0, worker_count()] unique to the executing thread
+  /// for the duration of the job (0 is the calling thread).
+  template <class F>
+  void parallel_for_ranges(std::size_t count, std::size_t chunk, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(
+        count, chunk,
+        [](void* ctx, unsigned participant, std::size_t begin, std::size_t end) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          f(participant, begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   [[nodiscard]] unsigned worker_count() const noexcept {
     return static_cast<unsigned>(threads_.size());
   }
+  /// Threads that can execute chunks: the workers plus the caller.
+  [[nodiscard]] unsigned participant_count() const noexcept {
+    return worker_count() + 1;
+  }
+
+  /// Default chunk size: a handful of claims per participant, so the
+  /// cursor overhead stays negligible while load still balances.
+  [[nodiscard]] std::size_t default_chunk(std::size_t count) const noexcept {
+    const std::size_t targets = std::size_t{participant_count()} * 8;
+    const std::size_t chunk = count / targets;
+    return chunk == 0 ? 1 : chunk;
+  }
 
  private:
+  /// One type-erased range invocation per claimed chunk.
+  using RangeFn = void (*)(void* ctx, unsigned participant, std::size_t begin,
+                           std::size_t end);
+
+  /// The single in-flight job, embedded so steady-state submissions do
+  /// not allocate.  All fields are guarded by mutex_.
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    RangeFn invoke = nullptr;
+    void* ctx = nullptr;
     std::size_t count = 0;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::size_t chunk = 1;
+    std::size_t next = 0;  ///< claim cursor (indices below are claimed)
+    std::size_t done = 0;  ///< indices whose chunk finished executing
     std::exception_ptr error;
-    std::mutex error_mutex;
   };
 
-  void worker_loop();
-  static void drain(Job& job);
+  void run_job(std::size_t count, std::size_t chunk, RangeFn invoke, void* ctx);
+  void drain(unsigned participant);
+  void worker_loop(unsigned participant);
 
-  std::mutex mutex_;
+  std::mutex submit_mutex_;  ///< serializes whole jobs
+  std::mutex mutex_;         ///< guards job_ and the condition variables
   std::condition_variable cv_job_;
   std::condition_variable cv_done_;
-  std::shared_ptr<Job> job_;  ///< shared so workers can outlive the wait
+  Job job_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

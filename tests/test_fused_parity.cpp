@@ -1,0 +1,170 @@
+// Parity tests for the fast paths: the fused single-launch pipeline and
+// the SoA interchange layout must reproduce the three-kernel AoS
+// baseline BITWISE (the arithmetic is identical in order and operation;
+// only storage and scheduling differ) -- across double, double-double
+// and quad-double.
+
+#include <gtest/gtest.h>
+
+#include "core/batch_evaluator.hpp"
+#include "core/fused_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+poly::PolynomialSystem make_system(unsigned n, unsigned m, unsigned k, unsigned d,
+                                   std::uint64_t seed = 77) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+/// Baseline: the paper's three-kernel pipeline, AoS interchange.
+template <prec::RealScalar S>
+std::vector<poly::EvalResult<S>> baseline(const poly::PolynomialSystem& sys,
+                                          const std::vector<std::vector<cplx::Complex<S>>>& points) {
+  simt::Device device;
+  core::GpuEvaluator<S> gpu(device, sys);
+  std::vector<poly::EvalResult<S>> results;
+  for (const auto& x : points)
+    results.push_back(gpu.evaluate(std::span<const cplx::Complex<S>>(x)));
+  return results;
+}
+
+template <prec::RealScalar S>
+std::vector<std::vector<cplx::Complex<S>>> points_for(unsigned batch, unsigned dim,
+                                                      std::uint64_t seed) {
+  std::vector<std::vector<cplx::Complex<S>>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<S>(dim, seed + p));
+  return points;
+}
+
+template <prec::RealScalar S>
+void expect_bitwise(const std::vector<poly::EvalResult<S>>& want,
+                    const std::vector<poly::EvalResult<S>>& got, const char* label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t p = 0; p < want.size(); ++p)
+    EXPECT_EQ(poly::max_abs_diff(want[p], got[p]), 0.0) << label << ", point " << p;
+}
+
+template <prec::RealScalar S>
+void run_parity(unsigned n, unsigned m, unsigned k, unsigned d) {
+  const auto sys = make_system(n, m, k, d);
+  const unsigned batch = 3;
+  const auto points = points_for<S>(batch, n, 4200);
+  const auto want = baseline<S>(sys, points);
+  std::vector<poly::EvalResult<S>> got;
+
+  {  // single-point pipeline, SoA interchange
+    simt::Device device;
+    typename core::GpuEvaluator<S>::Options opt;
+    opt.interchange = core::InterchangeLayout::kSoA;
+    core::GpuEvaluator<S> gpu(device, sys, opt);
+    got.clear();
+    for (const auto& x : points)
+      got.push_back(gpu.evaluate(std::span<const cplx::Complex<S>>(x)));
+    expect_bitwise(want, got, "GpuEvaluator SoA");
+  }
+  {  // batched three-kernel pipeline, AoS and SoA
+    for (const auto layout :
+         {core::InterchangeLayout::kAoS, core::InterchangeLayout::kSoA}) {
+      simt::Device device;
+      typename core::BatchGpuEvaluator<S>::Options opt;
+      opt.interchange = layout;
+      core::BatchGpuEvaluator<S> gpu(device, sys, batch, opt);
+      gpu.evaluate(points, got);
+      expect_bitwise(want, got,
+                     layout == core::InterchangeLayout::kSoA ? "Batch SoA" : "Batch AoS");
+    }
+  }
+  {  // fused single-launch pipeline, checked, AoS and SoA
+    for (const auto layout :
+         {core::InterchangeLayout::kAoS, core::InterchangeLayout::kSoA}) {
+      simt::Device device;
+      typename core::FusedGpuEvaluator<S>::Options opt;
+      opt.detect_races = true;  // parity runs with the race journals on
+      opt.interchange = layout;
+      core::FusedGpuEvaluator<S> gpu(device, sys, batch, opt);
+      gpu.evaluate(points, got);
+      expect_bitwise(want, got,
+                     layout == core::InterchangeLayout::kSoA ? "Fused SoA" : "Fused AoS");
+      EXPECT_EQ(gpu.last_log().kernels.size(), 1u) << "fused pipeline must be one launch";
+    }
+  }
+}
+
+TEST(FusedParity, DoubleGeneralSystem) { run_parity<double>(8, 6, 4, 3); }
+TEST(FusedParity, DoubleWideSystem) { run_parity<double>(16, 10, 9, 2); }
+TEST(FusedParity, DoubleUnivariateMonomials) { run_parity<double>(6, 4, 1, 3); }
+TEST(FusedParity, DoubleBivariateMonomials) { run_parity<double>(6, 4, 2, 2); }
+TEST(FusedParity, DoubleDegreeOne) { run_parity<double>(6, 4, 3, 1); }
+
+TEST(FusedParity, DoubleDouble) { run_parity<prec::DoubleDouble>(6, 4, 3, 2); }
+TEST(FusedParity, QuadDouble) { run_parity<prec::QuadDouble>(5, 3, 2, 2); }
+
+TEST(FusedParity, SinglePointApiMatchesBatchOfOne) {
+  const auto sys = make_system(8, 6, 4, 3);
+  const auto x = poly::make_random_point<double>(8, 31);
+  simt::Device d1, d2;
+  core::GpuEvaluator<double> single(d1, sys);
+  core::FusedGpuEvaluator<double> fused(d2, sys, 1);
+  const auto want = single.evaluate(std::span<const cplx::Complex<double>>(x));
+  const auto got = fused.evaluate(std::span<const cplx::Complex<double>>(x));
+  EXPECT_EQ(poly::max_abs_diff(want, got), 0.0);
+}
+
+TEST(FusedParity, OneUploadOneLaunchOneDownload) {
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> fused(device, sys, 8);
+  const auto points = points_for<double>(8, 8, 500);
+  std::vector<poly::EvalResult<double>> results;
+  fused.evaluate(points, results);
+
+  const auto& log = fused.last_log();
+  ASSERT_EQ(log.kernels.size(), 1u);
+  EXPECT_EQ(log.kernels[0].kernel, "fused_eval");
+  EXPECT_EQ(log.kernels[0].blocks, 8u);  // one block per point
+  EXPECT_EQ(log.transfers.transfers_to_device, 1u);
+  EXPECT_EQ(log.transfers.transfers_from_device, 1u);
+  EXPECT_EQ(log.transfers.bytes_to_device,
+            8u * 8u * sizeof(cplx::Complex<double>));
+  EXPECT_EQ(log.transfers.bytes_from_device,
+            8u * (8u * 8u + 8u) * sizeof(cplx::Complex<double>));
+}
+
+TEST(FusedParity, ValidatesArguments) {
+  const auto sys = make_system(6, 4, 3, 2);
+  simt::Device device;
+  EXPECT_THROW(core::FusedGpuEvaluator<double>(device, sys, 0), std::invalid_argument);
+
+  core::FusedGpuEvaluator<double> fused(device, sys, 2);
+  std::vector<poly::EvalResult<double>> results;
+  std::vector<std::vector<cplx::Complex<double>>> none;
+  EXPECT_THROW(fused.evaluate(none, results), std::invalid_argument);
+  auto too_many = points_for<double>(3, 6, 1);
+  EXPECT_THROW(fused.evaluate(too_many, results), std::invalid_argument);
+  std::vector<std::vector<cplx::Complex<double>>> wrong_dim = {
+      std::vector<cplx::Complex<double>>(5)};
+  EXPECT_THROW(fused.evaluate(wrong_dim, results), std::invalid_argument);
+}
+
+TEST(FusedParity, PartialBatchAllowed) {
+  const auto sys = make_system(6, 4, 3, 2);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> fused(device, sys, 8);
+  const auto points = points_for<double>(2, 6, 600);
+  std::vector<poly::EvalResult<double>> results;
+  EXPECT_NO_THROW(fused.evaluate(points, results));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+}  // namespace

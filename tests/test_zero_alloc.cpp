@@ -1,0 +1,160 @@
+// Allocation-counting regression tests: the evaluation hot path must be
+// allocation-free in steady state.  The global operator new/delete are
+// replaced with counting versions, warm-up calls size every persistent
+// buffer (engine scratch, race journals, staging vectors), and then the
+// measured region asserts the allocator was never touched -- including
+// by the pool's worker threads, which share the global counter.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/batch_evaluator.hpp"
+#include "core/fused_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+poly::PolynomialSystem make_system(unsigned n, unsigned m, unsigned k, unsigned d) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = 1234;
+  return poly::make_random_system(spec);
+}
+
+std::vector<std::vector<Cd>> make_points(unsigned batch, unsigned dim) {
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<double>(dim, 900 + p));
+  return points;
+}
+
+TEST(ZeroAlloc, ParallelForDoesNotAllocatePerIndex) {
+  simt::ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  // warm-up (thread creation happened in the constructor)
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+
+  const std::uint64_t before = g_allocations.load();
+  pool.parallel_for(100000, [&](std::size_t i) { sum.fetch_add(i); });
+  pool.parallel_for_chunked(100000, 64, [&](std::size_t i) { sum.fetch_add(i); });
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "parallel_for allocated " << (after - before) << " times for 200k indices";
+}
+
+TEST(ZeroAlloc, BatchEvaluatorSteadyStateEvaluate) {
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::BatchGpuEvaluator<double> gpu(device, sys, 4);
+  const auto points = make_points(4, 8);
+  std::vector<poly::EvalResult<double>> results;
+
+  // Warm-up: sizes the staging vectors, the engine scratch, the race
+  // journals and the log.
+  for (int i = 0; i < 3; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) {
+    device.clear_log();  // keeps capacity; long-running users do the same
+    gpu.evaluate(points, results);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state BatchGpuEvaluator::evaluate allocated " << (after - before)
+      << " times over 10 calls";
+}
+
+TEST(ZeroAlloc, FusedEvaluatorSteadyStateEvaluate) {
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 4);
+  const auto points = make_points(4, 8);
+  std::vector<poly::EvalResult<double>> results;
+
+  for (int i = 0; i < 3; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state FusedGpuEvaluator::evaluate allocated " << (after - before)
+      << " times over 10 calls";
+}
+
+TEST(ZeroAlloc, FusedEvaluatorWithRaceCheckingSteadyState) {
+  // The race journals are epoch-stamped and persist across launches, so
+  // even the checked configuration is allocation-free once warm.
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::FusedGpuEvaluator<double>::Options opt;
+  opt.detect_races = true;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 4, opt);
+  const auto points = make_points(4, 8);
+  std::vector<poly::EvalResult<double>> results;
+
+  for (int i = 0; i < 3; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
