@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_*.json artifacts.
+
+Compares every host wall-clock field (key containing "wall_us") of each
+current bench JSON against the committed baseline of the same name and
+fails when any value regressed by more than --max-ratio.  Wall-clock
+numbers move with the runner hardware, so the gate is deliberately
+coarse (default 2x): it catches "the hot path grew an allocation per
+launch", not 10% noise.  Modeled-clock and speedup fields are left
+alone -- they have their own in-bench gates.
+
+Usage:
+  scripts/check_bench_regression.py [--baseline-dir bench/baselines]
+      [--max-ratio 2.0] BENCH_batch.json BENCH_sharding.json ...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def wall_clock_leaves(node, path=""):
+    """Yield (path, value) for every numeric leaf whose key mentions wall_us."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from wall_clock_leaves(value, sub)
+            elif isinstance(value, (int, float)) and "wall_us" in key:
+                yield sub, float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from wall_clock_leaves(value, f"{path}[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="current BENCH_*.json files")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this")
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for current_path in args.files:
+        name = os.path.basename(current_path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name}, skipping "
+                  f"(add {baseline_path} to gate it)")
+            continue
+        with open(current_path) as f:
+            current = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+
+        baseline_values = dict(wall_clock_leaves(baseline))
+        for path, value in wall_clock_leaves(current):
+            base = baseline_values.get(path)
+            if base is None or base <= 0.0:
+                continue
+            compared += 1
+            ratio = value / base
+            marker = "FAIL" if ratio > args.max_ratio else "ok"
+            print(f"{marker:4} {name}:{path}: {base:.1f} -> {value:.1f} "
+                  f"({ratio:.2f}x)")
+            if ratio > args.max_ratio:
+                failures.append((name, path, ratio))
+
+    if compared == 0:
+        print("warning: no wall-clock fields compared; "
+              "check the baseline files exist and match the bench output")
+    if failures:
+        print(f"\n{len(failures)} wall-clock regression(s) above "
+              f"{args.max_ratio}x vs the committed baseline:")
+        for name, path, ratio in failures:
+            print(f"  {name}:{path} regressed {ratio:.2f}x")
+        return 1
+    print(f"\nperf gate passed: {compared} wall-clock fields within "
+          f"{args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

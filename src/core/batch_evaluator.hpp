@@ -90,16 +90,37 @@ class BatchGpuEvaluator {
   [[nodiscard]] unsigned batch_capacity() const noexcept { return capacity_; }
   [[nodiscard]] const SystemLayout& layout() const noexcept { return layout_; }
 
+  /// Launches issued per evaluate_range call (shard schedulers pre-size
+  /// device logs with this).
+  static constexpr unsigned kLaunchesPerBatch = 3;
+
   /// Evaluate at points.size() <= batch_capacity() points with one
   /// upload, three launches and one download.
   void evaluate(const std::vector<std::vector<C>>& points,
                 std::vector<poly::EvalResult<S>>& results) {
-    const unsigned s_n = packed_.structure.n;
-    const auto batch = static_cast<unsigned>(points.size());
-    if (batch == 0 || batch > capacity_)
+    if (points.empty() || points.size() > capacity_)
       throw std::invalid_argument("BatchGpuEvaluator: bad batch size");
-    for (const auto& p : points)
-      if (p.size() != s_n)
+    results.resize(points.size());
+    evaluate_range(points, 0, points.size(), std::span<poly::EvalResult<S>>(results));
+  }
+
+  /// Evaluate the `count` points starting at points[first], writing
+  /// out[i] for the i-th point of the range: the shard-facing staging
+  /// entry a ShardedEvaluator drives (see fused_evaluator.hpp for the
+  /// range/merge contract).  Grids cover only the range, so a chunk of
+  /// c points costs c * blocks_per_point blocks, and each point's
+  /// arithmetic is independent of its chunk -- bitwise identical under
+  /// any chunking.
+  void evaluate_range(const std::vector<std::vector<C>>& points, std::size_t first,
+                      std::size_t count, std::span<poly::EvalResult<S>> out) {
+    const unsigned s_n = packed_.structure.n;
+    if (count == 0 || count > capacity_)
+      throw std::invalid_argument("BatchGpuEvaluator: bad batch size");
+    if (first > points.size() || count > points.size() - first || out.size() < count)
+      throw std::invalid_argument("BatchGpuEvaluator: bad point range");
+    const auto batch = static_cast<unsigned>(count);
+    for (std::size_t p = first; p < first + count; ++p)
+      if (points[p].size() != s_n)
         throw std::invalid_argument("BatchGpuEvaluator: point has wrong dimension");
 
     const std::size_t kernels_before = device_.log().kernels.size();
@@ -107,7 +128,8 @@ class BatchGpuEvaluator {
 
     flat_.resize(std::size_t{batch} * s_n);
     for (unsigned p = 0; p < batch; ++p)
-      std::copy(points[p].begin(), points[p].end(), flat_.begin() + std::size_t{p} * s_n);
+      std::copy(points[first + p].begin(), points[first + p].end(),
+                flat_.begin() + std::size_t{p} * s_n);
     device_.upload(x_, std::span<const C>(flat_));
 
     (void)device_.launch(kernel1_,
@@ -120,15 +142,14 @@ class BatchGpuEvaluator {
     host_outputs_.resize(std::size_t{batch} * layout_.num_outputs());
     device_.download(outputs_, std::span<C>(host_outputs_));
 
-    results.resize(batch);
     for (unsigned p = 0; p < batch; ++p) {
-      results[p].resize(s_n);
+      out[p].resize(s_n);
       const std::size_t base = std::size_t{p} * layout_.num_outputs();
       for (unsigned q = 0; q < s_n; ++q)
-        results[p].values[q] = host_outputs_[base + layout_.output_value_index(q)];
+        out[p].values[q] = host_outputs_[base + layout_.output_value_index(q)];
       for (unsigned q = 0; q < s_n; ++q)
         for (unsigned v = 0; v < s_n; ++v)
-          results[p].jacobian[std::size_t{q} * s_n + v] =
+          out[p].jacobian[std::size_t{q} * s_n + v] =
               host_outputs_[base + layout_.output_deriv_index(q, v)];
     }
 

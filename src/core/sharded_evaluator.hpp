@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file sharded_evaluator.hpp
+/// Multi-device sharded evaluation: the manager/worker layout the
+/// paper's lineage runs across accelerators (Verschelde & Yu's
+/// GPU-accelerated Newton, the MPI path trackers it cites), in-process.
+///
+/// A batch of points is split into contiguous chunks of
+/// `Options::chunk_points`.  A manager pool with exactly one
+/// participant per shard claims chunks and evaluates them on the
+/// participant's own `simt::Device` -- each with its own host worker
+/// pool, memory spaces and persistent BlockScratch arenas -- through a
+/// per-shard backend evaluator (`FusedGpuEvaluator` by default,
+/// `BatchGpuEvaluator` for the three-kernel ablation).  Two schedules:
+///
+///   * kWorkStealing (default): chunks are claimed from a shared cursor,
+///     so a shard that finishes early simply claims more -- the
+///     manager/worker dynamic balance of the MPI implementations.
+///   * kStatic: chunk c goes to shard c % shards -- deterministic
+///     placement for reproducible per-device logs (scaling benches).
+///
+/// Determinism and parity: chunk ranges map straight onto slices of the
+/// caller's result buffer, so merged values/Jacobians land in
+/// point-index order no matter which shard computed them; and each
+/// point's arithmetic is independent of its chunk and shard, so results
+/// are BITWISE identical across shard counts 1/2/4/8 and across both
+/// schedules.
+///
+/// Zero allocation: every shard's backend owns persistent staging and
+/// device buffers sized to the chunk capacity, the constructor
+/// deterministically pre-warms every shard with a full-capacity launch
+/// (so work stealing can never land a chunk on a cold shard mid-flight),
+/// device logs are pre-reserved for the worst-case claim pattern, and
+/// the manager pool hands out chunks through the same zero-alloc claim
+/// cursor `run_kernel` uses -- steady-state evaluate() never touches
+/// the allocator.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fused_evaluator.hpp"
+#include "simt/device_registry.hpp"
+
+namespace polyeval::core {
+
+/// How a ShardedEvaluator places chunks on shards.
+enum class ShardSchedule {
+  kWorkStealing,  ///< shared claim cursor, dynamic balance
+  kStatic,        ///< chunk c -> shard c % shards, reproducible placement
+};
+
+template <prec::RealScalar S, class Backend = FusedGpuEvaluator<S>>
+class ShardedEvaluator {
+  using C = cplx::Complex<S>;
+
+ public:
+  struct Options {
+    unsigned shards = 2;
+    /// Device pool threads per shard; with the shard's manager thread
+    /// participating in its device's drains, each shard occupies
+    /// workers_per_shard + 1 host threads while evaluating.
+    unsigned workers_per_shard = 1;
+    /// Points per work item; also each shard's device batch capacity.
+    /// More chunks than shards is what gives the cursor room to steal.
+    unsigned chunk_points = 8;
+    ShardSchedule schedule = ShardSchedule::kWorkStealing;
+    simt::DeviceSpec spec = simt::DeviceSpec::tesla_c2050();
+    typename Backend::Options backend{};
+  };
+
+  ShardedEvaluator(const poly::PolynomialSystem& system, Options options = {})
+      : options_(options),
+        registry_(options.shards, options.spec, options.workers_per_shard) {
+    if (options_.chunk_points == 0)
+      throw std::invalid_argument("ShardedEvaluator: zero chunk_points");
+    shard_eval_.reserve(registry_.size());
+    for (unsigned i = 0; i < registry_.size(); ++i)
+      shard_eval_.push_back(std::make_unique<Backend>(
+          registry_.device(i), system, options_.chunk_points, options_.backend));
+    if (registry_.size() > 1) manager_.emplace(registry_.size() - 1);
+
+    // Deterministic pre-warm: every shard runs two full-capacity
+    // launches so the warm-up, not the steady state, pays every
+    // allocation -- even on shards a stealing schedule leaves cold for
+    // a while.  Two, not one: the first launch discovers the device's
+    // collector shape, the second replays it onto every pool
+    // participant's scratch (BlockScratch::warm), after which no claim
+    // pattern can land a chunk on a cold participant.
+    std::vector<std::vector<C>> warm_points(
+        options_.chunk_points, std::vector<C>(dimension(), C{}));
+    std::vector<poly::EvalResult<S>> warm_results(options_.chunk_points);
+    for (unsigned i = 0; i < registry_.size(); ++i) {
+      for (int pass = 0; pass < 2; ++pass)
+        shard_eval_[i]->evaluate_range(warm_points, 0, warm_points.size(),
+                                       std::span<poly::EvalResult<S>>(warm_results));
+      registry_.device(i).clear_log();
+    }
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept {
+    return shard_eval_.front()->dimension();
+  }
+  [[nodiscard]] unsigned shard_count() const noexcept { return registry_.size(); }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] simt::DeviceRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] Backend& shard(unsigned i) { return *shard_eval_[i]; }
+
+  /// Evaluate at any number of points, sharded over the devices; results
+  /// are merged into `results` in point order.  Unlike the single-device
+  /// evaluators there is no batch-capacity ceiling: the chunk cursor
+  /// walks batches of any size through the fixed-capacity shards.
+  void evaluate(const std::vector<std::vector<C>>& points,
+                std::vector<poly::EvalResult<S>>& results) {
+    const std::size_t batch = points.size();
+    if (batch == 0) throw std::invalid_argument("ShardedEvaluator: empty batch");
+    const unsigned n = dimension();
+    for (const auto& p : points)
+      if (p.size() != n)
+        throw std::invalid_argument("ShardedEvaluator: point has wrong dimension");
+
+    const std::size_t chunk = options_.chunk_points;
+    const std::size_t chunks = (batch + chunk - 1) / chunk;
+    results.resize(batch);
+    for (unsigned i = 0; i < registry_.size(); ++i) {
+      registry_.device(i).clear_log();
+      // Worst case one shard claims every chunk; reserving for it keeps
+      // the log's growth off the steady-state path however claims fall.
+      registry_.device(i).reserve_log(chunks * Backend::kLaunchesPerBatch);
+    }
+
+    const std::span<poly::EvalResult<S>> out(results);
+    const auto run_chunk = [&](unsigned shard, std::size_t c) {
+      const std::size_t first = c * chunk;
+      const std::size_t count = std::min(chunk, batch - first);
+      shard_eval_[shard]->evaluate_range(points, first, count,
+                                         out.subspan(first, count));
+    };
+
+    if (!manager_) {
+      for (std::size_t c = 0; c < chunks; ++c) run_chunk(0, c);
+    } else if (options_.schedule == ShardSchedule::kWorkStealing) {
+      // participant ids are unique per executing thread for the job and
+      // range over [0, shards), so each backend has one user at a time.
+      manager_->parallel_for_ranges(
+          chunks, 1, [&](unsigned participant, std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) run_chunk(participant, c);
+          });
+    } else {
+      // Static schedule: the claimed index IS the shard id; whichever
+      // manager thread claims shard s walks s's strided chunk sequence.
+      const unsigned shards = registry_.size();
+      manager_->parallel_for_ranges(
+          shards, 1, [&](unsigned, std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s)
+              for (std::size_t c = s; c < chunks; c += shards)
+                run_chunk(static_cast<unsigned>(s), c);
+          });
+    }
+
+    merge_logs();
+  }
+
+  /// Merged launch log of the last evaluate() across every shard device
+  /// (kernel entries concatenated shard-major, transfers summed).  For
+  /// per-device logs -- modeled multi-device scaling wants the max, not
+  /// the sum -- read registry().device(i).log() before the next call.
+  [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
+
+ private:
+  void merge_logs() {
+    std::size_t total = 0;
+    for (unsigned i = 0; i < registry_.size(); ++i)
+      total += registry_.device(i).log().kernels.size();
+    last_log_.kernels.clear();
+    last_log_.kernels.reserve(total);
+    last_log_.transfers = {};
+    for (unsigned i = 0; i < registry_.size(); ++i) {
+      const auto& log = registry_.device(i).log();
+      last_log_.kernels.insert(last_log_.kernels.end(), log.kernels.begin(),
+                               log.kernels.end());
+      last_log_.transfers.bytes_to_device += log.transfers.bytes_to_device;
+      last_log_.transfers.bytes_from_device += log.transfers.bytes_from_device;
+      last_log_.transfers.transfers_to_device += log.transfers.transfers_to_device;
+      last_log_.transfers.transfers_from_device += log.transfers.transfers_from_device;
+    }
+  }
+
+  Options options_;
+  simt::DeviceRegistry registry_;
+  std::vector<std::unique_ptr<Backend>> shard_eval_;
+  std::optional<simt::ThreadPool> manager_;  ///< shards - 1 workers + caller
+  simt::LaunchLog last_log_;
+};
+
+}  // namespace polyeval::core

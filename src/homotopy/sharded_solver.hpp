@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file sharded_solver.hpp
+/// Path-tracking batches routed through device shards.
+///
+/// The manager/worker layout of solver.hpp, with the workers promoted
+/// from CPU evaluators to per-shard devices: each shard owns a
+/// `simt::Device` (with its own pool and pre-warmed scratch) and a
+/// `FusedGpuEvaluator` for the target system; the start system stays on
+/// the CPU (it is a handful of x_i^d - 1 monomials, not the uniform
+/// structure the massively parallel pipeline wants).  Path jobs are
+/// claimed in chunks from a shared cursor -- the dynamic balance of the
+/// MPI manager/worker implementations the paper cites -- and results
+/// land indexed by path, so the output order is deterministic.
+///
+/// Reproducibility: a path's trajectory depends only on its start root,
+/// gamma and the evaluators, all identical across shards, so solutions
+/// are BITWISE reproducible across shard counts (the sharded analogue of
+/// the evaluator parity guarantee).  Requires a uniform-structure
+/// target (pack_system's precondition).
+
+#include <memory>
+#include <optional>
+
+#include "ad/cpu_evaluator.hpp"
+#include "core/fused_evaluator.hpp"
+#include "homotopy/solver.hpp"
+#include "simt/device_registry.hpp"
+
+namespace polyeval::homotopy {
+
+struct ShardedSolveOptions {
+  TrackOptions track;
+  std::uint64_t gamma_seed = 20120102;
+  unsigned shards = 2;
+  unsigned workers_per_shard = 1;  ///< device pool threads per shard
+  unsigned chunk_paths = 2;        ///< paths per manager claim
+  std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
+  unsigned block_size = 32;        ///< per-shard fused evaluator geometry
+  bool detect_races = false;       ///< run the shards' launches checked
+};
+
+namespace detail {
+
+/// Everything one shard's manager thread owns while tracking: the
+/// per-device target evaluator, the CPU start-system evaluator, and the
+/// homotopy/tracker built over them.  One instance per shard, used by
+/// one participant at a time.
+template <prec::RealScalar S>
+struct ShardTrackState {
+  using TargetEval = core::FusedGpuEvaluator<S>;
+  using StartEval = ad::CpuEvaluator<S>;
+
+  TargetEval f;
+  StartEval g;
+  Homotopy<S, TargetEval, StartEval> h;
+  PathTracker<S, TargetEval, StartEval> tracker;
+
+  ShardTrackState(simt::Device& device, const poly::PolynomialSystem& target,
+                  const poly::PolynomialSystem& start_system,
+                  cplx::Complex<double> gamma, const ShardedSolveOptions& options)
+      : f(device, target, 1,
+          {.block_size = options.block_size, .detect_races = options.detect_races}),
+        g(start_system),
+        h(f, g, gamma),
+        tracker(h, options.track) {}
+};
+
+}  // namespace detail
+
+/// Track the given start roots of `start_system` through the gamma
+/// homotopy to roots of `target`, path jobs distributed over device
+/// shards.  summary.paths[i] is the i-th start root's result.
+template <prec::RealScalar S>
+SolveSummary<S> track_paths_sharded(
+    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+    const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
+  const std::uint64_t paths = start_roots.size();
+
+  SolveSummary<S> summary;
+  summary.attempted = paths;
+  summary.paths.resize(paths);
+  if (paths == 0) return summary;
+
+  simt::DeviceRegistry registry(options.shards, simt::DeviceSpec::tesla_c2050(),
+                                options.workers_per_shard);
+  std::vector<std::unique_ptr<detail::ShardTrackState<S>>> shards;
+  shards.reserve(registry.size());
+  for (unsigned i = 0; i < registry.size(); ++i)
+    shards.push_back(std::make_unique<detail::ShardTrackState<S>>(
+        registry.device(i), target, start_system, gamma, options));
+
+  const auto track_one = [&](unsigned shard, std::uint64_t path) {
+    summary.paths[path] = shards[shard]->tracker.track(
+        std::span<const cplx::Complex<S>>(start_roots[path]));
+  };
+
+  if (registry.size() == 1) {
+    for (std::uint64_t p = 0; p < paths; ++p) track_one(0, p);
+  } else {
+    simt::ThreadPool manager(registry.size() - 1);
+    const std::size_t chunk = options.chunk_paths == 0 ? 1 : options.chunk_paths;
+    manager.parallel_for_ranges(
+        paths, chunk, [&](unsigned participant, std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) track_one(participant, p);
+        });
+  }
+
+  for (const auto& p : summary.paths)
+    if (p.success) ++summary.successes;
+  return summary;
+}
+
+/// Track the total-degree paths of `target` over device shards -- the
+/// sharded counterpart of solve_total_degree, with the per-path
+/// evaluation work running on the shards' devices.
+template <prec::RealScalar S>
+SolveSummary<S> solve_total_degree_sharded(const poly::PolynomialSystem& target,
+                                           const ShardedSolveOptions& options = {}) {
+  using C = cplx::Complex<S>;
+  const TotalDegreeStart start(target);
+  const auto gamma = random_gamma(options.gamma_seed);
+
+  std::uint64_t paths = start.num_paths();
+  if (options.max_paths > 0) paths = std::min(paths, options.max_paths);
+
+  std::vector<std::vector<C>> roots;
+  roots.reserve(paths);
+  for (std::uint64_t p = 0; p < paths; ++p) {
+    const auto root_d = start.start_root(p);
+    std::vector<C> root;
+    root.reserve(root_d.size());
+    for (const auto& z : root_d) root.push_back(C::from_double(z));
+    roots.push_back(std::move(root));
+  }
+
+  return track_paths_sharded<S>(target, start.system(), roots, gamma, options);
+}
+
+}  // namespace polyeval::homotopy

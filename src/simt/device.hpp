@@ -88,6 +88,11 @@ class Device {
 
   [[nodiscard]] const LaunchLog& log() const noexcept { return log_; }
   void clear_log() { log_.clear(); }
+  /// Pre-size the launch log: callers that issue a known number of
+  /// launches per instrumented region (a sharded evaluator claiming work
+  /// chunks) reserve once so the log's push_back stays off the allocator
+  /// however the chunks fall.
+  void reserve_log(std::size_t kernels) { log_.kernels.reserve(kernels); }
 
  private:
   DeviceSpec spec_;

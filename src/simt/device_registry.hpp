@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file device_registry.hpp
+/// Registry of simulated devices for in-process multi-device sharding.
+///
+/// The paper's lineage scales by distributing independent points or
+/// paths over accelerators (the MPI-era manager/worker layout); this
+/// registry is that layout's device side, in-process: N independent
+/// `Device` instances, each with its own memory spaces, launch log,
+/// engine scratch and -- crucially -- its own host worker pool, so
+/// launches on different devices proceed concurrently without sharing a
+/// single pool's submission lock.
+///
+/// Device is intentionally non-movable (it owns mutexes and worker
+/// threads), so the registry holds stable unique_ptr slots.
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace polyeval::simt {
+
+class DeviceRegistry {
+ public:
+  /// Creates `count` devices of identical spec, each with its own
+  /// `workers_per_device`-thread host pool.  The per-device pool is the
+  /// shard's compute resource: keep count * (workers_per_device + 1)
+  /// near the host core count (the +1 is the shard's manager thread,
+  /// which participates in its device pool's drains).
+  explicit DeviceRegistry(unsigned count, DeviceSpec spec = DeviceSpec::tesla_c2050(),
+                          unsigned workers_per_device = 1) {
+    if (count == 0) throw std::invalid_argument("DeviceRegistry: zero devices");
+    devices_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+      devices_.push_back(std::make_unique<Device>(spec, workers_per_device));
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(devices_.size());
+  }
+  [[nodiscard]] Device& device(unsigned i) { return *devices_[i]; }
+  [[nodiscard]] const Device& device(unsigned i) const { return *devices_[i]; }
+
+  /// Clear every device's launch log (capacity kept, as Device::clear_log).
+  void clear_logs() {
+    for (auto& d : devices_) d->clear_log();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace polyeval::simt

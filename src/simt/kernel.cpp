@@ -31,14 +31,14 @@ bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_writ
   return hazard;
 }
 
-void GlobalRaceJournal::begin_launch() {
+void GlobalRaceJournal::Shard::begin_launch() {
   const std::lock_guard lock(mutex);
   ++epoch;
   filled = 0;
-  if (slots.empty()) slots.resize(1024);
+  if (slots.empty()) slots.resize(256);
 }
 
-void GlobalRaceJournal::grow() {
+void GlobalRaceJournal::Shard::grow() {
   std::vector<Slot> old;
   old.swap(slots);
   slots.resize(old.size() * 2);
@@ -50,7 +50,8 @@ void GlobalRaceJournal::grow() {
   }
 }
 
-bool GlobalRaceJournal::record_write(std::uint64_t address, std::uint64_t global_thread) {
+bool GlobalRaceJournal::Shard::record_write(std::uint64_t address,
+                                            std::uint64_t global_thread) {
   const std::lock_guard lock(mutex);
   // Keep the load factor below 1/2 so probes stay short.
   if ((filled + 1) * 2 > slots.size()) grow();
@@ -166,7 +167,10 @@ void BlockScratch::fold(const detail::WarpCollector& col, const DeviceSpec& spec
 
 void BlockScratch::warm(const LaunchConfig& cfg, const DeviceSpec& spec,
                         const detail::WarpCollector::Shape& shape) {
-  shared.reset(cfg.shared_bytes);
+  // Pre-size only: run_block resets (sizes AND zeroes) the arena before
+  // every block, so warming a hot participant again would just repeat
+  // that memset once per launch per participant.
+  if (shared.size() < cfg.shared_bytes) shared.reset(cfg.shared_bytes);
   const std::size_t shared_words =
       cfg.shared_bytes / spec.shared_bank_width_bytes + 2;
   shared_races.prepare(shared_words);
@@ -274,7 +278,9 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
   // chunk lands on it later (the zero-alloc steady-state guarantee).
   for (auto& bs : scratch.per_participant)
     bs.warm(cfg, spec, scratch.observed_shape);
-  scratch.global_races.begin_launch();
+  // The journal is only consulted by checked launches; the production
+  // path skips even its 16 per-shard epoch bumps.
+  if (cfg.detect_races) scratch.global_races.begin_launch();
   BlockRunner runner{kernel, cfg, spec, &scratch.global_races, {}, {}};
   pool.parallel_for_ranges(
       cfg.grid_blocks, pool.default_chunk(cfg.grid_blocks),

@@ -1,0 +1,208 @@
+// Sharded-evaluation parity and behaviour: values and Jacobians must be
+// BITWISE identical across shard counts 1/2/4/8 (and identical to the
+// single-device paper pipeline) for double, double-double and
+// quad-double; chunk boundaries, partial chunks, work stealing vs the
+// static schedule, and the three-kernel backend must all preserve the
+// bits.  Merged results land in the caller's buffers in point order.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "core/batch_evaluator.hpp"
+#include "core/gpu_evaluator.hpp"
+#include "core/sharded_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+poly::PolynomialSystem make_system(unsigned n, unsigned m, unsigned k, unsigned d,
+                                   std::uint64_t seed = 77) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+template <prec::RealScalar S>
+std::vector<std::vector<cplx::Complex<S>>> points_for(unsigned batch, unsigned dim,
+                                                      std::uint64_t seed) {
+  std::vector<std::vector<cplx::Complex<S>>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<S>(dim, seed + p));
+  return points;
+}
+
+/// Baseline: the paper's three-kernel single-point pipeline.
+template <prec::RealScalar S>
+std::vector<poly::EvalResult<S>> baseline(const poly::PolynomialSystem& sys,
+                                          const std::vector<std::vector<cplx::Complex<S>>>& points) {
+  simt::Device device;
+  core::GpuEvaluator<S> gpu(device, sys);
+  std::vector<poly::EvalResult<S>> results;
+  for (const auto& x : points)
+    results.push_back(gpu.evaluate(std::span<const cplx::Complex<S>>(x)));
+  return results;
+}
+
+template <prec::RealScalar S>
+void expect_bitwise(const std::vector<poly::EvalResult<S>>& want,
+                    const std::vector<poly::EvalResult<S>>& got, const char* label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t p = 0; p < want.size(); ++p)
+    EXPECT_EQ(poly::max_abs_diff(want[p], got[p]), 0.0) << label << ", point " << p;
+}
+
+/// Shard-count sweep: every count reproduces the single-device pipeline
+/// bitwise, chunking chosen so every count exercises partial chunks and
+/// more chunks than shards.
+template <prec::RealScalar S>
+void run_shard_parity(unsigned n, unsigned m, unsigned k, unsigned d, unsigned batch) {
+  const auto sys = make_system(n, m, k, d);
+  const auto points = points_for<S>(batch, n, 4200);
+  const auto want = baseline<S>(sys, points);
+
+  for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+    typename core::ShardedEvaluator<S>::Options opt;
+    opt.shards = shards;
+    opt.workers_per_shard = 1;
+    opt.chunk_points = 3;  // batch % 3 != 0 -> a partial tail chunk
+    opt.backend.detect_races = true;  // parity runs with the journals on
+    core::ShardedEvaluator<S> sharded(sys, opt);
+    std::vector<poly::EvalResult<S>> got;
+    sharded.evaluate(points, got);
+    expect_bitwise(want, got,
+                   (std::string("shards=") + std::to_string(shards)).c_str());
+  }
+}
+
+TEST(ShardedParity, DoubleAcrossShardCounts) { run_shard_parity<double>(8, 6, 4, 3, 10); }
+TEST(ShardedParity, DoubleWideSystem) { run_shard_parity<double>(16, 10, 9, 2, 10); }
+TEST(ShardedParity, DoubleDoubleAcrossShardCounts) {
+  run_shard_parity<prec::DoubleDouble>(6, 4, 3, 2, 10);
+}
+TEST(ShardedParity, QuadDoubleAcrossShardCounts) {
+  run_shard_parity<prec::QuadDouble>(5, 3, 2, 2, 10);
+}
+
+TEST(ShardedParity, StaticScheduleMatchesWorkStealing) {
+  const auto sys = make_system(8, 6, 4, 3);
+  const auto points = points_for<double>(13, 8, 900);
+
+  core::ShardedEvaluator<double>::Options stealing;
+  stealing.shards = 4;
+  stealing.chunk_points = 2;
+  core::ShardedEvaluator<double> a(sys, stealing);
+
+  auto fixed = stealing;
+  fixed.schedule = core::ShardSchedule::kStatic;
+  core::ShardedEvaluator<double> b(sys, fixed);
+
+  std::vector<poly::EvalResult<double>> ra, rb;
+  a.evaluate(points, ra);
+  b.evaluate(points, rb);
+  expect_bitwise(ra, rb, "static vs stealing");
+}
+
+TEST(ShardedParity, ThreeKernelBackendMatchesBaseline) {
+  const auto sys = make_system(8, 6, 4, 3);
+  const auto points = points_for<double>(9, 8, 1500);
+  const auto want = baseline<double>(sys, points);
+
+  core::ShardedEvaluator<double, core::BatchGpuEvaluator<double>>::Options opt;
+  opt.shards = 2;
+  opt.chunk_points = 4;
+  core::ShardedEvaluator<double, core::BatchGpuEvaluator<double>> sharded(sys, opt);
+  std::vector<poly::EvalResult<double>> got;
+  sharded.evaluate(points, got);
+  expect_bitwise(want, got, "three-kernel backend");
+}
+
+TEST(ShardedParity, BatchLargerThanAnyShardCapacity) {
+  // No batch-capacity ceiling: 40 points stream through 2 shards of
+  // capacity 4, and repeated calls stay bitwise-stable.
+  const auto sys = make_system(6, 4, 3, 2);
+  const auto points = points_for<double>(40, 6, 7000);
+  const auto want = baseline<double>(sys, points);
+
+  core::ShardedEvaluator<double>::Options opt;
+  opt.shards = 2;
+  opt.chunk_points = 4;
+  core::ShardedEvaluator<double> sharded(sys, opt);
+  std::vector<poly::EvalResult<double>> got;
+  sharded.evaluate(points, got);
+  expect_bitwise(want, got, "streaming batch, call 1");
+  sharded.evaluate(points, got);
+  expect_bitwise(want, got, "streaming batch, call 2");
+}
+
+TEST(ShardedEvaluator, MergedLogCoversEveryChunk) {
+  const auto sys = make_system(8, 6, 4, 3);
+  const auto points = points_for<double>(10, 8, 333);
+
+  core::ShardedEvaluator<double>::Options opt;
+  opt.shards = 2;
+  opt.chunk_points = 3;  // chunks: 3 + 3 + 3 + 1
+  core::ShardedEvaluator<double> sharded(sys, opt);
+  std::vector<poly::EvalResult<double>> results;
+  sharded.evaluate(points, results);
+
+  const auto& log = sharded.last_log();
+  EXPECT_EQ(log.kernels.size(), 4u);  // one fused launch per chunk
+  std::uint64_t blocks = 0;
+  for (const auto& k : log.kernels) {
+    EXPECT_EQ(k.kernel, "fused_eval");
+    blocks += k.blocks;
+  }
+  EXPECT_EQ(blocks, 10u);  // one block per point, every point covered once
+  EXPECT_EQ(log.transfers.transfers_to_device, 4u);
+  EXPECT_EQ(log.transfers.transfers_from_device, 4u);
+  EXPECT_EQ(log.transfers.bytes_to_device,
+            10u * 8u * sizeof(cplx::Complex<double>));
+}
+
+TEST(ShardedEvaluator, EvaluateRangeValidatesBounds) {
+  // The shard-facing range API rejects out-of-range windows, including
+  // first values large enough to wrap first + count.
+  const auto sys = make_system(6, 4, 3, 2);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> fused(device, sys, 2);
+  auto points = points_for<double>(2, 6, 10);
+  std::vector<poly::EvalResult<double>> results(2);
+  const std::span<poly::EvalResult<double>> out(results);
+  EXPECT_THROW(fused.evaluate_range(points, std::numeric_limits<std::size_t>::max(),
+                                    2, out),
+               std::invalid_argument);
+  EXPECT_THROW(fused.evaluate_range(points, 1, 2, out), std::invalid_argument);
+  EXPECT_NO_THROW(fused.evaluate_range(points, 1, 1, out));
+}
+
+TEST(ShardedEvaluator, ValidatesArguments) {
+  const auto sys = make_system(6, 4, 3, 2);
+  {
+    core::ShardedEvaluator<double>::Options opt;
+    opt.shards = 0;
+    EXPECT_THROW(core::ShardedEvaluator<double>(sys, opt), std::invalid_argument);
+  }
+  {
+    core::ShardedEvaluator<double>::Options opt;
+    opt.chunk_points = 0;
+    EXPECT_THROW(core::ShardedEvaluator<double>(sys, opt), std::invalid_argument);
+  }
+
+  core::ShardedEvaluator<double> sharded(sys);
+  std::vector<poly::EvalResult<double>> results;
+  std::vector<std::vector<cplx::Complex<double>>> none;
+  EXPECT_THROW(sharded.evaluate(none, results), std::invalid_argument);
+  std::vector<std::vector<cplx::Complex<double>>> wrong_dim = {
+      std::vector<cplx::Complex<double>>(5)};
+  EXPECT_THROW(sharded.evaluate(wrong_dim, results), std::invalid_argument);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 
 #include "core/batch_evaluator.hpp"
 #include "core/fused_evaluator.hpp"
+#include "core/sharded_evaluator.hpp"
 #include "poly/random_system.hpp"
 #include "simt/thread_pool.hpp"
 
@@ -130,6 +131,37 @@ TEST(ZeroAlloc, FusedEvaluatorSteadyStateEvaluate) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state FusedGpuEvaluator::evaluate allocated " << (after - before)
       << " times over 10 calls";
+}
+
+TEST(ZeroAlloc, ShardedEvaluatorSteadyStateEvaluate) {
+  // The sharding layer preserves the guarantee end to end: the manager
+  // pool's chunk cursor, the per-shard staging, every device's engine
+  // scratch (pre-warmed at construction) and the merged log all stay
+  // off the allocator in steady state -- under BOTH schedules, so the
+  // nondeterministic claim patterns of work stealing cannot smuggle an
+  // allocation in.
+  const auto sys = make_system(8, 6, 4, 3);
+  for (const auto schedule :
+       {core::ShardSchedule::kWorkStealing, core::ShardSchedule::kStatic}) {
+    core::ShardedEvaluator<double>::Options opt;
+    opt.shards = 2;
+    opt.workers_per_shard = 1;
+    opt.chunk_points = 2;
+    opt.schedule = schedule;
+    core::ShardedEvaluator<double> sharded(sys, opt);
+    const auto points = make_points(8, 8);
+    std::vector<poly::EvalResult<double>> results;
+
+    for (int i = 0; i < 5; ++i) sharded.evaluate(points, results);
+
+    const std::uint64_t before = g_allocations.load();
+    for (int i = 0; i < 10; ++i) sharded.evaluate(points, results);
+    const std::uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state ShardedEvaluator::evaluate allocated " << (after - before)
+        << " times over 10 calls (schedule "
+        << (schedule == core::ShardSchedule::kStatic ? "static" : "stealing") << ")";
+  }
 }
 
 TEST(ZeroAlloc, FusedEvaluatorWithRaceCheckingSteadyState) {
