@@ -1,0 +1,228 @@
+// Stream-pipelined double-buffered evaluation: how much of the PCIe
+// round trip the two-stream upload(i+1)/compute(i)/download(i-1)
+// schedule hides, against the synchronous per-chunk schedule doing the
+// same micro-chunked work.
+//
+// Two clocks, as everywhere in this repo (docs/ARCHITECTURE.md):
+//
+//   * the MODELED DEVICE CLOCK is where the pipelining lives: the
+//     stream timeline overlaps copies (DMA engines) under kernels
+//     (compute engine), and the overlap ratio -- synchronous schedule
+//     cost / pipelined makespan -- is deterministic and gated >= 1.3x
+//     on the transfer-bound dim-16 workload.  The compute-bound Table-1
+//     workload is reported unGated: its transfers are a few percent of
+//     the kernel time, so pipelining rightly buys little -- the bench
+//     shows WHERE the technique pays, not just that it can.
+//   * the HOST WALL CLOCK: stream commands execute eagerly, so the
+//     pipelined evaluator should cost what the synchronous micro-chunk
+//     path costs.  The <= 1.25x gate binds on full runs on >= 4 cores
+//     (the bench_sharding policy); quick mode reports without gating.
+//
+// Results are checked bitwise against the synchronous path on every
+// workload -- the determinism half of the stream contract.
+//
+// Emits BENCH_pipeline.json; `--quick` is the CI smoke configuration.
+
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "benchutil/json.hpp"
+#include "benchutil/table.hpp"
+#include "benchutil/timer.hpp"
+#include "core/pipelined_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+struct Workload {
+  const char* name;
+  unsigned m, k;  ///< monomials per polynomial, variables per monomial
+  bool gate_overlap;
+};
+
+struct Row {
+  const char* name = nullptr;
+  double wall_pipelined_us = 0.0;
+  double wall_sync_us = 0.0;
+  double modeled_pipelined_us = 0.0;
+  double modeled_sync_us = 0.0;
+  double overlap = 0.0;
+  bool bitwise_identical = true;
+};
+
+poly::PolynomialSystem workload_system(unsigned dim, const Workload& w) {
+  poly::SystemSpec spec;
+  spec.dimension = dim;
+  spec.monomials_per_polynomial = w.m;
+  spec.variables_per_monomial = w.k;
+  spec.max_exponent = 2;
+  return poly::make_random_system(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const unsigned dim = 16;
+  const unsigned batch = quick ? 64 : 128;
+  const unsigned micro_chunk = 8;
+  const double min_seconds = quick ? 0.05 : 0.5;
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  // Table-1 structure (compute-bound) and a Jacobian-download-bound
+  // structure: same dimension and output volume, a fraction of the
+  // arithmetic, so the PCIe term dominates and pipelining has latency
+  // to hide.
+  const Workload workloads[] = {
+      {"table1_m22_k9", 22, 9, false},
+      {"jacobian_bound_m4_k2", 4, 2, true},
+  };
+
+  std::cout << "=== Stream-pipelined double-buffered evaluation ===\n"
+            << "dim " << dim << ", batch " << batch << ", micro-chunks of "
+            << micro_chunk << " points, two streams (copy + compute)\n"
+            << "host cores: " << host_cores << "\n\n";
+
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<double>(dim, 100 + p));
+
+  benchutil::Table table({"workload", "wall pipe us", "wall sync us", "wall ratio",
+                          "modeled pipe us", "modeled sync us", "overlap",
+                          "bitwise"});
+  benchutil::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "pipeline");
+  json.key("workload");
+  json.begin_object()
+      .field("dimension", dim)
+      .field("batch", batch)
+      .field("micro_chunk", micro_chunk)
+      .field("max_exponent", 2u)
+      .field("quick", quick)
+      .end_object();
+  json.field("host_hardware_concurrency", std::uint64_t{host_cores});
+  json.key("workloads");
+  json.begin_array();
+
+  bool all_bitwise = true;
+  double gated_overlap = 0.0;
+  double gated_wall_ratio = 0.0;
+  for (const auto& w : workloads) {
+    const auto sys = workload_system(dim, w);
+    Row row;
+    row.name = w.name;
+
+    // Synchronous per-chunk baseline: the pre-stream schedule, one
+    // upload-launch-download round per micro-chunk.
+    simt::Device sync_device;
+    core::FusedGpuEvaluator<double> sync(sync_device, sys, micro_chunk);
+    std::vector<poly::EvalResult<double>> sync_results(batch);
+    const std::span<poly::EvalResult<double>> sync_out(sync_results);
+    const auto run_sync = [&] {
+      sync_device.clear_log();
+      for (unsigned first = 0; first < batch; first += micro_chunk) {
+        const unsigned count = std::min(micro_chunk, batch - first);
+        sync.evaluate_range(points, first, count, sync_out.subspan(first, count));
+      }
+    };
+
+    simt::Device pipe_device;
+    core::PipelinedFusedEvaluator<double>::Options opt;
+    opt.micro_chunk = micro_chunk;
+    core::PipelinedFusedEvaluator<double> pipelined(pipe_device, sys, batch, opt);
+    std::vector<poly::EvalResult<double>> pipe_results;
+    const auto run_pipe = [&] {
+      pipe_device.clear_log();
+      pipelined.evaluate(points, pipe_results);
+    };
+
+    run_sync();
+    run_pipe();
+    for (unsigned p = 0; p < batch; ++p)
+      if (poly::max_abs_diff(sync_results[p], pipe_results[p]) != 0.0) {
+        row.bitwise_identical = false;
+        break;
+      }
+
+    row.modeled_pipelined_us = pipelined.modeled_pipelined_us();
+    row.modeled_sync_us = pipelined.modeled_synchronous_us();
+    row.overlap = pipelined.modeled_overlap();
+    row.wall_sync_us = benchutil::time_per_call(run_sync, min_seconds) * 1e6;
+    row.wall_pipelined_us = benchutil::time_per_call(run_pipe, min_seconds) * 1e6;
+
+    const double wall_ratio = row.wall_pipelined_us / row.wall_sync_us;
+    if (w.gate_overlap) {
+      gated_overlap = row.overlap;
+      gated_wall_ratio = wall_ratio;
+    }
+    all_bitwise = all_bitwise && row.bitwise_identical;
+
+    table.add_row({row.name, benchutil::format_fixed(row.wall_pipelined_us, 1),
+                   benchutil::format_fixed(row.wall_sync_us, 1),
+                   benchutil::format_fixed(wall_ratio, 2),
+                   benchutil::format_fixed(row.modeled_pipelined_us, 1),
+                   benchutil::format_fixed(row.modeled_sync_us, 1),
+                   benchutil::format_speedup(row.overlap),
+                   row.bitwise_identical ? "yes" : "NO"});
+    json.begin_object()
+        .field("name", row.name)
+        .field("monomials_per_polynomial", w.m)
+        .field("variables_per_monomial", w.k)
+        .field("wall_us_per_batch_pipelined", row.wall_pipelined_us)
+        .field("wall_us_per_batch_sync", row.wall_sync_us)
+        .field("wall_ratio_pipelined_vs_sync", wall_ratio)
+        .field("modeled_pipelined_us", row.modeled_pipelined_us)
+        .field("modeled_synchronous_us", row.modeled_sync_us)
+        .field("modeled_overlap", row.overlap)
+        .field("overlap_gated", w.gate_overlap)
+        .field("bitwise_identical_to_sync", row.bitwise_identical)
+        .end_object();
+  }
+  json.end_array();
+
+  // Gates.  Bitwise identity and the modeled overlap are deterministic
+  // and bind in every mode; the host wall ratio is noise-prone on
+  // shared CI hardware, so -- the bench_sharding policy -- it only
+  // FAILS full runs on >= 4 cores and is reported otherwise.
+  const double overlap_target = 1.3;
+  const double wall_ratio_limit = 1.25;
+  const bool overlap_ok = gated_overlap >= overlap_target;
+  const bool wall_gate_applicable = !quick && host_cores >= 4;
+  const bool wall_ok = !wall_gate_applicable || gated_wall_ratio <= wall_ratio_limit;
+  json.field("overlap_target", overlap_target);
+  json.field("overlap_achieved", gated_overlap);
+  json.field("wall_ratio_limit", wall_ratio_limit);
+  json.field("wall_gate_applicable", wall_gate_applicable);
+  json.field("bitwise_identical_all", all_bitwise);
+  json.field("gates_met", all_bitwise && overlap_ok && wall_ok);
+  json.end_object();
+
+  const char* out_path = "BENCH_pipeline.json";
+  if (json.write_file(out_path))
+    std::cout << table.to_string() << "\nwrote " << out_path << "\n";
+  else
+    std::cout << table.to_string() << "\nWARNING: could not write " << out_path << "\n";
+
+  if (!all_bitwise) std::cout << "FAIL: pipelined results differ from synchronous\n";
+  if (!overlap_ok)
+    std::cout << "FAIL: modeled overlap " << gated_overlap << " < " << overlap_target
+              << " on the transfer-bound workload\n";
+  if (!wall_ok)
+    std::cout << "FAIL: pipelined host wall " << gated_wall_ratio
+              << "x the synchronous path (> " << wall_ratio_limit << ")\n";
+  else if (!wall_gate_applicable)
+    std::cout << "note: host wall gate waived ("
+              << (quick ? "quick mode is a smoke run on shared hardware"
+                        : "fewer than 4 cores")
+              << "); bitwise and modeled-overlap gates still bind\n";
+
+  return (all_bitwise && overlap_ok && wall_ok) ? 0 : 1;
+}

@@ -93,6 +93,9 @@ class BatchGpuEvaluator {
   /// Launches issued per evaluate_range call (shard schedulers pre-size
   /// device logs with this).
   static constexpr unsigned kLaunchesPerBatch = 3;
+  [[nodiscard]] unsigned launches_per_batch() const noexcept {
+    return kLaunchesPerBatch;
+  }
 
   /// Evaluate at points.size() <= batch_capacity() points with one
   /// upload, three launches and one download.
@@ -142,29 +145,12 @@ class BatchGpuEvaluator {
     host_outputs_.resize(std::size_t{batch} * layout_.num_outputs());
     device_.download(outputs_, std::span<C>(host_outputs_));
 
-    for (unsigned p = 0; p < batch; ++p) {
-      out[p].resize(s_n);
-      const std::size_t base = std::size_t{p} * layout_.num_outputs();
-      for (unsigned q = 0; q < s_n; ++q)
-        out[p].values[q] = host_outputs_[base + layout_.output_value_index(q)];
-      for (unsigned q = 0; q < s_n; ++q)
-        for (unsigned v = 0; v < s_n; ++v)
-          out[p].jacobian[std::size_t{q} * s_n + v] =
-              host_outputs_[base + layout_.output_deriv_index(q, v)];
-    }
+    for (unsigned p = 0; p < batch; ++p)
+      detail::unpack_outputs<S>(layout_, std::span<const C>(host_outputs_),
+                                std::size_t{p} * layout_.num_outputs(), out[p]);
 
-    const auto& log = device_.log();
-    last_log_.kernels.assign(
-        log.kernels.begin() + static_cast<std::ptrdiff_t>(kernels_before),
-        log.kernels.end());
-    last_log_.transfers.bytes_to_device =
-        log.transfers.bytes_to_device - transfers_before.bytes_to_device;
-    last_log_.transfers.bytes_from_device =
-        log.transfers.bytes_from_device - transfers_before.bytes_from_device;
-    last_log_.transfers.transfers_to_device =
-        log.transfers.transfers_to_device - transfers_before.transfers_to_device;
-    last_log_.transfers.transfers_from_device =
-        log.transfers.transfers_from_device - transfers_before.transfers_from_device;
+    detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
+                                last_log_);
   }
 
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }

@@ -27,12 +27,19 @@
 /// available (GpuEvaluator / BatchGpuEvaluator) as the ablation
 /// baseline.
 ///
+/// The system's device-resident state (constant tables, folded
+/// coefficients, Mons scratch) and the kernel construction live in
+/// detail::FusedSystemState / detail::build_fused_kernel so the
+/// pipelined double-buffered variant (pipelined_evaluator.hpp) can
+/// share them while owning two X/Outputs buffer pairs.
+///
 /// Steady-state evaluate() calls perform zero heap allocations: the
 /// packed system, kernels, staging vectors and device buffers are all
 /// built once in the constructor.  The exception is the Device launch
 /// log, which grows by one entry per launch -- long-running callers
 /// should clear it periodically (Device::clear_log keeps capacity).
 
+#include <algorithm>
 #include <array>
 #include <span>
 #include <stdexcept>
@@ -43,13 +50,279 @@
 
 namespace polyeval::core {
 
+/// First step toward the ROADMAP block-size autotuning item: choose the
+/// fused kernel's block size from the system structure (n, m, k) and
+/// the batch size.  One block owns one point, so the grid IS the batch:
+/// once the batch covers the device's SMs, inter-block parallelism
+/// hides per-thread serial depth and the narrowest block (one warp)
+/// minimizes per-block overhead.  An under-full grid instead widens the
+/// block, moving the idle SMs' worth of parallelism inside the point:
+/// enough threads that the busier of the two per-point loops (nm
+/// monomials in phase 2, n^2+n outputs in phase 3) runs only a few
+/// trips per thread -- deep monomials (~5k multiplications each, large
+/// k) keep a lane busy across more trips -- but never wider than the
+/// narrower loop, whose surplus lanes would idle a whole phase.
+[[nodiscard]] constexpr unsigned pick_block_size(unsigned n, unsigned m, unsigned k,
+                                                 unsigned batch) noexcept {
+  constexpr unsigned kWarp = 32;
+  constexpr unsigned kFermiSMs = 14;   // DeviceSpec::tesla_c2050
+  constexpr std::uint64_t kMaxBlock = 256;
+  if (batch >= kFermiSMs) return kWarp;
+  const std::uint64_t monomials = std::uint64_t{n} * m;
+  const std::uint64_t outputs = std::uint64_t{n} * (n + 1);
+  const std::uint64_t trips = k >= 6 ? 8 : 4;
+  std::uint64_t threads = (std::max(monomials, outputs) + trips - 1) / trips;
+  threads = std::min({threads, std::min(monomials, outputs), kMaxBlock});
+  return static_cast<unsigned>((std::max<std::uint64_t>(threads, 1) + kWarp - 1) /
+                               kWarp) *
+         kWarp;
+}
+
+namespace detail {
+
+/// Device-resident state every fused-pipeline variant shares: the
+/// packed system's constant tables, the coefficient portions folded in
+/// the working precision, the per-point Mons scratch (written and read
+/// inside one launch, so one copy serves any number of in-flight point
+/// buffers) and the shared-memory budget.  The X and Outputs buffers
+/// stay with the evaluator: the plain evaluator owns one pair, the
+/// pipelined evaluator double-buffers two.
+template <prec::RealScalar S>
+struct FusedSystemState {
+  using C = cplx::Complex<S>;
+
+  PackedSystem packed;
+  SystemLayout layout;
+  simt::ConstantBuffer<unsigned char> positions, exponents;
+  simt::GlobalBuffer<C> coeffs;
+  InterchangeBuffer<S> mons;
+  std::size_t shared_bytes = 0;
+
+  FusedSystemState(simt::Device& device, const poly::PolynomialSystem& system,
+                   unsigned batch_capacity, ExponentEncoding encoding,
+                   InterchangeLayout interchange)
+      : packed(pack_system(system)), layout(packed.structure) {
+    const auto s = packed.structure;
+
+    const auto encoded = encode_exponents(encoding, packed.exponents);
+    positions =
+        device.alloc_constant<unsigned char>(packed.positions.size(), "Positions");
+    exponents = device.alloc_constant<unsigned char>(encoded.size(), "Exponents");
+    device.upload_constant(positions,
+                           std::span<const unsigned char>(packed.positions));
+    device.upload_constant(exponents, std::span<const unsigned char>(encoded));
+
+    coeffs = device.alloc_global<C>(layout.coeffs_size(), "Coeffs");
+    mons.allocate(device, std::size_t{batch_capacity} * layout.mons_size(),
+                  "Mons[batch]", interchange);
+
+    // exponent factors folded in the working precision, as in GpuEvaluator
+    std::vector<C> folded(packed.coeffs.size());
+    for (std::uint64_t t = 0; t < layout.total_monomials(); ++t) {
+      const auto raw = C::from_double(packed.coeffs[layout.coeff_index(s.k, t)]);
+      for (unsigned j = 0; j < s.k; ++j) {
+        const double a = packed.exponents[layout.support_index(t, j)] + 1.0;
+        folded[layout.coeff_index(j, t)] = raw * prec::ScalarTraits<S>::from_double(a);
+      }
+      folded[layout.coeff_index(s.k, t)] = raw;
+    }
+    device.upload(coeffs, std::span<const C>(folded));
+    mons.fill_zero(device);
+
+    // Shared memory: the point (n) and the powers table (n*d).  Unlike
+    // the paper's kernel 2, the per-thread L_1..L_{k+1} strip lives in
+    // registers/local memory: it is thread-private, so shared memory
+    // buys it nothing but bank pressure, and keeping it local lifts the
+    // shared-capacity ceiling on the block size.
+    shared_bytes = std::size_t{s.n} * (1 + s.d) * sizeof(C);
+  }
+};
+
+/// Build the fused single-launch kernel over the given point/output
+/// buffer pair.  The pipelined evaluator calls this twice (one kernel
+/// per double-buffer slot); the buffers are cheap handles captured by
+/// value in the phase closures.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel build_fused_kernel(const FusedSystemState<S>& sys,
+                                              ExponentEncoding enc,
+                                              simt::GlobalBuffer<cplx::Complex<S>> x,
+                                              simt::GlobalBuffer<cplx::Complex<S>> outputs_buf) {
+  using C = cplx::Complex<S>;
+  const auto s = sys.packed.structure;
+  const unsigned n = s.n, d = s.d, k = s.k, m = s.m;
+  const std::uint64_t monomials = sys.layout.total_monomials();
+  const std::uint64_t outs = sys.layout.num_outputs();
+  const auto layout = sys.layout;
+  const auto coeffs = sys.coeffs;
+  const auto mons = sys.mons;
+  const auto positions = sys.positions;
+  const auto exponents = sys.exponents;
+
+  // Shared layout offsets (bytes).
+  const std::size_t svars_off = 0;
+  const std::size_t powers_off = std::size_t{n} * sizeof(C);
+
+  const auto decode = [exponents, enc](simt::ThreadContext& ctx,
+                                       std::uint64_t index) -> unsigned {
+    if (enc == ExponentEncoding::kChar) return ctx.load_constant(exponents, index);
+    const unsigned char byte = ctx.load_constant(exponents, index / 2);
+    return index % 2 == 0 ? (byte & 0x0Fu) : (byte >> 4u);
+  };
+
+  simt::Kernel kernel;
+  // <= 15 chars: KernelStats copies the name per launch, and an
+  // SSO-sized string keeps that copy off the allocator.
+  kernel.name = "fused_eval";
+  kernel.phases = {
+      // Phase 1 (kernel 1 stage one, fused): one coalesced read of the
+      // point serves both the shared copy of the variables and row one
+      // of the powers table.
+      [x, n, d, svars_off, powers_off](simt::ThreadContext& ctx) {
+        const std::size_t point = ctx.block_index();
+        auto svars = ctx.template shared_array<C>(svars_off, n);
+        auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
+        bool worked = false;
+        for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
+          worked = true;
+          const C xv = ctx.load(x, point * n + v);
+          svars.set(v, xv);
+          powers.set(v, C(S(1.0)));  // row 0: x^0
+          if (d >= 2) {
+            powers.set(std::size_t{n} + v, xv);
+            for (unsigned e = 2; e < d; ++e) {
+              const C next = powers.get(std::size_t{e - 1} * n + v) * xv;
+              ctx.op_cmul();
+              powers.set(std::size_t{e} * n + v, next);
+            }
+          }
+        }
+        if (!worked) ctx.mark_inactive();
+      },
+      // Phase 2 (kernels 1+2 fused): each thread loops over its share
+      // of the point's monomials.  The common factor is produced from
+      // the shared powers table and consumed in-register -- no global
+      // interchange.
+      [mons, coeffs, positions, decode, layout, n, d, k, monomials, svars_off,
+       powers_off](simt::ThreadContext& ctx) {
+        const std::size_t point = ctx.block_index();
+        auto svars = ctx.template shared_array<C>(svars_off, n);
+        auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
+        // Thread-private L_1..L_{k+1} strip and position cache
+        // (registers/local memory, not shared -- see the
+        // shared-memory note in FusedSystemState).  Entries below k
+        // are always written before they are read.
+        std::array<C, 257> ell;
+        std::array<unsigned, 256> pos;
+        const std::size_t mons_base = point * layout.mons_size();
+
+        bool worked = false;
+        for (std::uint64_t g = ctx.thread_index(); g < monomials;
+             g += ctx.block_dim()) {
+          worked = true;
+
+          for (unsigned j = 0; j < k; ++j)
+            pos[j] = ctx.load_constant(positions, layout.support_index(g, j));
+          const auto var = [&](unsigned j) { return svars.get(pos[j]); };
+
+          // Common factor from the powers table: k-1 multiplications.
+          C cf(S(1.0));
+          for (unsigned j = 0; j < k; ++j) {
+            const unsigned em1 = decode(ctx, layout.support_index(g, j));
+            const C val = powers.get(std::size_t{em1} * n + pos[j]);
+            if (j == 0) {
+              cf = val;
+            } else {
+              cf = cf * val;
+              ctx.op_cmul();
+            }
+          }
+
+          // Speelpenning derivatives into L_1..L_k: 3k-6 for k >= 3.
+          if (k == 2) {
+            ell[0] = var(1);
+            ell[1] = var(0);
+          } else if (k >= 3) {
+            ell[1] = var(0);
+            for (unsigned r = 2; r < k; ++r) {
+              ell[r] = ell[r - 1] * var(r - 1);
+              ctx.op_cmul();
+            }
+            C q = var(k - 1);
+            ell[k - 2] = ell[k - 2] * q;
+            ctx.op_cmul();
+            for (unsigned r = 1; r + 2 < k; ++r) {
+              q = q * var(k - 1 - r);
+              ctx.op_cmul();
+              ell[k - 2 - r] = ell[k - 2 - r] * q;
+              ctx.op_cmul();
+            }
+            ell[0] = q * var(1);
+            ctx.op_cmul();
+          }
+
+          // Scale by the in-register common factor (k multiplications;
+          // for k == 1 the derivative IS the factor).
+          if (k == 1) {
+            ell[0] = cf;
+          } else {
+            for (unsigned j = 0; j < k; ++j) {
+              ell[j] = ell[j] * cf;
+              ctx.op_cmul();
+            }
+          }
+
+          // Monomial value from its last derivative (1 multiplication).
+          ell[k] = ell[k - 1] * var(k - 1);
+          ctx.op_cmul();
+
+          // Coefficient products (k+1 multiplications).
+          for (unsigned j = 0; j <= k; ++j) {
+            const C c = ctx.load(coeffs, layout.coeff_index(j, g));
+            ell[j] = ell[j] * c;
+            ctx.op_cmul();
+          }
+
+          mons.store(ctx, mons_base + layout.mons_value_index(g), ell[k]);
+          for (unsigned j = 0; j < k; ++j)
+            mons.store(ctx, mons_base + layout.mons_deriv_index(g, pos[j]),
+                       ell[j]);
+        }
+        if (!worked) ctx.mark_inactive();
+      },
+      // Phase 3 (kernel 3, fused behind the block barrier): each
+      // thread sums its share of the point's outputs.
+      [mons, outputs_buf, layout, m, outs](simt::ThreadContext& ctx) {
+        const std::size_t point = ctx.block_index();
+        const std::size_t mons_base = point * layout.mons_size();
+        bool worked = false;
+        for (std::uint64_t out = ctx.thread_index(); out < outs;
+             out += ctx.block_dim()) {
+          worked = true;
+          C sum = mons.load(ctx, mons_base + layout.mons_index(out, 0));
+          for (unsigned j = 1; j < m; ++j) {
+            sum += mons.load(ctx, mons_base + layout.mons_index(out, j));
+            ctx.op_cadd();
+          }
+          ctx.store(outputs_buf, point * outs + out, sum);
+        }
+        if (!worked) ctx.mark_inactive();
+      },
+  };
+  return kernel;
+}
+
+}  // namespace detail
+
 template <prec::RealScalar S>
 class FusedGpuEvaluator {
   using C = cplx::Complex<S>;
 
  public:
   struct Options {
-    unsigned block_size = 32;
+    /// Threads per block; 0 (the default) picks pick_block_size(n, m,
+    /// k, batch_capacity) -- one warp once the batch fills the SMs,
+    /// wider blocks for under-full grids.
+    unsigned block_size = 0;
     ExponentEncoding encoding = ExponentEncoding::kChar;
     /// Element layout of the Mons interchange buffer (the only
     /// interchange left once the common factor stays in registers).
@@ -67,62 +340,33 @@ class FusedGpuEvaluator {
       : device_(device),
         options_(options),
         capacity_(batch_capacity),
-        packed_(pack_system(system)),
-        layout_(packed_.structure) {
+        sys_(device, system, batch_capacity, options.encoding, options.interchange) {
     if (capacity_ == 0)
       throw std::invalid_argument("FusedGpuEvaluator: zero batch capacity");
+    const auto s = sys_.packed.structure;
     if (options_.block_size == 0)
-      throw std::invalid_argument("FusedGpuEvaluator: block size must be positive");
-    const auto s = packed_.structure;
-
-    const auto encoded = encode_exponents(options_.encoding, packed_.exponents);
-    positions_ =
-        device_.alloc_constant<unsigned char>(packed_.positions.size(), "Positions");
-    exponents_ = device_.alloc_constant<unsigned char>(encoded.size(), "Exponents");
-    device_.upload_constant(positions_,
-                            std::span<const unsigned char>(packed_.positions));
-    device_.upload_constant(exponents_, std::span<const unsigned char>(encoded));
+      options_.block_size = pick_block_size(s.n, s.m, s.k, capacity_);
 
     x_ = device_.alloc_global<C>(std::size_t{capacity_} * s.n, "X[batch]");
-    coeffs_ = device_.alloc_global<C>(layout_.coeffs_size(), "Coeffs");
-    mons_.allocate(device_, std::size_t{capacity_} * layout_.mons_size(),
-                   "Mons[batch]", options_.interchange);
-    outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * layout_.num_outputs(),
+    outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * sys_.layout.num_outputs(),
                                        "Outputs[batch]");
-
-    // exponent factors folded in the working precision, as in GpuEvaluator
-    std::vector<C> coeffs(packed_.coeffs.size());
-    for (std::uint64_t t = 0; t < layout_.total_monomials(); ++t) {
-      const auto raw = C::from_double(packed_.coeffs[layout_.coeff_index(s.k, t)]);
-      for (unsigned j = 0; j < s.k; ++j) {
-        const double a = packed_.exponents[layout_.support_index(t, j)] + 1.0;
-        coeffs[layout_.coeff_index(j, t)] = raw * prec::ScalarTraits<S>::from_double(a);
-      }
-      coeffs[layout_.coeff_index(s.k, t)] = raw;
-    }
-    device_.upload(coeffs_, std::span<const C>(coeffs));
-    mons_.fill_zero(device_);
-
-    // Shared memory: the point (n) and the powers table (n*d).  Unlike
-    // the paper's kernel 2, the per-thread L_1..L_{k+1} strip lives in
-    // registers/local memory: it is thread-private, so shared memory
-    // buys it nothing but bank pressure, and keeping it local lifts the
-    // shared-capacity ceiling on the block size.
-    shared_bytes_ = std::size_t{s.n} * (1 + s.d) * sizeof(C);
-    build_kernel();
+    kernel_ = detail::build_fused_kernel<S>(sys_, options_.encoding, x_, outputs_);
 
     flat_.reserve(std::size_t{capacity_} * s.n);
-    host_outputs_.reserve(std::size_t{capacity_} * layout_.num_outputs());
+    host_outputs_.reserve(std::size_t{capacity_} * sys_.layout.num_outputs());
   }
 
-  [[nodiscard]] unsigned dimension() const noexcept { return packed_.structure.n; }
+  [[nodiscard]] unsigned dimension() const noexcept { return sys_.packed.structure.n; }
   [[nodiscard]] unsigned batch_capacity() const noexcept { return capacity_; }
-  [[nodiscard]] const SystemLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const SystemLayout& layout() const noexcept { return sys_.layout; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// Launches issued per evaluate_range call (shard schedulers pre-size
   /// device logs with this).
   static constexpr unsigned kLaunchesPerBatch = 1;
+  [[nodiscard]] unsigned launches_per_batch() const noexcept {
+    return kLaunchesPerBatch;
+  }
 
   /// Evaluate at points.size() <= batch_capacity() points with one
   /// upload, ONE launch and one download.
@@ -145,7 +389,7 @@ class FusedGpuEvaluator {
   /// chunking.
   void evaluate_range(const std::vector<std::vector<C>>& points, std::size_t first,
                       std::size_t count, std::span<poly::EvalResult<S>> out) {
-    const unsigned s_n = packed_.structure.n;
+    const unsigned s_n = sys_.packed.structure.n;
     if (count == 0 || count > capacity_)
       throw std::invalid_argument("FusedGpuEvaluator: bad batch size");
     if (first > points.size() || count > points.size() - first || out.size() < count)
@@ -164,30 +408,24 @@ class FusedGpuEvaluator {
                 flat_.begin() + std::size_t{p} * s_n);
     device_.upload(x_, std::span<const C>(flat_));
 
-    simt::LaunchConfig cfg{batch, options_.block_size, shared_bytes_};
+    simt::LaunchConfig cfg{batch, options_.block_size, sys_.shared_bytes};
     cfg.detect_races = options_.detect_races;
     (void)device_.launch(kernel_, cfg);
 
-    host_outputs_.resize(std::size_t{batch} * layout_.num_outputs());
+    host_outputs_.resize(std::size_t{batch} * sys_.layout.num_outputs());
     device_.download(outputs_, std::span<C>(host_outputs_));
 
-    for (unsigned p = 0; p < batch; ++p) {
-      out[p].resize(s_n);
-      const std::size_t base = std::size_t{p} * layout_.num_outputs();
-      for (unsigned q = 0; q < s_n; ++q)
-        out[p].values[q] = host_outputs_[base + layout_.output_value_index(q)];
-      for (unsigned q = 0; q < s_n; ++q)
-        for (unsigned v = 0; v < s_n; ++v)
-          out[p].jacobian[std::size_t{q} * s_n + v] =
-              host_outputs_[base + layout_.output_deriv_index(q, v)];
-    }
+    for (unsigned p = 0; p < batch; ++p)
+      detail::unpack_outputs<S>(sys_.layout, std::span<const C>(host_outputs_),
+                                std::size_t{p} * sys_.layout.num_outputs(), out[p]);
 
-    snapshot_log(kernels_before, transfers_before);
+    detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
+                                last_log_);
   }
 
   /// Single-point convenience: a batch of one.
   void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
-    if (x.size() != packed_.structure.n)
+    if (x.size() != sys_.packed.structure.n)
       throw std::invalid_argument("FusedGpuEvaluator: point has wrong dimension");
     single_point_.resize(1);
     single_point_[0].assign(x.begin(), x.end());
@@ -205,198 +443,13 @@ class FusedGpuEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
-  void build_kernel() {
-    const auto s = packed_.structure;
-    const unsigned n = s.n, d = s.d, k = s.k, m = s.m;
-    const std::uint64_t monomials = layout_.total_monomials();
-    const std::uint64_t outs = layout_.num_outputs();
-    const auto layout = layout_;
-    const auto enc = options_.encoding;
-    const auto x = x_;
-    const auto coeffs = coeffs_;
-    const auto mons = mons_;
-    const auto outputs_buf = outputs_;
-    const auto positions = positions_;
-    const auto exponents = exponents_;
-
-    // Shared layout offsets (bytes).
-    const std::size_t svars_off = 0;
-    const std::size_t powers_off = std::size_t{n} * sizeof(C);
-
-    const auto decode = [exponents, enc](simt::ThreadContext& ctx,
-                                         std::uint64_t index) -> unsigned {
-      if (enc == ExponentEncoding::kChar) return ctx.load_constant(exponents, index);
-      const unsigned char byte = ctx.load_constant(exponents, index / 2);
-      return index % 2 == 0 ? (byte & 0x0Fu) : (byte >> 4u);
-    };
-
-    // <= 15 chars: KernelStats copies the name per launch, and an
-    // SSO-sized string keeps that copy off the allocator.
-    kernel_.name = "fused_eval";
-    kernel_.phases = {
-        // Phase 1 (kernel 1 stage one, fused): one coalesced read of the
-        // point serves both the shared copy of the variables and row one
-        // of the powers table.
-        [x, n, d, svars_off, powers_off](simt::ThreadContext& ctx) {
-          const std::size_t point = ctx.block_index();
-          auto svars = ctx.template shared_array<C>(svars_off, n);
-          auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
-          bool worked = false;
-          for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
-            worked = true;
-            const C xv = ctx.load(x, point * n + v);
-            svars.set(v, xv);
-            powers.set(v, C(S(1.0)));  // row 0: x^0
-            if (d >= 2) {
-              powers.set(std::size_t{n} + v, xv);
-              for (unsigned e = 2; e < d; ++e) {
-                const C next = powers.get(std::size_t{e - 1} * n + v) * xv;
-                ctx.op_cmul();
-                powers.set(std::size_t{e} * n + v, next);
-              }
-            }
-          }
-          if (!worked) ctx.mark_inactive();
-        },
-        // Phase 2 (kernels 1+2 fused): each thread loops over its share
-        // of the point's monomials.  The common factor is produced from
-        // the shared powers table and consumed in-register -- no global
-        // interchange.
-        [mons, coeffs, positions, decode, layout, n, d, k, monomials, svars_off,
-         powers_off](simt::ThreadContext& ctx) {
-          const std::size_t point = ctx.block_index();
-          auto svars = ctx.template shared_array<C>(svars_off, n);
-          auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
-          // Thread-private L_1..L_{k+1} strip and position cache
-          // (registers/local memory, not shared -- see the
-          // shared-memory note in the ctor).  Entries below k are
-          // always written before they are read.
-          std::array<C, 257> ell;
-          std::array<unsigned, 256> pos;
-          const std::size_t mons_base = point * layout.mons_size();
-
-          bool worked = false;
-          for (std::uint64_t g = ctx.thread_index(); g < monomials;
-               g += ctx.block_dim()) {
-            worked = true;
-
-            for (unsigned j = 0; j < k; ++j)
-              pos[j] = ctx.load_constant(positions, layout.support_index(g, j));
-            const auto var = [&](unsigned j) { return svars.get(pos[j]); };
-
-            // Common factor from the powers table: k-1 multiplications.
-            C cf(S(1.0));
-            for (unsigned j = 0; j < k; ++j) {
-              const unsigned em1 = decode(ctx, layout.support_index(g, j));
-              const C val = powers.get(std::size_t{em1} * n + pos[j]);
-              if (j == 0) {
-                cf = val;
-              } else {
-                cf = cf * val;
-                ctx.op_cmul();
-              }
-            }
-
-            // Speelpenning derivatives into L_1..L_k: 3k-6 for k >= 3.
-            if (k == 2) {
-              ell[0] = var(1);
-              ell[1] = var(0);
-            } else if (k >= 3) {
-              ell[1] = var(0);
-              for (unsigned r = 2; r < k; ++r) {
-                ell[r] = ell[r - 1] * var(r - 1);
-                ctx.op_cmul();
-              }
-              C q = var(k - 1);
-              ell[k - 2] = ell[k - 2] * q;
-              ctx.op_cmul();
-              for (unsigned r = 1; r + 2 < k; ++r) {
-                q = q * var(k - 1 - r);
-                ctx.op_cmul();
-                ell[k - 2 - r] = ell[k - 2 - r] * q;
-                ctx.op_cmul();
-              }
-              ell[0] = q * var(1);
-              ctx.op_cmul();
-            }
-
-            // Scale by the in-register common factor (k multiplications;
-            // for k == 1 the derivative IS the factor).
-            if (k == 1) {
-              ell[0] = cf;
-            } else {
-              for (unsigned j = 0; j < k; ++j) {
-                ell[j] = ell[j] * cf;
-                ctx.op_cmul();
-              }
-            }
-
-            // Monomial value from its last derivative (1 multiplication).
-            ell[k] = ell[k - 1] * var(k - 1);
-            ctx.op_cmul();
-
-            // Coefficient products (k+1 multiplications).
-            for (unsigned j = 0; j <= k; ++j) {
-              const C c = ctx.load(coeffs, layout.coeff_index(j, g));
-              ell[j] = ell[j] * c;
-              ctx.op_cmul();
-            }
-
-            mons.store(ctx, mons_base + layout.mons_value_index(g), ell[k]);
-            for (unsigned j = 0; j < k; ++j)
-              mons.store(ctx, mons_base + layout.mons_deriv_index(g, pos[j]),
-                         ell[j]);
-          }
-          if (!worked) ctx.mark_inactive();
-        },
-        // Phase 3 (kernel 3, fused behind the block barrier): each
-        // thread sums its share of the point's outputs.
-        [mons, outputs_buf, layout, m, outs](simt::ThreadContext& ctx) {
-          const std::size_t point = ctx.block_index();
-          const std::size_t mons_base = point * layout.mons_size();
-          bool worked = false;
-          for (std::uint64_t out = ctx.thread_index(); out < outs;
-               out += ctx.block_dim()) {
-            worked = true;
-            C sum = mons.load(ctx, mons_base + layout.mons_index(out, 0));
-            for (unsigned j = 1; j < m; ++j) {
-              sum += mons.load(ctx, mons_base + layout.mons_index(out, j));
-              ctx.op_cadd();
-            }
-            ctx.store(outputs_buf, point * outs + out, sum);
-          }
-          if (!worked) ctx.mark_inactive();
-        },
-    };
-  }
-
-  /// Record this call's slice of the device log for the timing model.
-  void snapshot_log(std::size_t kernels_before, const simt::TransferStats& before) {
-    const auto& log = device_.log();
-    last_log_.kernels.assign(
-        log.kernels.begin() + static_cast<std::ptrdiff_t>(kernels_before),
-        log.kernels.end());
-    last_log_.transfers.bytes_to_device =
-        log.transfers.bytes_to_device - before.bytes_to_device;
-    last_log_.transfers.bytes_from_device =
-        log.transfers.bytes_from_device - before.bytes_from_device;
-    last_log_.transfers.transfers_to_device =
-        log.transfers.transfers_to_device - before.transfers_to_device;
-    last_log_.transfers.transfers_from_device =
-        log.transfers.transfers_from_device - before.transfers_from_device;
-  }
-
   simt::Device& device_;
   Options options_;
   unsigned capacity_;
-  PackedSystem packed_;
-  SystemLayout layout_;
+  detail::FusedSystemState<S> sys_;
 
-  simt::GlobalBuffer<C> x_, coeffs_, outputs_;
-  InterchangeBuffer<S> mons_;
-  simt::ConstantBuffer<unsigned char> positions_, exponents_;
+  simt::GlobalBuffer<C> x_, outputs_;
   simt::Kernel kernel_;
-  std::size_t shared_bytes_ = 0;
   std::vector<C> flat_;          ///< packed upload staging, reused
   std::vector<C> host_outputs_;  ///< download staging, reused
   std::vector<std::vector<C>> single_point_;        ///< single-point staging

@@ -25,9 +25,11 @@
 /// warp lane on the same path; reads coalesce by construction.
 
 #include <array>
+#include <span>
 
 #include "core/encoding.hpp"
 #include "core/layout.hpp"
+#include "poly/eval_result.hpp"
 #include "simt/device.hpp"
 
 namespace polyeval::core {
@@ -475,5 +477,46 @@ template <prec::RealScalar S>
   });
   return kernel;
 }
+
+namespace detail {
+
+/// Unpack one point's device output vector (values then Jacobian
+/// columns, layout.hpp order) into an EvalResult -- the host half of
+/// the download shared by every evaluator variant.
+template <prec::RealScalar S>
+void unpack_outputs(const SystemLayout& layout,
+                    std::span<const cplx::Complex<S>> host_outputs,
+                    std::size_t base, poly::EvalResult<S>& out) {
+  const unsigned n = layout.structure().n;
+  out.resize(n);
+  for (unsigned q = 0; q < n; ++q)
+    out.values[q] = host_outputs[base + layout.output_value_index(q)];
+  for (unsigned q = 0; q < n; ++q)
+    for (unsigned v = 0; v < n; ++v)
+      out.jacobian[std::size_t{q} * n + v] =
+          host_outputs[base + layout.output_deriv_index(q, v)];
+}
+
+/// Record one call's slice of the device log (kernels appended since
+/// `kernels_before`, transfers accumulated since `before`) into
+/// `last_log` for the timing model -- every evaluator's last_log()
+/// bookkeeping, in one place.
+inline void snapshot_device_log(const simt::LaunchLog& log, std::size_t kernels_before,
+                                const simt::TransferStats& before,
+                                simt::LaunchLog& last_log) {
+  last_log.kernels.assign(
+      log.kernels.begin() + static_cast<std::ptrdiff_t>(kernels_before),
+      log.kernels.end());
+  last_log.transfers.bytes_to_device =
+      log.transfers.bytes_to_device - before.bytes_to_device;
+  last_log.transfers.bytes_from_device =
+      log.transfers.bytes_from_device - before.bytes_from_device;
+  last_log.transfers.transfers_to_device =
+      log.transfers.transfers_to_device - before.transfers_to_device;
+  last_log.transfers.transfers_from_device =
+      log.transfers.transfers_from_device - before.transfers_from_device;
+}
+
+}  // namespace detail
 
 }  // namespace polyeval::core

@@ -128,7 +128,9 @@ class ShardedEvaluator {
       registry_.device(i).clear_log();
       // Worst case one shard claims every chunk; reserving for it keeps
       // the log's growth off the steady-state path however claims fall.
-      registry_.device(i).reserve_log(chunks * Backend::kLaunchesPerBatch);
+      // launches_per_batch is per instance: a pipelined backend issues
+      // one launch per micro-chunk, not a pipeline-shape constant.
+      registry_.device(i).reserve_log(chunks * shard_eval_[i]->launches_per_batch());
     }
 
     const std::span<poly::EvalResult<S>> out(results);

@@ -24,10 +24,17 @@
 
 #include "ad/cpu_evaluator.hpp"
 #include "core/fused_evaluator.hpp"
+#include "core/pipelined_evaluator.hpp"
 #include "homotopy/solver.hpp"
 #include "simt/device_registry.hpp"
 
 namespace polyeval::homotopy {
+
+/// Which per-shard device evaluator serves the target system.
+enum class ShardEvalBackend {
+  kFused,      ///< FusedGpuEvaluator: synchronous single-launch batches
+  kPipelined,  ///< PipelinedFusedEvaluator: stream-pipelined micro-chunks
+};
 
 struct ShardedSolveOptions {
   TrackOptions track;
@@ -36,8 +43,17 @@ struct ShardedSolveOptions {
   unsigned workers_per_shard = 1;  ///< device pool threads per shard
   unsigned chunk_paths = 2;        ///< paths per manager claim
   std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
-  unsigned block_size = 32;        ///< per-shard fused evaluator geometry
+  /// Per-shard fused evaluator geometry; 0 = pick_block_size, which
+  /// widens the single-point (under-full) grids trackers launch.
+  /// Results are bitwise independent of the choice.
+  unsigned block_size = 0;
   bool detect_races = false;       ///< run the shards' launches checked
+  /// Today's trackers evaluate one point per corrector step, so both
+  /// backends issue the same launches; once predictor/corrector stages
+  /// batch (the ROADMAP lockstep item), the pipelined backend hides
+  /// each batch's transfers behind its kernels.  Results are bitwise
+  /// identical under either.
+  ShardEvalBackend backend = ShardEvalBackend::kFused;
 };
 
 namespace detail {
@@ -46,9 +62,9 @@ namespace detail {
 /// per-device target evaluator, the CPU start-system evaluator, and the
 /// homotopy/tracker built over them.  One instance per shard, used by
 /// one participant at a time.
-template <prec::RealScalar S>
+template <prec::RealScalar S, class TargetEvalT>
 struct ShardTrackState {
-  using TargetEval = core::FusedGpuEvaluator<S>;
+  using TargetEval = TargetEvalT;
   using StartEval = ad::CpuEvaluator<S>;
 
   TargetEval f;
@@ -66,16 +82,13 @@ struct ShardTrackState {
         tracker(h, options.track) {}
 };
 
-}  // namespace detail
-
-/// Track the given start roots of `start_system` through the gamma
-/// homotopy to roots of `target`, path jobs distributed over device
-/// shards.  summary.paths[i] is the i-th start root's result.
-template <prec::RealScalar S>
-SolveSummary<S> track_paths_sharded(
+/// The manager/worker tracking loop, generic over the per-shard device
+/// evaluator; track_paths_sharded dispatches on the options' backend.
+template <prec::RealScalar S, class TargetEval>
+SolveSummary<S> track_paths_sharded_with(
     const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
-    cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
   const std::uint64_t paths = start_roots.size();
 
   SolveSummary<S> summary;
@@ -85,10 +98,10 @@ SolveSummary<S> track_paths_sharded(
 
   simt::DeviceRegistry registry(options.shards, simt::DeviceSpec::tesla_c2050(),
                                 options.workers_per_shard);
-  std::vector<std::unique_ptr<detail::ShardTrackState<S>>> shards;
+  std::vector<std::unique_ptr<ShardTrackState<S, TargetEval>>> shards;
   shards.reserve(registry.size());
   for (unsigned i = 0; i < registry.size(); ++i)
-    shards.push_back(std::make_unique<detail::ShardTrackState<S>>(
+    shards.push_back(std::make_unique<ShardTrackState<S, TargetEval>>(
         registry.device(i), target, start_system, gamma, options));
 
   const auto track_one = [&](unsigned shard, std::uint64_t path) {
@@ -110,6 +123,23 @@ SolveSummary<S> track_paths_sharded(
   for (const auto& p : summary.paths)
     if (p.success) ++summary.successes;
   return summary;
+}
+
+}  // namespace detail
+
+/// Track the given start roots of `start_system` through the gamma
+/// homotopy to roots of `target`, path jobs distributed over device
+/// shards.  summary.paths[i] is the i-th start root's result.
+template <prec::RealScalar S>
+SolveSummary<S> track_paths_sharded(
+    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+    const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
+  if (options.backend == ShardEvalBackend::kPipelined)
+    return detail::track_paths_sharded_with<S, core::PipelinedFusedEvaluator<S>>(
+        target, start_system, start_roots, gamma, options);
+  return detail::track_paths_sharded_with<S, core::FusedGpuEvaluator<S>>(
+      target, start_system, start_roots, gamma, options);
 }
 
 /// Track the total-degree paths of `target` over device shards -- the

@@ -13,6 +13,23 @@
 
 namespace polyeval::simt {
 
+/// Modeled readiness of the device's three asynchronous engines: the
+/// compute engine (kernels serialize on it device-wide, the Fermi
+/// convention) and the two DMA copy engines (the C2050 has one per
+/// direction, so an upload, a download and a kernel can all be in
+/// flight at once -- the overlap the stream subsystem models).  Streams
+/// of one device share these clocks; a command starts no earlier than
+/// its engine is free.  Purely modeled state: host execution is not
+/// gated on it.
+struct AsyncEngineClocks {
+  double compute_ready_us = 0.0;
+  double h2d_ready_us = 0.0;
+  double d2h_ready_us = 0.0;
+
+  /// Start a fresh modeled timeline (between instrumented regions).
+  void reset() noexcept { *this = {}; }
+};
+
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec::tesla_c2050(), unsigned host_workers = 0)
@@ -77,6 +94,19 @@ class Device {
     ++log_.transfers.transfers_to_device;
   }
 
+  /// Transfer bookkeeping for a stream-issued async copy (the stream
+  /// executes the memcpy itself): async traffic stays visible in the
+  /// device-wide log alongside the synchronous upload/download calls.
+  void note_transfer(bool to_device, std::size_t bytes) noexcept {
+    if (to_device) {
+      log_.transfers.bytes_to_device += bytes;
+      ++log_.transfers.transfers_to_device;
+    } else {
+      log_.transfers.bytes_from_device += bytes;
+      ++log_.transfers.transfers_from_device;
+    }
+  }
+
   // -- execution --------------------------------------------------------
   /// Launch through the device-owned engine scratch: after warm-up,
   /// repeated launches of same-shaped kernels do not allocate.
@@ -88,6 +118,14 @@ class Device {
 
   [[nodiscard]] const LaunchLog& log() const noexcept { return log_; }
   void clear_log() { log_.clear(); }
+
+  /// Modeled engine-readiness clocks shared by this device's streams
+  /// (see stream.hpp).  Reset them when starting a fresh modeled
+  /// timeline: `device.engine_clocks().reset()`.
+  [[nodiscard]] AsyncEngineClocks& engine_clocks() noexcept { return engines_; }
+  [[nodiscard]] const AsyncEngineClocks& engine_clocks() const noexcept {
+    return engines_;
+  }
   /// Pre-size the launch log: callers that issue a known number of
   /// launches per instrumented region (a sharded evaluator claiming work
   /// chunks) reserve once so the log's push_back stays off the allocator
@@ -101,6 +139,7 @@ class Device {
   ThreadPool pool_;
   EngineScratch scratch_;
   LaunchLog log_;
+  AsyncEngineClocks engines_;
 };
 
 }  // namespace polyeval::simt

@@ -48,6 +48,14 @@ class DeviceRegistry {
     for (auto& d : devices_) d->clear_log();
   }
 
+  /// Start a fresh modeled async timeline on every device: shard
+  /// backends that pipeline through streams (stream.hpp) share each
+  /// device's engine clocks, and a scaling bench comparing per-shard
+  /// timelines wants them all rebased to zero together.
+  void reset_engine_clocks() {
+    for (auto& d : devices_) d->engine_clocks().reset();
+  }
+
  private:
   std::vector<std::unique_ptr<Device>> devices_;
 };

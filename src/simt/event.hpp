@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file event.hpp
+/// Events for the stream subsystem -- the cudaEvent_t analogue.
+///
+/// An Event marks a point in a stream's command sequence.  Recording it
+/// (Stream::record) stamps the stream's modeled clock into the event;
+/// waiting on it (Stream::wait) holds the waiting stream's modeled clock
+/// back to that stamp, which is how cross-stream dependences (the
+/// double-buffer schedule's "compute i must follow upload i") enter the
+/// modeled timeline.  Host-side the simulator executes commands eagerly
+/// in enqueue order (see stream.hpp), so an event is already complete by
+/// the time anything can wait on it; the modeled timestamp is the part
+/// that carries information, and it is deterministic because it derives
+/// only from deterministic kernel/transfer statistics.
+///
+/// Matching CUDA semantics, waiting on a never-recorded event is a
+/// no-op, and re-recording overwrites the stamp (record_count() lets
+/// tests and schedulers distinguish generations).  Events hold no heap
+/// state: record/wait/reset never allocate.
+
+#include <cstdint>
+
+namespace polyeval::simt {
+
+class Stream;
+
+class Event {
+ public:
+  /// True once any stream recorded this event.
+  [[nodiscard]] bool recorded() const noexcept { return records_ > 0; }
+
+  /// Modeled-clock stamp of the most recent record (microseconds on the
+  /// recording stream's timeline); 0 before the first record.
+  [[nodiscard]] double modeled_time_us() const noexcept { return time_us_; }
+
+  /// How many times the event was recorded (re-records overwrite the
+  /// stamp, the cudaEventRecord convention).
+  [[nodiscard]] std::uint64_t record_count() const noexcept { return records_; }
+
+  /// Modeled time elapsed since `earlier` was recorded -- the
+  /// cudaEventElapsedTime analogue.
+  [[nodiscard]] double modeled_elapsed_us(const Event& earlier) const noexcept {
+    return time_us_ - earlier.time_us_;
+  }
+
+  /// Forget every record (between instrumented regions).
+  void reset() noexcept {
+    time_us_ = 0.0;
+    records_ = 0;
+  }
+
+ private:
+  friend class Stream;
+
+  double time_us_ = 0.0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace polyeval::simt

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -182,5 +183,43 @@ template <class T>
 ConstantBuffer<T> ConstantMemory::allocate(std::size_t count, std::string name) {
   return ConstantBuffer<T>(allocate_raw(count * sizeof(T), std::move(name)), count);
 }
+
+/// Type-erased host<->device copy: the unit of asynchronous transfer the
+/// stream subsystem (stream.hpp) issues.  Built from a typed buffer and
+/// a host span up front -- so a stream can hold a uniform command record
+/// without templates or allocation -- and executed as one memcpy when
+/// the command runs.  The host span must stay valid until the copy has
+/// executed (for eager streams, until the enqueue call returns; the
+/// cudaMemcpyAsync staging-buffer contract).
+struct CopyCommand {
+  std::byte* dst = nullptr;
+  const std::byte* src = nullptr;
+  std::size_t bytes = 0;
+  bool to_device = false;
+
+  template <class T>
+  [[nodiscard]] static CopyCommand h2d(const GlobalBuffer<T>& dst,
+                                       std::span<const T> src) {
+    if (src.size() > dst.size())
+      throw DeviceError("CopyCommand: host range exceeds device buffer " +
+                        dst.name());
+    return {reinterpret_cast<std::byte*>(dst.raw()),
+            reinterpret_cast<const std::byte*>(src.data()), src.size_bytes(), true};
+  }
+
+  template <class T>
+  [[nodiscard]] static CopyCommand d2h(const GlobalBuffer<T>& src,
+                                       std::span<T> dst) {
+    if (dst.size() > src.size())
+      throw DeviceError("CopyCommand: host range exceeds device buffer " +
+                        src.name());
+    return {reinterpret_cast<std::byte*>(dst.data()),
+            reinterpret_cast<const std::byte*>(src.raw()), dst.size_bytes(), false};
+  }
+
+  void run() const {
+    if (bytes > 0) std::memcpy(dst, src, bytes);
+  }
+};
 
 }  // namespace polyeval::simt

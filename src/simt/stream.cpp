@@ -1,0 +1,66 @@
+#include "simt/stream.hpp"
+
+#include <algorithm>
+
+namespace polyeval::simt {
+
+void Stream::enqueue_copy(const CopyCommand& cmd) {
+  cmd.run();  // eager host execution; modeled asynchrony below
+  device_->note_transfer(cmd.to_device, cmd.bytes);
+
+  auto& engines = device_->engine_clocks();
+  double& engine = cmd.to_device ? engines.h2d_ready_us : engines.d2h_ready_us;
+  const double start = std::max(now_us_, engine);
+  const double end = start + estimate_copy_us(cmd.bytes, cost_);
+  engine = end;
+  now_us_ = end;
+
+  if (cmd.to_device) {
+    log_.transfers.bytes_to_device += cmd.bytes;
+    ++log_.transfers.transfers_to_device;
+  } else {
+    log_.transfers.bytes_from_device += cmd.bytes;
+    ++log_.transfers.transfers_from_device;
+  }
+  timeline_.push_back({cmd.to_device ? StreamOp::kCopyH2D : StreamOp::kCopyD2H,
+                       start, end, cmd.bytes});
+}
+
+KernelStats Stream::launch(const Kernel& kernel, const LaunchConfig& cfg) {
+  // Eager host execution through the device (pool, scratch, device log).
+  KernelStats stats = device_->launch(kernel, cfg);
+
+  auto& engines = device_->engine_clocks();
+  const double start = std::max(now_us_, engines.compute_ready_us);
+  const double end = start + estimate_kernel_us(stats, device_->spec(), cost_);
+  engines.compute_ready_us = end;
+  now_us_ = end;
+
+  log_.kernels.push_back(stats);
+  timeline_.push_back({StreamOp::kKernel, start, end, 0});
+  return stats;
+}
+
+void Stream::record(Event& event) {
+  event.time_us_ = now_us_;
+  ++event.records_;
+  timeline_.push_back({StreamOp::kRecord, now_us_, now_us_, 0});
+}
+
+void Stream::wait(const Event& event) {
+  if (event.recorded()) now_us_ = std::max(now_us_, event.time_us_);
+  timeline_.push_back({StreamOp::kWait, now_us_, now_us_, 0});
+}
+
+void Stream::reset() {
+  now_us_ = 0.0;
+  log_.clear();
+  timeline_.clear();
+}
+
+void Stream::reserve(std::size_t kernels, std::size_t timeline_entries) {
+  log_.kernels.reserve(kernels);
+  timeline_.reserve(timeline_entries);
+}
+
+}  // namespace polyeval::simt

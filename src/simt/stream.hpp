@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file stream.hpp
+/// Streams for the simulated device -- the cudaStream_t analogue.
+///
+/// A Stream is an ordered per-device command queue: async H2D/D2H
+/// copies, kernel launches, event records and event waits, issued in
+/// program order.  Commands on one stream are ordered; commands on
+/// different streams of the same device are unordered except through
+/// events -- exactly the CUDA contract the paper's lineage uses to hide
+/// host<->device transfers behind kernel execution.
+///
+/// Execution model.  The simulator splits the two things a real stream
+/// does:
+///
+///   * HOST execution is eager and deterministic: every command runs to
+///     completion on the enqueuing thread before the enqueue call
+///     returns (kernel commands run through the device's existing
+///     worker pool, exactly as synchronous launches do).  This keeps
+///     results bitwise identical to the synchronous path by
+///     construction and keeps the zero-allocation and race-journal
+///     machinery untouched.  The cost of eagerness: the enqueue order
+///     must be a valid serialization of the dependence DAG (which any
+///     correct CUDA program's enqueue order is -- a stream schedule
+///     whose host data would only be produced later cannot be
+///     expressed, and would deadlock a real device too).
+///
+///   * the MODELED clock is where the asynchrony lives.  Each stream
+///     carries a modeled "now"; each command starts at
+///     max(stream now, engine ready, waited events) and advances both
+///     by its modeled duration (estimate_copy_us / estimate_kernel_us).
+///     The device-wide AsyncEngineClocks serialize kernels on one
+///     compute engine and copies on one DMA engine per direction (the
+///     C2050's layout), so modeled overlap is exactly what the 2012
+///     hardware could overlap: upload(i+1) and download(i-1) under
+///     compute(i), never two kernels.  Timestamps derive only from
+///     deterministic launch statistics, so the modeled timeline is
+///     bit-reproducible across runs, schedules and host core counts.
+///
+/// Logs: every command lands in the per-stream LaunchLog and timeline
+/// (cleared by reset(), capacity kept), and is mirrored into the
+/// device-wide log so existing consumers (sharded merges, the
+/// regression benches) keep seeing all traffic.  Steady-state enqueues
+/// perform no heap allocation once reserve() (or a warm-up pass) has
+/// sized the vectors.
+///
+/// Threading: streams of one device may be driven from one thread at a
+/// time (the sharded layout drives each device from its shard's manager
+/// thread).  Concurrent enqueues on different devices are fine.
+
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/event.hpp"
+#include "simt/timing.hpp"
+
+namespace polyeval::simt {
+
+/// What a timeline entry was (per-stream modeled schedule record).
+enum class StreamOp : unsigned char { kCopyH2D, kCopyD2H, kKernel, kRecord, kWait };
+
+/// One command's modeled interval on its stream.  Record/wait entries
+/// are zero-width markers.
+struct StreamTimelineEntry {
+  StreamOp op;
+  double start_us;
+  double end_us;
+  std::uint64_t bytes;  ///< copy payload; 0 for kernels and markers
+};
+
+class Stream {
+ public:
+  /// A stream of `device`.  `cost` prices the modeled durations; the
+  /// default is the calibrated C2050 model (timing.hpp).
+  explicit Stream(Device& device, GpuCostModel cost = {})
+      : device_(&device), cost_(cost) {}
+
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+  [[nodiscard]] const GpuCostModel& cost_model() const noexcept { return cost_; }
+
+  // -- async copies (cudaMemcpyAsync analogues) -------------------------
+  template <class T>
+  void copy_to_device_async(const GlobalBuffer<T>& dst, std::span<const T> src) {
+    enqueue_copy(CopyCommand::h2d(dst, src));
+  }
+  template <class T>
+  void copy_from_device_async(const GlobalBuffer<T>& src, std::span<T> dst) {
+    enqueue_copy(CopyCommand::d2h(src, dst));
+  }
+  /// Pre-built command form (the type-erased unit schedulers stage).
+  void enqueue_copy(const CopyCommand& cmd);
+
+  // -- kernels ----------------------------------------------------------
+  /// Launch on this stream: runs through the device pool like a
+  /// synchronous launch, then advances the stream and compute-engine
+  /// clocks by the modeled kernel time.
+  KernelStats launch(const Kernel& kernel, const LaunchConfig& cfg);
+
+  // -- events -----------------------------------------------------------
+  /// Stamp the stream's modeled clock into the event (cudaEventRecord).
+  void record(Event& event);
+  /// Hold this stream's modeled clock back to the event's stamp
+  /// (cudaStreamWaitEvent).  Waiting on a never-recorded event is a
+  /// no-op, matching CUDA.
+  void wait(const Event& event);
+
+  // -- synchronization and introspection --------------------------------
+  /// Host work is already complete (eager execution); returns the
+  /// modeled completion time of everything enqueued so far.
+  double synchronize() const noexcept { return now_us_; }
+  [[nodiscard]] double modeled_now_us() const noexcept { return now_us_; }
+
+  /// This stream's slice of the traffic: kernels launched and copies
+  /// issued here (the device log holds the union across streams).
+  [[nodiscard]] const LaunchLog& log() const noexcept { return log_; }
+  /// Modeled schedule of every command, in enqueue order.
+  [[nodiscard]] const std::vector<StreamTimelineEntry>& timeline() const noexcept {
+    return timeline_;
+  }
+
+  /// Start a fresh instrumented region: modeled clock back to zero, log
+  /// and timeline cleared with capacity kept.  Callers owning several
+  /// streams of one device should also reset the shared engine clocks
+  /// (`device().engine_clocks().reset()`) exactly once.
+  void reset();
+
+  /// Pre-size the log and timeline for a known command pattern so
+  /// steady-state enqueues stay off the allocator (the Device
+  /// reserve_log convention).
+  void reserve(std::size_t kernels, std::size_t timeline_entries);
+
+ private:
+  Device* device_;
+  GpuCostModel cost_;
+  double now_us_ = 0.0;
+  LaunchLog log_;
+  std::vector<StreamTimelineEntry> timeline_;
+};
+
+}  // namespace polyeval::simt

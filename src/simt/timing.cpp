@@ -61,6 +61,10 @@ double estimate_kernel_us(const KernelStats& k, const DeviceSpec& spec,
   return model.launch_overhead_us + estimate_kernel_compute_us(k, spec, model);
 }
 
+double estimate_copy_us(std::uint64_t bytes, const GpuCostModel& model) {
+  return model.transfer_latency_us + static_cast<double>(bytes) / model.pcie_bytes_per_us;
+}
+
 double estimate_transfer_us(const TransferStats& t, const GpuCostModel& model) {
   const double calls = static_cast<double>(t.transfers_to_device + t.transfers_from_device);
   const double bytes = static_cast<double>(t.bytes_to_device + t.bytes_from_device);

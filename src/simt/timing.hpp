@@ -69,6 +69,12 @@ struct CpuCostModel {
 [[nodiscard]] double estimate_transfer_us(const TransferStats& t,
                                           const GpuCostModel& model);
 
+/// Estimated time of ONE host<->device copy of `bytes` payload
+/// (microseconds): the per-command duration the stream timeline
+/// advances by.  estimate_transfer_us is the aggregate of these over a
+/// whole log's transfer counters.
+[[nodiscard]] double estimate_copy_us(std::uint64_t bytes, const GpuCostModel& model);
+
 /// Estimated time for a whole launch log (one instrumented region, e.g.
 /// one evaluation): kernels plus transfers.
 [[nodiscard]] double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,

@@ -1,0 +1,84 @@
+// pick_block_size: the fused pipeline's default block geometry.  Pins
+// the heuristic's choices on the repo's reference workloads (so a
+// change to the formula is a deliberate, visible decision), checks its
+// structural invariants, and verifies the evaluators actually consume
+// it as the default.
+
+#include <gtest/gtest.h>
+
+#include "core/pipelined_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using core::pick_block_size;
+
+TEST(BlockHeuristic, FullGridsGetOneWarp) {
+  // Once the batch covers the 14 Fermi SMs, inter-block parallelism
+  // already hides latency; the narrow block minimizes per-block cost.
+  EXPECT_EQ(pick_block_size(16, 22, 9, 16), 32u);   // bench_batch dim 16
+  EXPECT_EQ(pick_block_size(32, 22, 9, 16), 32u);   // bench_batch dim 32
+  EXPECT_EQ(pick_block_size(16, 22, 9, 256), 32u);  // bench_sharding batches
+  EXPECT_EQ(pick_block_size(8, 6, 4, 14), 32u);     // boundary: batch == SMs
+}
+
+TEST(BlockHeuristic, UnderFullGridsWiden) {
+  // Small batches leave SMs idle, so the block widens to move
+  // parallelism inside the point.
+  EXPECT_EQ(pick_block_size(16, 22, 9, 1), 64u);   // single-point tracker
+  EXPECT_EQ(pick_block_size(16, 4, 2, 8), 64u);    // pipeline micro-chunks
+  EXPECT_EQ(pick_block_size(8, 6, 4, 4), 32u);     // small system stays narrow
+  EXPECT_EQ(pick_block_size(32, 22, 9, 1), 160u);  // wide system, lone point
+}
+
+TEST(BlockHeuristic, CapsAndClamps) {
+  // Never wider than 256, never narrower than one warp, and never
+  // wider than the narrower per-point loop can feed.
+  EXPECT_EQ(pick_block_size(64, 60, 9, 1), 256u);
+  EXPECT_EQ(pick_block_size(1, 1, 1, 1), 32u);
+  EXPECT_EQ(pick_block_size(2, 2, 1, 1), 32u);
+  for (const unsigned n : {1u, 4u, 16u, 64u})
+    for (const unsigned m : {1u, 8u, 32u})
+      for (const unsigned k : {1u, 4u, 9u})
+        for (const unsigned batch : {1u, 8u, 64u}) {
+          const unsigned block = pick_block_size(n, m, k, batch);
+          EXPECT_GE(block, 32u) << n << "," << m << "," << k << "," << batch;
+          EXPECT_LE(block, 256u) << n << "," << m << "," << k << "," << batch;
+          EXPECT_EQ(block % 32u, 0u) << n << "," << m << "," << k << "," << batch;
+        }
+}
+
+TEST(BlockHeuristic, EvaluatorsUseItAsTheDefault) {
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+
+  {
+    simt::Device device;
+    core::FusedGpuEvaluator<double> fused(device, sys, 4);
+    EXPECT_EQ(fused.options().block_size, pick_block_size(8, 6, 4, 4));
+  }
+  {
+    // The pipelined evaluator launches micro-chunk grids, so its
+    // default comes from the micro-chunk, not the batch capacity.
+    simt::Device device;
+    core::PipelinedFusedEvaluator<double>::Options opt;
+    opt.micro_chunk = 2;
+    core::PipelinedFusedEvaluator<double> pipelined(device, sys, 16, opt);
+    EXPECT_EQ(pipelined.options().block_size, pick_block_size(8, 6, 4, 2));
+  }
+  {
+    // An explicit block size still wins.
+    simt::Device device;
+    core::FusedGpuEvaluator<double>::Options opt;
+    opt.block_size = 128;
+    core::FusedGpuEvaluator<double> fused(device, sys, 4, opt);
+    EXPECT_EQ(fused.options().block_size, 128u);
+  }
+}
+
+}  // namespace

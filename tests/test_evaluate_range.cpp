@@ -1,0 +1,149 @@
+// evaluate_range edge cases across the evaluator stack (Fused, Batch,
+// Pipelined, and the Sharded evaluator driving them): empty ranges are
+// rejected, a single point matches the full-batch result bitwise, a
+// range covering the whole batch matches evaluate(), and overlapping
+// back-to-back ranges re-produce identical bits without disturbing
+// neighbouring slots.
+
+#include <gtest/gtest.h>
+
+#include "core/batch_evaluator.hpp"
+#include "core/pipelined_evaluator.hpp"
+#include "core/sharded_evaluator.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+poly::PolynomialSystem make_system() {
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  spec.seed = 1234;
+  return poly::make_random_system(spec);
+}
+
+std::vector<std::vector<Cd>> make_points(unsigned batch) {
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<double>(8, 600 + p));
+  return points;
+}
+
+/// The shared edge-case battery, generic over any evaluator exposing
+/// the evaluate / evaluate_range pair.
+template <class Evaluator>
+void run_range_edge_cases(Evaluator& gpu, const std::vector<std::vector<Cd>>& points) {
+  const std::size_t batch = points.size();
+
+  std::vector<poly::EvalResult<double>> want;
+  gpu.evaluate(points, want);
+  ASSERT_EQ(want.size(), batch);
+
+  std::vector<poly::EvalResult<double>> got(batch);
+  const std::span<poly::EvalResult<double>> out(got);
+
+  // Empty range: rejected, buffers untouched.
+  EXPECT_THROW(gpu.evaluate_range(points, 0, 0, out), std::invalid_argument);
+  EXPECT_THROW(gpu.evaluate_range(points, batch, 0, out), std::invalid_argument);
+
+  // Single point, every position: bitwise equal to its full-batch bits.
+  for (std::size_t p = 0; p < batch; ++p) {
+    gpu.evaluate_range(points, p, 1, out.subspan(p, 1));
+    EXPECT_EQ(poly::max_abs_diff(want[p], got[p]), 0.0) << "single point " << p;
+  }
+
+  // Range == full batch: identical to evaluate().
+  std::vector<poly::EvalResult<double>> full(batch);
+  gpu.evaluate_range(points, 0, batch, std::span<poly::EvalResult<double>>(full));
+  for (std::size_t p = 0; p < batch; ++p)
+    EXPECT_EQ(poly::max_abs_diff(want[p], full[p]), 0.0) << "full batch " << p;
+
+  // Overlapping back-to-back ranges: [0, 4) then [2, 6) -- the overlap
+  // is recomputed to identical bits and the untouched tail keeps its
+  // previous contents.
+  ASSERT_GE(batch, 6u);
+  gpu.evaluate_range(points, 0, 4, out.subspan(0, 4));
+  gpu.evaluate_range(points, 2, 4, out.subspan(2, 4));
+  for (std::size_t p = 0; p < 6; ++p)
+    EXPECT_EQ(poly::max_abs_diff(want[p], got[p]), 0.0) << "overlap " << p;
+}
+
+TEST(EvaluateRange, FusedEvaluatorEdgeCases) {
+  const auto sys = make_system();
+  const auto points = make_points(7);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 7);
+  run_range_edge_cases(gpu, points);
+}
+
+TEST(EvaluateRange, BatchEvaluatorEdgeCases) {
+  const auto sys = make_system();
+  const auto points = make_points(7);
+  simt::Device device;
+  core::BatchGpuEvaluator<double> gpu(device, sys, 7);
+  run_range_edge_cases(gpu, points);
+}
+
+TEST(EvaluateRange, PipelinedEvaluatorEdgeCases) {
+  const auto sys = make_system();
+  const auto points = make_points(7);
+  simt::Device device;
+  core::PipelinedFusedEvaluator<double>::Options opt;
+  opt.micro_chunk = 3;  // ranges cross micro-chunk boundaries
+  core::PipelinedFusedEvaluator<double> gpu(device, sys, 7, opt);
+  run_range_edge_cases(gpu, points);
+}
+
+TEST(EvaluateRange, RangeBeyondCapacityRejected) {
+  const auto sys = make_system();
+  const auto points = make_points(6);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 4);  // capacity < batch
+  std::vector<poly::EvalResult<double>> got(6);
+  const std::span<poly::EvalResult<double>> out(got);
+  EXPECT_THROW(gpu.evaluate_range(points, 0, 6, out), std::invalid_argument);
+  EXPECT_NO_THROW(gpu.evaluate_range(points, 2, 4, out.subspan(2, 4)));
+  // Output slice smaller than the range: rejected before any work.
+  EXPECT_THROW(gpu.evaluate_range(points, 0, 4, out.subspan(0, 3)),
+               std::invalid_argument);
+}
+
+TEST(EvaluateRange, ShardedEvaluatorEdgeBatches) {
+  // The sharded layer walks arbitrary batch sizes through fixed-size
+  // chunks; the chunk-cursor edge cases (batch smaller than a chunk,
+  // exactly one chunk, partial tail) must all reproduce the reference
+  // bits in point order.
+  const auto sys = make_system();
+  const auto all_points = make_points(11);
+
+  std::vector<poly::EvalResult<double>> want;
+  {
+    simt::Device device;
+    core::FusedGpuEvaluator<double> gpu(device, sys, 11);
+    gpu.evaluate(all_points, want);
+  }
+
+  core::ShardedEvaluator<double>::Options opt;
+  opt.shards = 2;
+  opt.chunk_points = 4;
+  core::ShardedEvaluator<double> sharded(sys, opt);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                                  std::size_t{5}, std::size_t{11}}) {
+    std::vector<std::vector<Cd>> points(all_points.begin(),
+                                        all_points.begin() + batch);
+    std::vector<poly::EvalResult<double>> got;
+    sharded.evaluate(points, got);
+    ASSERT_EQ(got.size(), batch);
+    for (std::size_t p = 0; p < batch; ++p)
+      EXPECT_EQ(poly::max_abs_diff(want[p], got[p]), 0.0)
+          << "batch " << batch << ", point " << p;
+  }
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 
 #include "core/batch_evaluator.hpp"
 #include "core/fused_evaluator.hpp"
+#include "core/pipelined_evaluator.hpp"
 #include "core/sharded_evaluator.hpp"
 #include "poly/random_system.hpp"
 #include "simt/thread_pool.hpp"
@@ -162,6 +163,35 @@ TEST(ZeroAlloc, ShardedEvaluatorSteadyStateEvaluate) {
         << " times over 10 calls (schedule "
         << (schedule == core::ShardSchedule::kStatic ? "static" : "stealing") << ")";
   }
+}
+
+TEST(ZeroAlloc, PipelinedEvaluatorSteadyStateEvaluate) {
+  // The stream pipeline preserves the guarantee: the double-buffered
+  // staging, the stream logs/timelines (reset keeps capacity), the
+  // event stamps and the engine clocks are all allocation-free once the
+  // warm-up calls have sized them.
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::PipelinedFusedEvaluator<double>::Options opt;
+  opt.micro_chunk = 3;  // partial tail chunk: 3 + 3 + 2
+  core::PipelinedFusedEvaluator<double> gpu(device, sys, 8, opt);
+  const auto points = make_points(8, 8);
+  std::vector<poly::EvalResult<double>> results;
+
+  for (int i = 0; i < 3; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) {
+    device.clear_log();
+    gpu.evaluate(points, results);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state PipelinedFusedEvaluator::evaluate allocated "
+      << (after - before) << " times over 10 calls";
 }
 
 TEST(ZeroAlloc, FusedEvaluatorWithRaceCheckingSteadyState) {
