@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the BENCH_*.json artifacts.
 
-Compares every host wall-clock field (key containing "wall_us") of each
-current bench JSON against the committed baseline of the same name and
-fails when any value regressed by more than --max-ratio.  Wall-clock
-numbers move with the runner hardware, so the gate is deliberately
-coarse (default 2x): it catches "the hot path grew an allocation per
-launch", not 10% noise.  Modeled-clock and speedup fields are left
-alone -- they have their own in-bench gates.
+Compares every host wall-clock field (key containing "wall_us";
+lower is better) and every host throughput field (key containing
+"per_sec"; HIGHER is better) of each current bench JSON against the
+committed baseline of the same name, and fails when any value regressed
+by more than --max-ratio.  Wall-clock and throughput numbers move with
+the runner hardware, so the gate is deliberately coarse (default 2x):
+it catches "the hot path grew an allocation per launch", not 10% noise.
+Modeled-clock and speedup fields are left alone -- they have their own
+in-bench gates.
 
 Usage:
   scripts/check_bench_regression.py [--baseline-dir bench/baselines]
@@ -20,18 +22,21 @@ import os
 import sys
 
 
-def wall_clock_leaves(node, path=""):
-    """Yield (path, value) for every numeric leaf whose key mentions wall_us."""
+def gated_leaves(node, path=""):
+    """Yield (path, value, higher_is_better) for every numeric leaf whose
+    key mentions wall_us (lower is better) or per_sec (higher is better)."""
     if isinstance(node, dict):
         for key, value in node.items():
             sub = f"{path}.{key}" if path else key
             if isinstance(value, (dict, list)):
-                yield from wall_clock_leaves(value, sub)
+                yield from gated_leaves(value, sub)
             elif isinstance(value, (int, float)) and "wall_us" in key:
-                yield sub, float(value)
+                yield sub, float(value), False
+            elif isinstance(value, (int, float)) and "per_sec" in key:
+                yield sub, float(value), True
     elif isinstance(node, list):
         for i, value in enumerate(node):
-            yield from wall_clock_leaves(value, f"{path}[{i}]")
+            yield from gated_leaves(value, f"{path}[{i}]")
 
 
 def main():
@@ -56,29 +61,41 @@ def main():
         with open(baseline_path) as f:
             baseline = json.load(f)
 
-        baseline_values = dict(wall_clock_leaves(baseline))
-        for path, value in wall_clock_leaves(current):
-            base = baseline_values.get(path)
-            if base is None or base <= 0.0:
+        baseline_values = {p: (v, hib) for p, v, hib in gated_leaves(baseline)}
+        for path, value, higher_is_better in gated_leaves(current):
+            entry = baseline_values.get(path)
+            if entry is None:
+                continue
+            base, _ = entry
+            if base <= 0.0:
                 continue
             compared += 1
-            ratio = value / base
+            if higher_is_better and value <= 0.0:
+                # Throughput collapsed to nothing: the worst possible
+                # regression, not a field to skip.
+                print(f"FAIL {name}:{path} [throughput]: {base:.1f} -> "
+                      f"{value:.1f} (collapsed to zero)")
+                failures.append((name, path, float("inf")))
+                continue
+            # Normalize so ratio > 1 always means "got worse".
+            ratio = base / value if higher_is_better else value / base
             marker = "FAIL" if ratio > args.max_ratio else "ok"
-            print(f"{marker:4} {name}:{path}: {base:.1f} -> {value:.1f} "
-                  f"({ratio:.2f}x)")
+            direction = "throughput" if higher_is_better else "wall"
+            print(f"{marker:4} {name}:{path} [{direction}]: {base:.1f} -> "
+                  f"{value:.1f} ({ratio:.2f}x of baseline cost)")
             if ratio > args.max_ratio:
                 failures.append((name, path, ratio))
 
     if compared == 0:
-        print("warning: no wall-clock fields compared; "
+        print("warning: no wall-clock or throughput fields compared; "
               "check the baseline files exist and match the bench output")
     if failures:
-        print(f"\n{len(failures)} wall-clock regression(s) above "
+        print(f"\n{len(failures)} regression(s) above "
               f"{args.max_ratio}x vs the committed baseline:")
         for name, path, ratio in failures:
             print(f"  {name}:{path} regressed {ratio:.2f}x")
         return 1
-    print(f"\nperf gate passed: {compared} wall-clock fields within "
+    print(f"\nperf gate passed: {compared} wall-clock/throughput fields within "
           f"{args.max_ratio}x of baseline")
     return 0
 

@@ -11,6 +11,7 @@
 /// Unlike the GPU pipeline it accepts non-uniform systems (per-monomial
 /// support sizes may differ), which the homotopy substrate needs.
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -54,22 +55,7 @@ class CpuEvaluator {
   void evaluate(std::span<const C> x, poly::EvalResult<S>& out) const {
     out.resize(n_);
     last_ops_ = {};
-
-    // Stage one, part one: tabulate powers 0..d-1 of every variable
-    // (row 0 = ones, row 1 = the variable, as in the shared-memory
-    // Powers array of the first kernel).
-    const unsigned d = std::max(max_exp_, 1u);
-    powers_.assign(static_cast<std::size_t>(d) * n_, C(S(1.0)));
-    if (d >= 2) {
-      for (unsigned v = 0; v < n_; ++v) powers_[n_ + v] = x[v];
-      for (unsigned e = 2; e < d; ++e) {
-        for (unsigned v = 0; v < n_; ++v) {
-          powers_[static_cast<std::size_t>(e) * n_ + v] =
-              powers_[static_cast<std::size_t>(e - 1) * n_ + v] * x[v];
-          ++last_ops_.complex_mul;
-        }
-      }
-    }
+    fill_powers(x);
 
     gathered_.resize(max_k_);
     derivs_.resize(max_k_);
@@ -83,11 +69,7 @@ class CpuEvaluator {
       }
 
       // Stage one, part two: the common factor prod x_{ij}^{a_ij - 1}.
-      C cf = powers_[static_cast<std::size_t>(pm.exps[0] - 1) * n_ + pm.vars[0]];
-      for (std::size_t j = 1; j < k; ++j) {
-        cf = cf * powers_[static_cast<std::size_t>(pm.exps[j] - 1) * n_ + pm.vars[j]];
-        ++last_ops_.complex_mul;
-      }
+      const C cf = common_factor(pm);
 
       // Stage two: Speelpenning product derivatives.
       for (std::size_t j = 0; j < k; ++j) gathered_[j] = x[pm.vars[j]];
@@ -128,6 +110,51 @@ class CpuEvaluator {
     return out;
   }
 
+  /// Values only, no derivative work: f_p(x) into values[p] -- the CPU
+  /// half of a tracker's residual probes.  Every value repeats the full
+  /// evaluate()'s arithmetic operation for operation (powers table,
+  /// common factor, the forward prefix v_0..v_{k-2} that evaluate()
+  /// holds in derivs[k-1], then * cf, * v_{k-1}, * coefficient, summed
+  /// in monomial order), so results are BITWISE equal to
+  /// evaluate().values.
+  void evaluate_values(std::span<const C> x, std::span<C> values) const {
+    if (values.size() < n_)
+      throw std::invalid_argument("CpuEvaluator: values span too small");
+    std::fill_n(values.begin(), n_, C{});
+    last_ops_ = {};
+    fill_powers(x);
+
+    for (const auto& pm : monomials_) {
+      const std::size_t k = pm.vars.size();
+      if (k == 0) {
+        values[pm.poly] += pm.coeff;
+        ++last_ops_.complex_add;
+        continue;
+      }
+
+      const C cf = common_factor(pm);
+
+      // evaluate()'s value: ((v_0..v_{k-2}) * cf) * v_{k-1}; k == 1
+      // degenerates to cf * v_0 (the derivative IS the factor).
+      C p = cf;
+      if (k >= 2) {
+        p = x[pm.vars[0]];
+        for (std::size_t j = 2; j < k; ++j) {
+          p = p * x[pm.vars[j - 1]];
+          ++last_ops_.complex_mul;
+        }
+        p = p * cf;
+        ++last_ops_.complex_mul;
+      }
+      const C value = p * x[pm.vars[k - 1]];
+      ++last_ops_.complex_mul;
+
+      values[pm.poly] += value * pm.coeff;
+      ++last_ops_.complex_mul;
+      ++last_ops_.complex_add;
+    }
+  }
+
   /// Operation tallies of the most recent evaluate() call.
   [[nodiscard]] const OpCounts& last_op_counts() const noexcept { return last_ops_; }
 
@@ -139,6 +166,38 @@ class CpuEvaluator {
     std::vector<unsigned> exps;
     std::vector<C> deriv_coeffs;
   };
+
+  /// Stage one, part one: tabulate powers 0..d-1 of every variable
+  /// (row 0 = ones, row 1 = the variable, as in the shared-memory
+  /// Powers array of the first kernel).  The ONE copy shared by
+  /// evaluate() and evaluate_values(), so the values-only path's
+  /// bitwise contract holds by construction.
+  void fill_powers(std::span<const C> x) const {
+    const unsigned d = std::max(max_exp_, 1u);
+    powers_.assign(static_cast<std::size_t>(d) * n_, C(S(1.0)));
+    if (d >= 2) {
+      for (unsigned v = 0; v < n_; ++v) powers_[n_ + v] = x[v];
+      for (unsigned e = 2; e < d; ++e) {
+        for (unsigned v = 0; v < n_; ++v) {
+          powers_[static_cast<std::size_t>(e) * n_ + v] =
+              powers_[static_cast<std::size_t>(e - 1) * n_ + v] * x[v];
+          ++last_ops_.complex_mul;
+        }
+      }
+    }
+  }
+
+  /// The common factor prod x_{ij}^{a_ij - 1} from the powers table --
+  /// the matching shared copy of stage one, part two.
+  [[nodiscard]] C common_factor(const PackedMonomial& pm) const {
+    const std::size_t k = pm.vars.size();
+    C cf = powers_[static_cast<std::size_t>(pm.exps[0] - 1) * n_ + pm.vars[0]];
+    for (std::size_t j = 1; j < k; ++j) {
+      cf = cf * powers_[static_cast<std::size_t>(pm.exps[j] - 1) * n_ + pm.vars[j]];
+      ++last_ops_.complex_mul;
+    }
+    return cf;
+  }
 
   unsigned n_;
   unsigned max_exp_ = 1;

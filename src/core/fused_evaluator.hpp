@@ -138,6 +138,70 @@ struct FusedSystemState {
   }
 };
 
+/// Phase 1 shared by the full and values-only fused kernels: one
+/// coalesced read of the block's point serves both the shared copy of
+/// the variables and the powers table (row 0 ones, row e holding x^e).
+/// One lambda serves both kernels, so the tables the values kernel's
+/// bitwise contract depends on cannot drift from the full kernel's.
+template <prec::RealScalar S>
+[[nodiscard]] auto make_fused_point_phase(simt::GlobalBuffer<cplx::Complex<S>> x,
+                                          unsigned n, unsigned d,
+                                          std::size_t svars_off,
+                                          std::size_t powers_off) {
+  using C = cplx::Complex<S>;
+  return [x, n, d, svars_off, powers_off](simt::ThreadContext& ctx) {
+    const std::size_t point = ctx.block_index();
+    auto svars = ctx.template shared_array<C>(svars_off, n);
+    auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
+    bool worked = false;
+    for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
+      worked = true;
+      const C xv = ctx.load(x, point * n + v);
+      svars.set(v, xv);
+      powers.set(v, C(S(1.0)));  // row 0: x^0
+      if (d >= 2) {
+        powers.set(std::size_t{n} + v, xv);
+        for (unsigned e = 2; e < d; ++e) {
+          const C next = powers.get(std::size_t{e - 1} * n + v) * xv;
+          ctx.op_cmul();
+          powers.set(std::size_t{e} * n + v, next);
+        }
+      }
+    }
+    if (!worked) ctx.mark_inactive();
+  };
+}
+
+/// Summation phase shared by the full and values-only fused kernels
+/// (kernel 3 behind the block barrier): each thread sums its share of
+/// the point's first `out_count` outputs -- n^2+n for the full kernel,
+/// n (the value rows only) for the values kernel -- into
+/// out_buf[point * out_count + out].  One lambda, one accumulation
+/// order, so the two kernels' sums cannot drift.
+template <prec::RealScalar S>
+[[nodiscard]] auto make_fused_summation_phase(InterchangeBuffer<S> mons,
+                                              simt::GlobalBuffer<cplx::Complex<S>> out_buf,
+                                              SystemLayout layout, unsigned m,
+                                              std::uint64_t out_count) {
+  using C = cplx::Complex<S>;
+  return [mons, out_buf, layout, m, out_count](simt::ThreadContext& ctx) {
+    const std::size_t point = ctx.block_index();
+    const std::size_t mons_base = point * layout.mons_size();
+    bool worked = false;
+    for (std::uint64_t out = ctx.thread_index(); out < out_count;
+         out += ctx.block_dim()) {
+      worked = true;
+      C sum = mons.load(ctx, mons_base + layout.mons_index(out, 0));
+      for (unsigned j = 1; j < m; ++j) {
+        sum += mons.load(ctx, mons_base + layout.mons_index(out, j));
+        ctx.op_cadd();
+      }
+      ctx.store(out_buf, point * out_count + out, sum);
+    }
+    if (!worked) ctx.mark_inactive();
+  };
+}
+
 /// Build the fused single-launch kernel over the given point/output
 /// buffer pair.  The pipelined evaluator calls this twice (one kernel
 /// per double-buffer slot); the buffers are cheap handles captured by
@@ -174,30 +238,9 @@ template <prec::RealScalar S>
   // SSO-sized string keeps that copy off the allocator.
   kernel.name = "fused_eval";
   kernel.phases = {
-      // Phase 1 (kernel 1 stage one, fused): one coalesced read of the
-      // point serves both the shared copy of the variables and row one
-      // of the powers table.
-      [x, n, d, svars_off, powers_off](simt::ThreadContext& ctx) {
-        const std::size_t point = ctx.block_index();
-        auto svars = ctx.template shared_array<C>(svars_off, n);
-        auto powers = ctx.template shared_array<C>(powers_off, std::size_t{n} * d);
-        bool worked = false;
-        for (unsigned v = ctx.thread_index(); v < n; v += ctx.block_dim()) {
-          worked = true;
-          const C xv = ctx.load(x, point * n + v);
-          svars.set(v, xv);
-          powers.set(v, C(S(1.0)));  // row 0: x^0
-          if (d >= 2) {
-            powers.set(std::size_t{n} + v, xv);
-            for (unsigned e = 2; e < d; ++e) {
-              const C next = powers.get(std::size_t{e - 1} * n + v) * xv;
-              ctx.op_cmul();
-              powers.set(std::size_t{e} * n + v, next);
-            }
-          }
-        }
-        if (!worked) ctx.mark_inactive();
-      },
+      // Phase 1 (kernel 1 stage one, fused): the shared point/powers
+      // load.
+      make_fused_point_phase<S>(x, n, d, svars_off, powers_off),
       // Phase 2 (kernels 1+2 fused): each thread loops over its share
       // of the point's monomials.  The common factor is produced from
       // the shared powers table and consumed in-register -- no global
@@ -289,24 +332,120 @@ template <prec::RealScalar S>
         }
         if (!worked) ctx.mark_inactive();
       },
-      // Phase 3 (kernel 3, fused behind the block barrier): each
-      // thread sums its share of the point's outputs.
-      [mons, outputs_buf, layout, m, outs](simt::ThreadContext& ctx) {
+      // Phase 3 (kernel 3, fused behind the block barrier): all n^2+n
+      // outputs.
+      make_fused_summation_phase<S>(mons, outputs_buf, layout, m, outs),
+  };
+  return kernel;
+}
+
+/// Build the fused VALUES-ONLY kernel over the given point/values buffer
+/// pair: one launch computes f(x) for every point of the batch, skipping
+/// all Jacobian work -- the residual probes and convergence checks of a
+/// tracker corrector, which would otherwise pay for n^2 derivative sums
+/// they discard.
+///
+/// Bitwise contract: every value is computed with EXACTLY the full
+/// kernel's operation order -- common factor from the powers table, the
+/// forward prefix product var(0)..var(k-2) (the full kernel's L_{k-1}
+/// before suffix scaling), then * cf, * var(k-1), * value coefficient --
+/// so values-only results equal the values of a full evaluation bit for
+/// bit, and a tracker may mix the two paths freely.  Only the value
+/// slots of Mons are written; the summation phase reads only the n value
+/// rows (outputs [0, n)), never the stale derivative slots.
+template <prec::RealScalar S>
+[[nodiscard]] simt::Kernel build_fused_values_kernel(
+    const FusedSystemState<S>& sys, ExponentEncoding enc,
+    simt::GlobalBuffer<cplx::Complex<S>> x,
+    simt::GlobalBuffer<cplx::Complex<S>> values_buf) {
+  using C = cplx::Complex<S>;
+  const auto s = sys.packed.structure;
+  const unsigned n = s.n, d = s.d, k = s.k, m = s.m;
+  const std::uint64_t monomials = sys.layout.total_monomials();
+  const auto layout = sys.layout;
+  const auto coeffs = sys.coeffs;
+  const auto mons = sys.mons;
+  const auto positions = sys.positions;
+  const auto exponents = sys.exponents;
+
+  const std::size_t svars_off = 0;
+  const std::size_t powers_off = std::size_t{n} * sizeof(C);
+
+  const auto decode = [exponents, enc](simt::ThreadContext& ctx,
+                                       std::uint64_t index) -> unsigned {
+    if (enc == ExponentEncoding::kChar) return ctx.load_constant(exponents, index);
+    const unsigned char byte = ctx.load_constant(exponents, index / 2);
+    return index % 2 == 0 ? (byte & 0x0Fu) : (byte >> 4u);
+  };
+
+  simt::Kernel kernel;
+  kernel.name = "fused_values";
+  kernel.phases = {
+      // Phase 1: the full kernel's shared point/powers load, the SAME
+      // lambda (the common factor still needs the powers table).
+      make_fused_point_phase<S>(x, n, d, svars_off, powers_off),
+      // Phase 2: one monomial VALUE per loop trip -- 2k multiplications
+      // (k-1 for the common factor, k-2 prefix, cf, last variable,
+      // coefficient) instead of the full kernel's 5k-4 -- written into
+      // the same Mons value slot the full kernel uses.
+      [mons, coeffs, positions, decode, layout, n, k, monomials, svars_off,
+       powers_off](simt::ThreadContext& ctx) {
         const std::size_t point = ctx.block_index();
+        auto svars = ctx.template shared_array<C>(svars_off, n);
+        auto powers = ctx.template shared_array<C>(
+            powers_off, std::size_t{n} * layout.structure().d);
+        std::array<unsigned, 256> pos;
         const std::size_t mons_base = point * layout.mons_size();
+
         bool worked = false;
-        for (std::uint64_t out = ctx.thread_index(); out < outs;
-             out += ctx.block_dim()) {
+        for (std::uint64_t g = ctx.thread_index(); g < monomials;
+             g += ctx.block_dim()) {
           worked = true;
-          C sum = mons.load(ctx, mons_base + layout.mons_index(out, 0));
-          for (unsigned j = 1; j < m; ++j) {
-            sum += mons.load(ctx, mons_base + layout.mons_index(out, j));
-            ctx.op_cadd();
+
+          for (unsigned j = 0; j < k; ++j)
+            pos[j] = ctx.load_constant(positions, layout.support_index(g, j));
+          const auto var = [&](unsigned j) { return svars.get(pos[j]); };
+
+          // Common factor: the full kernel's loop, verbatim.
+          C cf(S(1.0));
+          for (unsigned j = 0; j < k; ++j) {
+            const unsigned em1 = decode(ctx, layout.support_index(g, j));
+            const C val = powers.get(std::size_t{em1} * n + pos[j]);
+            if (j == 0) {
+              cf = val;
+            } else {
+              cf = cf * val;
+              ctx.op_cmul();
+            }
           }
-          ctx.store(outputs_buf, point * outs + out, sum);
+
+          // The full kernel's value: ((var(0)..var(k-2)) * cf) * var(k-1)
+          // -- its last Speelpenning derivative scaled by the factor,
+          // times the last variable.  k == 1 degenerates to cf * var(0).
+          C p = cf;
+          if (k >= 2) {
+            p = var(0);
+            for (unsigned r = 2; r < k; ++r) {
+              p = p * var(r - 1);
+              ctx.op_cmul();
+            }
+            p = p * cf;
+            ctx.op_cmul();
+          }
+          p = p * var(k - 1);
+          ctx.op_cmul();
+
+          // Value coefficient (portion k), as in the full kernel.
+          p = p * ctx.load(coeffs, layout.coeff_index(k, g));
+          ctx.op_cmul();
+
+          mons.store(ctx, mons_base + layout.mons_value_index(g), p);
         }
         if (!worked) ctx.mark_inactive();
       },
+      // Phase 3: sum only the n value rows (not the n^2 Jacobian rows)
+      // -- the SAME summation lambda as the full kernel, truncated.
+      make_fused_summation_phase<S>(mons, values_buf, layout, m, n),
   };
   return kernel;
 }
@@ -350,7 +489,10 @@ class FusedGpuEvaluator {
     x_ = device_.alloc_global<C>(std::size_t{capacity_} * s.n, "X[batch]");
     outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * sys_.layout.num_outputs(),
                                        "Outputs[batch]");
+    values_ = device_.alloc_global<C>(std::size_t{capacity_} * s.n, "Values[batch]");
     kernel_ = detail::build_fused_kernel<S>(sys_, options_.encoding, x_, outputs_);
+    values_kernel_ =
+        detail::build_fused_values_kernel<S>(sys_, options_.encoding, x_, values_);
 
     flat_.reserve(std::size_t{capacity_} * s.n);
     host_outputs_.reserve(std::size_t{capacity_} * sys_.layout.num_outputs());
@@ -389,24 +531,9 @@ class FusedGpuEvaluator {
   /// chunking.
   void evaluate_range(const std::vector<std::vector<C>>& points, std::size_t first,
                       std::size_t count, std::span<poly::EvalResult<S>> out) {
-    const unsigned s_n = sys_.packed.structure.n;
-    if (count == 0 || count > capacity_)
-      throw std::invalid_argument("FusedGpuEvaluator: bad batch size");
-    if (first > points.size() || count > points.size() - first || out.size() < count)
-      throw std::invalid_argument("FusedGpuEvaluator: bad point range");
-    const auto batch = static_cast<unsigned>(count);
-    for (std::size_t p = first; p < first + count; ++p)
-      if (points[p].size() != s_n)
-        throw std::invalid_argument("FusedGpuEvaluator: point has wrong dimension");
-
     const std::size_t kernels_before = device_.log().kernels.size();
     const simt::TransferStats transfers_before = device_.log().transfers;
-
-    flat_.resize(std::size_t{batch} * s_n);
-    for (unsigned p = 0; p < batch; ++p)
-      std::copy(points[first + p].begin(), points[first + p].end(),
-                flat_.begin() + std::size_t{p} * s_n);
-    device_.upload(x_, std::span<const C>(flat_));
+    const unsigned batch = stage_range(points, first, count, out.size(), count);
 
     simt::LaunchConfig cfg{batch, options_.block_size, sys_.shared_bytes};
     cfg.detect_races = options_.detect_races;
@@ -421,6 +548,38 @@ class FusedGpuEvaluator {
 
     detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
                                 last_log_);
+  }
+
+  /// Values-only counterpart of evaluate_range: f at the `count` points
+  /// starting at points[first] in ONE launch of the fused values kernel,
+  /// out[i*n + q] receiving value q of the i-th point of the range.  No
+  /// Jacobian work runs and only batch*n values ride the PCIe download
+  /// -- the corrector-residual fast path -- while every value is bitwise
+  /// identical to a full evaluation's (build_fused_values_kernel).
+  void evaluate_values_range(const std::vector<std::vector<C>>& points,
+                             std::size_t first, std::size_t count, std::span<C> out) {
+    const unsigned s_n = sys_.packed.structure.n;
+    const std::size_t kernels_before = device_.log().kernels.size();
+    const simt::TransferStats transfers_before = device_.log().transfers;
+    const unsigned batch = stage_range(points, first, count, out.size(), count * s_n);
+
+    simt::LaunchConfig cfg{batch, options_.block_size, sys_.shared_bytes};
+    cfg.detect_races = options_.detect_races;
+    (void)device_.launch(values_kernel_, cfg);
+
+    device_.download(values_, out.subspan(0, std::size_t{batch} * s_n));
+
+    detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
+                                last_log_);
+  }
+
+  /// Single-point values-only convenience: a batch of one.
+  void evaluate_values(std::span<const C> x, std::span<C> values) {
+    if (x.size() != sys_.packed.structure.n)
+      throw std::invalid_argument("FusedGpuEvaluator: point has wrong dimension");
+    single_point_.resize(1);
+    single_point_[0].assign(x.begin(), x.end());
+    evaluate_values_range(single_point_, 0, 1, values);
   }
 
   /// Single-point convenience: a batch of one.
@@ -443,13 +602,39 @@ class FusedGpuEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  /// Shared head of the two range entry points: validate the range
+  /// against the batch capacity and the caller's output span (sized
+  /// `out_needed`), pack the points into the staging buffer and upload
+  /// X.  Throws before any device work; returns the batch size.
+  unsigned stage_range(const std::vector<std::vector<C>>& points, std::size_t first,
+                       std::size_t count, std::size_t out_size,
+                       std::size_t out_needed) {
+    const unsigned s_n = sys_.packed.structure.n;
+    if (count == 0 || count > capacity_)
+      throw std::invalid_argument("FusedGpuEvaluator: bad batch size");
+    if (first > points.size() || count > points.size() - first ||
+        out_size < out_needed)
+      throw std::invalid_argument("FusedGpuEvaluator: bad point range");
+    const auto batch = static_cast<unsigned>(count);
+    for (std::size_t p = first; p < first + count; ++p)
+      if (points[p].size() != s_n)
+        throw std::invalid_argument("FusedGpuEvaluator: point has wrong dimension");
+
+    flat_.resize(std::size_t{batch} * s_n);
+    for (unsigned p = 0; p < batch; ++p)
+      std::copy(points[first + p].begin(), points[first + p].end(),
+                flat_.begin() + std::size_t{p} * s_n);
+    device_.upload(x_, std::span<const C>(flat_));
+    return batch;
+  }
+
   simt::Device& device_;
   Options options_;
   unsigned capacity_;
   detail::FusedSystemState<S> sys_;
 
-  simt::GlobalBuffer<C> x_, outputs_;
-  simt::Kernel kernel_;
+  simt::GlobalBuffer<C> x_, outputs_, values_;
+  simt::Kernel kernel_, values_kernel_;
   std::vector<C> flat_;          ///< packed upload staging, reused
   std::vector<C> host_outputs_;  ///< download staging, reused
   std::vector<std::vector<C>> single_point_;        ///< single-point staging

@@ -97,8 +97,12 @@ class PipelinedFusedEvaluator {
                                       b == 0 ? "X[pipe0]" : "X[pipe1]");
       outputs_[b] = device_.alloc_global<C>(std::size_t{micro_} * outs,
                                             b == 0 ? "Outputs[pipe0]" : "Outputs[pipe1]");
+      values_[b] = device_.alloc_global<C>(std::size_t{micro_} * s.n,
+                                           b == 0 ? "Values[pipe0]" : "Values[pipe1]");
       kernels_[b] = detail::build_fused_kernel<S>(sys_, options_.encoding, x_[b],
                                                   outputs_[b]);
+      values_kernels_[b] = detail::build_fused_values_kernel<S>(sys_, options_.encoding,
+                                                                x_[b], values_[b]);
       flat_[b].reserve(std::size_t{micro_} * s.n);
       host_outputs_[b].reserve(std::size_t{micro_} * outs);
     }
@@ -139,65 +143,49 @@ class PipelinedFusedEvaluator {
   /// the two-stream pipeline in micro-chunks.
   void evaluate_range(const std::vector<std::vector<C>>& points, std::size_t first,
                       std::size_t count, std::span<poly::EvalResult<S>> out) {
-    const unsigned s_n = sys_.packed.structure.n;
-    if (count == 0 || count > capacity_)
-      throw std::invalid_argument("PipelinedFusedEvaluator: bad batch size");
-    if (first > points.size() || count > points.size() - first || out.size() < count)
-      throw std::invalid_argument("PipelinedFusedEvaluator: bad point range");
-    for (std::size_t p = first; p < first + count; ++p)
-      if (points[p].size() != s_n)
-        throw std::invalid_argument(
-            "PipelinedFusedEvaluator: point has wrong dimension");
+    validate_range(points, first, count, out.size(), count);
 
     const std::size_t kernels_before = device_.log().kernels.size();
     const simt::TransferStats transfers_before = device_.log().transfers;
 
-    // Fresh modeled timeline for this call (capacities kept).
-    copy_stream_.reset();
-    compute_stream_.reset();
-    device_.engine_clocks().reset();
-    for (unsigned b = 0; b < 2; ++b) {
-      up_done_[b].reset();
-      kernel_done_[b].reset();
-      down_done_[b].reset();
-    }
+    run_pipeline(points, first, count, kernels_,
+                 [&](std::size_t c) { drain_chunk(c, count, out); });
 
-    const std::size_t chunks = (count + micro_ - 1) / micro_;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const unsigned buf = static_cast<unsigned>(c & 1);
-      const std::size_t base = c * micro_;
-      const std::size_t cnt = std::min<std::size_t>(micro_, count - base);
-
-      // Upload chunk c into X[buf]; the slot is reused from chunk c-2,
-      // whose kernel must have consumed it (modeled hazard; host-side
-      // the eager order already guarantees it).
-      if (c >= 2) copy_stream_.wait(kernel_done_[buf]);
-      flat_[buf].resize(cnt * s_n);
-      for (std::size_t p = 0; p < cnt; ++p)
-        std::copy(points[first + base + p].begin(), points[first + base + p].end(),
-                  flat_[buf].begin() + p * s_n);
-      copy_stream_.copy_to_device_async(x_[buf], std::span<const C>(flat_[buf]));
-      copy_stream_.record(up_done_[buf]);
-
-      // Compute chunk c behind its upload; Outputs[buf] is reused from
-      // chunk c-2, whose download must have drained it.
-      compute_stream_.wait(up_done_[buf]);
-      if (c >= 2) compute_stream_.wait(down_done_[buf]);
-      simt::LaunchConfig cfg{static_cast<unsigned>(cnt), options_.block_size,
-                             sys_.shared_bytes};
-      cfg.detect_races = options_.detect_races;
-      (void)compute_stream_.launch(kernels_[buf], cfg);
-      compute_stream_.record(kernel_done_[buf]);
-
-      // Download chunk c-1 under compute(c).
-      if (c >= 1) drain_chunk(c - 1, count, out);
-    }
-    drain_chunk(chunks - 1, count, out);
-
-    makespan_us_ = std::max(copy_stream_.modeled_now_us(),
-                            compute_stream_.modeled_now_us());
     detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
                                 last_log_);
+  }
+
+  /// Values-only counterpart of evaluate_range: f at the `count` points
+  /// starting at points[first], walked through the same two-stream
+  /// double-buffered schedule with the fused VALUES kernel
+  /// (build_fused_values_kernel), out[i*n + q] receiving value q of the
+  /// i-th point of the range.  The per-chunk downloads are micro_chunk*n
+  /// values instead of micro_chunk*(n^2+n) outputs, so a corrector's
+  /// residual probes leave the DMA engines almost idle for the
+  /// neighbouring full batches to fill.  Values are bitwise identical to
+  /// FusedGpuEvaluator's (full or values-only) for every chunking.
+  void evaluate_values_range(const std::vector<std::vector<C>>& points,
+                             std::size_t first, std::size_t count, std::span<C> out) {
+    validate_range(points, first, count, out.size(),
+                   count * sys_.packed.structure.n);
+
+    const std::size_t kernels_before = device_.log().kernels.size();
+    const simt::TransferStats transfers_before = device_.log().transfers;
+
+    run_pipeline(points, first, count, values_kernels_,
+                 [&](std::size_t c) { drain_values_chunk(c, count, out); });
+
+    detail::snapshot_device_log(device_.log(), kernels_before, transfers_before,
+                                last_log_);
+  }
+
+  /// Single-point values-only convenience: a batch of one.
+  void evaluate_values(std::span<const C> x, std::span<C> values) {
+    if (x.size() != sys_.packed.structure.n)
+      throw std::invalid_argument("PipelinedFusedEvaluator: point has wrong dimension");
+    single_point_.resize(1);
+    single_point_[0].assign(x.begin(), x.end());
+    evaluate_values_range(single_point_, 0, 1, values);
   }
 
   /// Single-point convenience (tracker-corrector interface): a batch of
@@ -242,6 +230,82 @@ class PipelinedFusedEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  /// Shared validation of the two range entry points: batch capacity,
+  /// range bounds, the caller's output span (sized `out_needed`) and
+  /// point dimensions.  Throws before any device work.
+  void validate_range(const std::vector<std::vector<C>>& points, std::size_t first,
+                      std::size_t count, std::size_t out_size,
+                      std::size_t out_needed) const {
+    const unsigned s_n = sys_.packed.structure.n;
+    if (count == 0 || count > capacity_)
+      throw std::invalid_argument("PipelinedFusedEvaluator: bad batch size");
+    if (first > points.size() || count > points.size() - first ||
+        out_size < out_needed)
+      throw std::invalid_argument("PipelinedFusedEvaluator: bad point range");
+    for (std::size_t p = first; p < first + count; ++p)
+      if (points[p].size() != s_n)
+        throw std::invalid_argument(
+            "PipelinedFusedEvaluator: point has wrong dimension");
+  }
+
+  /// The ONE copy of the two-stream double-buffer schedule, shared by
+  /// the full and values-only ranges (they differ only in the kernel
+  /// pair and the drain): upload chunk c into slot c&1 behind the slot's
+  /// c-2 kernel (X reuse), launch behind the upload and the slot's c-2
+  /// download (output reuse), drain chunk c-1 under compute(c), then
+  /// drain the tail and record the modeled makespan.
+  template <class DrainChunk>
+  void run_pipeline(const std::vector<std::vector<C>>& points, std::size_t first,
+                    std::size_t count, simt::Kernel (&kernels)[2],
+                    DrainChunk&& drain) {
+    const unsigned s_n = sys_.packed.structure.n;
+
+    // Fresh modeled timeline for this call (capacities kept).
+    copy_stream_.reset();
+    compute_stream_.reset();
+    device_.engine_clocks().reset();
+    for (unsigned b = 0; b < 2; ++b) {
+      up_done_[b].reset();
+      kernel_done_[b].reset();
+      down_done_[b].reset();
+    }
+
+    const std::size_t chunks = (count + micro_ - 1) / micro_;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const unsigned buf = static_cast<unsigned>(c & 1);
+      const std::size_t base = c * micro_;
+      const std::size_t cnt = std::min<std::size_t>(micro_, count - base);
+
+      // Upload chunk c into X[buf]; the slot is reused from chunk c-2,
+      // whose kernel must have consumed it (modeled hazard; host-side
+      // the eager order already guarantees it).
+      if (c >= 2) copy_stream_.wait(kernel_done_[buf]);
+      flat_[buf].resize(cnt * s_n);
+      for (std::size_t p = 0; p < cnt; ++p)
+        std::copy(points[first + base + p].begin(), points[first + base + p].end(),
+                  flat_[buf].begin() + p * s_n);
+      copy_stream_.copy_to_device_async(x_[buf], std::span<const C>(flat_[buf]));
+      copy_stream_.record(up_done_[buf]);
+
+      // Compute chunk c behind its upload; the output slot is reused
+      // from chunk c-2, whose download must have drained it.
+      compute_stream_.wait(up_done_[buf]);
+      if (c >= 2) compute_stream_.wait(down_done_[buf]);
+      simt::LaunchConfig cfg{static_cast<unsigned>(cnt), options_.block_size,
+                             sys_.shared_bytes};
+      cfg.detect_races = options_.detect_races;
+      (void)compute_stream_.launch(kernels[buf], cfg);
+      compute_stream_.record(kernel_done_[buf]);
+
+      // Download chunk c-1 under compute(c).
+      if (c >= 1) drain(c - 1);
+    }
+    drain(chunks - 1);
+
+    makespan_us_ = std::max(copy_stream_.modeled_now_us(),
+                            compute_stream_.modeled_now_us());
+  }
+
   void drain_chunk(std::size_t c, std::size_t count,
                    std::span<poly::EvalResult<S>> out) {
     const std::uint64_t outs = sys_.layout.num_outputs();
@@ -263,14 +327,28 @@ class PipelinedFusedEvaluator {
                                 out[base + p]);
   }
 
+  /// drain_chunk for the values-only pipeline: Values[buf] lands
+  /// directly in the caller's point-major span (no unpacking needed).
+  void drain_values_chunk(std::size_t c, std::size_t count, std::span<C> out) {
+    const unsigned s_n = sys_.packed.structure.n;
+    const unsigned buf = static_cast<unsigned>(c & 1);
+    const std::size_t base = c * micro_;
+    const std::size_t cnt = std::min<std::size_t>(micro_, count - base);
+
+    copy_stream_.wait(kernel_done_[buf]);
+    copy_stream_.copy_from_device_async(values_[buf],
+                                        out.subspan(base * s_n, cnt * s_n));
+    copy_stream_.record(down_done_[buf]);
+  }
+
   simt::Device& device_;
   Options options_;
   unsigned capacity_;
   unsigned micro_;
   detail::FusedSystemState<S> sys_;
 
-  simt::GlobalBuffer<C> x_[2], outputs_[2];
-  simt::Kernel kernels_[2];
+  simt::GlobalBuffer<C> x_[2], outputs_[2], values_[2];
+  simt::Kernel kernels_[2], values_kernels_[2];
   simt::Stream copy_stream_, compute_stream_;
   simt::Event up_done_[2], kernel_done_[2], down_done_[2];
   std::vector<C> flat_[2];          ///< per-slot upload staging, reused

@@ -1,0 +1,463 @@
+#pragma once
+
+/// \file batch_tracker.hpp
+/// Lockstep batched path tracking: advance ALL live paths of a shard one
+/// predictor-corrector step per round, with every stage that touches the
+/// target system batched into single device launches -- the follow-on
+/// the paper's lineage builds (Verschelde & Yu's batched GPU Newton,
+/// Chen's GPU path tracker), and the workload the fused one-block-per-
+/// point schedule was designed for.  Where the per-path tracker feeds
+/// the device one point per corrector launch (a grid of one block), a
+/// round here launches:
+///
+///   * one full batch evaluation for every live path's predictor
+///     (Jacobian + Davidenko right-hand side),
+///   * one values-only batch per corrector residual probe and one full
+///     batch per corrector Jacobian step, over the still-unconverged
+///     subset (newton::refine_batch's masks),
+///   * one values-only batch retiring the round's dead paths with their
+///     final residuals,
+///
+/// while each path keeps its own adaptive state (t, step size, growth
+/// streak, rejection count) exactly as the scalar tracker would have it,
+/// and retired paths -- endgame successes, step-underflow and max-step
+/// failures -- are compacted out of the active set between rounds.
+///
+/// Bitwise contract: a path's trajectory is IDENTICAL to
+/// PathTracker::track over the same evaluators.  Every ingredient holds
+/// bit for bit: the fused evaluators' per-point batch independence, the
+/// values kernel's equality with full-evaluation values, LuArena's
+/// equality with lu_solve, and this file repeating the scalar tracker's
+/// step-control arithmetic verbatim.  Only the SCHEDULE changes -- which
+/// is why the lockstep tracker may default-replace the per-path mode in
+/// track_paths_sharded while the parity tests compare the two.
+///
+/// Zero allocation: all per-path state, batch staging, Newton scratch
+/// and LU slots are sized in the constructor for `max_paths`; steady-
+/// state round() calls never touch the allocator (the device log is
+/// cleared -- capacity kept -- at each round's start, the long-running-
+/// caller convention).
+
+#include "ad/cpu_evaluator.hpp"
+#include "homotopy/tracker.hpp"
+#include "newton/batch.hpp"
+#include "simt/device.hpp"
+
+namespace polyeval::homotopy {
+
+/// The gamma-trick homotopy of homotopy.hpp, evaluated for a batch of
+/// points each at its OWN t -- the lockstep tracker's paths sit at
+/// different parameter values after their first diverging step.  The
+/// target system f runs on the device in batched launches
+/// (evaluate_range / evaluate_values_range); the start system g stays on
+/// the CPU per point, as in the sharded per-path tracker.  The per-point
+/// combination h = gamma (1-t) g + t f repeats Homotopy::evaluate's
+/// arithmetic exactly, so batching changes nothing bitwise.
+template <prec::RealScalar S, class TargetEval>
+class BatchedHomotopy {
+  using C = cplx::Complex<S>;
+
+ public:
+  BatchedHomotopy(TargetEval& f, ad::CpuEvaluator<S>& g, cplx::Complex<double> gamma)
+      : f_(f),
+        g_(g),
+        gamma_(C::from_double(gamma)),
+        max_batch_(f.batch_capacity()),
+        g_eval_(f.dimension()),
+        g_vals_(f.dimension()) {
+    if (f_.dimension() != g_.dimension())
+      throw std::invalid_argument("BatchedHomotopy: dimension mismatch");
+    const unsigned n = f_.dimension();
+    f_chunk_.resize(max_batch_);
+    for (auto& r : f_chunk_) r.resize(n);
+    f_values_.resize(max_batch_ * std::size_t{n});
+    g_values_.resize(max_batch_ * std::size_t{n});
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return f_.dimension(); }
+  /// Largest evaluate_range chunk (= the device batch capacity); the
+  /// O(n^2) Jacobian traffic of any caller is bounded by it.
+  [[nodiscard]] std::size_t max_batch() const noexcept { return max_batch_; }
+
+  /// h(x_{first+i}, ts_{first+i}) for i in [0, count), count <=
+  /// max_batch(): values into values[i*n ..], row-major Jacobians into
+  /// jacobians[i*n*n ..] (chunk-local indexing, so callers walking a
+  /// large set reuse one max_batch-sized scratch).  One device launch;
+  /// f and g values are recorded per chunk slot for rhs_from_last.
+  void evaluate_range(const std::vector<std::vector<C>>& points, std::span<const S> ts,
+                      std::size_t first, std::size_t count, std::span<C> values,
+                      std::span<C> jacobians) {
+    const unsigned n = dimension();
+    const std::size_t nn = std::size_t{n} * n;
+    if (count > max_batch_ || ts.size() < first + count || values.size() < count * n ||
+        jacobians.size() < count * nn)
+      throw std::invalid_argument("BatchedHomotopy: bad batch spans");
+
+    f_.evaluate_range(points, first, count,
+                      std::span<poly::EvalResult<S>>(f_chunk_).subspan(0, count));
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t slot = first + i;
+      g_.evaluate(std::span<const C>(points[slot]), g_eval_);
+      std::copy(f_chunk_[i].values.begin(), f_chunk_[i].values.end(),
+                f_values_.begin() + i * n);
+      std::copy(g_eval_.values.begin(), g_eval_.values.end(),
+                g_values_.begin() + i * n);
+      // Homotopy::evaluate's combination (the shared one copy), per-slot t.
+      const detail::GammaBlend<S> blend(gamma_, ts[slot]);
+      for (unsigned q = 0; q < n; ++q)
+        values[i * n + q] = blend.combine(g_eval_.values[q], f_chunk_[i].values[q]);
+      for (std::size_t e = 0; e < nn; ++e)
+        jacobians[i * nn + e] =
+            blend.combine(g_eval_.jacobian[e], f_chunk_[i].jacobian[e]);
+    }
+  }
+
+  /// Values-only h(x_{first+i}, ts_{first+i}) into values[i*n ..] for
+  /// i in [0, count), any count: the target system runs the fused
+  /// values kernel in max_batch-sized launches (no Jacobian work,
+  /// n-value downloads) and g its values-only CPU path.  Bitwise equal
+  /// to evaluate_range's values.
+  void evaluate_values_range(const std::vector<std::vector<C>>& points,
+                             std::span<const S> ts, std::size_t first,
+                             std::size_t count, std::span<C> values) {
+    const unsigned n = dimension();
+    if (ts.size() < first + count || values.size() < count * n)
+      throw std::invalid_argument("BatchedHomotopy: bad batch spans");
+
+    for (std::size_t c0 = 0; c0 < count; c0 += max_batch_) {
+      const std::size_t cnt = std::min(max_batch_, count - c0);
+      f_.evaluate_values_range(points, first + c0, cnt,
+                               std::span<C>(values).subspan(c0 * n, cnt * n));
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const std::size_t slot = c0 + i;
+        g_.evaluate_values(std::span<const C>(points[first + slot]),
+                           std::span<C>(g_vals_));
+        const detail::GammaBlend<S> blend(gamma_, ts[first + slot]);
+        for (unsigned q = 0; q < n; ++q)
+          values[slot * n + q] = blend.combine(g_vals_[q], values[slot * n + q]);
+      }
+    }
+  }
+
+  /// Davidenko right-hand side dh/dt = f(x) - gamma g(x) of chunk slot
+  /// i of the most recent evaluate_range call (the predictor follows
+  /// the corrector state, as in Homotopy::dt_from_last).
+  void rhs_from_last(std::size_t i, std::span<C> out) const {
+    const unsigned n = dimension();
+    for (unsigned q = 0; q < n; ++q)
+      out[q] =
+          detail::davidenko_rhs(gamma_, f_values_[i * n + q], g_values_[i * n + q]);
+  }
+
+ private:
+  TargetEval& f_;
+  ad::CpuEvaluator<S>& g_;
+  C gamma_;
+  std::size_t max_batch_;
+  poly::EvalResult<S> g_eval_;                ///< per-point CPU scratch
+  std::vector<C> g_vals_;                     ///< per-point values-only scratch
+  std::vector<poly::EvalResult<S>> f_chunk_;  ///< device chunk results
+  std::vector<C> f_values_, g_values_;        ///< last full eval, per chunk slot
+};
+
+/// Lockstep batched tracker over one shard's evaluators.  Load a batch
+/// of start roots with start(), then round() until no path is live (or
+/// run()); read per-path TrackResults with result().
+template <prec::RealScalar S, class TargetEval>
+class BatchPathTracker {
+  using C = cplx::Complex<S>;
+
+ public:
+  /// `max_paths` is the lockstep capacity every internal buffer is sized
+  /// for; `device` is the device behind `f` (its launch log is cleared
+  /// each round, capacity kept).
+  BatchPathTracker(simt::Device& device, TargetEval& f, ad::CpuEvaluator<S>& g,
+                   cplx::Complex<double> gamma, TrackOptions options,
+                   std::size_t max_paths)
+      : device_(device), h_(f, g, gamma), options_(options),
+        max_paths_(max_paths),
+        cap_(std::min<std::size_t>(std::max<std::size_t>(h_.max_batch(), 1),
+                                   std::max<std::size_t>(max_paths, 1))) {
+    const unsigned n = h_.dimension();
+    const std::size_t nn = std::size_t{n} * n;
+    // Per-path state and values buffers scale with the path count; the
+    // O(n^2) Jacobian traffic (predictor flows, corrector steps, LU
+    // slots) is bounded by the device batch capacity the launches are
+    // chunked to.
+    arena_.resize(n, cap_);
+    nscratch_.reserve(n, max_paths, cap_);
+    statuses_.resize(max_paths);
+    slots_.resize(max_paths);
+    for (auto& s : slots_) s.x.resize(n);
+    active_.reserve(max_paths);
+    probe_ids_.reserve(max_paths);
+    end_ids_.reserve(max_paths);
+    batch_pts_.resize(max_paths);
+    for (auto& p : batch_pts_) p.resize(n);
+    corr_pts_.resize(max_paths);
+    for (auto& p : corr_pts_) p.resize(n);
+    ts_.resize(max_paths);
+    corr_ts_.resize(max_paths);
+    dts_.resize(max_paths);
+    hv_.resize(max_paths * std::size_t{n});
+    hj_.resize(cap_ * nn);
+    rhs_.resize(cap_ * std::size_t{n});
+    flow_.resize(cap_ * std::size_t{n});
+    singular_.resize(cap_);
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return h_.dimension(); }
+  [[nodiscard]] std::size_t max_paths() const noexcept { return max_paths_; }
+  [[nodiscard]] std::size_t path_count() const noexcept { return paths_; }
+  [[nodiscard]] std::size_t live_paths() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+  /// Load paths i = 0..count-1 from roots[first + i] (state reset; the
+  /// batch must fit max_paths).  Buffers are reused, so a second start()
+  /// on a warm tracker allocates nothing.
+  void start(const std::vector<std::vector<C>>& roots, std::size_t first,
+             std::size_t count) {
+    const unsigned n = h_.dimension();
+    if (count > max_paths_)
+      throw std::invalid_argument("BatchPathTracker: batch exceeds max_paths");
+    if (first > roots.size() || count > roots.size() - first)
+      throw std::invalid_argument("BatchPathTracker: bad root range");
+    paths_ = count;
+    rounds_ = 0;
+    active_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (roots[first + i].size() != n)
+        throw std::invalid_argument("BatchPathTracker: root has wrong dimension");
+      auto& s = slots_[i];
+      std::copy(roots[first + i].begin(), roots[first + i].end(), s.x.begin());
+      s.t = 0.0;
+      s.step = options_.initial_step;
+      s.streak = s.steps = s.rejections = 0;
+      s.final_residual = 0.0;
+      s.retired = false;
+      s.success = false;
+      active_.push_back(i);
+    }
+  }
+
+  /// Advance every live path one predictor-corrector step (plus the
+  /// endgame polish for paths reaching t = 1 this round) and compact the
+  /// retirees out of the active set.  Returns the number of still-live
+  /// paths; allocation-free in steady state.
+  std::size_t round() {
+    if (active_.empty()) return 0;
+    device_.clear_log();
+    ++rounds_;
+    const unsigned n = h_.dimension();
+
+    // Retire exhausted paths first -- the scalar tracker's loop
+    // condition, checked before the step -- with one batched probe for
+    // their final residuals.
+    probe_ids_.clear();
+    std::size_t keep = 0;
+    for (const std::size_t id : active_) {
+      if (slots_[id].steps + slots_[id].rejections >= options_.max_steps)
+        probe_ids_.push_back(id);
+      else
+        active_[keep++] = id;
+    }
+    active_.resize(keep);
+    retire_failed(probe_ids_);
+
+    const std::size_t a = active_.size();
+    if (a == 0) return 0;
+
+    // Predictor: full batches at (x_p, t_p) -- Euler along the
+    // Davidenko flow, per-path dt = min(step, 1 - t) -- walked in
+    // device-capacity chunks so the Jacobian scratch stays bounded.
+    for (std::size_t j = 0; j < a; ++j) {
+      const auto& s = slots_[active_[j]];
+      dts_[j] = std::min(s.step, 1.0 - s.t);
+      ts_[j] = S(s.t);
+      std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
+    }
+    for (std::size_t c0 = 0; c0 < a; c0 += cap_) {
+      const std::size_t cc = std::min(cap_, a - c0);
+      h_.evaluate_range(batch_pts_, std::span<const S>(ts_), c0, cc,
+                        std::span<C>(hv_), std::span<C>(hj_));
+      for (std::size_t j = 0; j < cc; ++j)
+        h_.rhs_from_last(j, std::span<C>(rhs_).subspan(j * n, n));
+      linalg::lu_solve_batch(arena_, cc, std::span<const C>(hj_),
+                             std::span<const C>(rhs_), std::span<C>(flow_),
+                             std::span<unsigned char>(singular_));
+      for (std::size_t j = 0; j < cc; ++j) {
+        const std::size_t g = c0 + j;
+        std::copy(batch_pts_[g].begin(), batch_pts_[g].end(),
+                  corr_pts_[g].begin());
+        if (!singular_[j]) {
+          // A singular Jacobian mid-path leaves the predictor at the
+          // current point; the corrector decides viability (as scalar).
+          const S h_dt(dts_[g]);
+          for (unsigned v = 0; v < n; ++v)
+            corr_pts_[g][v] -= flow_[j * n + v] * h_dt;
+        }
+        corr_ts_[g] = S(slots_[active_[g]].t + dts_[g]);
+      }
+    }
+
+    // Corrector: masked batched Newton at t + dt.
+    newton::NewtonOptions copts;
+    copts.max_iterations = options_.corrector_iterations;
+    copts.residual_tolerance = options_.corrector_tolerance;
+    newton::refine_batch<S>(h_, corr_pts_, std::span<const S>(corr_ts_), a, copts,
+                            arena_, nscratch_,
+                            std::span<newton::BatchPathStatus>(statuses_));
+
+    // Per-path step control -- the scalar tracker's accept/reject
+    // arithmetic, path by path.
+    probe_ids_.clear();
+    end_ids_.clear();
+    keep = 0;
+    for (std::size_t j = 0; j < a; ++j) {
+      const std::size_t id = active_[j];
+      auto& s = slots_[id];
+      if (statuses_[j].converged) {
+        std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
+        s.t += dts_[j];
+        ++s.steps;
+        if (++s.streak >= options_.growth_after) {
+          s.step = std::min(s.step * options_.step_growth, options_.max_step);
+          s.streak = 0;
+        }
+        if (s.t >= 1.0) {
+          end_ids_.push_back(id);
+          continue;
+        }
+      } else {
+        ++s.rejections;
+        s.streak = 0;
+        s.step *= options_.step_shrink;
+        if (s.step < options_.min_step) {
+          probe_ids_.push_back(id);
+          continue;
+        }
+      }
+      active_[keep++] = id;
+    }
+    active_.resize(keep);
+
+    // Endgame: one batched polish at t = 1 for this round's finishers;
+    // a diverged polish keeps the tracked point and ITS residual (the
+    // polish's entry probe), as in the scalar tracker.
+    if (!end_ids_.empty()) {
+      const std::size_t e = end_ids_.size();
+      for (std::size_t j = 0; j < e; ++j) {
+        const auto& s = slots_[end_ids_[j]];
+        std::copy(s.x.begin(), s.x.end(), corr_pts_[j].begin());
+        corr_ts_[j] = S(1.0);
+      }
+      newton::NewtonOptions eopts;
+      eopts.max_iterations = options_.end_iterations;
+      eopts.residual_tolerance = options_.end_tolerance;
+      newton::refine_batch<S>(h_, corr_pts_, std::span<const S>(corr_ts_), e, eopts,
+                              arena_, nscratch_,
+                              std::span<newton::BatchPathStatus>(statuses_));
+      for (std::size_t j = 0; j < e; ++j) {
+        auto& s = slots_[end_ids_[j]];
+        if (statuses_[j].converged) {
+          std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
+          s.final_residual = statuses_[j].final_residual;
+        } else {
+          s.final_residual = statuses_[j].initial_residual;
+        }
+        s.success = statuses_[j].converged;
+        s.retired = true;
+      }
+    }
+
+    // Step-underflow failures: batched residual probe, then retire.
+    retire_failed(probe_ids_);
+
+    return active_.size();
+  }
+
+  /// Rounds until every path retired.
+  void run() {
+    while (round() > 0) {
+    }
+  }
+
+  /// Result of path i; throws while the path is still live (round()
+  /// until live_paths() == 0, or run()).  Allocates the solution vector
+  /// -- call outside the measured steady state.
+  [[nodiscard]] TrackResult<S> result(std::size_t i) const {
+    if (i >= paths_)
+      throw std::invalid_argument("BatchPathTracker: bad path index");
+    const auto& s = slots_[i];
+    if (!s.retired)
+      throw std::logic_error("BatchPathTracker: path still live");
+    TrackResult<S> r;
+    r.success = s.success;
+    r.steps = s.steps;
+    r.rejections = s.rejections;
+    r.final_residual = s.final_residual;
+    r.t_reached = s.t;
+    r.solution.assign(s.x.begin(), s.x.end());
+    return r;
+  }
+
+ private:
+  struct PathSlot {
+    std::vector<C> x;
+    double t = 0.0;
+    double step = 0.0;
+    unsigned streak = 0, steps = 0, rejections = 0;
+    double final_residual = 0.0;
+    bool retired = false, success = false;
+  };
+
+  /// Retire `ids` as failures with one batched values probe at their
+  /// current (x, t) -- the scalar tracker's mid-track exit residual.
+  void retire_failed(const std::vector<std::size_t>& ids) {
+    if (ids.empty()) return;
+    const unsigned n = h_.dimension();
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const auto& s = slots_[ids[j]];
+      std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
+      ts_[j] = S(s.t);
+    }
+    h_.evaluate_values_range(batch_pts_, std::span<const S>(ts_), 0, ids.size(),
+                             std::span<C>(hv_));
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      auto& s = slots_[ids[j]];
+      s.final_residual =
+          linalg::max_norm_d<S>(std::span<const C>(hv_).subspan(j * n, n));
+      s.success = false;
+      s.retired = true;
+    }
+  }
+
+  simt::Device& device_;
+  BatchedHomotopy<S, TargetEval> h_;
+  TrackOptions options_;
+  std::size_t max_paths_;
+  std::size_t cap_;  ///< Jacobian-stage chunk bound (device batch capacity)
+  std::size_t paths_ = 0;
+  std::size_t rounds_ = 0;
+
+  std::vector<PathSlot> slots_;
+  std::vector<std::size_t> active_;     ///< live path ids, compacted each round
+  std::vector<std::size_t> probe_ids_;  ///< this round's failures
+  std::vector<std::size_t> end_ids_;    ///< this round's endgame set
+
+  linalg::LuArena<S> arena_;
+  newton::RefineBatchScratch<S> nscratch_;
+  std::vector<newton::BatchPathStatus> statuses_;
+
+  std::vector<std::vector<C>> batch_pts_;  ///< predictor/probe staging
+  std::vector<std::vector<C>> corr_pts_;   ///< corrector/endgame iterates
+  std::vector<S> ts_, corr_ts_;
+  std::vector<double> dts_;
+  std::vector<C> hv_;   ///< batched h values
+  std::vector<C> hj_;   ///< batched h Jacobians
+  std::vector<C> rhs_;  ///< batched Davidenko right-hand sides
+  std::vector<C> flow_; ///< batched predictor flows
+  std::vector<unsigned char> singular_;
+};
+
+}  // namespace polyeval::homotopy

@@ -22,6 +22,33 @@ namespace polyeval::homotopy {
   return {std::cos(a), std::sin(a)};
 }
 
+namespace detail {
+
+/// The ONE copy of the gamma-trick combination arithmetic, shared by
+/// Homotopy and BatchedHomotopy so the lockstep tracker's bitwise
+/// contract with the scalar path holds by construction: the pair
+/// (a, b) = (gamma (1-t), t) and the per-entry blend a*g + b*f.
+template <prec::RealScalar S>
+struct GammaBlend {
+  using C = cplx::Complex<S>;
+  C a, b;
+
+  GammaBlend(const C& gamma, const S& t) : a(gamma * C(S(1.0) - t)), b(C(t)) {}
+
+  [[nodiscard]] C combine(const C& g, const C& f) const { return a * g + b * f; }
+};
+
+/// The matching one copy of the Davidenko right-hand side
+/// dh/dt = f(x) - gamma g(x).
+template <prec::RealScalar S>
+[[nodiscard]] cplx::Complex<S> davidenko_rhs(const cplx::Complex<S>& gamma,
+                                             const cplx::Complex<S>& f,
+                                             const cplx::Complex<S>& g) {
+  return f - gamma * g;
+}
+
+}  // namespace detail
+
 template <prec::RealScalar S, class EvalF, class EvalG>
   requires newton::Evaluator<EvalF, S> && newton::Evaluator<EvalG, S>
 class Homotopy {
@@ -44,14 +71,13 @@ class Homotopy {
   void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
     f_.evaluate(x, f_eval_);
     g_.evaluate(x, g_eval_);
-    const C a = gamma_ * C(S(1.0) - t_);  // gamma (1-t)
-    const C b = C(t_);
+    const detail::GammaBlend<S> blend(gamma_, t_);
     const unsigned n = dimension();
     out.resize(n);
     for (unsigned i = 0; i < n; ++i)
-      out.values[i] = a * g_eval_.values[i] + b * f_eval_.values[i];
+      out.values[i] = blend.combine(g_eval_.values[i], f_eval_.values[i]);
     for (std::size_t i = 0; i < out.jacobian.size(); ++i)
-      out.jacobian[i] = a * g_eval_.jacobian[i] + b * f_eval_.jacobian[i];
+      out.jacobian[i] = blend.combine(g_eval_.jacobian[i], f_eval_.jacobian[i]);
   }
 
   /// dh/dt = f(x) - gamma g(x), using the f and g values of the most
@@ -60,7 +86,7 @@ class Homotopy {
     const unsigned n = dimension();
     std::vector<C> out(n);
     for (unsigned i = 0; i < n; ++i)
-      out[i] = f_eval_.values[i] - gamma_ * g_eval_.values[i];
+      out[i] = detail::davidenko_rhs(gamma_, f_eval_.values[i], g_eval_.values[i]);
     return out;
   }
 

@@ -25,6 +25,7 @@
 #include "ad/cpu_evaluator.hpp"
 #include "core/fused_evaluator.hpp"
 #include "core/pipelined_evaluator.hpp"
+#include "homotopy/batch_tracker.hpp"
 #include "homotopy/solver.hpp"
 #include "simt/device_registry.hpp"
 
@@ -36,24 +37,44 @@ enum class ShardEvalBackend {
   kPipelined,  ///< PipelinedFusedEvaluator: stream-pipelined micro-chunks
 };
 
+/// How a shard advances the paths it owns.
+enum class ShardTrackMode {
+  /// BatchPathTracker: ALL live paths of the shard advance per round,
+  /// predictor/corrector/endgame stages batched into full-set launches
+  /// (the default; this is the batch the device schedules were built
+  /// for).  Paths are partitioned contiguously across shards.
+  kLockstep,
+  /// PathTracker, one path per single-point launch, path jobs claimed in
+  /// chunks from the shared cursor -- the pre-lockstep schedule, kept as
+  /// the parity baseline.
+  kPerPath,
+};
+
 struct ShardedSolveOptions {
   TrackOptions track;
   std::uint64_t gamma_seed = 20120102;
   unsigned shards = 2;
   unsigned workers_per_shard = 1;  ///< device pool threads per shard
-  unsigned chunk_paths = 2;        ///< paths per manager claim
+  unsigned chunk_paths = 2;        ///< paths per manager claim (per-path mode)
   std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
-  /// Per-shard fused evaluator geometry; 0 = pick_block_size, which
-  /// widens the single-point (under-full) grids trackers launch.
-  /// Results are bitwise independent of the choice.
+  /// Per-shard fused evaluator geometry; 0 = pick_block_size -- warp
+  /// blocks for the lockstep mode's SM-filling batches, widened blocks
+  /// for the per-path mode's single-point grids.  Results are bitwise
+  /// independent of the choice.
   unsigned block_size = 0;
   bool detect_races = false;       ///< run the shards' launches checked
-  /// Today's trackers evaluate one point per corrector step, so both
-  /// backends issue the same launches; once predictor/corrector stages
-  /// batch (the ROADMAP lockstep item), the pipelined backend hides
-  /// each batch's transfers behind its kernels.  Results are bitwise
-  /// identical under either.
+  /// The lockstep tracker batches every predictor/corrector stage over
+  /// the shard's live set, so the pipelined backend finally has
+  /// transfers worth hiding behind its kernels; in per-path mode both
+  /// backends issue the same single-point launches.  Results are
+  /// bitwise identical under either.
   ShardEvalBackend backend = ShardEvalBackend::kFused;
+  /// Lockstep by default; per-path kept behind the enum for parity
+  /// testing (results are bitwise identical across modes).
+  ShardTrackMode mode = ShardTrackMode::kLockstep;
+  /// Lockstep device batch capacity: live-set launches are chunked to
+  /// this many points (also the per-shard evaluator's buffer size).
+  unsigned lockstep_batch = 64;
 };
 
 namespace detail {
@@ -81,6 +102,87 @@ struct ShardTrackState {
         h(f, g, gamma),
         tracker(h, options.track) {}
 };
+
+/// One shard's lockstep state: the device evaluator sized for whole
+/// live-set batches, the CPU start evaluator, and the BatchPathTracker
+/// over them.
+template <prec::RealScalar S, class TargetEvalT>
+struct ShardLockstepState {
+  using TargetEval = TargetEvalT;
+  using StartEval = ad::CpuEvaluator<S>;
+
+  TargetEval f;
+  StartEval g;
+  BatchPathTracker<S, TargetEval> tracker;
+
+  ShardLockstepState(simt::Device& device, const poly::PolynomialSystem& target,
+                     const poly::PolynomialSystem& start_system,
+                     cplx::Complex<double> gamma, const ShardedSolveOptions& options,
+                     unsigned batch_capacity, std::size_t max_paths)
+      : f(device, target, batch_capacity,
+          {.block_size = options.block_size, .detect_races = options.detect_races}),
+        g(start_system),
+        tracker(device, f, g, gamma, options.track, max_paths) {}
+};
+
+/// The lockstep tracking loop: paths are partitioned into contiguous
+/// per-shard slices (deterministic; a path's trajectory is independent
+/// of its shard, so any partition yields bitwise-identical summaries)
+/// and each shard advances its whole slice in lockstep rounds.
+template <prec::RealScalar S, class TargetEval>
+SolveSummary<S> track_paths_lockstep_with(
+    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+    const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
+  const std::uint64_t paths = start_roots.size();
+
+  SolveSummary<S> summary;
+  summary.attempted = paths;
+  summary.paths.resize(paths);
+  if (paths == 0) return summary;
+
+  simt::DeviceRegistry registry(options.shards, simt::DeviceSpec::tesla_c2050(),
+                                options.workers_per_shard);
+  const std::size_t per_shard =
+      (paths + registry.size() - 1) / registry.size();  // last slice may be short
+  const unsigned capacity = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(1u, options.lockstep_batch), per_shard));
+  // Shards past the last slice (more shards than paths) own nothing;
+  // skip their evaluator/tracker construction entirely.
+  const std::size_t used = (paths + per_shard - 1) / per_shard;
+
+  std::vector<std::unique_ptr<ShardLockstepState<S, TargetEval>>> shards;
+  shards.reserve(used);
+  for (std::size_t i = 0; i < used; ++i)
+    shards.push_back(std::make_unique<ShardLockstepState<S, TargetEval>>(
+        registry.device(static_cast<unsigned>(i)), target, start_system, gamma,
+        options, capacity, per_shard));
+
+  const auto track_slice = [&](std::size_t shard) {
+    const std::size_t first = shard * per_shard;
+    const std::size_t count = std::min(per_shard, paths - first);
+    auto& tracker = shards[shard]->tracker;
+    tracker.start(start_roots, first, count);
+    tracker.run();
+    for (std::size_t i = 0; i < count; ++i)
+      summary.paths[first + i] = tracker.result(i);
+  };
+
+  if (used == 1) {
+    track_slice(0);
+  } else {
+    simt::ThreadPool manager(static_cast<unsigned>(used) - 1);
+    // The claimed index IS the shard id (one slice per shard).
+    manager.parallel_for_ranges(
+        used, 1, [&](unsigned, std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) track_slice(s);
+        });
+  }
+
+  for (const auto& p : summary.paths)
+    if (p.success) ++summary.successes;
+  return summary;
+}
 
 /// The manager/worker tracking loop, generic over the per-shard device
 /// evaluator; track_paths_sharded dispatches on the options' backend.
@@ -135,6 +237,13 @@ SolveSummary<S> track_paths_sharded(
     const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
     cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
+  if (options.mode == ShardTrackMode::kLockstep) {
+    if (options.backend == ShardEvalBackend::kPipelined)
+      return detail::track_paths_lockstep_with<S, core::PipelinedFusedEvaluator<S>>(
+          target, start_system, start_roots, gamma, options);
+    return detail::track_paths_lockstep_with<S, core::FusedGpuEvaluator<S>>(
+        target, start_system, start_roots, gamma, options);
+  }
   if (options.backend == ShardEvalBackend::kPipelined)
     return detail::track_paths_sharded_with<S, core::PipelinedFusedEvaluator<S>>(
         target, start_system, start_roots, gamma, options);
@@ -154,6 +263,9 @@ SolveSummary<S> solve_total_degree_sharded(const poly::PolynomialSystem& target,
 
   std::uint64_t paths = start.num_paths();
   if (options.max_paths > 0) paths = std::min(paths, options.max_paths);
+  else if (start.num_paths_saturated())
+    throw std::invalid_argument(
+        "solve_total_degree_sharded: Bezout number exceeds 2^64; set max_paths");
 
   std::vector<std::vector<C>> roots;
   roots.reserve(paths);

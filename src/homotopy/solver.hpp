@@ -58,6 +58,9 @@ SolveSummary<S> solve_total_degree(const poly::PolynomialSystem& target,
 
   std::uint64_t paths = start.num_paths();
   if (options.max_paths > 0) paths = std::min(paths, options.max_paths);
+  else if (start.num_paths_saturated())
+    throw std::invalid_argument(
+        "solve_total_degree: Bezout number exceeds 2^64; set max_paths");
 
   SolveSummary<S> summary;
   summary.attempted = paths;

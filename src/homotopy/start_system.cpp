@@ -1,6 +1,7 @@
 #include "homotopy/start_system.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace polyeval::homotopy {
@@ -25,9 +26,18 @@ poly::PolynomialSystem build_start(const std::vector<unsigned>& degrees) {
 
 TotalDegreeStart::TotalDegreeStart(const poly::PolynomialSystem& target)
     : degrees_(target.degrees()), num_paths_(1), system_(build_start(degrees_)) {
-  for (const unsigned d : degrees_) {
+  for (const unsigned d : degrees_)
     if (d == 0)
       throw std::invalid_argument("TotalDegreeStart: zero-degree polynomial in target");
+  // Bezout numbers overflow 64 bits well inside the paper's dimension
+  // range (e.g. 18^32); saturate instead of silently wrapping to a
+  // tiny path count.  start_root stays valid for any index below the
+  // saturated bound (the mixed-radix digits wrap per coordinate).
+  for (const unsigned d : degrees_) {
+    if (num_paths_ > std::numeric_limits<std::uint64_t>::max() / d) {
+      num_paths_ = std::numeric_limits<std::uint64_t>::max();
+      break;
+    }
     num_paths_ *= d;
   }
 }

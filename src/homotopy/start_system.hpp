@@ -19,8 +19,16 @@ class TotalDegreeStart {
   [[nodiscard]] const poly::PolynomialSystem& system() const noexcept { return system_; }
   [[nodiscard]] const std::vector<unsigned>& degrees() const noexcept { return degrees_; }
 
-  /// Bezout number: the number of homotopy paths.
+  /// Bezout number: the number of homotopy paths.  Saturates at 2^64-1
+  /// (see num_paths_saturated); "all paths" consumers must reject or
+  /// cap a saturated count, start_root stays valid for any index.
   [[nodiscard]] std::uint64_t num_paths() const noexcept { return num_paths_; }
+
+  /// True when the true Bezout number exceeds 64 bits and num_paths()
+  /// is the saturated bound, not a path count anything should iterate.
+  [[nodiscard]] bool num_paths_saturated() const noexcept {
+    return num_paths_ == ~std::uint64_t{0};
+  }
 
   /// The path-th start root: x_i = exp(2 pi i j_i / d_i) with (j_1..j_n)
   /// the mixed-radix digits of `path`.

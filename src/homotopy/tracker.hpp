@@ -102,9 +102,22 @@ class PathTracker {
       eopts.residual_tolerance = options_.end_tolerance;
       auto polished =
           newton::refine<S>(h_, std::span<const C>(result.solution), eopts);
-      result.solution = std::move(polished.solution);
-      result.final_residual = polished.final_residual;
+      if (polished.converged) {
+        result.solution = std::move(polished.solution);
+        result.final_residual = polished.final_residual;
+      } else {
+        // A diverged polish must not replace the tracked point with a
+        // worse iterate: keep the pre-polish point and report ITS
+        // residual at t = 1 (the polish's entry probe).
+        result.final_residual = polished.residual_history.front();
+      }
       result.success = polished.converged;
+    } else {
+      // Paths dying mid-track (step underflow, max_steps) still report
+      // the residual of where they stopped.
+      h_.set_t(S(t));
+      h_.evaluate(std::span<const C>(result.solution), eval);
+      result.final_residual = linalg::max_norm_d<S>(eval.values);
     }
     return result;
   }

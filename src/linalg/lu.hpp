@@ -11,6 +11,73 @@
 
 namespace polyeval::linalg {
 
+namespace detail {
+
+/// The in-place partial-pivot elimination (P A = L U, pivoting on the
+/// 1-norm of candidates) over row-major storage -- the ONE copy of the
+/// factor loop, shared by LuFactorization and LuArena so their
+/// arithmetic cannot drift (the arena's bitwise-equality contract is
+/// true by construction).  `a` holds n*n entries, `perm` n entries;
+/// returns false when a pivot column is exactly zero.
+template <prec::RealScalar T>
+[[nodiscard]] bool factor_in_place(cplx::Complex<T>* a, unsigned* perm, unsigned n) {
+  using C = cplx::Complex<T>;
+  const auto at = [a, n](unsigned r, unsigned c) -> C& {
+    return a[std::size_t{r} * n + c];
+  };
+  for (unsigned i = 0; i < n; ++i) perm[i] = i;
+
+  for (unsigned col = 0; col < n; ++col) {
+    // pivot search
+    unsigned pivot = col;
+    T best = cplx::norm1(at(col, col));
+    for (unsigned r = col + 1; r < n; ++r) {
+      const T cand = cplx::norm1(at(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (!(best > T(0.0))) return false;
+    if (pivot != col) {
+      for (unsigned c = 0; c < n; ++c) std::swap(at(col, c), at(pivot, c));
+      std::swap(perm[col], perm[pivot]);
+    }
+    // elimination
+    const C inv_pivot = C(T(1.0)) / at(col, col);
+    for (unsigned r = col + 1; r < n; ++r) {
+      const C factor = at(r, col) * inv_pivot;
+      at(r, col) = factor;
+      for (unsigned c = col + 1; c < n; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  return true;
+}
+
+/// Forward + back substitution on the permuted right-hand side, the
+/// matching one-copy solve over a factor_in_place result.
+template <prec::RealScalar T>
+void solve_in_place(const cplx::Complex<T>* lu, const unsigned* perm, unsigned n,
+                    std::span<const cplx::Complex<T>> b,
+                    std::span<cplx::Complex<T>> x) {
+  using C = cplx::Complex<T>;
+  const auto at = [lu, n](unsigned r, unsigned c) -> const C& {
+    return lu[std::size_t{r} * n + c];
+  };
+  for (unsigned r = 0; r < n; ++r) {
+    C sum = b[perm[r]];
+    for (unsigned c = 0; c < r; ++c) sum -= at(r, c) * x[c];
+    x[r] = sum;
+  }
+  for (unsigned ri = n; ri-- > 0;) {
+    C sum = x[ri];
+    for (unsigned c = ri + 1; c < n; ++c) sum -= at(ri, c) * x[c];
+    x[ri] = sum / at(ri, ri);
+  }
+}
+
+}  // namespace detail
+
 /// In-place LU factorization P A = L U with partial pivoting on the
 /// 1-norm of candidate pivots (no square roots needed).
 template <prec::RealScalar T>
@@ -24,32 +91,8 @@ class LuFactorization {
     const unsigned n = a.rows();
     if (n != a.cols()) throw std::invalid_argument("LU: matrix must be square");
     std::vector<unsigned> perm(n);
-    for (unsigned i = 0; i < n; ++i) perm[i] = i;
-
-    for (unsigned col = 0; col < n; ++col) {
-      // pivot search
-      unsigned pivot = col;
-      T best = cplx::norm1(a(col, col));
-      for (unsigned r = col + 1; r < n; ++r) {
-        const T cand = cplx::norm1(a(r, col));
-        if (cand > best) {
-          best = cand;
-          pivot = r;
-        }
-      }
-      if (!(best > T(0.0))) return std::nullopt;
-      if (pivot != col) {
-        for (unsigned c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
-        std::swap(perm[col], perm[pivot]);
-      }
-      // elimination
-      const C inv_pivot = C(T(1.0)) / a(col, col);
-      for (unsigned r = col + 1; r < n; ++r) {
-        const C factor = a(r, col) * inv_pivot;
-        a(r, col) = factor;
-        for (unsigned c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
-      }
-    }
+    if (n > 0 && !detail::factor_in_place(&a(0, 0), perm.data(), n))
+      return std::nullopt;
     return LuFactorization(std::move(a), std::move(perm));
   }
 
@@ -58,18 +101,7 @@ class LuFactorization {
     const unsigned n = lu_.rows();
     if (b.size() != n) throw std::invalid_argument("LU::solve: size mismatch");
     std::vector<C> x(n);
-    // forward substitution on the permuted right-hand side
-    for (unsigned r = 0; r < n; ++r) {
-      C sum = b[perm_[r]];
-      for (unsigned c = 0; c < r; ++c) sum -= lu_(r, c) * x[c];
-      x[r] = sum;
-    }
-    // back substitution
-    for (unsigned ri = n; ri-- > 0;) {
-      C sum = x[ri];
-      for (unsigned c = ri + 1; c < n; ++c) sum -= lu_(ri, c) * x[c];
-      x[ri] = sum / lu_(ri, ri);
-    }
+    detail::solve_in_place(lu_.data().data(), perm_.data(), n, b, std::span<C>(x));
     return x;
   }
 
@@ -88,6 +120,77 @@ template <prec::RealScalar T>
   auto f = LuFactorization<T>::factor(std::move(a));
   if (!f) return std::nullopt;
   return f->solve(b);
+}
+
+/// Pre-allocated factorization slots for batched solves: one n x n LU
+/// workspace and permutation per slot, sized once, so the batched
+/// trackers' predictor and corrector linear systems run allocation-free
+/// in steady state.  Factor and solve run the SAME
+/// detail::factor_in_place / solve_in_place loops as LuFactorization,
+/// so results are BITWISE identical to lu_solve by construction -- the
+/// linear-algebra half of the lockstep tracker's parity contract.
+template <prec::RealScalar T>
+class LuArena {
+  using C = cplx::Complex<T>;
+
+ public:
+  LuArena() = default;
+  LuArena(unsigned n, std::size_t slots) { resize(n, slots); }
+
+  /// (Re)size the arena; the only allocating member.
+  void resize(unsigned n, std::size_t slots) {
+    n_ = n;
+    slots_ = slots;
+    lu_.resize(slots * std::size_t{n} * n);
+    perm_.resize(slots * std::size_t{n});
+  }
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+
+  /// Factor the row-major matrix `a` into slot `s` and solve a x = b
+  /// into `x`.  Returns false -- leaving `x` untouched -- when a pivot
+  /// column is exactly zero, matching LuFactorization::factor.
+  [[nodiscard]] bool solve(std::size_t s, std::span<const C> a, std::span<const C> b,
+                           std::span<C> x) {
+    const unsigned n = n_;
+    if (s >= slots_ || a.size() != std::size_t{n} * n || b.size() != n || x.size() < n)
+      throw std::invalid_argument("LuArena::solve: bad slot or size");
+    C* lu = lu_.data() + s * std::size_t{n} * n;
+    unsigned* perm = perm_.data() + s * std::size_t{n};
+    std::copy(a.begin(), a.end(), lu);
+    if (!detail::factor_in_place(lu, perm, n)) return false;
+    detail::solve_in_place<T>(lu, perm, n, b, x.subspan(0, n));
+    return true;
+  }
+
+ private:
+  unsigned n_ = 0;
+  std::size_t slots_ = 0;
+  std::vector<C> lu_;           ///< slots * n * n factor storage
+  std::vector<unsigned> perm_;  ///< slots * n pivot permutations
+};
+
+/// Batched factor+solve front: system i (row-major a[i*n*n ..], right-hand
+/// side b[i*n ..]) runs through arena slot i, solutions land in
+/// x[i*n ..] and singular[i] records the per-system lu_solve nullopt.
+/// Each system's arithmetic is independent and identical to lu_solve's,
+/// so batching changes nothing bitwise.
+template <prec::RealScalar T>
+void lu_solve_batch(LuArena<T>& arena, std::size_t count,
+                    std::span<const cplx::Complex<T>> a,
+                    std::span<const cplx::Complex<T>> b, std::span<cplx::Complex<T>> x,
+                    std::span<unsigned char> singular) {
+  const unsigned n = arena.dimension();
+  const std::size_t nn = std::size_t{n} * n;
+  if (a.size() < count * nn || b.size() < count * n || x.size() < count * n ||
+      singular.size() < count)
+    throw std::invalid_argument("lu_solve_batch: bad span sizes");
+  for (std::size_t i = 0; i < count; ++i)
+    singular[i] = arena.solve(i, a.subspan(i * nn, nn), b.subspan(i * n, n),
+                              x.subspan(i * n, n))
+                      ? 0
+                      : 1;
 }
 
 }  // namespace polyeval::linalg

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batched Newton's method with per-path convergence masks: the
+/// corrector of the lockstep path tracker.  Where newton::refine walks
+/// one point through evaluate -> residual check -> solve -> update,
+/// refine_batch walks a whole active set through the same sequence with
+/// every evaluation batched into a single device launch
+/// (evaluate_values_range for the residual probes, evaluate_range for
+/// the Jacobian steps) and the linear solves looped through a
+/// linalg::LuArena.
+///
+/// Per-path bitwise contract: each path runs EXACTLY newton::refine's
+/// arithmetic -- the batched evaluators guarantee per-point independence
+/// (one block per point), the values-only probe is bit-identical to a
+/// full evaluation's values (build_fused_values_kernel), and LuArena
+/// repeats lu_solve's elimination verbatim -- so a path's iterates,
+/// residuals and convergence verdicts are independent of which other
+/// paths shared its batches.  What the batching buys: paths that
+/// converge early drop out of the Jacobian launches (the masks), probes
+/// never pay for the n^2 derivative sums a convergence check discards,
+/// and every launch carries the whole surviving set.
+///
+/// Zero allocation: all working storage lives in RefineBatchScratch and
+/// the caller's LuArena, sized once via reserve(); steady-state
+/// refine_batch calls never touch the allocator.
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "newton/newton.hpp"
+#include "poly/eval_result.hpp"
+
+namespace polyeval::newton {
+
+/// Anything that can evaluate a batch of points, each at its own
+/// parameter value (the homotopy's t), with and without the Jacobian --
+/// homotopy::BatchedHomotopy is the model.  Both entry points evaluate
+/// points[first + i] at ts[first + i] for i in [0, count) with
+/// CHUNK-LOCAL outputs: `values` receives count*n entries point-major,
+/// `jacobians` count*n*n row-major.  Jacobian calls are bounded by
+/// max_batch() (the device batch capacity); values-only calls take any
+/// count.
+template <class E, class S>
+concept BatchEvaluator =
+    requires(E e, const std::vector<std::vector<cplx::Complex<S>>>& points,
+             std::span<const S> ts, std::size_t first, std::size_t count,
+             std::span<cplx::Complex<S>> values,
+             std::span<cplx::Complex<S>> jacobians) {
+      e.evaluate_range(points, ts, first, count, values, jacobians);
+      e.evaluate_values_range(points, ts, first, count, values);
+      { e.max_batch() } -> std::convertible_to<std::size_t>;
+      { e.dimension() } -> std::convertible_to<unsigned>;
+    };
+
+/// Per-path outcome of a refine_batch call -- the fields of NewtonResult
+/// a tracker consumes, without the per-iteration history vectors.
+struct BatchPathStatus {
+  bool converged = false;
+  bool singular = false;       ///< the path's Jacobian became singular
+  unsigned iterations = 0;     ///< Newton updates applied
+  double final_residual = 0.0;
+  /// Residual of the entry point (newton::refine's residual_history[0])
+  /// -- what a diverged endgame polish reports for the pre-polish point.
+  double initial_residual = 0.0;
+};
+
+/// Working storage of refine_batch, owned by the caller so repeated
+/// calls (one per tracker round) stay allocation-free.  Per-path
+/// buffers (points, probes) scale with `max_paths`; the O(n^2)
+/// Jacobian-step buffers scale only with `jac_chunk` -- the device
+/// batch capacity the Jacobian launches walk the survivors in.
+template <prec::RealScalar S>
+struct RefineBatchScratch {
+  using C = cplx::Complex<S>;
+
+  std::vector<std::vector<C>> points;  ///< compacted active iterates
+  std::vector<S> ts;                   ///< compacted parameters
+  std::vector<std::size_t> active;     ///< surviving slot ids
+  std::vector<C> probe_values;         ///< residual-probe values, count*n
+  std::vector<C> values;               ///< Jacobian-chunk values (Newton RHS)
+  std::vector<C> jacobians;            ///< Jacobian-chunk matrices, chunk*n*n
+  std::vector<C> delta;                ///< Jacobian-chunk updates, chunk*n
+  std::vector<unsigned char> singular; ///< per-system lu_solve_batch flags
+  std::size_t jac_chunk = 0;           ///< Jacobian-step chunk bound
+
+  /// Size for up to `max_paths` paths of dimension n, Jacobian work
+  /// chunked to `jac_chunk` paths per launch.
+  void reserve(unsigned n, std::size_t max_paths, std::size_t chunk) {
+    jac_chunk = std::min(std::max<std::size_t>(chunk, 1), max_paths);
+    points.resize(max_paths);
+    for (auto& p : points) p.resize(n);
+    ts.resize(max_paths);
+    active.reserve(max_paths);
+    probe_values.resize(max_paths * std::size_t{n});
+    values.resize(jac_chunk * std::size_t{n});
+    jacobians.resize(jac_chunk * std::size_t{n} * n);
+    delta.resize(jac_chunk * std::size_t{n});
+    singular.resize(jac_chunk);
+  }
+};
+
+/// Refine x[i] (i in [0, count)) toward a root of e(., ts[i]) with at
+/// most options.max_iterations Newton updates each, every stage batched
+/// over the still-active subset.  x is updated in place; status[i]
+/// mirrors newton::refine's verdict for path i bit for bit.  The arena
+/// and scratch must be reserved for at least `count` paths of the
+/// evaluator's dimension.  update_tolerance is unsupported (the
+/// trackers never set it): its mid-iteration re-evaluation would need a
+/// third launch per round for a knob nothing uses.
+template <prec::RealScalar S, class BatchEval>
+  requires BatchEvaluator<BatchEval, S>
+void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
+                  std::span<const S> ts, std::size_t count,
+                  const NewtonOptions& options, linalg::LuArena<S>& arena,
+                  RefineBatchScratch<S>& scratch, std::span<BatchPathStatus> status) {
+  using C = cplx::Complex<S>;
+  const unsigned n = e.dimension();
+  if (options.update_tolerance > 0.0)
+    throw std::invalid_argument("refine_batch: update_tolerance unsupported");
+  if (x.size() < count || ts.size() < count || status.size() < count)
+    throw std::invalid_argument("refine_batch: bad batch spans");
+  const std::size_t chunk =
+      std::min({scratch.jac_chunk, arena.slots(), e.max_batch()});
+  if (arena.dimension() != n || chunk == 0 || scratch.points.size() < count)
+    throw std::invalid_argument("refine_batch: arena/scratch too small");
+
+  scratch.active.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    status[i] = {};
+    scratch.active.push_back(i);
+  }
+
+  // A compacted launch over `ids`: copy each surviving iterate (and its
+  // parameter) into slot j of the scratch batch.
+  const auto compact = [&](const std::vector<std::size_t>& ids) {
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const auto& src = x[ids[j]];
+      std::copy(src.begin(), src.end(), scratch.points[j].begin());
+      scratch.ts[j] = ts[ids[j]];
+    }
+  };
+
+  for (unsigned it = 0; it <= options.max_iterations; ++it) {
+    if (scratch.active.empty()) break;
+
+    // Residual probe: values only, over the whole active set.
+    const std::size_t a = scratch.active.size();
+    compact(scratch.active);
+    e.evaluate_values_range(scratch.points, std::span<const S>(scratch.ts), 0, a,
+                            std::span<C>(scratch.probe_values));
+
+    // Convergence masks: retire satisfied paths in place.
+    std::size_t keep = 0;
+    for (std::size_t j = 0; j < a; ++j) {
+      const std::size_t i = scratch.active[j];
+      const auto vals =
+          std::span<const C>(scratch.probe_values).subspan(j * n, n);
+      const double residual = linalg::max_norm_d<S>(vals);
+      status[i].final_residual = residual;
+      if (it == 0) status[i].initial_residual = residual;
+      if (residual <= options.residual_tolerance) {
+        status[i].converged = true;
+      } else {
+        scratch.active[keep++] = i;
+      }
+    }
+    scratch.active.resize(keep);
+    if (it == options.max_iterations || scratch.active.empty()) break;
+
+    // Jacobian step for the survivors, walked in chunks of the scratch
+    // capacity: full launch, LU batch, updates.  The full evaluation's
+    // values are the Newton right-hand sides (bitwise equal to the
+    // probe's).
+    const std::size_t s = scratch.active.size();
+    compact(scratch.active);
+    keep = 0;
+    for (std::size_t c0 = 0; c0 < s; c0 += chunk) {
+      const std::size_t cc = std::min(chunk, s - c0);
+      e.evaluate_range(scratch.points, std::span<const S>(scratch.ts), c0, cc,
+                       std::span<C>(scratch.values),
+                       std::span<C>(scratch.jacobians));
+      linalg::lu_solve_batch(arena, cc, std::span<const C>(scratch.jacobians),
+                             std::span<const C>(scratch.values),
+                             std::span<C>(scratch.delta),
+                             std::span<unsigned char>(scratch.singular));
+
+      for (std::size_t j = 0; j < cc; ++j) {
+        const std::size_t i = scratch.active[c0 + j];
+        if (scratch.singular[j]) {
+          status[i].singular = true;  // converged stays false, as in refine
+          continue;
+        }
+        for (unsigned v = 0; v < n; ++v) x[i][v] -= scratch.delta[j * n + v];
+        ++status[i].iterations;
+        scratch.active[keep++] = i;
+      }
+    }
+    scratch.active.resize(keep);
+  }
+}
+
+}  // namespace polyeval::newton

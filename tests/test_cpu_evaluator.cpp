@@ -128,6 +128,37 @@ TEST(CpuEvaluator, DoubleDoubleRefinesResidualStructure) {
   }
 }
 
+template <class S>
+void expect_values_only_bitwise(const poly::PolynomialSystem& sys,
+                                std::uint64_t seed) {
+  using C = cplx::Complex<S>;
+  const auto x = poly::make_random_point<S>(sys.dimension(), seed);
+  ad::CpuEvaluator<S> cpu(sys);
+  const auto full = cpu.evaluate(std::span<const C>(x));
+  std::vector<C> values(sys.dimension());
+  cpu.evaluate_values(std::span<const C>(x), std::span<C>(values));
+  for (unsigned q = 0; q < sys.dimension(); ++q)
+    EXPECT_EQ(cplx::max_abs_diff(full.values[q], values[q]), 0.0) << "value " << q;
+}
+
+TEST(CpuEvaluator, ValuesOnlyBitwiseMatchesEvaluate) {
+  // The values-only path (no derivative work) must repeat evaluate()'s
+  // value arithmetic exactly -- across the k regimes the value
+  // computation branches on, irregular systems, and precisions.
+  poly::SystemSpec spec;
+  spec.dimension = 6;
+  spec.monomials_per_polynomial = 5;
+  spec.max_exponent = 3;
+  spec.seed = 2024;
+  for (const unsigned k : {1u, 2u, 4u}) {
+    spec.variables_per_monomial = k;
+    expect_values_only_bitwise<double>(poly::make_random_system(spec), 300 + k);
+  }
+  expect_values_only_bitwise<DoubleDouble>(poly::make_random_system(spec), 310);
+  expect_values_only_bitwise<QuadDouble>(poly::make_random_system(spec), 311);
+  expect_values_only_bitwise<double>(poly::noon(3), 320);  // irregular, k mixed
+}
+
 TEST(CpuEvaluator, EmptySupportMonomialContributesConstant) {
   // A polynomial with a constant term: the k = 0 branch.
   poly::PolynomialBuilder b0(2), b1(2);

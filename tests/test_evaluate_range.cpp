@@ -113,6 +113,60 @@ TEST(EvaluateRange, RangeBeyondCapacityRejected) {
                std::invalid_argument);
 }
 
+/// The values-only edge-case battery: bad ranges rejected, sub-ranges
+/// bitwise equal to the full batch's values, untouched slots preserved.
+template <class Evaluator>
+void run_values_range_edge_cases(Evaluator& gpu,
+                                 const std::vector<std::vector<Cd>>& points) {
+  const std::size_t batch = points.size();
+  const unsigned n = gpu.dimension();
+
+  std::vector<poly::EvalResult<double>> full;
+  gpu.evaluate(points, full);
+
+  std::vector<Cd> want(batch * n);
+  gpu.evaluate_values_range(points, 0, batch, std::span<Cd>(want));
+  for (std::size_t p = 0; p < batch; ++p)
+    for (unsigned q = 0; q < n; ++q)
+      EXPECT_EQ(cplx::max_abs_diff(full[p].values[q], want[p * n + q]), 0.0)
+          << "point " << p << ", value " << q;
+
+  std::vector<Cd> got(batch * n, Cd(-9.0, -9.0));
+  const std::span<Cd> out(got);
+  EXPECT_THROW(gpu.evaluate_values_range(points, 0, 0, out), std::invalid_argument);
+  EXPECT_THROW(gpu.evaluate_values_range(points, batch, 1, out),
+               std::invalid_argument);
+  EXPECT_THROW(gpu.evaluate_values_range(points, 0, 2, out.subspan(0, n)),
+               std::invalid_argument);  // output slice too small
+
+  // Sub-ranges land in the right slots with the full batch's bits; the
+  // sentinel tail stays untouched.
+  gpu.evaluate_values_range(points, 2, 3, out.subspan(0, 3 * n));
+  for (std::size_t p = 0; p < 3; ++p)
+    for (unsigned q = 0; q < n; ++q)
+      EXPECT_EQ(cplx::max_abs_diff(want[(p + 2) * n + q], got[p * n + q]), 0.0)
+          << "sub-range point " << p;
+  EXPECT_EQ(got[3 * n].re(), -9.0);
+}
+
+TEST(EvaluateRange, FusedValuesRangeEdgeCases) {
+  const auto sys = make_system();
+  const auto points = make_points(7);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 7);
+  run_values_range_edge_cases(gpu, points);
+}
+
+TEST(EvaluateRange, PipelinedValuesRangeEdgeCases) {
+  const auto sys = make_system();
+  const auto points = make_points(7);
+  simt::Device device;
+  core::PipelinedFusedEvaluator<double>::Options opt;
+  opt.micro_chunk = 3;  // values ranges cross micro-chunk boundaries
+  core::PipelinedFusedEvaluator<double> gpu(device, sys, 7, opt);
+  run_values_range_edge_cases(gpu, points);
+}
+
 TEST(EvaluateRange, ShardedEvaluatorEdgeBatches) {
   // The sharded layer walks arbitrary batch sizes through fixed-size
   // chunks; the chunk-cursor edge cases (batch smaller than a chunk,

@@ -9,6 +9,7 @@
 #include "core/batch_evaluator.hpp"
 #include "core/fused_evaluator.hpp"
 #include "core/gpu_evaluator.hpp"
+#include "core/pipelined_evaluator.hpp"
 #include "poly/random_system.hpp"
 
 namespace {
@@ -109,6 +110,72 @@ TEST(FusedParity, DoubleDegreeOne) { run_parity<double>(6, 4, 3, 1); }
 
 TEST(FusedParity, DoubleDouble) { run_parity<prec::DoubleDouble>(6, 4, 3, 2); }
 TEST(FusedParity, QuadDouble) { run_parity<prec::QuadDouble>(5, 3, 2, 2); }
+
+/// The values-only contract: evaluate_values_range must reproduce the
+/// VALUES of a full evaluation bit for bit (the values kernel repeats
+/// the full kernel's value arithmetic), over every k regime the value
+/// path branches on, and in ONE launch downloading only batch*n values.
+template <prec::RealScalar S>
+void run_values_parity(unsigned n, unsigned m, unsigned k, unsigned d) {
+  using C = cplx::Complex<S>;
+  const auto sys = make_system(n, m, k, d);
+  const unsigned batch = 3;
+  const auto points = points_for<S>(batch, n, 4300);
+
+  simt::Device device;
+  typename core::FusedGpuEvaluator<S>::Options opt;
+  opt.detect_races = true;
+  core::FusedGpuEvaluator<S> fused(device, sys, batch, opt);
+
+  std::vector<poly::EvalResult<S>> full;
+  fused.evaluate(points, full);
+
+  std::vector<C> values(std::size_t{batch} * n);
+  fused.evaluate_values_range(points, 0, batch, std::span<C>(values));
+  ASSERT_EQ(fused.last_log().kernels.size(), 1u) << "values path must be one launch";
+  EXPECT_EQ(fused.last_log().kernels[0].kernel, "fused_values");
+  EXPECT_EQ(fused.last_log().transfers.bytes_from_device,
+            std::size_t{batch} * n * sizeof(C));
+
+  for (unsigned p = 0; p < batch; ++p)
+    for (unsigned q = 0; q < n; ++q)
+      EXPECT_EQ(cplx::max_abs_diff(full[p].values[q], values[std::size_t{p} * n + q]),
+                0.0)
+          << "point " << p << ", value " << q;
+
+  // The pipelined evaluator's micro-chunked values path: same bits.
+  simt::Device pipe_device;
+  typename core::PipelinedFusedEvaluator<S>::Options popt;
+  popt.micro_chunk = 2;  // forces a partial tail chunk on batch 3
+  core::PipelinedFusedEvaluator<S> piped(pipe_device, sys, batch, popt);
+  std::vector<C> pvalues(std::size_t{batch} * n);
+  piped.evaluate_values_range(points, 0, batch, std::span<C>(pvalues));
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(cplx::max_abs_diff(values[i], pvalues[i]), 0.0) << "entry " << i;
+
+  // Single-point convenience on both evaluators: a batch of one, same
+  // bits as the point's slot in the full batch.
+  std::vector<C> single(n);
+  fused.evaluate_values(std::span<const C>(points[1]), std::span<C>(single));
+  for (unsigned q = 0; q < n; ++q)
+    EXPECT_EQ(cplx::max_abs_diff(values[std::size_t{1} * n + q], single[q]), 0.0)
+        << "fused single-point value " << q;
+  piped.evaluate_values(std::span<const C>(points[2]), std::span<C>(single));
+  for (unsigned q = 0; q < n; ++q)
+    EXPECT_EQ(cplx::max_abs_diff(values[std::size_t{2} * n + q], single[q]), 0.0)
+        << "pipelined single-point value " << q;
+}
+
+TEST(FusedValuesParity, DoubleGeneralSystem) { run_values_parity<double>(8, 6, 4, 3); }
+TEST(FusedValuesParity, DoubleUnivariateMonomials) {
+  run_values_parity<double>(6, 4, 1, 3);
+}
+TEST(FusedValuesParity, DoubleBivariateMonomials) {
+  run_values_parity<double>(6, 4, 2, 2);
+}
+TEST(FusedValuesParity, DoubleDegreeOne) { run_values_parity<double>(6, 4, 3, 1); }
+TEST(FusedValuesParity, DoubleDouble) { run_values_parity<prec::DoubleDouble>(6, 4, 3, 2); }
+TEST(FusedValuesParity, QuadDouble) { run_values_parity<prec::QuadDouble>(5, 3, 2, 2); }
 
 TEST(FusedParity, SinglePointApiMatchesBatchOfOne) {
   const auto sys = make_system(8, 6, 4, 3);

@@ -102,6 +102,77 @@ void random_round_trip(unsigned n, double tol, std::uint64_t seed) {
   EXPECT_LT(worst, tol);
 }
 
+template <class T>
+void arena_matches_lu_solve(unsigned n, std::uint64_t seed) {
+  // LuArena repeats LuFactorization's arithmetic on pre-allocated slots;
+  // the solutions must agree BITWISE with the allocating lu_solve.
+  cplx::UniformComplex<T> gen(seed);
+  const std::size_t batch = 5;
+  std::vector<C<T>> a(batch * n * n), b(batch * n), x(batch * n);
+  std::vector<unsigned char> singular(batch);
+  for (auto& z : a) z = gen();
+  for (auto& z : b) z = gen();
+
+  linalg::LuArena<T> arena(n, batch);
+  linalg::lu_solve_batch(arena, batch, std::span<const C<T>>(a),
+                         std::span<const C<T>>(b), std::span<C<T>>(x),
+                         std::span<unsigned char>(singular));
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    EXPECT_EQ(singular[i], 0u) << "system " << i;
+    const auto mat = Matrix<T>::from_row_major(
+        n, n, std::span<const C<T>>(a).subspan(i * n * n, std::size_t{n} * n));
+    const auto want =
+        linalg::lu_solve(mat, std::span<const C<T>>(b).subspan(i * n, n));
+    ASSERT_TRUE(want.has_value()) << "system " << i;
+    for (unsigned v = 0; v < n; ++v)
+      EXPECT_EQ(cplx::max_abs_diff((*want)[v], x[i * n + v]), 0.0)
+          << "system " << i << ", row " << v;
+  }
+}
+
+TEST(LuArena, BitwiseMatchesLuSolveDouble) { arena_matches_lu_solve<double>(9, 301); }
+TEST(LuArena, BitwiseMatchesLuSolveDoubleDouble) {
+  arena_matches_lu_solve<DoubleDouble>(6, 302);
+}
+TEST(LuArena, BitwiseMatchesLuSolveQuadDouble) {
+  arena_matches_lu_solve<QuadDouble>(4, 303);
+}
+
+TEST(LuArena, FlagsSingularSystemsAndLeavesOthersAlone) {
+  // A batch mixing a rank-1 system with healthy ones: only the singular
+  // slot is flagged, and its x slice is left untouched.
+  const unsigned n = 2;
+  cplx::UniformComplex<double> gen(304);
+  std::vector<C<double>> a(3 * n * n), b(3 * n);
+  std::vector<C<double>> x(3 * n, C<double>{-7.0, -7.0});
+  std::vector<unsigned char> singular(3);
+  for (auto& z : a) z = gen();
+  for (auto& z : b) z = gen();
+  a[1 * n * n + 0] = {1.0, 0.0};
+  a[1 * n * n + 1] = {2.0, 0.0};
+  a[1 * n * n + 2] = {2.0, 0.0};
+  a[1 * n * n + 3] = {4.0, 0.0};  // rank 1
+
+  linalg::LuArena<double> arena(n, 3);
+  linalg::lu_solve_batch(arena, 3, std::span<const C<double>>(a),
+                         std::span<const C<double>>(b), std::span<C<double>>(x),
+                         std::span<unsigned char>(singular));
+  EXPECT_EQ(singular[0], 0u);
+  EXPECT_EQ(singular[1], 1u);
+  EXPECT_EQ(singular[2], 0u);
+  EXPECT_EQ(x[n].re(), -7.0);  // singular slice untouched
+  EXPECT_EQ(x[n].im(), -7.0);
+}
+
+TEST(LuArena, ValidatesSlotAndSizes) {
+  linalg::LuArena<double> arena(2, 1);
+  std::vector<C<double>> a(4), b(2), x(2);
+  EXPECT_THROW((void)arena.solve(1, a, b, x), std::invalid_argument);  // bad slot
+  EXPECT_THROW((void)arena.solve(0, std::span<const C<double>>(a).subspan(0, 3), b, x),
+               std::invalid_argument);
+}
+
 TEST(Lu, RandomRoundTripDouble) { random_round_trip<double>(20, 1e-10, 101); }
 TEST(Lu, RandomRoundTripDoubleDouble) {
   random_round_trip<DoubleDouble>(12, 1e-26, 102);

@@ -99,6 +99,54 @@ TEST(TrackerPaths, RejectionsAreCounted) {
   EXPECT_GT(total_rejections, 0u);
 }
 
+TEST(TrackerPaths, DivergedPolishKeepsTrackedPoint) {
+  // An endgame forced to fail (one Newton step against an impossible
+  // tolerance) must NOT replace the tracked point with the diverged
+  // iterate: the result equals a no-polish run bit for bit, and the
+  // reported residual is the tracked point's residual at t = 1.  The
+  // root is irrational, so no double iterate ever reaches residual 0.
+  Fixture fx(poly::parse_system("x0^2 - 2;"));
+  homotopy::TrackOptions no_polish;
+  no_polish.end_iterations = 0;
+  no_polish.end_tolerance = 0.0;  // unreachable: polish can never converge
+  homotopy::TrackOptions bad_polish = no_polish;
+  bad_polish.end_iterations = 1;  // one step that moves the point, then fails
+
+  const auto root = fx.start.start_root(0);
+  homotopy::PathTracker<double, Eval, Eval> t_none(fx.h, no_polish);
+  homotopy::PathTracker<double, Eval, Eval> t_bad(fx.h, bad_polish);
+  const auto r_none = t_none.track(std::span<const Cd>(widen(root)));
+  const auto r_bad = t_bad.track(std::span<const Cd>(widen(root)));
+
+  EXPECT_FALSE(r_none.success);
+  EXPECT_FALSE(r_bad.success);
+  ASSERT_EQ(r_none.solution.size(), r_bad.solution.size());
+  for (std::size_t i = 0; i < r_none.solution.size(); ++i)
+    EXPECT_EQ(cplx::max_abs_diff(r_none.solution[i], r_bad.solution[i]), 0.0)
+        << "coordinate " << i;
+  EXPECT_EQ(r_none.final_residual, r_bad.final_residual);
+  EXPECT_GT(r_bad.final_residual, 0.0);
+  // The kept point is still an (unpolished) root of x^2 = 2.
+  EXPECT_NEAR(std::abs(r_bad.solution[0].re()) + std::abs(r_bad.solution[0].im()),
+              std::sqrt(2.0), 1e-6);
+}
+
+TEST(TrackerPaths, MidTrackExitReportsResidual) {
+  // A path dying before t = 1 (max_steps exhaustion) reports the
+  // residual of where it stopped instead of the former 0.0 placeholder.
+  Fixture fx(poly::parse_system("x0^2 - 4;"));
+  homotopy::TrackOptions opts;
+  opts.max_steps = 3;
+  opts.initial_step = 1e-4;
+  homotopy::PathTracker<double, Eval, Eval> tracker(fx.h, opts);
+  const auto root = fx.start.start_root(0);
+  const auto r = tracker.track(std::span<const Cd>(widen(root)));
+  ASSERT_FALSE(r.success);
+  ASSERT_LT(r.t_reached, 1.0);
+  EXPECT_GT(r.final_residual, 0.0);
+  EXPECT_LT(r.final_residual, 1.0);  // the corrector kept it on the path
+}
+
 TEST(TrackerPaths, QuarticRootsAllFound) {
   // x^4 = 16: roots 2, -2, 2i, -2i; all four paths land on distinct ones.
   const auto sys = poly::parse_system("x0^4 - 16;");

@@ -16,6 +16,8 @@
 #include "core/fused_evaluator.hpp"
 #include "core/pipelined_evaluator.hpp"
 #include "core/sharded_evaluator.hpp"
+#include "homotopy/batch_tracker.hpp"
+#include "homotopy/start_system.hpp"
 #include "poly/random_system.hpp"
 #include "simt/thread_pool.hpp"
 
@@ -192,6 +194,76 @@ TEST(ZeroAlloc, PipelinedEvaluatorSteadyStateEvaluate) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state PipelinedFusedEvaluator::evaluate allocated "
       << (after - before) << " times over 10 calls";
+}
+
+TEST(ZeroAlloc, FusedValuesRangeSteadyState) {
+  // The values-only fused path shares the zero-alloc guarantee: staging,
+  // the values buffer and the kernel are all constructor-built.
+  const auto sys = make_system(8, 6, 4, 3);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> gpu(device, sys, 4);
+  const auto points = make_points(4, 8);
+  std::vector<Cd> values(4 * 8);
+
+  for (int i = 0; i < 3; ++i) {
+    device.clear_log();
+    gpu.evaluate_values_range(points, 0, 4, std::span<Cd>(values));
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) {
+    device.clear_log();
+    gpu.evaluate_values_range(points, 0, 4, std::span<Cd>(values));
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state evaluate_values_range allocated " << (after - before)
+      << " times over 10 calls";
+}
+
+TEST(ZeroAlloc, BatchPathTrackerSteadyStateRounds) {
+  // The lockstep tracker's rounds -- batched predictor, masked batched
+  // corrector, LU arena solves, retirement probes, endgame polish and
+  // active-set compaction -- must all run off pre-sized storage.  A
+  // first full run warms every buffer (and the device's collector
+  // scratch); the second run's rounds are then measured end to end.
+  poly::SystemSpec spec;
+  spec.dimension = 3;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.seed = 99;
+  const auto sys = poly::make_random_system(spec);
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(42);
+
+  std::vector<std::vector<Cd>> roots;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    const auto rd = start.start_root(p);
+    std::vector<Cd> r;
+    for (const auto& z : rd) r.push_back(z);
+    roots.push_back(std::move(r));
+  }
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 4);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::TrackOptions topt;
+  topt.max_steps = 4000;
+  homotopy::BatchPathTracker<double, core::FusedGpuEvaluator<double>> tracker(
+      device, f, g, gamma, topt, roots.size());
+
+  tracker.start(roots, 0, roots.size());
+  tracker.run();  // warm-up: sizes every buffer along the whole trajectory
+
+  tracker.start(roots, 0, roots.size());
+  const std::uint64_t before = g_allocations.load();
+  tracker.run();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state lockstep rounds allocated " << (after - before)
+      << " times over " << tracker.rounds() << " rounds";
+  EXPECT_GT(tracker.rounds(), 1u);
 }
 
 TEST(ZeroAlloc, FusedEvaluatorWithRaceCheckingSteadyState) {
