@@ -2,11 +2,20 @@
 // lockstep batched tracker against the per-path baseline on Table-1
 // style total-degree workloads -- the repo's first end-to-end number,
 // and the workload the fused one-block-per-point schedule was built
-// for.  "Tracked" counts processed paths: random dense total-degree
-// paths mostly stall just short of t = 1 (roots at infinity; no
-// projective endgame yet), but every path still runs its full
+// for.
+//
+// Two geometries ride the same harness.  The PROJECTIVE rows (the
+// production default) report solved_frac -- the fraction of paths with
+// a CLASSIFIED endpoint (converged or at infinity); the projective
+// tracker + Cauchy endgame must classify > 90% of the dim-16 double
+// workload (gated, and regression-gated against the committed
+// baseline).  The AFFINE rows keep the historical escape-hatch
+// behavior: random dense total-degree paths mostly stall just short of
+// t = 1 (roots at infinity), but every path still runs its full
 // predictor-corrector life either way, and the two modes are checked
-// BITWISE identical path by path, so the work compared is exactly equal.
+// BITWISE identical path by path, so the work compared is exactly
+// equal.  Projective results are additionally checked bitwise across
+// lockstep/per-path modes and shard counts 1/2/4.
 //
 // Two clocks, as everywhere in this repo (docs/ARCHITECTURE.md):
 //
@@ -60,11 +69,14 @@ poly::PolynomialSystem table1_system(unsigned dim) {
 template <prec::RealScalar S>
 bool summaries_bitwise_equal(const homotopy::SolveSummary<S>& a,
                              const homotopy::SolveSummary<S>& b) {
-  if (a.paths.size() != b.paths.size() || a.successes != b.successes) return false;
+  if (a.paths.size() != b.paths.size() || a.successes != b.successes ||
+      a.at_infinity != b.at_infinity)
+    return false;
   for (std::size_t p = 0; p < a.paths.size(); ++p) {
     const auto& x = a.paths[p];
     const auto& y = b.paths[p];
-    if (x.success != y.success || x.steps != y.steps ||
+    if (x.success != y.success || x.status != y.status || x.winding != y.winding ||
+        x.steps != y.steps ||
         x.rejections != y.rejections || x.final_residual != y.final_residual ||
         x.t_reached != y.t_reached || x.solution.size() != y.solution.size())
       return false;
@@ -78,6 +90,8 @@ struct ModeRow {
   double wall_us_per_path = 0.0;
   double paths_per_sec = 0.0;
   std::uint64_t successes = 0;
+  std::uint64_t at_infinity = 0;
+  double solved_frac = 0.0;  ///< classified endpoints / paths
   std::uint64_t steps = 0;
   std::uint64_t rejections = 0;
 };
@@ -90,7 +104,8 @@ ModeRow run_mode(const poly::PolynomialSystem& sys, std::uint64_t paths,
                  homotopy::ShardTrackMode mode, homotopy::ShardEvalBackend backend,
                  unsigned shards, unsigned workers_per_shard, double min_seconds,
                  homotopy::SolveSummary<S>* out = nullptr,
-                 unsigned max_steps = 3000) {
+                 unsigned max_steps = 3000,
+                 homotopy::TrackGeometry geometry = homotopy::TrackGeometry::kAffine) {
   homotopy::ShardedSolveOptions opt;
   opt.shards = shards;
   opt.workers_per_shard = workers_per_shard;
@@ -98,6 +113,7 @@ ModeRow run_mode(const poly::PolynomialSystem& sys, std::uint64_t paths,
   opt.track.max_steps = max_steps;
   opt.mode = mode;
   opt.backend = backend;
+  opt.geometry = geometry;
 
   ModeRow row;
   homotopy::SolveSummary<S> summary;
@@ -110,6 +126,9 @@ ModeRow run_mode(const poly::PolynomialSystem& sys, std::uint64_t paths,
   row.wall_us_per_path = sec * 1e6 / static_cast<double>(paths);
   row.paths_per_sec = static_cast<double>(paths) / sec;
   row.successes = summary.successes;
+  row.at_infinity = summary.at_infinity;
+  row.solved_frac =
+      static_cast<double>(summary.classified()) / static_cast<double>(paths);
   for (const auto& p : summary.paths) {
     row.steps += p.steps;
     row.rejections += p.rejections;
@@ -208,7 +227,7 @@ int main(int argc, char** argv) {
             << "host cores: " << host_cores << "\n\n";
 
   benchutil::Table table({"workload", "mode", "wall us/path", "paths/sec",
-                          "ok", "steps", "rej"});
+                          "ok", "inf", "solved", "steps", "rej"});
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "tracking");
@@ -229,14 +248,17 @@ int main(int argc, char** argv) {
   const auto emit = [&](const char* workload, const char* mode, const ModeRow& r) {
     table.add_row({workload, mode, benchutil::format_fixed(r.wall_us_per_path, 1),
                    benchutil::format_fixed(r.paths_per_sec, 3),
-                   std::to_string(r.successes), std::to_string(r.steps),
-                   std::to_string(r.rejections)});
+                   std::to_string(r.successes), std::to_string(r.at_infinity),
+                   benchutil::format_fixed(r.solved_frac, 3),
+                   std::to_string(r.steps), std::to_string(r.rejections)});
     json.begin_object()
         .field("workload", workload)
         .field("mode", mode)
         .field("wall_us_per_path", r.wall_us_per_path)
         .field("paths_per_sec", r.paths_per_sec)
         .field("successes", r.successes)
+        .field("at_infinity", r.at_infinity)
+        .field("solved_frac", r.solved_frac)
         .field("steps", r.steps)
         .field("rejections", r.rejections)
         .end_object();
@@ -274,6 +296,36 @@ int main(int argc, char** argv) {
     bitwise16 = bitwise16 && summaries_bitwise_equal(lock2, path2) &&
                 summaries_bitwise_equal(lockstep16, lock2);
   }
+
+  // -- dim 16, double, PROJECTIVE: the solved-paths rows ----------------
+  // The tentpole numbers: the projective tracker + Cauchy endgame must
+  // CLASSIFY > 90% of the same workload whose affine rows report ~0
+  // successes, and projective lockstep results must be bitwise
+  // identical to the scalar (per-path) projective tracker and across
+  // shard counts 1/2/4.
+  homotopy::SolveSummary<double> proj_lock, proj_path;
+  const auto row_proj_lock =
+      run_mode<double>(sys16, paths16, homotopy::ShardTrackMode::kLockstep,
+                       homotopy::ShardEvalBackend::kFused, 1, 3, min_seconds,
+                       &proj_lock, 3000, homotopy::TrackGeometry::kProjective);
+  emit("table1_dim16_proj", "lockstep_fused_1x4", row_proj_lock);
+  const auto row_proj_path =
+      run_mode<double>(sys16, paths16, homotopy::ShardTrackMode::kPerPath,
+                       homotopy::ShardEvalBackend::kFused, 1, 3, min_seconds,
+                       &proj_path, 3000, homotopy::TrackGeometry::kProjective);
+  emit("table1_dim16_proj", "perpath_fused_1x4", row_proj_path);
+  bool proj_bitwise = summaries_bitwise_equal(proj_lock, proj_path);
+  for (const unsigned proj_shards : {2u, 4u}) {
+    homotopy::SolveSummary<double> proj_s;
+    emit("table1_dim16_proj",
+         proj_shards == 2 ? "lockstep_fused_2shard" : "lockstep_fused_4shard",
+         run_mode<double>(sys16, paths16, homotopy::ShardTrackMode::kLockstep,
+                          homotopy::ShardEvalBackend::kFused, proj_shards, 1,
+                          min_seconds, &proj_s, 3000,
+                          homotopy::TrackGeometry::kProjective));
+    proj_bitwise = proj_bitwise && summaries_bitwise_equal(proj_lock, proj_s);
+  }
+  const double proj_solved_frac = row_proj_lock.solved_frac;
 
   // Modeled device clock, single shard: deterministic on any host.
   const double modeled_lock_us = modeled_lockstep_us(sys16, paths_modeled);
@@ -339,10 +391,13 @@ int main(int argc, char** argv) {
   // the bench_sharding policy -- it binds on full runs on >= 4 cores
   // and is reported otherwise.
   const double target = 2.0;
+  const double solved_target = 0.9;
   const bool host_gate_applicable = !quick && host_cores >= 4;
   const bool host_gate_ok = !host_gate_applicable || host_speedup >= target;
   const bool modeled_gate_ok = modeled_speedup >= target;
   const bool bitwise_ok = bitwise_all;
+  const bool solved_gate_ok = proj_solved_frac > solved_target;
+  const bool proj_bitwise_ok = proj_bitwise;
   json.field("speedup_target", target);
   json.field("host_speedup_lockstep_vs_perpath", host_speedup);
   json.field("host_gate_applicable", host_gate_applicable);
@@ -350,7 +405,11 @@ int main(int argc, char** argv) {
   json.field("modeled_lockstep_us", modeled_lock_us);
   json.field("modeled_speedup_lockstep_vs_perpath", modeled_speedup);
   json.field("bitwise_identical_across_modes", bitwise_ok);
-  json.field("gates_met", bitwise_ok && host_gate_ok && modeled_gate_ok);
+  json.field("solved_frac_target", solved_target);
+  json.field("projective_solved_frac", proj_solved_frac);
+  json.field("projective_bitwise_modes_and_shards", proj_bitwise_ok);
+  json.field("gates_met", bitwise_ok && host_gate_ok && modeled_gate_ok &&
+                              solved_gate_ok && proj_bitwise_ok);
   json.end_object();
 
   std::cout << table.to_string() << "\n"
@@ -368,7 +427,15 @@ int main(int argc, char** argv) {
   else
     std::cout << "WARNING: could not write " << out_path << "\n";
 
+  std::cout << "projective solved_frac (dim-16 double): "
+            << benchutil::format_fixed(proj_solved_frac, 3) << " (target > "
+            << benchutil::format_fixed(solved_target, 2) << ")\n";
   if (!bitwise_ok) std::cout << "FAIL: lockstep results differ from per-path\n";
+  if (!solved_gate_ok)
+    std::cout << "FAIL: projective solved_frac " << proj_solved_frac
+              << " below " << solved_target << "\n";
+  if (!proj_bitwise_ok)
+    std::cout << "FAIL: projective results differ across modes/shard counts\n";
   if (!modeled_gate_ok)
     std::cout << "FAIL: modeled lockstep speedup " << modeled_speedup << " < "
               << target << "\n";
@@ -381,5 +448,8 @@ int main(int argc, char** argv) {
                         : "fewer than 4 cores")
               << "); bitwise and modeled gates still bind\n";
 
-  return (bitwise_ok && host_gate_ok && modeled_gate_ok) ? 0 : 1;
+  return (bitwise_ok && host_gate_ok && modeled_gate_ok && solved_gate_ok &&
+          proj_bitwise_ok)
+             ? 0
+             : 1;
 }

@@ -2,14 +2,21 @@
 """Perf-regression gate for the BENCH_*.json artifacts.
 
 Compares every host wall-clock field (key containing "wall_us";
-lower is better) and every host throughput field (key containing
-"per_sec"; HIGHER is better) of each current bench JSON against the
-committed baseline of the same name, and fails when any value regressed
-by more than --max-ratio.  Wall-clock and throughput numbers move with
-the runner hardware, so the gate is deliberately coarse (default 2x):
-it catches "the hot path grew an allocation per launch", not 10% noise.
-Modeled-clock and speedup fields are left alone -- they have their own
-in-bench gates.
+lower is better), every host throughput field (key containing
+"per_sec"; HIGHER is better) and every classification-quality field
+(key containing "solved_frac"; HIGHER is better -- the projective
+tracker's classified-endpoint fraction, which must never collapse back
+toward the ~0 of the pre-projective tracker) of each current bench
+JSON against the committed baseline of the same name, and fails when
+any value regressed by more than --max-ratio.  Wall-clock and
+throughput numbers move with the runner hardware, so the gate is
+deliberately coarse (default 2x): it catches "the hot path grew an
+allocation per launch", not 10% noise; solved_frac is deterministic on
+a given workload, so any drop at all shows up here long before the 2x
+ratio trips: solved_frac fields are held to their own tight
+--max-solved-ratio (default 1.01) instead of the coarse wall-clock
+ratio.  Modeled-clock and speedup fields are left alone -- they have
+their own in-bench gates.
 
 Usage:
   scripts/check_bench_regression.py [--baseline-dir bench/baselines]
@@ -23,17 +30,21 @@ import sys
 
 
 def gated_leaves(node, path=""):
-    """Yield (path, value, higher_is_better) for every numeric leaf whose
-    key mentions wall_us (lower is better) or per_sec (higher is better)."""
+    """Yield (path, value, higher_is_better, is_quality) for every
+    numeric leaf whose key mentions wall_us (lower is better), per_sec
+    or solved_frac (higher is better; solved_frac is a deterministic
+    quality field and gets the tight ratio)."""
     if isinstance(node, dict):
         for key, value in node.items():
             sub = f"{path}.{key}" if path else key
             if isinstance(value, (dict, list)):
                 yield from gated_leaves(value, sub)
             elif isinstance(value, (int, float)) and "wall_us" in key:
-                yield sub, float(value), False
+                yield sub, float(value), False, False
             elif isinstance(value, (int, float)) and "per_sec" in key:
-                yield sub, float(value), True
+                yield sub, float(value), True, False
+            elif isinstance(value, (int, float)) and "solved_frac" in key:
+                yield sub, float(value), True, True
     elif isinstance(node, list):
         for i, value in enumerate(node):
             yield from gated_leaves(value, f"{path}[{i}]")
@@ -45,6 +56,10 @@ def main():
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when current/baseline exceeds this")
+    parser.add_argument("--max-solved-ratio", type=float, default=1.01,
+                        help="tight ratio for solved_frac quality fields "
+                             "(deterministic per workload: any real drop "
+                             "must fail, not just a 2x collapse)")
     args = parser.parse_args()
 
     failures = []
@@ -61,29 +76,34 @@ def main():
         with open(baseline_path) as f:
             baseline = json.load(f)
 
-        baseline_values = {p: (v, hib) for p, v, hib in gated_leaves(baseline)}
-        for path, value, higher_is_better in gated_leaves(current):
+        baseline_values = {p: (v, hib, q)
+                           for p, v, hib, q in gated_leaves(baseline)}
+        for path, value, higher_is_better, is_quality in gated_leaves(current):
             entry = baseline_values.get(path)
             if entry is None:
                 continue
-            base, _ = entry
+            base, _, _ = entry
             if base <= 0.0:
                 continue
             compared += 1
             if higher_is_better and value <= 0.0:
-                # Throughput collapsed to nothing: the worst possible
-                # regression, not a field to skip.
-                print(f"FAIL {name}:{path} [throughput]: {base:.1f} -> "
+                # Throughput (or classification quality) collapsed to
+                # nothing: the worst possible regression, not a field
+                # to skip.
+                print(f"FAIL {name}:{path} [higher-is-better]: {base:.1f} -> "
                       f"{value:.1f} (collapsed to zero)")
                 failures.append((name, path, float("inf")))
                 continue
             # Normalize so ratio > 1 always means "got worse".
             ratio = base / value if higher_is_better else value / base
-            marker = "FAIL" if ratio > args.max_ratio else "ok"
-            direction = "throughput" if higher_is_better else "wall"
+            limit = args.max_solved_ratio if is_quality else args.max_ratio
+            marker = "FAIL" if ratio > limit else "ok"
+            direction = ("quality" if is_quality
+                         else "throughput" if higher_is_better else "wall")
             print(f"{marker:4} {name}:{path} [{direction}]: {base:.1f} -> "
-                  f"{value:.1f} ({ratio:.2f}x of baseline cost)")
-            if ratio > args.max_ratio:
+                  f"{value:.1f} ({ratio:.2f}x of baseline cost, limit "
+                  f"{limit:.2f}x)")
+            if ratio > limit:
                 failures.append((name, path, ratio))
 
     if compared == 0:

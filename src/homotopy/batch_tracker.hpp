@@ -15,30 +15,44 @@
 ///   * one values-only batch per corrector residual probe and one full
 ///     batch per corrector Jacobian step, over the still-unconverged
 ///     subset (newton::refine_batch's masks),
+///   * one corrector batch advancing every endgame path one Cauchy
+///     circle sample (projective mode),
 ///   * one values-only batch retiring the round's dead paths with their
 ///     final residuals,
 ///
 /// while each path keeps its own adaptive state (t, step size, growth
 /// streak, rejection count) exactly as the scalar tracker would have it,
-/// and retired paths -- endgame successes, step-underflow and max-step
-/// failures -- are compacted out of the active set between rounds.
+/// and retired paths -- classified endpoints, at-infinity retirements,
+/// step-underflow and max-step failures -- are compacted out of the
+/// active set between rounds.
+///
+/// Geometries: instantiated over a target evaluator the tracker builds
+/// the affine BatchedHomotopy itself (the historical spelling);
+/// instantiated over an externally built batched homotopy (the
+/// BatchedHomotopyTag) it tracks whatever that homotopy models -- the
+/// projective patch with renormalization, at-infinity classification
+/// and the lockstep Cauchy endgame when the homotopy provides the
+/// renormalize() hook.
 ///
 /// Bitwise contract: a path's trajectory is IDENTICAL to
-/// PathTracker::track over the same evaluators.  Every ingredient holds
-/// bit for bit: the fused evaluators' per-point batch independence, the
-/// values kernel's equality with full-evaluation values, LuArena's
-/// equality with lu_solve, and this file repeating the scalar tracker's
-/// step-control arithmetic verbatim.  Only the SCHEDULE changes -- which
-/// is why the lockstep tracker may default-replace the per-path mode in
-/// track_paths_sharded while the parity tests compare the two.
+/// PathTracker::track over the same evaluators and geometry.  Every
+/// ingredient holds bit for bit: the fused evaluators' per-point batch
+/// independence, the values kernel's equality with full-evaluation
+/// values, LuArena's equality with lu_solve, the shared step-control
+/// and endgame state arithmetic (tracker.hpp, endgame.hpp), and this
+/// file repeating the scalar tracker's control flow verbatim.  Only the
+/// SCHEDULE changes -- which is why the lockstep tracker may
+/// default-replace the per-path mode in track_paths_sharded while the
+/// parity tests compare the two.
 ///
-/// Zero allocation: all per-path state, batch staging, Newton scratch
-/// and LU slots are sized in the constructor for `max_paths`; steady-
-/// state round() calls never touch the allocator (the device log is
-/// cleared -- capacity kept -- at each round's start, the long-running-
-/// caller convention).
+/// Zero allocation: all per-path state, batch staging, Newton scratch,
+/// endgame accumulators and LU slots are sized in the constructor for
+/// `max_paths`; steady-state round() calls never touch the allocator
+/// (the device log is cleared -- capacity kept -- at each round's
+/// start, the long-running-caller convention).
 
 #include "ad/cpu_evaluator.hpp"
+#include "homotopy/projective.hpp"
 #include "homotopy/tracker.hpp"
 #include "newton/batch.hpp"
 #include "simt/device.hpp"
@@ -46,18 +60,23 @@
 namespace polyeval::homotopy {
 
 /// The gamma-trick homotopy of homotopy.hpp, evaluated for a batch of
-/// points each at its OWN t -- the lockstep tracker's paths sit at
-/// different parameter values after their first diverging step.  The
-/// target system f runs on the device in batched launches
-/// (evaluate_range / evaluate_values_range); the start system g stays on
-/// the CPU per point, as in the sharded per-path tracker.  The per-point
-/// combination h = gamma (1-t) g + t f repeats Homotopy::evaluate's
-/// arithmetic exactly, so batching changes nothing bitwise.
+/// points each at its OWN (complex) t -- the lockstep tracker's paths
+/// sit at different parameter values after their first diverging step,
+/// and the endgame circles t around 1.  The target system f runs on the
+/// device in batched launches (evaluate_range / evaluate_values_range);
+/// the start system g stays on the CPU per point, as in the sharded
+/// per-path tracker.  The per-point combination h = gamma (1-t) g + t f
+/// repeats Homotopy::evaluate's arithmetic exactly, so batching changes
+/// nothing bitwise.
 template <prec::RealScalar S, class TargetEval>
 class BatchedHomotopy {
   using C = cplx::Complex<S>;
 
  public:
+  /// Marks this type as a batched homotopy for BatchPathTracker's
+  /// generic (externally-constructed) constructor.
+  using BatchedHomotopyTag = void;
+
   BatchedHomotopy(TargetEval& f, ad::CpuEvaluator<S>& g, cplx::Complex<double> gamma)
       : f_(f),
         g_(g),
@@ -84,9 +103,9 @@ class BatchedHomotopy {
   /// jacobians[i*n*n ..] (chunk-local indexing, so callers walking a
   /// large set reuse one max_batch-sized scratch).  One device launch;
   /// f and g values are recorded per chunk slot for rhs_from_last.
-  void evaluate_range(const std::vector<std::vector<C>>& points, std::span<const S> ts,
-                      std::size_t first, std::size_t count, std::span<C> values,
-                      std::span<C> jacobians) {
+  void evaluate_range(const std::vector<std::vector<C>>& points,
+                      std::span<const C> ts, std::size_t first, std::size_t count,
+                      std::span<C> values, std::span<C> jacobians) {
     const unsigned n = dimension();
     const std::size_t nn = std::size_t{n} * n;
     if (count > max_batch_ || ts.size() < first + count || values.size() < count * n ||
@@ -118,7 +137,7 @@ class BatchedHomotopy {
   /// n-value downloads) and g its values-only CPU path.  Bitwise equal
   /// to evaluate_range's values.
   void evaluate_values_range(const std::vector<std::vector<C>>& points,
-                             std::span<const S> ts, std::size_t first,
+                             std::span<const C> ts, std::size_t first,
                              std::size_t count, std::span<C> values) {
     const unsigned n = dimension();
     if (ts.size() < first + count || values.size() < count * n)
@@ -163,57 +182,58 @@ class BatchedHomotopy {
 /// Lockstep batched tracker over one shard's evaluators.  Load a batch
 /// of start roots with start(), then round() until no path is live (or
 /// run()); read per-path TrackResults with result().
-template <prec::RealScalar S, class TargetEval>
+template <prec::RealScalar S, class TargetOrHomo>
 class BatchPathTracker {
   using C = cplx::Complex<S>;
+  /// An externally-constructed batched homotopy (projective mode) vs a
+  /// bare target evaluator (affine convenience: the tracker builds the
+  /// BatchedHomotopy itself).
+  static constexpr bool kExternalHomo =
+      requires { typename TargetOrHomo::BatchedHomotopyTag; };
 
  public:
-  /// `max_paths` is the lockstep capacity every internal buffer is sized
-  /// for; `device` is the device behind `f` (its launch log is cleared
-  /// each round, capacity kept).
-  BatchPathTracker(simt::Device& device, TargetEval& f, ad::CpuEvaluator<S>& g,
+  using Homo =
+      std::conditional_t<kExternalHomo, TargetOrHomo, BatchedHomotopy<S, TargetOrHomo>>;
+
+ private:
+  static constexpr bool kProjective =
+      requires(Homo& h, std::span<C> z) { h.renormalize(z); };
+  using HomoMember = std::conditional_t<kExternalHomo, Homo&, Homo>;
+
+ public:
+  /// Affine convenience: build the gamma-trick BatchedHomotopy over
+  /// (f, g) internally.  `max_paths` is the lockstep capacity every
+  /// internal buffer is sized for; `device` is the device behind `f`
+  /// (its launch log is cleared each round, capacity kept).
+  BatchPathTracker(simt::Device& device, TargetOrHomo& f, ad::CpuEvaluator<S>& g,
                    cplx::Complex<double> gamma, TrackOptions options,
                    std::size_t max_paths)
-      : device_(device), h_(f, g, gamma), options_(options),
-        max_paths_(max_paths),
-        cap_(std::min<std::size_t>(std::max<std::size_t>(h_.max_batch(), 1),
-                                   std::max<std::size_t>(max_paths, 1))) {
-    const unsigned n = h_.dimension();
-    const std::size_t nn = std::size_t{n} * n;
-    // Per-path state and values buffers scale with the path count; the
-    // O(n^2) Jacobian traffic (predictor flows, corrector steps, LU
-    // slots) is bounded by the device batch capacity the launches are
-    // chunked to.
-    arena_.resize(n, cap_);
-    nscratch_.reserve(n, max_paths, cap_);
-    statuses_.resize(max_paths);
-    slots_.resize(max_paths);
-    for (auto& s : slots_) s.x.resize(n);
-    active_.reserve(max_paths);
-    probe_ids_.reserve(max_paths);
-    end_ids_.reserve(max_paths);
-    batch_pts_.resize(max_paths);
-    for (auto& p : batch_pts_) p.resize(n);
-    corr_pts_.resize(max_paths);
-    for (auto& p : corr_pts_) p.resize(n);
-    ts_.resize(max_paths);
-    corr_ts_.resize(max_paths);
-    dts_.resize(max_paths);
-    hv_.resize(max_paths * std::size_t{n});
-    hj_.resize(cap_ * nn);
-    rhs_.resize(cap_ * std::size_t{n});
-    flow_.resize(cap_ * std::size_t{n});
-    singular_.resize(cap_);
+    requires(!kExternalHomo)
+      : device_(device), h_(f, g, gamma), options_(options), max_paths_(max_paths) {
+    reserve_buffers();
+  }
+
+  /// Generic: track over an externally built batched homotopy (e.g.
+  /// BatchedProjectiveHomotopy); `device` is the device behind its
+  /// target evaluator.
+  BatchPathTracker(simt::Device& device, TargetOrHomo& homotopy, TrackOptions options,
+                   std::size_t max_paths)
+    requires kExternalHomo
+      : device_(device), h_(homotopy), options_(options), max_paths_(max_paths) {
+    reserve_buffers();
   }
 
   [[nodiscard]] unsigned dimension() const noexcept { return h_.dimension(); }
   [[nodiscard]] std::size_t max_paths() const noexcept { return max_paths_; }
   [[nodiscard]] std::size_t path_count() const noexcept { return paths_; }
-  [[nodiscard]] std::size_t live_paths() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t live_paths() const noexcept {
+    return active_.size() + endgame_ids_.size();
+  }
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
 
   /// Load paths i = 0..count-1 from roots[first + i] (state reset; the
-  /// batch must fit max_paths).  Buffers are reused, so a second start()
+  /// batch must fit max_paths).  In projective mode roots must already
+  /// be embedded in the patch.  Buffers are reused, so a second start()
   /// on a warm tracker allocates nothing.
   void start(const std::vector<std::vector<C>>& roots, std::size_t first,
              std::size_t count) {
@@ -225,137 +245,202 @@ class BatchPathTracker {
     paths_ = count;
     rounds_ = 0;
     active_.clear();
+    endgame_ids_.clear();
     for (std::size_t i = 0; i < count; ++i) {
       if (roots[first + i].size() != n)
         throw std::invalid_argument("BatchPathTracker: root has wrong dimension");
       auto& s = slots_[i];
       std::copy(roots[first + i].begin(), roots[first + i].end(), s.x.begin());
-      s.t = 0.0;
-      s.step = options_.initial_step;
-      s.streak = s.steps = s.rejections = 0;
+      s.ctl = detail::initial_step_state(options_);
       s.final_residual = 0.0;
+      s.status = PathStatus::kStalled;
+      s.winding = 0;
       s.retired = false;
       s.success = false;
       active_.push_back(i);
     }
   }
 
-  /// Advance every live path one predictor-corrector step (plus the
-  /// endgame polish for paths reaching t = 1 this round) and compact the
-  /// retirees out of the active set.  Returns the number of still-live
-  /// paths; allocation-free in steady state.
+  /// Advance every live path one predictor-corrector step (or, for
+  /// paths in the endgame, one Cauchy circle sample), classify and
+  /// retire this round's finishers, and compact the retirees out of the
+  /// live sets.  Returns the number of still-live paths;
+  /// allocation-free in steady state.
   std::size_t round() {
-    if (active_.empty()) return 0;
+    if (active_.empty() && endgame_ids_.empty()) return 0;
     device_.clear_log();
     ++rounds_;
     const unsigned n = h_.dimension();
 
+    newton::NewtonOptions copts;
+    copts.max_iterations = options_.corrector_iterations;
+    copts.residual_tolerance = options_.corrector_tolerance;
+
     // Retire exhausted paths first -- the scalar tracker's loop
     // condition, checked before the step -- with one batched probe for
-    // their final residuals.
+    // their final residuals.  (Endgame paths are exempt: their work is
+    // bounded by max_windings loops, not by the step budget.)
     probe_ids_.clear();
+    end_ids_.clear();
     std::size_t keep = 0;
     for (const std::size_t id : active_) {
-      if (slots_[id].steps + slots_[id].rejections >= options_.max_steps)
+      if (slots_[id].ctl.steps + slots_[id].ctl.rejections >= options_.max_steps)
         probe_ids_.push_back(id);
       else
         active_[keep++] = id;
     }
     active_.resize(keep);
-    retire_failed(probe_ids_);
 
     const std::size_t a = active_.size();
-    if (a == 0) return 0;
-
-    // Predictor: full batches at (x_p, t_p) -- Euler along the
-    // Davidenko flow, per-path dt = min(step, 1 - t) -- walked in
-    // device-capacity chunks so the Jacobian scratch stays bounded.
-    for (std::size_t j = 0; j < a; ++j) {
-      const auto& s = slots_[active_[j]];
-      dts_[j] = std::min(s.step, 1.0 - s.t);
-      ts_[j] = S(s.t);
-      std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
-    }
-    for (std::size_t c0 = 0; c0 < a; c0 += cap_) {
-      const std::size_t cc = std::min(cap_, a - c0);
-      h_.evaluate_range(batch_pts_, std::span<const S>(ts_), c0, cc,
-                        std::span<C>(hv_), std::span<C>(hj_));
-      for (std::size_t j = 0; j < cc; ++j)
-        h_.rhs_from_last(j, std::span<C>(rhs_).subspan(j * n, n));
-      linalg::lu_solve_batch(arena_, cc, std::span<const C>(hj_),
-                             std::span<const C>(rhs_), std::span<C>(flow_),
-                             std::span<unsigned char>(singular_));
-      for (std::size_t j = 0; j < cc; ++j) {
-        const std::size_t g = c0 + j;
-        std::copy(batch_pts_[g].begin(), batch_pts_[g].end(),
-                  corr_pts_[g].begin());
-        if (!singular_[j]) {
-          // A singular Jacobian mid-path leaves the predictor at the
-          // current point; the corrector decides viability (as scalar).
-          const S h_dt(dts_[g]);
-          for (unsigned v = 0; v < n; ++v)
-            corr_pts_[g][v] -= flow_[j * n + v] * h_dt;
+    if (a > 0) {
+      // Predictor: full batches at (x_p, t_p) -- Euler along the
+      // Davidenko flow, per-path dt clamped to the remaining interval --
+      // walked in device-capacity chunks so the Jacobian scratch stays
+      // bounded.
+      for (std::size_t j = 0; j < a; ++j) {
+        const auto& s = slots_[active_[j]];
+        dts_[j] = detail::clamped_dt(s.ctl);
+        t_next_[j] = detail::step_target(s.ctl, dts_[j]);
+        ts_[j] = C(S(s.ctl.t));
+        std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
+      }
+      for (std::size_t c0 = 0; c0 < a; c0 += cap_) {
+        const std::size_t cc = std::min(cap_, a - c0);
+        h_.evaluate_range(batch_pts_, std::span<const C>(ts_), c0, cc,
+                          std::span<C>(hv_), std::span<C>(hj_));
+        for (std::size_t j = 0; j < cc; ++j)
+          h_.rhs_from_last(j, std::span<C>(rhs_).subspan(j * n, n));
+        linalg::lu_solve_batch(arena_, cc, std::span<const C>(hj_),
+                               std::span<const C>(rhs_), std::span<C>(flow_),
+                               std::span<unsigned char>(singular_));
+        for (std::size_t j = 0; j < cc; ++j) {
+          const std::size_t g = c0 + j;
+          std::copy(batch_pts_[g].begin(), batch_pts_[g].end(),
+                    corr_pts_[g].begin());
+          if (!singular_[j]) {
+            // A singular Jacobian mid-path leaves the predictor at the
+            // current point; the corrector decides viability (as scalar).
+            const S h_dt(dts_[g]);
+            for (unsigned v = 0; v < n; ++v)
+              corr_pts_[g][v] -= flow_[j * n + v] * h_dt;
+          }
+          corr_ts_[g] = C(S(t_next_[g]));
         }
-        corr_ts_[g] = S(slots_[active_[g]].t + dts_[g]);
+      }
+
+      // Corrector: masked batched Newton at the clamped advanced t.
+      newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), a,
+                              copts, arena_, nscratch_,
+                              std::span<newton::BatchPathStatus>(statuses_));
+
+      // Per-path step control -- the scalar tracker's accept/reject
+      // arithmetic (the shared one copy), path by path.
+      keep = 0;
+      for (std::size_t j = 0; j < a; ++j) {
+        const std::size_t id = active_[j];
+        auto& s = slots_[id];
+        if (statuses_[j].converged) {
+          std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
+          detail::accept_step(s.ctl, t_next_[j], options_);
+          if constexpr (kProjective) {
+            h_.renormalize(std::span<C>(s.x));
+            if (h_.infinity_ratio(std::span<const C>(s.x)) <
+                options_.at_infinity_tolerance) {
+              retire(s, PathStatus::kAtInfinity, statuses_[j].final_residual);
+              continue;
+            }
+          }
+          if (s.ctl.t >= 1.0) {
+            end_ids_.push_back(id);
+            continue;
+          }
+        } else {
+          detail::reject_step(s.ctl, options_);
+          if constexpr (kProjective) {
+            if (detail::endgame_triggered(s.ctl, options_)) {
+              s.eg.begin(1.0 - s.ctl.t, std::span<const C>(s.x));
+              endgame_ids_.push_back(id);
+              continue;
+            }
+          }
+          if (s.ctl.step < options_.min_step) {
+            probe_ids_.push_back(id);
+            continue;
+          }
+        }
+        active_[keep++] = id;
+      }
+      active_.resize(keep);
+    }
+
+    // Endgame stage (projective): every endgame path advances ONE
+    // Cauchy circle sample, all correctors batched into whole-set
+    // launches; loops that close hand their integral-mean endpoint to
+    // the t = 1 classification below.
+    if constexpr (kProjective) {
+      if (!endgame_ids_.empty()) {
+        const std::size_t e = endgame_ids_.size();
+        for (std::size_t j = 0; j < e; ++j) {
+          const auto& s = slots_[endgame_ids_[j]];
+          std::copy(s.x.begin(), s.x.end(), corr_pts_[j].begin());
+          corr_ts_[j] = s.eg.next_t(options_.endgame);
+        }
+        newton::NewtonOptions egopts = copts;
+        egopts.max_iterations = options_.endgame.corrector_iterations;
+        egopts.residual_tolerance = options_.endgame.corrector_tolerance;
+        newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), e,
+                                egopts, arena_, nscratch_,
+                                std::span<newton::BatchPathStatus>(statuses_));
+        keep = 0;
+        for (std::size_t j = 0; j < e; ++j) {
+          const std::size_t id = endgame_ids_[j];
+          auto& s = slots_[id];
+          if (!statuses_[j].converged) {
+            // Lost the circle at this radius: fail the attempt, restore
+            // the theta = 0 point and resume tracking (the shared
+            // re-arm arithmetic halves the trigger, as scalar).
+            fail_endgame_attempt(s, id);
+            continue;
+          }
+          std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
+          const auto step =
+              s.eg.absorb(std::span<const C>(s.x), options_.endgame);
+          if (step == CauchyEndgame<S>::Step::kClosed) {
+            s.eg.endpoint(std::span<C>(s.x));
+            s.winding = s.eg.winding();
+            s.ctl.t = 1.0;
+            end_ids_.push_back(id);
+            continue;
+          }
+          if (step == CauchyEndgame<S>::Step::kExhausted) {
+            fail_endgame_attempt(s, id);
+            continue;
+          }
+          endgame_ids_[keep++] = id;
+        }
+        endgame_ids_.resize(keep);
       }
     }
 
-    // Corrector: masked batched Newton at t + dt.
-    newton::NewtonOptions copts;
-    copts.max_iterations = options_.corrector_iterations;
-    copts.residual_tolerance = options_.corrector_tolerance;
-    newton::refine_batch<S>(h_, corr_pts_, std::span<const S>(corr_ts_), a, copts,
-                            arena_, nscratch_,
-                            std::span<newton::BatchPathStatus>(statuses_));
-
-    // Per-path step control -- the scalar tracker's accept/reject
-    // arithmetic, path by path.
-    probe_ids_.clear();
-    end_ids_.clear();
-    keep = 0;
-    for (std::size_t j = 0; j < a; ++j) {
-      const std::size_t id = active_[j];
-      auto& s = slots_[id];
-      if (statuses_[j].converged) {
-        std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
-        s.t += dts_[j];
-        ++s.steps;
-        if (++s.streak >= options_.growth_after) {
-          s.step = std::min(s.step * options_.step_growth, options_.max_step);
-          s.streak = 0;
-        }
-        if (s.t >= 1.0) {
-          end_ids_.push_back(id);
-          continue;
-        }
-      } else {
-        ++s.rejections;
-        s.streak = 0;
-        s.step *= options_.step_shrink;
-        if (s.step < options_.min_step) {
-          probe_ids_.push_back(id);
-          continue;
-        }
-      }
-      active_[keep++] = id;
-    }
-    active_.resize(keep);
-
-    // Endgame: one batched polish at t = 1 for this round's finishers;
-    // a diverged polish keeps the tracked point and ITS residual (the
-    // polish's entry probe), as in the scalar tracker.
+    // Endgame polish + classification at t = 1 for this round's
+    // finishers (normal arrivals and closed endgame loops): one batched
+    // polish; a diverged polish keeps the tracked point and ITS
+    // residual (the polish's entry probe), and the status comes from
+    // the kept point's final residual check -- with the projective
+    // at-infinity test taking precedence -- exactly as the scalar
+    // tracker classifies.
     if (!end_ids_.empty()) {
       const std::size_t e = end_ids_.size();
       for (std::size_t j = 0; j < e; ++j) {
         const auto& s = slots_[end_ids_[j]];
         std::copy(s.x.begin(), s.x.end(), corr_pts_[j].begin());
-        corr_ts_[j] = S(1.0);
+        corr_ts_[j] = C(S(1.0));
       }
       newton::NewtonOptions eopts;
       eopts.max_iterations = options_.end_iterations;
       eopts.residual_tolerance = options_.end_tolerance;
-      newton::refine_batch<S>(h_, corr_pts_, std::span<const S>(corr_ts_), e, eopts,
-                              arena_, nscratch_,
+      newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), e,
+                              eopts, arena_, nscratch_,
                               std::span<newton::BatchPathStatus>(statuses_));
       for (std::size_t j = 0; j < e; ++j) {
         auto& s = slots_[end_ids_[j]];
@@ -365,15 +450,32 @@ class BatchPathTracker {
         } else {
           s.final_residual = statuses_[j].initial_residual;
         }
-        s.success = statuses_[j].converged;
-        s.retired = true;
+        if constexpr (kProjective) {
+          if (h_.infinity_ratio(std::span<const C>(s.x)) <
+              options_.at_infinity_tolerance) {
+            retire(s, PathStatus::kAtInfinity, s.final_residual);
+            continue;
+          }
+          retire(s,
+                 detail::projective_endpoint_converged(s.final_residual,
+                                                       s.winding, options_)
+                     ? PathStatus::kConverged
+                     : PathStatus::kDiverged,
+                 s.final_residual);
+          continue;
+        }
+        retire(s,
+               s.final_residual <= options_.end_tolerance ? PathStatus::kConverged
+                                                          : PathStatus::kDiverged,
+               s.final_residual);
       }
     }
 
-    // Step-underflow failures: batched residual probe, then retire.
+    // Step-underflow / budget failures: batched residual probe, then
+    // retire as stalls.
     retire_failed(probe_ids_);
 
-    return active_.size();
+    return active_.size() + endgame_ids_.size();
   }
 
   /// Rounds until every path retired.
@@ -392,11 +494,13 @@ class BatchPathTracker {
     if (!s.retired)
       throw std::logic_error("BatchPathTracker: path still live");
     TrackResult<S> r;
+    r.status = s.status;
     r.success = s.success;
-    r.steps = s.steps;
-    r.rejections = s.rejections;
+    r.steps = s.ctl.steps;
+    r.rejections = s.ctl.rejections;
+    r.winding = s.winding;
     r.final_residual = s.final_residual;
-    r.t_reached = s.t;
+    r.t_reached = s.ctl.t;
     r.solution.assign(s.x.begin(), s.x.end());
     return r;
   }
@@ -404,14 +508,77 @@ class BatchPathTracker {
  private:
   struct PathSlot {
     std::vector<C> x;
-    double t = 0.0;
-    double step = 0.0;
-    unsigned streak = 0, steps = 0, rejections = 0;
+    detail::StepState ctl;
     double final_residual = 0.0;
+    PathStatus status = PathStatus::kStalled;
+    unsigned winding = 0;
     bool retired = false, success = false;
+    CauchyEndgame<S> eg;
   };
 
-  /// Retire `ids` as failures with one batched values probe at their
+  /// Constructor-time buffer sizing shared by both constructors: all
+  /// per-path state and batch staging for `max_paths_` paths of the
+  /// homotopy's dimension, Jacobian-stage traffic bounded by the device
+  /// batch capacity.
+  void reserve_buffers() {
+    detail::validate_track_options(options_);
+    const unsigned n = h_.dimension();
+    const std::size_t nn = std::size_t{n} * n;
+    cap_ = std::min<std::size_t>(std::max<std::size_t>(h_.max_batch(), 1),
+                                 std::max<std::size_t>(max_paths_, 1));
+    arena_.resize(n, cap_);
+    nscratch_.reserve(n, max_paths_, cap_);
+    statuses_.resize(max_paths_);
+    slots_.resize(max_paths_);
+    for (auto& s : slots_) {
+      s.x.resize(n);
+      s.eg.reserve(n);
+    }
+    active_.reserve(max_paths_);
+    probe_ids_.reserve(max_paths_);
+    end_ids_.reserve(max_paths_);
+    endgame_ids_.reserve(max_paths_);
+    batch_pts_.resize(max_paths_);
+    for (auto& p : batch_pts_) p.resize(n);
+    corr_pts_.resize(max_paths_);
+    for (auto& p : corr_pts_) p.resize(n);
+    ts_.resize(max_paths_);
+    corr_ts_.resize(max_paths_);
+    dts_.resize(max_paths_);
+    t_next_.resize(max_paths_);
+    hv_.resize(max_paths_ * std::size_t{n});
+    hj_.resize(cap_ * nn);
+    rhs_.resize(cap_ * std::size_t{n});
+    flow_.resize(cap_ * std::size_t{n});
+    singular_.resize(cap_);
+  }
+
+  /// A failed endgame attempt (lost sample or no closure): restore the
+  /// theta = 0 point, halve the re-arm threshold and hand the path back
+  /// to the tracking set -- it creeps closer to t = 1 and retries the
+  /// circle at a smaller radius (PathTracker's resume arithmetic,
+  /// including the step-underflow death check the scalar loop applies
+  /// right after a failed attempt).
+  void fail_endgame_attempt(PathSlot& s, std::size_t id) {
+    const auto z0 = s.eg.start_point();
+    std::copy(z0.begin(), z0.end(), s.x.begin());
+    detail::endgame_failed(s.ctl);
+    if (s.ctl.step < options_.min_step)
+      probe_ids_.push_back(id);  // retired by this round's stall probe
+    else
+      active_.push_back(id);
+  }
+
+  /// Retire a slot with its classified status (success mirrors
+  /// kConverged for legacy consumers).
+  void retire(PathSlot& s, PathStatus status, double residual) {
+    s.status = status;
+    s.final_residual = residual;
+    s.success = status == PathStatus::kConverged;
+    s.retired = true;
+  }
+
+  /// Retire `ids` as stalls with one batched values probe at their
   /// current (x, t) -- the scalar tracker's mid-track exit residual.
   void retire_failed(const std::vector<std::size_t>& ids) {
     if (ids.empty()) return;
@@ -419,31 +586,38 @@ class BatchPathTracker {
     for (std::size_t j = 0; j < ids.size(); ++j) {
       const auto& s = slots_[ids[j]];
       std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
-      ts_[j] = S(s.t);
+      ts_[j] = C(S(s.ctl.t));
     }
-    h_.evaluate_values_range(batch_pts_, std::span<const S>(ts_), 0, ids.size(),
+    h_.evaluate_values_range(batch_pts_, std::span<const C>(ts_), 0, ids.size(),
                              std::span<C>(hv_));
     for (std::size_t j = 0; j < ids.size(); ++j) {
       auto& s = slots_[ids[j]];
-      s.final_residual =
-          linalg::max_norm_d<S>(std::span<const C>(hv_).subspan(j * n, n));
-      s.success = false;
-      s.retired = true;
+      PathStatus status = PathStatus::kStalled;
+      if constexpr (kProjective) {
+        // A stop point already on the hyperplane at infinity is a
+        // classified endpoint, not a stall (as scalar).
+        if (h_.infinity_ratio(std::span<const C>(s.x)) <
+            options_.at_infinity_tolerance)
+          status = PathStatus::kAtInfinity;
+      }
+      retire(s, status,
+             linalg::max_norm_d<S>(std::span<const C>(hv_).subspan(j * n, n)));
     }
   }
 
   simt::Device& device_;
-  BatchedHomotopy<S, TargetEval> h_;
+  HomoMember h_;
   TrackOptions options_;
   std::size_t max_paths_;
-  std::size_t cap_;  ///< Jacobian-stage chunk bound (device batch capacity)
+  std::size_t cap_ = 0;  ///< Jacobian-stage chunk bound (device batch capacity)
   std::size_t paths_ = 0;
   std::size_t rounds_ = 0;
 
   std::vector<PathSlot> slots_;
-  std::vector<std::size_t> active_;     ///< live path ids, compacted each round
-  std::vector<std::size_t> probe_ids_;  ///< this round's failures
-  std::vector<std::size_t> end_ids_;    ///< this round's endgame set
+  std::vector<std::size_t> active_;       ///< live tracking path ids
+  std::vector<std::size_t> probe_ids_;    ///< this round's stalls
+  std::vector<std::size_t> end_ids_;      ///< this round's t = 1 set
+  std::vector<std::size_t> endgame_ids_;  ///< paths circling the endgame
 
   linalg::LuArena<S> arena_;
   newton::RefineBatchScratch<S> nscratch_;
@@ -451,8 +625,9 @@ class BatchPathTracker {
 
   std::vector<std::vector<C>> batch_pts_;  ///< predictor/probe staging
   std::vector<std::vector<C>> corr_pts_;   ///< corrector/endgame iterates
-  std::vector<S> ts_, corr_ts_;
+  std::vector<C> ts_, corr_ts_;            ///< per-slot (complex) parameters
   std::vector<double> dts_;
+  std::vector<double> t_next_;  ///< clamped step targets
   std::vector<C> hv_;   ///< batched h values
   std::vector<C> hj_;   ///< batched h Jacobians
   std::vector<C> rhs_;  ///< batched Davidenko right-hand sides

@@ -1,0 +1,60 @@
+#include "homotopy/homogenize.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace polyeval::homotopy {
+
+poly::Polynomial homogenize_polynomial(const poly::Polynomial& p, unsigned degree) {
+  if (degree < p.degree())
+    throw std::invalid_argument("homogenize_polynomial: degree below the polynomial's");
+  const unsigned hvar = p.num_vars();
+  std::vector<poly::Monomial> monos;
+  monos.reserve(p.num_monomials());
+  for (const auto& mono : p.monomials()) {
+    auto factors = mono.factors();
+    const unsigned fill = degree - mono.total_degree();
+    if (fill > 0) factors.push_back({hvar, fill});
+    monos.emplace_back(mono.coefficient(), std::move(factors));
+  }
+  return {hvar + 1, std::move(monos)};
+}
+
+std::vector<cplx::Complex<double>> random_patch(unsigned dimension,
+                                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+  std::vector<cplx::Complex<double>> c;
+  c.reserve(dimension);
+  for (unsigned i = 0; i < dimension; ++i) {
+    const double a = angle(rng);
+    c.push_back({std::cos(a), std::sin(a)});
+  }
+  return c;
+}
+
+poly::Polynomial patch_polynomial(std::span<const cplx::Complex<double>> c) {
+  std::vector<poly::Monomial> monos;
+  monos.reserve(c.size() + 1);
+  for (unsigned i = 0; i < c.size(); ++i)
+    monos.emplace_back(c[i], std::vector<poly::VarPower>{{i, 1}});
+  monos.emplace_back(cplx::Complex<double>{-1.0, 0.0}, std::vector<poly::VarPower>{});
+  return {static_cast<unsigned>(c.size()), std::move(monos)};
+}
+
+poly::PolynomialSystem homogenize(const poly::PolynomialSystem& target,
+                                  std::span<const cplx::Complex<double>> c) {
+  const unsigned n = target.dimension();
+  if (c.size() != n + 1)
+    throw std::invalid_argument("homogenize: patch has wrong dimension");
+  const auto degrees = target.degrees();
+  std::vector<poly::Polynomial> polys;
+  polys.reserve(n + 1);
+  for (unsigned i = 0; i < n; ++i)
+    polys.push_back(homogenize_polynomial(target.polynomial(i), degrees[i]));
+  polys.push_back(patch_polynomial(c));
+  return poly::PolynomialSystem(std::move(polys));
+}
+
+}  // namespace polyeval::homotopy

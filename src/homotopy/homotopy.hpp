@@ -25,15 +25,19 @@ namespace polyeval::homotopy {
 namespace detail {
 
 /// The ONE copy of the gamma-trick combination arithmetic, shared by
-/// Homotopy and BatchedHomotopy so the lockstep tracker's bitwise
-/// contract with the scalar path holds by construction: the pair
-/// (a, b) = (gamma (1-t), t) and the per-entry blend a*g + b*f.
+/// Homotopy, BatchedHomotopy and the projective homotopies so the
+/// lockstep tracker's bitwise contract with the scalar path holds by
+/// construction: the pair (a, b) = (gamma (1-t), t) and the per-entry
+/// blend a*g + b*f.  t is complex so the Cauchy endgame can circle the
+/// parameter around t = 1; for a real t (imaginary part exactly zero)
+/// the arithmetic is bit-identical to the former real-t blend.
 template <prec::RealScalar S>
 struct GammaBlend {
   using C = cplx::Complex<S>;
   C a, b;
 
-  GammaBlend(const C& gamma, const S& t) : a(gamma * C(S(1.0) - t)), b(C(t)) {}
+  GammaBlend(const C& gamma, const C& t) : a(gamma * (C(S(1.0)) - t)), b(t) {}
+  GammaBlend(const C& gamma, const S& t) : GammaBlend(gamma, C(t)) {}
 
   [[nodiscard]] C combine(const C& g, const C& f) const { return a * g + b * f; }
 };
@@ -64,8 +68,10 @@ class Homotopy {
 
   [[nodiscard]] unsigned dimension() const noexcept { return f_.dimension(); }
 
-  void set_t(const S& t) noexcept { t_ = t; }
-  [[nodiscard]] const S& t() const noexcept { return t_; }
+  void set_t(const S& t) noexcept { t_ = C(t); }
+  /// Complex tracking parameter (the endgame circles t around 1).
+  void set_t_complex(const C& t) noexcept { t_ = t; }
+  [[nodiscard]] const C& t() const noexcept { return t_; }
 
   /// h(x, t) and its Jacobian in x at the current t.
   void evaluate(std::span<const C> x, poly::EvalResult<S>& out) {
@@ -94,7 +100,7 @@ class Homotopy {
   EvalF& f_;
   EvalG& g_;
   C gamma_;
-  S t_{0.0};
+  C t_{S(0.0)};
   poly::EvalResult<S> f_eval_;
   poly::EvalResult<S> g_eval_;
 };

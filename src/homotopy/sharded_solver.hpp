@@ -6,18 +6,28 @@
 /// The manager/worker layout of solver.hpp, with the workers promoted
 /// from CPU evaluators to per-shard devices: each shard owns a
 /// `simt::Device` (with its own pool and pre-warmed scratch) and a
-/// `FusedGpuEvaluator` for the target system; the start system stays on
+/// device evaluator for the target system; the start system stays on
 /// the CPU (it is a handful of x_i^d - 1 monomials, not the uniform
 /// structure the massively parallel pipeline wants).  Path jobs are
 /// claimed in chunks from a shared cursor -- the dynamic balance of the
 /// MPI manager/worker implementations the paper cites -- and results
 /// land indexed by path, so the output order is deterministic.
 ///
+/// Geometry: PROJECTIVE tracking is the default -- start roots are
+/// embedded in a random patch hyperplane c . z = 1 (homogenize.hpp),
+/// the trackers renormalize into the patch and classify endpoints
+/// (converged / at infinity / stalled / diverged) with the Cauchy
+/// endgame answering t -> 1 stalls.  The device still evaluates the
+/// AFFINE target (the homogeneous rows are lifted on the host,
+/// projective.hpp), so the paper's uniform structure requirement is
+/// untouched.  The affine mode remains behind TrackGeometry::kAffine as
+/// the parity/escape hatch; its paths to infinity stall as before.
+///
 /// Reproducibility: a path's trajectory depends only on its start root,
-/// gamma and the evaluators, all identical across shards, so solutions
-/// are BITWISE reproducible across shard counts (the sharded analogue of
-/// the evaluator parity guarantee).  Requires a uniform-structure
-/// target (pack_system's precondition).
+/// gamma, the patch and the evaluators, all identical across shards, so
+/// solutions are BITWISE reproducible across shard counts (the sharded
+/// analogue of the evaluator parity guarantee).  Requires a
+/// uniform-structure target (pack_system's precondition).
 
 #include <memory>
 #include <optional>
@@ -50,6 +60,16 @@ enum class ShardTrackMode {
   kPerPath,
 };
 
+/// Tracking geometry (see the file comment).
+enum class TrackGeometry {
+  /// Patched homogeneous coordinates with at-infinity classification
+  /// and the Cauchy endgame: every path terminates classified.
+  kProjective,
+  /// The historical affine tracker: paths to infinity stall.  Kept as
+  /// the default-off escape hatch for parity testing.
+  kAffine,
+};
+
 struct ShardedSolveOptions {
   TrackOptions track;
   std::uint64_t gamma_seed = 20120102;
@@ -72,6 +92,13 @@ struct ShardedSolveOptions {
   /// Lockstep by default; per-path kept behind the enum for parity
   /// testing (results are bitwise identical across modes).
   ShardTrackMode mode = ShardTrackMode::kLockstep;
+  /// Projective by default; affine kept behind the enum (see
+  /// TrackGeometry).  Results between the two geometries differ by
+  /// construction (different coordinates), but within a geometry every
+  /// mode/backend/shard-count combination is bitwise identical.
+  TrackGeometry geometry = TrackGeometry::kProjective;
+  /// Seed of the random patch hyperplane (projective geometry).
+  std::uint64_t patch_seed = 20120717;
   /// Lockstep device batch capacity: live-set launches are chunked to
   /// this many points (also the per-shard evaluator's buffer size).
   unsigned lockstep_batch = 64;
@@ -79,10 +106,10 @@ struct ShardedSolveOptions {
 
 namespace detail {
 
-/// Everything one shard's manager thread owns while tracking: the
-/// per-device target evaluator, the CPU start-system evaluator, and the
-/// homotopy/tracker built over them.  One instance per shard, used by
-/// one participant at a time.
+/// Everything one shard's manager thread owns while tracking a path at
+/// a time in AFFINE coordinates: the per-device target evaluator, the
+/// CPU start-system evaluator, and the homotopy/tracker built over
+/// them.  One instance per shard, used by one participant at a time.
 template <prec::RealScalar S, class TargetEvalT>
 struct ShardTrackState {
   using TargetEval = TargetEvalT;
@@ -91,7 +118,7 @@ struct ShardTrackState {
   TargetEval f;
   StartEval g;
   Homotopy<S, TargetEval, StartEval> h;
-  PathTracker<S, TargetEval, StartEval> tracker;
+  PathTracker<S, Homotopy<S, TargetEval, StartEval>> tracker;
 
   ShardTrackState(simt::Device& device, const poly::PolynomialSystem& target,
                   const poly::PolynomialSystem& start_system,
@@ -103,9 +130,31 @@ struct ShardTrackState {
         tracker(h, options.track) {}
 };
 
-/// One shard's lockstep state: the device evaluator sized for whole
-/// live-set batches, the CPU start evaluator, and the BatchPathTracker
-/// over them.
+/// The projective per-path counterpart: the device still evaluates the
+/// affine target; the homotopy lifts it into the patch.
+template <prec::RealScalar S, class TargetEvalT>
+struct ShardProjectiveTrackState {
+  using TargetEval = TargetEvalT;
+
+  TargetEval f;
+  ProjectiveHomotopy<S, TargetEval> h;
+  PathTracker<S, ProjectiveHomotopy<S, TargetEval>> tracker;
+
+  ShardProjectiveTrackState(simt::Device& device,
+                            const poly::PolynomialSystem& target,
+                            const poly::PolynomialSystem& start_system,
+                            cplx::Complex<double> gamma,
+                            std::span<const cplx::Complex<double>> patch,
+                            const ShardedSolveOptions& options)
+      : f(device, target, 1,
+          {.block_size = options.block_size, .detect_races = options.detect_races}),
+        h(f, target, start_system, gamma, patch),
+        tracker(h, options.track) {}
+};
+
+/// One shard's affine lockstep state: the device evaluator sized for
+/// whole live-set batches, the CPU start evaluator, and the
+/// BatchPathTracker over them.
 template <prec::RealScalar S, class TargetEvalT>
 struct ShardLockstepState {
   using TargetEval = TargetEvalT;
@@ -125,15 +174,39 @@ struct ShardLockstepState {
         tracker(device, f, g, gamma, options.track, max_paths) {}
 };
 
-/// The lockstep tracking loop: paths are partitioned into contiguous
-/// per-shard slices (deterministic; a path's trajectory is independent
-/// of its shard, so any partition yields bitwise-identical summaries)
-/// and each shard advances its whole slice in lockstep rounds.
-template <prec::RealScalar S, class TargetEval>
-SolveSummary<S> track_paths_lockstep_with(
-    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+/// The projective lockstep state: batched projective homotopy over the
+/// affine device evaluator.
+template <prec::RealScalar S, class TargetEvalT>
+struct ShardProjectiveLockstepState {
+  using TargetEval = TargetEvalT;
+
+  TargetEval f;
+  BatchedProjectiveHomotopy<S, TargetEval> h;
+  BatchPathTracker<S, BatchedProjectiveHomotopy<S, TargetEval>> tracker;
+
+  ShardProjectiveLockstepState(simt::Device& device,
+                               const poly::PolynomialSystem& target,
+                               const poly::PolynomialSystem& start_system,
+                               cplx::Complex<double> gamma,
+                               std::span<const cplx::Complex<double>> patch,
+                               const ShardedSolveOptions& options,
+                               unsigned batch_capacity, std::size_t max_paths)
+      : f(device, target, batch_capacity,
+          {.block_size = options.block_size, .detect_races = options.detect_races}),
+        h(f, target, start_system, gamma, patch),
+        tracker(device, h, options.track, max_paths) {}
+};
+
+/// The lockstep tracking loop, generic over the shard state: paths are
+/// partitioned into contiguous per-shard slices (deterministic; a
+/// path's trajectory is independent of its shard, so any partition
+/// yields bitwise-identical summaries) and each shard advances its
+/// whole slice in lockstep rounds.  `make_state(device, capacity,
+/// max_paths)` builds one shard's state.
+template <prec::RealScalar S, class MakeState>
+SolveSummary<S> track_lockstep_loop(
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
-    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
+    const ShardedSolveOptions& options, MakeState&& make_state) {
   const std::uint64_t paths = start_roots.size();
 
   SolveSummary<S> summary;
@@ -151,12 +224,13 @@ SolveSummary<S> track_paths_lockstep_with(
   // skip their evaluator/tracker construction entirely.
   const std::size_t used = (paths + per_shard - 1) / per_shard;
 
-  std::vector<std::unique_ptr<ShardLockstepState<S, TargetEval>>> shards;
+  using State = typename std::invoke_result_t<MakeState, simt::Device&, unsigned,
+                                              std::size_t>::element_type;
+  std::vector<std::unique_ptr<State>> shards;
   shards.reserve(used);
   for (std::size_t i = 0; i < used; ++i)
-    shards.push_back(std::make_unique<ShardLockstepState<S, TargetEval>>(
-        registry.device(static_cast<unsigned>(i)), target, start_system, gamma,
-        options, capacity, per_shard));
+    shards.push_back(make_state(registry.device(static_cast<unsigned>(i)),
+                                capacity, per_shard));
 
   const auto track_slice = [&](std::size_t shard) {
     const std::size_t first = shard * per_shard;
@@ -179,18 +253,19 @@ SolveSummary<S> track_paths_lockstep_with(
         });
   }
 
-  for (const auto& p : summary.paths)
+  for (const auto& p : summary.paths) {
     if (p.success) ++summary.successes;
+    if (p.status == PathStatus::kAtInfinity) ++summary.at_infinity;
+  }
   return summary;
 }
 
-/// The manager/worker tracking loop, generic over the per-shard device
-/// evaluator; track_paths_sharded dispatches on the options' backend.
-template <prec::RealScalar S, class TargetEval>
-SolveSummary<S> track_paths_sharded_with(
-    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+/// The manager/worker per-path tracking loop, generic over the shard
+/// state; `make_state(device)` builds one shard's state.
+template <prec::RealScalar S, class MakeState>
+SolveSummary<S> track_perpath_loop(
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
-    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
+    const ShardedSolveOptions& options, MakeState&& make_state) {
   const std::uint64_t paths = start_roots.size();
 
   SolveSummary<S> summary;
@@ -200,11 +275,11 @@ SolveSummary<S> track_paths_sharded_with(
 
   simt::DeviceRegistry registry(options.shards, simt::DeviceSpec::tesla_c2050(),
                                 options.workers_per_shard);
-  std::vector<std::unique_ptr<ShardTrackState<S, TargetEval>>> shards;
+  using State = typename std::invoke_result_t<MakeState, simt::Device&>::element_type;
+  std::vector<std::unique_ptr<State>> shards;
   shards.reserve(registry.size());
   for (unsigned i = 0; i < registry.size(); ++i)
-    shards.push_back(std::make_unique<ShardTrackState<S, TargetEval>>(
-        registry.device(i), target, start_system, gamma, options));
+    shards.push_back(make_state(registry.device(i)));
 
   const auto track_one = [&](unsigned shard, std::uint64_t path) {
     summary.paths[path] = shards[shard]->tracker.track(
@@ -222,28 +297,77 @@ SolveSummary<S> track_paths_sharded_with(
         });
   }
 
-  for (const auto& p : summary.paths)
+  for (const auto& p : summary.paths) {
     if (p.success) ++summary.successes;
+    if (p.status == PathStatus::kAtInfinity) ++summary.at_infinity;
+  }
   return summary;
+}
+
+/// Geometry-resolved dispatch over mode for one device-evaluator type.
+template <prec::RealScalar S, class TargetEval>
+SolveSummary<S> track_paths_sharded_with(
+    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+    const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
+  if (options.geometry == TrackGeometry::kProjective) {
+    // Embed the affine start roots into the patch ONCE, before any
+    // sharding, so every shard sees identical projective start points.
+    const auto patch_d = random_patch(target.dimension() + 1, options.patch_seed);
+    std::vector<cplx::Complex<S>> patch;
+    patch.reserve(patch_d.size());
+    for (const auto& c : patch_d) patch.push_back(cplx::Complex<S>::from_double(c));
+    std::vector<std::vector<cplx::Complex<S>>> embedded;
+    embedded.reserve(start_roots.size());
+    for (const auto& root : start_roots)
+      embedded.push_back(embed_in_patch<S>(
+          std::span<const cplx::Complex<S>>(root),
+          std::span<const cplx::Complex<S>>(patch)));
+
+    if (options.mode == ShardTrackMode::kLockstep)
+      return track_lockstep_loop<S>(
+          embedded, options,
+          [&](simt::Device& device, unsigned capacity, std::size_t max_paths) {
+            return std::make_unique<ShardProjectiveLockstepState<S, TargetEval>>(
+                device, target, start_system, gamma,
+                std::span<const cplx::Complex<double>>(patch_d), options, capacity,
+                max_paths);
+          });
+    return track_perpath_loop<S>(
+        embedded, options, [&](simt::Device& device) {
+          return std::make_unique<ShardProjectiveTrackState<S, TargetEval>>(
+              device, target, start_system, gamma,
+              std::span<const cplx::Complex<double>>(patch_d), options);
+        });
+  }
+
+  if (options.mode == ShardTrackMode::kLockstep)
+    return track_lockstep_loop<S>(
+        start_roots, options,
+        [&](simt::Device& device, unsigned capacity, std::size_t max_paths) {
+          return std::make_unique<ShardLockstepState<S, TargetEval>>(
+              device, target, start_system, gamma, options, capacity, max_paths);
+        });
+  return track_perpath_loop<S>(
+      start_roots, options, [&](simt::Device& device) {
+        return std::make_unique<ShardTrackState<S, TargetEval>>(
+            device, target, start_system, gamma, options);
+      });
 }
 
 }  // namespace detail
 
-/// Track the given start roots of `start_system` through the gamma
-/// homotopy to roots of `target`, path jobs distributed over device
-/// shards.  summary.paths[i] is the i-th start root's result.
+/// Track the given AFFINE start roots of `start_system` through the
+/// gamma homotopy to roots of `target`, path jobs distributed over
+/// device shards.  summary.paths[i] is the i-th start root's result; in
+/// projective geometry (the default) its solution is the patched
+/// projective point (n+1 coordinates, homotopy::dehomogenize for the
+/// affine chart) and its status classifies the endpoint.
 template <prec::RealScalar S>
 SolveSummary<S> track_paths_sharded(
     const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
     cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
-  if (options.mode == ShardTrackMode::kLockstep) {
-    if (options.backend == ShardEvalBackend::kPipelined)
-      return detail::track_paths_lockstep_with<S, core::PipelinedFusedEvaluator<S>>(
-          target, start_system, start_roots, gamma, options);
-    return detail::track_paths_lockstep_with<S, core::FusedGpuEvaluator<S>>(
-        target, start_system, start_roots, gamma, options);
-  }
   if (options.backend == ShardEvalBackend::kPipelined)
     return detail::track_paths_sharded_with<S, core::PipelinedFusedEvaluator<S>>(
         target, start_system, start_roots, gamma, options);

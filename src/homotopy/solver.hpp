@@ -27,7 +27,14 @@ template <prec::RealScalar S>
 struct SolveSummary {
   std::vector<TrackResult<S>> paths;
   std::uint64_t attempted = 0;
-  std::uint64_t successes = 0;
+  std::uint64_t successes = 0;    ///< kConverged endpoints
+  std::uint64_t at_infinity = 0;  ///< kAtInfinity endpoints (projective mode)
+
+  /// Paths with a classified endpoint (converged or at infinity): the
+  /// solved-paths numerator of bench_tracking's solved_frac column.
+  [[nodiscard]] std::uint64_t classified() const noexcept {
+    return successes + at_infinity;
+  }
 
   /// Distinct solutions among the successful endpoints (max-norm
   /// tolerance matching).
@@ -81,8 +88,10 @@ SolveSummary<S> solve_total_degree(const poly::PolynomialSystem& target,
     summary.paths[path] = tracker.track(std::span<const C>(root));
   });
 
-  for (const auto& p : summary.paths)
+  for (const auto& p : summary.paths) {
     if (p.success) ++summary.successes;
+    if (p.status == PathStatus::kAtInfinity) ++summary.at_infinity;
+  }
   return summary;
 }
 

@@ -5,7 +5,23 @@
 /// t = 0 to t = 1: Euler predictor on the Davidenko equation
 /// J_h dx/dt = -dh/dt, Newton corrector at the advanced t, step halving
 /// on corrector failure and growth after consecutive successes.
+///
+/// Two geometries share this tracker.  Over an affine Homotopy it is
+/// the classic tracker: paths that diverge to infinity stall just short
+/// of t = 1 and report kStalled.  Over a ProjectiveHomotopy (detected
+/// by the renormalize() hook) it tracks in the patch c . z = 1 with
+/// per-step renormalization, retires paths whose homogeneous coordinate
+/// vanishes as kAtInfinity, and answers the t -> 1 stall signature with
+/// the Cauchy endgame (endgame.hpp) -- so every path terminates with a
+/// classified endpoint.
+///
+/// The step-control arithmetic lives in ONE copy (detail::StepState and
+/// friends), shared with the lockstep BatchPathTracker so the two
+/// trackers' bitwise contract holds by construction.
 
+#include <type_traits>
+
+#include "homotopy/endgame.hpp"
 #include "homotopy/homotopy.hpp"
 
 namespace polyeval::homotopy {
@@ -22,42 +38,184 @@ struct TrackOptions {
   unsigned max_steps = 10000;
   double end_tolerance = 1e-12;        ///< residual target of the final refine
   unsigned end_iterations = 10;        ///< Newton steps at t = 1
+  /// Projective mode: |z_n| / max|z_i| below this classifies the point
+  /// as lying on the hyperplane at infinity.  At 1e-4 a dehomogenized
+  /// endpoint would have coordinates beyond 1e4 -- for the degree-15+
+  /// rows of the paper's workloads, z_n^d is then far below double
+  /// resolution, i.e. the homogeneous system cannot distinguish the
+  /// point from the hyperplane at infinity.
+  double at_infinity_tolerance = 1e-4;
+  EndgameOptions endgame;              ///< Cauchy endgame knobs (projective)
+};
+
+/// Classified endpoint of one tracked path.
+enum class PathStatus : unsigned char {
+  kConverged,   ///< finite solution: final residual <= end_tolerance
+  kAtInfinity,  ///< projective endpoint with vanishing homogeneous coordinate
+  kStalled,     ///< step control died before t = 1 (underflow / max_steps)
+  kDiverged,    ///< reached t = 1 but the endpoint failed the residual test
 };
 
 template <prec::RealScalar S>
 struct TrackResult {
-  bool success = false;
+  PathStatus status = PathStatus::kStalled;
+  bool success = false;      ///< status == kConverged (legacy consumers)
   std::vector<cplx::Complex<S>> solution;
   unsigned steps = 0;        ///< accepted predictor-corrector steps
   unsigned rejections = 0;   ///< halved steps
+  unsigned winding = 0;      ///< endgame winding number (0 = endgame not run)
   double final_residual = 0.0;
   double t_reached = 0.0;
+
+  /// Solved in the classification sense: a finite root or a certified
+  /// point at infinity (the solved-paths numerator of bench_tracking).
+  [[nodiscard]] bool classified() const noexcept {
+    return status == PathStatus::kConverged || status == PathStatus::kAtInfinity;
+  }
 };
 
-template <prec::RealScalar S, class EvalF, class EvalG>
+namespace detail {
+
+/// The ONE copy of the adaptive step-control arithmetic, shared by the
+/// scalar and lockstep trackers (their bitwise contract): per-path
+/// state plus the clamp / accept / reject transitions.
+struct StepState {
+  double t = 0.0;
+  double step = 0.0;
+  unsigned streak = 0;
+  unsigned steps = 0;
+  unsigned rejections = 0;
+  /// Step threshold below which the endgame (re-)arms; halved after
+  /// every failed endgame attempt so retries circle at smaller radii
+  /// (the first attempt often fires while other paths' branch points
+  /// still sit inside the circle).
+  double endgame_rearm = 0.0;
+};
+
+/// The shared initial state of a path's step controller.
+[[nodiscard]] inline StepState initial_step_state(const TrackOptions& o) {
+  StepState s;
+  s.step = o.initial_step;
+  s.endgame_rearm = o.endgame.trigger_step;
+  return s;
+}
+
+/// Step length clamped to the remaining parameter interval.
+[[nodiscard]] inline double clamped_dt(const StepState& s) {
+  const double rest = 1.0 - s.t;
+  return s.step < rest ? s.step : rest;
+}
+
+/// The parameter the step lands on: t + dt, clamped so the corrector is
+/// never asked to evaluate past t = 1 (the former code added first and
+/// clamped only the stored result, letting the last step's corrector
+/// run at t > 1 when t + (1 - t) rounded up).
+[[nodiscard]] inline double step_target(const StepState& s, double dt) {
+  const double next = s.t + dt;
+  return next > 1.0 ? 1.0 : next;
+}
+
+/// Accept the corrector step onto `t_next` (a step_target value): count
+/// it and grow the step after growth_after consecutive successes.
+inline void accept_step(StepState& s, double t_next, const TrackOptions& o) {
+  s.t = t_next;
+  ++s.steps;
+  if (++s.streak >= o.growth_after) {
+    s.step = std::min(s.step * o.step_growth, o.max_step);
+    s.streak = 0;
+  }
+}
+
+/// Reject the step: count it, reset the growth streak (a rejection must
+/// restart the consecutive-success count), shrink the step.
+inline void reject_step(StepState& s, const TrackOptions& o) {
+  ++s.rejections;
+  s.streak = 0;
+  s.step *= o.step_shrink;
+}
+
+/// The projective stall signature arming the Cauchy endgame: rejected
+/// down to a tiny step while already close to t = 1.
+[[nodiscard]] inline bool endgame_triggered(const StepState& s,
+                                            const TrackOptions& o) {
+  return o.endgame.enabled && s.t >= o.endgame.trigger_t &&
+         s.step < s.endgame_rearm;
+}
+
+/// Book a failed endgame attempt: the next arming needs the step to
+/// fall below half the current one, so the retry circles a smaller
+/// radius (tracking meanwhile creeps t closer to 1).
+inline void endgame_failed(StepState& s) { s.endgame_rearm = s.step * 0.5; }
+
+/// The ONE copy of the projective endpoint residual acceptance at
+/// t = 1: end_tolerance, widened to the tracking corrector's tolerance
+/// (singular endpoints keep an elevated Newton floor) and, for
+/// endpoints the endgame extrapolated (winding > 0), to the endgame's
+/// own sample tolerance.
+[[nodiscard]] inline bool projective_endpoint_converged(double residual,
+                                                        unsigned winding,
+                                                        const TrackOptions& o) {
+  double accept = std::max(o.end_tolerance, o.corrector_tolerance);
+  if (winding > 0) accept = std::max(accept, o.endgame.corrector_tolerance);
+  return residual <= accept;
+}
+
+/// Shared constructor-time validation of the tracking options.
+inline void validate_track_options(const TrackOptions& o) {
+  if (o.endgame.enabled && o.endgame.samples_per_loop == 0)
+    throw std::invalid_argument(
+        "TrackOptions: endgame.samples_per_loop must be >= 1");
+}
+
+/// Resolves PathTracker's homotopy type without eagerly instantiating
+/// Homotopy<S, Homo, void> for the single-argument spelling.
+template <class S, class EvalFOrHomo, class EvalG>
+struct TrackerHomotopy {
+  using type = Homotopy<S, EvalFOrHomo, EvalG>;
+};
+template <class S, class Homo>
+struct TrackerHomotopy<S, Homo, void> {
+  using type = Homo;
+};
+
+}  // namespace detail
+
+/// Scalar path tracker.  Instantiate either as
+/// PathTracker<S, EvalF, EvalG> over a Homotopy<S, EvalF, EvalG> (the
+/// historical spelling) or as PathTracker<S, Homo> over any homotopy
+/// type -- e.g. PathTracker<S, ProjectiveHomotopy<S, EvalF>>.
+template <prec::RealScalar S, class EvalFOrHomo, class EvalG = void>
 class PathTracker {
+ public:
+  using Homo = typename detail::TrackerHomotopy<S, EvalFOrHomo, EvalG>::type;
+
+ private:
   using C = cplx::Complex<S>;
+  static constexpr bool kProjective =
+      requires(Homo& h, std::span<C> z) { h.renormalize(z); };
 
  public:
-  PathTracker(Homotopy<S, EvalF, EvalG>& homotopy, TrackOptions options = {})
-      : h_(homotopy), options_(options) {}
+  PathTracker(Homo& homotopy, TrackOptions options = {})
+      : h_(homotopy), options_(options) {
+    detail::validate_track_options(options_);
+  }
 
-  /// Track one path from a start root of g (where h(x, 0) = 0).
+  /// Track one path from a start root of g (where h(x, 0) = 0); in
+  /// projective mode the root must already be embedded in the patch.
   [[nodiscard]] TrackResult<S> track(std::span<const C> start) {
     const unsigned n = h_.dimension();
     TrackResult<S> result;
     result.solution.assign(start.begin(), start.end());
 
-    double t = 0.0;
-    double step = options_.initial_step;
-    unsigned streak = 0;
+    detail::StepState st = detail::initial_step_state(options_);
     poly::EvalResult<S> eval(n);
 
-    while (t < 1.0 && result.steps + result.rejections < options_.max_steps) {
-      const double dt = std::min(step, 1.0 - t);
+    while (st.t < 1.0 && st.steps + st.rejections < options_.max_steps) {
+      const double dt = detail::clamped_dt(st);
+      const double t_next = detail::step_target(st, dt);
 
       // Predictor: Euler step along the Davidenko flow at (x, t).
-      h_.set_t(S(t));
+      h_.set_t(S(st.t));
       h_.evaluate(std::span<const C>(result.solution), eval);
       auto jac = linalg::Matrix<S>::from_row_major(n, n, eval.jacobian);
       const auto rhs = h_.dt_from_last();
@@ -70,8 +228,8 @@ class PathTracker {
       // A singular Jacobian mid-path leaves the predictor at the current
       // point; the corrector then decides whether the step is viable.
 
-      // Corrector: Newton at t + dt.
-      h_.set_t(S(t + dt));
+      // Corrector: Newton at the (clamped) advanced t.
+      h_.set_t(S(t_next));
       newton::NewtonOptions copts;
       copts.max_iterations = options_.corrector_iterations;
       copts.residual_tolerance = options_.corrector_tolerance;
@@ -79,52 +237,147 @@ class PathTracker {
 
       if (corrected.converged) {
         result.solution = std::move(corrected.solution);
-        t += dt;
-        ++result.steps;
-        if (++streak >= options_.growth_after) {
-          step = std::min(step * options_.step_growth, options_.max_step);
-          streak = 0;
+        detail::accept_step(st, t_next, options_);
+        if constexpr (kProjective) {
+          h_.renormalize(std::span<C>(result.solution));
+          if (h_.infinity_ratio(std::span<const C>(result.solution)) <
+              options_.at_infinity_tolerance) {
+            // The homogeneous coordinate collapsed mid-track: a
+            // certified point at infinity, reported with the accepting
+            // corrector's residual.
+            result.status = PathStatus::kAtInfinity;
+            result.final_residual = corrected.final_residual;
+            finish(result, st);
+            return result;
+          }
         }
       } else {
-        ++result.rejections;
-        streak = 0;
-        step *= options_.step_shrink;
-        if (step < options_.min_step) break;
+        detail::reject_step(st, options_);
+        if constexpr (kProjective) {
+          if (detail::endgame_triggered(st, options_)) {
+            if (run_endgame(result, st)) return result;
+            // Failed attempt (lost sample or no closure): the path was
+            // restored to the theta = 0 point; keep tracking and
+            // re-arm at a smaller radius.
+            detail::endgame_failed(st);
+          }
+        }
+        if (st.step < options_.min_step) break;
       }
     }
-    result.t_reached = t;
 
-    if (t >= 1.0) {
-      // Endgame: polish the root of f itself (t = 1).
-      h_.set_t(S(1.0));
-      newton::NewtonOptions eopts;
-      eopts.max_iterations = options_.end_iterations;
-      eopts.residual_tolerance = options_.end_tolerance;
-      auto polished =
-          newton::refine<S>(h_, std::span<const C>(result.solution), eopts);
-      if (polished.converged) {
-        result.solution = std::move(polished.solution);
-        result.final_residual = polished.final_residual;
-      } else {
-        // A diverged polish must not replace the tracked point with a
-        // worse iterate: keep the pre-polish point and report ITS
-        // residual at t = 1 (the polish's entry probe).
-        result.final_residual = polished.residual_history.front();
-      }
-      result.success = polished.converged;
-    } else {
-      // Paths dying mid-track (step underflow, max_steps) still report
-      // the residual of where they stopped.
-      h_.set_t(S(t));
-      h_.evaluate(std::span<const C>(result.solution), eval);
-      result.final_residual = linalg::max_norm_d<S>(eval.values);
+    if (st.t >= 1.0) {
+      classify_at_end(result, st);
+      return result;
     }
+
+    // Paths dying mid-track (step underflow, max_steps) still report
+    // the residual of where they stopped; in projective mode a stop
+    // point already sitting on the hyperplane at infinity is a
+    // classified endpoint, not a stall.
+    h_.set_t(S(st.t));
+    h_.evaluate(std::span<const C>(result.solution), eval);
+    result.status = PathStatus::kStalled;
+    if constexpr (kProjective) {
+      if (h_.infinity_ratio(std::span<const C>(result.solution)) <
+          options_.at_infinity_tolerance)
+        result.status = PathStatus::kAtInfinity;
+    }
+    result.final_residual = linalg::max_norm_d<S>(eval.values);
+    finish(result, st);
     return result;
   }
 
  private:
-  Homotopy<S, EvalF, EvalG>& h_;
+  /// Copy the step-control tallies into the result.
+  void finish(TrackResult<S>& result, const detail::StepState& st) {
+    result.steps = st.steps;
+    result.rejections = st.rejections;
+    result.t_reached = st.t;
+    result.success = result.status == PathStatus::kConverged;
+  }
+
+  /// Endgame phase at t = 1: polish the endpoint, then classify from
+  /// the kept point -- at-infinity first (projective), then the final
+  /// residual check against end_tolerance (NOT the polish's converged
+  /// flag alone, so an endpoint that already satisfies the tolerance
+  /// without polish counts as converged).
+  void classify_at_end(TrackResult<S>& result, detail::StepState& st) {
+    h_.set_t(S(1.0));
+    newton::NewtonOptions eopts;
+    eopts.max_iterations = options_.end_iterations;
+    eopts.residual_tolerance = options_.end_tolerance;
+    auto polished =
+        newton::refine<S>(h_, std::span<const C>(result.solution), eopts);
+    if (polished.converged) {
+      result.solution = std::move(polished.solution);
+      result.final_residual = polished.final_residual;
+    } else {
+      // A diverged polish must not replace the tracked point with a
+      // worse iterate: keep the pre-polish point and report ITS
+      // residual at t = 1 (the polish's entry probe).
+      result.final_residual = polished.residual_history.front();
+    }
+    if constexpr (kProjective) {
+      if (h_.infinity_ratio(std::span<const C>(result.solution)) <
+          options_.at_infinity_tolerance) {
+        result.status = PathStatus::kAtInfinity;
+        finish(result, st);
+        return;
+      }
+      result.status = detail::projective_endpoint_converged(
+                          result.final_residual, result.winding, options_)
+                          ? PathStatus::kConverged
+                          : PathStatus::kDiverged;
+      finish(result, st);
+      return;
+    }
+    result.status = result.final_residual <= options_.end_tolerance
+                        ? PathStatus::kConverged
+                        : PathStatus::kDiverged;
+    finish(result, st);
+  }
+
+  /// One Cauchy endgame attempt (projective only): circle t around 1
+  /// at radius 1 - t, one corrector solve per sample, until the loop
+  /// closes; the sample mean is the endpoint, handed to the t = 1
+  /// classification (returns true -- the path is classified).  A lost
+  /// sample or a loop that never closes fails the attempt: the path is
+  /// restored to the theta = 0 point and returns false so tracking can
+  /// creep closer to t = 1 and retry at a smaller radius.
+  bool run_endgame(TrackResult<S>& result, detail::StepState& st)
+    requires kProjective
+  {
+    endgame_.reserve(h_.dimension());
+    endgame_.begin(1.0 - st.t, std::span<const C>(result.solution));
+    newton::NewtonOptions copts;
+    copts.max_iterations = options_.endgame.corrector_iterations;
+    copts.residual_tolerance = options_.endgame.corrector_tolerance;
+    for (;;) {
+      h_.set_t_complex(endgame_.next_t(options_.endgame));
+      auto corrected =
+          newton::refine<S>(h_, std::span<const C>(result.solution), copts);
+      if (!corrected.converged) break;  // lost the circle at this radius
+      result.solution = std::move(corrected.solution);
+      const auto step =
+          endgame_.absorb(std::span<const C>(result.solution), options_.endgame);
+      if (step == CauchyEndgame<S>::Step::kClosed) {
+        endgame_.endpoint(std::span<C>(result.solution));
+        result.winding = endgame_.winding();
+        st.t = 1.0;
+        classify_at_end(result, st);
+        return true;
+      }
+      if (step == CauchyEndgame<S>::Step::kExhausted) break;  // no closure
+    }
+    const auto z0 = endgame_.start_point();
+    std::copy(z0.begin(), z0.end(), result.solution.begin());
+    return false;
+  }
+
+  Homo& h_;
   TrackOptions options_;
+  CauchyEndgame<S> endgame_;
 };
 
 }  // namespace polyeval::homotopy

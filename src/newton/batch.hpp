@@ -37,9 +37,12 @@
 namespace polyeval::newton {
 
 /// Anything that can evaluate a batch of points, each at its own
-/// parameter value (the homotopy's t), with and without the Jacobian --
-/// homotopy::BatchedHomotopy is the model.  Both entry points evaluate
-/// points[first + i] at ts[first + i] for i in [0, count) with
+/// parameter value (the homotopy's t, complex so the Cauchy endgame can
+/// circle it around 1; ordinary tracking passes real values), with and
+/// without the Jacobian -- homotopy::BatchedHomotopy and
+/// homotopy::BatchedProjectiveHomotopy are the models.  Both entry
+/// points evaluate points[first + i] at ts[first + i] for i in
+/// [0, count) with
 /// CHUNK-LOCAL outputs: `values` receives count*n entries point-major,
 /// `jacobians` count*n*n row-major.  Jacobian calls are bounded by
 /// max_batch() (the device batch capacity); values-only calls take any
@@ -47,7 +50,8 @@ namespace polyeval::newton {
 template <class E, class S>
 concept BatchEvaluator =
     requires(E e, const std::vector<std::vector<cplx::Complex<S>>>& points,
-             std::span<const S> ts, std::size_t first, std::size_t count,
+             std::span<const cplx::Complex<S>> ts, std::size_t first,
+             std::size_t count,
              std::span<cplx::Complex<S>> values,
              std::span<cplx::Complex<S>> jacobians) {
       e.evaluate_range(points, ts, first, count, values, jacobians);
@@ -78,7 +82,7 @@ struct RefineBatchScratch {
   using C = cplx::Complex<S>;
 
   std::vector<std::vector<C>> points;  ///< compacted active iterates
-  std::vector<S> ts;                   ///< compacted parameters
+  std::vector<C> ts;                   ///< compacted (complex) parameters
   std::vector<std::size_t> active;     ///< surviving slot ids
   std::vector<C> probe_values;         ///< residual-probe values, count*n
   std::vector<C> values;               ///< Jacobian-chunk values (Newton RHS)
@@ -114,11 +118,14 @@ struct RefineBatchScratch {
 template <prec::RealScalar S, class BatchEval>
   requires BatchEvaluator<BatchEval, S>
 void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
-                  std::span<const S> ts, std::size_t count,
+                  std::span<const cplx::Complex<S>> ts, std::size_t count,
                   const NewtonOptions& options, linalg::LuArena<S>& arena,
                   RefineBatchScratch<S>& scratch, std::span<BatchPathStatus> status) {
   using C = cplx::Complex<S>;
   const unsigned n = e.dimension();
+  // An all-false active mask must not pay a launch/upload round: with
+  // nothing to refine, return before any staging or device work.
+  if (count == 0) return;
   if (options.update_tolerance > 0.0)
     throw std::invalid_argument("refine_batch: update_tolerance unsupported");
   if (x.size() < count || ts.size() < count || status.size() < count)
@@ -150,7 +157,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
     // Residual probe: values only, over the whole active set.
     const std::size_t a = scratch.active.size();
     compact(scratch.active);
-    e.evaluate_values_range(scratch.points, std::span<const S>(scratch.ts), 0, a,
+    e.evaluate_values_range(scratch.points, std::span<const C>(scratch.ts), 0, a,
                             std::span<C>(scratch.probe_values));
 
     // Convergence masks: retire satisfied paths in place.
@@ -180,7 +187,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
     keep = 0;
     for (std::size_t c0 = 0; c0 < s; c0 += chunk) {
       const std::size_t cc = std::min(chunk, s - c0);
-      e.evaluate_range(scratch.points, std::span<const S>(scratch.ts), c0, cc,
+      e.evaluate_range(scratch.points, std::span<const C>(scratch.ts), c0, cc,
                        std::span<C>(scratch.values),
                        std::span<C>(scratch.jacobians));
       linalg::lu_solve_batch(arena, cc, std::span<const C>(scratch.jacobians),

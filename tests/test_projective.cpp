@@ -1,0 +1,503 @@
+// Projective tracking and the Cauchy endgame: homogenization and patch
+// algebra against naive oracles, at-infinity classification (where the
+// affine tracker stalls), winding-number measurement on singular
+// endpoints, bitwise lockstep-vs-scalar parity for projective mode
+// across shard counts, the shared step-control arithmetic, and the
+// empty-mask launch contract of newton::refine_batch.
+
+#include <gtest/gtest.h>
+
+#include "core/fused_evaluator.hpp"
+#include "homotopy/sharded_solver.hpp"
+#include "poly/random_system.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+using CpuProjective = homotopy::ProjectiveHomotopy<double, ad::CpuEvaluator<double>>;
+
+poly::PolynomialSystem uniform_target(unsigned dim = 3, std::uint64_t seed = 99) {
+  poly::SystemSpec spec;
+  spec.dimension = dim;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+/// (x0 - 1)^k as a builder system (non-uniform: exercised on the CPU).
+poly::PolynomialSystem binomial_power(unsigned k) {
+  poly::PolynomialBuilder b(1);
+  double coeff = 1.0, sign = 1.0;
+  for (unsigned j = 0; j <= k; ++j) {
+    // binomial coefficients of (x - 1)^k, highest power first
+    b.add_term({sign * coeff, 0.0}, {k - j});
+    coeff = coeff * static_cast<double>(k - j) / static_cast<double>(j + 1);
+    sign = -sign;
+  }
+  return poly::PolynomialSystem({b.build()});
+}
+
+std::vector<Cd> widen(const std::vector<cplx::Complex<double>>& v) { return v; }
+
+// -- homogenization algebra ---------------------------------------------
+
+TEST(Homogenize, PolynomialBecomesHomogeneousAndRestricts) {
+  const auto sys = uniform_target();
+  const auto degrees = sys.degrees();
+  for (unsigned i = 0; i < sys.dimension(); ++i) {
+    const auto hom = homotopy::homogenize_polynomial(sys.polynomial(i), degrees[i]);
+    EXPECT_EQ(hom.num_vars(), sys.dimension() + 1);
+    for (const auto& mono : hom.monomials())
+      EXPECT_EQ(mono.total_degree(), degrees[i]) << "polynomial " << i;
+
+    // Restriction to the affine chart z_n = 1 recovers the original.
+    const auto x = poly::make_random_point<double>(sys.dimension(), 7);
+    std::vector<Cd> z(x.begin(), x.end());
+    z.push_back(Cd(1.0));
+    const auto want = sys.polynomial(i).evaluate(std::span<const Cd>(x));
+    const auto got = hom.evaluate(std::span<const Cd>(z));
+    EXPECT_LT(cplx::max_abs_diff(want, got), 1e-12);
+  }
+}
+
+TEST(Homogenize, EulerIdentityHolds) {
+  // z . grad F = d * F for every homogenized row, at a random point.
+  const auto sys = uniform_target();
+  const auto degrees = sys.degrees();
+  const auto z = poly::make_random_point<double>(sys.dimension() + 1, 11);
+  for (unsigned i = 0; i < sys.dimension(); ++i) {
+    const auto hom = homotopy::homogenize_polynomial(sys.polynomial(i), degrees[i]);
+    Cd dot{};
+    for (unsigned j = 0; j <= sys.dimension(); ++j)
+      dot += z[j] * hom.evaluate_derivative(std::span<const Cd>(z), j);
+    const auto scaled =
+        hom.evaluate(std::span<const Cd>(z)) * static_cast<double>(degrees[i]);
+    EXPECT_LT(cplx::max_abs_diff(dot, scaled), 1e-10) << "row " << i;
+  }
+}
+
+TEST(Homogenize, RandomPatchDeterministicUnitModulus) {
+  const auto a = homotopy::random_patch(5, 13);
+  const auto b = homotopy::random_patch(5, 13);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_NEAR(cplx::norm_sqr(a[i]), 1.0, 1e-12);
+  }
+  EXPECT_NE(homotopy::random_patch(5, 14)[0], a[0]);
+}
+
+TEST(Homogenize, PatchPolynomialIsAffineHyperplane) {
+  const auto c = homotopy::random_patch(4, 3);
+  const auto patch = homotopy::patch_polynomial(std::span<const Cd>(c));
+  const auto z = poly::make_random_point<double>(4, 17);
+  Cd want{-1.0, 0.0};
+  for (unsigned j = 0; j < 4; ++j) want += c[j] * z[j];
+  EXPECT_LT(cplx::max_abs_diff(patch.evaluate(std::span<const Cd>(z)), want), 1e-13);
+}
+
+TEST(Homogenize, EmbedLandsOnPatchAndRoundtrips) {
+  const auto c = homotopy::random_patch(4, 5);
+  std::vector<Cd> patch(c.begin(), c.end());
+  const auto x = poly::make_random_point<double>(3, 23);
+  const auto z = homotopy::embed_in_patch<double>(std::span<const Cd>(x),
+                                                  std::span<const Cd>(patch));
+  ASSERT_EQ(z.size(), 4u);
+  Cd dot{};
+  for (unsigned j = 0; j < 4; ++j) dot += patch[j] * z[j];
+  EXPECT_LT(cplx::max_abs_diff(dot, Cd(1.0)), 1e-12);
+  const auto back = homotopy::dehomogenize<double>(std::span<const Cd>(z));
+  for (unsigned i = 0; i < 3; ++i)
+    EXPECT_LT(cplx::max_abs_diff(back[i], x[i]), 1e-12) << "coordinate " << i;
+}
+
+// -- the projective homotopy against the naive homogenized oracle --------
+
+TEST(ProjectiveHomotopy, MatchesNaiveHomogenizedBlend) {
+  // H rows must equal the gamma blend of the naive homogenized start
+  // and target systems, row-scaled by 1 / ||z||_inf^{d_i} (the lift's
+  // scale-invariance convention, m frozen per evaluation).
+  const auto sys = uniform_target();
+  const unsigned n = sys.dimension();
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(3);
+  const auto patch = homotopy::random_patch(n + 1, 5);
+  const auto degrees = sys.degrees();
+
+  ad::CpuEvaluator<double> f(sys);
+  CpuProjective h(f, sys, start.system(), gamma, std::span<const Cd>(patch));
+  ASSERT_EQ(h.dimension(), n + 1);
+
+  const auto fhat_sys = homotopy::homogenize(sys, std::span<const Cd>(patch));
+  const auto ghat_sys =
+      homotopy::homogenize(start.system(), std::span<const Cd>(patch));
+
+  const auto z = poly::make_random_point<double>(n + 1, 31);
+  const double t = 0.41;
+  h.set_t(t);
+  poly::EvalResult<double> got(n + 1);
+  h.evaluate(std::span<const Cd>(z), got);
+
+  std::vector<Cd> fv(n + 1), gv(n + 1), fj((n + 1) * (n + 1)), gj((n + 1) * (n + 1));
+  fhat_sys.evaluate_naive<double>(std::span<const Cd>(z), fv, fj);
+  ghat_sys.evaluate_naive<double>(std::span<const Cd>(z), gv, gj);
+
+  double m = 0.0;
+  for (unsigned j = 0; j <= n; ++j) m = std::max(m, cplx::norm1(z[j]));
+  const Cd gamma_c(gamma.re(), gamma.im());
+  const Cd a = gamma_c * Cd(1.0 - t);
+  for (unsigned i = 0; i < n; ++i) {
+    const double scale = 1.0 / std::pow(m, static_cast<double>(degrees[i]));
+    const Cd want = (a * gv[i] + Cd(t) * fv[i]) * scale;
+    EXPECT_LT(cplx::max_abs_diff(got.values[i], want), 1e-10) << "row " << i;
+    for (unsigned j = 0; j <= n; ++j) {
+      const Cd wj = (a * gj[i * (n + 1) + j] + Cd(t) * fj[i * (n + 1) + j]) * scale;
+      EXPECT_LT(cplx::max_abs_diff(got.jac(i, j), wj), 1e-9)
+          << "row " << i << ", column " << j;
+    }
+  }
+  // Patch row: c . z - 1, Jacobian = c, independent of t.
+  Cd want_patch{-1.0, 0.0};
+  for (unsigned j = 0; j <= n; ++j) want_patch += patch[j] * z[j];
+  EXPECT_LT(cplx::max_abs_diff(got.values[n], want_patch), 1e-12);
+  for (unsigned j = 0; j <= n; ++j)
+    EXPECT_LT(cplx::max_abs_diff(got.jac(n, j), Cd(patch[j].re(), patch[j].im())),
+              1e-13);
+}
+
+// -- classification -----------------------------------------------------
+
+TEST(Projective, ParallelLinesClassifyAtInfinityWhereAffineStalls) {
+  // Two parallel lines have no finite intersection: the single
+  // total-degree path runs to infinity.  Projective tracking classifies
+  // it (the homogenized lines meet at z_2 = 0); the affine escape hatch
+  // stalls as before.
+  poly::PolynomialBuilder l1(2), l2(2);
+  l1.add_term({1.0, 0.0}, {1, 0}).add_term({1.0, 0.0}, {0, 1}).add_constant({-1.0, 0.0});
+  l2.add_term({1.0, 0.0}, {1, 0}).add_term({1.0, 0.0}, {0, 1}).add_constant({-2.0, 0.0});
+  const poly::PolynomialSystem lines({l1.build(), l2.build()});
+  const homotopy::TotalDegreeStart start(lines);
+  ASSERT_EQ(start.num_paths(), 1u);
+  const auto gamma = homotopy::random_gamma(20120102);
+  const auto root = widen(start.start_root(0));
+
+  homotopy::TrackOptions topt;
+  topt.max_steps = 3000;
+
+  // Projective: classified at infinity.
+  const auto patch = homotopy::random_patch(3, 20120717);
+  std::vector<Cd> patch_s(patch.begin(), patch.end());
+  ad::CpuEvaluator<double> f(lines);
+  CpuProjective h(f, lines, start.system(), gamma, std::span<const Cd>(patch));
+  homotopy::PathTracker<double, CpuProjective> tracker(h, topt);
+  const auto z0 = homotopy::embed_in_patch<double>(std::span<const Cd>(root),
+                                                   std::span<const Cd>(patch_s));
+  const auto r = tracker.track(std::span<const Cd>(z0));
+  EXPECT_EQ(r.status, homotopy::PathStatus::kAtInfinity);
+  EXPECT_TRUE(r.classified());
+  EXPECT_FALSE(r.success);
+  // The endpoint's homogeneous coordinate has collapsed.
+  EXPECT_LT(h.infinity_ratio(std::span<const Cd>(r.solution)), 1e-4);
+
+  // Affine: the same path stalls (or diverges), never classified.
+  ad::CpuEvaluator<double> fa(lines), ga(start.system());
+  homotopy::Homotopy<double, ad::CpuEvaluator<double>, ad::CpuEvaluator<double>> ha(
+      fa, ga, gamma);
+  homotopy::PathTracker<double, ad::CpuEvaluator<double>, ad::CpuEvaluator<double>>
+      affine(ha, topt);
+  const auto ra = affine.track(std::span<const Cd>(root));
+  EXPECT_FALSE(ra.classified());
+  EXPECT_TRUE(ra.status == homotopy::PathStatus::kStalled ||
+              ra.status == homotopy::PathStatus::kDiverged);
+}
+
+TEST(Projective, TripleRootWindingNumberMeasured) {
+  // (x - 1)^3 against the start system x^3 - 1: near t = 1 one branch
+  // approaches the triple root with winding 1 and the other two as a
+  // winding-2 cycle -- the Cauchy endgame must measure w = 2 on those
+  // and still land every endpoint on x = 1.
+  const auto sys = binomial_power(3);
+  const homotopy::TotalDegreeStart start(sys);
+  ASSERT_EQ(start.num_paths(), 3u);
+  const auto gamma = homotopy::random_gamma(20120102);
+  const auto patch = homotopy::random_patch(2, 20120717);
+  std::vector<Cd> patch_s(patch.begin(), patch.end());
+
+  ad::CpuEvaluator<double> f(sys);
+  CpuProjective h(f, sys, start.system(), gamma, std::span<const Cd>(patch));
+  homotopy::TrackOptions topt;
+  topt.max_steps = 3000;
+  homotopy::PathTracker<double, CpuProjective> tracker(h, topt);
+
+  unsigned wound = 0;
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    const auto root = widen(start.start_root(p));
+    const auto z0 = homotopy::embed_in_patch<double>(std::span<const Cd>(root),
+                                                     std::span<const Cd>(patch_s));
+    const auto r = tracker.track(std::span<const Cd>(z0));
+    EXPECT_EQ(r.status, homotopy::PathStatus::kConverged) << "path " << p;
+    const auto x = homotopy::dehomogenize<double>(std::span<const Cd>(r.solution));
+    EXPECT_LT(cplx::max_abs_diff(x[0], Cd(1.0)), 1e-4) << "path " << p;
+    if (r.winding > 0) {
+      EXPECT_EQ(r.winding, 2u) << "path " << p;
+      ++wound;
+    }
+  }
+  EXPECT_GE(wound, 1u);  // the endgame really ran and measured the cycle
+}
+
+TEST(Projective, StatusEnumAndSuccessAgree) {
+  const auto sys = uniform_target();
+  homotopy::ShardedSolveOptions opt;
+  opt.shards = 1;
+  opt.max_paths = 6;
+  opt.track.max_steps = 4000;
+  const auto summary = homotopy::solve_total_degree_sharded<double>(sys, opt);
+  EXPECT_EQ(summary.attempted, 6u);
+  EXPECT_EQ(summary.classified(), 6u);  // this workload fully classifies
+  for (const auto& p : summary.paths) {
+    EXPECT_EQ(p.success, p.status == homotopy::PathStatus::kConverged);
+    if (p.status == homotopy::PathStatus::kAtInfinity) EXPECT_FALSE(p.success);
+  }
+}
+
+// -- lockstep-vs-scalar parity in projective mode ------------------------
+
+template <prec::RealScalar S>
+void expect_paths_bitwise(const homotopy::SolveSummary<S>& want,
+                          const homotopy::SolveSummary<S>& got, const char* label) {
+  ASSERT_EQ(want.paths.size(), got.paths.size()) << label;
+  EXPECT_EQ(want.successes, got.successes) << label;
+  EXPECT_EQ(want.at_infinity, got.at_infinity) << label;
+  for (std::size_t p = 0; p < want.paths.size(); ++p) {
+    const auto& a = want.paths[p];
+    const auto& b = got.paths[p];
+    EXPECT_EQ(a.status, b.status) << label << ", path " << p;
+    EXPECT_EQ(a.winding, b.winding) << label << ", path " << p;
+    EXPECT_EQ(a.steps, b.steps) << label << ", path " << p;
+    EXPECT_EQ(a.rejections, b.rejections) << label << ", path " << p;
+    EXPECT_EQ(a.final_residual, b.final_residual) << label << ", path " << p;
+    EXPECT_EQ(a.t_reached, b.t_reached) << label << ", path " << p;
+    ASSERT_EQ(a.solution.size(), b.solution.size()) << label << ", path " << p;
+    for (std::size_t i = 0; i < a.solution.size(); ++i)
+      EXPECT_EQ(cplx::max_abs_diff(a.solution[i], b.solution[i]), 0.0)
+          << label << ", path " << p << ", coordinate " << i;
+  }
+}
+
+template <prec::RealScalar S>
+void run_projective_parity(std::initializer_list<unsigned> shard_counts) {
+  const auto sys = uniform_target();
+  homotopy::ShardedSolveOptions opt;
+  opt.shards = 1;
+  opt.workers_per_shard = 1;
+  opt.chunk_paths = 1;
+  opt.max_paths = 6;
+  opt.track.max_steps = 4000;
+  opt.mode = homotopy::ShardTrackMode::kPerPath;  // scalar projective tracker
+  const auto want = homotopy::solve_total_degree_sharded<S>(sys, opt);
+  ASSERT_EQ(want.attempted, 6u);
+  EXPECT_GE(want.classified(), 5u);
+
+  opt.mode = homotopy::ShardTrackMode::kLockstep;
+  for (const unsigned shards : shard_counts) {
+    opt.shards = shards;
+    const auto got = homotopy::solve_total_degree_sharded<S>(sys, opt);
+    expect_paths_bitwise(want, got,
+                         (std::string("projective lockstep, ") +
+                          std::to_string(shards) + " shard(s)")
+                             .c_str());
+  }
+}
+
+TEST(ProjectiveParity, LockstepMatchesScalarAcrossShardCounts) {
+  run_projective_parity<double>({1u, 2u, 4u});
+}
+
+TEST(ProjectiveParity, LockstepMatchesScalarDoubleDouble) {
+  run_projective_parity<prec::DoubleDouble>({1u, 2u});
+}
+
+TEST(ProjectiveParity, PipelinedBackendBitwiseIdentical) {
+  const auto sys = uniform_target();
+  homotopy::ShardedSolveOptions opt;
+  opt.shards = 2;
+  opt.max_paths = 6;
+  opt.track.max_steps = 4000;
+  const auto fused = homotopy::solve_total_degree_sharded<double>(sys, opt);
+  opt.backend = homotopy::ShardEvalBackend::kPipelined;
+  const auto piped = homotopy::solve_total_degree_sharded<double>(sys, opt);
+  expect_paths_bitwise(fused, piped, "projective pipelined backend");
+}
+
+// -- the shared step-control arithmetic ----------------------------------
+
+TEST(StepControl, StreakResetsOnRejection) {
+  homotopy::TrackOptions o;
+  o.initial_step = 0.1;
+  o.growth_after = 2;
+  o.step_growth = 2.0;
+  o.max_step = 10.0;
+  o.step_shrink = 0.5;
+  auto st = homotopy::detail::initial_step_state(o);
+  EXPECT_EQ(st.step, 0.1);
+
+  homotopy::detail::accept_step(st, 0.1, o);
+  EXPECT_EQ(st.streak, 1u);
+  EXPECT_EQ(st.step, 0.1);  // growth needs growth_after consecutive accepts
+  homotopy::detail::reject_step(st, o);
+  EXPECT_EQ(st.streak, 0u) << "a rejection must reset the growth streak";
+  EXPECT_EQ(st.step, 0.05);
+  EXPECT_EQ(st.rejections, 1u);
+  // One accept after the rejection must NOT grow the step...
+  homotopy::detail::accept_step(st, 0.2, o);
+  EXPECT_EQ(st.step, 0.05);
+  // ...but the second consecutive one does.
+  homotopy::detail::accept_step(st, 0.3, o);
+  EXPECT_EQ(st.step, 0.1);
+  EXPECT_EQ(st.streak, 0u);
+  EXPECT_EQ(st.steps, 3u);
+}
+
+TEST(StepControl, StepNeverOvershootsTEnd) {
+  homotopy::detail::StepState st;
+  // Adversarial sweep: for any (t, step) the clamped target never
+  // exceeds 1, and a full-width step lands exactly on 1.
+  for (const double t : {0.0, 0.1, 0.3, 0.49999999, 0.5, 0.7, 0.875,
+                         0.9999999999999999, 1.0 - 1e-12}) {
+    for (const double step : {1e-8, 1e-3, 0.05, 0.2, 0.5, 1.0}) {
+      st.t = t;
+      st.step = step;
+      const double dt = homotopy::detail::clamped_dt(st);
+      EXPECT_LE(dt, step);
+      const double target = homotopy::detail::step_target(st, dt);
+      EXPECT_LE(target, 1.0) << "t " << t << ", step " << step;
+      if (step >= 1.0 - t)
+        EXPECT_EQ(target, 1.0) << "t " << t << ", step " << step;
+    }
+  }
+}
+
+TEST(StepControl, EndgameRearmHalvesTrigger) {
+  homotopy::TrackOptions o;
+  o.endgame.trigger_t = 0.9;
+  o.endgame.trigger_step = 1e-3;
+  auto st = homotopy::detail::initial_step_state(o);
+  st.t = 0.95;
+  st.step = 5e-4;
+  EXPECT_TRUE(homotopy::detail::endgame_triggered(st, o));
+  homotopy::detail::endgame_failed(st);
+  EXPECT_FALSE(homotopy::detail::endgame_triggered(st, o))
+      << "a failed attempt must not immediately re-arm at the same radius";
+  st.step = 2.4e-4;  // below half the failing step
+  EXPECT_TRUE(homotopy::detail::endgame_triggered(st, o));
+  st.t = 0.5;  // too far from t = 1
+  EXPECT_FALSE(homotopy::detail::endgame_triggered(st, o));
+}
+
+TEST(StepControl, ZeroSamplesPerLoopRejectedAtConstruction) {
+  // samples_per_loop = 0 would divide by zero in the endgame's sample
+  // parameter; both trackers must reject it up front.
+  const auto sys = uniform_target();
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(1);
+  const auto patch = homotopy::random_patch(4, 2);
+  ad::CpuEvaluator<double> f(sys);
+  CpuProjective h(f, sys, start.system(), gamma, std::span<const Cd>(patch));
+  homotopy::TrackOptions bad;
+  bad.endgame.samples_per_loop = 0;
+  EXPECT_THROW((homotopy::PathTracker<double, CpuProjective>(h, bad)),
+               std::invalid_argument);
+  bad.endgame.enabled = false;  // disabled endgame never samples: allowed
+  EXPECT_NO_THROW((homotopy::PathTracker<double, CpuProjective>(h, bad)));
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> fd(device, sys, 2);
+  homotopy::BatchedProjectiveHomotopy<double, core::FusedGpuEvaluator<double>> hb(
+      fd, sys, start.system(), gamma, std::span<const Cd>(patch));
+  bad.endgame.enabled = true;
+  EXPECT_THROW(
+      (homotopy::BatchPathTracker<
+          double,
+          homotopy::BatchedProjectiveHomotopy<double, core::FusedGpuEvaluator<double>>>(
+          device, hb, bad, 2)),
+      std::invalid_argument);
+}
+
+// -- refine_batch's empty-mask launch contract ---------------------------
+
+TEST(RefineBatch, AllConvergedMaskSkipsJacobianLaunches) {
+  // A batch whose every path already satisfies the tolerance at entry
+  // must cost exactly ONE values probe launch and ZERO full (Jacobian)
+  // launches -- the all-false active mask after the probe skips the
+  // Jacobian stage entirely.
+  const auto sys = uniform_target();
+  const unsigned n = sys.dimension();
+  const homotopy::TotalDegreeStart start(sys);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 4);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::BatchedHomotopy<double, core::FusedGpuEvaluator<double>> h(
+      f, g, homotopy::random_gamma(1));
+
+  // At t = 0 the start roots are exact zeros of h = gamma g.
+  std::vector<std::vector<Cd>> x;
+  std::vector<Cd> ts(4, Cd(0.0));
+  for (std::uint64_t p = 0; p < 4; ++p) x.push_back(widen(start.start_root(p)));
+
+  linalg::LuArena<double> arena;
+  arena.resize(n, 4);
+  newton::RefineBatchScratch<double> scratch;
+  scratch.reserve(n, 4, 4);
+  std::vector<newton::BatchPathStatus> status(4);
+
+  newton::NewtonOptions opts;
+  opts.max_iterations = 8;
+  opts.residual_tolerance = 1e-9;
+
+  device.clear_log();
+  newton::refine_batch<double>(h, x, std::span<const Cd>(ts), 4, opts, arena,
+                               scratch, std::span<newton::BatchPathStatus>(status));
+  unsigned values_launches = 0, full_launches = 0;
+  for (const auto& k : device.log().kernels) {
+    if (k.kernel == "fused_values") ++values_launches;
+    if (k.kernel == "fused_eval") ++full_launches;
+  }
+  EXPECT_EQ(values_launches, 1u);
+  EXPECT_EQ(full_launches, 0u);
+  for (const auto& s : status) {
+    EXPECT_TRUE(s.converged);
+    EXPECT_EQ(s.iterations, 0u);
+  }
+}
+
+TEST(RefineBatch, EmptyBatchTouchesNothing) {
+  const auto sys = uniform_target();
+  const unsigned n = sys.dimension();
+  const homotopy::TotalDegreeStart start(sys);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 4);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::BatchedHomotopy<double, core::FusedGpuEvaluator<double>> h(
+      f, g, homotopy::random_gamma(1));
+
+  std::vector<std::vector<Cd>> x;
+  std::vector<Cd> ts;
+  linalg::LuArena<double> arena;
+  arena.resize(n, 1);
+  newton::RefineBatchScratch<double> scratch;
+  scratch.reserve(n, 1, 1);
+  std::vector<newton::BatchPathStatus> status;
+
+  device.clear_log();
+  newton::refine_batch<double>(h, x, std::span<const Cd>(ts), 0, {}, arena, scratch,
+                               std::span<newton::BatchPathStatus>(status));
+  EXPECT_EQ(device.log().kernels.size(), 0u);
+  EXPECT_EQ(device.log().transfers.transfers_to_device, 0u);
+  EXPECT_EQ(device.log().transfers.transfers_from_device, 0u);
+}
+
+}  // namespace

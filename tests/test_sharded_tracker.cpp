@@ -58,15 +58,47 @@ TEST(ShardedTracker, BitwiseReproducibleAcrossShardCounts) {
 }
 
 TEST(ShardedTracker, EndpointsSolveTheTarget) {
+  // Projective geometry (the default): converged endpoints are patched
+  // projective points whose affine chart solves the target.
   const auto sys = uniform_target();
   const auto summary = homotopy::solve_total_degree_sharded<double>(sys, base_options(2));
   EXPECT_GE(summary.successes, 1u);
   for (const auto& p : summary.paths) {
     if (!p.success) continue;
+    ASSERT_EQ(p.solution.size(), 4u);  // n + 1 patch coordinates
+    const auto x = homotopy::dehomogenize<double>(std::span<const Cd>(p.solution));
     std::vector<Cd> values(3), jac(9);
-    sys.evaluate_naive<double>(p.solution, values, jac);
+    sys.evaluate_naive<double>(std::span<const Cd>(x), values, jac);
     for (const auto& v : values)
-      EXPECT_LT(std::abs(v.re()) + std::abs(v.im()), 1e-8);
+      EXPECT_LT(std::abs(v.re()) + std::abs(v.im()), 1e-7);
+  }
+}
+
+TEST(ShardedTracker, EveryPathClassifiedInProjectiveMode) {
+  // The tentpole contract: no path of this workload stalls -- every
+  // endpoint is classified converged or at infinity.
+  const auto sys = uniform_target();
+  const auto summary = homotopy::solve_total_degree_sharded<double>(sys, base_options(2));
+  EXPECT_EQ(summary.classified(), summary.attempted);
+  for (const auto& p : summary.paths)
+    EXPECT_TRUE(p.classified()) << "status " << static_cast<int>(p.status);
+}
+
+TEST(ShardedTracker, AffineEscapeHatchStillStalls) {
+  // The affine geometry stays behind the enum with its historical
+  // behavior: solutions are affine points and divergent paths stall.
+  const auto sys = uniform_target();
+  auto opt = base_options(2);
+  opt.geometry = homotopy::TrackGeometry::kAffine;
+  const auto summary = homotopy::solve_total_degree_sharded<double>(sys, opt);
+  EXPECT_GE(summary.successes, 1u);
+  EXPECT_EQ(summary.at_infinity, 0u);
+  for (const auto& p : summary.paths) {
+    ASSERT_EQ(p.solution.size(), 3u);
+    if (!p.success) {
+      EXPECT_TRUE(p.status == homotopy::PathStatus::kStalled ||
+                  p.status == homotopy::PathStatus::kDiverged);
+    }
   }
 }
 

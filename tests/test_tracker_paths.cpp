@@ -39,6 +39,8 @@ TEST(TrackerPaths, MaxStepsCapsWork) {
   const auto root = fx.start.start_root(0);
   const auto r = tracker.track(std::span<const Cd>(widen(root)));
   EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.status, homotopy::PathStatus::kStalled);
+  EXPECT_FALSE(r.classified());
   EXPECT_LT(r.t_reached, 1.0);
   EXPECT_LE(r.steps + r.rejections, 3u);
 }
@@ -73,6 +75,8 @@ TEST(TrackerPaths, TightCorrectorToleranceStillConverges) {
   const auto root = fx.start.start_root(1);
   const auto r = tracker.track(std::span<const Cd>(widen(root)));
   EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.status, homotopy::PathStatus::kConverged);
+  EXPECT_TRUE(r.classified());
   EXPECT_LT(r.final_residual, 1e-12);
 }
 
@@ -120,6 +124,9 @@ TEST(TrackerPaths, DivergedPolishKeepsTrackedPoint) {
 
   EXPECT_FALSE(r_none.success);
   EXPECT_FALSE(r_bad.success);
+  // Reached t = 1 but failed the residual test: diverged, not stalled.
+  EXPECT_EQ(r_none.status, homotopy::PathStatus::kDiverged);
+  EXPECT_EQ(r_bad.status, homotopy::PathStatus::kDiverged);
   ASSERT_EQ(r_none.solution.size(), r_bad.solution.size());
   for (std::size_t i = 0; i < r_none.solution.size(); ++i)
     EXPECT_EQ(cplx::max_abs_diff(r_none.solution[i], r_bad.solution[i]), 0.0)
@@ -142,6 +149,7 @@ TEST(TrackerPaths, MidTrackExitReportsResidual) {
   const auto root = fx.start.start_root(0);
   const auto r = tracker.track(std::span<const Cd>(widen(root)));
   ASSERT_FALSE(r.success);
+  EXPECT_EQ(r.status, homotopy::PathStatus::kStalled);
   ASSERT_LT(r.t_reached, 1.0);
   EXPECT_GT(r.final_residual, 0.0);
   EXPECT_LT(r.final_residual, 1.0);  // the corrector kept it on the path

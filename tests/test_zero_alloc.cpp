@@ -266,6 +266,98 @@ TEST(ZeroAlloc, BatchPathTrackerSteadyStateRounds) {
   EXPECT_GT(tracker.rounds(), 1u);
 }
 
+TEST(ZeroAlloc, ProjectiveBatchTrackerWithEndgameSteadyStateRounds) {
+  // The projective lockstep rounds add the pullback staging, the lift
+  // scratch, patch renormalization, the at-infinity probes and the
+  // Cauchy endgame stage (circle correctors, sample sums, closure
+  // tests, re-arm bookkeeping) -- all must run off pre-sized storage.
+  // The dim-3 workload drives several paths through the endgame (the
+  // winding-2/3 endpoints) and one to an at-infinity retirement.
+  poly::SystemSpec spec;
+  spec.dimension = 3;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.seed = 99;
+  const auto sys = poly::make_random_system(spec);
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(20120102);
+  const auto patch = homotopy::random_patch(4, 20120717);
+  std::vector<Cd> patch_s(patch.begin(), patch.end());
+
+  std::vector<std::vector<Cd>> roots;
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    const auto rd = start.start_root(p);
+    roots.push_back(homotopy::embed_in_patch<double>(
+        std::span<const Cd>(std::vector<Cd>(rd.begin(), rd.end())),
+        std::span<const Cd>(patch_s)));
+  }
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 6);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::BatchedProjectiveHomotopy<double, core::FusedGpuEvaluator<double>> h(
+      f, sys, start.system(), gamma, std::span<const Cd>(patch));
+  homotopy::TrackOptions topt;
+  topt.max_steps = 4000;
+  homotopy::BatchPathTracker<
+      double, homotopy::BatchedProjectiveHomotopy<double, core::FusedGpuEvaluator<double>>>
+      tracker(device, h, topt, roots.size());
+
+  tracker.start(roots, 0, roots.size());
+  tracker.run();  // warm-up: sizes every buffer along the whole trajectory
+  unsigned endgame_paths = 0, at_infinity = 0;
+  for (std::size_t p = 0; p < roots.size(); ++p) {
+    const auto r = tracker.result(p);
+    if (r.winding > 0) ++endgame_paths;
+    if (r.status == homotopy::PathStatus::kAtInfinity) ++at_infinity;
+  }
+  // The measured run must really exercise the endgame machinery.
+  EXPECT_GE(endgame_paths, 1u);
+  EXPECT_GE(at_infinity, 1u);
+
+  tracker.start(roots, 0, roots.size());
+  const std::uint64_t before = g_allocations.load();
+  tracker.run();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state projective lockstep rounds (incl. endgame) allocated "
+      << (after - before) << " times over " << tracker.rounds() << " rounds";
+}
+
+TEST(ZeroAlloc, RefineBatchEmptyMaskSkipsLaunchAndAllocator) {
+  // An all-false active mask (count == 0) must neither launch, nor
+  // transfer, nor touch the allocator -- the empty-range staging used
+  // to pay a launch/upload round.
+  const auto sys = make_system(4, 3, 2, 2);
+  const homotopy::TotalDegreeStart start(sys);
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 2);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::BatchedHomotopy<double, core::FusedGpuEvaluator<double>> h(
+      f, g, homotopy::random_gamma(1));
+
+  std::vector<std::vector<Cd>> x;
+  std::vector<Cd> ts;
+  linalg::LuArena<double> arena;
+  arena.resize(4, 1);
+  newton::RefineBatchScratch<double> scratch;
+  scratch.reserve(4, 1, 1);
+  std::vector<newton::BatchPathStatus> status;
+
+  device.clear_log();
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i)
+    newton::refine_batch<double>(h, x, std::span<const Cd>(ts), 0, {}, arena,
+                                 scratch,
+                                 std::span<newton::BatchPathStatus>(status));
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(device.log().kernels.size(), 0u);
+  EXPECT_EQ(device.log().transfers.transfers_to_device, 0u);
+  EXPECT_EQ(device.log().transfers.transfers_from_device, 0u);
+}
+
 TEST(ZeroAlloc, FusedEvaluatorWithRaceCheckingSteadyState) {
   // The race journals are epoch-stamped and persist across launches, so
   // even the checked configuration is allocation-free once warm.
