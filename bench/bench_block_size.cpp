@@ -3,9 +3,16 @@
 // block).  Sweep B and report the shared footprint, occupancy and
 // modeled time; larger blocks raise arithmetic per block but choke
 // residency, and past the budget the launch fails outright.
+//
+// Emits BENCH_block_size.json alongside the table.  All timing fields
+// are on the modeled clock (named modeled_*), so the regression gate's
+// host-wall categories ignore them; this bench is descriptive, not
+// gated, and always exits 0.
 
 #include <iostream>
+#include <string>
 
+#include "benchutil/json.hpp"
 #include "benchutil/table.hpp"
 #include "core/gpu_evaluator.hpp"
 #include "poly/random_system.hpp"
@@ -15,7 +22,8 @@ namespace {
 
 using namespace polyeval;
 
-void sweep(unsigned k, unsigned d, const char* label) {
+void sweep(unsigned k, unsigned d, const char* label, const char* json_name,
+           benchutil::JsonWriter& json) {
   poly::SystemSpec spec;
   spec.dimension = 32;
   spec.monomials_per_polynomial = 48;
@@ -27,6 +35,14 @@ void sweep(unsigned k, unsigned d, const char* label) {
   std::cout << label << " (1536 monomials):\n";
   benchutil::Table table({"block size", "K2 shared bytes", "K2 blocks/SM", "K2 waves",
                           "total us/eval", "status"});
+  json.begin_object()
+      .field("name", json_name)
+      .field("dimension", spec.dimension)
+      .field("monomials_per_polynomial", spec.monomials_per_polynomial)
+      .field("variables_per_monomial", k)
+      .field("max_exponent", d)
+      .key("sweep");
+  json.begin_array();
   for (const unsigned b : {16u, 32u, 64u, 128u, 256u, 512u}) {
     simt::Device device;
     core::GpuEvaluator<double>::Options opts;
@@ -38,18 +54,30 @@ void sweep(unsigned k, unsigned d, const char* label) {
     } catch (const simt::LaunchError&) {
       table.add_row({std::to_string(b), "-", "-", "-", "-",
                      "infeasible (shared > 48KB)"});
+      json.begin_object()
+          .field("block_size", b)
+          .field("feasible", false)
+          .end_object();
       continue;
     }
     const simt::DeviceSpec dspec;
     const simt::GpuCostModel gmodel;
     const auto& k2 = gpu.last_log().kernels[1];
+    const double modeled_us = simt::estimate_log_us(gpu.last_log(), dspec, gmodel);
     table.add_row({std::to_string(b), std::to_string(k2.shared_bytes_per_block),
                    std::to_string(k2.concurrent_blocks_per_sm),
                    std::to_string(k2.waves),
-                   benchutil::format_fixed(
-                       simt::estimate_log_us(gpu.last_log(), dspec, gmodel), 1),
-                   "ok"});
+                   benchutil::format_fixed(modeled_us, 1), "ok"});
+    json.begin_object()
+        .field("block_size", b)
+        .field("feasible", true)
+        .field("k2_shared_bytes_per_block", k2.shared_bytes_per_block)
+        .field("k2_concurrent_blocks_per_sm", k2.concurrent_blocks_per_sm)
+        .field("k2_waves", k2.waves)
+        .field("modeled_total_us", modeled_us)
+        .end_object();
   }
+  json.end_array().end_object();
   std::cout << table.to_string() << "\n";
 }
 
@@ -57,12 +85,18 @@ void sweep(unsigned k, unsigned d, const char* label) {
 
 int main() {
   std::cout << "=== Block-size ablation (the paper's B = 32 choice) ===\n\n";
-  sweep(9, 2, "Table 1 workload, k = 9");
-  sweep(16, 10, "Table 2 workload, k = 16");
+  benchutil::JsonWriter json;
+  json.begin_object().field("bench", "block_size").key("workloads");
+  json.begin_array();
+  sweep(9, 2, "Table 1 workload, k = 9", "table1_k9", json);
+  sweep(16, 10, "Table 2 workload, k = 16", "table2_k16", json);
+  json.end_array().end_object();
   std::cout << "\"we try to keep the block size of the second kernel equal to 32,\n"
                " because of described above shared memory limited capacity\n"
                " considerations\" (section 3.3): kernel 2 needs B*(k+1) complex\n"
                "locations plus the n variable values per block, so large blocks\n"
                "first lose residency and then stop fitting at all.\n";
+  if (json.write_file("BENCH_block_size.json"))
+    std::cout << "\nwrote BENCH_block_size.json\n";
   return 0;
 }

@@ -15,8 +15,13 @@ allocation per launch", not 10% noise; solved_frac is deterministic on
 a given workload, so any drop at all shows up here long before the 2x
 ratio trips: solved_frac fields are held to their own tight
 --max-solved-ratio (default 1.01) instead of the coarse wall-clock
-ratio.  Modeled-clock and speedup fields are left alone -- they have
-their own in-bench gates.
+ratio.  Autotuner fields (key containing "tuned_speedup") are held to
+an absolute floor (--min-tuned-speedup, default 0.9999) instead of a
+baseline ratio: the modeled clock is deterministic, so tuned slower
+than heuristic is a tuner bug regardless of what the baseline says,
+and the floor fires even when no baseline file exists yet.  Other
+modeled-clock and speedup fields are left alone -- they have their own
+in-bench gates.
 
 Usage:
   scripts/check_bench_regression.py [--baseline-dir bench/baselines]
@@ -50,6 +55,22 @@ def gated_leaves(node, path=""):
             yield from gated_leaves(value, f"{path}[{i}]")
 
 
+def tuned_speedup_leaves(node, path=""):
+    """Yield (path, value) for every numeric leaf whose key mentions
+    tuned_speedup -- the autotuner's modeled heuristic/tuned ratio,
+    gated by an absolute floor rather than a baseline."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from tuned_speedup_leaves(value, sub)
+            elif isinstance(value, (int, float)) and "tuned_speedup" in key:
+                yield sub, float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from tuned_speedup_leaves(value, f"{path}[{i}]")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="current BENCH_*.json files")
@@ -60,19 +81,34 @@ def main():
                         help="tight ratio for solved_frac quality fields "
                              "(deterministic per workload: any real drop "
                              "must fail, not just a 2x collapse)")
+    parser.add_argument("--min-tuned-speedup", type=float, default=0.9999,
+                        help="absolute floor for tuned_speedup fields: the "
+                             "measured autotuner must never be modeled-slower "
+                             "than the heuristic it replaces (checked even "
+                             "without a baseline)")
     args = parser.parse_args()
 
     failures = []
     compared = 0
     for current_path in args.files:
         name = os.path.basename(current_path)
-        baseline_path = os.path.join(args.baseline_dir, name)
-        if not os.path.exists(baseline_path):
-            print(f"note: no baseline for {name}, skipping "
-                  f"(add {baseline_path} to gate it)")
-            continue
         with open(current_path) as f:
             current = json.load(f)
+
+        # Absolute-floor gate: runs on every file, baseline or not.
+        for path, value in tuned_speedup_leaves(current):
+            compared += 1
+            marker = "FAIL" if value < args.min_tuned_speedup else "ok"
+            print(f"{marker:4} {name}:{path} [tuned-speedup]: {value:.4f} "
+                  f"(floor {args.min_tuned_speedup:.4f})")
+            if value < args.min_tuned_speedup:
+                failures.append((name, path, value))
+
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name}, skipping ratio gates "
+                  f"(add {baseline_path} to gate it)")
+            continue
         with open(baseline_path) as f:
             baseline = json.load(f)
 
@@ -110,13 +146,12 @@ def main():
         print("warning: no wall-clock or throughput fields compared; "
               "check the baseline files exist and match the bench output")
     if failures:
-        print(f"\n{len(failures)} regression(s) above "
-              f"{args.max_ratio}x vs the committed baseline:")
+        print(f"\n{len(failures)} gated metric(s) regressed:")
         for name, path, ratio in failures:
-            print(f"  {name}:{path} regressed {ratio:.2f}x")
+            print(f"  {name}:{path} at {ratio:.4f}")
         return 1
-    print(f"\nperf gate passed: {compared} wall-clock/throughput fields within "
-          f"{args.max_ratio}x of baseline")
+    print(f"\nperf gate passed: {compared} gated fields checked "
+          f"(wall/throughput/quality vs baseline, tuned_speedup vs floor)")
     return 0
 
 

@@ -8,12 +8,15 @@
 /// or track many paths in lockstep amortize that floor.  Grids grow by
 /// the batch factor: block index = point * blocks_per_point + chunk.
 
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "core/kernels.hpp"
 #include "poly/eval_result.hpp"
+#include "simt/timing.hpp"
+#include "tune/autotuner.hpp"
 
 namespace polyeval::core {
 
@@ -23,11 +26,18 @@ class BatchGpuEvaluator {
 
  public:
   struct Options {
-    unsigned block_size = 32;
+    /// 0 = auto: measured tuning (or the paper's one-warp 32-thread
+    /// seed in kHeuristic mode).  Nonzero pins it.
+    unsigned block_size = 0;
     ExponentEncoding encoding = ExponentEncoding::kChar;
     /// Element layout of the CommonFactors/Mons interchange buffers;
     /// results are bitwise identical under either (see layout.hpp).
-    InterchangeLayout interchange = InterchangeLayout::kAoS;
+    /// nullopt = auto (tuned, or AoS in kHeuristic mode).
+    std::optional<InterchangeLayout> interchange;
+    /// Tuned resolution applies only when both geometry knobs are auto;
+    /// pinning either one pins the other to the heuristic seed (a
+    /// half-pinned key would poison the cache).
+    tune::TuningMode tuning = tune::TuningMode::kMeasured;
   };
 
   /// Packs the system and sizes the device arrays for `batch_capacity`
@@ -41,6 +51,7 @@ class BatchGpuEvaluator {
         layout_(packed_.structure) {
     if (capacity_ == 0)
       throw std::invalid_argument("BatchGpuEvaluator: zero batch capacity");
+    resolve_options(system);
     const auto s = packed_.structure;
 
     const auto encoded = encode_exponents(options_.encoding, packed_.exponents);
@@ -55,9 +66,9 @@ class BatchGpuEvaluator {
     coeffs_ = device_.alloc_global<C>(layout_.coeffs_size(), "Coeffs");
     common_factors_.allocate(device_,
                              std::size_t{capacity_} * layout_.total_monomials(),
-                             "CommonFactors[batch]", options_.interchange);
+                             "CommonFactors[batch]", *options_.interchange);
     mons_.allocate(device_, std::size_t{capacity_} * layout_.mons_size(),
-                   "Mons[batch]", options_.interchange);
+                   "Mons[batch]", *options_.interchange);
     outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * layout_.num_outputs(),
                                        "Outputs[batch]");
 
@@ -89,6 +100,8 @@ class BatchGpuEvaluator {
   [[nodiscard]] unsigned dimension() const noexcept { return packed_.structure.n; }
   [[nodiscard]] unsigned batch_capacity() const noexcept { return capacity_; }
   [[nodiscard]] const SystemLayout& layout() const noexcept { return layout_; }
+  /// Resolved options: block_size is nonzero and interchange engaged.
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// Launches issued per evaluate_range call (shard schedulers pre-size
   /// device logs with this).
@@ -156,6 +169,59 @@ class BatchGpuEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  /// Resolve the auto knobs before any allocation consumes them.  The
+  /// heuristic seed is the paper's one-warp block; measured mode probes
+  /// block sizes x interchange layouts on a scratch device with a
+  /// full-capacity zero-point batch (values cannot move an access
+  /// pattern).  Candidates whose kernel-2 shared tile overflows the
+  /// per-block limit throw LaunchError and read as infeasible.
+  void resolve_options(const poly::PolynomialSystem& system) {
+    const bool auto_block = options_.block_size == 0;
+    const bool auto_layout = !options_.interchange.has_value();
+    if (!auto_block && !auto_layout) return;
+    constexpr unsigned kSeedBlock = 32;  // the paper's block size
+    if (options_.tuning == tune::TuningMode::kHeuristic || !auto_block ||
+        !auto_layout) {
+      if (auto_block) options_.block_size = kSeedBlock;
+      if (auto_layout) options_.interchange = InterchangeLayout::kAoS;
+      return;
+    }
+    const auto st = packed_.structure;
+    const unsigned width = static_cast<unsigned>(sizeof(S) / sizeof(double));
+    const auto key = tune::TuneKey::make(tune::TunedSchedule::kBatch, st,
+                                         capacity_, 0, width, device_.spec());
+    const unsigned blocks[] = {32, 64, 128};
+    const unsigned streams[] = {2};
+    const auto candidates = tune::standard_candidates(kSeedBlock, blocks, streams);
+    const auto decision = tune::Autotuner::global().tune(
+        key, std::span<const tune::TuneCandidate>(candidates),
+        [&](const tune::TuneCandidate& cand) -> std::optional<tune::ProbeOutcome> {
+          simt::Device probe_device(device_.spec());
+          Options copt = options_;
+          copt.block_size = cand.block_size;
+          copt.interchange = cand.interchange;
+          copt.tuning = tune::TuningMode::kHeuristic;
+          try {
+            BatchGpuEvaluator probe(probe_device, system, capacity_, copt);
+            std::vector<std::vector<C>> pts(capacity_, std::vector<C>(st.n, C{}));
+            std::vector<poly::EvalResult<S>> res(capacity_);
+            probe.evaluate_range(pts, 0, capacity_,
+                                 std::span<poly::EvalResult<S>>(res));
+            simt::GpuCostModel cost;
+            cost.scalar_cost_factor = simt::scalar_cost_factor_for_width(width);
+            tune::ProbeOutcome outcome;
+            outcome.modeled_us = simt::estimate_log_us(probe.last_log(),
+                                                       probe_device.spec(), cost);
+            outcome.log = probe.last_log();
+            return outcome;
+          } catch (const simt::LaunchError&) {
+            return std::nullopt;  // shared tile scales with block size
+          }
+        });
+    options_.block_size = decision.choice.block_size;
+    options_.interchange = decision.choice.interchange;
+  }
+
   void build_kernels() {
     const auto s = packed_.structure;
     const unsigned n = s.n, d = s.d, k = s.k;

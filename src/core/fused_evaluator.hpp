@@ -41,33 +41,40 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "core/kernels.hpp"
 #include "poly/eval_result.hpp"
+#include "simt/timing.hpp"
+#include "tune/autotuner.hpp"
 
 namespace polyeval::core {
 
-/// First step toward the ROADMAP block-size autotuning item: choose the
-/// fused kernel's block size from the system structure (n, m, k) and
-/// the batch size.  One block owns one point, so the grid IS the batch:
-/// once the batch covers the device's SMs, inter-block parallelism
-/// hides per-thread serial depth and the narrowest block (one warp)
-/// minimizes per-block overhead.  An under-full grid instead widens the
-/// block, moving the idle SMs' worth of parallelism inside the point:
-/// enough threads that the busier of the two per-point loops (nm
-/// monomials in phase 2, n^2+n outputs in phase 3) runs only a few
+/// The fused pipeline's block-geometry HEURISTIC -- since the measured
+/// autotuner (tune/autotuner.hpp) landed, this is the cache-miss seed
+/// (candidate zero of every tuned sweep) and the
+/// `TuningMode::kHeuristic` escape hatch, not the default decision
+/// maker.  Choose the block size from the system structure (n, m, k),
+/// the batch size and the device's SM count.  One block owns one point,
+/// so the grid IS the batch: once the batch covers the SMs, inter-block
+/// parallelism hides per-thread serial depth and the narrowest block
+/// (one warp) minimizes per-block overhead.  An under-full grid instead
+/// widens the block, moving the idle SMs' worth of parallelism inside
+/// the point: enough threads that the busier of the two per-point loops
+/// (nm monomials in phase 2, n^2+n outputs in phase 3) runs only a few
 /// trips per thread -- deep monomials (~5k multiplications each, large
 /// k) keep a lane busy across more trips -- but never wider than the
 /// narrower loop, whose surplus lanes would idle a whole phase.
 [[nodiscard]] constexpr unsigned pick_block_size(unsigned n, unsigned m, unsigned k,
-                                                 unsigned batch) noexcept {
+                                                 unsigned batch,
+                                                 unsigned sm_count) noexcept {
   constexpr unsigned kWarp = 32;
-  constexpr unsigned kFermiSMs = 14;   // DeviceSpec::tesla_c2050
   constexpr std::uint64_t kMaxBlock = 256;
-  if (batch >= kFermiSMs) return kWarp;
+  if (sm_count == 0) sm_count = 1;
+  if (batch >= sm_count) return kWarp;
   const std::uint64_t monomials = std::uint64_t{n} * m;
   const std::uint64_t outputs = std::uint64_t{n} * (n + 1);
   const std::uint64_t trips = k >= 6 ? 8 : 4;
@@ -76,6 +83,15 @@ namespace polyeval::core {
   return static_cast<unsigned>((std::max<std::uint64_t>(threads, 1) + kWarp - 1) /
                                kWarp) *
          kWarp;
+}
+
+/// The historical 4-argument form, pinned to the paper's C2050 (14
+/// SMs).  Callers that know their device pass its SM count instead --
+/// the evaluators feed spec().multiprocessors, so a heterogeneous
+/// registry no longer tunes every shard for a Fermi.
+[[nodiscard]] constexpr unsigned pick_block_size(unsigned n, unsigned m, unsigned k,
+                                                 unsigned batch) noexcept {
+  return pick_block_size(n, m, k, batch, 14u);  // DeviceSpec::tesla_c2050
 }
 
 namespace detail {
@@ -458,14 +474,24 @@ class FusedGpuEvaluator {
 
  public:
   struct Options {
-    /// Threads per block; 0 (the default) picks pick_block_size(n, m,
-    /// k, batch_capacity) -- one warp once the batch fills the SMs,
-    /// wider blocks for under-full grids.
+    /// Threads per block; 0 (the default) resolves through the measured
+    /// autotuner (or, under TuningMode::kHeuristic, to
+    /// pick_block_size(n, m, k, batch_capacity, SMs) -- one warp once
+    /// the batch fills the SMs, wider blocks for under-full grids).
     unsigned block_size = 0;
     ExponentEncoding encoding = ExponentEncoding::kChar;
     /// Element layout of the Mons interchange buffer (the only
-    /// interchange left once the common factor stays in registers).
-    InterchangeLayout interchange = InterchangeLayout::kAoS;
+    /// interchange left once the common factor stays in registers);
+    /// nullopt (the default) resolves with the block size: measured
+    /// tuning picks per workload, the heuristic pins AoS.  Results are
+    /// bitwise identical under either layout.
+    std::optional<InterchangeLayout> interchange;
+    /// How the auto knobs above resolve.  Measured tuning may change
+    /// TIMING only -- results are pinned bitwise identical across the
+    /// modes (tests/test_tune.cpp).  Tuned resolution applies when both
+    /// geometry knobs are auto; pinning either one pins the other to
+    /// the heuristic seed (a half-pinned key would poison the cache).
+    tune::TuningMode tuning = tune::TuningMode::kMeasured;
     /// The race journals are a debugging aid (the cuda-memcheck
     /// analogue); the production fast path skips the per-access
     /// bookkeeping.  Parity tests run with detection on.
@@ -477,14 +503,13 @@ class FusedGpuEvaluator {
   FusedGpuEvaluator(simt::Device& device, const poly::PolynomialSystem& system,
                     unsigned batch_capacity, Options options = {})
       : device_(device),
-        options_(options),
+        options_(resolve_options(device, system, batch_capacity, options)),
         capacity_(batch_capacity),
-        sys_(device, system, batch_capacity, options.encoding, options.interchange) {
+        sys_(device, system, batch_capacity, options_.encoding,
+             options_.interchange.value_or(InterchangeLayout::kAoS)) {
     if (capacity_ == 0)
       throw std::invalid_argument("FusedGpuEvaluator: zero batch capacity");
     const auto s = sys_.packed.structure;
-    if (options_.block_size == 0)
-      options_.block_size = pick_block_size(s.n, s.m, s.k, capacity_);
 
     x_ = device_.alloc_global<C>(std::size_t{capacity_} * s.n, "X[batch]");
     outputs_ = device_.alloc_global<C>(std::size_t{capacity_} * sys_.layout.num_outputs(),
@@ -602,6 +627,68 @@ class FusedGpuEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  /// Resolve the auto geometry knobs (block_size == 0, interchange ==
+  /// nullopt) before any member consumes them.  Measured mode (both
+  /// knobs auto): route through the global Autotuner -- on a cache miss
+  /// each candidate geometry is probed on a SCRATCH device (same spec)
+  /// with a full-capacity zero-point batch (values cannot move a memory
+  /// access, so zeros measure exactly the steady state's statistics)
+  /// and scored by estimate_log_us under the scalar's cost factor.
+  /// Heuristic mode, or any knob pinned: the missing knobs take the
+  /// pick_block_size seed and AoS.  Candidate probes construct
+  /// themselves with kHeuristic and explicit geometry, so resolution
+  /// can never recurse.
+  [[nodiscard]] static Options resolve_options(simt::Device& device,
+                                               const poly::PolynomialSystem& system,
+                                               unsigned capacity, Options options) {
+    const bool auto_block = options.block_size == 0;
+    const bool auto_layout = !options.interchange.has_value();
+    if ((!auto_block && !auto_layout) || capacity == 0) {
+      if (auto_layout) options.interchange = InterchangeLayout::kAoS;
+      return options;
+    }
+    const auto st = pack_system(system).structure;
+    const unsigned sms = device.spec().multiprocessors;
+    const unsigned seed = pick_block_size(st.n, st.m, st.k, capacity, sms);
+    if (options.tuning == tune::TuningMode::kHeuristic || !auto_block ||
+        !auto_layout) {
+      if (auto_block) options.block_size = seed;
+      if (auto_layout) options.interchange = InterchangeLayout::kAoS;
+      return options;
+    }
+
+    const unsigned width = static_cast<unsigned>(sizeof(S) / sizeof(double));
+    const auto key = tune::TuneKey::make(tune::TunedSchedule::kFused, st, capacity,
+                                         0, width, device.spec());
+    const unsigned blocks[] = {32, 64, 128, 256};
+    const unsigned streams[] = {2};
+    const auto candidates = tune::standard_candidates(seed, blocks, streams);
+    const auto decision = tune::Autotuner::global().tune(
+        key, std::span<const tune::TuneCandidate>(candidates),
+        [&](const tune::TuneCandidate& cand) -> std::optional<tune::ProbeOutcome> {
+          simt::Device probe_device(device.spec());
+          Options copt = options;
+          copt.block_size = cand.block_size;
+          copt.interchange = cand.interchange;
+          copt.tuning = tune::TuningMode::kHeuristic;
+          FusedGpuEvaluator probe(probe_device, system, capacity, copt);
+          std::vector<std::vector<C>> pts(capacity, std::vector<C>(st.n, C{}));
+          std::vector<poly::EvalResult<S>> res(capacity);
+          probe.evaluate_range(pts, 0, capacity,
+                               std::span<poly::EvalResult<S>>(res));
+          simt::GpuCostModel cost;
+          cost.scalar_cost_factor = simt::scalar_cost_factor_for_width(width);
+          tune::ProbeOutcome outcome;
+          outcome.modeled_us =
+              simt::estimate_log_us(probe.last_log(), probe_device.spec(), cost);
+          outcome.log = probe.last_log();
+          return outcome;
+        });
+    options.block_size = decision.choice.block_size;
+    options.interchange = decision.choice.interchange;
+    return options;
+  }
+
   /// Shared head of the two range entry points: validate the range
   /// against the batch capacity and the caller's output span (sized
   /// `out_needed`), pack the points into the staging buffer and upload

@@ -9,13 +9,25 @@
 /// with streams.  This evaluator is that schedule on the simulator's
 /// stream/event subsystem (simt/stream.hpp): a batch is split into
 /// micro-chunks of `Options::micro_chunk` points and walked through a
-/// two-stream, two-buffer software pipeline
+/// two-buffer software pipeline on two (or three) streams
 ///
 ///     copy stream:    up(0) up(1) dn(0) up(2) dn(1) ... dn(last)
 ///     compute stream:   k(0)  k(1)  k(2) ...
 ///
 /// so upload(i+1) and download(i-1) ride the DMA engines while
-/// compute(i) owns the compute engine.  Cross-stream ordering is by
+/// compute(i) owns the compute engine.  With `Options::streams == 3`
+/// the downloads move to a stream of their own
+///
+///     up stream:      up(0) up(1) up(2) ...
+///     compute stream:   k(0)  k(1)  k(2) ...
+///     down stream:        dn(0)  dn(1)  ...
+///
+/// so dn(c-1) no longer queues behind up(c) on a shared FIFO: each
+/// download starts at max(d2h engine free, its kernel done), which on
+/// transfer-bound shapes is strictly earlier.  The engines are the same
+/// either way (one DMA engine per direction); only the per-stream
+/// ordering constraint is relaxed, so results stay bitwise identical.
+/// Cross-stream ordering is by
 /// events only: compute(i) waits upload(i); upload(i+2) waits
 /// compute(i) (X slot reuse); compute(i+2) waits download(i) (output
 /// slot reuse) -- the classic double-buffer hazard set.
@@ -58,16 +70,26 @@ class PipelinedFusedEvaluator {
 
  public:
   struct Options {
-    /// Threads per block; 0 picks pick_block_size(n, m, k, micro_chunk)
-    /// -- the grid of one launch is the micro-chunk, so under-full
-    /// grids widen automatically.
+    /// Threads per block; 0 = auto: measured tuning, or the
+    /// pick_block_size(n, m, k, micro_chunk) seed in kHeuristic mode --
+    /// the grid of one launch is the micro-chunk, so under-full grids
+    /// widen automatically.
     unsigned block_size = 0;
     /// Points per pipeline stage (upload/compute/download unit); the
     /// batch capacity is walked in ceil(capacity / micro_chunk)
     /// launches.  Clamped to the batch capacity.
     unsigned micro_chunk = 8;
     ExponentEncoding encoding = ExponentEncoding::kChar;
-    InterchangeLayout interchange = InterchangeLayout::kAoS;
+    /// nullopt = auto (tuned, or AoS in kHeuristic mode).
+    std::optional<InterchangeLayout> interchange;
+    /// Pipeline streams: 2 (shared copy stream) or 3 (dedicated
+    /// download stream); 0 = auto (tuned, or 2 in kHeuristic mode).
+    /// Bitwise-identical results either way -- only modeled time moves.
+    unsigned streams = 0;
+    /// Tuned resolution applies only when block_size, interchange and
+    /// streams are ALL auto; pinning any one of them pins the others to
+    /// their heuristic seeds (a half-pinned key would poison the cache).
+    tune::TuningMode tuning = tune::TuningMode::kMeasured;
     bool detect_races = false;
     /// Cost model pricing the modeled stream timeline.
     simt::GpuCostModel cost{};
@@ -76,20 +98,21 @@ class PipelinedFusedEvaluator {
   PipelinedFusedEvaluator(simt::Device& device, const poly::PolynomialSystem& system,
                           unsigned batch_capacity, Options options = {})
       : device_(device),
-        options_(options),
+        options_(resolve_options(device, system, batch_capacity, options)),
         capacity_(batch_capacity),
-        micro_(std::min(options.micro_chunk, batch_capacity)),
-        sys_(device, system, std::max(micro_, 1u), options.encoding,
-             options.interchange),
-        copy_stream_(device, options.cost),
-        compute_stream_(device, options.cost) {
+        micro_(std::min(options_.micro_chunk, batch_capacity)),
+        sys_(device, system, std::max(micro_, 1u), options_.encoding,
+             options_.interchange.value_or(InterchangeLayout::kAoS)),
+        copy_stream_(device, options_.cost),
+        compute_stream_(device, options_.cost),
+        down_stream_(device, options_.cost) {
     if (capacity_ == 0)
       throw std::invalid_argument("PipelinedFusedEvaluator: zero batch capacity");
     if (options_.micro_chunk == 0)
       throw std::invalid_argument("PipelinedFusedEvaluator: zero micro_chunk");
+    if (options_.streams != 2 && options_.streams != 3)
+      throw std::invalid_argument("PipelinedFusedEvaluator: streams must be 0, 2 or 3");
     const auto s = sys_.packed.structure;
-    if (options_.block_size == 0)
-      options_.block_size = pick_block_size(s.n, s.m, s.k, micro_);
 
     const std::uint64_t outs = sys_.layout.num_outputs();
     for (unsigned b = 0; b < 2; ++b) {
@@ -112,13 +135,18 @@ class PipelinedFusedEvaluator {
     const std::size_t chunks = launches_per_batch();
     copy_stream_.reserve(0, 8 * chunks + 8);
     compute_stream_.reserve(chunks, 8 * chunks + 8);
+    down_stream_.reserve(0, 8 * chunks + 8);
   }
 
   [[nodiscard]] unsigned dimension() const noexcept { return sys_.packed.structure.n; }
   [[nodiscard]] unsigned batch_capacity() const noexcept { return capacity_; }
   [[nodiscard]] unsigned micro_chunk() const noexcept { return micro_; }
   [[nodiscard]] const SystemLayout& layout() const noexcept { return sys_.layout; }
+  /// Resolved options: block_size nonzero, interchange engaged, streams
+  /// 2 or 3.
   [[nodiscard]] const Options& options() const noexcept { return options_; }
+  /// Streams the schedule runs on (2 or 3, resolved).
+  [[nodiscard]] unsigned streams() const noexcept { return options_.streams; }
 
   /// Kernel launches one full-capacity evaluate_range call issues (one
   /// per micro-chunk); shard schedulers pre-size device logs with this.
@@ -230,6 +258,65 @@ class PipelinedFusedEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  /// Resolve the auto knobs (block_size == 0, interchange == nullopt,
+  /// streams == 0) before any member consumes them.  Measured mode (all
+  /// three auto): probe candidate (block, layout, streams) triples on a
+  /// SCRATCH device by running a full-capacity zero-point batch through
+  /// a candidate pipeline and scoring its modeled MAKESPAN -- the
+  /// quantity streams exist to shrink -- so the tuner sees exactly the
+  /// overlap each schedule buys.  Heuristic mode, or any knob pinned:
+  /// pick_block_size seed, AoS, 2 streams.  Probes carry kHeuristic and
+  /// pinned knobs, so resolution can never recurse.
+  [[nodiscard]] static Options resolve_options(simt::Device& device,
+                                               const poly::PolynomialSystem& system,
+                                               unsigned capacity, Options options) {
+    const bool auto_block = options.block_size == 0;
+    const bool auto_layout = !options.interchange.has_value();
+    const bool auto_streams = options.streams == 0;
+    if (capacity == 0 || options.micro_chunk == 0)
+      return options;  // the ctor body throws the real error
+    const unsigned micro = std::min(options.micro_chunk, capacity);
+    const auto st = pack_system(system).structure;
+    const unsigned seed =
+        pick_block_size(st.n, st.m, st.k, micro, device.spec().multiprocessors);
+    if (options.tuning == tune::TuningMode::kHeuristic || !auto_block ||
+        !auto_layout || !auto_streams) {
+      if (auto_block) options.block_size = seed;
+      if (auto_layout) options.interchange = InterchangeLayout::kAoS;
+      if (auto_streams) options.streams = 2;
+      return options;
+    }
+
+    const unsigned width = static_cast<unsigned>(sizeof(S) / sizeof(double));
+    const auto key = tune::TuneKey::make(tune::TunedSchedule::kPipelined, st,
+                                         capacity, micro, width, device.spec());
+    const unsigned blocks[] = {32, 64, 128};
+    const unsigned streams[] = {2, 3};
+    const auto candidates = tune::standard_candidates(seed, blocks, streams);
+    const auto decision = tune::Autotuner::global().tune(
+        key, std::span<const tune::TuneCandidate>(candidates),
+        [&](const tune::TuneCandidate& cand) -> std::optional<tune::ProbeOutcome> {
+          simt::Device probe_device(device.spec());
+          Options copt = options;
+          copt.block_size = cand.block_size;
+          copt.interchange = cand.interchange;
+          copt.streams = cand.streams;
+          copt.tuning = tune::TuningMode::kHeuristic;
+          PipelinedFusedEvaluator probe(probe_device, system, capacity, copt);
+          std::vector<std::vector<C>> pts(capacity, std::vector<C>(st.n, C{}));
+          std::vector<poly::EvalResult<S>> res;
+          probe.evaluate(pts, res);
+          tune::ProbeOutcome outcome;
+          outcome.modeled_us = probe.modeled_pipelined_us();
+          outcome.log = probe.last_log();
+          return outcome;
+        });
+    options.block_size = decision.choice.block_size;
+    options.interchange = decision.choice.interchange;
+    options.streams = decision.choice.streams;
+    return options;
+  }
+
   /// Shared validation of the two range entry points: batch capacity,
   /// range bounds, the caller's output span (sized `out_needed`) and
   /// point dimensions.  Throws before any device work.
@@ -263,6 +350,7 @@ class PipelinedFusedEvaluator {
     // Fresh modeled timeline for this call (capacities kept).
     copy_stream_.reset();
     compute_stream_.reset();
+    down_stream_.reset();
     device_.engine_clocks().reset();
     for (unsigned b = 0; b < 2; ++b) {
       up_done_[b].reset();
@@ -302,8 +390,15 @@ class PipelinedFusedEvaluator {
     }
     drain(chunks - 1);
 
-    makespan_us_ = std::max(copy_stream_.modeled_now_us(),
-                            compute_stream_.modeled_now_us());
+    makespan_us_ = std::max({copy_stream_.modeled_now_us(),
+                             compute_stream_.modeled_now_us(),
+                             down_stream_.modeled_now_us()});
+  }
+
+  /// The stream downloads ride on: the shared copy stream (2-stream
+  /// schedule) or the dedicated third stream.
+  [[nodiscard]] simt::Stream& download_stream() noexcept {
+    return options_.streams == 3 ? down_stream_ : copy_stream_;
   }
 
   void drain_chunk(std::size_t c, std::size_t count,
@@ -313,11 +408,11 @@ class PipelinedFusedEvaluator {
     const std::size_t base = c * micro_;
     const std::size_t cnt = std::min<std::size_t>(micro_, count - base);
 
-    copy_stream_.wait(kernel_done_[buf]);
+    auto& dn = download_stream();
+    dn.wait(kernel_done_[buf]);
     host_outputs_[buf].resize(cnt * outs);
-    copy_stream_.copy_from_device_async(outputs_[buf],
-                                        std::span<C>(host_outputs_[buf]));
-    copy_stream_.record(down_done_[buf]);
+    dn.copy_from_device_async(outputs_[buf], std::span<C>(host_outputs_[buf]));
+    dn.record(down_done_[buf]);
 
     // Host data is ready (eager execution); unpack into the caller's
     // point-order slices, the deterministic-merge contract.
@@ -335,10 +430,10 @@ class PipelinedFusedEvaluator {
     const std::size_t base = c * micro_;
     const std::size_t cnt = std::min<std::size_t>(micro_, count - base);
 
-    copy_stream_.wait(kernel_done_[buf]);
-    copy_stream_.copy_from_device_async(values_[buf],
-                                        out.subspan(base * s_n, cnt * s_n));
-    copy_stream_.record(down_done_[buf]);
+    auto& dn = download_stream();
+    dn.wait(kernel_done_[buf]);
+    dn.copy_from_device_async(values_[buf], out.subspan(base * s_n, cnt * s_n));
+    dn.record(down_done_[buf]);
   }
 
   simt::Device& device_;
@@ -349,7 +444,7 @@ class PipelinedFusedEvaluator {
 
   simt::GlobalBuffer<C> x_[2], outputs_[2], values_[2];
   simt::Kernel kernels_[2], values_kernels_[2];
-  simt::Stream copy_stream_, compute_stream_;
+  simt::Stream copy_stream_, compute_stream_, down_stream_;
   simt::Event up_done_[2], kernel_done_[2], down_done_[2];
   std::vector<C> flat_[2];          ///< per-slot upload staging, reused
   std::vector<C> host_outputs_[2];  ///< per-slot download staging, reused

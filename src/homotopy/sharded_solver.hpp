@@ -77,11 +77,15 @@ struct ShardedSolveOptions {
   unsigned workers_per_shard = 1;  ///< device pool threads per shard
   unsigned chunk_paths = 2;        ///< paths per manager claim (per-path mode)
   std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
-  /// Per-shard fused evaluator geometry; 0 = pick_block_size -- warp
-  /// blocks for the lockstep mode's SM-filling batches, widened blocks
-  /// for the per-path mode's single-point grids.  Results are bitwise
-  /// independent of the choice.
+  /// Per-shard fused evaluator geometry; 0 = auto -- measured tuning
+  /// (tune::Autotuner) by default, or the pick_block_size seed under
+  /// kHeuristic tuning: warp blocks for the lockstep mode's SM-filling
+  /// batches, widened blocks for the per-path mode's single-point
+  /// grids.  Results are bitwise independent of the choice.
   unsigned block_size = 0;
+  /// How the shards' evaluators resolve their auto geometry: measured
+  /// (autotuned, cached per structure) or the closed-form heuristic.
+  tune::TuningMode tuning = tune::TuningMode::kMeasured;
   bool detect_races = false;       ///< run the shards' launches checked
   /// The lockstep tracker batches every predictor/corrector stage over
   /// the shard's live set, so the pipelined backend finally has
@@ -124,7 +128,9 @@ struct ShardTrackState {
                   const poly::PolynomialSystem& start_system,
                   cplx::Complex<double> gamma, const ShardedSolveOptions& options)
       : f(device, target, 1,
-          {.block_size = options.block_size, .detect_races = options.detect_races}),
+          {.block_size = options.block_size,
+           .tuning = options.tuning,
+           .detect_races = options.detect_races}),
         g(start_system),
         h(f, g, gamma),
         tracker(h, options.track) {}
@@ -147,7 +153,9 @@ struct ShardProjectiveTrackState {
                             std::span<const cplx::Complex<double>> patch,
                             const ShardedSolveOptions& options)
       : f(device, target, 1,
-          {.block_size = options.block_size, .detect_races = options.detect_races}),
+          {.block_size = options.block_size,
+           .tuning = options.tuning,
+           .detect_races = options.detect_races}),
         h(f, target, start_system, gamma, patch),
         tracker(h, options.track) {}
 };
@@ -169,7 +177,9 @@ struct ShardLockstepState {
                      cplx::Complex<double> gamma, const ShardedSolveOptions& options,
                      unsigned batch_capacity, std::size_t max_paths)
       : f(device, target, batch_capacity,
-          {.block_size = options.block_size, .detect_races = options.detect_races}),
+          {.block_size = options.block_size,
+           .tuning = options.tuning,
+           .detect_races = options.detect_races}),
         g(start_system),
         tracker(device, f, g, gamma, options.track, max_paths) {}
 };
@@ -192,7 +202,9 @@ struct ShardProjectiveLockstepState {
                                const ShardedSolveOptions& options,
                                unsigned batch_capacity, std::size_t max_paths)
       : f(device, target, batch_capacity,
-          {.block_size = options.block_size, .detect_races = options.detect_races}),
+          {.block_size = options.block_size,
+           .tuning = options.tuning,
+           .detect_races = options.detect_races}),
         h(f, target, start_system, gamma, patch),
         tracker(device, h, options.track, max_paths) {}
 };

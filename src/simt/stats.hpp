@@ -76,6 +76,28 @@ struct KernelStats {
   [[nodiscard]] std::uint64_t bank_conflict_cycles() const noexcept {
     return shared_cycles - shared_requests;
   }
+  /// Transactions per warp-level load request -- the profiling layer's
+  /// access-pattern unit (1.0 = one segment per request, fully
+  /// coalesced; the inverse of load_coalescing_ratio).
+  [[nodiscard]] double load_transactions_per_request() const noexcept {
+    return global_load_requests == 0
+               ? 0.0
+               : static_cast<double>(global_load_transactions) /
+                     static_cast<double>(global_load_requests);
+  }
+  [[nodiscard]] double store_transactions_per_request() const noexcept {
+    return global_store_requests == 0
+               ? 0.0
+               : static_cast<double>(global_store_transactions) /
+                     static_cast<double>(global_store_requests);
+  }
+  /// Shared-memory cycles per request: 1.0 is conflict-free, N means
+  /// the average request serializes N-way on the banks.
+  [[nodiscard]] double shared_serialization() const noexcept {
+    return shared_requests == 0 ? 1.0
+                                : static_cast<double>(shared_cycles) /
+                                      static_cast<double>(shared_requests);
+  }
 };
 
 /// Host <-> device traffic (the PCIe term of the timing model).

@@ -78,6 +78,16 @@ double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,
   return us;
 }
 
+double scalar_cost_factor_for_width(unsigned width) noexcept {
+  switch (width) {
+    case 0:
+    case 1: return 1.0;   // hardware double
+    case 2: return 8.0;   // double-double (ScalarTraits<DoubleDouble>)
+    case 4: return 60.0;  // quad-double (ScalarTraits<QuadDouble>)
+    default: return 15.0 * width;  // quad-double's per-double rate
+  }
+}
+
 double estimate_cpu_us(std::uint64_t complex_mul, std::uint64_t complex_add,
                        const CpuCostModel& model) {
   return (static_cast<double>(complex_mul) * model.ns_per_cmul +

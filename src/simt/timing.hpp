@@ -85,4 +85,12 @@ struct CpuCostModel {
 [[nodiscard]] double estimate_cpu_us(std::uint64_t complex_mul, std::uint64_t complex_add,
                                      const CpuCostModel& model);
 
+/// GpuCostModel::scalar_cost_factor for a software scalar of `width`
+/// hardware doubles: 1 -> 1 (double), 2 -> 8 (double-double), 4 -> 60
+/// (quad-double) -- the prec::ScalarTraits cost_factor constants made
+/// reachable from non-template code (the autotuner prices a probe from
+/// a TuneKey's scalar_width field, where no scalar type is in scope).
+/// Unknown widths scale linearly from quad-double's per-double rate.
+[[nodiscard]] double scalar_cost_factor_for_width(unsigned width) noexcept;
+
 }  // namespace polyeval::simt

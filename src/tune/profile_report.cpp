@@ -1,0 +1,110 @@
+#include "tune/profile_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace polyeval::tune {
+
+namespace {
+
+void append_ratio(std::ostringstream& out, const char* label, double value) {
+  out << label;
+  const double rounded = static_cast<double>(static_cast<long long>(value * 100.0 + 0.5)) / 100.0;
+  out << rounded;
+}
+
+}  // namespace
+
+std::string KernelProfile::diagnosis() const {
+  // Thresholds: a coalesced warp request of 16-byte complex doubles
+  // needs 4 segments at worst alignment, so > 1.5x the minimum shows as
+  // > 1.5 here only after normalization by requests -- we diagnose on
+  // the raw per-request count with 2.0 as "scattered" (twice the
+  // single-segment ideal) and 1.5x on bank serialization.
+  std::ostringstream out;
+  bool flagged = false;
+  if (load_transactions_per_request() > 2.0) {
+    append_ratio(out, "scattered loads (", load_transactions_per_request());
+    out << " tx/request)";
+    flagged = true;
+  }
+  if (store_transactions_per_request() > 2.0) {
+    if (flagged) out << "; ";
+    append_ratio(out, "scattered stores (", store_transactions_per_request());
+    out << " tx/request)";
+    flagged = true;
+  }
+  if (shared_serialization() > 1.5) {
+    if (flagged) out << "; ";
+    append_ratio(out, "shared accesses serialize ", shared_serialization());
+    out << "-way on banks";
+    flagged = true;
+  }
+  if (inactive_lanes_per_thread() > 1.0) {
+    if (flagged) out << "; ";
+    append_ratio(out, "surplus lanes idle (", inactive_lanes_per_thread());
+    out << " inactive phases/thread)";
+    flagged = true;
+  }
+  if (waves_max > 1) {
+    if (flagged) out << "; ";
+    out << waves_max << " waves";
+    flagged = true;
+  }
+  if (!flagged) out << "coalesced, conflict-free, single wave";
+  return out.str();
+}
+
+ProfileReport ProfileReport::from_log(const simt::LaunchLog& log) {
+  ProfileReport report;
+  for (const auto& k : log.kernels) {
+    auto it = std::find_if(report.kernels.begin(), report.kernels.end(),
+                           [&](const KernelProfile& p) { return p.kernel == k.kernel; });
+    if (it == report.kernels.end()) {
+      report.kernels.push_back(KernelProfile{});
+      it = report.kernels.end() - 1;
+      it->kernel = k.kernel;
+    }
+    ++it->launches;
+    it->load_requests += k.global_load_requests;
+    it->load_transactions += k.global_load_transactions;
+    it->store_requests += k.global_store_requests;
+    it->store_transactions += k.global_store_transactions;
+    it->shared_requests += k.shared_requests;
+    it->shared_cycles += k.shared_cycles;
+    it->inactive_lane_phases += k.inactive_lane_phases;
+    it->threads += k.threads;
+    it->waves_max = std::max<std::uint64_t>(it->waves_max, k.waves);
+    it->warps_on_busiest_sm_max =
+        std::max(it->warps_on_busiest_sm_max, k.warps_on_busiest_sm);
+  }
+  return report;
+}
+
+std::uint64_t ProfileReport::total_transactions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& k : kernels)
+    total += k.load_transactions + k.store_transactions;
+  return total;
+}
+
+std::string ProfileReport::summary() const {
+  std::ostringstream out;
+  for (const auto& k : kernels) {
+    out << k.kernel << " (" << k.launches << " launch"
+        << (k.launches == 1 ? "" : "es") << ")\n"
+        << "  loads:  " << k.load_requests << " requests, " << k.load_transactions
+        << " transactions (" << k.load_transactions_per_request() << " tx/req)\n"
+        << "  stores: " << k.store_requests << " requests, " << k.store_transactions
+        << " transactions (" << k.store_transactions_per_request() << " tx/req)\n"
+        << "  shared: " << k.shared_requests << " requests, " << k.shared_cycles
+        << " cycles (x" << k.shared_serialization() << " serialization)\n"
+        << "  occupancy: " << k.waves_max << " wave(s) max, "
+        << k.warps_on_busiest_sm_max << " warps on busiest SM, "
+        << k.inactive_lanes_per_thread() << " inactive phases/thread\n"
+        << "  diagnosis: " << k.diagnosis() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace polyeval::tune

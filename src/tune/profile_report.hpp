@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file profile_report.hpp
+/// Memory-behaviour profiling layer over the simulator's per-launch
+/// KernelStats -- the cacheSight-style fold: instead of leaving the
+/// counters in the launch log for a human to eyeball, fold every launch
+/// of a run into one per-kernel record and distil the counters into
+/// access-pattern diagnoses ("loads cost 4.0 transactions/request",
+/// "shared accesses serialize 3.1-way on banks").  The autotuner
+/// (autotuner.hpp) consumes these reports to break modeled-time ties --
+/// on a compute-bound kernel AoS and SoA interchange cost the same
+/// modeled wall-clock, and the report's transaction counts are what
+/// decide the layout -- and the benches dump them human-readable
+/// (PROFILE_autotune.txt) for perf triage.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/stats.hpp"
+
+namespace polyeval::tune {
+
+/// One kernel's behaviour folded across every launch of a run.
+struct KernelProfile {
+  std::string kernel;
+  std::uint64_t launches = 0;
+
+  // Summed across launches.
+  std::uint64_t load_requests = 0, load_transactions = 0;
+  std::uint64_t store_requests = 0, store_transactions = 0;
+  std::uint64_t shared_requests = 0, shared_cycles = 0;
+  std::uint64_t inactive_lane_phases = 0;
+  std::uint64_t threads = 0;
+
+  // Worst case across launches (occupancy shape, not volume).
+  std::uint64_t waves_max = 0;
+  std::uint64_t warps_on_busiest_sm_max = 0;
+
+  /// Transactions per warp-level load request; 1.0 is perfectly
+  /// coalesced, warp_size/elements-per-segment is fully scattered.
+  [[nodiscard]] double load_transactions_per_request() const noexcept {
+    return load_requests == 0
+               ? 0.0
+               : static_cast<double>(load_transactions) /
+                     static_cast<double>(load_requests);
+  }
+  [[nodiscard]] double store_transactions_per_request() const noexcept {
+    return store_requests == 0
+               ? 0.0
+               : static_cast<double>(store_transactions) /
+                     static_cast<double>(store_requests);
+  }
+  /// Shared-memory cycles per request; 1.0 is conflict-free, N means
+  /// requests serialize N-way on the banks.
+  [[nodiscard]] double shared_serialization() const noexcept {
+    return shared_requests == 0
+               ? 1.0
+               : static_cast<double>(shared_cycles) /
+                     static_cast<double>(shared_requests);
+  }
+  /// Lane-phases spent inactive per thread (SIMT divergence /
+  /// surplus-lane pressure; > 1 means lanes routinely idle whole phases).
+  [[nodiscard]] double inactive_lanes_per_thread() const noexcept {
+    return threads == 0 ? 0.0
+                        : static_cast<double>(inactive_lane_phases) /
+                              static_cast<double>(threads);
+  }
+
+  /// One-line access-pattern diagnosis distilled from the ratios --
+  /// the report's human face, and the text the autotuner stores in its
+  /// decision notes.
+  [[nodiscard]] std::string diagnosis() const;
+};
+
+/// A whole run's profile: one KernelProfile per distinct kernel name,
+/// in first-launch order.
+struct ProfileReport {
+  std::vector<KernelProfile> kernels;
+
+  /// Fold every launch of `log` into per-kernel records.
+  [[nodiscard]] static ProfileReport from_log(const simt::LaunchLog& log);
+
+  /// Total global-memory transactions across every kernel -- the
+  /// autotuner's modeled-time tie-breaker (fewer transactions wins when
+  /// the clock cannot tell candidates apart).
+  [[nodiscard]] std::uint64_t total_transactions() const noexcept;
+
+  /// Human-readable dump: one block per kernel with the folded counters
+  /// and the diagnosis line.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace polyeval::tune

@@ -1,0 +1,337 @@
+#include "tune/tune_cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "benchutil/json.hpp"
+
+namespace polyeval::tune {
+
+namespace {
+
+/// Minimal JSON reader for the cache file -- the repo's JsonWriter is
+/// write-only, and the cache is the one place a bench/test artifact is
+/// read back, so a small hand-rolled recursive-descent parser beats a
+/// dependency.  Integers are kept exact in a uint64 (structure hashes
+/// exceed double's 53-bit mantissa); anything malformed returns nullopt
+/// and the whole load is reported not-ok.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t integer = 0;  ///< exact value when the number had no '.'/exponent
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool parse(JsonValue& out) {
+    return parse_value(out) && (skip_ws(), pos_ == text_.size());
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '/': out += '/'; break;
+          default: return false;  // \uXXXX etc.: the writer never emits them
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+  [[nodiscard]] bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      out.kind = JsonValue::Kind::kNumber;
+      out.number = std::stod(token);
+      out.is_integer = !fractional;
+      if (out.is_integer) out.integer = std::stoull(token);
+    } catch (const std::exception&) {
+      return false;  // malformed or out-of-range literal
+    }
+    return true;
+  }
+  [[nodiscard]] bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  [[nodiscard]] bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(key) || !consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::string_view kSchemaName = "polyeval-tune-cache";
+
+[[nodiscard]] bool read_u32(const JsonValue& obj, std::string_view key, unsigned& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber || !v->is_integer)
+    return false;
+  out = static_cast<unsigned>(v->integer);
+  return true;
+}
+[[nodiscard]] bool read_u64(const JsonValue& obj, std::string_view key,
+                            std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber || !v->is_integer)
+    return false;
+  out = v->integer;
+  return true;
+}
+[[nodiscard]] bool read_f64(const JsonValue& obj, std::string_view key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  out = v->number;
+  return true;
+}
+
+}  // namespace
+
+const TuneDecision* TuneCache::find(const TuneKey& key) const {
+  const auto it = entries_.find(key.structure_hash());
+  if (it == entries_.end() || !(it->second.key == key)) return nullptr;
+  return &it->second.decision;
+}
+
+void TuneCache::insert(const TuneKey& key, const TuneDecision& decision) {
+  entries_[key.structure_hash()] = Entry{key, decision};
+}
+
+std::vector<std::pair<TuneKey, TuneDecision>> TuneCache::sorted_entries() const {
+  std::vector<std::pair<TuneKey, TuneDecision>> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_)
+    out.emplace_back(entry.key, entry.decision);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first.structure_hash() < b.first.structure_hash();
+  });
+  return out;
+}
+
+bool TuneCache::save(const std::string& path) const {
+  benchutil::JsonWriter json;
+  json.begin_object();
+  json.field("schema", kSchemaName);
+  json.key("entries");
+  json.begin_array();
+  for (const auto& [key, decision] : sorted_entries()) {
+    json.begin_object()
+        .field("hash", key.structure_hash())
+        .field("schedule", static_cast<unsigned>(key.schedule))
+        .field("n", key.n)
+        .field("m", key.m)
+        .field("k", key.k)
+        .field("d", key.d)
+        .field("batch", key.batch)
+        .field("chunk", key.chunk)
+        .field("scalar_width", key.scalar_width)
+        .field("multiprocessors", key.multiprocessors)
+        .field("warp_size", key.warp_size)
+        .field("max_threads_per_block", key.max_threads_per_block)
+        .field("max_blocks_per_sm", key.max_blocks_per_sm)
+        .field("max_threads_per_sm", key.max_threads_per_sm)
+        .field("shared_memory_per_block", key.shared_memory_per_block)
+        .field("shared_banks", key.shared_banks)
+        .field("global_transaction_bytes", key.global_transaction_bytes)
+        .field("block_size", decision.choice.block_size)
+        .field("interchange",
+               decision.choice.interchange == core::InterchangeLayout::kSoA
+                   ? "soa"
+                   : "aos")
+        .field("streams", decision.choice.streams)
+        .field("modeled_us", decision.modeled_us)
+        .field("heuristic_us", decision.heuristic_us)
+        .field("note", decision.note)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.write_file(path);
+}
+
+TuneCache::LoadResult TuneCache::load(const std::string& path) {
+  LoadResult result;
+  std::ifstream in(path);
+  if (!in) return result;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root) || root.kind != JsonValue::Kind::kObject) return result;
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != kSchemaName)
+    return result;
+  const JsonValue* entries = root.find("entries");
+  if (entries == nullptr || entries->kind != JsonValue::Kind::kArray) return result;
+  result.ok = true;
+
+  for (const JsonValue& e : entries->array) {
+    if (e.kind != JsonValue::Kind::kObject) {
+      ++result.rejected;
+      continue;
+    }
+    TuneKey key;
+    TuneDecision decision;
+    std::uint64_t stored_hash = 0;
+    unsigned schedule = 0;
+    std::string interchange;
+    const JsonValue* layout = e.find("interchange");
+    const JsonValue* note = e.find("note");
+    const bool fields_ok =
+        read_u64(e, "hash", stored_hash) && read_u32(e, "schedule", schedule) &&
+        read_u32(e, "n", key.n) && read_u32(e, "m", key.m) &&
+        read_u32(e, "k", key.k) && read_u32(e, "d", key.d) &&
+        read_u32(e, "batch", key.batch) && read_u32(e, "chunk", key.chunk) &&
+        read_u32(e, "scalar_width", key.scalar_width) &&
+        read_u32(e, "multiprocessors", key.multiprocessors) &&
+        read_u32(e, "warp_size", key.warp_size) &&
+        read_u32(e, "max_threads_per_block", key.max_threads_per_block) &&
+        read_u32(e, "max_blocks_per_sm", key.max_blocks_per_sm) &&
+        read_u32(e, "max_threads_per_sm", key.max_threads_per_sm) &&
+        read_u64(e, "shared_memory_per_block", key.shared_memory_per_block) &&
+        read_u32(e, "shared_banks", key.shared_banks) &&
+        read_u32(e, "global_transaction_bytes", key.global_transaction_bytes) &&
+        read_u32(e, "block_size", decision.choice.block_size) &&
+        read_u32(e, "streams", decision.choice.streams) &&
+        read_f64(e, "modeled_us", decision.modeled_us) &&
+        read_f64(e, "heuristic_us", decision.heuristic_us) &&
+        layout != nullptr && layout->kind == JsonValue::Kind::kString &&
+        (layout->string == "aos" || layout->string == "soa");
+    if (!fields_ok || schedule > static_cast<unsigned>(TunedSchedule::kPipelined)) {
+      ++result.rejected;
+      continue;
+    }
+    key.schedule = static_cast<TunedSchedule>(schedule);
+    decision.choice.interchange = layout->string == "soa"
+                                      ? core::InterchangeLayout::kSoA
+                                      : core::InterchangeLayout::kAoS;
+    if (note != nullptr && note->kind == JsonValue::Kind::kString)
+      decision.note = note->string;
+
+    // The staleness gate: a hash computed under another schema version
+    // (or a hand-edited key) cannot reproduce, so the entry is dropped
+    // and its key re-measures on next use.
+    if (key.structure_hash() != stored_hash) {
+      ++result.rejected;
+      continue;
+    }
+    // In-memory decisions win: never shadow a measurement made this
+    // process with a file entry.
+    if (entries_.find(stored_hash) == entries_.end())
+      entries_[stored_hash] = Entry{key, decision};
+    ++result.accepted;
+  }
+  return result;
+}
+
+}  // namespace polyeval::tune

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file tune_cache.hpp
+/// Memoization store of the autotuner: TuneKey -> TuneDecision, in
+/// memory, with JSON persistence (the committed copy lives under
+/// bench/tune/, see its README).
+///
+/// Staleness contract: every persisted entry carries the FNV-1a
+/// structure hash (tune_key.hpp) next to the key fields it was computed
+/// from.  load() re-derives the hash from the parsed fields and REJECTS
+/// any entry whose stored hash disagrees -- which is every entry written
+/// under an older kTuneSchemaVersion (the version salts the hash) and
+/// every hand-edited key.  Rejected entries are counted, not errors:
+/// the autotuner simply re-measures, so a stale cache degrades to a
+/// cold one, never to wrong geometry.
+///
+/// Determinism: save() writes entries sorted by structure hash with
+/// fixed float formatting, so two caches holding the same decisions
+/// serialize byte-identically -- the reproducibility half of the
+/// "same key, same winner across two cold runs" acceptance bar.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tune/tune_key.hpp"
+
+namespace polyeval::tune {
+
+class TuneCache {
+ public:
+  /// The memoized decision for `key`, or nullptr on a miss.  The
+  /// pointer stays valid until the next insert/clear/load.
+  [[nodiscard]] const TuneDecision* find(const TuneKey& key) const;
+
+  /// Memoize (or overwrite) the decision for `key`.
+  void insert(const TuneKey& key, const TuneDecision& decision);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Serialize every entry to `path` (JSON, hash-sorted, deterministic
+  /// bytes).  Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  struct LoadResult {
+    bool ok = false;             ///< file existed and parsed as a tune cache
+    std::size_t accepted = 0;    ///< entries whose recomputed hash matched
+    std::size_t rejected = 0;    ///< stale / tampered entries dropped
+  };
+
+  /// Merge `path` into the cache, rejecting stale entries (see the file
+  /// comment).  Existing in-memory entries win over loaded ones: a
+  /// decision measured this process is never shadowed by a file.
+  LoadResult load(const std::string& path);
+
+  /// Hash-sorted snapshot of the entries (the save order), for dumps.
+  [[nodiscard]] std::vector<std::pair<TuneKey, TuneDecision>> sorted_entries() const;
+
+ private:
+  struct Entry {
+    TuneKey key;
+    TuneDecision decision;
+  };
+  /// Keyed by structure hash; equality of the full key is re-checked on
+  /// find so a (vanishingly unlikely) hash collision reads as a miss
+  /// rather than the wrong geometry.
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace polyeval::tune

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file tune_key.hpp
+/// Cache key and decision record of the measured autotuner.
+///
+/// A TuneKey names everything that changes which launch geometry wins:
+/// the evaluator schedule (fused one-block-per-point, the three-kernel
+/// batch grid, or the stream-pipelined micro-chunk walk), the system
+/// structure (n, m, k, d) -- NOT its coefficients, which cannot move a
+/// memory access -- the batch/chunk shape the grid is built from, the
+/// scalar width (wider software arithmetic changes both the bytes per
+/// element and the issue-cycle balance of the timing model), and the
+/// geometry of the owning DeviceSpec (SM count, residency limits,
+/// shared capacity, warp and segment sizes).  Two evaluators with equal
+/// keys launch statistically identical kernels, so one measured
+/// decision serves both; anything that would change the statistics is
+/// IN the key.
+///
+/// structure_hash() folds the key and a schema version into an FNV-1a
+/// hash.  Persisted cache entries carry the hash next to the fields it
+/// was computed from; a loader recomputes it and rejects entries whose
+/// stored hash no longer matches -- stale files from an older schema
+/// (or hand-edited keys) silently fall back to a fresh measurement
+/// instead of replaying a decision made for different code.
+
+#include <cstdint>
+#include <string>
+
+#include "core/layout.hpp"
+#include "simt/device_spec.hpp"
+
+namespace polyeval::tune {
+
+/// How an evaluator resolves `block_size = 0` (and the other auto
+/// geometry knobs).  Results are bitwise identical under either mode --
+/// tuning may change timing, never values (pinned in test_tune.cpp).
+enum class TuningMode {
+  /// Measure candidate geometries through the modeled clock and take
+  /// the cached winner (the default).
+  kMeasured,
+  /// The pre-autotuner escape hatch: pick_block_size (or the paper's
+  /// fixed warp block), AoS interchange, two streams.
+  kHeuristic,
+};
+
+/// Which launch schedule a key describes (part of the key: the same
+/// structure wins different geometry under different schedules).
+enum class TunedSchedule : unsigned {
+  kFused = 0,      ///< FusedGpuEvaluator: grid = batch, one block per point
+  kBatch = 1,      ///< BatchGpuEvaluator: three kernels, monomial-strided grid
+  kPipelined = 2,  ///< PipelinedFusedEvaluator: micro-chunked stream pipeline
+};
+
+/// Bump when the key fields, the candidate set, or the scoring model
+/// change shape: every persisted hash goes stale at once and the cache
+/// re-measures instead of replaying outdated winners.
+inline constexpr std::uint64_t kTuneSchemaVersion = 1;
+
+struct TuneKey {
+  TunedSchedule schedule = TunedSchedule::kFused;
+  // System structure (poly::UniformStructure fields).
+  unsigned n = 0, m = 0, k = 0, d = 0;
+  // Launch shape: points per launch; chunk is the pipelined micro-chunk
+  // (0 for the single-launch schedules).
+  unsigned batch = 0;
+  unsigned chunk = 0;
+  /// Hardware doubles per real scalar: 1 double, 2 double-double,
+  /// 4 quad-double.
+  unsigned scalar_width = 1;
+  // DeviceSpec geometry (everything the statistics or feasibility of a
+  // candidate can depend on).
+  unsigned multiprocessors = 0;
+  unsigned warp_size = 0;
+  unsigned max_threads_per_block = 0;
+  unsigned max_blocks_per_sm = 0;
+  unsigned max_threads_per_sm = 0;
+  std::uint64_t shared_memory_per_block = 0;
+  unsigned shared_banks = 0;
+  unsigned global_transaction_bytes = 0;
+
+  friend bool operator==(const TuneKey&, const TuneKey&) = default;
+
+  /// FNV-1a over the schema version and every key field, in declaration
+  /// order.  Deterministic across platforms and runs.
+  [[nodiscard]] std::uint64_t structure_hash() const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xFFu;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(kTuneSchemaVersion);
+    mix(static_cast<std::uint64_t>(schedule));
+    mix(n); mix(m); mix(k); mix(d);
+    mix(batch); mix(chunk); mix(scalar_width);
+    mix(multiprocessors); mix(warp_size); mix(max_threads_per_block);
+    mix(max_blocks_per_sm); mix(max_threads_per_sm);
+    mix(shared_memory_per_block); mix(shared_banks);
+    mix(global_transaction_bytes);
+    return h;
+  }
+
+  /// Key for `system structure s` launched with `batch` points on
+  /// `spec` -- the shared builder every evaluator routes through.
+  [[nodiscard]] static TuneKey make(TunedSchedule schedule,
+                                    const poly::UniformStructure& s, unsigned batch,
+                                    unsigned chunk, unsigned scalar_width,
+                                    const simt::DeviceSpec& spec) noexcept {
+    TuneKey key;
+    key.schedule = schedule;
+    key.n = s.n; key.m = s.m; key.k = s.k; key.d = s.d;
+    key.batch = batch;
+    key.chunk = chunk;
+    key.scalar_width = scalar_width;
+    key.multiprocessors = spec.multiprocessors;
+    key.warp_size = spec.warp_size;
+    key.max_threads_per_block = spec.max_threads_per_block;
+    key.max_blocks_per_sm = spec.max_blocks_per_sm;
+    key.max_threads_per_sm = spec.max_threads_per_sm;
+    key.shared_memory_per_block = spec.shared_memory_per_block;
+    key.shared_banks = spec.shared_banks;
+    key.global_transaction_bytes = spec.global_transaction_bytes;
+    return key;
+  }
+};
+
+/// One launch-geometry candidate: the knobs a probe run varies.
+struct TuneCandidate {
+  unsigned block_size = 32;
+  core::InterchangeLayout interchange = core::InterchangeLayout::kAoS;
+  /// Pipelined schedule only: 2 (shared copy stream) or 3 (one stream
+  /// per DMA direction).  Ignored by the single-launch schedules.
+  unsigned streams = 2;
+
+  friend bool operator==(const TuneCandidate&, const TuneCandidate&) = default;
+};
+
+/// A memoized winner: the chosen geometry plus the measurements that
+/// chose it (the heuristic seed's score rides along so tuned-vs-seed
+/// ratios never need a re-measurement).
+struct TuneDecision {
+  TuneCandidate choice;
+  double modeled_us = 0.0;    ///< winner's modeled wall-clock
+  double heuristic_us = 0.0;  ///< the heuristic seed candidate's score
+  /// One-line memory-behaviour justification distilled from the
+  /// winning probe's ProfileReport (human-readable dumps only).
+  std::string note;
+
+  /// Modeled speedup of the winner over the heuristic seed; >= 1.0 by
+  /// construction (the seed is always candidate zero).
+  [[nodiscard]] double speedup() const noexcept {
+    return modeled_us > 0.0 ? heuristic_us / modeled_us : 1.0;
+  }
+};
+
+}  // namespace polyeval::tune

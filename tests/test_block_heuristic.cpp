@@ -32,6 +32,18 @@ TEST(BlockHeuristic, UnderFullGridsWiden) {
   EXPECT_EQ(pick_block_size(32, 22, 9, 1), 160u);  // wide system, lone point
 }
 
+TEST(BlockHeuristic, SpecAwareSeedUsesTheDeviceSmCount) {
+  // The 5-arg form takes the SM count from the owning DeviceSpec
+  // instead of hard-coding Fermi's 14: the same batch that widens on a
+  // 14-SM part stays narrow on a 4-SM part (batch >= SMs) and widens
+  // on a 30-SM part (batch < SMs).
+  EXPECT_EQ(pick_block_size(16, 22, 9, 16), pick_block_size(16, 22, 9, 16, 14));
+  EXPECT_EQ(pick_block_size(16, 22, 9, 8, 4), 32u);    // 8 >= 4 SMs: one warp
+  EXPECT_EQ(pick_block_size(16, 22, 9, 8, 14), 64u);   // 8 < 14 SMs: widened
+  EXPECT_EQ(pick_block_size(16, 22, 9, 16, 30), 64u);  // 16 < 30 SMs: widened
+  EXPECT_EQ(pick_block_size(16, 22, 9, 16, 0), 32u);   // degenerate spec clamps
+}
+
 TEST(BlockHeuristic, CapsAndClamps) {
   // Never wider than 256, never narrower than one warp, and never
   // wider than the narrower per-point loop can feed.
@@ -49,7 +61,10 @@ TEST(BlockHeuristic, CapsAndClamps) {
         }
 }
 
-TEST(BlockHeuristic, EvaluatorsUseItAsTheDefault) {
+TEST(BlockHeuristic, EvaluatorsUseItAsTheHeuristicSeed) {
+  // Under TuningMode::kHeuristic the evaluators resolve their auto
+  // geometry with pick_block_size exactly (the pinned escape hatch);
+  // the default kMeasured mode is exercised in test_tune.cpp.
   poly::SystemSpec spec;
   spec.dimension = 8;
   spec.monomials_per_polynomial = 6;
@@ -59,26 +74,55 @@ TEST(BlockHeuristic, EvaluatorsUseItAsTheDefault) {
 
   {
     simt::Device device;
-    core::FusedGpuEvaluator<double> fused(device, sys, 4);
-    EXPECT_EQ(fused.options().block_size, pick_block_size(8, 6, 4, 4));
+    core::FusedGpuEvaluator<double>::Options opt;
+    opt.tuning = tune::TuningMode::kHeuristic;
+    core::FusedGpuEvaluator<double> fused(device, sys, 4, opt);
+    EXPECT_EQ(fused.options().block_size,
+              pick_block_size(8, 6, 4, 4, device.spec().multiprocessors));
+    EXPECT_EQ(fused.options().interchange, core::InterchangeLayout::kAoS);
   }
   {
     // The pipelined evaluator launches micro-chunk grids, so its
-    // default comes from the micro-chunk, not the batch capacity.
+    // default comes from the micro-chunk, not the batch capacity; its
+    // heuristic stream count is the historical two.
     simt::Device device;
     core::PipelinedFusedEvaluator<double>::Options opt;
     opt.micro_chunk = 2;
+    opt.tuning = tune::TuningMode::kHeuristic;
     core::PipelinedFusedEvaluator<double> pipelined(device, sys, 16, opt);
-    EXPECT_EQ(pipelined.options().block_size, pick_block_size(8, 6, 4, 2));
+    EXPECT_EQ(pipelined.options().block_size,
+              pick_block_size(8, 6, 4, 2, device.spec().multiprocessors));
+    EXPECT_EQ(pipelined.streams(), 2u);
   }
   {
-    // An explicit block size still wins.
+    // An explicit block size still wins, and pinning it also pins the
+    // layout to the heuristic seed even in measured mode (a half-pinned
+    // key would poison the tune cache).
     simt::Device device;
     core::FusedGpuEvaluator<double>::Options opt;
     opt.block_size = 128;
     core::FusedGpuEvaluator<double> fused(device, sys, 4, opt);
     EXPECT_EQ(fused.options().block_size, 128u);
+    EXPECT_EQ(fused.options().interchange, core::InterchangeLayout::kAoS);
   }
+}
+
+TEST(BlockHeuristic, MeasuredDefaultResolvesToALegalGeometry) {
+  // The default (kMeasured) route may pick any probed candidate, but
+  // the resolved options must always be concrete and launchable.
+  poly::SystemSpec spec;
+  spec.dimension = 8;
+  spec.monomials_per_polynomial = 6;
+  spec.variables_per_monomial = 4;
+  spec.max_exponent = 3;
+  const auto sys = poly::make_random_system(spec);
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> fused(device, sys, 4);
+  EXPECT_GE(fused.options().block_size, 32u);
+  EXPECT_LE(fused.options().block_size, 256u);
+  EXPECT_EQ(fused.options().block_size % 32u, 0u);
+  EXPECT_TRUE(fused.options().interchange.has_value());
 }
 
 }  // namespace

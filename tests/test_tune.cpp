@@ -1,0 +1,390 @@
+// The measured autotuner (src/tune/): cache hit/miss semantics,
+// deterministic JSON persistence with stale-hash rejection, and the
+// load-bearing invariant of the whole layer -- tuning may change
+// MODELED TIMING, never values.  Tuned-vs-heuristic evaluations are
+// bitwise identical across double / double-double / quad-double and
+// across shard counts, and the 2- vs 3-stream pipeline schedules agree
+// bitwise while the 3-stream makespan never loses.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipelined_evaluator.hpp"
+#include "core/sharded_evaluator.hpp"
+#include "poly/random_system.hpp"
+#include "prec/double_double.hpp"
+#include "prec/quad_double.hpp"
+#include "tune/autotuner.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+poly::PolynomialSystem make_system(unsigned n, unsigned m, unsigned k, unsigned d,
+                                   std::uint64_t seed = 2012) {
+  poly::SystemSpec spec;
+  spec.dimension = n;
+  spec.monomials_per_polynomial = m;
+  spec.variables_per_monomial = k;
+  spec.max_exponent = d;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+tune::TuneKey key_for(unsigned n, unsigned batch = 8) {
+  poly::UniformStructure s;
+  s.n = n;
+  s.m = 5;
+  s.k = 3;
+  s.d = 3;
+  return tune::TuneKey::make(tune::TunedSchedule::kFused, s, batch, 0, 1,
+                             simt::DeviceSpec::tesla_c2050());
+}
+
+/// A synthetic probe whose score is a function of the candidate; counts
+/// invocations so hit/miss behaviour is observable.
+struct FakeProbe {
+  int* calls;
+  std::optional<tune::ProbeOutcome> operator()(const tune::TuneCandidate& c) const {
+    ++*calls;
+    tune::ProbeOutcome out;
+    // 64-thread blocks score best; SoA shaves a little more.
+    out.modeled_us = 100.0 + (c.block_size == 64 ? -20.0 : 0.0) +
+                     (c.interchange == core::InterchangeLayout::kSoA ? -5.0 : 0.0);
+    simt::KernelStats k;
+    k.kernel = "fake";
+    k.global_load_requests = 10;
+    k.global_load_transactions = 10;
+    out.log.kernels.push_back(k);
+    return out;
+  }
+};
+
+TEST(TuneCache, MissProbesEveryCandidateAndHitProbesNone) {
+  tune::Autotuner tuner;
+  const auto key = key_for(8);
+  const unsigned blocks[] = {32, 64, 128};
+  const unsigned streams[] = {2};
+  const auto candidates = tune::standard_candidates(32, blocks, streams);
+  // Seed (32, AoS) + {AoS, SoA} x {32, 64, 128} with the seed deduped.
+  ASSERT_EQ(candidates.size(), 6u);
+
+  int calls = 0;
+  const auto first = tuner.tune(key, candidates, FakeProbe{&calls});
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(tuner.misses(), 1u);
+  EXPECT_EQ(tuner.hits(), 0u);
+  EXPECT_EQ(first.choice.block_size, 64u);
+  EXPECT_EQ(first.choice.interchange, core::InterchangeLayout::kSoA);
+  EXPECT_DOUBLE_EQ(first.modeled_us, 75.0);
+  EXPECT_DOUBLE_EQ(first.heuristic_us, 100.0);  // candidate 0 = the seed
+  EXPECT_GE(first.speedup(), 1.0);
+
+  const auto second = tuner.tune(key, candidates, FakeProbe{&calls});
+  EXPECT_EQ(calls, 6) << "a cache hit must not probe";
+  EXPECT_EQ(tuner.hits(), 1u);
+  EXPECT_EQ(second.choice, first.choice);
+  EXPECT_DOUBLE_EQ(second.modeled_us, first.modeled_us);
+
+  // A different key misses again.
+  (void)tuner.tune(key_for(9), candidates, FakeProbe{&calls});
+  EXPECT_EQ(tuner.misses(), 2u);
+  EXPECT_EQ(calls, 12);
+}
+
+TEST(TuneCache, ExactTiesFallToTheProfileThenTheEarlierCandidate) {
+  tune::Autotuner tuner;
+  std::vector<tune::TuneCandidate> candidates(3);
+  candidates[0].block_size = 32;
+  candidates[1].block_size = 64;
+  candidates[2].block_size = 96;
+
+  // All candidates price identically; candidate 1 touches fewer global
+  // segments, so the profile breaks the tie in its favour; candidate 2
+  // matches 1 and must NOT displace it (earlier wins).
+  const auto probe = [](const tune::TuneCandidate& c)
+      -> std::optional<tune::ProbeOutcome> {
+    tune::ProbeOutcome out;
+    out.modeled_us = 50.0;
+    simt::KernelStats k;
+    k.kernel = "fake";
+    k.global_load_transactions = c.block_size == 32 ? 40 : 20;
+    out.log.kernels.push_back(k);
+    return out;
+  };
+  const auto decision = tuner.tune(key_for(10), candidates, probe);
+  EXPECT_EQ(decision.choice.block_size, 64u);
+}
+
+TEST(TuneCache, InfeasibleCandidatesAreSkippedAndAllInfeasibleThrows) {
+  tune::Autotuner tuner;
+  std::vector<tune::TuneCandidate> candidates(2);
+  candidates[0].block_size = 32;
+  candidates[1].block_size = 64;
+
+  // The seed itself is infeasible: the winner doubles as the reference.
+  const auto probe = [](const tune::TuneCandidate& c)
+      -> std::optional<tune::ProbeOutcome> {
+    if (c.block_size == 32) return std::nullopt;
+    tune::ProbeOutcome out;
+    out.modeled_us = 80.0;
+    return out;
+  };
+  const auto decision = tuner.tune(key_for(11), candidates, probe);
+  EXPECT_EQ(decision.choice.block_size, 64u);
+  EXPECT_DOUBLE_EQ(decision.heuristic_us, decision.modeled_us);
+
+  const auto never = [](const tune::TuneCandidate&)
+      -> std::optional<tune::ProbeOutcome> { return std::nullopt; };
+  EXPECT_THROW((void)tuner.tune(key_for(12), candidates, never),
+               std::runtime_error);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+tune::TuneDecision decision_of(unsigned block, core::InterchangeLayout layout,
+                               double modeled, double heuristic) {
+  tune::TuneDecision d;
+  d.choice.block_size = block;
+  d.choice.interchange = layout;
+  d.modeled_us = modeled;
+  d.heuristic_us = heuristic;
+  d.note = "block " + std::to_string(block);
+  return d;
+}
+
+TEST(TuneCache, JsonRoundTripIsByteStableAndLossless) {
+  tune::TuneCache cache;
+  cache.insert(key_for(8), decision_of(64, core::InterchangeLayout::kSoA, 75.5, 100.25));
+  cache.insert(key_for(16), decision_of(32, core::InterchangeLayout::kAoS, 42.0, 42.0));
+  cache.insert(key_for(16, 777), decision_of(128, core::InterchangeLayout::kAoS, 9.5, 19.0));
+
+  const std::string path1 = "test_tune_cache_1.json";
+  const std::string path2 = "test_tune_cache_2.json";
+  ASSERT_TRUE(cache.save(path1));
+
+  tune::TuneCache reloaded;
+  const auto result = reloaded.load(path1);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.accepted, 3u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(reloaded.size(), 3u);
+
+  // Lossless: every decision survives the trip.
+  const tune::TuneDecision* d = reloaded.find(key_for(8));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->choice.block_size, 64u);
+  EXPECT_EQ(d->choice.interchange, core::InterchangeLayout::kSoA);
+  EXPECT_DOUBLE_EQ(d->modeled_us, 75.5);
+  EXPECT_DOUBLE_EQ(d->heuristic_us, 100.25);
+  EXPECT_EQ(d->note, "block 64");
+
+  // Byte-stable: save -> load -> save reproduces the file exactly.
+  ASSERT_TRUE(reloaded.save(path2));
+  EXPECT_EQ(slurp(path1), slurp(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TuneCache, StaleOrTamperedEntriesAreRejected) {
+  tune::TuneCache cache;
+  cache.insert(key_for(8), decision_of(64, core::InterchangeLayout::kSoA, 75.0, 100.0));
+  cache.insert(key_for(16, 777), decision_of(32, core::InterchangeLayout::kAoS, 50.0, 50.0));
+  const std::string path = "test_tune_cache_stale.json";
+  ASSERT_TRUE(cache.save(path));
+
+  // Hand-edit one key field; its stored hash can no longer reproduce,
+  // so the loader must drop that entry and keep the other.
+  std::string text = slurp(path);
+  const auto pos = text.find("\"batch\":777");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\"batch\":778");
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+
+  tune::TuneCache reloaded;
+  const auto result = reloaded.load(path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.accepted, 1u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_NE(reloaded.find(key_for(8)), nullptr);
+  EXPECT_EQ(reloaded.find(key_for(16, 777)), nullptr);
+  EXPECT_EQ(reloaded.find(key_for(16, 778)), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(TuneCache, InMemoryDecisionsWinOverLoadedOnes) {
+  tune::TuneCache file_cache;
+  file_cache.insert(key_for(8), decision_of(64, core::InterchangeLayout::kSoA, 75.0, 100.0));
+  const std::string path = "test_tune_cache_merge.json";
+  ASSERT_TRUE(file_cache.save(path));
+
+  tune::TuneCache cache;
+  cache.insert(key_for(8), decision_of(96, core::InterchangeLayout::kAoS, 70.0, 100.0));
+  const auto result = cache.load(path);
+  EXPECT_TRUE(result.ok);
+  const tune::TuneDecision* d = cache.find(key_for(8));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->choice.block_size, 96u) << "a file entry must not shadow a measurement";
+  std::remove(path.c_str());
+}
+
+TEST(TuneCache, NonCacheFilesAreReportedNotOk) {
+  tune::TuneCache cache;
+  EXPECT_FALSE(cache.load("does_not_exist_tune.json").ok);
+
+  const std::string path = "test_tune_cache_bogus.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema\":\"something-else\",\"entries\":[]}";
+  }
+  EXPECT_FALSE(cache.load(path).ok);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// The bitwise contract: tuning changes timing, never values.
+
+template <prec::RealScalar S>
+void expect_tuned_matches_heuristic_sharded(unsigned shards) {
+  const auto sys = make_system(6, 5, 3, 3);
+  std::vector<std::vector<cplx::Complex<S>>> points;
+  for (unsigned p = 0; p < 12; ++p)
+    points.push_back(poly::make_random_point<S>(6, 4200 + p));
+
+  const auto run = [&](tune::TuningMode mode) {
+    typename core::ShardedEvaluator<S>::Options opt;
+    opt.shards = shards;
+    opt.chunk_points = 4;
+    opt.schedule = core::ShardSchedule::kStatic;
+    opt.backend.tuning = mode;
+    core::ShardedEvaluator<S> eval(sys, opt);
+    std::vector<poly::EvalResult<S>> results;
+    eval.evaluate(points, results);
+    return results;
+  };
+
+  const auto tuned = run(tune::TuningMode::kMeasured);
+  const auto heuristic = run(tune::TuningMode::kHeuristic);
+  ASSERT_EQ(tuned.size(), heuristic.size());
+  for (std::size_t p = 0; p < tuned.size(); ++p)
+    EXPECT_EQ(poly::max_abs_diff(tuned[p], heuristic[p]), 0.0)
+        << "shards " << shards << ", point " << p;
+}
+
+TEST(TuneParity, TunedMatchesHeuristicBitwiseDouble) {
+  for (const unsigned shards : {1u, 2u, 4u})
+    expect_tuned_matches_heuristic_sharded<double>(shards);
+}
+
+TEST(TuneParity, TunedMatchesHeuristicBitwiseDoubleDouble) {
+  for (const unsigned shards : {1u, 2u, 4u})
+    expect_tuned_matches_heuristic_sharded<prec::DoubleDouble>(shards);
+}
+
+TEST(TuneParity, TunedMatchesHeuristicBitwiseQuadDouble) {
+  for (const unsigned shards : {1u, 2u, 4u})
+    expect_tuned_matches_heuristic_sharded<prec::QuadDouble>(shards);
+}
+
+TEST(TuneParity, ThreeStreamPipelineIsBitwiseAndNeverModeledSlower) {
+  // Transfer-heavy shape (small m, k: little arithmetic per byte
+  // moved), where the download stream has actual queueing to dodge.
+  const auto sys = make_system(16, 4, 2, 3);
+  std::vector<std::vector<cplx::Complex<double>>> points;
+  for (unsigned p = 0; p < 64; ++p)
+    points.push_back(poly::make_random_point<double>(16, 7700 + p));
+
+  const auto run = [&](unsigned streams, double& makespan_us) {
+    simt::Device device;
+    core::PipelinedFusedEvaluator<double>::Options opt;
+    opt.block_size = 64;  // pinned: identical launches, only the
+    opt.interchange = core::InterchangeLayout::kAoS;  // schedule differs
+    opt.streams = streams;
+    opt.micro_chunk = 8;
+    core::PipelinedFusedEvaluator<double> eval(device, sys, 64, opt);
+    std::vector<poly::EvalResult<double>> results;
+    eval.evaluate(points, results);
+    makespan_us = eval.modeled_pipelined_us();
+    EXPECT_EQ(eval.streams(), streams);
+    return results;
+  };
+
+  double makespan2 = 0.0, makespan3 = 0.0;
+  const auto two = run(2, makespan2);
+  const auto three = run(3, makespan3);
+  ASSERT_EQ(two.size(), three.size());
+  for (std::size_t p = 0; p < two.size(); ++p)
+    EXPECT_EQ(poly::max_abs_diff(two[p], three[p]), 0.0) << "point " << p;
+  EXPECT_GT(makespan2, 0.0);
+  EXPECT_LE(makespan3, makespan2)
+      << "a dedicated download stream can only relax FIFO constraints";
+}
+
+TEST(TuneParity, MeasuredResolutionIsDeterministicAcrossColdRuns) {
+  // Two cold runs of the same workload must resolve the same geometry
+  // and serialize byte-identical caches (the reproducibility half of
+  // the acceptance bar).  The global tuner is cleared to force both
+  // runs cold; decisions are re-measured from scratch.
+  const auto sys = make_system(8, 6, 4, 3);
+  const auto resolve = [&]() {
+    tune::Autotuner::global().cache().clear();
+    simt::Device device;
+    core::FusedGpuEvaluator<double> fused(device, sys, 6);
+    return fused.options();
+  };
+
+  const auto first = resolve();
+  const std::string path1 = "test_tune_cold_1.json";
+  ASSERT_TRUE(tune::Autotuner::global().cache().save(path1));
+
+  const auto second = resolve();
+  const std::string path2 = "test_tune_cold_2.json";
+  ASSERT_TRUE(tune::Autotuner::global().cache().save(path2));
+
+  EXPECT_EQ(first.block_size, second.block_size);
+  EXPECT_EQ(first.interchange, second.interchange);
+  EXPECT_EQ(slurp(path1), slurp(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TuneProfile, ReportsFoldLaunchesAndDiagnose) {
+  simt::LaunchLog log;
+  simt::KernelStats a;
+  a.kernel = "fused_eval";
+  a.blocks = 4;
+  a.threads = 128;
+  a.global_load_requests = 10;
+  a.global_load_transactions = 40;  // scattered: 4 segments per request
+  a.shared_requests = 100;
+  a.shared_cycles = 100;
+  a.waves = 1;
+  log.kernels.push_back(a);
+  log.kernels.push_back(a);  // second launch of the same kernel folds in
+
+  const auto report = tune::ProfileReport::from_log(log);
+  ASSERT_EQ(report.kernels.size(), 1u);
+  const auto& k = report.kernels.front();
+  EXPECT_EQ(k.launches, 2u);
+  EXPECT_EQ(k.load_requests, 20u);
+  EXPECT_EQ(k.load_transactions, 80u);
+  EXPECT_DOUBLE_EQ(k.load_transactions_per_request(), 4.0);
+  EXPECT_NE(k.diagnosis().find("scatter"), std::string::npos);
+  EXPECT_EQ(report.total_transactions(), 80u);
+  EXPECT_NE(report.summary().find("fused_eval"), std::string::npos);
+}
+
+}  // namespace
