@@ -3,7 +3,9 @@
 
 Compares every host wall-clock field (key containing "wall_us";
 lower is better), every host throughput field (key containing
-"per_sec"; HIGHER is better) and every classification-quality field
+"per_sec"; HIGHER is better -- this includes the solve service's
+sustained "solves_per_sec", bench_service's headline number) and every
+classification-quality field
 (key containing "solved_frac"; HIGHER is better -- the projective
 tracker's classified-endpoint fraction, which must never collapse back
 toward the ~0 of the pre-projective tracker) of each current bench
@@ -46,6 +48,10 @@ def gated_leaves(node, path=""):
                 yield from gated_leaves(value, sub)
             elif isinstance(value, (int, float)) and "wall_us" in key:
                 yield sub, float(value), False, False
+            elif isinstance(value, (int, float)) and "solves_per_sec" in key:
+                # The solve service's sustained-throughput headline
+                # (bench_service): higher is better, coarse wall ratio.
+                yield sub, float(value), True, False
             elif isinstance(value, (int, float)) and "per_sec" in key:
                 yield sub, float(value), True, False
             elif isinstance(value, (int, float)) and "solved_frac" in key:

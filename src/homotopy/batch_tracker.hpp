@@ -51,6 +51,10 @@
 /// (the device log is cleared -- capacity kept -- at each round's
 /// start, the long-running-caller convention).
 
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
 #include "ad/cpu_evaluator.hpp"
 #include "homotopy/projective.hpp"
 #include "homotopy/tracker.hpp"
@@ -196,8 +200,14 @@ class BatchPathTracker {
       std::conditional_t<kExternalHomo, TargetOrHomo, BatchedHomotopy<S, TargetOrHomo>>;
 
  private:
+  /// Multi-tenant homotopies (the solve service's) need the slot id of
+  /// every staged point to route it to its own system tables...
+  static constexpr bool kSlotAware = newton::SlotAwareEvaluator<Homo>;
+  /// ...and take the slot id in their projective hooks too.
+  static constexpr bool kSlotProjective =
+      requires(Homo& h, std::size_t id, std::span<C> z) { h.renormalize(id, z); };
   static constexpr bool kProjective =
-      requires(Homo& h, std::span<C> z) { h.renormalize(z); };
+      kSlotProjective || requires(Homo& h, std::span<C> z) { h.renormalize(z); };
   using HomoMember = std::conditional_t<kExternalHomo, Homo&, Homo>;
 
  public:
@@ -261,6 +271,81 @@ class BatchPathTracker {
     }
   }
 
+  /// Seat one path in free slot `slot` with explicit step-control state
+  /// -- the solve service's incremental entry point, used both for
+  /// fresh admissions (initial_step_state) and for live paths stolen
+  /// from another shard's tracker mid-solve (path state is just
+  /// (x, t, step, streak); a path's trajectory depends only on its
+  /// state and the homotopy, so adoption preserves the bitwise
+  /// contract).  The slot must not be live.
+  void adopt(std::size_t slot, std::span<const C> x, const detail::StepState& ctl) {
+    if (slot >= max_paths_)
+      throw std::invalid_argument("BatchPathTracker: bad adopt slot");
+    if (x.size() != h_.dimension())
+      throw std::invalid_argument("BatchPathTracker: root has wrong dimension");
+    for (const std::size_t id : active_)
+      if (id == slot) throw std::logic_error("BatchPathTracker: slot is live");
+    for (const std::size_t id : endgame_ids_)
+      if (id == slot) throw std::logic_error("BatchPathTracker: slot is live");
+    auto& s = slots_[slot];
+    std::copy(x.begin(), x.end(), s.x.begin());
+    s.ctl = ctl;
+    s.final_residual = 0.0;
+    s.status = PathStatus::kStalled;
+    s.winding = 0;
+    s.retired = false;
+    s.success = false;
+    active_.push_back(slot);
+    paths_ = std::max(paths_, slot + 1);
+    {
+      std::lock_guard<std::mutex> lk(cancel_mutex_);
+      cancel_flags_[slot] = 0;  // stale flag from the slot's former tenant
+    }
+  }
+
+  /// Fresh-path adoption: the same loading start() performs per slot.
+  void adopt(std::size_t slot, std::span<const C> x) {
+    adopt(slot, x, detail::initial_step_state(options_));
+  }
+
+  /// Steal the live tracking path out of `slot`: its point is copied to
+  /// x_out, its step-control state returned, and the slot freed for
+  /// re-adoption.  Only plain tracking paths are donatable -- endgame
+  /// paths carry Cauchy accumulator state and are pinned to their shard.
+  detail::StepState donate(std::size_t slot, std::span<C> x_out) {
+    const auto it = std::find(active_.begin(), active_.end(), slot);
+    if (it == active_.end())
+      throw std::logic_error("BatchPathTracker: slot not donatable");
+    active_.erase(it);  // order-preserving, so later rounds stay deterministic
+    auto& s = slots_[slot];
+    std::copy(s.x.begin(), s.x.end(), x_out.begin());
+    return s.ctl;
+  }
+
+  /// True when `slot` holds a tracking path that donate() may take.
+  [[nodiscard]] bool donatable(std::size_t slot) const {
+    return std::find(active_.begin(), active_.end(), slot) != active_.end();
+  }
+
+  /// Whether path i has retired (result() is ready).
+  [[nodiscard]] bool retired(std::size_t i) const {
+    return i < paths_ && slots_[i].retired;
+  }
+
+  [[nodiscard]] const TrackOptions& options() const noexcept { return options_; }
+
+  /// Request cooperative cancellation of path `slot`.  Thread-safe (the
+  /// async service's clients call it while round() runs); the path
+  /// retires as kCancelled at the next consume point -- round entry, or
+  /// the corrector mask for cancels landing after the predictor (whose
+  /// launch masks they then skip, newton::refine_batch).
+  void cancel(std::size_t slot) {
+    if (slot >= max_paths_) return;
+    std::lock_guard<std::mutex> lk(cancel_mutex_);
+    cancel_flags_[slot] = 1;
+    cancel_pending_ = true;
+  }
+
   /// Advance every live path one predictor-corrector step (or, for
   /// paths in the endgame, one Cauchy circle sample), classify and
   /// retire this round's finishers, and compact the retirees out of the
@@ -271,6 +356,15 @@ class BatchPathTracker {
     device_.clear_log();
     ++rounds_;
     const unsigned n = h_.dimension();
+
+    // Cancellation consume point 1: requests that arrived between
+    // rounds retire before any staging -- no probe launch, cancellation
+    // must be cheap.
+    if (take_cancel_flags()) {
+      sweep_cancelled(active_);
+      sweep_cancelled(endgame_ids_);
+      if (active_.empty() && endgame_ids_.empty()) return 0;
+    }
 
     newton::NewtonOptions copts;
     copts.max_iterations = options_.corrector_iterations;
@@ -304,6 +398,7 @@ class BatchPathTracker {
         ts_[j] = C(S(s.ctl.t));
         std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
       }
+      bind_ids(active_);
       for (std::size_t c0 = 0; c0 < a; c0 += cap_) {
         const std::size_t cc = std::min(cap_, a - c0);
         h_.evaluate_range(batch_pts_, std::span<const C>(ts_), c0, cc,
@@ -328,10 +423,25 @@ class BatchPathTracker {
         }
       }
 
+      // Cancellation consume point 2: cancels that landed after the
+      // predictor mask the corrector instead (an all-masked batch pays
+      // no launch at all -- refine_batch's early return), and endgame
+      // paths flagged by the same sweep retire before their stage.
+      const bool mid_cancel = take_cancel_flags();
+      if (mid_cancel) {
+        for (std::size_t j = 0; j < a; ++j)
+          cancel_mask_[j] = round_cancel_[active_[j]];
+        sweep_cancelled(endgame_ids_);
+      }
+
       // Corrector: masked batched Newton at the clamped advanced t.
-      newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), a,
-                              copts, arena_, nscratch_,
-                              std::span<newton::BatchPathStatus>(statuses_));
+      newton::refine_batch<S>(
+          h_, corr_pts_, std::span<const C>(corr_ts_), a, copts, arena_,
+          nscratch_, std::span<newton::BatchPathStatus>(statuses_),
+          std::span<const std::size_t>(active_),
+          mid_cancel
+              ? std::span<const unsigned char>(cancel_mask_.data(), a)
+              : std::span<const unsigned char>{});
 
       // Per-path step control -- the scalar tracker's accept/reject
       // arithmetic (the shared one copy), path by path.
@@ -339,12 +449,16 @@ class BatchPathTracker {
       for (std::size_t j = 0; j < a; ++j) {
         const std::size_t id = active_[j];
         auto& s = slots_[id];
+        if (mid_cancel && cancel_mask_[j]) {
+          retire(s, PathStatus::kCancelled, s.final_residual);
+          continue;
+        }
         if (statuses_[j].converged) {
           std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
           detail::accept_step(s.ctl, t_next_[j], options_);
           if constexpr (kProjective) {
-            h_.renormalize(std::span<C>(s.x));
-            if (h_.infinity_ratio(std::span<const C>(s.x)) <
+            renormalize_slot(id, std::span<C>(s.x));
+            if (infinity_ratio_slot(id, std::span<const C>(s.x)) <
                 options_.at_infinity_tolerance) {
               retire(s, PathStatus::kAtInfinity, statuses_[j].final_residual);
               continue;
@@ -390,7 +504,9 @@ class BatchPathTracker {
         egopts.residual_tolerance = options_.endgame.corrector_tolerance;
         newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), e,
                                 egopts, arena_, nscratch_,
-                                std::span<newton::BatchPathStatus>(statuses_));
+                                std::span<newton::BatchPathStatus>(statuses_),
+                                std::span<const std::size_t>(endgame_ids_),
+                                std::span<const unsigned char>{});
         keep = 0;
         for (std::size_t j = 0; j < e; ++j) {
           const std::size_t id = endgame_ids_[j];
@@ -441,7 +557,9 @@ class BatchPathTracker {
       eopts.residual_tolerance = options_.end_tolerance;
       newton::refine_batch<S>(h_, corr_pts_, std::span<const C>(corr_ts_), e,
                               eopts, arena_, nscratch_,
-                              std::span<newton::BatchPathStatus>(statuses_));
+                              std::span<newton::BatchPathStatus>(statuses_),
+                              std::span<const std::size_t>(end_ids_),
+                              std::span<const unsigned char>{});
       for (std::size_t j = 0; j < e; ++j) {
         auto& s = slots_[end_ids_[j]];
         if (statuses_[j].converged) {
@@ -451,7 +569,7 @@ class BatchPathTracker {
           s.final_residual = statuses_[j].initial_residual;
         }
         if constexpr (kProjective) {
-          if (h_.infinity_ratio(std::span<const C>(s.x)) <
+          if (infinity_ratio_slot(end_ids_[j], std::span<const C>(s.x)) <
               options_.at_infinity_tolerance) {
             retire(s, PathStatus::kAtInfinity, s.final_residual);
             continue;
@@ -551,6 +669,61 @@ class BatchPathTracker {
     rhs_.resize(cap_ * std::size_t{n});
     flow_.resize(cap_ * std::size_t{n});
     singular_.resize(cap_);
+    cancel_flags_.assign(max_paths_, 0);
+    round_cancel_.assign(max_paths_, 0);
+    cancel_mask_.assign(max_paths_, 0);
+  }
+
+  /// Point -> slot routing for multi-tenant homotopies: before a staged
+  /// launch whose point i came from slot ids[i], hand the id list to a
+  /// slot-aware homotopy (no-op for single-tenant homotopies).
+  void bind_ids([[maybe_unused]] const std::vector<std::size_t>& ids) {
+    if constexpr (kSlotAware) h_.bind_slots(std::span<const std::size_t>(ids));
+  }
+
+  /// The projective hooks, routed per slot on multi-tenant homotopies
+  /// (each tenant has its own patch).
+  void renormalize_slot([[maybe_unused]] std::size_t id,
+                        [[maybe_unused]] std::span<C> z) {
+    if constexpr (kSlotProjective)
+      h_.renormalize(id, z);
+    else if constexpr (kProjective)
+      h_.renormalize(z);
+  }
+  [[nodiscard]] double infinity_ratio_slot([[maybe_unused]] std::size_t id,
+                                           [[maybe_unused]] std::span<const C> z)
+      const {
+    if constexpr (kSlotProjective)
+      return h_.infinity_ratio(id, z);
+    else if constexpr (kProjective)
+      return h_.infinity_ratio(z);
+    else
+      return std::numeric_limits<double>::infinity();  // affine: never at infinity
+  }
+
+  /// Copy-and-clear the pending cancel flags into round_cancel_;
+  /// returns whether any were set.  The only lock round() takes, held
+  /// for two memcpy-sized loops.
+  bool take_cancel_flags() {
+    std::lock_guard<std::mutex> lk(cancel_mutex_);
+    if (!cancel_pending_) return false;
+    std::copy(cancel_flags_.begin(), cancel_flags_.end(), round_cancel_.begin());
+    std::fill(cancel_flags_.begin(), cancel_flags_.end(), 0);
+    cancel_pending_ = false;
+    return true;
+  }
+
+  /// Retire every round_cancel_-flagged path of `ids` as kCancelled and
+  /// compact it out (no probe launch; the last known residual stands).
+  void sweep_cancelled(std::vector<std::size_t>& ids) {
+    std::size_t keep = 0;
+    for (const std::size_t id : ids) {
+      if (round_cancel_[id])
+        retire(slots_[id], PathStatus::kCancelled, slots_[id].final_residual);
+      else
+        ids[keep++] = id;
+    }
+    ids.resize(keep);
   }
 
   /// A failed endgame attempt (lost sample or no closure): restore the
@@ -588,6 +761,7 @@ class BatchPathTracker {
       std::copy(s.x.begin(), s.x.end(), batch_pts_[j].begin());
       ts_[j] = C(S(s.ctl.t));
     }
+    bind_ids(ids);
     h_.evaluate_values_range(batch_pts_, std::span<const C>(ts_), 0, ids.size(),
                              std::span<C>(hv_));
     for (std::size_t j = 0; j < ids.size(); ++j) {
@@ -596,7 +770,7 @@ class BatchPathTracker {
       if constexpr (kProjective) {
         // A stop point already on the hyperplane at infinity is a
         // classified endpoint, not a stall (as scalar).
-        if (h_.infinity_ratio(std::span<const C>(s.x)) <
+        if (infinity_ratio_slot(ids[j], std::span<const C>(s.x)) <
             options_.at_infinity_tolerance)
           status = PathStatus::kAtInfinity;
       }
@@ -633,6 +807,12 @@ class BatchPathTracker {
   std::vector<C> rhs_;  ///< batched Davidenko right-hand sides
   std::vector<C> flow_; ///< batched predictor flows
   std::vector<unsigned char> singular_;
+
+  std::mutex cancel_mutex_;                  ///< guards the two flag fields
+  std::vector<unsigned char> cancel_flags_;  ///< pending cancels, per slot
+  bool cancel_pending_ = false;
+  std::vector<unsigned char> round_cancel_;  ///< this round's consumed flags
+  std::vector<unsigned char> cancel_mask_;   ///< corrector mask staging
 };
 
 }  // namespace polyeval::homotopy

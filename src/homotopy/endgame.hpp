@@ -56,6 +56,10 @@ struct EndgameOptions {
   /// branches of a winding-w endpoint are O(r^{1/w}) apart, far above
   /// the corrector's noise floor, so the test is not delicate.
   double closure_tolerance = 1e-6;
+
+  /// Memberwise equality, so TrackOptions (which embeds this) can be a
+  /// coalescing key in the solve service.
+  friend bool operator==(const EndgameOptions&, const EndgameOptions&) = default;
 };
 
 template <prec::RealScalar S>

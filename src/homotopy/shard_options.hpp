@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file shard_options.hpp
+/// The sharded solver's option surface, split out of sharded_solver.hpp
+/// so the unified `solve::Options` (solve/options.hpp) and the solve
+/// service can name these types without pulling in the whole solver --
+/// sharded_solver.hpp itself now routes its lockstep mode through the
+/// service, and this split is what keeps that include chain acyclic.
+///
+/// These are the LEGACY spellings: new code should configure solves
+/// through `solve::Options`, which nests the same knobs into validated
+/// Tracking / Tuning / Sharding sections and bridges both ways.
+
+#include <cstdint>
+
+#include "homotopy/tracker.hpp"
+#include "tune/tune_key.hpp"
+
+namespace polyeval::homotopy {
+
+/// Which per-shard device evaluator serves the target system.
+enum class ShardEvalBackend {
+  kFused,      ///< FusedGpuEvaluator: synchronous single-launch batches
+  kPipelined,  ///< PipelinedFusedEvaluator: stream-pipelined micro-chunks
+};
+
+/// How a shard advances the paths it owns.
+enum class ShardTrackMode {
+  /// BatchPathTracker: ALL live paths of the shard advance per round,
+  /// predictor/corrector/endgame stages batched into full-set launches
+  /// (the default; this is the batch the device schedules were built
+  /// for).  Paths are partitioned contiguously across shards.
+  kLockstep,
+  /// PathTracker, one path per single-point launch, path jobs claimed in
+  /// chunks from the shared cursor -- the pre-lockstep schedule, kept as
+  /// the parity baseline.
+  kPerPath,
+};
+
+/// Tracking geometry (see sharded_solver.hpp's file comment).
+enum class TrackGeometry {
+  /// Patched homogeneous coordinates with at-infinity classification
+  /// and the Cauchy endgame: every path terminates classified.
+  kProjective,
+  /// The historical affine tracker: paths to infinity stall.  Kept as
+  /// the default-off escape hatch for parity testing.
+  kAffine,
+};
+
+/// Legacy flat option struct (prefer solve::Options for new code).
+struct ShardedSolveOptions {
+  TrackOptions track;
+  std::uint64_t gamma_seed = 20120102;
+  unsigned shards = 2;
+  unsigned workers_per_shard = 1;  ///< device pool threads per shard
+  unsigned chunk_paths = 2;        ///< paths per manager claim (per-path mode)
+  std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
+  /// Per-shard fused evaluator geometry; 0 = auto -- measured tuning
+  /// (tune::Autotuner) by default, or the pick_block_size seed under
+  /// kHeuristic tuning: warp blocks for the lockstep mode's SM-filling
+  /// batches, widened blocks for the per-path mode's single-point
+  /// grids.  Results are bitwise independent of the choice.
+  unsigned block_size = 0;
+  /// How the shards' evaluators resolve their auto geometry: measured
+  /// (autotuned, cached per structure) or the closed-form heuristic.
+  tune::TuningMode tuning = tune::TuningMode::kMeasured;
+  bool detect_races = false;       ///< run the shards' launches checked
+  /// The lockstep tracker batches every predictor/corrector stage over
+  /// the shard's live set, so the pipelined backend finally has
+  /// transfers worth hiding behind its kernels; in per-path mode both
+  /// backends issue the same single-point launches.  Results are
+  /// bitwise identical under either.
+  ShardEvalBackend backend = ShardEvalBackend::kFused;
+  /// Lockstep by default; per-path kept behind the enum for parity
+  /// testing (results are bitwise identical across modes).
+  ShardTrackMode mode = ShardTrackMode::kLockstep;
+  /// Projective by default; affine kept behind the enum (see
+  /// TrackGeometry).  Results between the two geometries differ by
+  /// construction (different coordinates), but within a geometry every
+  /// mode/backend/shard-count combination is bitwise identical.
+  TrackGeometry geometry = TrackGeometry::kProjective;
+  /// Seed of the random patch hyperplane (projective geometry).
+  std::uint64_t patch_seed = 20120717;
+  /// Lockstep device batch capacity: live-set launches are chunked to
+  /// this many points (also the per-shard evaluator's buffer size).
+  unsigned lockstep_batch = 64;
+};
+
+}  // namespace polyeval::homotopy

@@ -37,76 +37,12 @@
 #include "core/pipelined_evaluator.hpp"
 #include "homotopy/batch_tracker.hpp"
 #include "homotopy/solver.hpp"
+#include "service/solve_service.hpp"
 #include "simt/device_registry.hpp"
 
+#include "homotopy/shard_options.hpp"
+
 namespace polyeval::homotopy {
-
-/// Which per-shard device evaluator serves the target system.
-enum class ShardEvalBackend {
-  kFused,      ///< FusedGpuEvaluator: synchronous single-launch batches
-  kPipelined,  ///< PipelinedFusedEvaluator: stream-pipelined micro-chunks
-};
-
-/// How a shard advances the paths it owns.
-enum class ShardTrackMode {
-  /// BatchPathTracker: ALL live paths of the shard advance per round,
-  /// predictor/corrector/endgame stages batched into full-set launches
-  /// (the default; this is the batch the device schedules were built
-  /// for).  Paths are partitioned contiguously across shards.
-  kLockstep,
-  /// PathTracker, one path per single-point launch, path jobs claimed in
-  /// chunks from the shared cursor -- the pre-lockstep schedule, kept as
-  /// the parity baseline.
-  kPerPath,
-};
-
-/// Tracking geometry (see the file comment).
-enum class TrackGeometry {
-  /// Patched homogeneous coordinates with at-infinity classification
-  /// and the Cauchy endgame: every path terminates classified.
-  kProjective,
-  /// The historical affine tracker: paths to infinity stall.  Kept as
-  /// the default-off escape hatch for parity testing.
-  kAffine,
-};
-
-struct ShardedSolveOptions {
-  TrackOptions track;
-  std::uint64_t gamma_seed = 20120102;
-  unsigned shards = 2;
-  unsigned workers_per_shard = 1;  ///< device pool threads per shard
-  unsigned chunk_paths = 2;        ///< paths per manager claim (per-path mode)
-  std::uint64_t max_paths = 0;     ///< 0 = all Bezout paths
-  /// Per-shard fused evaluator geometry; 0 = auto -- measured tuning
-  /// (tune::Autotuner) by default, or the pick_block_size seed under
-  /// kHeuristic tuning: warp blocks for the lockstep mode's SM-filling
-  /// batches, widened blocks for the per-path mode's single-point
-  /// grids.  Results are bitwise independent of the choice.
-  unsigned block_size = 0;
-  /// How the shards' evaluators resolve their auto geometry: measured
-  /// (autotuned, cached per structure) or the closed-form heuristic.
-  tune::TuningMode tuning = tune::TuningMode::kMeasured;
-  bool detect_races = false;       ///< run the shards' launches checked
-  /// The lockstep tracker batches every predictor/corrector stage over
-  /// the shard's live set, so the pipelined backend finally has
-  /// transfers worth hiding behind its kernels; in per-path mode both
-  /// backends issue the same single-point launches.  Results are
-  /// bitwise identical under either.
-  ShardEvalBackend backend = ShardEvalBackend::kFused;
-  /// Lockstep by default; per-path kept behind the enum for parity
-  /// testing (results are bitwise identical across modes).
-  ShardTrackMode mode = ShardTrackMode::kLockstep;
-  /// Projective by default; affine kept behind the enum (see
-  /// TrackGeometry).  Results between the two geometries differ by
-  /// construction (different coordinates), but within a geometry every
-  /// mode/backend/shard-count combination is bitwise identical.
-  TrackGeometry geometry = TrackGeometry::kProjective;
-  /// Seed of the random patch hyperplane (projective geometry).
-  std::uint64_t patch_seed = 20120717;
-  /// Lockstep device batch capacity: live-set launches are chunked to
-  /// this many points (also the per-shard evaluator's buffer size).
-  unsigned lockstep_batch = 64;
-};
 
 namespace detail {
 
@@ -129,6 +65,7 @@ struct ShardTrackState {
                   cplx::Complex<double> gamma, const ShardedSolveOptions& options)
       : f(device, target, 1,
           {.block_size = options.block_size,
+           .interchange = {},
            .tuning = options.tuning,
            .detect_races = options.detect_races}),
         g(start_system),
@@ -154,6 +91,7 @@ struct ShardProjectiveTrackState {
                             const ShardedSolveOptions& options)
       : f(device, target, 1,
           {.block_size = options.block_size,
+           .interchange = {},
            .tuning = options.tuning,
            .detect_races = options.detect_races}),
         h(f, target, start_system, gamma, patch),
@@ -178,6 +116,7 @@ struct ShardLockstepState {
                      unsigned batch_capacity, std::size_t max_paths)
       : f(device, target, batch_capacity,
           {.block_size = options.block_size,
+           .interchange = {},
            .tuning = options.tuning,
            .detect_races = options.detect_races}),
         g(start_system),
@@ -203,6 +142,7 @@ struct ShardProjectiveLockstepState {
                                unsigned batch_capacity, std::size_t max_paths)
       : f(device, target, batch_capacity,
           {.block_size = options.block_size,
+           .interchange = {},
            .tuning = options.tuning,
            .detect_races = options.detect_races}),
         h(f, target, start_system, gamma, patch),
@@ -375,11 +315,61 @@ SolveSummary<S> track_paths_sharded_with(
 /// projective geometry (the default) its solution is the patched
 /// projective point (n+1 coordinates, homotopy::dehomogenize for the
 /// affine chart) and its status classifies the endpoint.
+namespace detail {
+
+/// The fused lockstep path, re-expressed as a one-shot call into the
+/// solve service: one request carrying every path, a service sized so
+/// the whole per-shard slice is resident (slots_per_shard), drained to
+/// completion.  Endpoints are bitwise identical to the former dedicated
+/// loop -- a path's trajectory depends only on its start root, gamma,
+/// patch and evaluators, all of which the service reproduces exactly --
+/// so the pipelined/per-path loops below remain as independent parity
+/// baselines.
+template <prec::RealScalar S>
+SolveSummary<S> track_lockstep_via_service(
+    const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
+    const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
+    cplx::Complex<double> gamma, const ShardedSolveOptions& options) {
+  const std::uint64_t paths = start_roots.size();
+  if (paths == 0) {
+    SolveSummary<S> summary;
+    return summary;
+  }
+  const std::size_t per_shard = (paths + options.shards - 1) / options.shards;
+  typename service::SolveService<S>::Config config;
+  config.shards = options.shards;
+  config.workers_per_shard = options.workers_per_shard;
+  config.lockstep_batch = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(1u, options.lockstep_batch), per_shard));
+  config.slots_per_shard = per_shard;
+  config.max_tenants = 1;
+  config.max_queued = 1;
+  config.max_paths_per_request = paths;
+  service::SolveService<S> svc(std::move(config));
+
+  service::SolveRequest<S> request{target, solve::Options::from_sharded(options),
+                                   typename service::SolveRequest<S>::StartData{
+                                       start_system, start_roots, gamma},
+                                   /*round_budget=*/0, /*modeled_deadline_us=*/0.0};
+  auto ticket = svc.submit(std::move(request));
+  if (!ticket.admitted())
+    throw std::invalid_argument("track_paths_sharded: request rejected: " +
+                                std::string(to_string(ticket.verdict())));
+  svc.drain();
+  return ticket.report().to_summary();
+}
+
+}  // namespace detail
+
 template <prec::RealScalar S>
 SolveSummary<S> track_paths_sharded(
     const poly::PolynomialSystem& target, const poly::PolynomialSystem& start_system,
     const std::vector<std::vector<cplx::Complex<S>>>& start_roots,
     cplx::Complex<double> gamma, const ShardedSolveOptions& options = {}) {
+  if (options.mode == ShardTrackMode::kLockstep &&
+      options.backend == ShardEvalBackend::kFused)
+    return detail::track_lockstep_via_service<S>(target, start_system, start_roots,
+                                                 gamma, options);
   if (options.backend == ShardEvalBackend::kPipelined)
     return detail::track_paths_sharded_with<S, core::PipelinedFusedEvaluator<S>>(
         target, start_system, start_roots, gamma, options);

@@ -46,6 +46,11 @@ struct TrackOptions {
   /// point from the hyperplane at infinity.
   double at_infinity_tolerance = 1e-4;
   EndgameOptions endgame;              ///< Cauchy endgame knobs (projective)
+
+  /// Memberwise equality: the solve service coalesces paths of
+  /// different requests into shared lockstep rounds only when their
+  /// TrackOptions compare equal (the hash is just a bucket key).
+  friend bool operator==(const TrackOptions&, const TrackOptions&) = default;
 };
 
 /// Classified endpoint of one tracked path.
@@ -54,7 +59,21 @@ enum class PathStatus : unsigned char {
   kAtInfinity,  ///< projective endpoint with vanishing homogeneous coordinate
   kStalled,     ///< step control died before t = 1 (underflow / max_steps)
   kDiverged,    ///< reached t = 1 but the endpoint failed the residual test
+  kCancelled,   ///< retired by cooperative cancellation or a missed deadline
 };
+
+/// The ONE spelling of each status, shared by benches, dumps and the
+/// service's report surface.
+[[nodiscard]] constexpr const char* to_string(PathStatus s) noexcept {
+  switch (s) {
+    case PathStatus::kConverged: return "converged";
+    case PathStatus::kAtInfinity: return "at_infinity";
+    case PathStatus::kStalled: return "stalled";
+    case PathStatus::kDiverged: return "diverged";
+    case PathStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
 
 template <prec::RealScalar S>
 struct TrackResult {

@@ -89,6 +89,7 @@ struct RefineBatchScratch {
   std::vector<C> jacobians;            ///< Jacobian-chunk matrices, chunk*n*n
   std::vector<C> delta;                ///< Jacobian-chunk updates, chunk*n
   std::vector<unsigned char> singular; ///< per-system lu_solve_batch flags
+  std::vector<std::size_t> slot_ids;   ///< compacted caller slot ids (bind_slots)
   std::size_t jac_chunk = 0;           ///< Jacobian-step chunk bound
 
   /// Size for up to `max_paths` paths of dimension n, Jacobian work
@@ -104,7 +105,18 @@ struct RefineBatchScratch {
     jacobians.resize(jac_chunk * std::size_t{n} * n);
     delta.resize(jac_chunk * std::size_t{n});
     singular.resize(jac_chunk);
+    slot_ids.resize(max_paths);
   }
+};
+
+/// Evaluators that need to know which caller-side slot each compacted
+/// batch position belongs to (the multi-tenant evaluators of the solve
+/// service, which route each point to its own system tables).  The
+/// bound span is indexed exactly like the points of the evaluate calls
+/// that follow it: bound[first + i] owns points[first + i].
+template <class E>
+concept SlotAwareEvaluator = requires(E e, std::span<const std::size_t> ids) {
+  e.bind_slots(ids);
 };
 
 /// Refine x[i] (i in [0, count)) toward a root of e(., ts[i]) with at
@@ -115,12 +127,23 @@ struct RefineBatchScratch {
 /// evaluator's dimension.  update_tolerance is unsupported (the
 /// trackers never set it): its mid-iteration re-evaluation would need a
 /// third launch per round for a knob nothing uses.
+///
+/// `slot_ids` (optional, size >= count when non-empty): caller-side
+/// slot of each path, forwarded through compaction to a SlotAwareEvaluator
+/// so multi-tenant evaluators can route every point to its own system.
+/// `masked` (optional, size >= count when non-empty): nonzero entries
+/// are excluded up front -- the cooperative-cancellation mask.  Their
+/// status is reset but never probed, and when ALL paths are masked the
+/// call returns before any staging or device work, exactly like the
+/// count == 0 case (previously only the fully-converged case was free).
 template <prec::RealScalar S, class BatchEval>
   requires BatchEvaluator<BatchEval, S>
 void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
                   std::span<const cplx::Complex<S>> ts, std::size_t count,
                   const NewtonOptions& options, linalg::LuArena<S>& arena,
-                  RefineBatchScratch<S>& scratch, std::span<BatchPathStatus> status) {
+                  RefineBatchScratch<S>& scratch, std::span<BatchPathStatus> status,
+                  std::span<const std::size_t> slot_ids,
+                  std::span<const unsigned char> masked) {
   using C = cplx::Complex<S>;
   const unsigned n = e.dimension();
   // An all-false active mask must not pay a launch/upload round: with
@@ -130,6 +153,10 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
     throw std::invalid_argument("refine_batch: update_tolerance unsupported");
   if (x.size() < count || ts.size() < count || status.size() < count)
     throw std::invalid_argument("refine_batch: bad batch spans");
+  if (!slot_ids.empty() && slot_ids.size() < count)
+    throw std::invalid_argument("refine_batch: bad slot_ids span");
+  if (!masked.empty() && masked.size() < count)
+    throw std::invalid_argument("refine_batch: bad mask span");
   const std::size_t chunk =
       std::min({scratch.jac_chunk, arena.slots(), e.max_batch()});
   if (arena.dimension() != n || chunk == 0 || scratch.points.size() < count)
@@ -138,16 +165,28 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
   scratch.active.clear();
   for (std::size_t i = 0; i < count; ++i) {
     status[i] = {};
+    if (!masked.empty() && masked[i]) continue;
     scratch.active.push_back(i);
   }
+  // All paths masked out (mid-round cancellation): as free as count == 0.
+  if (scratch.active.empty()) return;
 
   // A compacted launch over `ids`: copy each surviving iterate (and its
-  // parameter) into slot j of the scratch batch.
+  // parameter) into slot j of the scratch batch, and re-bind the
+  // compacted slot ids on slot-aware evaluators.
   const auto compact = [&](const std::vector<std::size_t>& ids) {
     for (std::size_t j = 0; j < ids.size(); ++j) {
       const auto& src = x[ids[j]];
       std::copy(src.begin(), src.end(), scratch.points[j].begin());
       scratch.ts[j] = ts[ids[j]];
+    }
+    if constexpr (SlotAwareEvaluator<BatchEval>) {
+      if (!slot_ids.empty()) {
+        for (std::size_t j = 0; j < ids.size(); ++j)
+          scratch.slot_ids[j] = slot_ids[ids[j]];
+        e.bind_slots(
+            std::span<const std::size_t>(scratch.slot_ids.data(), ids.size()));
+      }
     }
   };
 
@@ -208,6 +247,19 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
     }
     scratch.active.resize(keep);
   }
+}
+
+/// Legacy spelling without slot ids or a cancellation mask.
+template <prec::RealScalar S, class BatchEval>
+  requires BatchEvaluator<BatchEval, S>
+void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
+                  std::span<const cplx::Complex<S>> ts, std::size_t count,
+                  const NewtonOptions& options, linalg::LuArena<S>& arena,
+                  RefineBatchScratch<S>& scratch,
+                  std::span<BatchPathStatus> status) {
+  refine_batch<S>(e, x, ts, count, options, arena, scratch, status,
+                  std::span<const std::size_t>{},
+                  std::span<const unsigned char>{});
 }
 
 }  // namespace polyeval::newton

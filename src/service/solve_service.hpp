@@ -1,0 +1,760 @@
+#pragma once
+
+/// \file solve_service.hpp
+/// The persistent solve front end: a SolveService accepts concurrent
+/// SolveRequests, multiplexes their paths onto one DeviceRegistry, and
+/// hands each client a SolveTicket for progress polling, cooperative
+/// cancellation and the final versioned Report.
+///
+/// Scheduling model.  Requests whose systems share one uniform
+/// (n, m, k, d) structure AND whose tracking/tuning options compare
+/// equal land in one *group*; a group owns, per device shard, a
+/// multi-tenant fused evaluator (one launch serves points of several
+/// requests), a slot-aware batched homotopy and a BatchPathTracker.
+/// Each service tick runs one lockstep round on every shard with live
+/// paths -- shards advance in parallel (their devices are independent)
+/// -- then a single coordinator phase drains retired slots into
+/// reports, applies cancellations and deadlines, pulls queued paths
+/// into freed slots, steals live paths from a loaded shard when a
+/// sibling idles (path state is just (x, t, step, streak), and a
+/// path's trajectory is schedule-independent, so coalescing, pulling
+/// and stealing all preserve bitwise parity with a standalone solve),
+/// and admits queued requests as tenant slots free up.
+///
+/// Modeled accounting.  Every device's launch log is priced with the
+/// GpuCostModel after each round (rounds clear the log on entry, so
+/// charging is per round); a tick costs the MAX over devices -- shards
+/// run concurrently -- and the service clock is the sum of tick costs.
+/// Cross-request batching wins on this clock because merged rounds
+/// amortize the fixed launch overhead that per-request rounds would
+/// each pay (bench_service gates the claim).
+///
+/// Admission control: a bounded submit queue, a per-request path
+/// budget, and an AdmissionVerdict returned synchronously on submit.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "homotopy/batch_tracker.hpp"
+#include "homotopy/homogenize.hpp"
+#include "homotopy/solver.hpp"
+#include "service/multitenant_homotopy.hpp"
+#include "service/request.hpp"
+#include "service/system_cache.hpp"
+#include "simt/device_registry.hpp"
+#include "simt/timing.hpp"
+#include "solve/options.hpp"
+#include "solve/report.hpp"
+
+namespace polyeval::service {
+
+/// Aggregate service counters (one snapshot under the service lock).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_budget = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled_requests = 0;  ///< completed by cancel/deadline
+  std::uint64_t ticks = 0;
+  std::uint64_t shard_rounds = 0;       ///< lockstep rounds run, all shards
+  std::uint64_t coalesced_rounds = 0;   ///< rounds carrying >= 2 requests
+  unsigned max_tenants_in_round = 0;    ///< most requests in one round
+  std::uint64_t live_steals = 0;        ///< paths moved between shards
+  std::uint64_t queue_pulls = 0;        ///< pending paths pulled into slots
+  double total_modeled_us = 0.0;        ///< the service's modeled clock
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+template <prec::RealScalar S>
+class SolveService {
+  using C = cplx::Complex<S>;
+  using State = detail::RequestState<S>;
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  struct Config {
+    unsigned shards = 2;
+    unsigned workers_per_shard = 1;
+    simt::DeviceSpec spec = simt::DeviceSpec::tesla_c2050();
+    /// Device evaluator batch capacity (points per launch).
+    unsigned lockstep_batch = 64;
+    /// Tracker slots per shard: the most live paths one shard carries.
+    std::size_t slots_per_shard = 64;
+    /// Resident requests per structure group (device table capacity).
+    unsigned max_tenants = 8;
+    /// Bounded submit queue (admitted-but-not-yet-active requests).
+    std::size_t max_queued = 64;
+    /// Per-request path budget (admission control).
+    std::uint64_t max_paths_per_request = 4096;
+    /// Spawn a background thread that ticks whenever work is pending;
+    /// submit/poll/cancel stay safe to call from client threads.
+    bool async = false;
+    /// Injectable SystemCache hash (tests force collisions).
+    typename SystemCache<S>::Hasher hasher = {};
+    simt::GpuCostModel cost = {};
+  };
+
+  explicit SolveService(Config config = {})
+      : config_(validate_config(std::move(config))),
+        registry_(config_.shards, config_.spec, config_.workers_per_shard),
+        cache_(config_.hasher) {
+    if (registry_.size() > 1)
+      pool_.emplace(registry_.size() - 1);
+    device_charge_.assign(registry_.size(), 0.0);
+    if (config_.async)
+      worker_ = std::thread([this] { async_loop(); });
+  }
+
+  ~SolveService() {
+    if (worker_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      worker_.join();
+    }
+  }
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admit or reject `request`.  Always returns a ticket; check
+  /// verdict() (a rejected ticket is immediately done with no report).
+  SolveTicket<S> submit(SolveRequest<S> request) {
+    auto state = std::make_shared<State>(std::move(request));
+
+    std::lock_guard<std::mutex> lk(mu_);
+    state->id = ++next_id_;
+    ++stats_.submitted;
+
+    QueuedItem item;
+    item.state = state;
+    item.submitted_at = Clock::now();
+    const AdmissionVerdict verdict = screen(*state, item);
+    state->verdict = verdict;
+    if (verdict != AdmissionVerdict::kAdmitted) {
+      reject_counter(verdict);
+      state->status.store(RequestStatus::kRejected, std::memory_order_release);
+      return SolveTicket<S>(state);
+    }
+    ++stats_.admitted;
+    state->paths_total.store(item.paths, std::memory_order_relaxed);
+    queued_.push_back(std::move(item));
+    cv_.notify_all();
+    return SolveTicket<S>(state);
+  }
+
+  /// One scheduler tick (sync mode); returns whether work remains.
+  bool step() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return step_locked();
+  }
+
+  /// Tick until every admitted request has completed (sync mode).
+  void drain() {
+    while (step()) {
+    }
+  }
+
+  /// Block until no queued or active work remains (async mode; returns
+  /// immediately in sync mode once drained manually).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !work_remaining_locked(); });
+  }
+
+  [[nodiscard]] ServiceStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats s = stats_;
+    s.cache_hits = cache_.hits();
+    s.cache_misses = cache_.misses();
+    return s;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  // ----- internal request bookkeeping -------------------------------
+
+  struct RunInfo {
+    std::shared_ptr<State> state;
+    unsigned tenant = 0;
+    std::vector<std::vector<C>> points;  ///< tracker-dimension starts
+    std::uint64_t total = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t ticks_tracking = 0;
+    bool cancelling = false;
+    double admit_modeled_us = 0.0;
+    double modeled_us = 0.0;
+    Clock::time_point submitted_at, activated_at;
+  };
+
+  struct QueuedItem {
+    std::shared_ptr<State> state;
+    std::shared_ptr<const typename SystemCache<S>::Entry> entry;
+    std::uint64_t paths = 0;
+    Clock::time_point submitted_at;
+  };
+
+  /// Coalescing key: requests share a group's rounds only when ALL of
+  /// this compares equal (the structure hash of the SystemCache is just
+  /// a bucket; grouping uses full equality here).
+  struct GroupKey {
+    poly::UniformStructure structure;
+    solve::Options::Tracking tracking;
+    solve::Options::Tuning tuning;
+
+    friend bool operator==(const GroupKey&, const GroupKey&) = default;
+  };
+
+  template <class Homo>
+  struct Group {
+    static constexpr bool kProjective =
+        std::is_same_v<Homo, MultiTenantProjectiveHomotopy<S>>;
+
+    struct Shard {
+      simt::Device& dev;
+      unsigned device_index;
+      core::MultiTenantFusedEvaluator<S> eval;
+      Homo homo;
+      homotopy::BatchPathTracker<S, Homo> tracker;
+      struct Owner {
+        RunInfo* run = nullptr;
+        std::uint64_t path = 0;
+      };
+      std::vector<Owner> owners;  ///< by slot; run == nullptr -> free
+      std::vector<std::size_t> free_slots;
+      std::size_t live = 0;
+      bool rounded = false;  ///< ran a round this tick
+
+      Shard(simt::Device& d, unsigned dev_index,
+            const poly::UniformStructure& st, unsigned max_tenants,
+            unsigned capacity,
+            typename core::MultiTenantFusedEvaluator<S>::Options eopts,
+            const homotopy::TrackOptions& topts, std::size_t slots)
+          : dev(d),
+            device_index(dev_index),
+            eval(d, st, max_tenants, capacity, eopts),
+            homo(eval, slots),
+            tracker(d, homo, topts, slots) {
+        owners.resize(slots);
+        free_slots.reserve(slots);
+        for (std::size_t i = slots; i-- > 0;) free_slots.push_back(i);
+      }
+    };
+
+    GroupKey key;
+    std::vector<cplx::Complex<double>> patch_d;  ///< projective only
+    std::vector<C> patch_s;
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<unsigned> free_tenants;
+    std::vector<std::unique_ptr<RunInfo>> active;
+    std::deque<std::pair<RunInfo*, std::uint64_t>> pending;
+  };
+
+  using ProjGroup = Group<MultiTenantProjectiveHomotopy<S>>;
+  using AffGroup = Group<MultiTenantAffineHomotopy<S>>;
+
+  // ----- admission --------------------------------------------------
+
+  static Config validate_config(Config c) {
+    if (c.shards == 0 || c.lockstep_batch == 0 || c.slots_per_shard == 0 ||
+        c.max_tenants == 0)
+      throw std::invalid_argument("SolveService: bad config");
+    return c;
+  }
+
+  /// Pre-activation screening under the lock: validates options,
+  /// resolves the system cache entry (packing + total-degree start +
+  /// tuned geometry, shared across requests), counts paths, and applies
+  /// the queue and path budgets.
+  AdmissionVerdict screen(State& state, QueuedItem& item) {
+    const auto& req = state.request;
+    try {
+      req.options.validate();
+    } catch (const std::invalid_argument&) {
+      return AdmissionVerdict::kInvalid;
+    }
+    // The service IS the fused lockstep engine; other modes stay on the
+    // one-shot sharded API.
+    if (req.options.tracking.mode != solve::TrackMode::kLockstep ||
+        req.options.sharding.backend != solve::EvalBackend::kFused)
+      return AdmissionVerdict::kInvalid;
+    try {
+      item.entry = cache_.lookup(req.target, config_.lockstep_batch,
+                                 req.options.tuning.mode);
+    } catch (const std::exception&) {
+      return AdmissionVerdict::kInvalid;  // non-uniform / degenerate system
+    }
+    const unsigned n = req.target.dimension();
+    if (req.start) {
+      if (req.start->system.degrees() != req.target.degrees())
+        return AdmissionVerdict::kInvalid;
+      for (const auto& r : req.start->roots)
+        if (r.size() != n) return AdmissionVerdict::kInvalid;
+      item.paths = req.start->roots.size();
+    } else {
+      std::uint64_t paths = item.entry->start.num_paths();
+      if (req.options.sharding.max_paths > 0)
+        paths = std::min(paths, req.options.sharding.max_paths);
+      else if (item.entry->start.num_paths_saturated())
+        return AdmissionVerdict::kInvalid;
+      item.paths = paths;
+    }
+    if (item.paths > config_.max_paths_per_request)
+      return AdmissionVerdict::kPathBudgetExceeded;
+    if (queued_.size() >= config_.max_queued)
+      return AdmissionVerdict::kQueueFull;
+    return AdmissionVerdict::kAdmitted;
+  }
+
+  void reject_counter(AdmissionVerdict v) {
+    switch (v) {
+      case AdmissionVerdict::kQueueFull: ++stats_.rejected_queue_full; break;
+      case AdmissionVerdict::kPathBudgetExceeded: ++stats_.rejected_budget; break;
+      default: ++stats_.rejected_invalid; break;
+    }
+  }
+
+  // ----- the tick ---------------------------------------------------
+
+  bool step_locked() {
+    ++stats_.ticks;
+    activate_queued();
+    process_cancellations();
+    for_each_group([&](auto& g) { fill_slots(g); });
+    for_each_group([&](auto& g) { steal(g); });
+    run_rounds();
+    settle_tick();
+    for_each_group([&](auto& g) { drain_retirements(g); });
+    for_each_group([&](auto& g) { finalize_done(g); });
+    const bool more = work_remaining_locked();
+    cv_.notify_all();
+    return more;
+  }
+
+  template <class Fn>
+  void for_each_group(Fn&& fn) {
+    for (auto& g : proj_groups_) fn(*g);
+    for (auto& g : aff_groups_) fn(*g);
+  }
+
+  [[nodiscard]] bool work_remaining_locked() const {
+    if (!queued_.empty()) return true;
+    for (const auto& g : proj_groups_)
+      if (!g->active.empty()) return true;
+    for (const auto& g : aff_groups_)
+      if (!g->active.empty()) return true;
+    return false;
+  }
+
+  /// Pull queued requests whose group has a free tenant slot; requests
+  /// blocked on a saturated group keep their queue position while later
+  /// requests of other groups overtake (documented backpressure rule).
+  void activate_queued() {
+    for (auto it = queued_.begin(); it != queued_.end();) {
+      if (it->state->cancel_requested.load(std::memory_order_acquire)) {
+        finalize_cancelled_in_queue(*it);
+        it = queued_.erase(it);
+        continue;
+      }
+      const bool activated =
+          it->state->request.options.tracking.geometry ==
+                  solve::Geometry::kProjective
+              ? try_activate(proj_groups_, *it)
+              : try_activate(aff_groups_, *it);
+      it = activated ? queued_.erase(it) : std::next(it);
+    }
+  }
+
+  template <class GroupVec>
+  bool try_activate(GroupVec& groups, QueuedItem& item) {
+    auto& req = item.state->request;
+    GroupKey key{item.entry->packed.structure, req.options.tracking,
+                 req.options.tuning};
+    auto* group = find_or_create(groups, key, *item.entry);
+    if (group->free_tenants.empty()) return false;  // stays queued
+    const unsigned tenant = group->free_tenants.back();
+    group->free_tenants.pop_back();
+
+    const auto gamma = req.start ? req.start->gamma
+                                 : homotopy::random_gamma(req.options.gamma_seed);
+    const poly::PolynomialSystem& start_system =
+        req.start ? req.start->system : item.entry->start.system();
+    install_tenant(*group, tenant, req.target, start_system, gamma);
+
+    auto run = std::make_unique<RunInfo>();
+    run->state = item.state;
+    run->tenant = tenant;
+    run->total = item.paths;
+    run->submitted_at = item.submitted_at;
+    run->activated_at = Clock::now();
+    run->admit_modeled_us = stats_.total_modeled_us;
+    run->points.reserve(item.paths);
+    for (std::uint64_t p = 0; p < item.paths; ++p)
+      run->points.push_back(start_point(*group, req, *item.entry, p));
+    run->state->report.paths.resize(item.paths);
+
+    item.state->status.store(RequestStatus::kTracking,
+                             std::memory_order_release);
+    RunInfo* raw = run.get();
+    group->active.push_back(std::move(run));
+    for (std::uint64_t p = 0; p < item.paths; ++p)
+      group->pending.emplace_back(raw, p);
+    return true;
+  }
+
+  template <class GroupVec>
+  auto* find_or_create(GroupVec& groups, const GroupKey& key,
+                       const typename SystemCache<S>::Entry& entry) {
+    for (auto& g : groups)
+      if (g->key == key) return g.get();
+    using G = typename GroupVec::value_type::element_type;
+    auto group = std::make_unique<G>();
+    group->key = key;
+    if constexpr (G::kProjective) {
+      group->patch_d = homotopy::random_patch(key.structure.n + 1,
+                                              key.tracking.patch_seed);
+      group->patch_s.reserve(group->patch_d.size());
+      for (const auto& c : group->patch_d)
+        group->patch_s.push_back(C::from_double(c));
+    }
+    typename core::MultiTenantFusedEvaluator<S>::Options eopts;
+    // A pinned block size wins over the cache's tuned geometry, as in
+    // the single-tenant resolution rules.
+    eopts.block_size = key.tuning.block_size != 0 ? key.tuning.block_size
+                                                  : entry.tuned_block;
+    eopts.interchange = entry.tuned_interchange;
+    eopts.detect_races = key.tuning.detect_races;
+    group->shards.reserve(registry_.size());
+    for (unsigned i = 0; i < registry_.size(); ++i)
+      group->shards.push_back(std::make_unique<typename G::Shard>(
+          registry_.device(i), i, key.structure, config_.max_tenants,
+          config_.lockstep_batch, eopts, key.tracking.track,
+          config_.slots_per_shard));
+    group->free_tenants.reserve(config_.max_tenants);
+    for (unsigned t = config_.max_tenants; t-- > 0;)
+      group->free_tenants.push_back(t);
+    groups.push_back(std::move(group));
+    return groups.back().get();
+  }
+
+  /// Register the tenant's tables on EVERY shard of the group, so path
+  /// trajectories are shard-independent and stealing stays parity-safe.
+  template <class G>
+  void install_tenant(G& group, unsigned tenant,
+                      const poly::PolynomialSystem& target,
+                      const poly::PolynomialSystem& start_system,
+                      cplx::Complex<double> gamma) {
+    for (auto& shard : group.shards) {
+      if constexpr (G::kProjective)
+        shard->homo.set_tenant(tenant, target, start_system, gamma,
+                               std::span<const cplx::Complex<double>>(
+                                   group.patch_d));
+      else
+        shard->homo.set_tenant(tenant, target, start_system, gamma);
+    }
+  }
+
+  template <class G>
+  std::vector<C> start_point(const G& group, const SolveRequest<S>& req,
+                             const typename SystemCache<S>::Entry& entry,
+                             std::uint64_t path) const {
+    std::vector<C> affine;
+    if (req.start) {
+      affine = req.start->roots[path];
+    } else {
+      const auto root_d = entry.start.start_root(path);
+      affine.reserve(root_d.size());
+      for (const auto& z : root_d) affine.push_back(C::from_double(z));
+    }
+    if constexpr (G::kProjective)
+      return homotopy::embed_in_patch<S>(std::span<const C>(affine),
+                                         std::span<const C>(group.patch_s));
+    else
+      return affine;
+  }
+
+  void finalize_cancelled_in_queue(QueuedItem& item) {
+    auto& report = item.state->report;
+    report.paths.assign(item.paths, homotopy::TrackResult<S>{});
+    for (auto& p : report.paths) p.status = homotopy::PathStatus::kCancelled;
+    report.retally();
+    item.state->paths_retired.store(item.paths, std::memory_order_relaxed);
+    item.state->status.store(RequestStatus::kDone, std::memory_order_release);
+    ++stats_.completed;
+    ++stats_.cancelled_requests;
+  }
+
+  /// Flag cancelled / over-budget / past-deadline requests: live slots
+  /// get tracker.cancel (retired as kCancelled at the next round's
+  /// consume point, costing no launches) and unstarted paths are
+  /// synthesized as kCancelled right here.
+  void process_cancellations() {
+    for_each_group([&](auto& g) {
+      for (auto& run : g.active) {
+        if (run->cancelling) continue;
+        const auto& req = run->state->request;
+        const bool wants =
+            run->state->cancel_requested.load(std::memory_order_acquire) ||
+            (req.round_budget > 0 &&
+             run->ticks_tracking >= req.round_budget) ||
+            (req.modeled_deadline_us > 0.0 &&
+             stats_.total_modeled_us - run->admit_modeled_us >=
+                 req.modeled_deadline_us);
+        if (!wants) continue;
+        run->cancelling = true;
+        // Unstarted paths never launch: synthesize their retirement.
+        for (auto it = g.pending.begin(); it != g.pending.end();) {
+          if (it->first != run.get()) {
+            ++it;
+            continue;
+          }
+          auto& res = run->state->report.paths[it->second];
+          res.status = homotopy::PathStatus::kCancelled;
+          res.solution = run->points[it->second];
+          ++run->retired;
+          run->state->paths_retired.fetch_add(1, std::memory_order_relaxed);
+          it = g.pending.erase(it);
+        }
+        for (auto& shard : g.shards)
+          for (std::size_t slot = 0; slot < shard->owners.size(); ++slot)
+            if (shard->owners[slot].run == run.get())
+              shard->tracker.cancel(slot);
+      }
+    });
+  }
+
+  template <class G>
+  void fill_slots(G& g) {
+    for (auto& shard : g.shards) {
+      while (!shard->free_slots.empty() && !g.pending.empty()) {
+        auto [run, path] = g.pending.front();
+        g.pending.pop_front();
+        const std::size_t slot = shard->free_slots.back();
+        shard->free_slots.pop_back();
+        shard->homo.assign_slot(slot, run->tenant);
+        shard->tracker.adopt(slot, std::span<const C>(run->points[path]));
+        shard->owners[slot] = {run, path};
+        ++shard->live;
+        ++stats_.queue_pulls;
+      }
+    }
+  }
+
+  /// Between rounds, rebalance a group whose pending queue is dry: move
+  /// plain tracking paths (donate/adopt) from the most loaded shard to
+  /// an early-retired one.  Endgame paths are pinned to their shard.
+  template <class G>
+  void steal(G& g) {
+    if (!g.pending.empty() || g.shards.size() < 2) return;
+    std::vector<C> x(g.shards.front()->tracker.dimension());
+    for (;;) {
+      auto* busy = g.shards.front().get();
+      auto* idle = g.shards.front().get();
+      for (auto& s : g.shards) {
+        if (s->live > busy->live) busy = s.get();
+        if (s->live < idle->live && !s->free_slots.empty()) idle = s.get();
+      }
+      if (idle->live + 2 > busy->live || idle->free_slots.empty() ||
+          busy == idle)
+        return;
+      std::size_t donor = busy->owners.size();
+      for (std::size_t slot = 0; slot < busy->owners.size(); ++slot)
+        if (busy->owners[slot].run != nullptr &&
+            busy->tracker.donatable(slot)) {
+          donor = slot;
+          break;
+        }
+      if (donor == busy->owners.size()) return;  // all endgame-pinned
+      const auto owner = busy->owners[donor];
+      const auto ctl = busy->tracker.donate(donor, std::span<C>(x));
+      busy->owners[donor] = {};
+      busy->free_slots.push_back(donor);
+      --busy->live;
+      const std::size_t slot = idle->free_slots.back();
+      idle->free_slots.pop_back();
+      idle->homo.assign_slot(slot, owner.run->tenant);
+      idle->tracker.adopt(slot, std::span<const C>(x), ctl);
+      idle->owners[slot] = owner;
+      ++idle->live;
+      ++stats_.live_steals;
+    }
+  }
+
+  /// Run one lockstep round on every shard with live paths, devices in
+  /// parallel (each shard's device is independent; groups sharing a
+  /// device run serially on its thread).  Charges the cost model per
+  /// round -- rounds clear the device log on entry -- and picks up
+  /// admission-upload traffic before the first round of the tick.
+  void run_rounds() {
+    std::fill(device_charge_.begin(), device_charge_.end(), 0.0);
+    const auto device_tick = [&](std::size_t d) {
+      auto& dev = registry_.device(static_cast<unsigned>(d));
+      double& charge = device_charge_[d];
+      const auto settle = [&] {
+        charge += simt::estimate_log_us(dev.log(), dev.spec(), config_.cost);
+        dev.clear_log();
+      };
+      settle();  // tenant installs / evaluator builds since last tick
+      const auto round_shard = [&](auto& g) {
+        auto& shard = *g.shards[d];
+        shard.rounded = false;
+        if (shard.live == 0) return;
+        shard.tracker.round();
+        shard.rounded = true;
+        settle();
+      };
+      for (auto& g : proj_groups_) round_shard(*g);
+      for (auto& g : aff_groups_) round_shard(*g);
+    };
+    if (pool_ && registry_.size() > 1) {
+      pool_->parallel_for(registry_.size(), device_tick);
+    } else {
+      for (std::size_t d = 0; d < registry_.size(); ++d) device_tick(d);
+    }
+  }
+
+  /// Coordinator bookkeeping after the parallel rounds: the tick's
+  /// modeled cost (max over devices -- they ran concurrently), its
+  /// per-request attribution (a device's charge splits equally over the
+  /// requests riding it this tick), and the coalescing counters.
+  void settle_tick() {
+    double tick_cost = 0.0;
+    for (const double c : device_charge_) tick_cost = std::max(tick_cost, c);
+    stats_.total_modeled_us += tick_cost;
+
+    for (unsigned d = 0; d < registry_.size(); ++d) {
+      scratch_device_runs_.clear();
+      for_each_group([&](auto& g) {
+        auto& shard = *g.shards[d];
+        if (!shard.rounded) return;
+        ++stats_.shard_rounds;
+        scratch_round_runs_.clear();
+        for (const auto& owner : shard.owners) {
+          if (owner.run == nullptr) continue;
+          if (std::find(scratch_round_runs_.begin(), scratch_round_runs_.end(),
+                        static_cast<void*>(owner.run)) ==
+              scratch_round_runs_.end())
+            scratch_round_runs_.push_back(owner.run);
+        }
+        const auto tenants_here =
+            static_cast<unsigned>(scratch_round_runs_.size());
+        if (tenants_here >= 2) ++stats_.coalesced_rounds;
+        stats_.max_tenants_in_round =
+            std::max(stats_.max_tenants_in_round, tenants_here);
+        for (void* rp : scratch_round_runs_) {
+          auto* run = static_cast<RunInfo*>(rp);
+          run->state->rounds.fetch_add(1, std::memory_order_relaxed);
+          if (std::find(scratch_device_runs_.begin(),
+                        scratch_device_runs_.end(),
+                        rp) == scratch_device_runs_.end())
+            scratch_device_runs_.push_back(rp);
+        }
+      });
+      if (!scratch_device_runs_.empty()) {
+        const double share =
+            device_charge_[d] / static_cast<double>(scratch_device_runs_.size());
+        for (void* rp : scratch_device_runs_)
+          static_cast<RunInfo*>(rp)->modeled_us += share;
+      }
+    }
+
+    for_each_group([&](auto& g) {
+      for (auto& run : g.active) ++run->ticks_tracking;
+    });
+  }
+
+  template <class G>
+  void drain_retirements(G& g) {
+    for (auto& shard : g.shards) {
+      if (shard->live == 0) continue;
+      for (std::size_t slot = 0; slot < shard->owners.size(); ++slot) {
+        auto& owner = shard->owners[slot];
+        if (owner.run == nullptr || !shard->tracker.retired(slot)) continue;
+        RunInfo& run = *owner.run;
+        run.state->report.paths[owner.path] = shard->tracker.result(slot);
+        ++run.retired;
+        run.state->paths_retired.fetch_add(1, std::memory_order_relaxed);
+        owner = {};
+        shard->free_slots.push_back(slot);
+        --shard->live;
+      }
+    }
+  }
+
+  template <class G>
+  void finalize_done(G& g) {
+    for (auto it = g.active.begin(); it != g.active.end();) {
+      RunInfo& run = **it;
+      if (run.retired < run.total) {
+        ++it;
+        continue;
+      }
+      auto& report = run.state->report;
+      report.retally();
+      const auto now = Clock::now();
+      const auto us = [](auto dt) {
+        return std::chrono::duration<double, std::micro>(dt).count();
+      };
+      report.timing.queue_wall_us = us(run.activated_at - run.submitted_at);
+      report.timing.track_wall_us = us(now - run.activated_at);
+      report.timing.total_wall_us = us(now - run.submitted_at);
+      report.timing.modeled_us = run.modeled_us;
+      report.timing.rounds =
+          run.state->rounds.load(std::memory_order_relaxed);
+      run.state->status.store(RequestStatus::kDone, std::memory_order_release);
+      ++stats_.completed;
+      if (run.cancelling) ++stats_.cancelled_requests;
+      g.free_tenants.push_back(run.tenant);
+      for (auto& shard : g.shards) shard->homo.clear_tenant(run.tenant);
+      it = g.active.erase(it);
+    }
+  }
+
+  // ----- async mode -------------------------------------------------
+
+  void async_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      if (work_remaining_locked()) {
+        step_locked();
+      } else {
+        cv_.wait(lk, [&] { return stop_ || work_remaining_locked(); });
+      }
+    }
+  }
+
+  // ----- members ----------------------------------------------------
+
+  Config config_;
+  simt::DeviceRegistry registry_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+  std::optional<simt::ThreadPool> pool_;
+
+  SystemCache<S> cache_;
+  std::deque<QueuedItem> queued_;
+  std::vector<std::unique_ptr<ProjGroup>> proj_groups_;
+  std::vector<std::unique_ptr<AffGroup>> aff_groups_;
+
+  std::vector<double> device_charge_;
+  std::vector<void*> scratch_device_runs_, scratch_round_runs_;
+  ServiceStats stats_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace polyeval::service

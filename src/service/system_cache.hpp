@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file system_cache.hpp
+/// Structure-hash-keyed cache of everything a solve request needs that
+/// does not depend on the request's start points: the packed/encoded
+/// system tables, the total-degree start system, and the autotuner's
+/// resolved launch geometry for this structure.  Requests hitting the
+/// cache skip packing, Bezout bookkeeping and the tuning probe entirely
+/// -- the admission-time costs the solve service amortizes across a
+/// stream of similar requests.
+///
+/// The hash is INJECTABLE and only buckets: every lookup compares the
+/// packed tables field-by-field inside the bucket, so a colliding hash
+/// (tests inject a constant one) can never alias two different systems
+/// into one entry -- it only makes lookups slower.  The resolved tune
+/// geometry comes from constructing one scratch single-tenant
+/// FusedGpuEvaluator, whose constructor resolves through
+/// tune::Autotuner::global(): the first request with a structure pays
+/// the measured probe, every later one is a TuneCache hit
+/// (Autotuner::global().hits() observes the reuse across requests).
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fused_evaluator.hpp"
+#include "homotopy/start_system.hpp"
+
+namespace polyeval::service {
+
+/// FNV-1a over the packed tables (structure, support, exponents,
+/// coefficient bits): the default content hash.
+[[nodiscard]] inline std::uint64_t hash_packed_system(
+    const core::PackedSystem& packed) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto& s = packed.structure;
+  mix(s.n);
+  mix(s.m);
+  mix(s.k);
+  mix(s.d);
+  for (const unsigned char b : packed.positions) mix(b);
+  for (const unsigned char b : packed.exponents) mix(b);
+  for (const auto& c : packed.coeffs) {
+    std::uint64_t bits;
+    double re = c.re(), im = c.im();
+    static_assert(sizeof(bits) == sizeof(re));
+    std::memcpy(&bits, &re, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &im, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+/// Full content equality (the bucket scan's discriminator).
+[[nodiscard]] inline bool packed_systems_equal(const core::PackedSystem& a,
+                                               const core::PackedSystem& b) {
+  return a.structure == b.structure && a.positions == b.positions &&
+         a.exponents == b.exponents && a.coeffs == b.coeffs;
+}
+
+template <prec::RealScalar S>
+class SystemCache {
+ public:
+  using Hasher = std::function<std::uint64_t(const core::PackedSystem&)>;
+
+  struct Entry {
+    poly::PolynomialSystem system;  ///< the target, as submitted
+    core::PackedSystem packed;
+    homotopy::TotalDegreeStart start;
+    /// Launch geometry the autotuner resolved for this structure at
+    /// `tuned_capacity` points (the service's evaluator batch size).
+    unsigned tuned_block = 0;
+    std::optional<core::InterchangeLayout> tuned_interchange;
+    unsigned tuned_capacity = 0;
+    tune::TuningMode tuned_mode = tune::TuningMode::kMeasured;
+
+    Entry(const poly::PolynomialSystem& target, core::PackedSystem p)
+        : system(target), packed(std::move(p)), start(target) {}
+  };
+
+  explicit SystemCache(Hasher hasher = {})
+      : hasher_(hasher ? std::move(hasher) : Hasher(&hash_packed_system)) {}
+
+  /// Find-or-create the entry for `target`, resolving the tune geometry
+  /// for `capacity`-point batches under `mode` on a miss (or when the
+  /// cached geometry was resolved for a different capacity/mode).
+  std::shared_ptr<const Entry> lookup(const poly::PolynomialSystem& target,
+                                      unsigned capacity,
+                                      tune::TuningMode mode) {
+    core::PackedSystem packed = core::pack_system(target);
+    auto& bucket = buckets_[hasher_(packed)];
+    for (const auto& e : bucket) {
+      if (packed_systems_equal(e->packed, packed)) {
+        if (e->tuned_capacity != capacity || e->tuned_mode != mode)
+          resolve_tuning(*e, capacity, mode);
+        ++hits_;
+        return e;
+      }
+    }
+    ++misses_;
+    auto entry = std::make_shared<Entry>(target, std::move(packed));
+    resolve_tuning(*entry, capacity, mode);
+    bucket.push_back(entry);
+    return entry;
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [h, bucket] : buckets_) n += bucket.size();
+    return n;
+  }
+
+ private:
+  /// One scratch single-tenant evaluator resolves the launch geometry
+  /// through the global autotuner; later same-structure constructions
+  /// (and every multi-tenant evaluator pinned from this entry) skip the
+  /// probe.
+  static void resolve_tuning(Entry& entry, unsigned capacity,
+                             tune::TuningMode mode) {
+    simt::Device probe;  // scratch: the measured probe builds its own anyway
+    typename core::FusedGpuEvaluator<S>::Options opts;
+    opts.tuning = mode;
+    core::FusedGpuEvaluator<S> scratch(probe, entry.system, capacity, opts);
+    entry.tuned_block = scratch.options().block_size;
+    entry.tuned_interchange = scratch.options().interchange;
+    entry.tuned_capacity = capacity;
+    entry.tuned_mode = mode;
+  }
+
+  Hasher hasher_;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Entry>>>
+      buckets_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace polyeval::service

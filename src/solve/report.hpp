@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file report.hpp
+/// The versioned result surface shared by the solve service and the
+/// one-shot path: `homotopy::SolveSummary` (paths + two counters) is
+/// promoted to a `solve::Report` with per-status counts (including
+/// kCancelled), winding and residual extremes, and a timing breakdown
+/// (queue wait, tracking, modeled device time).  `kVersion` bumps
+/// whenever a field changes meaning so persisted dumps stay
+/// interpretable.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "homotopy/solver.hpp"
+#include "homotopy/tracker.hpp"
+
+namespace polyeval::solve {
+
+/// Per-status path counts, indexed by PathStatus.
+struct StatusCounts {
+  static constexpr std::size_t kStatuses = 5;
+  std::array<std::uint64_t, kStatuses> counts{};
+
+  [[nodiscard]] std::uint64_t& operator[](homotopy::PathStatus s) {
+    return counts[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t operator[](homotopy::PathStatus s) const {
+    return counts[static_cast<std::size_t>(s)];
+  }
+};
+
+template <prec::RealScalar S>
+struct Report {
+  /// Bumped when any field changes meaning.
+  static constexpr unsigned kVersion = 1;
+
+  std::vector<homotopy::TrackResult<S>> paths;
+  std::uint64_t attempted = 0;
+  StatusCounts by_status;          ///< per-PathStatus endpoint counts
+  unsigned max_winding = 0;        ///< largest endgame winding observed
+  double max_final_residual = 0.0; ///< worst endpoint residual
+  std::uint64_t total_steps = 0;   ///< accepted steps across all paths
+  std::uint64_t total_rejections = 0;
+
+  /// Timing breakdown.  Wall fields are host clock; modeled_us is the
+  /// device cost model's makespan share for this request (the solve
+  /// service's scheduling currency).
+  struct Timing {
+    double queue_wall_us = 0.0;  ///< submit -> first path adopted
+    double track_wall_us = 0.0;  ///< first adoption -> last retirement
+    double total_wall_us = 0.0;  ///< submit -> report finalized
+    double modeled_us = 0.0;     ///< modeled device time attributed
+    std::uint64_t rounds = 0;    ///< lockstep rounds this request rode in
+  } timing;
+
+  [[nodiscard]] std::uint64_t successes() const {
+    return by_status[homotopy::PathStatus::kConverged];
+  }
+  [[nodiscard]] std::uint64_t at_infinity() const {
+    return by_status[homotopy::PathStatus::kAtInfinity];
+  }
+  [[nodiscard]] std::uint64_t cancelled() const {
+    return by_status[homotopy::PathStatus::kCancelled];
+  }
+  /// Paths with a classified endpoint (the solved_frac numerator).
+  [[nodiscard]] std::uint64_t classified() const {
+    return successes() + at_infinity();
+  }
+
+  /// Tally the count/extreme fields from `paths` (idempotent).
+  void retally() {
+    by_status = {};
+    max_winding = 0;
+    max_final_residual = 0.0;
+    total_steps = 0;
+    total_rejections = 0;
+    attempted = paths.size();
+    for (const auto& p : paths) {
+      ++by_status[p.status];
+      max_winding = std::max(max_winding, p.winding);
+      max_final_residual = std::max(max_final_residual, p.final_residual);
+      total_steps += p.steps;
+      total_rejections += p.rejections;
+    }
+  }
+
+  /// The legacy summary view (solver.hpp consumers).
+  [[nodiscard]] homotopy::SolveSummary<S> to_summary() const {
+    homotopy::SolveSummary<S> s;
+    s.paths = paths;
+    s.attempted = attempted;
+    s.successes = successes();
+    s.at_infinity = at_infinity();
+    return s;
+  }
+};
+
+/// Promote a legacy summary (one-shot solver output) to a Report.
+template <prec::RealScalar S>
+[[nodiscard]] Report<S> make_report(const homotopy::SolveSummary<S>& summary) {
+  Report<S> r;
+  r.paths = summary.paths;
+  r.retally();
+  return r;
+}
+
+}  // namespace polyeval::solve

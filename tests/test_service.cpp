@@ -1,0 +1,424 @@
+// The persistent solve service: cross-request coalescing onto shared
+// lockstep rounds with bitwise parity against standalone solves,
+// structure-keyed caching (colliding hashes must never alias), work
+// stealing between shards, cooperative cancellation and deadlines,
+// admission control verdicts, and the async submit/poll/cancel surface
+// (the TSan job drives the threaded test).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/multitenant_evaluator.hpp"
+#include "homotopy/sharded_solver.hpp"
+#include "newton/batch.hpp"
+#include "poly/random_system.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+using namespace polyeval;
+using Cd = cplx::Complex<double>;
+
+poly::PolynomialSystem small_system(std::uint32_t seed, unsigned dimension = 3) {
+  poly::SystemSpec spec;
+  spec.dimension = dimension;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.seed = seed;
+  return poly::make_random_system(spec);
+}
+
+solve::Options small_options(std::uint64_t max_paths = 6) {
+  solve::Options opt;
+  opt.sharding.max_paths = max_paths;
+  opt.tracking.track.max_steps = 4000;
+  return opt;
+}
+
+/// The standalone reference: the PIPELINED lockstep loop, an engine the
+/// service never touches (the service is the fused path), bitwise equal
+/// to fused tracking by the evaluator parity guarantee.
+homotopy::SolveSummary<double> standalone(const poly::PolynomialSystem& sys,
+                                          const solve::Options& opt) {
+  auto legacy = opt.to_sharded();
+  legacy.backend = homotopy::ShardEvalBackend::kPipelined;
+  return homotopy::solve_total_degree_sharded<double>(sys, legacy);
+}
+
+void expect_paths_bitwise_equal(const std::vector<homotopy::TrackResult<double>>& a,
+                                const std::vector<homotopy::TrackResult<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].status, b[p].status) << "path " << p;
+    EXPECT_EQ(a[p].steps, b[p].steps) << "path " << p;
+    EXPECT_EQ(a[p].rejections, b[p].rejections) << "path " << p;
+    EXPECT_EQ(a[p].winding, b[p].winding) << "path " << p;
+    EXPECT_EQ(a[p].final_residual, b[p].final_residual) << "path " << p;
+    ASSERT_EQ(a[p].solution.size(), b[p].solution.size()) << "path " << p;
+    for (std::size_t i = 0; i < a[p].solution.size(); ++i)
+      EXPECT_EQ(cplx::max_abs_diff(a[p].solution[i], b[p].solution[i]), 0.0)
+          << "path " << p << ", coordinate " << i;
+  }
+}
+
+TEST(SolveService, CoalescesSameStructureRequestsWithBitwiseParity) {
+  // Two systems, same uniform structure, different coefficients: they
+  // must share lockstep rounds (coalesced_rounds observes it) and every
+  // request's endpoints must match its standalone solve bit for bit.
+  const auto sys_a = small_system(99);
+  const auto sys_b = small_system(1234);
+  const auto opt = small_options();
+
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  service::SolveService<double> svc(std::move(config));
+
+  auto ta = svc.submit({sys_a, opt, {}, 0, 0.0});
+  auto tb = svc.submit({sys_b, opt, {}, 0, 0.0});
+  ASSERT_TRUE(ta.admitted());
+  ASSERT_TRUE(tb.admitted());
+  svc.drain();
+  ASSERT_TRUE(ta.done());
+  ASSERT_TRUE(tb.done());
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GE(stats.coalesced_rounds, 1u) << "requests never shared a round";
+  EXPECT_GE(stats.max_tenants_in_round, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);  // distinct coefficient tables
+
+  expect_paths_bitwise_equal(ta.report().paths, standalone(sys_a, opt).paths);
+  expect_paths_bitwise_equal(tb.report().paths, standalone(sys_b, opt).paths);
+
+  // The report's tallies and progress surface agree with the paths.
+  const auto& ra = ta.report();
+  EXPECT_EQ(ra.attempted, 6u);
+  EXPECT_EQ(ra.classified(), ra.successes() + ra.at_infinity());
+  EXPECT_GT(ra.timing.rounds, 0u);
+  EXPECT_GT(ra.timing.modeled_us, 0.0);
+  const auto pa = ta.poll();
+  EXPECT_EQ(pa.status, service::RequestStatus::kDone);
+  EXPECT_EQ(pa.paths_retired, 6u);
+}
+
+TEST(SolveService, ModeledClockRewardsCoalescingOverSequentialSolves) {
+  // The tentpole throughput claim at test scale: two same-structure
+  // requests solved through one service (shared rounds amortize launch
+  // overhead) must cost no more modeled device time than the same two
+  // requests solved back to back through fresh services.
+  const auto sys_a = small_system(99);
+  const auto sys_b = small_system(1234);
+  const auto opt = small_options();
+
+  const auto run = [&](std::initializer_list<const poly::PolynomialSystem*> order) {
+    service::SolveService<double>::Config config;
+    config.shards = 2;
+    service::SolveService<double> svc(std::move(config));
+    for (const auto* sys : order) {
+      auto t = svc.submit({*sys, opt, {}, 0, 0.0});
+      EXPECT_TRUE(t.admitted());
+    }
+    svc.drain();
+    return svc.stats().total_modeled_us;
+  };
+
+  const double batched = run({&sys_a, &sys_b});
+  double sequential = 0.0;
+  sequential += run({&sys_a});
+  sequential += run({&sys_b});
+  EXPECT_LE(batched, sequential);
+}
+
+TEST(SolveService, CollidingHashesNeverAliasDistinctStructures) {
+  // A constant-hash SystemCache buckets everything together; the full
+  // content scan must still keep distinct systems (here: different
+  // dimensions) apart, and they must never coalesce into one group.
+  const auto sys_a = small_system(99, 3);
+  const auto sys_b = small_system(77, 4);
+
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  config.hasher = [](const core::PackedSystem&) { return std::uint64_t{7}; };
+  service::SolveService<double> svc(std::move(config));
+
+  auto ta = svc.submit({sys_a, small_options(4), {}, 0, 0.0});
+  auto tb = svc.submit({sys_b, small_options(4), {}, 0, 0.0});
+  ASSERT_TRUE(ta.admitted());
+  ASSERT_TRUE(tb.admitted());
+  svc.drain();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);  // two entries despite one bucket
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_LE(stats.max_tenants_in_round, 1u) << "distinct structures coalesced";
+  EXPECT_EQ(stats.coalesced_rounds, 0u);
+
+  // Both still solve correctly against their own standalone runs.
+  expect_paths_bitwise_equal(ta.report().paths,
+                             standalone(sys_a, small_options(4)).paths);
+  expect_paths_bitwise_equal(tb.report().paths,
+                             standalone(sys_b, small_options(4)).paths);
+}
+
+TEST(SolveService, SystemCacheReusesEntriesAcrossRequests) {
+  const auto sys = small_system(99);
+  service::SolveService<double> svc;
+  for (int i = 0; i < 3; ++i) {
+    auto t = svc.submit({sys, small_options(4), {}, 0, 0.0});
+    ASSERT_TRUE(t.admitted());
+    svc.drain();
+    ASSERT_TRUE(t.done());
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(SolveService, CancellationMidSolvePreservesSurvivorParity) {
+  // Cancel request A after its first tracking tick; B keeps riding the
+  // (now A-free) rounds and must stay bitwise equal to its standalone
+  // solve.  A's paths all end kCancelled or already-classified.
+  const auto sys_a = small_system(99);
+  const auto sys_b = small_system(1234);
+  const auto opt = small_options();
+
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  service::SolveService<double> svc(std::move(config));
+  auto ta = svc.submit({sys_a, opt, {}, 0, 0.0});
+  auto tb = svc.submit({sys_b, opt, {}, 0, 0.0});
+  ASSERT_TRUE(ta.admitted() && tb.admitted());
+
+  (void)svc.step();  // both activate and ride one round
+  ta.cancel();
+  svc.drain();
+
+  ASSERT_TRUE(ta.done());
+  ASSERT_TRUE(tb.done());
+  const auto& ra = ta.report();
+  EXPECT_GE(ra.cancelled(), 1u) << "cancel arrived after completion";
+  for (const auto& p : ra.paths)
+    EXPECT_TRUE(p.status == homotopy::PathStatus::kCancelled || p.classified())
+        << "cancelled request leaked status " << homotopy::to_string(p.status);
+  EXPECT_GE(svc.stats().cancelled_requests, 1u);
+
+  expect_paths_bitwise_equal(tb.report().paths, standalone(sys_b, opt).paths);
+}
+
+TEST(SolveService, DeadlineExpiryReportsCancelledNotDiverged) {
+  // A one-tick round budget cannot finish this workload: the request
+  // completes with kCancelled paths -- never kDiverged/kStalled, which
+  // would misreport a scheduling decision as a numerical verdict.
+  const auto sys = small_system(99);
+  service::SolveService<double> svc;
+  auto t = svc.submit({sys, small_options(), {}, /*round_budget=*/1, 0.0});
+  ASSERT_TRUE(t.admitted());
+  svc.drain();
+  ASSERT_TRUE(t.done());
+
+  const auto& r = t.report();
+  EXPECT_GE(r.cancelled(), 1u);
+  EXPECT_EQ(r.by_status[homotopy::PathStatus::kDiverged], 0u);
+  EXPECT_EQ(r.by_status[homotopy::PathStatus::kStalled], 0u);
+  for (const auto& p : r.paths)
+    EXPECT_TRUE(p.status == homotopy::PathStatus::kCancelled || p.classified());
+}
+
+TEST(SolveService, AdmissionControlVerdicts) {
+  const auto sys = small_system(99);
+
+  {  // Non-lockstep / non-fused modes belong to the one-shot API.
+    service::SolveService<double> svc;
+    auto opt = small_options();
+    opt.tracking.mode = solve::TrackMode::kPerPath;
+    auto t = svc.submit({sys, opt, {}, 0, 0.0});
+    EXPECT_EQ(t.verdict(), service::AdmissionVerdict::kInvalid);
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.poll().status, service::RequestStatus::kRejected);
+    EXPECT_THROW((void)t.report(), std::logic_error);
+
+    opt = small_options();
+    opt.sharding.backend = solve::EvalBackend::kPipelined;
+    EXPECT_EQ(svc.submit({sys, opt, {}, 0, 0.0}).verdict(),
+              service::AdmissionVerdict::kInvalid);
+
+    opt = small_options();
+    opt.sharding.shards = 0;  // fails Options::validate
+    EXPECT_EQ(svc.submit({sys, opt, {}, 0, 0.0}).verdict(),
+              service::AdmissionVerdict::kInvalid);
+  }
+  {  // Path budget.
+    service::SolveService<double>::Config config;
+    config.max_paths_per_request = 2;
+    service::SolveService<double> svc(std::move(config));
+    auto t = svc.submit({sys, small_options(6), {}, 0, 0.0});
+    EXPECT_EQ(t.verdict(), service::AdmissionVerdict::kPathBudgetExceeded);
+    EXPECT_EQ(svc.stats().rejected_budget, 1u);
+    // Trimmed under the budget, the same system is admitted.
+    EXPECT_TRUE(svc.submit({sys, small_options(2), {}, 0, 0.0}).admitted());
+  }
+  {  // Bounded queue backpressure.
+    service::SolveService<double>::Config config;
+    config.max_queued = 1;
+    service::SolveService<double> svc(std::move(config));
+    auto t1 = svc.submit({sys, small_options(2), {}, 0, 0.0});
+    auto t2 = svc.submit({sys, small_options(2), {}, 0, 0.0});
+    EXPECT_TRUE(t1.admitted());
+    EXPECT_EQ(t2.verdict(), service::AdmissionVerdict::kQueueFull);
+    EXPECT_EQ(svc.stats().rejected_queue_full, 1u);
+    svc.drain();  // the admitted one still completes
+    EXPECT_TRUE(t1.done());
+  }
+}
+
+TEST(SolveService, StealsLivePathsIntoIdleShards) {
+  // 5 paths over 2 shards with 4 slots each: shard 0 fills to 4, shard
+  // 1 gets 1, the pending queue is empty -- the very first rebalance
+  // must move a path (4,1) -> (3,2), and endpoints stay bitwise equal
+  // to the standalone solve (trajectories are schedule-independent).
+  const auto sys = small_system(99);
+  const auto opt = small_options(5);
+
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  config.slots_per_shard = 4;
+  service::SolveService<double> svc(std::move(config));
+  auto t = svc.submit({sys, opt, {}, 0, 0.0});
+  ASSERT_TRUE(t.admitted());
+  svc.drain();
+  ASSERT_TRUE(t.done());
+
+  EXPECT_GE(svc.stats().live_steals, 1u);
+  expect_paths_bitwise_equal(t.report().paths, standalone(sys, opt).paths);
+}
+
+TEST(SolveService, AsyncSubmitPollCancelFromClientThreads) {
+  // The concurrency surface the TSan job exercises: a background
+  // scheduler thread ticking rounds while client threads submit, poll
+  // and cancel through tickets.
+  const auto sys_a = small_system(99);
+  const auto sys_b = small_system(1234);
+  const auto opt = small_options(4);
+
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  config.async = true;
+  service::SolveService<double> svc(std::move(config));
+
+  std::vector<service::SolveTicket<double>> tickets(3);
+  std::thread client_a([&] {
+    tickets[0] = svc.submit({sys_a, opt, {}, 0, 0.0});
+    while (!tickets[0].done()) std::this_thread::yield();
+  });
+  std::thread client_b([&] {
+    tickets[1] = svc.submit({sys_b, opt, {}, 0, 0.0});
+    tickets[2] = svc.submit({sys_a, opt, {}, 0, 0.0});
+    tickets[2].cancel();  // may land before or after completion: both legal
+    while (!tickets[1].done() || !tickets[2].done()) std::this_thread::yield();
+  });
+  client_a.join();
+  client_b.join();
+  svc.wait_idle();
+
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.valid());
+    ASSERT_TRUE(t.admitted());
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.report().attempted, t.poll().paths_total);
+  }
+  // The un-cancelled requests still match their standalone solves.
+  expect_paths_bitwise_equal(tickets[0].report().paths,
+                             standalone(sys_a, opt).paths);
+  expect_paths_bitwise_equal(tickets[1].report().paths,
+                             standalone(sys_b, opt).paths);
+}
+
+TEST(MultiTenantEvaluator, MatchesSingleTenantEvaluatorsBitwise) {
+  // The coalescing primitive: one multi-tenant launch over interleaved
+  // tenant ids must reproduce each tenant's single-tenant evaluator bit
+  // for bit (same fold, same kernel arithmetic, tables selected by id).
+  const auto sys_a = small_system(99);
+  const auto sys_b = small_system(1234);
+  const unsigned batch = 6;
+
+  std::vector<std::vector<Cd>> points;
+  for (unsigned p = 0; p < batch; ++p)
+    points.push_back(poly::make_random_point<double>(3, 500 + p));
+
+  simt::Device dev_mt, dev_a, dev_b;
+  core::FusedGpuEvaluator<double> eval_a(dev_a, sys_a, batch);
+  core::FusedGpuEvaluator<double> eval_b(dev_b, sys_b, batch);
+  std::vector<poly::EvalResult<double>> want_a, want_b;
+  eval_a.evaluate(points, want_a);
+  eval_b.evaluate(points, want_b);
+
+  core::MultiTenantFusedEvaluator<double> mt(
+      dev_mt, core::pack_system(sys_a).structure, /*max_tenants=*/2, batch);
+  mt.set_tenant(0, sys_a);
+  mt.set_tenant(1, sys_b);
+  const std::vector<unsigned> tenants = {0, 1, 1, 0, 1, 0};
+  mt.bind_tenants(std::span<const unsigned>(tenants));
+
+  std::vector<poly::EvalResult<double>> got(batch);
+  mt.evaluate_range(points, 0, batch, std::span<poly::EvalResult<double>>(got));
+  for (unsigned p = 0; p < batch; ++p) {
+    const auto& want = tenants[p] == 0 ? want_a[p] : want_b[p];
+    EXPECT_EQ(poly::max_abs_diff(want, got[p]), 0.0) << "point " << p;
+  }
+
+  // Structure mismatch is rejected at install time.
+  EXPECT_THROW(mt.set_tenant(1, small_system(5, 4)), std::invalid_argument);
+}
+
+TEST(RefineBatch, AllMaskedPathsSkipEveryLaunch) {
+  // Satellite fix: when cancellation masks out every path mid-round,
+  // refine_batch must return before any staging or device work -- the
+  // launch log stays empty, exactly like count == 0.
+  const auto sys = small_system(99);
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(1);
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 4);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::BatchedHomotopy<double, core::FusedGpuEvaluator<double>> h(f, g,
+                                                                       gamma);
+
+  std::vector<std::vector<Cd>> x;
+  std::vector<Cd> ts;
+  for (unsigned p = 0; p < 4; ++p) {
+    auto rd = start.start_root(p);
+    std::vector<Cd> r;
+    for (const auto& z : rd) r.push_back(z);
+    x.push_back(std::move(r));
+    ts.push_back(Cd::from_double(0.5));
+  }
+
+  linalg::LuArena<double> arena(3, 4);
+  newton::RefineBatchScratch<double> scratch;
+  scratch.reserve(3, 4, 4);
+  std::vector<newton::BatchPathStatus> status(4);
+  newton::NewtonOptions nopt;
+
+  const std::vector<unsigned char> all_masked(4, 1);
+  device.clear_log();
+  newton::refine_batch(h, x, std::span<const Cd>(ts), 4, nopt, arena, scratch,
+                       std::span<newton::BatchPathStatus>(status),
+                       std::span<const std::size_t>(),
+                       std::span<const unsigned char>(all_masked));
+  EXPECT_TRUE(device.log().kernels.empty()) << "all-masked refine launched";
+  EXPECT_EQ(device.log().transfers.transfers_to_device, 0u);
+
+  // Sanity: with the mask lifted the same call does real device work.
+  newton::refine_batch(h, x, std::span<const Cd>(ts), 4, nopt, arena, scratch,
+                       std::span<newton::BatchPathStatus>(status),
+                       std::span<const std::size_t>(),
+                       std::span<const unsigned char>());
+  EXPECT_FALSE(device.log().kernels.empty());
+}
+
+}  // namespace

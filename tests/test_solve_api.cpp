@@ -1,0 +1,161 @@
+// The unified request/response surface: solve::Options validates and
+// round-trips against the legacy ShardedSolveOptions spelling, the
+// deprecated aliases stay compilable, solve::Report tallies per-status
+// counts/extremes and converts to the legacy summary, and the enum
+// to_string helpers cover every value.
+
+#include <gtest/gtest.h>
+
+#include "service/request.hpp"
+#include "solve/options.hpp"
+#include "solve/report.hpp"
+
+namespace {
+
+using namespace polyeval;
+
+TEST(SolveOptions, DefaultsValidate) {
+  const solve::Options opt;
+  EXPECT_NO_THROW(opt.validate());
+  EXPECT_EQ(opt.tracking.geometry, solve::Geometry::kProjective);
+  EXPECT_EQ(opt.tracking.mode, solve::TrackMode::kLockstep);
+  EXPECT_EQ(opt.sharding.backend, solve::EvalBackend::kFused);
+  EXPECT_EQ(opt.tuning.mode, solve::TuningMode::kMeasured);
+}
+
+TEST(SolveOptions, ValidationRejectsNonsense) {
+  {
+    solve::Options o;
+    o.sharding.shards = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    solve::Options o;
+    o.sharding.workers_per_shard = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    solve::Options o;
+    o.sharding.lockstep_batch = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    solve::Options o;
+    o.tracking.track.initial_step = 0.0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    solve::Options o;
+    o.tracking.track.step_shrink = 1.5;  // must shrink
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+  {
+    solve::Options o;
+    o.tracking.track.max_steps = 0;
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  }
+}
+
+TEST(SolveOptions, RoundTripsThroughLegacySpelling) {
+  solve::Options opt;
+  opt.tracking.geometry = solve::Geometry::kAffine;
+  opt.tracking.mode = solve::TrackMode::kPerPath;
+  opt.tracking.patch_seed = 7;
+  opt.tracking.track.max_steps = 123;
+  opt.tuning.mode = solve::TuningMode::kHeuristic;
+  opt.tuning.block_size = 96;
+  opt.tuning.detect_races = true;
+  opt.sharding.shards = 5;
+  opt.sharding.workers_per_shard = 3;
+  opt.sharding.chunk_paths = 4;
+  opt.sharding.max_paths = 17;
+  opt.sharding.backend = solve::EvalBackend::kPipelined;
+  opt.sharding.lockstep_batch = 9;
+  opt.gamma_seed = 99;
+
+  const auto legacy = opt.to_sharded();
+  EXPECT_EQ(legacy.geometry, homotopy::TrackGeometry::kAffine);
+  EXPECT_EQ(legacy.mode, homotopy::ShardTrackMode::kPerPath);
+  EXPECT_EQ(legacy.shards, 5u);
+  EXPECT_EQ(legacy.block_size, 96u);
+  EXPECT_EQ(legacy.track.max_steps, 123u);
+
+  const auto back = solve::Options::from_sharded(legacy);
+  EXPECT_EQ(back, opt);  // defaulted operator== over every section
+}
+
+TEST(SolveOptions, DeprecatedAliasesCompile) {
+  // The old spellings still name the same types (one release of grace).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  static_assert(std::is_same_v<solve::TrackGeometry, homotopy::TrackGeometry>);
+  static_assert(
+      std::is_same_v<solve::ShardTrackMode, homotopy::ShardTrackMode>);
+  static_assert(
+      std::is_same_v<solve::ShardEvalBackend, homotopy::ShardEvalBackend>);
+  static_assert(
+      std::is_same_v<solve::ShardedSolveOptions, homotopy::ShardedSolveOptions>);
+#pragma GCC diagnostic pop
+}
+
+TEST(SolveReport, RetallyCountsEveryStatus) {
+  solve::Report<double> r;
+  r.paths.resize(5);
+  r.paths[0].status = homotopy::PathStatus::kConverged;
+  r.paths[0].steps = 10;
+  r.paths[0].winding = 2;
+  r.paths[0].final_residual = 1e-12;
+  r.paths[1].status = homotopy::PathStatus::kAtInfinity;
+  r.paths[1].rejections = 3;
+  r.paths[2].status = homotopy::PathStatus::kStalled;
+  r.paths[3].status = homotopy::PathStatus::kDiverged;
+  r.paths[4].status = homotopy::PathStatus::kCancelled;
+  r.retally();
+
+  EXPECT_EQ(r.attempted, 5u);
+  EXPECT_EQ(r.successes(), 1u);
+  EXPECT_EQ(r.at_infinity(), 1u);
+  EXPECT_EQ(r.cancelled(), 1u);
+  EXPECT_EQ(r.classified(), 2u);
+  EXPECT_EQ(r.by_status[homotopy::PathStatus::kStalled], 1u);
+  EXPECT_EQ(r.by_status[homotopy::PathStatus::kDiverged], 1u);
+  EXPECT_EQ(r.max_winding, 2u);
+  EXPECT_EQ(r.max_final_residual, 1e-12);
+  EXPECT_EQ(r.total_steps, 10u);
+  EXPECT_EQ(r.total_rejections, 3u);
+
+  const auto summary = r.to_summary();
+  EXPECT_EQ(summary.attempted, 5u);
+  EXPECT_EQ(summary.successes, 1u);
+  EXPECT_EQ(summary.at_infinity, 1u);
+  EXPECT_EQ(summary.paths.size(), 5u);
+
+  const auto back = solve::make_report(summary);
+  EXPECT_EQ(back.successes(), 1u);
+  EXPECT_EQ(back.cancelled(), 1u);
+  EXPECT_EQ(back.attempted, 5u);
+}
+
+TEST(SolveReport, StatusToStringCoversEveryValue) {
+  using homotopy::PathStatus;
+  EXPECT_STREQ(homotopy::to_string(PathStatus::kConverged), "converged");
+  EXPECT_STREQ(homotopy::to_string(PathStatus::kAtInfinity), "at_infinity");
+  EXPECT_STREQ(homotopy::to_string(PathStatus::kStalled), "stalled");
+  EXPECT_STREQ(homotopy::to_string(PathStatus::kDiverged), "diverged");
+  EXPECT_STREQ(homotopy::to_string(PathStatus::kCancelled), "cancelled");
+
+  using service::AdmissionVerdict;
+  EXPECT_STREQ(to_string(AdmissionVerdict::kAdmitted), "admitted");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kPathBudgetExceeded),
+               "path_budget_exceeded");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kInvalid), "invalid");
+
+  using service::RequestStatus;
+  EXPECT_STREQ(to_string(RequestStatus::kRejected), "rejected");
+  EXPECT_STREQ(to_string(RequestStatus::kQueued), "queued");
+  EXPECT_STREQ(to_string(RequestStatus::kTracking), "tracking");
+  EXPECT_STREQ(to_string(RequestStatus::kDone), "done");
+}
+
+}  // namespace
