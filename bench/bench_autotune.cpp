@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "core/batch_evaluator.hpp"
 #include "core/pipelined_evaluator.hpp"
@@ -235,6 +236,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "autotune");
+  polyeval::benchutil::emit_stamp(json);
   json.field("quick", quick);
   json.key("workloads");
   json.begin_array();

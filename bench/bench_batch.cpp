@@ -17,6 +17,7 @@
 
 #include "ad/cpu_evaluator.hpp"
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "benchutil/timer.hpp"
 #include "core/batch_evaluator.hpp"
@@ -135,6 +136,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "batch");
+  polyeval::benchutil::emit_stamp(json);
   json.key("workload");
   json.begin_object()
       .field("monomials_per_polynomial", 22u)

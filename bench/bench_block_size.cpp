@@ -13,6 +13,7 @@
 #include <string>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "core/gpu_evaluator.hpp"
 #include "poly/random_system.hpp"
@@ -86,7 +87,9 @@ void sweep(unsigned k, unsigned d, const char* label, const char* json_name,
 int main() {
   std::cout << "=== Block-size ablation (the paper's B = 32 choice) ===\n\n";
   benchutil::JsonWriter json;
-  json.begin_object().field("bench", "block_size").key("workloads");
+  json.begin_object().field("bench", "block_size");
+  polyeval::benchutil::emit_stamp(json);
+  json.key("workloads");
   json.begin_array();
   sweep(9, 2, "Table 1 workload, k = 9", "table1_k9", json);
   sweep(16, 10, "Table 2 workload, k = 16", "table2_k16", json);

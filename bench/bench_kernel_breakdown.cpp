@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "benchutil/timer.hpp"
 #include "core/gpu_evaluator.hpp"
@@ -91,6 +92,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "kernel_breakdown");
+  polyeval::benchutil::emit_stamp(json);
   json.field("quick", quick);
   json.key("workloads");
   json.begin_array();

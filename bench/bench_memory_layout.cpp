@@ -12,6 +12,7 @@
 #include <string>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "core/gpu_evaluator.hpp"
 #include "poly/random_system.hpp"
@@ -105,7 +106,9 @@ void compare(unsigned k, unsigned d, const char* label, const char* json_name,
 int main() {
   std::cout << "=== Mons layout ablation (the tradeoff of section 3.3) ===\n\n";
   benchutil::JsonWriter json;
-  json.begin_object().field("bench", "memory_layout").key("workloads");
+  json.begin_object().field("bench", "memory_layout");
+  polyeval::benchutil::emit_stamp(json);
+  json.key("workloads");
   json.begin_array();
   compare(9, 2, "Table 1 workload, k = 9, d <= 2", "table1_k9", json);
   compare(16, 10, "Table 2 workload, k = 16, d <= 10", "table2_k16", json);

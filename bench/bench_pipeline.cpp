@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "benchutil/timer.hpp"
 #include "core/pipelined_evaluator.hpp"
@@ -100,6 +101,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "pipeline");
+  polyeval::benchutil::emit_stamp(json);
   json.key("workload");
   json.begin_object()
       .field("dimension", dim)

@@ -26,12 +26,14 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "homotopy/sharded_solver.hpp"
 #include "poly/random_system.hpp"
@@ -90,8 +92,22 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
+  const char* trace_out = nullptr;    // --trace-out FILE: Chrome trace JSON
+  const char* metrics_out = nullptr;  // --metrics-out FILE: Prometheus text
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_out = argv[++i];
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+      metrics_out = argv[++i];
+  }
+  // Tracing rides along at full detail when an export was requested;
+  // the gates below are unchanged either way (the tracer observes the
+  // modeled clock, it never feeds it).
+  const auto trace_level =
+      (trace_out != nullptr || metrics_out != nullptr)
+          ? obs::TraceLevel::kFull
+          : obs::TraceLevel::kOff;
 
   const unsigned num_requests = quick ? 3 : 6;
   const std::uint64_t paths_per_request = quick ? 4 : 6;
@@ -123,7 +139,9 @@ int main(int argc, char** argv) {
   service::ServiceStats batched_stats;
   const auto t0 = std::chrono::steady_clock::now();
   {
-    service::SolveService<double> svc(service_config());
+    auto config = service_config();
+    config.trace = trace_level;
+    service::SolveService<double> svc(config);
     unsigned next = 0;
     bool more = true;
     while (more || next < num_requests) {
@@ -140,6 +158,18 @@ int main(int argc, char** argv) {
       more = svc.step();
     }
     batched_stats = svc.stats();
+    if (trace_out != nullptr) {
+      std::ofstream out(trace_out);
+      svc.export_trace(out);
+      std::cout << (out ? "wrote " : "WARNING: could not write ")
+                << trace_out << "\n";
+    }
+    if (metrics_out != nullptr) {
+      std::ofstream out(metrics_out);
+      svc.metrics().expose(out);
+      std::cout << (out ? "wrote " : "WARNING: could not write ")
+                << metrics_out << "\n";
+    }
   }
   const double batched_sec = wall_seconds_since(t0);
 
@@ -202,6 +232,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "service");
+  polyeval::benchutil::emit_stamp(json);
   json.key("workload");
   json.begin_object()
       .field("requests", num_requests)

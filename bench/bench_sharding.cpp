@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "benchutil/timer.hpp"
 #include "core/sharded_evaluator.hpp"
@@ -128,6 +129,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "sharding");
+  polyeval::benchutil::emit_stamp(json);
   json.key("workload");
   json.begin_object()
       .field("dimension", dim)

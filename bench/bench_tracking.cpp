@@ -46,6 +46,7 @@
 #include <thread>
 
 #include "benchutil/json.hpp"
+#include "benchutil/stamp.hpp"
 #include "benchutil/table.hpp"
 #include "benchutil/timer.hpp"
 #include "homotopy/sharded_solver.hpp"
@@ -231,6 +232,7 @@ int main(int argc, char** argv) {
   benchutil::JsonWriter json;
   json.begin_object();
   json.field("bench", "tracking");
+  polyeval::benchutil::emit_stamp(json);
   json.key("workload");
   json.begin_object()
       .field("monomials_per_polynomial", 22u)

@@ -96,6 +96,20 @@ def main():
 
     failures = []
     compared = 0
+    # Per-file binding metric: the gated field closest to (or furthest
+    # past) its limit, as measured by ratio/limit headroom.  Reported on
+    # pass AND fail so a green run still says which metric would trip
+    # first if it drifted.
+    binding = {}
+
+    def consider(name, path, kind, base, value, ratio, limit):
+        headroom = ratio / limit
+        entry = binding.get(name)
+        if entry is None or headroom > entry["headroom"]:
+            binding[name] = {"path": path, "kind": kind, "base": base,
+                             "value": value, "ratio": ratio, "limit": limit,
+                             "headroom": headroom}
+
     for current_path in args.files:
         name = os.path.basename(current_path)
         with open(current_path) as f:
@@ -107,6 +121,10 @@ def main():
             marker = "FAIL" if value < args.min_tuned_speedup else "ok"
             print(f"{marker:4} {name}:{path} [tuned-speedup]: {value:.4f} "
                   f"(floor {args.min_tuned_speedup:.4f})")
+            # Floor gate: "cost ratio" is floor/value so >1 means failed.
+            consider(name, path, "tuned-speedup", args.min_tuned_speedup,
+                     value, args.min_tuned_speedup / value if value > 0.0
+                     else float("inf"), 1.0)
             if value < args.min_tuned_speedup:
                 failures.append((name, path, value))
 
@@ -145,8 +163,18 @@ def main():
             print(f"{marker:4} {name}:{path} [{direction}]: {base:.1f} -> "
                   f"{value:.1f} ({ratio:.2f}x of baseline cost, limit "
                   f"{limit:.2f}x)")
+            consider(name, path, direction, base, value, ratio, limit)
             if ratio > limit:
                 failures.append((name, path, ratio))
+
+    if binding:
+        print("\nbinding metric per file (closest to its limit):")
+        for name in sorted(binding):
+            b = binding[name]
+            print(f"  {name}: {b['path']} [{b['kind']}] baseline "
+                  f"{b['base']:.4g} measured {b['value']:.4g} -> "
+                  f"{b['ratio']:.3f}x of limit {b['limit']:.2f}x "
+                  f"({100.0 * b['headroom']:.0f}% of budget)")
 
     if compared == 0:
         print("warning: no wall-clock or throughput fields compared; "

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Structural validator for the Chrome trace-event JSON exported by
+SolveService::export_trace (obs/chrome_trace.cpp).
+
+Checks, in order:
+  1. the file is valid JSON with a "traceEvents" array and every event
+     carries the trace-event-format required fields (name/ph/pid; X
+     events additionally tid/ts/dur with dur >= 0);
+  2. the modeled device timeline renders at least --min-tracks device
+     engine tracks (thread_name metadata under a device process --
+     compute / dma h2d / dma d2h / rounds);
+  3. request lifecycle spans (cat "request") and scheduler round spans
+     (cat "round") are present;
+  4. accounting consistency: the sum of the request spans'
+     args.modeled_us (the per-request makespan shares that also land in
+     solve::Report::Timing::modeled_us) equals the sum of the engine
+     slice durations (compute + both DMA directions, the decomposed
+     per-device charges) within --tolerance.  The two are computed by
+     different decompositions of the same launch logs, so they agree up
+     to float association -- 1% is generous;
+  5. slices within one track never overlap (each engine is a serial
+     resource on the modeled clock).
+
+Usage:
+  scripts/validate_trace.py TRACE_service.json [--min-tracks 3]
+      [--tolerance 0.01]
+"""
+
+import argparse
+import json
+import sys
+
+DEVICE_PID_BASE = 10
+ENGINE_TIDS = (0, 1, 2)  # compute, dma h2d, dma d2h (3 is the rounds track)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-tracks", type=int, default=3,
+                        help="minimum device engine tracks required")
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="relative tolerance for the modeled-us "
+                             "accounting check")
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array")
+
+    # 1. Per-event structural checks.
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid"):
+            if field not in ev:
+                fail(f"event {i} missing '{field}': {ev}")
+        if ev["ph"] == "X":
+            for field in ("tid", "ts", "dur"):
+                if not isinstance(ev.get(field), (int, float)):
+                    fail(f"X event {i} missing numeric '{field}': {ev}")
+            if ev["dur"] < 0:
+                fail(f"X event {i} has negative dur: {ev}")
+        elif ev["ph"] != "M":
+            fail(f"event {i} has unexpected ph '{ev['ph']}' "
+                 f"(exporter only emits X and M)")
+
+    # 2. Device engine tracks from thread_name metadata.
+    engine_tracks = [
+        (ev["pid"], ev["tid"], ev["args"]["name"]) for ev in events
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+        and ev["pid"] >= DEVICE_PID_BASE]
+    if len(engine_tracks) < args.min_tracks:
+        fail(f"only {len(engine_tracks)} device engine tracks, "
+             f"need >= {args.min_tracks}: {engine_tracks}")
+
+    # 3. Request and round spans.
+    request_spans = [ev for ev in events
+                     if ev["ph"] == "X" and ev.get("cat") == "request"]
+    round_spans = [ev for ev in events
+                   if ev["ph"] == "X" and ev.get("cat") == "round"]
+    if not request_spans:
+        fail("no request spans (cat 'request')")
+    if not round_spans:
+        fail("no scheduler round spans (cat 'round')")
+
+    # 4. Modeled-us accounting: request shares vs engine slices.
+    request_modeled = sum(ev.get("args", {}).get("modeled_us", 0.0)
+                          for ev in request_spans)
+    slice_modeled = sum(ev["dur"] for ev in events
+                        if ev["ph"] == "X" and ev["pid"] >= DEVICE_PID_BASE
+                        and ev["tid"] in ENGINE_TIDS)
+    if request_modeled <= 0.0:
+        fail("request spans carry no modeled_us args")
+    if slice_modeled <= 0.0:
+        fail("device engine tracks carry no slices")
+    rel = abs(request_modeled - slice_modeled) / max(request_modeled,
+                                                     slice_modeled)
+    if rel > args.tolerance:
+        fail(f"modeled-us mismatch: request spans sum to "
+             f"{request_modeled:.3f} us, engine slices to "
+             f"{slice_modeled:.3f} us ({100.0 * rel:.2f}% apart, "
+             f"tolerance {100.0 * args.tolerance:.2f}%)")
+
+    # 5. Non-overlap within each track.
+    tracks = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    eps = 1e-3  # us; slices meet exactly, allow print/parse rounding
+    for (pid, tid), evs in tracks.items():
+        evs.sort(key=lambda e: (e["ts"], e["ts"] + e["dur"]))
+        for a, b in zip(evs, evs[1:]):
+            if b["ts"] < a["ts"] + a["dur"] - eps:
+                fail(f"track pid={pid} tid={tid}: '{b['name']}' at "
+                     f"{b['ts']:.3f} overlaps '{a['name']}' ending at "
+                     f"{a['ts'] + a['dur']:.3f}")
+
+    n_x = sum(1 for ev in events if ev["ph"] == "X")
+    print(f"trace ok: {n_x} spans/slices, {len(engine_tracks)} device "
+          f"engine tracks, {len(request_spans)} request spans, "
+          f"{len(round_spans)} round spans; modeled accounting agrees "
+          f"to {100.0 * rel:.3f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+#include "benchutil/stamp.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil/json.hpp"
+
+namespace polyeval::benchutil {
+
+namespace {
+
+std::string resolve_git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env)
+    return env;
+  // Fallback for local runs: ask git.  Swallow every failure mode
+  // (no git, not a repo) into "unknown" -- provenance is best-effort,
+  // never a reason for a bench to fail.
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      for (const char* p = buf; *p != '\0' && *p != '\n'; ++p) sha += *p;
+    }
+    ::pclose(pipe);
+  }
+  // A full SHA is 40 hex chars; anything shorter is git noise.
+  if (sha.size() < 7) sha = "unknown";
+  return sha;
+}
+
+}  // namespace
+
+const std::string& git_sha() {
+  static const std::string sha = resolve_git_sha();
+  return sha;
+}
+
+void emit_stamp(JsonWriter& json) {
+  json.key("meta");
+  json.begin_object()
+      .field("schema_version", kBenchSchemaVersion)
+      .field("git_sha", git_sha())
+      .end_object();
+}
+
+}  // namespace polyeval::benchutil

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file stamp.hpp
+/// Provenance stamp for the BENCH_*.json artifacts: every emitted file
+/// carries a "meta" object with the bench JSON schema version and the
+/// git commit it was built from, so a downloaded artifact (or a stale
+/// committed baseline) identifies itself without archaeology.  The
+/// stamp adds no gated leaves -- check_bench_regression.py keys on
+/// wall_us / per_sec / solved_frac / tuned_speedup substrings, none of
+/// which appear here -- so stamped files compare cleanly against
+/// pre-stamp baselines.
+
+#include <string>
+
+namespace polyeval::benchutil {
+
+class JsonWriter;
+
+/// Bumped when the shape of any BENCH_*.json changes incompatibly
+/// (field renames, moved sections).  Additive fields do not bump it.
+inline constexpr unsigned kBenchSchemaVersion = 1;
+
+/// The commit the binary was built from: $GITHUB_SHA when CI exports
+/// it, else `git rev-parse HEAD` from the current directory, else
+/// "unknown".  Resolved once per process (the answer cannot change
+/// mid-run).
+[[nodiscard]] const std::string& git_sha();
+
+/// Write `"meta": {"schema_version": ..., "git_sha": ...}` into an
+/// open JSON object.  Call once, right after begin_object() of the
+/// document root.
+void emit_stamp(JsonWriter& json);
+
+}  // namespace polyeval::benchutil

@@ -59,6 +59,7 @@
 #include "homotopy/projective.hpp"
 #include "homotopy/tracker.hpp"
 #include "newton/batch.hpp"
+#include "obs/metrics.hpp"
 #include "simt/device.hpp"
 
 namespace polyeval::homotopy {
@@ -334,6 +335,18 @@ class BatchPathTracker {
 
   [[nodiscard]] const TrackOptions& options() const noexcept { return options_; }
 
+  /// Attach pre-resolved observability counters (obs::TrackerMetrics):
+  /// every subsequent round() increments them with relaxed atomic adds
+  /// -- no allocation, no launches, no effect on the tracked arithmetic,
+  /// so the bitwise and zero-alloc contracts hold instrumented or not.
+  /// Deliberately NOT part of TrackOptions: the solve service coalesces
+  /// requests by comparing options with operator==, and a pointer in
+  /// there would break that.  nullptr detaches.  The struct (typically
+  /// shared by every shard of a service) must outlive the tracker.
+  void set_metrics(const obs::TrackerMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
   /// Request cooperative cancellation of path `slot`.  Thread-safe (the
   /// async service's clients call it while round() runs); the path
   /// retires as kCancelled at the next consume point -- round entry, or
@@ -355,6 +368,7 @@ class BatchPathTracker {
     if (active_.empty() && endgame_ids_.empty()) return 0;
     device_.clear_log();
     ++rounds_;
+    if (metrics_) metrics_->rounds->inc();
     const unsigned n = h_.dimension();
 
     // Cancellation consume point 1: requests that arrived between
@@ -442,6 +456,11 @@ class BatchPathTracker {
           mid_cancel
               ? std::span<const unsigned char>(cancel_mask_.data(), a)
               : std::span<const unsigned char>{});
+      if (metrics_)
+        for (std::size_t j = 0; j < a; ++j)
+          if (!(mid_cancel && cancel_mask_[j]))
+            metrics_->newton_iterations_per_path->observe(
+                static_cast<double>(statuses_[j].iterations));
 
       // Per-path step control -- the scalar tracker's accept/reject
       // arithmetic (the shared one copy), path by path.
@@ -454,6 +473,7 @@ class BatchPathTracker {
           continue;
         }
         if (statuses_[j].converged) {
+          if (metrics_) metrics_->steps_accepted->inc();
           std::copy(corr_pts_[j].begin(), corr_pts_[j].end(), s.x.begin());
           detail::accept_step(s.ctl, t_next_[j], options_);
           if constexpr (kProjective) {
@@ -469,11 +489,19 @@ class BatchPathTracker {
             continue;
           }
         } else {
+          if (metrics_) {
+            metrics_->steps_rejected->inc();
+            // The growth streak the rejection wipes (reject_step zeroes
+            // it), observed before the reset.
+            metrics_->accept_streak->observe(
+                static_cast<double>(s.ctl.streak));
+          }
           detail::reject_step(s.ctl, options_);
           if constexpr (kProjective) {
             if (detail::endgame_triggered(s.ctl, options_)) {
               s.eg.begin(1.0 - s.ctl.t, std::span<const C>(s.x));
               endgame_ids_.push_back(id);
+              if (metrics_) metrics_->endgame_entries->inc();
               continue;
             }
           }
@@ -507,6 +535,10 @@ class BatchPathTracker {
                                 std::span<newton::BatchPathStatus>(statuses_),
                                 std::span<const std::size_t>(endgame_ids_),
                                 std::span<const unsigned char>{});
+        if (metrics_)
+          for (std::size_t j = 0; j < e; ++j)
+            metrics_->newton_iterations_per_path->observe(
+                static_cast<double>(statuses_[j].iterations));
         keep = 0;
         for (std::size_t j = 0; j < e; ++j) {
           const std::size_t id = endgame_ids_[j];
@@ -560,6 +592,10 @@ class BatchPathTracker {
                               std::span<newton::BatchPathStatus>(statuses_),
                               std::span<const std::size_t>(end_ids_),
                               std::span<const unsigned char>{});
+      if (metrics_)
+        for (std::size_t j = 0; j < e; ++j)
+          metrics_->newton_iterations_per_path->observe(
+              static_cast<double>(statuses_[j].iterations));
       for (std::size_t j = 0; j < e; ++j) {
         auto& s = slots_[end_ids_[j]];
         if (statuses_[j].converged) {
@@ -592,6 +628,16 @@ class BatchPathTracker {
     // Step-underflow / budget failures: batched residual probe, then
     // retire as stalls.
     retire_failed(probe_ids_);
+
+    // The Newton totals come from the scratch's cumulative counters
+    // (the newton-layer plumbing), folded in once per round as deltas.
+    if (metrics_) {
+      metrics_->newton_calls->inc(nscratch_.calls - newton_calls_seen_);
+      metrics_->newton_iterations->inc(nscratch_.iterations_applied -
+                                       newton_iters_seen_);
+      newton_calls_seen_ = nscratch_.calls;
+      newton_iters_seen_ = nscratch_.iterations_applied;
+    }
 
     return active_.size() + endgame_ids_.size();
   }
@@ -733,6 +779,7 @@ class BatchPathTracker {
   /// including the step-underflow death check the scalar loop applies
   /// right after a failed attempt).
   void fail_endgame_attempt(PathSlot& s, std::size_t id) {
+    if (metrics_) metrics_->endgame_retries->inc();
     const auto z0 = s.eg.start_point();
     std::copy(z0.begin(), z0.end(), s.x.begin());
     detail::endgame_failed(s.ctl);
@@ -749,6 +796,10 @@ class BatchPathTracker {
     s.final_residual = residual;
     s.success = status == PathStatus::kConverged;
     s.retired = true;
+    if (metrics_) {
+      metrics_->retired_by_status[static_cast<std::size_t>(status)]->inc();
+      metrics_->path_steps->observe(static_cast<double>(s.ctl.steps));
+    }
   }
 
   /// Retire `ids` as stalls with one batched values probe at their
@@ -782,6 +833,9 @@ class BatchPathTracker {
   simt::Device& device_;
   HomoMember h_;
   TrackOptions options_;
+  const obs::TrackerMetrics* metrics_ = nullptr;
+  std::uint64_t newton_calls_seen_ = 0;  ///< scratch counter watermark
+  std::uint64_t newton_iters_seen_ = 0;
   std::size_t max_paths_;
   std::size_t cap_ = 0;  ///< Jacobian-stage chunk bound (device batch capacity)
   std::size_t paths_ = 0;

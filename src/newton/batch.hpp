@@ -26,6 +26,7 @@
 /// refine_batch calls never touch the allocator.
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -91,6 +92,16 @@ struct RefineBatchScratch {
   std::vector<unsigned char> singular; ///< per-system lu_solve_batch flags
   std::vector<std::size_t> slot_ids;   ///< compacted caller slot ids (bind_slots)
   std::size_t jac_chunk = 0;           ///< Jacobian-step chunk bound
+
+  /// Cumulative instrumentation, maintained by refine_batch and read
+  /// by the observability layer (obs::TrackerMetrics increments are
+  /// fed from deltas of these).  Plain integers on purpose: scratch is
+  /// single-writer by contract, and the tracker's zero-alloc gate
+  /// covers these adds too.
+  std::uint64_t calls = 0;               ///< calls that staged device work
+  std::uint64_t probe_launches = 0;      ///< values-only residual probes
+  std::uint64_t jacobian_launches = 0;   ///< Jacobian chunk launches
+  std::uint64_t iterations_applied = 0;  ///< Newton updates across all paths
 
   /// Size for up to `max_paths` paths of dimension n, Jacobian work
   /// chunked to `jac_chunk` paths per launch.
@@ -170,6 +181,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
   }
   // All paths masked out (mid-round cancellation): as free as count == 0.
   if (scratch.active.empty()) return;
+  ++scratch.calls;
 
   // A compacted launch over `ids`: copy each surviving iterate (and its
   // parameter) into slot j of the scratch batch, and re-bind the
@@ -198,6 +210,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
     compact(scratch.active);
     e.evaluate_values_range(scratch.points, std::span<const C>(scratch.ts), 0, a,
                             std::span<C>(scratch.probe_values));
+    ++scratch.probe_launches;
 
     // Convergence masks: retire satisfied paths in place.
     std::size_t keep = 0;
@@ -233,6 +246,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
                              std::span<const C>(scratch.values),
                              std::span<C>(scratch.delta),
                              std::span<unsigned char>(scratch.singular));
+      ++scratch.jacobian_launches;
 
       for (std::size_t j = 0; j < cc; ++j) {
         const std::size_t i = scratch.active[c0 + j];
@@ -242,6 +256,7 @@ void refine_batch(BatchEval& e, std::vector<std::vector<cplx::Complex<S>>>& x,
         }
         for (unsigned v = 0; v < n; ++v) x[i][v] -= scratch.delta[j * n + v];
         ++status[i].iterations;
+        ++scratch.iterations_applied;
         scratch.active[keep++] = i;
       }
     }

@@ -1,0 +1,155 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polyeval::obs {
+namespace {
+
+constexpr int kServicePid = 1;
+constexpr int kDevicePidBase = 10;
+constexpr int kSchedulerTid = 1;
+constexpr std::uint64_t kRequestTidBase = 100;
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_us(std::ostream& os, double us) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << us;
+  os << tmp.str();
+}
+
+class EventSink {
+ public:
+  explicit EventSink(std::ostream& os) : os_(os) {}
+
+  /// ph "M" metadata event naming a process or thread.
+  void metadata(const char* what, int pid, int tid, std::string_view name) {
+    open();
+    os_ << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0) os_ << ",\"tid\":" << tid;
+    os_ << ",\"args\":{\"name\":";
+    write_json_string(os_, name);
+    os_ << "}}";
+  }
+
+  /// ph "X" complete event; `args_json` is pre-rendered ("" for none).
+  void complete(std::string_view name, const char* cat, int pid,
+                std::uint64_t tid, double ts_us, double dur_us,
+                const std::string& args_json) {
+    open();
+    os_ << "{\"name\":";
+    write_json_string(os_, name);
+    os_ << ",\"cat\":\"" << cat << "\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":";
+    write_us(os_, ts_us);
+    os_ << ",\"dur\":";
+    write_us(os_, std::max(0.0, dur_us));
+    if (!args_json.empty()) os_ << ",\"args\":{" << args_json << '}';
+    os_ << '}';
+  }
+
+ private:
+  void open() {
+    os_ << (first_ ? "\n " : ",\n ");
+    first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  EventSink sink(os);
+
+  // --- metadata: process and thread names --------------------------------
+  sink.metadata("process_name", kServicePid, -1, "solve service");
+  sink.metadata("thread_name", kServicePid, kSchedulerTid, "scheduler");
+  std::vector<std::uint64_t> request_ids;
+  for (const Tracer::Span& s : tracer.spans()) {
+    const std::string_view cat = s.cat;
+    if (cat != "queue" && cat != "request") continue;
+    if (std::find(request_ids.begin(), request_ids.end(), s.id) ==
+        request_ids.end())
+      request_ids.push_back(s.id);
+  }
+  std::sort(request_ids.begin(), request_ids.end());
+  for (const std::uint64_t id : request_ids)
+    sink.metadata("thread_name", kServicePid,
+                  static_cast<int>(kRequestTidBase + id),
+                  "request " + std::to_string(id));
+  static constexpr const char* kEngineNames[4] = {"compute", "dma h2d",
+                                                  "dma d2h", "rounds"};
+  for (std::size_t d = 0; d < tracer.device_count(); ++d) {
+    const int pid = kDevicePidBase + static_cast<int>(d);
+    sink.metadata("process_name", pid, -1, "device " + std::to_string(d));
+    bool used[4] = {false, false, false, false};
+    for (const Tracer::DeviceSlice& s : tracer.device_slices(d))
+      used[s.engine] = true;
+    for (int e = 0; e < 4; ++e)
+      if (used[e]) sink.metadata("thread_name", pid, e, kEngineNames[e]);
+  }
+
+  // --- service spans ------------------------------------------------------
+  for (const Tracer::Span& s : tracer.spans()) {
+    if (s.open) continue;  // never closed (cancelled mid-flight): skip
+    const std::string_view cat = s.cat;
+    const std::uint64_t tid =
+        cat == "round" ? kSchedulerTid : kRequestTidBase + s.id;
+    std::ostringstream args;
+    args << std::setprecision(12) << "\"host_wall_us\":"
+         << (s.host_end_us - s.host_start_us);
+    if (s.arg_modeled_us >= 0.0)
+      args << ",\"modeled_us\":" << s.arg_modeled_us;
+    if (s.arg_paths > 0) args << ",\"paths\":" << s.arg_paths;
+    if (s.arg_rounds > 0) args << ",\"rounds\":" << s.arg_rounds;
+    sink.complete(s.name, s.cat, kServicePid, tid, s.modeled_start_us,
+                  s.modeled_end_us - s.modeled_start_us, args.str());
+  }
+
+  // --- device engine slices ----------------------------------------------
+  for (std::size_t d = 0; d < tracer.device_count(); ++d) {
+    const int pid = kDevicePidBase + static_cast<int>(d);
+    for (const Tracer::DeviceSlice& s : tracer.device_slices(d)) {
+      std::string args;
+      if (s.bytes > 0) args = "\"bytes\":" + std::to_string(s.bytes);
+      static constexpr const char* kCats[4] = {"kernel", "dma", "dma",
+                                               "shard_round"};
+      sink.complete(s.name, kCats[s.engine], pid, s.engine, s.start_us,
+                    s.end_us - s.start_us, args);
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+const char* to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kRequests: return "requests";
+    case TraceLevel::kRounds: return "rounds";
+    case TraceLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+}  // namespace polyeval::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// Chrome trace-event JSON exporter for a recorded obs::Tracer: load
+/// the output in https://ui.perfetto.dev or chrome://tracing to see
+/// the modeled device timeline -- one track per device x engine
+/// (compute, DMA up, DMA down) plus the service-level request and
+/// scheduler-round tracks.  Timestamps (`ts`/`dur`) are the modeled
+/// async clock in µs; host wall intervals ride along in each event's
+/// `args` so both clocks survive the export.
+///
+/// Track layout (stable; scripts/validate_trace.py pins it):
+///   pid 1       "solve service"; tid 1 = "scheduler", tid 100+id =
+///               "request <id>" (a "queue" slice then a "request" slice)
+///   pid 10 + d  "device <d>"; tid 0 = "compute", tid 1 = "dma h2d",
+///               tid 2 = "dma d2h", tid 3 = "rounds"
+
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace polyeval::obs {
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+}  // namespace polyeval::obs

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file trace.hpp
+/// The tracing half of the observability layer: span records over the
+/// solve lifecycle (request -> scheduler round -> shard slice ->
+/// device launch) carrying BOTH clocks -- host wall time (steady_clock
+/// µs since the tracer's epoch) and the service's modeled async clock
+/// (the same `modeled_us` currency as `solve::Report::Timing`).
+///
+/// Everything is gated on a `TraceLevel` that defaults to kOff: a
+/// disabled tracer never records, never allocates, and the service
+/// never takes a branch deeper than one `enabled()` check, so the
+/// bitwise-parity and zero-allocation gates are untouched by default.
+/// When enabled, recording allocates freely (vector growth, kernel
+/// name copies) -- tracing is a diagnostic mode, not a hot path.
+///
+/// Thread contract: span mutation happens under the service lock
+/// (coordinator only).  Device slices are written by the pool thread
+/// that owns that device during a tick -- one writer per device vector,
+/// no two devices share storage -- and read only after the round
+/// barrier, so no synchronization is needed beyond the existing
+/// fork/join.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polyeval::obs {
+
+/// How much of the lifecycle to record.  Levels are cumulative.
+enum class TraceLevel : unsigned char {
+  kOff = 0,       ///< record nothing (the default; zero overhead)
+  kRequests = 1,  ///< request queue + tracking spans
+  kRounds = 2,    ///< + scheduler tick spans and per-round engine slices
+  kFull = 3,      ///< + per-launch kernel slices on the compute engines
+};
+
+[[nodiscard]] const char* to_string(TraceLevel level);
+
+class Tracer {
+ public:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  /// One lifecycle span.  `cat` distinguishes the track family:
+  /// "queue" / "request" (per-request rows), "round" (scheduler tick).
+  struct Span {
+    const char* name = "";  ///< static string; never owned
+    const char* cat = "";
+    std::uint64_t id = 0;  ///< request id, or tick ordinal for rounds
+    double modeled_start_us = 0.0;
+    double modeled_end_us = 0.0;
+    double host_start_us = 0.0;
+    double host_end_us = 0.0;
+    /// Request spans: the modeled share attributed to the request --
+    /// written from the same value that lands in
+    /// solve::Report::Timing::modeled_us, so the trace and the report
+    /// agree by construction.  Negative means "not set".
+    double arg_modeled_us = -1.0;
+    std::uint64_t arg_paths = 0;
+    std::uint64_t arg_rounds = 0;
+    bool open = true;
+  };
+
+  /// One slice on a device engine track, on the modeled clock.  The
+  /// durations of a tick's slices sum exactly to the device's modeled
+  /// charge for that tick (the pricing mirrors simt::estimate_log_us).
+  struct DeviceSlice {
+    enum Engine : unsigned char {
+      kCompute = 0,  ///< kernel launches (per launch at kFull)
+      kDmaH2D = 1,   ///< host-to-device DMA engine
+      kDmaD2H = 2,   ///< device-to-host DMA engine
+      kRound = 3,    ///< whole shard-round aggregate (the "shard slice")
+    };
+    unsigned char engine = kCompute;
+    double start_us = 0.0;
+    double end_us = 0.0;
+    std::uint64_t bytes = 0;  ///< DMA slices only
+    std::string name;
+  };
+
+  explicit Tracer(TraceLevel level = TraceLevel::kOff)
+      : level_(level), epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] TraceLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(TraceLevel need) const noexcept {
+    return level_ >= need;
+  }
+
+  /// Size the per-device slice tracks (idempotent, grows only).
+  void set_devices(std::size_t n) {
+    if (level_ == TraceLevel::kOff) return;
+    if (devices_.size() < n) devices_.resize(n);
+  }
+
+  /// Host µs since the tracer's construction.
+  [[nodiscard]] double host_now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Opens a span if `need` is enabled; returns npos (a no-op handle)
+  /// otherwise.  end_span / span_args on npos are safe no-ops.
+  std::size_t begin_span(const char* name, const char* cat, std::uint64_t id,
+                         double modeled_start_us, TraceLevel need) {
+    if (!enabled(need)) return npos;
+    Span s;
+    s.name = name;
+    s.cat = cat;
+    s.id = id;
+    s.modeled_start_us = modeled_start_us;
+    s.host_start_us = host_now_us();
+    spans_.push_back(s);
+    return spans_.size() - 1;
+  }
+
+  void end_span(std::size_t idx, double modeled_end_us) {
+    if (idx == npos) return;
+    Span& s = spans_[idx];
+    s.modeled_end_us = modeled_end_us;
+    s.host_end_us = host_now_us();
+    s.open = false;
+  }
+
+  void span_args(std::size_t idx, double modeled_us, std::uint64_t paths,
+                 std::uint64_t rounds) {
+    if (idx == npos) return;
+    spans_[idx].arg_modeled_us = modeled_us;
+    spans_[idx].arg_paths = paths;
+    spans_[idx].arg_rounds = rounds;
+  }
+
+  /// Device-engine slice; caller must have sized the track first and
+  /// checked `enabled` (slice recording sits inside per-kernel loops,
+  /// so the caller hoists the level check out of the loop).
+  void add_device_slice(std::size_t device, DeviceSlice::Engine engine,
+                        std::string name, double start_us, double end_us,
+                        std::uint64_t bytes) {
+    DeviceSlice s;
+    s.engine = engine;
+    s.start_us = start_us;
+    s.end_us = end_us;
+    s.bytes = bytes;
+    s.name = std::move(name);
+    devices_[device].push_back(std::move(s));
+  }
+
+  [[nodiscard]] std::span<const Span> spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] std::span<const DeviceSlice> device_slices(
+      std::size_t device) const noexcept {
+    return devices_[device];
+  }
+
+ private:
+  TraceLevel level_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+  std::vector<std::vector<DeviceSlice>> devices_;
+};
+
+}  // namespace polyeval::obs

@@ -33,18 +33,23 @@
 /// budget, and an AdmissionVerdict returned synchronously on submit.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <thread>
 #include <vector>
 
 #include "homotopy/batch_tracker.hpp"
 #include "homotopy/homogenize.hpp"
 #include "homotopy/solver.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/multitenant_homotopy.hpp"
 #include "service/request.hpp"
 #include "service/system_cache.hpp"
@@ -52,6 +57,7 @@
 #include "simt/timing.hpp"
 #include "solve/options.hpp"
 #include "solve/report.hpp"
+#include "tune/autotuner.hpp"
 
 namespace polyeval::service {
 
@@ -102,15 +108,25 @@ class SolveService {
     /// Injectable SystemCache hash (tests force collisions).
     typename SystemCache<S>::Hasher hasher = {};
     simt::GpuCostModel cost = {};
+    /// Lifecycle tracing depth (obs::Tracer).  kOff -- the default --
+    /// records nothing and adds no allocations or launches; the
+    /// metrics registry is always on (its steady-state cost is relaxed
+    /// atomic adds).  Any level preserves bitwise endpoints: tracing
+    /// only reads the launch logs the scheduler already prices.
+    obs::TraceLevel trace = obs::TraceLevel::kOff;
   };
 
   explicit SolveService(Config config = {})
       : config_(validate_config(std::move(config))),
         registry_(config_.shards, config_.spec, config_.workers_per_shard),
-        cache_(config_.hasher) {
+        cache_(config_.hasher),
+        tracer_(config_.trace) {
     if (registry_.size() > 1)
       pool_.emplace(registry_.size() - 1);
     device_charge_.assign(registry_.size(), 0.0);
+    tracer_.set_devices(registry_.size());
+    tracker_metrics_ = obs::TrackerMetrics::from_registry(metrics_);
+    resolve_instruments();
     if (config_.async)
       worker_ = std::thread([this] { async_loop(); });
   }
@@ -137,6 +153,7 @@ class SolveService {
     std::lock_guard<std::mutex> lk(mu_);
     state->id = ++next_id_;
     ++stats_.submitted;
+    inst_.submitted->inc();
 
     QueuedItem item;
     item.state = state;
@@ -149,7 +166,11 @@ class SolveService {
       return SolveTicket<S>(state);
     }
     ++stats_.admitted;
+    inst_.admitted->inc();
     state->paths_total.store(item.paths, std::memory_order_relaxed);
+    item.span = tracer_.begin_span("queued", "queue", state->id,
+                                   stats_.total_modeled_us,
+                                   obs::TraceLevel::kRequests);
     queued_.push_back(std::move(item));
     cv_.notify_all();
     return SolveTicket<S>(state);
@@ -182,6 +203,42 @@ class SolveService {
     return s;
   }
 
+  /// The service's metrics registry, gauges refreshed under the lock
+  /// (queue depth, active requests, SystemCache and TuneCache hit
+  /// counts).  The returned reference is stable for the service's
+  /// lifetime; expose with `service.metrics().expose(os)`.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() {
+    std::lock_guard<std::mutex> lk(mu_);
+    inst_.queue_depth->set(static_cast<double>(queued_.size()));
+    std::size_t active = 0;
+    for_each_group([&](auto& g) { active += g.active.size(); });
+    inst_.active_requests->set(static_cast<double>(active));
+    inst_.cache_hits->set(static_cast<double>(cache_.hits()));
+    inst_.cache_misses->set(static_cast<double>(cache_.misses()));
+    inst_.tune_hits->set(
+        static_cast<double>(tune::Autotuner::global().hits()));
+    inst_.tune_misses->set(
+        static_cast<double>(tune::Autotuner::global().misses()));
+    // Newly measured tune decisions since the last scrape fold their
+    // memory-behaviour profiles in (watermark keeps polling additive).
+    tune_fold_from_ = tune::Autotuner::global().fold_profiles_into(
+        metrics_, tune_fold_from_);
+    return metrics_;
+  }
+
+  /// Write the recorded lifecycle trace as Chrome trace-event JSON
+  /// (load in https://ui.perfetto.dev or chrome://tracing).  Empty but
+  /// valid when Config::trace is kOff.  Call between ticks (after
+  /// drain / wait_idle); takes the service lock.
+  void export_trace(std::ostream& os) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    obs::write_chrome_trace(os, tracer_);
+  }
+
+  /// The raw tracer (tests inspect spans/slices).  Read-only; callers
+  /// must be quiesced (no concurrent ticks), as with export_trace.
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
@@ -198,6 +255,12 @@ class SolveService {
     double admit_modeled_us = 0.0;
     double modeled_us = 0.0;
     Clock::time_point submitted_at, activated_at;
+    /// Per-request scheduling metrics (solve::Report::Metrics source).
+    std::uint64_t shared_rounds = 0;
+    unsigned peak_tenants = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t queue_pulls = 0;
+    std::size_t span = obs::Tracer::npos;  ///< tracking span handle
   };
 
   struct QueuedItem {
@@ -205,6 +268,7 @@ class SolveService {
     std::shared_ptr<const typename SystemCache<S>::Entry> entry;
     std::uint64_t paths = 0;
     Clock::time_point submitted_at;
+    std::size_t span = obs::Tracer::npos;  ///< queue span handle
   };
 
   /// Coalescing key: requests share a group's rounds only when ALL of
@@ -321,9 +385,18 @@ class SolveService {
 
   void reject_counter(AdmissionVerdict v) {
     switch (v) {
-      case AdmissionVerdict::kQueueFull: ++stats_.rejected_queue_full; break;
-      case AdmissionVerdict::kPathBudgetExceeded: ++stats_.rejected_budget; break;
-      default: ++stats_.rejected_invalid; break;
+      case AdmissionVerdict::kQueueFull:
+        ++stats_.rejected_queue_full;
+        inst_.rejected_queue_full->inc();
+        break;
+      case AdmissionVerdict::kPathBudgetExceeded:
+        ++stats_.rejected_budget;
+        inst_.rejected_budget->inc();
+        break;
+      default:
+        ++stats_.rejected_invalid;
+        inst_.rejected_invalid->inc();
+        break;
     }
   }
 
@@ -331,6 +404,10 @@ class SolveService {
 
   bool step_locked() {
     ++stats_.ticks;
+    inst_.ticks->inc();
+    const std::size_t tick_span =
+        tracer_.begin_span("tick", "round", stats_.ticks,
+                           stats_.total_modeled_us, obs::TraceLevel::kRounds);
     activate_queued();
     process_cancellations();
     for_each_group([&](auto& g) { fill_slots(g); });
@@ -339,6 +416,7 @@ class SolveService {
     settle_tick();
     for_each_group([&](auto& g) { drain_retirements(g); });
     for_each_group([&](auto& g) { finalize_done(g); });
+    tracer_.end_span(tick_span, stats_.total_modeled_us);
     const bool more = work_remaining_locked();
     cv_.notify_all();
     return more;
@@ -401,6 +479,14 @@ class SolveService {
     run->submitted_at = item.submitted_at;
     run->activated_at = Clock::now();
     run->admit_modeled_us = stats_.total_modeled_us;
+    inst_.queue_wall_us->observe(
+        std::chrono::duration<double, std::micro>(run->activated_at -
+                                                  run->submitted_at)
+            .count());
+    tracer_.end_span(item.span, stats_.total_modeled_us);
+    run->span = tracer_.begin_span("track", "request", item.state->id,
+                                   stats_.total_modeled_us,
+                                   obs::TraceLevel::kRequests);
     run->points.reserve(item.paths);
     for (std::uint64_t p = 0; p < item.paths; ++p)
       run->points.push_back(start_point(*group, req, *item.entry, p));
@@ -446,6 +532,11 @@ class SolveService {
     group->free_tenants.reserve(config_.max_tenants);
     for (unsigned t = config_.max_tenants; t-- > 0;)
       group->free_tenants.push_back(t);
+    // Every shard tracker feeds the one service-wide TrackerMetrics:
+    // the counters are aggregates and the adds are atomic, so parallel
+    // shard rounds compose.
+    for (auto& shard : group->shards)
+      shard->tracker.set_metrics(&tracker_metrics_);
     groups.push_back(std::move(group));
     return groups.back().get();
   }
@@ -495,6 +586,9 @@ class SolveService {
     item.state->status.store(RequestStatus::kDone, std::memory_order_release);
     ++stats_.completed;
     ++stats_.cancelled_requests;
+    inst_.completed->inc();
+    inst_.cancelled->inc();
+    tracer_.end_span(item.span, stats_.total_modeled_us);
   }
 
   /// Flag cancelled / over-budget / past-deadline requests: live slots
@@ -549,6 +643,8 @@ class SolveService {
         shard->owners[slot] = {run, path};
         ++shard->live;
         ++stats_.queue_pulls;
+        inst_.queue_pulls->inc();
+        ++run->queue_pulls;
       }
     }
   }
@@ -590,6 +686,8 @@ class SolveService {
       idle->owners[slot] = owner;
       ++idle->live;
       ++stats_.live_steals;
+      inst_.steals->inc();
+      ++owner.run->steals;
     }
   }
 
@@ -603,8 +701,55 @@ class SolveService {
     const auto device_tick = [&](std::size_t d) {
       auto& dev = registry_.device(static_cast<unsigned>(d));
       double& charge = device_charge_[d];
+      // Price the device log, fold its per-kernel stats into the
+      // registry and (when tracing) lay its slices on the device's
+      // engine tracks, then clear it.  The CHARGE stays the one
+      // estimate_log_us call -- bit-identical to the untraced
+      // schedule; the slice decomposition (per-direction DMA +
+      // per-kernel compute, summing to the same total up to float
+      // association) feeds only telemetry.
       const auto settle = [&] {
-        charge += simt::estimate_log_us(dev.log(), dev.spec(), config_.cost);
+        const simt::LaunchLog& log = dev.log();
+        if (log.kernels.empty() && log.transfers.transfers_to_device == 0 &&
+            log.transfers.transfers_from_device == 0)
+          return;  // nothing happened; skip the walk and keep the log warm
+        const bool rounds_trace = tracer_.enabled(obs::TraceLevel::kRounds);
+        const bool full_trace = tracer_.enabled(obs::TraceLevel::kFull);
+        double cursor = stats_.total_modeled_us + charge;
+        const double h2d = simt::estimate_h2d_us(log.transfers, config_.cost);
+        const double d2h = simt::estimate_d2h_us(log.transfers, config_.cost);
+        if (rounds_trace && h2d > 0.0)
+          tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kDmaH2D,
+                                   "h2d", cursor, cursor + h2d,
+                                   log.transfers.bytes_to_device);
+        cursor += h2d;
+        if (rounds_trace && d2h > 0.0)
+          tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kDmaD2H,
+                                   "d2h", cursor, cursor + d2h,
+                                   log.transfers.bytes_from_device);
+        cursor += d2h;
+        inst_.dma_h2d_bytes->inc(log.transfers.bytes_to_device);
+        inst_.dma_d2h_bytes->inc(log.transfers.bytes_from_device);
+        const double compute_start = cursor;
+        for (const simt::KernelStats& k : log.kernels) {
+          const double kus = simt::estimate_kernel_us(k, dev.spec(),
+                                                      config_.cost);
+          metrics_.counter("polyeval_kernel_launches_total", "kernel",
+                           k.kernel)
+              .inc();
+          metrics_
+              .float_counter("polyeval_kernel_modeled_us_total", "kernel",
+                             k.kernel)
+              .add(kus);
+          if (full_trace)
+            tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kCompute,
+                                     k.kernel, cursor, cursor + kus, 0);
+          cursor += kus;
+        }
+        if (rounds_trace && !full_trace && cursor > compute_start)
+          tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kCompute,
+                                   "compute", compute_start, cursor, 0);
+        charge += simt::estimate_log_us(log, dev.spec(), config_.cost);
         dev.clear_log();
       };
       settle();  // tenant installs / evaluator builds since last tick
@@ -612,9 +757,14 @@ class SolveService {
         auto& shard = *g.shards[d];
         shard.rounded = false;
         if (shard.live == 0) return;
+        const double round_start = stats_.total_modeled_us + charge;
         shard.tracker.round();
         shard.rounded = true;
         settle();
+        if (tracer_.enabled(obs::TraceLevel::kRounds))
+          tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kRound,
+                                   "shard round", round_start,
+                                   stats_.total_modeled_us + charge, 0);
       };
       for (auto& g : proj_groups_) round_shard(*g);
       for (auto& g : aff_groups_) round_shard(*g);
@@ -634,6 +784,7 @@ class SolveService {
     double tick_cost = 0.0;
     for (const double c : device_charge_) tick_cost = std::max(tick_cost, c);
     stats_.total_modeled_us += tick_cost;
+    inst_.modeled_us->add(tick_cost);
 
     for (unsigned d = 0; d < registry_.size(); ++d) {
       scratch_device_runs_.clear();
@@ -641,6 +792,7 @@ class SolveService {
         auto& shard = *g.shards[d];
         if (!shard.rounded) return;
         ++stats_.shard_rounds;
+        inst_.shard_rounds->inc();
         scratch_round_runs_.clear();
         for (const auto& owner : shard.owners) {
           if (owner.run == nullptr) continue;
@@ -651,12 +803,17 @@ class SolveService {
         }
         const auto tenants_here =
             static_cast<unsigned>(scratch_round_runs_.size());
-        if (tenants_here >= 2) ++stats_.coalesced_rounds;
+        if (tenants_here >= 2) {
+          ++stats_.coalesced_rounds;
+          inst_.coalesced_rounds->inc();
+        }
         stats_.max_tenants_in_round =
             std::max(stats_.max_tenants_in_round, tenants_here);
         for (void* rp : scratch_round_runs_) {
           auto* run = static_cast<RunInfo*>(rp);
           run->state->rounds.fetch_add(1, std::memory_order_relaxed);
+          if (tenants_here >= 2) ++run->shared_rounds;
+          run->peak_tenants = std::max(run->peak_tenants, tenants_here);
           if (std::find(scratch_device_runs_.begin(),
                         scratch_device_runs_.end(),
                         rp) == scratch_device_runs_.end())
@@ -714,13 +871,110 @@ class SolveService {
       report.timing.modeled_us = run.modeled_us;
       report.timing.rounds =
           run.state->rounds.load(std::memory_order_relaxed);
+      report.metrics.shared_rounds = run.shared_rounds;
+      report.metrics.peak_tenants = run.peak_tenants;
+      report.metrics.steals = run.steals;
+      report.metrics.queue_pulls = run.queue_pulls;
+      // The span's modeled_us arg is the SAME value the report carries,
+      // so the trace and the report agree exactly (validate_trace.py
+      // checks the sum against the engine slices).
+      tracer_.span_args(run.span, report.timing.modeled_us, run.total,
+                        report.timing.rounds);
+      tracer_.end_span(run.span, stats_.total_modeled_us);
       run.state->status.store(RequestStatus::kDone, std::memory_order_release);
       ++stats_.completed;
-      if (run.cancelling) ++stats_.cancelled_requests;
+      inst_.completed->inc();
+      if (run.cancelling) {
+        ++stats_.cancelled_requests;
+        inst_.cancelled->inc();
+      }
       g.free_tenants.push_back(run.tenant);
       for (auto& shard : g.shards) shard->homo.clear_tenant(run.tenant);
       it = g.active.erase(it);
     }
+  }
+
+  // ----- observability ----------------------------------------------
+
+  /// Pre-resolved registry handles for the service-level metrics (the
+  /// tracker and Newton layers resolve theirs via obs::TrackerMetrics;
+  /// per-kernel families are resolved lazily in settle by name).
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* rejected_budget = nullptr;
+    obs::Counter* rejected_invalid = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* ticks = nullptr;
+    obs::Counter* shard_rounds = nullptr;
+    obs::Counter* coalesced_rounds = nullptr;
+    obs::Counter* steals = nullptr;
+    obs::Counter* queue_pulls = nullptr;
+    obs::Counter* dma_h2d_bytes = nullptr;
+    obs::Counter* dma_d2h_bytes = nullptr;
+    obs::FloatCounter* modeled_us = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* active_requests = nullptr;
+    obs::Gauge* cache_hits = nullptr;
+    obs::Gauge* cache_misses = nullptr;
+    obs::Gauge* tune_hits = nullptr;
+    obs::Gauge* tune_misses = nullptr;
+    obs::Histogram* queue_wall_us = nullptr;
+  };
+
+  void resolve_instruments() {
+    auto& r = metrics_;
+    inst_.submitted = &r.counter("polyeval_requests_submitted_total",
+                                 "solve requests submitted");
+    inst_.admitted = &r.counter("polyeval_requests_admitted_total",
+                                "solve requests admitted");
+    inst_.rejected_queue_full =
+        &r.counter("polyeval_requests_rejected_total", "reason", "queue_full",
+                   "solve requests rejected, by admission verdict");
+    inst_.rejected_budget = &r.counter("polyeval_requests_rejected_total",
+                                       "reason", "path_budget_exceeded");
+    inst_.rejected_invalid =
+        &r.counter("polyeval_requests_rejected_total", "reason", "invalid");
+    inst_.completed = &r.counter("polyeval_requests_completed_total",
+                                 "solve requests completed");
+    inst_.cancelled = &r.counter("polyeval_requests_cancelled_total",
+                                 "requests completed by cancel/deadline");
+    inst_.ticks =
+        &r.counter("polyeval_service_ticks_total", "scheduler ticks");
+    inst_.shard_rounds = &r.counter("polyeval_shard_rounds_total",
+                                    "lockstep rounds run, all shards");
+    inst_.coalesced_rounds =
+        &r.counter("polyeval_coalesced_rounds_total",
+                   "rounds carrying >= 2 requests in one launch");
+    inst_.steals = &r.counter("polyeval_live_steals_total",
+                              "live paths moved between shards");
+    inst_.queue_pulls = &r.counter("polyeval_queue_pulls_total",
+                                   "pending paths pulled into slots");
+    inst_.dma_h2d_bytes = &r.counter("polyeval_dma_bytes_total", "direction",
+                                     "h2d", "modeled DMA payload bytes");
+    inst_.dma_d2h_bytes =
+        &r.counter("polyeval_dma_bytes_total", "direction", "d2h");
+    inst_.modeled_us = &r.float_counter("polyeval_modeled_us_total",
+                                        "the service's modeled clock");
+    inst_.queue_depth = &r.gauge("polyeval_service_queue_depth",
+                                 "admitted-but-not-active requests");
+    inst_.active_requests =
+        &r.gauge("polyeval_service_active_requests", "requests in tracking");
+    inst_.cache_hits =
+        &r.gauge("polyeval_system_cache_hits", "SystemCache lookup hits");
+    inst_.cache_misses =
+        &r.gauge("polyeval_system_cache_misses", "SystemCache lookup misses");
+    inst_.tune_hits =
+        &r.gauge("polyeval_tune_cache_hits", "global TuneCache hits");
+    inst_.tune_misses =
+        &r.gauge("polyeval_tune_cache_misses", "global TuneCache misses");
+    static constexpr std::array<double, 6> kQueueBounds = {
+        100.0, 1e3, 1e4, 1e5, 1e6, 1e7};
+    inst_.queue_wall_us =
+        &r.histogram("polyeval_request_queue_wall_us", kQueueBounds,
+                     "host µs a request waited before activation");
   }
 
   // ----- async mode -------------------------------------------------
@@ -755,6 +1009,17 @@ class SolveService {
   std::vector<void*> scratch_device_runs_, scratch_round_runs_;
   ServiceStats stats_;
   std::uint64_t next_id_ = 0;
+
+  // Observability.  Registration happens once in the constructor
+  // (resolve_instruments / TrackerMetrics::from_registry); every
+  // steady-state observation goes through a pre-resolved pointer and
+  // never allocates.  tracer_ is declared after config_: its
+  // constructor reads config_.trace.
+  obs::MetricsRegistry metrics_;
+  obs::TrackerMetrics tracker_metrics_;
+  Instruments inst_;
+  obs::Tracer tracer_;
+  std::size_t tune_fold_from_ = 0;  ///< Autotuner profile-fold watermark
 };
 
 }  // namespace polyeval::service

@@ -71,6 +71,16 @@ double estimate_transfer_us(const TransferStats& t, const GpuCostModel& model) {
   return calls * model.transfer_latency_us + bytes / model.pcie_bytes_per_us;
 }
 
+double estimate_h2d_us(const TransferStats& t, const GpuCostModel& model) {
+  return static_cast<double>(t.transfers_to_device) * model.transfer_latency_us +
+         static_cast<double>(t.bytes_to_device) / model.pcie_bytes_per_us;
+}
+
+double estimate_d2h_us(const TransferStats& t, const GpuCostModel& model) {
+  return static_cast<double>(t.transfers_from_device) * model.transfer_latency_us +
+         static_cast<double>(t.bytes_from_device) / model.pcie_bytes_per_us;
+}
+
 double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,
                        const GpuCostModel& model) {
   double us = estimate_transfer_us(log.transfers, model);

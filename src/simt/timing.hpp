@@ -75,6 +75,16 @@ struct CpuCostModel {
 /// whole log's transfer counters.
 [[nodiscard]] double estimate_copy_us(std::uint64_t bytes, const GpuCostModel& model);
 
+/// Per-direction splits of estimate_transfer_us -- the upload (h2d) and
+/// download (d2h) DMA engine occupancy of a log, priced with the same
+/// calls x latency + bytes / rate formula.  Invariant the trace
+/// exporter relies on: estimate_h2d_us + estimate_d2h_us ==
+/// estimate_transfer_us for the same TransferStats.
+[[nodiscard]] double estimate_h2d_us(const TransferStats& t,
+                                     const GpuCostModel& model);
+[[nodiscard]] double estimate_d2h_us(const TransferStats& t,
+                                     const GpuCostModel& model);
+
 /// Estimated time for a whole launch log (one instrumented region, e.g.
 /// one evaluation): kernels plus transfers.
 [[nodiscard]] double estimate_log_us(const LaunchLog& log, const DeviceSpec& spec,

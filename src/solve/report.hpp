@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "homotopy/solver.hpp"
@@ -34,8 +36,9 @@ struct StatusCounts {
 
 template <prec::RealScalar S>
 struct Report {
-  /// Bumped when any field changes meaning.
-  static constexpr unsigned kVersion = 1;
+  /// Bumped when any field changes meaning.  v2: added the scheduling
+  /// metrics snapshot (`metrics`).
+  static constexpr unsigned kVersion = 2;
 
   std::vector<homotopy::TrackResult<S>> paths;
   std::uint64_t attempted = 0;
@@ -55,6 +58,17 @@ struct Report {
     double modeled_us = 0.0;     ///< modeled device time attributed
     std::uint64_t rounds = 0;    ///< lockstep rounds this request rode in
   } timing;
+
+  /// Per-request scheduling metrics, filled by the solve service (zero
+  /// on the one-shot path): what cross-request batching and the work
+  /// stealer actually did to THIS request -- the per-request view of
+  /// the registry-level counters SolveService::metrics() aggregates.
+  struct Metrics {
+    std::uint64_t shared_rounds = 0;  ///< rounds ridden with >= 2 tenants
+    unsigned peak_tenants = 0;        ///< most co-tenants in one round
+    std::uint64_t steals = 0;         ///< times a path moved shards
+    std::uint64_t queue_pulls = 0;    ///< paths pulled from pending to slots
+  } metrics;
 
   [[nodiscard]] std::uint64_t successes() const {
     return by_status[homotopy::PathStatus::kConverged];
@@ -85,6 +99,34 @@ struct Report {
       total_steps += p.steps;
       total_rejections += p.rejections;
     }
+  }
+
+  /// Human-readable rendering: version, per-status counts, extremes,
+  /// the FULL timing breakdown (every Timing field prints, zero or
+  /// not -- a zero queue wait is information, not noise) and the
+  /// scheduling metrics.  Pinned in test_solve_api.
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "solve report v" << kVersion << ": " << attempted << " paths";
+    for (std::size_t s = 0; s < StatusCounts::kStatuses; ++s)
+      os << (s == 0 ? " (" : ", ")
+         << homotopy::to_string(static_cast<homotopy::PathStatus>(s)) << "="
+         << by_status.counts[s];
+    os << ")\n";
+    os << "  extremes: max_winding=" << max_winding
+       << " max_final_residual=" << max_final_residual
+       << " steps=" << total_steps << " rejections=" << total_rejections
+       << "\n";
+    os << "  timing: queue_wall_us=" << timing.queue_wall_us
+       << " track_wall_us=" << timing.track_wall_us
+       << " total_wall_us=" << timing.total_wall_us
+       << " modeled_us=" << timing.modeled_us << " rounds=" << timing.rounds
+       << "\n";
+    os << "  scheduling: shared_rounds=" << metrics.shared_rounds
+       << " peak_tenants=" << metrics.peak_tenants
+       << " steals=" << metrics.steals
+       << " queue_pulls=" << metrics.queue_pulls << "\n";
+    return os.str();
   }
 
   /// The legacy summary view (solver.hpp consumers).

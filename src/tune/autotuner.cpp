@@ -79,4 +79,13 @@ std::string Autotuner::profile_dump() const {
   return out.str();
 }
 
+std::size_t Autotuner::fold_profiles_into(obs::MetricsRegistry& registry,
+                                          std::size_t from) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = std::min(from, decisions_.size());
+       i < decisions_.size(); ++i)
+    decisions_[i].report.fold_into(registry);
+  return decisions_.size();
+}
+
 }  // namespace polyeval::tune

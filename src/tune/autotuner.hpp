@@ -144,6 +144,14 @@ class Autotuner {
   /// bench_autotune writes this as PROFILE_autotune.txt for CI triage.
   [[nodiscard]] std::string profile_dump() const;
 
+  /// Fold the ProfileReports of measured decisions [from, count) into
+  /// `registry` and return the new watermark (the decision count).
+  /// Passing the previous return value back makes repeated polls --
+  /// SolveService::metrics() calls this on every scrape -- additive
+  /// without double-counting.
+  std::size_t fold_profiles_into(obs::MetricsRegistry& registry,
+                                 std::size_t from = 0) const;
+
  private:
   struct MeasuredDecision {
     TuneKey key;

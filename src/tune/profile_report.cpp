@@ -88,6 +88,35 @@ std::uint64_t ProfileReport::total_transactions() const noexcept {
   return total;
 }
 
+void ProfileReport::fold_into(obs::MetricsRegistry& registry) const {
+  for (const auto& k : kernels) {
+    registry
+        .counter("polyeval_profile_launches_total", "kernel", k.kernel,
+                 "profiled kernel launches folded into the report")
+        .inc(k.launches);
+    registry
+        .counter("polyeval_profile_load_transactions_total", "kernel",
+                 k.kernel, "global-memory load transactions, profiled runs")
+        .inc(k.load_transactions);
+    registry
+        .counter("polyeval_profile_store_transactions_total", "kernel",
+                 k.kernel, "global-memory store transactions, profiled runs")
+        .inc(k.store_transactions);
+    registry
+        .gauge("polyeval_profile_load_tx_per_request", "kernel", k.kernel,
+               "load transactions per warp request (1.0 = coalesced)")
+        .set(k.load_transactions_per_request());
+    registry
+        .gauge("polyeval_profile_store_tx_per_request", "kernel", k.kernel,
+               "store transactions per warp request (1.0 = coalesced)")
+        .set(k.store_transactions_per_request());
+    registry
+        .gauge("polyeval_profile_shared_serialization", "kernel", k.kernel,
+               "shared-memory cycles per request (1.0 = conflict-free)")
+        .set(k.shared_serialization());
+  }
+}
+
 std::string ProfileReport::summary() const {
   std::ostringstream out;
   for (const auto& k : kernels) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simt/stats.hpp"
 
 namespace polyeval::tune {
@@ -89,6 +90,15 @@ struct ProfileReport {
   /// Human-readable dump: one block per kernel with the folded counters
   /// and the diagnosis line.
   [[nodiscard]] std::string summary() const;
+
+  /// Fold this report into a metrics registry so profiled memory
+  /// behaviour lands on the same exposition page as the solve-lifecycle
+  /// counters: per-kernel launch/transaction counters
+  /// (polyeval_profile_*_total{kernel=...}) and per-request ratio
+  /// gauges (polyeval_profile_load_tx_per_request etc.).  Additive for
+  /// the counters, last-write-wins for the ratio gauges; call once per
+  /// profiled run.
+  void fold_into(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace polyeval::tune

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <thread>
 
 #include "core/multitenant_evaluator.hpp"
@@ -372,6 +373,89 @@ TEST(MultiTenantEvaluator, MatchesSingleTenantEvaluatorsBitwise) {
 
   // Structure mismatch is rejected at install time.
   EXPECT_THROW(mt.set_tenant(1, small_system(5, 4)), std::invalid_argument);
+}
+
+TEST(SolveService, MetricsExpositionCoversEveryInstrumentedLayer) {
+  // One multi-request run (two admitted + one rejected) must leave
+  // nonzero samples from EVERY instrumented layer on the exposition
+  // page: service admission/lifecycle, scheduler rounds, the lockstep
+  // tracker, the Newton layer, the caches and the per-kernel launch
+  // accounting.  This is the contract consumers scrape against.
+  service::SolveService<double>::Config config;
+  config.shards = 2;
+  config.max_paths_per_request = 8;
+  service::SolveService<double> svc(std::move(config));
+
+  auto ta = svc.submit({small_system(99), small_options(), {}, 0, 0.0});
+  auto tb = svc.submit({small_system(1234), small_options(), {}, 0, 0.0});
+  ASSERT_TRUE(ta.admitted());
+  ASSERT_TRUE(tb.admitted());
+  // Over the per-request path budget: rejected at admission.
+  auto tr = svc.submit({small_system(7), small_options(16), {}, 0, 0.0});
+  EXPECT_EQ(tr.verdict(), service::AdmissionVerdict::kPathBudgetExceeded);
+  svc.drain();
+  ASSERT_TRUE(ta.done());
+  ASSERT_TRUE(tb.done());
+
+  std::ostringstream os;
+  svc.metrics().expose(os);
+  const std::string text = os.str();
+
+  const auto sample = [&](const std::string& name) {
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);)
+      if (line.rfind(name + " ", 0) == 0)
+        return std::stod(line.substr(name.size() + 1));
+    ADD_FAILURE() << "sample '" << name << "' missing from exposition";
+    return -1.0;
+  };
+
+  // Service lifecycle + admission.
+  EXPECT_EQ(sample("polyeval_requests_submitted_total"), 3.0);
+  EXPECT_EQ(sample("polyeval_requests_admitted_total"), 2.0);
+  EXPECT_EQ(sample("polyeval_requests_completed_total"), 2.0);
+  EXPECT_EQ(sample("polyeval_requests_rejected_total"
+                   "{reason=\"path_budget_exceeded\"}"), 1.0);
+  EXPECT_GT(sample("polyeval_service_ticks_total"), 0.0);
+  EXPECT_GT(sample("polyeval_shard_rounds_total"), 0.0);
+  EXPECT_GT(sample("polyeval_queue_pulls_total"), 0.0);
+  EXPECT_GT(sample("polyeval_modeled_us_total"), 0.0);
+  EXPECT_EQ(sample("polyeval_request_queue_wall_us_count"), 2.0);
+
+  // Tracker layer.
+  EXPECT_GT(sample("polyeval_tracker_rounds_total"), 0.0);
+  EXPECT_GT(sample("polyeval_tracker_steps_accepted_total"), 0.0);
+  EXPECT_EQ(sample("polyeval_paths_retired_total{status=\"converged\"}") +
+                sample("polyeval_paths_retired_total{status=\"at_infinity\"}") +
+                sample("polyeval_paths_retired_total{status=\"stalled\"}") +
+                sample("polyeval_paths_retired_total{status=\"diverged\"}") +
+                sample("polyeval_paths_retired_total{status=\"cancelled\"}"),
+            12.0);
+  EXPECT_EQ(sample("polyeval_path_steps_count"), 12.0);
+
+  // Newton layer.
+  EXPECT_GT(sample("polyeval_newton_calls_total"), 0.0);
+  EXPECT_GT(sample("polyeval_newton_iterations_total"), 0.0);
+  EXPECT_GT(sample("polyeval_newton_iterations_per_path_count"), 0.0);
+
+  // Caches (gauges refreshed by metrics()).  Admission resolves the
+  // cache entry BEFORE the path-budget check, so the rejected request's
+  // distinct system also counts one miss: three in total.
+  EXPECT_EQ(sample("polyeval_system_cache_misses"), 3.0);
+  EXPECT_EQ(sample("polyeval_service_queue_depth"), 0.0);
+  EXPECT_EQ(sample("polyeval_service_active_requests"), 0.0);
+
+  // Per-kernel launch accounting + DMA directions.
+  EXPECT_NE(text.find("polyeval_kernel_launches_total{kernel="),
+            std::string::npos);
+  EXPECT_NE(text.find("polyeval_kernel_modeled_us_total{kernel="),
+            std::string::npos);
+  EXPECT_GT(sample("polyeval_dma_bytes_total{direction=\"h2d\"}"), 0.0);
+  EXPECT_GT(sample("polyeval_dma_bytes_total{direction=\"d2h\"}"), 0.0);
+
+  // The per-request scheduling metrics surface in the report too.
+  EXPECT_GT(ta.report().metrics.queue_pulls, 0u);
+  EXPECT_GE(ta.report().metrics.peak_tenants, 1u);
 }
 
 TEST(RefineBatch, AllMaskedPathsSkipEveryLaunch) {

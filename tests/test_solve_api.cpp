@@ -136,6 +136,50 @@ TEST(SolveReport, RetallyCountsEveryStatus) {
   EXPECT_EQ(back.attempted, 5u);
 }
 
+TEST(SolveReport, ToStringPrintsEveryTimingAndMetricsField) {
+  // The human rendering is pinned: every Timing field and every
+  // scheduling-metrics field prints, zero or not -- a consumer reading
+  // a report dump must never have to guess whether a missing field was
+  // zero or just omitted.
+  solve::Report<double> r;
+  r.paths.resize(3);
+  r.paths[0].status = homotopy::PathStatus::kConverged;
+  r.paths[0].steps = 12;
+  r.paths[0].winding = 2;
+  r.paths[0].final_residual = 0.25;
+  r.paths[1].status = homotopy::PathStatus::kAtInfinity;
+  r.paths[1].rejections = 4;
+  r.paths[2].status = homotopy::PathStatus::kCancelled;
+  r.retally();
+  r.timing.queue_wall_us = 1.5;
+  r.timing.track_wall_us = 200.25;
+  r.timing.total_wall_us = 210.5;
+  r.timing.modeled_us = 1234.5;
+  r.timing.rounds = 17;
+  r.metrics.shared_rounds = 9;
+  r.metrics.peak_tenants = 3;
+  r.metrics.steals = 2;
+  r.metrics.queue_pulls = 5;
+
+  EXPECT_EQ(r.to_string(),
+            "solve report v2: 3 paths (converged=1, at_infinity=1, "
+            "stalled=0, diverged=0, cancelled=1)\n"
+            "  extremes: max_winding=2 max_final_residual=0.25 steps=12 "
+            "rejections=4\n"
+            "  timing: queue_wall_us=1.5 track_wall_us=200.25 "
+            "total_wall_us=210.5 modeled_us=1234.5 rounds=17\n"
+            "  scheduling: shared_rounds=9 peak_tenants=3 steals=2 "
+            "queue_pulls=5\n");
+
+  // A default report still prints the full timing block (all zeros).
+  const solve::Report<double> empty;
+  EXPECT_NE(empty.to_string().find(
+                "timing: queue_wall_us=0 track_wall_us=0 total_wall_us=0 "
+                "modeled_us=0 rounds=0"),
+            std::string::npos);
+  EXPECT_EQ(solve::Report<double>::kVersion, 2u);
+}
+
 TEST(SolveReport, StatusToStringCoversEveryValue) {
   using homotopy::PathStatus;
   EXPECT_STREQ(homotopy::to_string(PathStatus::kConverged), "converged");

@@ -18,6 +18,8 @@
 #include "core/sharded_evaluator.hpp"
 #include "homotopy/batch_tracker.hpp"
 #include "homotopy/start_system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "poly/random_system.hpp"
 #include "simt/thread_pool.hpp"
 
@@ -323,6 +325,86 @@ TEST(ZeroAlloc, ProjectiveBatchTrackerWithEndgameSteadyStateRounds) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state projective lockstep rounds (incl. endgame) allocated "
       << (after - before) << " times over " << tracker.rounds() << " rounds";
+}
+
+TEST(ZeroAlloc, BatchPathTrackerWithMetricsSteadyStateRounds) {
+  // The metrics-instrumented tracker keeps the zero-alloc guarantee:
+  // registration (from_registry, which MAY allocate) happens once up
+  // front, after which every round's counter incs and histogram
+  // observes go through pre-resolved handles -- relaxed atomics, no
+  // lookup, no allocation.
+  poly::SystemSpec spec;
+  spec.dimension = 3;
+  spec.monomials_per_polynomial = 3;
+  spec.variables_per_monomial = 2;
+  spec.max_exponent = 2;
+  spec.seed = 99;
+  const auto sys = poly::make_random_system(spec);
+  const homotopy::TotalDegreeStart start(sys);
+  const auto gamma = homotopy::random_gamma(42);
+
+  std::vector<std::vector<Cd>> roots;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    const auto rd = start.start_root(p);
+    std::vector<Cd> r;
+    for (const auto& z : rd) r.push_back(z);
+    roots.push_back(std::move(r));
+  }
+
+  simt::Device device;
+  core::FusedGpuEvaluator<double> f(device, sys, 4);
+  ad::CpuEvaluator<double> g(start.system());
+  homotopy::TrackOptions topt;
+  topt.max_steps = 4000;
+  homotopy::BatchPathTracker<double, core::FusedGpuEvaluator<double>> tracker(
+      device, f, g, gamma, topt, roots.size());
+
+  obs::MetricsRegistry registry;
+  obs::TrackerMetrics metrics = obs::TrackerMetrics::from_registry(registry);
+  tracker.set_metrics(&metrics);
+
+  tracker.start(roots, 0, roots.size());
+  tracker.run();  // warm-up: sizes every buffer along the whole trajectory
+
+  tracker.start(roots, 0, roots.size());
+  const std::uint64_t before = g_allocations.load();
+  tracker.run();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "instrumented lockstep rounds allocated " << (after - before)
+      << " times over " << tracker.rounds() << " rounds";
+  // The instrumentation really observed the run (both runs counted).
+  EXPECT_GE(metrics.rounds->value(), 2 * tracker.rounds());
+  EXPECT_GT(metrics.steps_accepted->value(), 0u);
+  EXPECT_GT(metrics.newton_iterations->value(), 0u);
+  std::uint64_t retired = 0;
+  for (const obs::Counter* c : metrics.retired_by_status)
+    retired += c->value();
+  EXPECT_EQ(retired, 2 * roots.size());
+}
+
+TEST(ZeroAlloc, TracerOffIsNoOpAndAllocationFree) {
+  // A kOff tracer is the default on every service: every recording
+  // entry point must return immediately without touching the allocator
+  // or retaining anything -- this is what lets Config::trace default on
+  // without costing the zero-alloc / bitwise gates anything.
+  obs::Tracer tracer;  // default level: kOff
+  EXPECT_FALSE(tracer.enabled(obs::TraceLevel::kRequests));
+
+  const std::uint64_t before = g_allocations.load();
+  tracer.set_devices(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t span = tracer.begin_span(
+        "track", "request", 7, 0.0, obs::TraceLevel::kRequests);
+    EXPECT_EQ(span, obs::Tracer::npos);
+    tracer.span_args(span, 1.0, 2, 3);
+    tracer.end_span(span, 10.0);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "kOff tracer allocated " << (after - before) << " times";
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.device_count(), 0u);
 }
 
 TEST(ZeroAlloc, RefineBatchEmptyMaskSkipsLaunchAndAllocator) {
