@@ -255,6 +255,23 @@ int main(int argc, char** argv) {
   json.field("queue_pulls", batched_stats.queue_pulls);
   json.field("cache_hits", std::uint64_t{batched_stats.cache_hits});
   json.field("cache_misses", std::uint64_t{batched_stats.cache_misses});
+  json.field("weighted_steals", batched_stats.weighted_steals);
+  // Per-device modeled busy time and utilization (busy / makespan):
+  // on this uniform 2-shard fleet the devices should track each other,
+  // and on a mixed fleet (bench_hetero) the same leaves show the
+  // weighted fill keeping the fast card loaded.  Reported, not gated.
+  json.key("devices");
+  json.begin_array();
+  for (std::size_t d = 0; d < batched_stats.device_busy_us.size(); ++d)
+    json.begin_object()
+        .field("device", static_cast<std::uint64_t>(d))
+        .field("modeled_busy_us", batched_stats.device_busy_us[d])
+        .field("utilization", batched_stats.total_modeled_us > 0.0
+                                  ? batched_stats.device_busy_us[d] /
+                                        batched_stats.total_modeled_us
+                                  : 0.0)
+        .end_object();
+  json.end_array();
   json.field("bitwise_parity_vs_standalone", parity_ok);
   json.field("gates_met", parity_ok && modeled_gate_ok);
   json.end_object();

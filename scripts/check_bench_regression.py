@@ -110,10 +110,26 @@ def main():
                              "value": value, "ratio": ratio, "limit": limit,
                              "headroom": headroom}
 
+    # File-level problems (missing/unreadable/malformed JSON) are their
+    # own failure class: report every bad file with a one-line error and
+    # exit nonzero instead of dying on the first raw traceback.
+    file_errors = []
+
+    def load_json(path, role):
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except OSError as e:
+            file_errors.append(f"{role} {path}: cannot read ({e.strerror or e})")
+        except json.JSONDecodeError as e:
+            file_errors.append(f"{role} {path}: malformed JSON ({e})")
+        return None
+
     for current_path in args.files:
         name = os.path.basename(current_path)
-        with open(current_path) as f:
-            current = json.load(f)
+        current = load_json(current_path, "bench output")
+        if current is None:
+            continue
 
         # Absolute-floor gate: runs on every file, baseline or not.
         for path, value in tuned_speedup_leaves(current):
@@ -133,8 +149,9 @@ def main():
             print(f"note: no baseline for {name}, skipping ratio gates "
                   f"(add {baseline_path} to gate it)")
             continue
-        with open(baseline_path) as f:
-            baseline = json.load(f)
+        baseline = load_json(baseline_path, "baseline")
+        if baseline is None:
+            continue
 
         baseline_values = {p: (v, hib, q)
                            for p, v, hib, q in gated_leaves(baseline)}
@@ -179,6 +196,11 @@ def main():
     if compared == 0:
         print("warning: no wall-clock or throughput fields compared; "
               "check the baseline files exist and match the bench output")
+    if file_errors:
+        print(f"\n{len(file_errors)} file error(s):")
+        for err in file_errors:
+            print(f"  error: {err}")
+        return 1
     if failures:
         print(f"\n{len(failures)} gated metric(s) regressed:")
         for name, path, ratio in failures:

@@ -15,16 +15,30 @@
 ///
 ///   * kWorkStealing (default): chunks are claimed from a shared cursor,
 ///     so a shard that finishes early simply claims more -- the
-///     manager/worker dynamic balance of the MPI implementations.
+///     manager/worker dynamic balance of the MPI implementations.  On a
+///     heterogeneous fleet the cursor is weight-aware: shard s claims
+///     round(weight_s / weight_min) chunks per pull (clamped to [1, 8]),
+///     so a 2x-faster card claims two chunks for every one the slow
+///     card takes instead of meeting it claim-for-claim.
 ///   * kStatic: chunk c goes to shard c % shards -- deterministic
 ///     placement for reproducible per-device logs (scaling benches).
+///   * kWeightedStatic: contiguous chunk quotas proportional to each
+///     shard's throughput weight (weighted_split), fully deterministic
+///     -- the static schedule a mixed fleet wants, where a half-speed
+///     device is handed half the chunks up front.
+///
+/// Weights come from the registry's modeled clock x cores, refined to
+/// 1 / measured-kernel-us when the global Autotuner holds a decision
+/// for every shard's spec (the fused backend's own construction probes
+/// put them there, once per DISTINCT spec since TuneKey carries the
+/// full device geometry).
 ///
 /// Determinism and parity: chunk ranges map straight onto slices of the
 /// caller's result buffer, so merged values/Jacobians land in
 /// point-index order no matter which shard computed them; and each
 /// point's arithmetic is independent of its chunk and shard, so results
-/// are BITWISE identical across shard counts 1/2/4/8 and across both
-/// schedules.
+/// are BITWISE identical across shard counts 1/2/4/8, across all three
+/// schedules, and across uniform vs. mixed fleets.
 ///
 /// Zero allocation: every shard's backend owns persistent staging and
 /// device buffers sized to the chunk capacity, the constructor
@@ -35,21 +49,28 @@
 /// cursor `run_kernel` uses -- steady-state evaluate() never touches
 /// the allocator.
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "core/fused_evaluator.hpp"
+#include "core/weighted_schedule.hpp"
 #include "simt/device_registry.hpp"
+#include "tune/autotuner.hpp"
 
 namespace polyeval::core {
 
 /// How a ShardedEvaluator places chunks on shards.
 enum class ShardSchedule {
-  kWorkStealing,  ///< shared claim cursor, dynamic balance
-  kStatic,        ///< chunk c -> shard c % shards, reproducible placement
+  kWorkStealing,    ///< shared claim cursor, weight-aware claim quanta
+  kStatic,          ///< chunk c -> shard c % shards, reproducible placement
+  kWeightedStatic,  ///< contiguous quotas proportional to throughput weight
 };
 
 template <prec::RealScalar S, class Backend = FusedGpuEvaluator<S>>
@@ -68,19 +89,29 @@ class ShardedEvaluator {
     unsigned chunk_points = 8;
     ShardSchedule schedule = ShardSchedule::kWorkStealing;
     simt::DeviceSpec spec = simt::DeviceSpec::tesla_c2050();
+    /// Heterogeneous fleet: when non-empty, one shard per entry (this
+    /// overrides `shards` and `spec`).  Mixed specs flow into the
+    /// throughput weights the weighted schedules place by; they never
+    /// change results (see the parity note above).
+    std::vector<simt::DeviceSpec> specs;
     typename Backend::Options backend{};
   };
 
   ShardedEvaluator(const poly::PolynomialSystem& system, Options options = {})
       : options_(options),
-        registry_(options.shards, options.spec, options.workers_per_shard) {
+        registry_(fleet_specs(options), options.workers_per_shard) {
     if (options_.chunk_points == 0)
       throw std::invalid_argument("ShardedEvaluator: zero chunk_points");
+    options_.shards = registry_.size();
+    structure_ = pack_system(system).structure;
     shard_eval_.reserve(registry_.size());
     for (unsigned i = 0; i < registry_.size(); ++i)
       shard_eval_.push_back(std::make_unique<Backend>(
           registry_.device(i), system, options_.chunk_points, options_.backend));
     if (registry_.size() > 1) manager_.emplace(registry_.size() - 1);
+    refresh_weights();
+    quota_.reserve(registry_.size());
+    starts_.reserve(registry_.size() + 1);
 
     // Deterministic pre-warm: every shard runs two full-capacity
     // launches so the warm-up, not the steady state, pays every
@@ -107,6 +138,37 @@ class ShardedEvaluator {
   [[nodiscard]] const Options& options() const noexcept { return options_; }
   [[nodiscard]] simt::DeviceRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] Backend& shard(unsigned i) { return *shard_eval_[i]; }
+
+  /// The throughput weights the weighted schedules place by (fastest
+  /// shard == 1.0): measured when available, modeled otherwise.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Re-derive the placement weights: start from the registry's modeled
+  /// clock x cores, then -- for the fused backend, whose construction
+  /// probes seed the cache -- replace the estimate with 1 / the
+  /// autotuner's measured modeled-us when EVERY shard's spec has a
+  /// memoized decision.  Weights shape placement only, so refreshing
+  /// between evaluates never perturbs results.
+  void refresh_weights() {
+    weights_ = registry_.weights();
+    if (!registry_.heterogeneous()) return;
+    if constexpr (std::is_same_v<Backend, FusedGpuEvaluator<S>>) {
+      const unsigned width = static_cast<unsigned>(sizeof(S) / sizeof(double));
+      std::vector<simt::DeviceSpec> specs;
+      specs.reserve(registry_.size());
+      for (unsigned i = 0; i < registry_.size(); ++i)
+        specs.push_back(registry_.spec(i));
+      const auto measured = tune::measured_fleet_weights(
+          tune::Autotuner::global(), std::span<const simt::DeviceSpec>(specs),
+          [&](const simt::DeviceSpec& spec) {
+            return tune::TuneKey::make(tune::TunedSchedule::kFused, structure_,
+                                       options_.chunk_points, 0, width, spec);
+          });
+      if (measured.has_value()) weights_ = *measured;
+    }
+  }
 
   /// Evaluate at any number of points, sharded over the devices; results
   /// are merged into `results` in point order.  Unlike the single-device
@@ -141,19 +203,53 @@ class ShardedEvaluator {
                                          out.subspan(first, count));
     };
 
+    const unsigned shards = registry_.size();
     if (!manager_) {
       for (std::size_t c = 0; c < chunks; ++c) run_chunk(0, c);
     } else if (options_.schedule == ShardSchedule::kWorkStealing) {
-      // participant ids are unique per executing thread for the job and
-      // range over [0, shards), so each backend has one user at a time.
+      if (!registry_.heterogeneous()) {
+        // participant ids are unique per executing thread for the job and
+        // range over [0, shards), so each backend has one user at a time.
+        manager_->parallel_for_ranges(
+            chunks, 1, [&](unsigned participant, std::size_t begin, std::size_t end) {
+              for (std::size_t c = begin; c < end; ++c) run_chunk(participant, c);
+            });
+      } else {
+        // Weight-aware stealing: shard s's claim quantum is its weight
+        // relative to the slowest shard (a 2x-faster card pulls two
+        // chunks per claim), clamped to 8 so no quantum outruns the
+        // balance the cursor exists to provide.  The pool only maps
+        // participants onto shards here; the chunk cursor is ours.
+        std::atomic<std::size_t> cursor{0};
+        manager_->parallel_for_ranges(
+            shards, 1, [&](unsigned, std::size_t begin, std::size_t end) {
+              for (std::size_t s = begin; s < end; ++s) {
+                const std::size_t quantum = steal_quantum(static_cast<unsigned>(s));
+                for (std::size_t base = cursor.fetch_add(quantum); base < chunks;
+                     base = cursor.fetch_add(quantum)) {
+                  const std::size_t stop = std::min(base + quantum, chunks);
+                  for (std::size_t c = base; c < stop; ++c)
+                    run_chunk(static_cast<unsigned>(s), c);
+                }
+              }
+            });
+      }
+    } else if (options_.schedule == ShardSchedule::kWeightedStatic) {
+      // Deterministic proportional placement: shard s owns the
+      // contiguous chunk range [starts_[s], starts_[s] + quota_[s]).
+      // Member scratch keeps the steady state allocation-free.
+      weighted_split_into(chunks, std::span<const double>(weights_), {}, quota_);
+      starts_.assign(shards + 1, 0);
+      for (unsigned s = 0; s < shards; ++s) starts_[s + 1] = starts_[s] + quota_[s];
       manager_->parallel_for_ranges(
-          chunks, 1, [&](unsigned participant, std::size_t begin, std::size_t end) {
-            for (std::size_t c = begin; c < end; ++c) run_chunk(participant, c);
+          shards, 1, [&](unsigned, std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s)
+              for (std::size_t c = starts_[s]; c < starts_[s + 1]; ++c)
+                run_chunk(static_cast<unsigned>(s), c);
           });
     } else {
       // Static schedule: the claimed index IS the shard id; whichever
       // manager thread claims shard s walks s's strided chunk sequence.
-      const unsigned shards = registry_.size();
       manager_->parallel_for_ranges(
           shards, 1, [&](unsigned, std::size_t begin, std::size_t end) {
             for (std::size_t s = begin; s < end; ++s)
@@ -172,6 +268,25 @@ class ShardedEvaluator {
   [[nodiscard]] const simt::LaunchLog& last_log() const noexcept { return last_log_; }
 
  private:
+  [[nodiscard]] static std::vector<simt::DeviceSpec> fleet_specs(
+      const Options& options) {
+    if (!options.specs.empty()) return options.specs;
+    if (options.shards == 0)
+      throw std::invalid_argument("ShardedEvaluator: zero shards");
+    return std::vector<simt::DeviceSpec>(options.shards, options.spec);
+  }
+
+  /// Chunks shard s claims per steal: its weight over the slowest
+  /// shard's, rounded, clamped to [1, 8].  Uniform fleets get 1
+  /// everywhere -- the historical claim-for-claim cursor.
+  [[nodiscard]] std::size_t steal_quantum(unsigned s) const {
+    double w_min = weights_[0];
+    for (double w : weights_) w_min = std::min(w_min, w);
+    const double ratio = w_min > 0.0 ? weights_[s] / w_min : 1.0;
+    const long long q = std::llround(ratio);
+    return static_cast<std::size_t>(std::clamp(q, 1ll, 8ll));
+  }
+
   void merge_logs() {
     std::size_t total = 0;
     for (unsigned i = 0; i < registry_.size(); ++i)
@@ -192,9 +307,12 @@ class ShardedEvaluator {
 
   Options options_;
   simt::DeviceRegistry registry_;
+  poly::UniformStructure structure_;
+  std::vector<double> weights_;  ///< placement weights, fastest == 1.0
   std::vector<std::unique_ptr<Backend>> shard_eval_;
   std::optional<simt::ThreadPool> manager_;  ///< shards - 1 workers + caller
   simt::LaunchLog last_log_;
+  std::vector<std::size_t> quota_, starts_;  ///< kWeightedStatic scratch
 };
 
 }  // namespace polyeval::core

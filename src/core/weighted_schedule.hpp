@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file weighted_schedule.hpp
+/// Deterministic proportional splitting for heterogeneity-aware
+/// placement.
+///
+/// Both weighted schedulers -- ShardedEvaluator's kWeightedStatic chunk
+/// quotas and SolveService's slot filling -- need the same primitive:
+/// split `total` indivisible work items over shards proportionally to
+/// throughput weights, optionally capped per shard, with every tie
+/// broken the same way on every run.  Rounding proportional shares is
+/// where nondeterminism usually sneaks in; this helper floors every
+/// share and hands the remainder out one item at a time to the shard
+/// that would finish its grown quota soonest -- argmin of
+/// (quota+1)/weight, lowest index on ties -- so equal inputs always
+/// produce equal splits and each leftover item lands where it extends
+/// the modeled makespan least.
+///
+/// Placement is the ONLY thing a split changes.  Each work item's
+/// arithmetic is identical on every shard, and merges are by item
+/// index, so any split -- balanced, weighted, or adversarial -- yields
+/// bitwise-identical results; the tests pin this across all three
+/// schedules on mixed fleets.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace polyeval::core {
+
+/// Splits `total` items over `weights.size()` shards proportionally to
+/// `weights`, capping shard s at `caps[s]` when `caps` is non-empty.
+/// Weights must be positive; caps, when given, must match weights in
+/// size.  If the caps sum to less than `total`, every shard is filled
+/// to its cap and the remainder is simply not assigned (the caller's
+/// queue keeps it) -- the returned quotas never exceed the caps.
+/// In-place variant for zero-alloc steady states: `quota` is resized to
+/// the shard count (no allocation once its capacity has been paid) and
+/// overwritten.
+inline void weighted_split_into(std::size_t total, std::span<const double> weights,
+                                std::span<const std::size_t> caps,
+                                std::vector<std::size_t>& quota) {
+  const std::size_t shards = weights.size();
+  quota.assign(shards, 0);
+  if (shards == 0 || total == 0) return;
+
+  const auto cap = [&](std::size_t s) {
+    return caps.empty() ? std::numeric_limits<std::size_t>::max() : caps[s];
+  };
+
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+
+  // Floor of every proportional share, capped.
+  std::size_t assigned = 0;
+  for (std::size_t s = 0; s < shards && assigned < total; ++s) {
+    const double share = static_cast<double>(total) * (weights[s] / wsum);
+    std::size_t q = static_cast<std::size_t>(share);  // floor: share >= 0
+    q = q < cap(s) ? q : cap(s);
+    const std::size_t left = total - assigned;
+    q = q < left ? q : left;
+    quota[s] = q;
+    assigned += q;
+  }
+
+  // Flooring strands at most shards-1 items (more under caps): hand the
+  // remainder out one at a time to the shard whose grown quota would
+  // finish soonest -- argmin (quota+1)/weight with headroom, lowest
+  // index on ties.  Handing it to the heaviest shard instead looks
+  // natural but overloads the fast device whenever its floored share is
+  // already the larger one; minimizing the modeled finish time is what
+  // keeps the split makespan-optimal.  Deterministic, and terminates as
+  // soon as no shard has headroom.
+  while (assigned < total) {
+    std::size_t pick = shards;
+    double pick_finish = 0.0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (quota[s] >= cap(s)) continue;
+      const double finish = static_cast<double>(quota[s] + 1) / weights[s];
+      if (pick == shards || finish < pick_finish) {
+        pick = s;
+        pick_finish = finish;
+      }
+    }
+    if (pick == shards) break;  // every shard at cap; caller keeps the rest
+    ++quota[pick];
+    ++assigned;
+  }
+}
+
+[[nodiscard]] inline std::vector<std::size_t> weighted_split(
+    std::size_t total, std::span<const double> weights,
+    std::span<const std::size_t> caps = {}) {
+  std::vector<std::size_t> quota;
+  weighted_split_into(total, weights, caps, quota);
+  return quota;
+}
+
+}  // namespace polyeval::core

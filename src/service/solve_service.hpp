@@ -21,6 +21,24 @@
 /// and stealing all preserve bitwise parity with a standalone solve),
 /// and admits queued requests as tenant slots free up.
 ///
+/// Heterogeneous fleets.  Config::specs builds a mixed-device registry;
+/// every placement decision is then throughput-weighted: freed slots
+/// fill the shard with the lowest live/weight ratio, stealing equalizes
+/// live/weight instead of raw live counts (a 2x card carries twice the
+/// paths), and per-shard evaluators pin the geometry the autotuner
+/// resolved for THEIR spec (SystemCache keeps one geometry per distinct
+/// spec).  Weights shape placement only -- a path's trajectory is
+/// schedule-independent -- so mixed fleets keep bitwise parity with
+/// uniform ones.
+///
+/// Fairness.  Config::fairness = 0 keeps FIFO slot filling (a huge
+/// request's queued paths all start before a later small request's).
+/// A nonzero value is a deficit-round-robin quantum: each fill pass
+/// grants every active request `fairness` more path-credits and takes
+/// slots round-robin, so small requests reach slots -- and retire --
+/// while a huge neighbour is still draining.  Placement-only, same
+/// parity argument.
+///
 /// Modeled accounting.  Every device's launch log is priced with the
 /// GpuCostModel after each round (rounds clear the log on entry, so
 /// charging is per round); a tick costs the MAX over devices -- shards
@@ -37,10 +55,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -75,8 +96,12 @@ struct ServiceStats {
   std::uint64_t coalesced_rounds = 0;   ///< rounds carrying >= 2 requests
   unsigned max_tenants_in_round = 0;    ///< most requests in one round
   std::uint64_t live_steals = 0;        ///< paths moved between shards
+  std::uint64_t weighted_steals = 0;    ///< of those, on a mixed fleet
   std::uint64_t queue_pulls = 0;        ///< pending paths pulled into slots
   double total_modeled_us = 0.0;        ///< the service's modeled clock
+  /// Modeled µs each device spent busy (its summed per-tick charges;
+  /// busy / total_modeled_us is the device's utilization).
+  std::vector<double> device_busy_us;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
 };
@@ -92,6 +117,13 @@ class SolveService {
     unsigned shards = 2;
     unsigned workers_per_shard = 1;
     simt::DeviceSpec spec = simt::DeviceSpec::tesla_c2050();
+    /// Heterogeneous fleet: when non-empty, one device shard per entry
+    /// (overrides `shards` and `spec`).  Placement goes throughput-
+    /// weighted; results stay bitwise identical to a uniform fleet.
+    std::vector<simt::DeviceSpec> specs;
+    /// Deficit-round-robin quantum (paths) for filling freed slots;
+    /// 0 = FIFO.  See the fairness note in the file comment.
+    std::uint64_t fairness = 0;
     /// Device evaluator batch capacity (points per launch).
     unsigned lockstep_batch = 64;
     /// Tracker slots per shard: the most live paths one shard carries.
@@ -118,12 +150,15 @@ class SolveService {
 
   explicit SolveService(Config config = {})
       : config_(validate_config(std::move(config))),
-        registry_(config_.shards, config_.spec, config_.workers_per_shard),
+        registry_(fleet_specs(config_), config_.workers_per_shard),
         cache_(config_.hasher),
         tracer_(config_.trace) {
+    config_.shards = registry_.size();
     if (registry_.size() > 1)
       pool_.emplace(registry_.size() - 1);
     device_charge_.assign(registry_.size(), 0.0);
+    device_busy_us_.assign(registry_.size(), 0.0);
+    fleet_spec_list_ = registry_spec_list();
     tracer_.set_devices(registry_.size());
     tracker_metrics_ = obs::TrackerMetrics::from_registry(metrics_);
     resolve_instruments();
@@ -198,9 +233,16 @@ class SolveService {
   [[nodiscard]] ServiceStats stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     ServiceStats s = stats_;
+    s.device_busy_us = device_busy_us_;
     s.cache_hits = cache_.hits();
     s.cache_misses = cache_.misses();
     return s;
+  }
+
+  /// The placement weights the service schedules by (by device index,
+  /// fastest == 1.0; all 1.0 on a uniform fleet).
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return registry_.weights();
   }
 
   /// The service's metrics registry, gauges refreshed under the lock
@@ -219,6 +261,14 @@ class SolveService {
         static_cast<double>(tune::Autotuner::global().hits()));
     inst_.tune_misses->set(
         static_cast<double>(tune::Autotuner::global().misses()));
+    // Per-device utilization: the fraction of the service's modeled
+    // clock this device was busy for.  A weighted scheduler's goal is
+    // every device near 1.0; an unweighted one idles the fast card.
+    for (unsigned d = 0; d < registry_.size(); ++d)
+      inst_.device_util[d]->set(stats_.total_modeled_us > 0.0
+                                    ? device_busy_us_[d] /
+                                          stats_.total_modeled_us
+                                    : 0.0);
     // Newly measured tune decisions since the last scrape fold their
     // memory-behaviour profiles in (watermark keeps polling additive).
     tune_fold_from_ = tune::Autotuner::global().fold_profiles_into(
@@ -261,6 +311,12 @@ class SolveService {
     std::uint64_t steals = 0;
     std::uint64_t queue_pulls = 0;
     std::size_t span = obs::Tracer::npos;  ///< tracking span handle
+    /// Paths admitted but not yet in a tracker slot, in path order.
+    /// Per-run (not one group-wide deque) so the fairness scheduler can
+    /// interleave requests; FIFO mode walks runs in activation order,
+    /// which reproduces the old group-wide queue exactly.
+    std::deque<std::uint64_t> pending_paths;
+    std::uint64_t deficit = 0;  ///< DRR credit (fairness mode only)
   };
 
   struct QueuedItem {
@@ -322,9 +378,19 @@ class SolveService {
     std::vector<cplx::Complex<double>> patch_d;  ///< projective only
     std::vector<C> patch_s;
     std::vector<std::unique_ptr<Shard>> shards;
+    /// Placement weights by shard index (fastest == 1.0): measured via
+    /// the TuneCache when every spec has a decision for this structure,
+    /// modeled clock x cores otherwise.
+    std::vector<double> weights;
     std::vector<unsigned> free_tenants;
     std::vector<std::unique_ptr<RunInfo>> active;
-    std::deque<std::pair<RunInfo*, std::uint64_t>> pending;
+    std::size_t rr_cursor = 0;  ///< fairness rotation over active runs
+
+    [[nodiscard]] bool has_pending() const {
+      for (const auto& run : active)
+        if (!run->pending_paths.empty()) return true;
+      return false;
+    }
   };
 
   using ProjGroup = Group<MultiTenantProjectiveHomotopy<S>>;
@@ -333,10 +399,26 @@ class SolveService {
   // ----- admission --------------------------------------------------
 
   static Config validate_config(Config c) {
-    if (c.shards == 0 || c.lockstep_batch == 0 || c.slots_per_shard == 0 ||
-        c.max_tenants == 0)
+    if ((c.shards == 0 && c.specs.empty()) || c.lockstep_batch == 0 ||
+        c.slots_per_shard == 0 || c.max_tenants == 0)
       throw std::invalid_argument("SolveService: bad config");
     return c;
+  }
+
+  [[nodiscard]] static std::vector<simt::DeviceSpec> fleet_specs(
+      const Config& c) {
+    if (!c.specs.empty()) return c.specs;
+    return std::vector<simt::DeviceSpec>(c.shards, c.spec);
+  }
+
+  /// The fleet's distinct spec list for SystemCache lookups (dedup is
+  /// the cache's job; this just snapshots the registry order).
+  [[nodiscard]] std::vector<simt::DeviceSpec> registry_spec_list() const {
+    std::vector<simt::DeviceSpec> specs;
+    specs.reserve(registry_.size());
+    for (unsigned i = 0; i < registry_.size(); ++i)
+      specs.push_back(registry_.spec(i));
+    return specs;
   }
 
   /// Pre-activation screening under the lock: validates options,
@@ -356,8 +438,9 @@ class SolveService {
         req.options.sharding.backend != solve::EvalBackend::kFused)
       return AdmissionVerdict::kInvalid;
     try {
-      item.entry = cache_.lookup(req.target, config_.lockstep_batch,
-                                 req.options.tuning.mode);
+      item.entry = cache_.lookup(
+          req.target, config_.lockstep_batch, req.options.tuning.mode,
+          std::span<const simt::DeviceSpec>(fleet_spec_list_));
     } catch (const std::exception&) {
       return AdmissionVerdict::kInvalid;  // non-uniform / degenerate system
     }
@@ -497,7 +580,7 @@ class SolveService {
     RunInfo* raw = run.get();
     group->active.push_back(std::move(run));
     for (std::uint64_t p = 0; p < item.paths; ++p)
-      group->pending.emplace_back(raw, p);
+      raw->pending_paths.push_back(p);
     return true;
   }
 
@@ -516,19 +599,40 @@ class SolveService {
       for (const auto& c : group->patch_d)
         group->patch_s.push_back(C::from_double(c));
     }
-    typename core::MultiTenantFusedEvaluator<S>::Options eopts;
-    // A pinned block size wins over the cache's tuned geometry, as in
-    // the single-tenant resolution rules.
-    eopts.block_size = key.tuning.block_size != 0 ? key.tuning.block_size
-                                                  : entry.tuned_block;
-    eopts.interchange = entry.tuned_interchange;
-    eopts.detect_races = key.tuning.detect_races;
     group->shards.reserve(registry_.size());
-    for (unsigned i = 0; i < registry_.size(); ++i)
+    for (unsigned i = 0; i < registry_.size(); ++i) {
+      // Each shard pins the geometry the cache resolved for ITS spec --
+      // a mixed fleet no longer inherits shard 0's winner.  A pinned
+      // block size wins over the cache's tuned geometry, as in the
+      // single-tenant resolution rules.
+      const auto* geom = entry.geometry_for(registry_.spec(i));
+      typename core::MultiTenantFusedEvaluator<S>::Options eopts;
+      eopts.block_size = key.tuning.block_size != 0
+                             ? key.tuning.block_size
+                             : (geom != nullptr ? geom->block : 0);
+      if (geom != nullptr) eopts.interchange = geom->interchange;
+      eopts.detect_races = key.tuning.detect_races;
       group->shards.push_back(std::make_unique<typename G::Shard>(
           registry_.device(i), i, key.structure, config_.max_tenants,
           config_.lockstep_batch, eopts, key.tracking.track,
           config_.slots_per_shard));
+    }
+    // Placement weights for this group's structure: the cache's per-spec
+    // probes seeded the TuneCache, so a fully probed fleet gets measured
+    // 1/us weights; otherwise (heuristic tuning) the modeled estimate.
+    group->weights = registry_.weights();
+    if (registry_.heterogeneous()) {
+      const unsigned width = static_cast<unsigned>(sizeof(S) / sizeof(double));
+      const auto measured = tune::measured_fleet_weights(
+          tune::Autotuner::global(),
+          std::span<const simt::DeviceSpec>(fleet_spec_list_),
+          [&](const simt::DeviceSpec& spec) {
+            return tune::TuneKey::make(tune::TunedSchedule::kFused,
+                                       key.structure, config_.lockstep_batch,
+                                       0, width, spec);
+          });
+      if (measured.has_value()) group->weights = *measured;
+    }
     group->free_tenants.reserve(config_.max_tenants);
     for (unsigned t = config_.max_tenants; t-- > 0;)
       group->free_tenants.push_back(t);
@@ -610,18 +714,14 @@ class SolveService {
         if (!wants) continue;
         run->cancelling = true;
         // Unstarted paths never launch: synthesize their retirement.
-        for (auto it = g.pending.begin(); it != g.pending.end();) {
-          if (it->first != run.get()) {
-            ++it;
-            continue;
-          }
-          auto& res = run->state->report.paths[it->second];
+        for (const std::uint64_t path : run->pending_paths) {
+          auto& res = run->state->report.paths[path];
           res.status = homotopy::PathStatus::kCancelled;
-          res.solution = run->points[it->second];
+          res.solution = run->points[path];
           ++run->retired;
           run->state->paths_retired.fetch_add(1, std::memory_order_relaxed);
-          it = g.pending.erase(it);
         }
+        run->pending_paths.clear();
         for (auto& shard : g.shards)
           for (std::size_t slot = 0; slot < shard->owners.size(); ++slot)
             if (shard->owners[slot].run == run.get())
@@ -630,41 +730,122 @@ class SolveService {
     });
   }
 
+  /// The shard the next pulled path should land on.  Uniform fleets
+  /// keep the historical greedy fill (first shard with a free slot, so
+  /// shard 0 packs before shard 1 touches work); mixed fleets pick the
+  /// free-slotted shard with the lowest occupancy-per-weight, so a 2x
+  /// device ends up carrying twice the live paths.
+  template <class G>
+  [[nodiscard]] auto* pick_fill_shard(G& g) {
+    using Shard = typename G::Shard;
+    if (!registry_.heterogeneous()) {
+      for (auto& s : g.shards)
+        if (!s->free_slots.empty()) return s.get();
+      return static_cast<Shard*>(nullptr);
+    }
+    Shard* best = nullptr;
+    double best_score = 0.0;
+    for (unsigned i = 0; i < g.shards.size(); ++i) {
+      auto& s = g.shards[i];
+      if (s->free_slots.empty()) continue;
+      const double score =
+          static_cast<double>(s->live + 1) / g.weights[i];
+      if (best == nullptr || score < best_score) {
+        best = s.get();
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  /// Move up to `limit` of `run`'s pending paths into free tracker
+  /// slots; returns how many were placed.
+  template <class G>
+  std::uint64_t place_pending(G& g, RunInfo& run, std::uint64_t limit) {
+    std::uint64_t placed = 0;
+    while (placed < limit && !run.pending_paths.empty()) {
+      auto* shard = pick_fill_shard(g);
+      if (shard == nullptr) break;  // no free slot anywhere
+      const std::uint64_t path = run.pending_paths.front();
+      run.pending_paths.pop_front();
+      const std::size_t slot = shard->free_slots.back();
+      shard->free_slots.pop_back();
+      shard->homo.assign_slot(slot, run.tenant);
+      shard->tracker.adopt(slot, std::span<const C>(run.points[path]));
+      shard->owners[slot] = {&run, path};
+      ++shard->live;
+      ++stats_.queue_pulls;
+      inst_.queue_pulls->inc();
+      ++run.queue_pulls;
+      ++placed;
+    }
+    return placed;
+  }
+
   template <class G>
   void fill_slots(G& g) {
-    for (auto& shard : g.shards) {
-      while (!shard->free_slots.empty() && !g.pending.empty()) {
-        auto [run, path] = g.pending.front();
-        g.pending.pop_front();
-        const std::size_t slot = shard->free_slots.back();
-        shard->free_slots.pop_back();
-        shard->homo.assign_slot(slot, run->tenant);
-        shard->tracker.adopt(slot, std::span<const C>(run->points[path]));
-        shard->owners[slot] = {run, path};
-        ++shard->live;
-        ++stats_.queue_pulls;
-        inst_.queue_pulls->inc();
-        ++run->queue_pulls;
+    if (g.active.empty()) return;
+    if (config_.fairness == 0) {
+      // FIFO: drain runs in activation order -- byte-for-byte the old
+      // group-wide pending queue's fill order.
+      for (auto& run : g.active)
+        place_pending(g, *run, std::numeric_limits<std::uint64_t>::max());
+      return;
+    }
+    // Deficit round robin: every pass grants each backlogged run
+    // `fairness` more path-credits and takes slots in rotation (the
+    // cursor persists across ticks, so no run is always first).  Credit
+    // resets once a run's backlog clears -- no banking while idle.
+    g.rr_cursor %= g.active.size();
+    bool progress = true;
+    while (progress && g.has_pending()) {
+      progress = false;
+      for (std::size_t i = 0; i < g.active.size(); ++i) {
+        RunInfo& run = *g.active[(g.rr_cursor + i) % g.active.size()];
+        if (run.pending_paths.empty()) {
+          run.deficit = 0;
+          continue;
+        }
+        run.deficit += config_.fairness;
+        const std::uint64_t placed = place_pending(g, run, run.deficit);
+        run.deficit -= placed;
+        if (placed > 0) progress = true;
       }
+      g.rr_cursor = (g.rr_cursor + 1) % g.active.size();
     }
   }
 
   /// Between rounds, rebalance a group whose pending queue is dry: move
   /// plain tracking paths (donate/adopt) from the most loaded shard to
   /// an early-retired one.  Endgame paths are pinned to their shard.
+  /// Loads compare per unit of throughput weight -- on a uniform fleet
+  /// that reduces exactly to the historical raw-count rule (move while
+  /// idle + 2 <= busy), on a mixed fleet a slow shard counts as "busy"
+  /// with fewer paths.  Termination: each move strictly decreases
+  /// sum(live^2 / weight), so the loop cannot ping-pong.
   template <class G>
   void steal(G& g) {
-    if (!g.pending.empty() || g.shards.size() < 2) return;
+    if (g.has_pending() || g.shards.size() < 2) return;
     std::vector<C> x(g.shards.front()->tracker.dimension());
+    const auto load = [&](const auto& s, unsigned i) {
+      return static_cast<double>(s.live) / g.weights[i];
+    };
     for (;;) {
-      auto* busy = g.shards.front().get();
-      auto* idle = g.shards.front().get();
-      for (auto& s : g.shards) {
-        if (s->live > busy->live) busy = s.get();
-        if (s->live < idle->live && !s->free_slots.empty()) idle = s.get();
+      unsigned busy_i = 0, idle_i = 0;
+      for (unsigned i = 0; i < g.shards.size(); ++i) {
+        auto& s = g.shards[i];
+        if (load(*s, i) > load(*g.shards[busy_i], busy_i)) busy_i = i;
+        if (load(*s, i) < load(*g.shards[idle_i], idle_i) &&
+            !s->free_slots.empty())
+          idle_i = i;
       }
-      if (idle->live + 2 > busy->live || idle->free_slots.empty() ||
-          busy == idle)
+      auto* busy = g.shards[busy_i].get();
+      auto* idle = g.shards[idle_i].get();
+      // Move only while it helps: after the move the receiver must not
+      // be loaded past the donor (the weighted form of idle+2 <= busy).
+      if (static_cast<double>(idle->live + 1) * g.weights[busy_i] >
+              static_cast<double>(busy->live - 1) * g.weights[idle_i] ||
+          idle->free_slots.empty() || busy == idle)
         return;
       std::size_t donor = busy->owners.size();
       for (std::size_t slot = 0; slot < busy->owners.size(); ++slot)
@@ -688,6 +869,10 @@ class SolveService {
       ++stats_.live_steals;
       inst_.steals->inc();
       ++owner.run->steals;
+      if (registry_.heterogeneous()) {
+        ++stats_.weighted_steals;
+        inst_.weighted_steals->inc();
+      }
     }
   }
 
@@ -785,6 +970,10 @@ class SolveService {
     for (const double c : device_charge_) tick_cost = std::max(tick_cost, c);
     stats_.total_modeled_us += tick_cost;
     inst_.modeled_us->add(tick_cost);
+    for (unsigned d = 0; d < registry_.size(); ++d) {
+      device_busy_us_[d] += device_charge_[d];
+      inst_.device_busy_us[d]->add(device_charge_[d]);
+    }
 
     for (unsigned d = 0; d < registry_.size(); ++d) {
       scratch_device_runs_.clear();
@@ -911,6 +1100,7 @@ class SolveService {
     obs::Counter* shard_rounds = nullptr;
     obs::Counter* coalesced_rounds = nullptr;
     obs::Counter* steals = nullptr;
+    obs::Counter* weighted_steals = nullptr;
     obs::Counter* queue_pulls = nullptr;
     obs::Counter* dma_h2d_bytes = nullptr;
     obs::Counter* dma_d2h_bytes = nullptr;
@@ -922,6 +1112,9 @@ class SolveService {
     obs::Gauge* tune_hits = nullptr;
     obs::Gauge* tune_misses = nullptr;
     obs::Histogram* queue_wall_us = nullptr;
+    /// Per device index: modeled busy µs and utilization fraction.
+    std::vector<obs::FloatCounter*> device_busy_us;
+    std::vector<obs::Gauge*> device_util;
   };
 
   void resolve_instruments() {
@@ -950,6 +1143,9 @@ class SolveService {
                    "rounds carrying >= 2 requests in one launch");
     inst_.steals = &r.counter("polyeval_live_steals_total",
                               "live paths moved between shards");
+    inst_.weighted_steals =
+        &r.counter("polyeval_weighted_steals_total",
+                   "live steals placed by throughput weight (mixed fleet)");
     inst_.queue_pulls = &r.counter("polyeval_queue_pulls_total",
                                    "pending paths pulled into slots");
     inst_.dma_h2d_bytes = &r.counter("polyeval_dma_bytes_total", "direction",
@@ -975,6 +1171,17 @@ class SolveService {
     inst_.queue_wall_us =
         &r.histogram("polyeval_request_queue_wall_us", kQueueBounds,
                      "host µs a request waited before activation");
+    inst_.device_busy_us.reserve(registry_.size());
+    inst_.device_util.reserve(registry_.size());
+    for (unsigned d = 0; d < registry_.size(); ++d) {
+      const std::string label = std::to_string(d);
+      inst_.device_busy_us.push_back(
+          &r.float_counter("polyeval_device_busy_us_total", "device", label,
+                           "modeled µs each device spent busy"));
+      inst_.device_util.push_back(
+          &r.gauge("polyeval_device_utilization", "device", label,
+                   "busy fraction of the service's modeled clock"));
+    }
   }
 
   // ----- async mode -------------------------------------------------
@@ -1006,6 +1213,8 @@ class SolveService {
   std::vector<std::unique_ptr<AffGroup>> aff_groups_;
 
   std::vector<double> device_charge_;
+  std::vector<double> device_busy_us_;  ///< summed charges per device
+  std::vector<simt::DeviceSpec> fleet_spec_list_;  ///< registry order
   std::vector<void*> scratch_device_runs_, scratch_round_runs_;
   ServiceStats stats_;
   std::uint64_t next_id_ = 0;

@@ -18,12 +18,21 @@
 /// tune::Autotuner::global(): the first request with a structure pays
 /// the measured probe, every later one is a TuneCache hit
 /// (Autotuner::global().hits() observes the reuse across requests).
+///
+/// Geometry is PER DEVICE SPEC: an entry holds one resolved geometry
+/// per distinct spec in the caller's fleet, each probed on a scratch
+/// device of THAT spec (TuneKey carries the full device geometry, so
+/// the global TuneCache keeps them apart too).  The old single-slot
+/// scheme silently pinned shard 0's winner on every shard of a mixed
+/// fleet -- a 32-wide choice for a device whose residency limits want
+/// 128.  Uniform fleets resolve exactly once, as before.
 
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -72,43 +81,64 @@ class SystemCache {
  public:
   using Hasher = std::function<std::uint64_t(const core::PackedSystem&)>;
 
+  /// Launch geometry the autotuner resolved for one device spec.
+  struct TunedGeometry {
+    simt::DeviceSpec spec;
+    unsigned block = 0;
+    std::optional<core::InterchangeLayout> interchange;
+  };
+
   struct Entry {
     poly::PolynomialSystem system;  ///< the target, as submitted
     core::PackedSystem packed;
     homotopy::TotalDegreeStart start;
-    /// Launch geometry the autotuner resolved for this structure at
-    /// `tuned_capacity` points (the service's evaluator batch size).
-    unsigned tuned_block = 0;
-    std::optional<core::InterchangeLayout> tuned_interchange;
+    /// Resolved geometry per distinct device spec, at `tuned_capacity`
+    /// points (the service's evaluator batch size).  One element for a
+    /// uniform fleet; grown lazily as lookups bring new specs.
+    std::vector<TunedGeometry> geometries;
     unsigned tuned_capacity = 0;
     tune::TuningMode tuned_mode = tune::TuningMode::kMeasured;
 
     Entry(const poly::PolynomialSystem& target, core::PackedSystem p)
         : system(target), packed(std::move(p)), start(target) {}
+
+    /// The resolved geometry for `spec`; an entry returned by lookup()
+    /// always covers every spec the lookup was made with.
+    [[nodiscard]] const TunedGeometry* geometry_for(
+        const simt::DeviceSpec& spec) const {
+      for (const auto& g : geometries)
+        if (g.spec == spec) return &g;
+      return nullptr;
+    }
   };
 
   explicit SystemCache(Hasher hasher = {})
       : hasher_(hasher ? std::move(hasher) : Hasher(&hash_packed_system)) {}
 
   /// Find-or-create the entry for `target`, resolving the tune geometry
-  /// for `capacity`-point batches under `mode` on a miss (or when the
-  /// cached geometry was resolved for a different capacity/mode).
-  std::shared_ptr<const Entry> lookup(const poly::PolynomialSystem& target,
-                                      unsigned capacity,
-                                      tune::TuningMode mode) {
+  /// for `capacity`-point batches under `mode` on each of the fleet's
+  /// `specs` (deduplicated; empty means one default-spec device).  A
+  /// content hit re-resolves only what changed: everything when
+  /// capacity/mode moved, just the missing specs when the fleet grew.
+  std::shared_ptr<const Entry> lookup(
+      const poly::PolynomialSystem& target, unsigned capacity,
+      tune::TuningMode mode, std::span<const simt::DeviceSpec> specs = {}) {
+    static const simt::DeviceSpec default_spec = simt::DeviceSpec::tesla_c2050();
+    if (specs.empty()) specs = std::span<const simt::DeviceSpec>(&default_spec, 1);
     core::PackedSystem packed = core::pack_system(target);
     auto& bucket = buckets_[hasher_(packed)];
     for (const auto& e : bucket) {
       if (packed_systems_equal(e->packed, packed)) {
         if (e->tuned_capacity != capacity || e->tuned_mode != mode)
-          resolve_tuning(*e, capacity, mode);
+          e->geometries.clear();
+        resolve_missing(*e, capacity, mode, specs);
         ++hits_;
         return e;
       }
     }
     ++misses_;
     auto entry = std::make_shared<Entry>(target, std::move(packed));
-    resolve_tuning(*entry, capacity, mode);
+    resolve_missing(*entry, capacity, mode, specs);
     bucket.push_back(entry);
     return entry;
   }
@@ -122,18 +152,24 @@ class SystemCache {
   }
 
  private:
-  /// One scratch single-tenant evaluator resolves the launch geometry
-  /// through the global autotuner; later same-structure constructions
-  /// (and every multi-tenant evaluator pinned from this entry) skip the
-  /// probe.
-  static void resolve_tuning(Entry& entry, unsigned capacity,
-                             tune::TuningMode mode) {
-    simt::Device probe;  // scratch: the measured probe builds its own anyway
-    typename core::FusedGpuEvaluator<S>::Options opts;
-    opts.tuning = mode;
-    core::FusedGpuEvaluator<S> scratch(probe, entry.system, capacity, opts);
-    entry.tuned_block = scratch.options().block_size;
-    entry.tuned_interchange = scratch.options().interchange;
+  /// Resolve geometry for every spec in `specs` the entry does not
+  /// already cover, one scratch single-tenant evaluator per DISTINCT
+  /// uncovered spec -- probed on a device of that spec, so no shard
+  /// inherits another geometry's winner.  Later same-structure
+  /// constructions (and every multi-tenant evaluator pinned from this
+  /// entry) skip the probe.
+  static void resolve_missing(Entry& entry, unsigned capacity,
+                              tune::TuningMode mode,
+                              std::span<const simt::DeviceSpec> specs) {
+    for (const auto& spec : specs) {
+      if (entry.geometry_for(spec) != nullptr) continue;  // covered (dedups too)
+      simt::Device probe(spec);  // scratch: the measured probe builds its own anyway
+      typename core::FusedGpuEvaluator<S>::Options opts;
+      opts.tuning = mode;
+      core::FusedGpuEvaluator<S> scratch(probe, entry.system, capacity, opts);
+      entry.geometries.push_back(
+          {spec, scratch.options().block_size, scratch.options().interchange});
+    }
     entry.tuned_capacity = capacity;
     entry.tuned_mode = mode;
   }

@@ -11,9 +11,19 @@
 /// launches on different devices proceed concurrently without sharing a
 /// single pool's submission lock.
 ///
+/// Fleets need not be uniform: the per-spec constructor builds one
+/// device per `DeviceSpec`, and `throughput_weight()` exposes each
+/// device's modeled speed (shader clock x cores, normalized so the
+/// fastest device weighs 1.0) -- the quantity every
+/// heterogeneity-aware placement decision in the stack divides by.
+/// Weights only ever shape PLACEMENT and the modeled clock; a point's
+/// arithmetic is device-independent, so no weight can move an endpoint
+/// bit.
+///
 /// Device is intentionally non-movable (it owns mutexes and worker
 /// threads), so the registry holds stable unique_ptr slots.
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -30,11 +40,29 @@ class DeviceRegistry {
   /// near the host core count (the +1 is the shard's manager thread,
   /// which participates in its device pool's drains).
   explicit DeviceRegistry(unsigned count, DeviceSpec spec = DeviceSpec::tesla_c2050(),
+                          unsigned workers_per_device = 1)
+      : DeviceRegistry(std::vector<DeviceSpec>(count, spec), workers_per_device) {}
+
+  /// Heterogeneous fleet: one device per spec, in order.  Mixed specs
+  /// are first-class -- the schedulers read `throughput_weight()` so a
+  /// half-clock card is given half the work instead of dragging the
+  /// fleet's makespan to its pace.
+  explicit DeviceRegistry(std::vector<DeviceSpec> specs,
                           unsigned workers_per_device = 1) {
-    if (count == 0) throw std::invalid_argument("DeviceRegistry: zero devices");
-    devices_.reserve(count);
-    for (unsigned i = 0; i < count; ++i)
-      devices_.push_back(std::make_unique<Device>(spec, workers_per_device));
+    if (specs.empty()) throw std::invalid_argument("DeviceRegistry: zero devices");
+    devices_.reserve(specs.size());
+    for (auto& spec : specs)
+      devices_.push_back(std::make_unique<Device>(std::move(spec), workers_per_device));
+    double max_raw = 0.0;
+    weights_.reserve(devices_.size());
+    for (const auto& d : devices_) {
+      const double raw = d->spec().modeled_throughput();
+      if (!(raw > 0.0))
+        throw std::invalid_argument("DeviceRegistry: spec with zero throughput");
+      weights_.push_back(raw);
+      max_raw = std::max(max_raw, raw);
+    }
+    for (double& w : weights_) w /= max_raw;
   }
 
   [[nodiscard]] unsigned size() const noexcept {
@@ -42,6 +70,30 @@ class DeviceRegistry {
   }
   [[nodiscard]] Device& device(unsigned i) { return *devices_[i]; }
   [[nodiscard]] const Device& device(unsigned i) const { return *devices_[i]; }
+  [[nodiscard]] const DeviceSpec& spec(unsigned i) const {
+    return devices_[i]->spec();
+  }
+
+  /// Modeled relative speed of device `d`: shader clock x core count,
+  /// normalized so the fastest device in the fleet weighs exactly 1.0.
+  /// Monotone in clock x cores, so weight ordering always matches the
+  /// spec ordering.  The measured refinement (tune::fleet_weights)
+  /// replaces this estimate with 1 / measured-kernel-us once the
+  /// autotuner has probed every spec in the fleet.
+  [[nodiscard]] double throughput_weight(unsigned d) const {
+    return weights_[d];
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Whether any two devices differ in spec (the cue for the weighted
+  /// schedules; a uniform fleet keeps the historical balanced paths).
+  [[nodiscard]] bool heterogeneous() const {
+    for (unsigned i = 1; i < size(); ++i)
+      if (!(devices_[i]->spec() == devices_[0]->spec())) return true;
+    return false;
+  }
 
   /// Clear every device's launch log (capacity kept, as Device::clear_log).
   void clear_logs() {
@@ -58,6 +110,7 @@ class DeviceRegistry {
 
  private:
   std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<double> weights_;  ///< modeled, fastest == 1.0
 };
 
 }  // namespace polyeval::simt

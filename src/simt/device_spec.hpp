@@ -32,13 +32,36 @@ struct DeviceSpec {
   unsigned global_transaction_bytes = 128;  ///< coalesced segment size
   double core_clock_mhz = 1147.0;
 
+  friend bool operator==(const DeviceSpec&, const DeviceSpec&) = default;
+
   [[nodiscard]] unsigned total_cores() const noexcept {
     return multiprocessors * cores_per_sm;
   }
   [[nodiscard]] double clock_hz() const noexcept { return core_clock_mhz * 1.0e6; }
 
+  /// Modeled raw throughput: shader clock x core count, the product the
+  /// heterogeneity-aware schedulers derive placement weights from (a
+  /// device with half the clock or half the SMs earns half the chunks).
+  /// Purely modeled -- never feeds arithmetic, so placement derived from
+  /// it cannot move an endpoint bit.
+  [[nodiscard]] double modeled_throughput() const noexcept {
+    return clock_hz() * static_cast<double>(total_cores());
+  }
+
   /// The paper's card.
   [[nodiscard]] static DeviceSpec tesla_c2050() { return {}; }
+
+  /// A derated variant for mixed-fleet tests and benches: the same
+  /// geometry at `factor` times the shader clock (0 < factor <= 1
+  /// models an older/thermally-limited card; the timing model scales
+  /// kernel compute time by 1/factor while fixed launch and PCIe costs
+  /// stay put, exactly how a slow card drags a real fleet).
+  [[nodiscard]] DeviceSpec derated(double factor, std::string renamed) const {
+    DeviceSpec spec = *this;
+    spec.core_clock_mhz *= factor;
+    spec.name = std::move(renamed);
+    return spec;
+  }
 };
 
 /// Static properties of the sequential baseline processor.

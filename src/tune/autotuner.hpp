@@ -34,6 +34,7 @@
 /// results are bitwise identical by the repo's layout/block-size/
 /// stream invariants, pinned in tests/test_tune.cpp.
 
+#include <algorithm>
 #include <cstddef>
 #include <mutex>
 #include <optional>
@@ -134,6 +135,18 @@ class Autotuner {
   [[nodiscard]] TuneCache& cache() noexcept { return cache_; }
   [[nodiscard]] const TuneCache& cache() const noexcept { return cache_; }
 
+  /// The memoized winner's modeled wall-clock for `key`, if a decision
+  /// exists -- the measurement the heterogeneity-aware schedulers refine
+  /// their clock-x-cores weight estimate with.  Never probes and never
+  /// bumps the hit/miss counters: a missing entry means "fall back to
+  /// the modeled estimate", not "go measure".
+  [[nodiscard]] std::optional<double> cached_modeled_us(const TuneKey& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const TuneDecision* hit = cache_.find(key);
+    if (hit == nullptr) return std::nullopt;
+    return hit->modeled_us;
+  }
+
   /// Cache-hit/miss counters since construction (test introspection).
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
@@ -168,5 +181,29 @@ class Autotuner {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
+
+/// Measured throughput weights for a fleet of specs: `make_key(spec)`
+/// names each device's kernel, and if EVERY spec has a memoized tuning
+/// decision the weights are 1 / measured-modeled-us, normalized so the
+/// fastest device weighs 1.0 (the same convention as the registry's
+/// modeled weights, so callers can swap one vector for the other).
+/// Returns nullopt when any spec is still unprobed -- a half-measured
+/// fleet would bias placement toward whichever device happened to probe
+/// first, so refinement is all-or-nothing.
+template <class MakeKey>
+[[nodiscard]] std::optional<std::vector<double>> measured_fleet_weights(
+    const Autotuner& tuner, std::span<const simt::DeviceSpec> specs,
+    MakeKey&& make_key) {
+  std::vector<double> weights(specs.size(), 0.0);
+  double max_w = 0.0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::optional<double> us = tuner.cached_modeled_us(make_key(specs[i]));
+    if (!us.has_value() || !(*us > 0.0)) return std::nullopt;
+    weights[i] = 1.0 / *us;
+    max_w = std::max(max_w, weights[i]);
+  }
+  for (double& w : weights) w /= max_w;
+  return weights;
+}
 
 }  // namespace polyeval::tune

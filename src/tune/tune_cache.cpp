@@ -233,6 +233,8 @@ bool TuneCache::save(const std::string& path) const {
         .field("chunk", key.chunk)
         .field("scalar_width", key.scalar_width)
         .field("multiprocessors", key.multiprocessors)
+        .field("cores_per_sm", key.cores_per_sm)
+        .field("core_clock_mhz", key.core_clock_mhz)
         .field("warp_size", key.warp_size)
         .field("max_threads_per_block", key.max_threads_per_block)
         .field("max_blocks_per_sm", key.max_blocks_per_sm)
@@ -294,6 +296,8 @@ TuneCache::LoadResult TuneCache::load(const std::string& path) {
         read_u32(e, "batch", key.batch) && read_u32(e, "chunk", key.chunk) &&
         read_u32(e, "scalar_width", key.scalar_width) &&
         read_u32(e, "multiprocessors", key.multiprocessors) &&
+        read_u32(e, "cores_per_sm", key.cores_per_sm) &&
+        read_f64(e, "core_clock_mhz", key.core_clock_mhz) &&
         read_u32(e, "warp_size", key.warp_size) &&
         read_u32(e, "max_threads_per_block", key.max_threads_per_block) &&
         read_u32(e, "max_blocks_per_sm", key.max_blocks_per_sm) &&

@@ -3,18 +3,25 @@
 /// \file tune_key.hpp
 /// Cache key and decision record of the measured autotuner.
 ///
-/// A TuneKey names everything that changes which launch geometry wins:
-/// the evaluator schedule (fused one-block-per-point, the three-kernel
-/// batch grid, or the stream-pipelined micro-chunk walk), the system
-/// structure (n, m, k, d) -- NOT its coefficients, which cannot move a
-/// memory access -- the batch/chunk shape the grid is built from, the
-/// scalar width (wider software arithmetic changes both the bytes per
-/// element and the issue-cycle balance of the timing model), and the
-/// geometry of the owning DeviceSpec (SM count, residency limits,
-/// shared capacity, warp and segment sizes).  Two evaluators with equal
-/// keys launch statistically identical kernels, so one measured
-/// decision serves both; anything that would change the statistics is
-/// IN the key.
+/// A TuneKey names everything that changes which launch geometry wins
+/// OR what the memoized measurement reads: the evaluator schedule
+/// (fused one-block-per-point, the three-kernel batch grid, or the
+/// stream-pipelined micro-chunk walk), the system structure
+/// (n, m, k, d) -- NOT its coefficients, which cannot move a memory
+/// access -- the batch/chunk shape the grid is built from, the scalar
+/// width (wider software arithmetic changes both the bytes per element
+/// and the issue-cycle balance of the timing model), and the FULL
+/// compute identity of the owning DeviceSpec: geometry (SM count,
+/// cores per SM, residency limits, shared capacity, warp and segment
+/// sizes) AND the shader clock.  The clock cannot change which
+/// candidate wins (it scales every candidate equally), but the cached
+/// decision's `modeled_us` scales with it -- and the heterogeneous
+/// fleet weights divide by exactly that number -- so a half-clock
+/// derate of the same geometry must NOT alias the full-clock entry.
+/// Two evaluators with equal keys launch statistically identical
+/// kernels at the same modeled speed, so one measured decision serves
+/// both; anything that would change the statistics or the measurement
+/// is IN the key.
 ///
 /// structure_hash() folds the key and a schema version into an FNV-1a
 /// hash.  Persisted cache entries carry the hash next to the fields it
@@ -23,6 +30,7 @@
 /// (or hand-edited keys) silently fall back to a fresh measurement
 /// instead of replaying a decision made for different code.
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -54,7 +62,7 @@ enum class TunedSchedule : unsigned {
 /// Bump when the key fields, the candidate set, or the scoring model
 /// change shape: every persisted hash goes stale at once and the cache
 /// re-measures instead of replaying outdated winners.
-inline constexpr std::uint64_t kTuneSchemaVersion = 1;
+inline constexpr std::uint64_t kTuneSchemaVersion = 2;
 
 struct TuneKey {
   TunedSchedule schedule = TunedSchedule::kFused;
@@ -67,9 +75,12 @@ struct TuneKey {
   /// Hardware doubles per real scalar: 1 double, 2 double-double,
   /// 4 quad-double.
   unsigned scalar_width = 1;
-  // DeviceSpec geometry (everything the statistics or feasibility of a
-  // candidate can depend on).
+  // DeviceSpec compute identity (everything the statistics, the
+  // feasibility, or the memoized modeled_us of a candidate can depend
+  // on).
   unsigned multiprocessors = 0;
+  unsigned cores_per_sm = 0;
+  double core_clock_mhz = 0.0;
   unsigned warp_size = 0;
   unsigned max_threads_per_block = 0;
   unsigned max_blocks_per_sm = 0;
@@ -94,7 +105,9 @@ struct TuneKey {
     mix(static_cast<std::uint64_t>(schedule));
     mix(n); mix(m); mix(k); mix(d);
     mix(batch); mix(chunk); mix(scalar_width);
-    mix(multiprocessors); mix(warp_size); mix(max_threads_per_block);
+    mix(multiprocessors); mix(cores_per_sm);
+    mix(std::bit_cast<std::uint64_t>(core_clock_mhz));
+    mix(warp_size); mix(max_threads_per_block);
     mix(max_blocks_per_sm); mix(max_threads_per_sm);
     mix(shared_memory_per_block); mix(shared_banks);
     mix(global_transaction_bytes);
@@ -114,6 +127,8 @@ struct TuneKey {
     key.chunk = chunk;
     key.scalar_width = scalar_width;
     key.multiprocessors = spec.multiprocessors;
+    key.cores_per_sm = spec.cores_per_sm;
+    key.core_clock_mhz = spec.core_clock_mhz;
     key.warp_size = spec.warp_size;
     key.max_threads_per_block = spec.max_threads_per_block;
     key.max_blocks_per_sm = spec.max_blocks_per_sm;

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "core/multitenant_evaluator.hpp"
@@ -46,6 +50,37 @@ homotopy::SolveSummary<double> standalone(const poly::PolynomialSystem& sys,
   auto legacy = opt.to_sharded();
   legacy.backend = homotopy::ShardEvalBackend::kPipelined;
   return homotopy::solve_total_degree_sharded<double>(sys, legacy);
+}
+
+/// Parses the Prometheus exposition text for one histogram family and
+/// returns its p99 as the upper bound of the bucket containing the
+/// 99th-percentile observation (cumulative `le` semantics).  This is
+/// the same quantile a scrape-side `histogram_quantile` would report,
+/// so gating on it exercises the surface operators actually watch.
+double histogram_p99_from_exposition(const std::string& text,
+                                     const std::string& family) {
+  const std::string prefix = family + "_bucket{le=\"";
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::pair<double, std::uint64_t>> cumulative;  // (bound, count<=)
+  std::uint64_t total = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t close = line.find('"', prefix.size());
+    const std::string le = line.substr(prefix.size(), close - prefix.size());
+    const double bound = le == "+Inf"
+                             ? std::numeric_limits<double>::infinity()
+                             : std::stod(le);
+    const std::uint64_t cum = std::stoull(line.substr(line.find('}') + 1));
+    cumulative.emplace_back(bound, cum);
+    total = std::max(total, cum);
+  }
+  if (total == 0) return 0.0;
+  const auto need = static_cast<std::uint64_t>(
+      std::ceil(0.99 * static_cast<double>(total)));
+  for (const auto& [bound, cum] : cumulative)
+    if (cum >= std::max<std::uint64_t>(need, 1)) return bound;
+  return std::numeric_limits<double>::infinity();
 }
 
 void expect_paths_bitwise_equal(const std::vector<homotopy::TrackResult<double>>& a,
@@ -295,6 +330,121 @@ TEST(SolveService, StealsLivePathsIntoIdleShards) {
 
   EXPECT_GE(svc.stats().live_steals, 1u);
   expect_paths_bitwise_equal(t.report().paths, standalone(sys, opt).paths);
+}
+
+TEST(SolveService, FairnessLetsSmallRequestsFinishPastAHugeOne) {
+  // The starvation scenario the fairness knob exists for: one huge
+  // request and a chain of small ones share a group with scarce slots
+  // (2 shards x 2) and scarce tenants (2).  FIFO fill parks every
+  // small-request path behind the huge run's backlog, so the smalls
+  // complete (and release their tenant to the next small) only near
+  // the end of the huge solve.  Deficit-round-robin fill interleaves
+  // them, so the last small finishes strictly earlier -- a
+  // deterministic tick-count gate -- and the operator-visible
+  // queue-wall p99 (existing obs histogram) must not get worse.
+  // Endpoints stay bitwise equal either way: fairness shapes placement
+  // order, never arithmetic.
+  const auto huge_sys = small_system(7);
+  const auto small_sys = small_system(4242);
+  const auto huge_opt = small_options(48);
+  const auto small_opt = small_options(2);
+  constexpr std::size_t kSmalls = 4;
+
+  struct Outcome {
+    std::uint64_t last_small_done_tick = 0;
+    double queue_wall_p99 = 0.0;
+  };
+  const auto run = [&](std::uint64_t fairness) {
+    service::SolveService<double>::Config config;
+    config.shards = 2;
+    config.slots_per_shard = 2;
+    config.max_tenants = 2;
+    config.fairness = fairness;
+    service::SolveService<double> svc(std::move(config));
+
+    auto huge = svc.submit({huge_sys, huge_opt, {}, 0, 0.0});
+    std::array<service::SolveTicket<double>, kSmalls> smalls;
+    for (auto& t : smalls) t = svc.submit({small_sys, small_opt, {}, 0, 0.0});
+    EXPECT_TRUE(huge.admitted());
+    for (auto& t : smalls) EXPECT_TRUE(t.admitted());
+
+    Outcome out;
+    std::array<std::uint64_t, kSmalls> done_tick{};
+    std::uint64_t tick = 0;
+    bool more = true;
+    while (more) {
+      more = svc.step();
+      ++tick;
+      for (std::size_t i = 0; i < kSmalls; ++i)
+        if (done_tick[i] == 0 && smalls[i].done()) done_tick[i] = tick;
+    }
+    EXPECT_TRUE(huge.done());
+    for (std::size_t i = 0; i < kSmalls; ++i) {
+      EXPECT_TRUE(smalls[i].done());
+      out.last_small_done_tick =
+          std::max(out.last_small_done_tick, done_tick[i]);
+    }
+    // The premise: the huge request really dwarfs the smalls, so FIFO
+    // has something to starve them behind.
+    EXPECT_GE(huge.report().attempted, 16u);
+
+    expect_paths_bitwise_equal(huge.report().paths,
+                               standalone(huge_sys, huge_opt).paths);
+    expect_paths_bitwise_equal(smalls[0].report().paths,
+                               standalone(small_sys, small_opt).paths);
+
+    std::ostringstream os;
+    svc.metrics().expose(os);
+    out.queue_wall_p99 = histogram_p99_from_exposition(
+        os.str(), "polyeval_request_queue_wall_us");
+    return out;
+  };
+
+  const Outcome fifo = run(0);
+  const Outcome fair = run(1);
+  EXPECT_LT(fair.last_small_done_tick, fifo.last_small_done_tick)
+      << "deficit-round-robin fill must retire the small requests "
+         "strictly before FIFO fill does";
+  EXPECT_LE(fair.queue_wall_p99, fifo.queue_wall_p99)
+      << "fairness must not worsen the queue-wall p99 the obs "
+         "histogram reports";
+}
+
+TEST(SolveService, HeterogeneousFleetKeepsBitwiseParityAndChargesEveryDevice) {
+  // A 2x-asymmetric fleet through the service front door: weights come
+  // out 1.0 / 0.5, endpoints stay bitwise equal to the standalone
+  // solve (weighted placement moves paths, never arithmetic), and the
+  // per-device busy ledger shows both devices actually worked.
+  const auto sys = small_system(99);
+  const auto opt = small_options(6);
+
+  service::SolveService<double>::Config config;
+  config.specs = {simt::DeviceSpec::tesla_c2050(),
+                  simt::DeviceSpec::tesla_c2050().derated(
+                      0.5, "half-clock C2050 (simulated)")};
+  service::SolveService<double> svc(std::move(config));
+
+  ASSERT_EQ(svc.weights().size(), 2u);
+  EXPECT_DOUBLE_EQ(svc.weights()[0], 1.0);
+  EXPECT_DOUBLE_EQ(svc.weights()[1], 0.5);
+
+  auto t = svc.submit({sys, opt, {}, 0, 0.0});
+  ASSERT_TRUE(t.admitted());
+  svc.drain();
+  ASSERT_TRUE(t.done());
+
+  expect_paths_bitwise_equal(t.report().paths, standalone(sys, opt).paths);
+
+  const auto stats = svc.stats();
+  ASSERT_EQ(stats.device_busy_us.size(), 2u);
+  EXPECT_GT(stats.device_busy_us[0], 0.0)
+      << "the fast device never ran a round";
+  EXPECT_GT(stats.device_busy_us[1], 0.0)
+      << "weighted fill starved the slow device entirely";
+  // Weighted fill biases toward the fast device: it must carry at
+  // least as much modeled busy time as the half-clock one earns
+  // credit for.
+  EXPECT_GE(stats.device_busy_us[0], stats.device_busy_us[1] * 0.5);
 }
 
 TEST(SolveService, AsyncSubmitPollCancelFromClientThreads) {
