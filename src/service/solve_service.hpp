@@ -65,12 +65,14 @@
 #include <thread>
 #include <vector>
 
+#include "audit/kernel_auditor.hpp"
 #include "homotopy/batch_tracker.hpp"
 #include "homotopy/homogenize.hpp"
 #include "homotopy/solver.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "poly/random_system.hpp"
 #include "service/multitenant_homotopy.hpp"
 #include "service/request.hpp"
 #include "service/system_cache.hpp"
@@ -104,6 +106,13 @@ struct ServiceStats {
   std::vector<double> device_busy_us;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// New SystemCache entries whose first launch ran under the kernel
+  /// auditor (Config::audit_new_systems), and the findings they raised.
+  std::uint64_t audited_systems = 0;
+  std::uint64_t audit_findings = 0;
+  /// Most kernel launches one device log held at a settle fold: the
+  /// steady-state capacity the per-tick clear_log keeps warm.
+  std::uint64_t log_kernel_watermark = 0;
 };
 
 template <prec::RealScalar S>
@@ -140,6 +149,12 @@ class SolveService {
     /// Injectable SystemCache hash (tests force collisions).
     typename SystemCache<S>::Hasher hasher = {};
     simt::GpuCostModel cost = {};
+    /// Run the first launch of each newly cached SystemCache entry
+    /// under audit::KernelAuditor on a scratch device (initcheck, OOB,
+    /// synccheck, determinism).  An admission-time one-off per distinct
+    /// system; steady-state launches stay uninstrumented and findings
+    /// are advisory (counted in ServiceStats / metrics, never thrown).
+    bool audit_new_systems = false;
     /// Lifecycle tracing depth (obs::Tracer).  kOff -- the default --
     /// records nothing and adds no allocations or launches; the
     /// metrics registry is always on (its steady-state cost is relaxed
@@ -158,6 +173,7 @@ class SolveService {
       pool_.emplace(registry_.size() - 1);
     device_charge_.assign(registry_.size(), 0.0);
     device_busy_us_.assign(registry_.size(), 0.0);
+    device_log_watermark_.assign(registry_.size(), 0);
     fleet_spec_list_ = registry_spec_list();
     tracer_.set_devices(registry_.size());
     tracker_metrics_ = obs::TrackerMetrics::from_registry(metrics_);
@@ -437,6 +453,7 @@ class SolveService {
     if (req.options.tracking.mode != solve::TrackMode::kLockstep ||
         req.options.sharding.backend != solve::EvalBackend::kFused)
       return AdmissionVerdict::kInvalid;
+    const std::size_t misses_before = cache_.misses();
     try {
       item.entry = cache_.lookup(
           req.target, config_.lockstep_batch, req.options.tuning.mode,
@@ -444,6 +461,8 @@ class SolveService {
     } catch (const std::exception&) {
       return AdmissionVerdict::kInvalid;  // non-uniform / degenerate system
     }
+    if (config_.audit_new_systems && cache_.misses() != misses_before)
+      audit_new_entry(*item.entry);
     const unsigned n = req.target.dimension();
     if (req.start) {
       if (req.start->system.degrees() != req.target.degrees())
@@ -464,6 +483,39 @@ class SolveService {
     if (queued_.size() >= config_.max_queued)
       return AdmissionVerdict::kQueueFull;
     return AdmissionVerdict::kAdmitted;
+  }
+
+  /// One audited launch of the production fused kernel for a system the
+  /// cache has never seen, on a scratch device with the entry's tuned
+  /// geometry pinned.  Advisory: findings land in stats and metrics,
+  /// and no failure here may reject the request.
+  void audit_new_entry(const typename SystemCache<S>::Entry& entry) {
+    try {
+      simt::Device probe(fleet_spec_list_.empty() ? config_.spec
+                                                  : fleet_spec_list_[0]);
+      audit::KernelAuditor auditor;
+      auditor.attach(probe);
+      typename core::FusedGpuEvaluator<S>::Options opts;
+      if (const auto* geom = entry.geometry_for(probe.spec())) {
+        opts.block_size = geom->block;
+        opts.interchange = geom->interchange;
+      }
+      opts.tuning = tune::TuningMode::kHeuristic;
+      core::FusedGpuEvaluator<S> ev(probe, entry.system, /*batch_capacity=*/1,
+                                    opts);
+      std::vector<std::vector<C>> points{
+          poly::make_random_point<S>(ev.dimension(), 0x5eedu)};
+      std::vector<poly::EvalResult<S>> out(1, poly::EvalResult<S>(ev.dimension()));
+      auditor.begin_epoch();
+      ev.evaluate_range(points, 0, 1, std::span<poly::EvalResult<S>>(out));
+      ++stats_.audited_systems;
+      stats_.audit_findings += auditor.total_findings();
+      inst_.audited_systems->inc();
+      inst_.audit_findings->inc(auditor.total_findings());
+      auditor.detach();
+    } catch (const std::exception&) {
+      // Advisory pass: a scratch-device failure must not affect admission.
+    }
   }
 
   void reject_counter(AdmissionVerdict v) {
@@ -935,6 +987,12 @@ class SolveService {
           tracer_.add_device_slice(d, obs::Tracer::DeviceSlice::kCompute,
                                    "compute", compute_start, cursor, 0);
         charge += simt::estimate_log_us(log, dev.spec(), config_.cost);
+        // Watermark BEFORE the clear: clear_log keeps the vectors'
+        // capacity, so the high-water mark is exactly the steady-state
+        // memory the log pins (test_service_steady_state.cpp holds the
+        // service to zero allocations once this plateaus).
+        device_log_watermark_[d] =
+            std::max(device_log_watermark_[d], log.kernels.size());
         dev.clear_log();
       };
       settle();  // tenant installs / evaluator builds since last tick
@@ -973,7 +1031,13 @@ class SolveService {
     for (unsigned d = 0; d < registry_.size(); ++d) {
       device_busy_us_[d] += device_charge_[d];
       inst_.device_busy_us[d]->add(device_charge_[d]);
+      // Fold the per-device log watermarks (written on the pool threads,
+      // ordered by the parallel_for join) into the service-wide stat.
+      stats_.log_kernel_watermark =
+          std::max<std::uint64_t>(stats_.log_kernel_watermark,
+                                  device_log_watermark_[d]);
     }
+    inst_.log_watermark->set(static_cast<double>(stats_.log_kernel_watermark));
 
     for (unsigned d = 0; d < registry_.size(); ++d) {
       scratch_device_runs_.clear();
@@ -1111,6 +1175,9 @@ class SolveService {
     obs::Gauge* cache_misses = nullptr;
     obs::Gauge* tune_hits = nullptr;
     obs::Gauge* tune_misses = nullptr;
+    obs::Counter* audited_systems = nullptr;
+    obs::Counter* audit_findings = nullptr;
+    obs::Gauge* log_watermark = nullptr;
     obs::Histogram* queue_wall_us = nullptr;
     /// Per device index: modeled busy µs and utilization fraction.
     std::vector<obs::FloatCounter*> device_busy_us;
@@ -1166,6 +1233,15 @@ class SolveService {
         &r.gauge("polyeval_tune_cache_hits", "global TuneCache hits");
     inst_.tune_misses =
         &r.gauge("polyeval_tune_cache_misses", "global TuneCache misses");
+    inst_.audited_systems =
+        &r.counter("polyeval_audited_systems_total",
+                   "new SystemCache entries audited at admission");
+    inst_.audit_findings =
+        &r.counter("polyeval_audit_findings_total",
+                   "kernel auditor findings across admission audits");
+    inst_.log_watermark =
+        &r.gauge("polyeval_device_log_kernel_watermark",
+                 "most kernel launches one device log held at a settle");
     static constexpr std::array<double, 6> kQueueBounds = {
         100.0, 1e3, 1e4, 1e5, 1e6, 1e7};
     inst_.queue_wall_us =
@@ -1214,6 +1290,9 @@ class SolveService {
 
   std::vector<double> device_charge_;
   std::vector<double> device_busy_us_;  ///< summed charges per device
+  /// Per-device log high-water marks (kernels per settle); each element
+  /// is only touched by its device's tick thread, folded in settle_tick.
+  std::vector<std::size_t> device_log_watermark_;
   std::vector<simt::DeviceSpec> fleet_spec_list_;  ///< registry order
   std::vector<void*> scratch_device_runs_, scratch_round_runs_;
   ServiceStats stats_;

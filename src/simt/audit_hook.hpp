@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file audit_hook.hpp
+/// The engine-side instrumentation interface of the kernel access
+/// auditor (the cuda-memcheck initcheck/synccheck analogue).
+///
+/// An AccessAudit attached to a LaunchConfig (usually injected by
+/// Device::set_audit) observes every memory access a kernel issues,
+/// with full provenance: which block/phase/warp/lane/thread issued it,
+/// which allocation owns the address, and the originating buffer's
+/// extent.  The boolean return of the access hooks lets an auditor
+/// *squash* an access it has flagged -- a squashed load yields T{} and
+/// a squashed store is dropped -- so an out-of-bounds fixture can be
+/// executed to completion without the simulator itself committing the
+/// out-of-bounds host access it is reporting.
+///
+/// Audited launches run serially on the calling thread (see
+/// run_kernel), so implementations need no locking and observe
+/// accesses in deterministic program order: blocks ascending, phases
+/// in kernel order within a block, warps ascending within a phase,
+/// lanes ascending within a warp.
+///
+/// This header is deliberately free of any dependency on src/audit:
+/// the engine only knows the hook shape, the checkers live behind it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace polyeval::simt {
+
+/// Where an access came from, in kernel coordinates.
+struct AuditSite {
+  unsigned block = 0;
+  unsigned phase = 0;
+  unsigned warp = 0;
+  unsigned lane = 0;
+  unsigned thread = 0;  ///< thread index within the block
+};
+
+/// Observer for every access of an audited launch.  All access hooks
+/// return `true` to let the access proceed and `false` to squash it.
+class AccessAudit {
+ public:
+  virtual ~AccessAudit() = default;
+
+  /// A launch begins; accesses reported until end_launch belong to it.
+  virtual void begin_launch(std::string_view kernel, unsigned grid_blocks,
+                            unsigned block_threads, std::size_t shared_bytes) = 0;
+  virtual void end_launch() = 0;
+
+  /// Global-memory access.  `buffer_address`/`buffer_bytes` describe
+  /// the GlobalBuffer the access was issued through, so an overrun is
+  /// checked against the *originating* buffer's extent -- an access
+  /// that lands inside a neighbouring allocation is still a finding.
+  virtual bool on_global_load(const AuditSite& site, std::uint64_t address,
+                              std::size_t bytes, std::uint64_t buffer_address,
+                              std::size_t buffer_bytes) = 0;
+  virtual bool on_global_store(const AuditSite& site, std::uint64_t address,
+                               std::size_t bytes, std::uint64_t buffer_address,
+                               std::size_t buffer_bytes) = 0;
+
+  /// Shared-memory access at `byte_offset` within the block's arena.
+  virtual bool on_shared_access(const AuditSite& site, std::size_t byte_offset,
+                                std::size_t bytes, bool is_write) = 0;
+
+  /// Constant-memory load through the named ConstantBuffer.
+  virtual bool on_constant_load(const AuditSite& site, std::string_view buffer,
+                                std::size_t byte_offset, std::size_t bytes,
+                                std::size_t buffer_bytes) = 0;
+
+  /// The thread at `site` declared itself inactive for this phase.
+  virtual void on_inactive(const AuditSite& site) = 0;
+
+  /// Host-side initialization of [address, address+bytes): upload,
+  /// fill, or an h2d stream copy.  Default no-op so the Device can
+  /// notify unconditionally.
+  virtual void on_host_write(std::uint64_t address, std::size_t bytes) {
+    (void)address;
+    (void)bytes;
+  }
+
+  /// Device::reset_memory discarded every allocation.
+  virtual void on_memory_reset() {}
+};
+
+}  // namespace polyeval::simt

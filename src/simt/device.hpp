@@ -60,11 +60,25 @@ class Device {
   }
   [[nodiscard]] std::size_t global_bytes_used() const noexcept { return global_.used(); }
 
+  /// The global-memory arena itself; the auditor resolves finding
+  /// addresses to allocation names through it.
+  [[nodiscard]] const GlobalMemory& global_memory() const noexcept { return global_; }
+
   /// Release all device allocations (between experiments).
   void reset_memory() {
     global_.reset();
     constant_.reset();
+    if (audit_ != nullptr) audit_->on_memory_reset();
   }
+
+  // -- access auditing ---------------------------------------------------
+  /// Attach an access auditor: every subsequent launch through this
+  /// device runs audited (serially), and host-side initialization
+  /// (upload / fill / h2d stream copies) is reported as provenance.
+  /// Pass nullptr to detach.  Attach the auditor *before* constructing
+  /// evaluators so construction-time uploads register as host-init.
+  void set_audit(AccessAudit* audit) noexcept { audit_ = audit; }
+  [[nodiscard]] AccessAudit* audit() const noexcept { return audit_; }
 
   // -- host <-> device transfers (tracked as PCIe traffic) --------------
   template <class T>
@@ -72,6 +86,8 @@ class Device {
     std::copy(host.begin(), host.end(), buf.raw());
     log_.transfers.bytes_to_device += host.size_bytes();
     ++log_.transfers.transfers_to_device;
+    if (audit_ != nullptr)
+      audit_->on_host_write(buf.device_address(), host.size_bytes());
   }
 
   template <class T>
@@ -85,6 +101,8 @@ class Device {
   template <class T>
   void fill(const GlobalBuffer<T>& buf, const T& value) {
     std::fill_n(buf.raw(), buf.size(), value);
+    if (audit_ != nullptr)
+      audit_->on_host_write(buf.device_address(), buf.size() * sizeof(T));
   }
 
   template <class T>
@@ -111,6 +129,13 @@ class Device {
   /// Launch through the device-owned engine scratch: after warm-up,
   /// repeated launches of same-shaped kernels do not allocate.
   KernelStats launch(const Kernel& kernel, const LaunchConfig& cfg) {
+    if (audit_ != nullptr && cfg.audit == nullptr) {
+      LaunchConfig audited = cfg;
+      audited.audit = audit_;
+      KernelStats stats = run_kernel(kernel, audited, spec_, pool_, scratch_);
+      log_.kernels.push_back(stats);
+      return stats;
+    }
     KernelStats stats = run_kernel(kernel, cfg, spec_, pool_, scratch_);
     log_.kernels.push_back(stats);
     return stats;
@@ -140,6 +165,7 @@ class Device {
   EngineScratch scratch_;
   LaunchLog log_;
   AsyncEngineClocks engines_;
+  AccessAudit* audit_ = nullptr;
 };
 
 }  // namespace polyeval::simt

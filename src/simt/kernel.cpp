@@ -9,25 +9,30 @@ namespace polyeval::simt {
 
 namespace detail {
 
-bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_write) {
+bool SharedRaceJournal::record(std::uint32_t word, unsigned thread, bool is_write,
+                               unsigned* other_thread) {
   auto& state = words[word];
   if (state.epoch != epoch) {
     state.epoch = epoch;
     state.thread = thread;
+    state.other = thread;
     state.written = is_write;
     state.multi_thread = false;
     return false;
   }
   if (state.thread != thread) {
     state.multi_thread = true;
+    state.other = thread;
     const bool hazard = is_write || state.written;
     state.written = state.written || is_write;
+    if (hazard && other_thread != nullptr) *other_thread = state.thread;
     return hazard;
   }
   // same thread touching a word other threads already read: hazardous
   // only if this is a write and someone else was involved
   const bool hazard = is_write && state.multi_thread;
   state.written = state.written || is_write;
+  if (hazard && other_thread != nullptr) *other_thread = state.other;
   return hazard;
 }
 
@@ -51,7 +56,8 @@ void GlobalRaceJournal::Shard::grow() {
 }
 
 bool GlobalRaceJournal::Shard::record_write(std::uint64_t address,
-                                            std::uint64_t global_thread) {
+                                            std::uint64_t global_thread,
+                                            std::uint64_t* other_thread) {
   const std::lock_guard lock(mutex);
   // Keep the load factor below 1/2 so probes stay short.
   if ((filled + 1) * 2 > slots.size()) grow();
@@ -65,7 +71,11 @@ bool GlobalRaceJournal::Shard::record_write(std::uint64_t address,
       ++filled;
       return false;
     }
-    if (slot.address == address) return slot.thread != global_thread;
+    if (slot.address == address) {
+      if (slot.thread == global_thread) return false;
+      if (other_thread != nullptr) *other_thread = slot.thread;
+      return true;
+    }
     i = (i + 1) & (slots.size() - 1);
   }
 }
@@ -202,7 +212,8 @@ struct BlockRunner {
     scratch.cmul_per_thread.assign(cfg.block_threads, 0);
     scratch.cadd_per_thread.assign(cfg.block_threads, 0);
 
-    for (const auto& phase : kernel.phases) {
+    for (unsigned phase_index = 0; phase_index < kernel.phases.size(); ++phase_index) {
+      const auto& phase = kernel.phases[phase_index];
       scratch.shared_races.clear();  // phases are barriers: accesses across them order
       for (unsigned warp_start = 0; warp_start < cfg.block_threads;
            warp_start += spec.warp_size) {
@@ -210,10 +221,11 @@ struct BlockRunner {
         const unsigned warp_end =
             std::min(warp_start + spec.warp_size, cfg.block_threads);
         for (unsigned t = warp_start; t < warp_end; ++t) {
-          ThreadContext ctx(block_index, t, cfg, spec, scratch.shared,
+          ThreadContext ctx(block_index, t, phase_index, cfg, spec, scratch.shared,
                             scratch.collector,
                             cfg.detect_races ? &scratch.shared_races : nullptr,
-                            cfg.detect_races ? global_races : nullptr);
+                            cfg.detect_races ? global_races : nullptr,
+                            cfg.detect_races ? &accum.first_hazard : nullptr);
           phase(ctx);
           scratch.cmul_per_thread[t] += ctx.cmul_;
           scratch.cadd_per_thread[t] += ctx.cadd_;
@@ -257,6 +269,8 @@ struct BlockRunner {
     totals.constant_reads += accum.constant_reads;
     totals.inactive_lane_phases += accum.inactive_lane_phases;
     totals.race_hazards += accum.race_hazards;
+    if (!totals.first_hazard.valid && accum.first_hazard.valid)
+      totals.first_hazard = accum.first_hazard;
   }
 };
 
@@ -282,19 +296,41 @@ KernelStats run_kernel(const Kernel& kernel, const LaunchConfig& cfg,
   // path skips even its 16 per-shard epoch bumps.
   if (cfg.detect_races) scratch.global_races.begin_launch();
   BlockRunner runner{kernel, cfg, spec, &scratch.global_races, {}, {}};
-  pool.parallel_for_ranges(
-      cfg.grid_blocks, pool.default_chunk(cfg.grid_blocks),
-      [&](unsigned participant, std::size_t begin, std::size_t end) {
-        runner.run_range(scratch.per_participant[participant], begin, end);
-      });
+  if (cfg.audit != nullptr) {
+    // Audited launches run serially on the calling thread: the auditor
+    // sees every access in deterministic program order (blocks, then
+    // phases, then warps, then lanes) and needs no locking.
+    cfg.audit->begin_launch(kernel.name, cfg.grid_blocks, cfg.block_threads,
+                            cfg.shared_bytes);
+    runner.run_range(scratch.per_participant[0], 0, cfg.grid_blocks);
+    cfg.audit->end_launch();
+  } else {
+    pool.parallel_for_ranges(
+        cfg.grid_blocks, pool.default_chunk(cfg.grid_blocks),
+        [&](unsigned participant, std::size_t begin, std::size_t end) {
+          runner.run_range(scratch.per_participant[participant], begin, end);
+        });
+  }
   for (const auto& bs : scratch.per_participant)
     scratch.observed_shape.merge(bs.collector);
 
-  if (cfg.detect_races && runner.totals.race_hazards > 0)
-    throw LaunchError(kernel.name + ": " +
+  if (cfg.detect_races && runner.totals.race_hazards > 0) {
+    std::string msg = kernel.name + ": " +
                       std::to_string(runner.totals.race_hazards) +
                       " race hazard(s): unordered same-phase accesses to a "
-                      "shared word or double-writes to a global address");
+                      "shared word or double-writes to a global address";
+    const auto& h = runner.totals.first_hazard;
+    if (h.valid) {
+      // Shared hazards report block-local thread indices; global hazards
+      // report launch-global thread indices.
+      msg += "; first hazard: phase " + std::to_string(h.phase) +
+             (h.shared ? ", block " + std::to_string(h.block) + ", shared word "
+                       : ", global address ") +
+             std::to_string(h.address) + ", threads " +
+             std::to_string(h.thread_a) + " and " + std::to_string(h.thread_b);
+    }
+    throw LaunchError(msg);
+  }
 
   const auto& t = runner.totals;
   KernelStats stats;

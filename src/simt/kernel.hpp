@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "simt/audit_hook.hpp"
 #include "simt/device_spec.hpp"
 #include "simt/memory.hpp"
 #include "simt/shared_memory.hpp"
@@ -46,6 +47,12 @@ struct LaunchConfig {
   /// barriers, so such accesses are unordered on real hardware.  Hazards
   /// throw LaunchError when enabled.
   bool detect_races = true;
+  /// Access auditor (the initcheck/synccheck analogue): when set, the
+  /// launch runs serially on the calling thread and every access is
+  /// reported to the hook, which may squash flagged accesses.  Devices
+  /// inject their attached auditor here (see Device::set_audit); tests
+  /// can also set it directly for one-off audited launches.
+  AccessAudit* audit = nullptr;
 };
 
 using Phase = std::function<void(ThreadContext&)>;
@@ -64,7 +71,8 @@ namespace detail {
 struct SharedRaceJournal {
   struct WordState {
     std::uint64_t epoch = 0;
-    unsigned thread = 0;
+    unsigned thread = 0;  ///< first accessor this epoch
+    unsigned other = 0;   ///< latest accessor that differed from `thread`
     bool written = false;
     bool multi_thread = false;
   };
@@ -77,8 +85,10 @@ struct SharedRaceJournal {
   }
 
   /// Record an access; returns true when it completes a hazard
-  /// (two distinct threads, at least one write).
-  bool record(std::uint32_t word, unsigned thread, bool is_write);
+  /// (two distinct threads, at least one write).  On a hazard,
+  /// `other_thread` (when non-null) receives the conflicting thread.
+  bool record(std::uint32_t word, unsigned thread, bool is_write,
+              unsigned* other_thread = nullptr);
   void clear() { ++epoch; }
 };
 
@@ -113,7 +123,10 @@ struct GlobalRaceJournal {
     std::mutex mutex;
 
     void begin_launch();
-    bool record_write(std::uint64_t address, std::uint64_t global_thread);
+    /// Returns true when `address` was already written by a different
+    /// thread this launch; `other_thread` then receives the prior writer.
+    bool record_write(std::uint64_t address, std::uint64_t global_thread,
+                      std::uint64_t* other_thread = nullptr);
 
    private:
     [[nodiscard]] std::size_t probe_start(std::uint64_t address) const noexcept {
@@ -129,8 +142,10 @@ struct GlobalRaceJournal {
   void begin_launch() {
     for (auto& shard : shards) shard.begin_launch();
   }
-  bool record_write(std::uint64_t address, std::uint64_t global_thread) {
-    return shards[shard_of(address)].record_write(address, global_thread);
+  bool record_write(std::uint64_t address, std::uint64_t global_thread,
+                    std::uint64_t* other_thread = nullptr) {
+    return shards[shard_of(address)].record_write(address, global_thread,
+                                                  other_thread);
   }
 
   /// Top bits of the same multiplicative mix the in-shard probe uses its
@@ -185,6 +200,18 @@ struct WarpCollector {
   void record_shared(std::size_t ordinal, std::uint32_t first_word, std::size_t words);
 };
 
+/// The first race hazard a launch hit, kept so the LaunchError can name
+/// the kernel phase, the contested word/address and both threads.
+struct RaceDetail {
+  bool valid = false;
+  bool shared = false;  ///< `address` is a shared word index, not global
+  std::uint64_t address = 0;
+  unsigned phase = 0;
+  unsigned block = 0;
+  std::uint64_t thread_a = 0;  ///< the access that completed the hazard
+  std::uint64_t thread_b = 0;  ///< the prior conflicting accessor
+};
+
 /// Per-block tallies, merged into the launch totals when the block retires.
 struct BlockAccum {
   std::uint64_t cmul = 0, cadd = 0;
@@ -195,6 +222,7 @@ struct BlockAccum {
   std::uint64_t constant_reads = 0;
   std::uint64_t inactive_lane_phases = 0;
   std::uint64_t race_hazards = 0;
+  RaceDetail first_hazard;
 };
 
 }  // namespace detail
@@ -261,15 +289,24 @@ class ThreadContext {
   /// A lane that has no work in this phase (e.g. threads beyond the first
   /// n in stage one of kernel one) calls this: it is the simulator's
   /// measure of SIMT divergence / idle lanes.
-  void mark_inactive() noexcept { ++inactive_; }
+  void mark_inactive() {
+    ++inactive_;
+    if (audit_ != nullptr) audit_->on_inactive(audit_site());
+  }
 
   // -- global memory ----------------------------------------------------
   template <class T>
   [[nodiscard]] T load(const GlobalBuffer<T>& buf, std::size_t i) {
-    collector_->record_global(false, load_ord_++,
-                              buf.device_address() + i * sizeof(T), sizeof(T),
+    const std::uint64_t address = buf.device_address() + i * sizeof(T);
+    collector_->record_global(false, load_ord_++, address, sizeof(T),
                               spec_->global_transaction_bytes);
     load_bytes_ += sizeof(T);
+    // The audit verdict gates the raw access: a squashed out-of-bounds
+    // load must never touch host memory past the allocation's storage.
+    if (audit_ != nullptr &&
+        !audit_->on_global_load(audit_site(), address, sizeof(T),
+                                buf.device_address(), buf.size() * sizeof(T)))
+      return T{};
     return buf.raw()[i];
   }
 
@@ -279,9 +316,17 @@ class ThreadContext {
     collector_->record_global(true, store_ord_++, address, sizeof(T),
                               spec_->global_transaction_bytes);
     store_bytes_ += sizeof(T);
-    if (global_races_ != nullptr &&
-        global_races_->record_write(address, global_thread_index()))
-      ++race_hazards_;
+    if (global_races_ != nullptr) {
+      std::uint64_t other = 0;
+      if (global_races_->record_write(address, global_thread_index(), &other)) {
+        ++race_hazards_;
+        note_race(false, address, global_thread_index(), other);
+      }
+    }
+    if (audit_ != nullptr &&
+        !audit_->on_global_store(audit_site(), address, sizeof(T),
+                                 buf.device_address(), buf.size() * sizeof(T)))
+      return;
     buf.raw()[i] = v;
   }
 
@@ -289,6 +334,10 @@ class ThreadContext {
   template <class T>
   [[nodiscard]] T load_constant(const ConstantBuffer<T>& buf, std::size_t i) {
     ++const_reads_;
+    if (audit_ != nullptr &&
+        !audit_->on_constant_load(audit_site(), buf.name(), i * sizeof(T),
+                                  sizeof(T), buf.size() * sizeof(T)))
+      return T{};
     return buf.raw()[i];
   }
 
@@ -297,12 +346,15 @@ class ThreadContext {
   class SharedView {
    public:
     [[nodiscard]] T get(std::size_t i) const {
-      ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T), false);
+      if (!ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T),
+                                      false))
+        return T{};
       return base_[i];
     }
     void set(std::size_t i, const T& v) const {
-      ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T), true);
-      base_[i] = v;
+      if (ctx_->record_shared_access(byte_offset_ + i * sizeof(T), sizeof(T),
+                                     true))
+        base_[i] = v;
     }
     [[nodiscard]] std::size_t size() const noexcept { return count_; }
 
@@ -325,16 +377,30 @@ class ThreadContext {
  private:
   friend struct BlockRunner;
 
-  ThreadContext(unsigned block, unsigned thread, const LaunchConfig& cfg,
-                const DeviceSpec& spec, SharedSpace& shared,
-                detail::WarpCollector& collector,
+  ThreadContext(unsigned block, unsigned thread, unsigned phase,
+                const LaunchConfig& cfg, const DeviceSpec& spec,
+                SharedSpace& shared, detail::WarpCollector& collector,
                 detail::SharedRaceJournal* shared_races,
-                detail::GlobalRaceJournal* global_races) noexcept
-      : block_(block), thread_(thread), cfg_(&cfg), spec_(&spec), shared_(&shared),
-        collector_(&collector), shared_races_(shared_races),
-        global_races_(global_races) {}
+                detail::GlobalRaceJournal* global_races,
+                detail::RaceDetail* race_detail) noexcept
+      : block_(block), thread_(thread), phase_(phase), cfg_(&cfg), spec_(&spec),
+        shared_(&shared), collector_(&collector), shared_races_(shared_races),
+        global_races_(global_races), race_detail_(race_detail),
+        audit_(cfg.audit) {}
 
-  void record_shared_access(std::size_t byte_offset, std::size_t bytes, bool is_write) {
+  [[nodiscard]] AuditSite audit_site() const noexcept {
+    return AuditSite{block_, phase_, warp(), lane(), thread_};
+  }
+
+  /// Keep the first hazard's coordinates for the LaunchError diagnostic.
+  void note_race(bool shared, std::uint64_t address, std::uint64_t thread_a,
+                 std::uint64_t thread_b) noexcept {
+    if (race_detail_ == nullptr || race_detail_->valid) return;
+    *race_detail_ = {true, shared, address, phase_, block_, thread_a, thread_b};
+  }
+
+  /// Returns false when an attached auditor squashed the access.
+  bool record_shared_access(std::size_t byte_offset, std::size_t bytes, bool is_write) {
     const auto first_word = static_cast<std::uint32_t>(byte_offset / spec_->shared_bank_width_bytes);
     const std::size_t words =
         (byte_offset % spec_->shared_bank_width_bytes + bytes +
@@ -343,21 +409,30 @@ class ThreadContext {
     collector_->record_shared(shared_ord_++, first_word, words);
     if (shared_races_ != nullptr) {
       for (std::size_t w = 0; w < words; ++w) {
+        unsigned other = 0;
         if (shared_races_->record(first_word + static_cast<std::uint32_t>(w), thread_,
-                                  is_write))
+                                  is_write, &other)) {
           ++race_hazards_;
+          note_race(true, first_word + w, thread_, other);
+        }
       }
     }
+    if (audit_ != nullptr)
+      return audit_->on_shared_access(audit_site(), byte_offset, bytes, is_write);
+    return true;
   }
 
   unsigned block_;
   unsigned thread_;
+  unsigned phase_;
   const LaunchConfig* cfg_;
   const DeviceSpec* spec_;
   SharedSpace* shared_;
   detail::WarpCollector* collector_;
   detail::SharedRaceJournal* shared_races_;
   detail::GlobalRaceJournal* global_races_;
+  detail::RaceDetail* race_detail_;
+  AccessAudit* audit_;
 
   std::size_t load_ord_ = 0, store_ord_ = 0, shared_ord_ = 0;
   std::uint64_t cmul_ = 0, cadd_ = 0;

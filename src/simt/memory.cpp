@@ -1,6 +1,22 @@
 #include "simt/memory.hpp"
 
+#include <algorithm>
+
 namespace polyeval::simt {
+
+const detail::Allocation* GlobalMemory::find(std::uint64_t address) const noexcept {
+  // Allocations are appended with strictly increasing addresses, so the
+  // owner (if any) is the last allocation starting at or before `address`.
+  const auto it = std::upper_bound(
+      allocations_.begin(), allocations_.end(), address,
+      [](std::uint64_t a, const std::unique_ptr<detail::Allocation>& alloc) {
+        return a < alloc->address;
+      });
+  if (it == allocations_.begin()) return nullptr;
+  const detail::Allocation* alloc = std::prev(it)->get();
+  if (address - alloc->address >= alloc->bytes) return nullptr;  // padding
+  return alloc;
+}
 
 detail::Allocation* GlobalMemory::allocate_raw(std::size_t bytes, std::string name) {
   const std::size_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;

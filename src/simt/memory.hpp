@@ -74,6 +74,12 @@ class GlobalMemory {
   [[nodiscard]] std::size_t used() const noexcept { return used_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Resolve a device address to its owning allocation, or nullptr when
+  /// it falls in alignment padding or unmapped space.  Addresses are
+  /// handed out monotonically, so this is a binary search -- cheap
+  /// enough for the auditor to name every finding's buffer.
+  [[nodiscard]] const detail::Allocation* find(std::uint64_t address) const noexcept;
+
   /// Release every allocation (buffers become dangling, as after device
   /// reset; only used between experiments).
   void reset() {
@@ -196,6 +202,9 @@ struct CopyCommand {
   const std::byte* src = nullptr;
   std::size_t bytes = 0;
   bool to_device = false;
+  /// Device address of the buffer side, so an attached access auditor
+  /// can register h2d copies as host initialization.
+  std::uint64_t device_address = 0;
 
   template <class T>
   [[nodiscard]] static CopyCommand h2d(const GlobalBuffer<T>& dst,
@@ -204,7 +213,8 @@ struct CopyCommand {
       throw DeviceError("CopyCommand: host range exceeds device buffer " +
                         dst.name());
     return {reinterpret_cast<std::byte*>(dst.raw()),
-            reinterpret_cast<const std::byte*>(src.data()), src.size_bytes(), true};
+            reinterpret_cast<const std::byte*>(src.data()), src.size_bytes(), true,
+            dst.device_address()};
   }
 
   template <class T>
@@ -214,7 +224,8 @@ struct CopyCommand {
       throw DeviceError("CopyCommand: host range exceeds device buffer " +
                         src.name());
     return {reinterpret_cast<std::byte*>(dst.data()),
-            reinterpret_cast<const std::byte*>(src.raw()), dst.size_bytes(), false};
+            reinterpret_cast<const std::byte*>(src.raw()), dst.size_bytes(), false,
+            src.device_address()};
   }
 
   void run() const {

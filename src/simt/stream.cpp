@@ -7,6 +7,8 @@ namespace polyeval::simt {
 void Stream::enqueue_copy(const CopyCommand& cmd) {
   cmd.run();  // eager host execution; modeled asynchrony below
   device_->note_transfer(cmd.to_device, cmd.bytes);
+  if (cmd.to_device && device_->audit() != nullptr)
+    device_->audit()->on_host_write(cmd.device_address, cmd.bytes);
 
   auto& engines = device_->engine_clocks();
   double& engine = cmd.to_device ? engines.h2d_ready_us : engines.d2h_ready_us;

@@ -1,0 +1,186 @@
+// Race journal semantics: SharedRaceJournal epoch/clear behaviour and
+// conflicting-thread reporting, GlobalRaceJournal shard growth and
+// cross-shard concurrent writes (the TSan CI leg exercises the
+// mutex-per-shard locking for real), and the enriched LaunchError a
+// detected race produces (kernel name, phase, both thread ids).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/kernel.hpp"
+
+namespace {
+
+using namespace polyeval::simt;
+
+TEST(SharedRaceJournal, WriteThenForeignReadIsHazardWithBothThreads) {
+  detail::SharedRaceJournal journal;
+  journal.prepare(8);
+  journal.clear();
+
+  EXPECT_FALSE(journal.record(3, /*thread=*/0, /*is_write=*/true));
+  unsigned other = ~0u;
+  EXPECT_TRUE(journal.record(3, /*thread=*/1, /*is_write=*/false, &other));
+  EXPECT_EQ(other, 0u);  // the conflicting first accessor
+}
+
+TEST(SharedRaceJournal, ReadersOnlyNeverHazardUntilAWriteArrives) {
+  detail::SharedRaceJournal journal;
+  journal.prepare(4);
+  journal.clear();
+
+  EXPECT_FALSE(journal.record(0, 0, false));
+  EXPECT_FALSE(journal.record(0, 1, false));
+  EXPECT_FALSE(journal.record(0, 2, false));
+  unsigned other = ~0u;
+  EXPECT_TRUE(journal.record(0, 3, true, &other));
+  EXPECT_NE(other, 3u);  // one of the earlier readers
+}
+
+TEST(SharedRaceJournal, ClearExpiresEntriesInConstantTime) {
+  detail::SharedRaceJournal journal;
+  journal.prepare(2);
+  journal.clear();
+
+  EXPECT_FALSE(journal.record(1, 0, true));
+  journal.clear();  // phase barrier: epoch bump, no table walk
+  // Same word, different thread, new epoch: no hazard -- the previous
+  // phase's write is ordered before this one by the barrier.
+  EXPECT_FALSE(journal.record(1, 1, true));
+  journal.clear();
+  // Same-thread accesses never conflict with themselves either.
+  EXPECT_FALSE(journal.record(1, 7, true));
+  EXPECT_FALSE(journal.record(1, 7, false));
+}
+
+TEST(GlobalRaceJournal, ShardGrowsPastInitialCapacityWithoutFalseHazards) {
+  detail::GlobalRaceJournal::Shard shard;
+  shard.begin_launch();
+  // 1000 distinct addresses from one thread: more than the 256 initial
+  // slots, so the open-addressing table must grow (and rehash) at least
+  // twice without inventing a hazard.
+  for (std::uint64_t a = 0; a < 1000; ++a)
+    EXPECT_FALSE(shard.record_write(0x1000 + a * 8, /*global_thread=*/0));
+  // Re-writing every address from the SAME thread stays clean.
+  for (std::uint64_t a = 0; a < 1000; ++a)
+    EXPECT_FALSE(shard.record_write(0x1000 + a * 8, 0));
+  // A second thread hitting an existing address is the hazard, and the
+  // out-param names the prior writer.
+  std::uint64_t other = ~0ull;
+  EXPECT_TRUE(shard.record_write(0x1000 + 500 * 8, 1, &other));
+  EXPECT_EQ(other, 0u);
+}
+
+TEST(GlobalRaceJournal, BeginLaunchExpiresPreviousLaunchWrites) {
+  detail::GlobalRaceJournal journal;
+  journal.begin_launch();
+  EXPECT_FALSE(journal.record_write(0xABCD00, 0));
+  journal.begin_launch();
+  // New launch: the same address by a different thread is NOT a hazard.
+  EXPECT_FALSE(journal.record_write(0xABCD00, 1));
+}
+
+TEST(GlobalRaceJournal, ConcurrentDisjointWritersAcrossShardsStayClean) {
+  detail::GlobalRaceJournal journal;
+  journal.begin_launch();
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::atomic<std::uint64_t> hazards{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&journal, &hazards, t] {
+      // Strided addresses spread every writer over all 16 shards.
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t address = (i * kThreads + t) * 8;
+        if (journal.record_write(address, t)) hazards.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(hazards.load(), 0u);
+
+  // And a deliberate collision after the storm is still caught.
+  std::uint64_t other = ~0ull;
+  EXPECT_TRUE(journal.record_write(/*address=*/0, /*global_thread=*/99, &other));
+  EXPECT_EQ(other, 0u);  // thread 0 wrote address 0 (i=0, t=0)
+}
+
+TEST(GlobalRaceJournal, ConcurrentSameAddressWritersReportExactlyOnePerPair) {
+  detail::GlobalRaceJournal journal;
+  journal.begin_launch();
+
+  constexpr unsigned kThreads = 4;
+  std::atomic<std::uint64_t> hazards{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&journal, &hazards, t] {
+      if (journal.record_write(0x42 * 8, t)) hazards.fetch_add(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  // First writer claims the slot; every later distinct thread is a hazard.
+  EXPECT_EQ(hazards.load(), kThreads - 1);
+}
+
+TEST(RaceDetection, LaunchErrorNamesKernelPhaseAndBothThreads) {
+  Device device;
+  auto buf = device.alloc_global<double>(4, "RaceBuf");
+  device.fill(buf, 0.0);
+
+  Kernel k;
+  k.name = "race_probe";
+  k.phases.emplace_back([](ThreadContext&) {});  // phase 0: quiet
+  k.phases.push_back([buf](ThreadContext& ctx) {
+    ctx.store(buf, 0, static_cast<double>(ctx.thread_index()));
+  });
+
+  LaunchConfig cfg;
+  cfg.grid_blocks = 1;
+  cfg.block_threads = 2;
+  cfg.detect_races = true;
+  try {
+    (void)device.launch(k, cfg);
+    FAIL() << "double-write went undetected";
+  } catch (const LaunchError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("race_probe"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("phase 1"), std::string::npos) << msg;
+    // The hazard-completing store leads: thread 1 collided with 0's write.
+    EXPECT_NE(msg.find("threads 1 and 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(RaceDetection, SharedHazardReportsBlockAndWord) {
+  Device device;
+
+  Kernel k;
+  k.name = "shared_race_probe";
+  k.phases.push_back([](ThreadContext& ctx) {
+    auto tile = ctx.shared_array<double>(0, 2);
+    tile.set(0, 1.0);  // every thread writes word 0, same phase
+  });
+
+  LaunchConfig cfg;
+  cfg.grid_blocks = 1;
+  cfg.block_threads = 2;
+  cfg.shared_bytes = 2 * sizeof(double);
+  cfg.detect_races = true;
+  try {
+    (void)device.launch(k, cfg);
+    FAIL() << "shared double-write went undetected";
+  } catch (const LaunchError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shared_race_probe"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("phase 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("block 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("shared word"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
